@@ -1,0 +1,153 @@
+//! Criterion microbenchmarks of the simulator itself.
+//!
+//! These measure the *host* cost of simulation (events per second through
+//! the memory system and machine), not simulated-machine performance — the
+//! figures do that. Useful for keeping the simulator fast enough that
+//! paper-scale sweeps stay interactive.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use dashlat::apps::App;
+use dashlat::config::ExperimentConfig;
+use dashlat::runner::run;
+use dashlat_cpu::config::ProcConfig;
+use dashlat_cpu::machine::Machine;
+use dashlat_cpu::ops::Topology;
+use dashlat_mem::addr::NodeId;
+use dashlat_mem::layout::{AddressSpaceBuilder, Placement};
+use dashlat_mem::system::{AccessKind, MemConfig, MemorySystem};
+use dashlat_sim::{Cycle, EventQueue, Xorshift};
+use dashlat_workloads::synthetic::UniformRandom;
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("event_queue/push_pop_10k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            let mut rng = Xorshift::new(1);
+            for i in 0..10_000u64 {
+                q.schedule(Cycle(rng.below(1_000_000)), i);
+            }
+            let mut last = Cycle::ZERO;
+            while let Some((t, _)) = q.pop() {
+                assert!(t >= last);
+                last = t;
+            }
+        })
+    });
+}
+
+fn bench_memory_system(c: &mut Criterion) {
+    c.bench_function("memory_system/100k_random_accesses", |b| {
+        b.iter_batched(
+            || {
+                let mut space = AddressSpaceBuilder::new(16);
+                let seg = space.alloc("region", 1 << 20, Placement::RoundRobin);
+                let mem = MemorySystem::new(MemConfig::dash_scaled(16), space.build());
+                (mem, seg, Xorshift::new(7))
+            },
+            |(mut mem, seg, mut rng)| {
+                let mut now = Cycle::ZERO;
+                for _ in 0..100_000 {
+                    let node = NodeId(rng.index(16));
+                    let addr = seg.at(rng.below(seg.len() / 16) * 16);
+                    let kind = if rng.chance(0.3) {
+                        AccessKind::Write
+                    } else {
+                        AccessKind::Read
+                    };
+                    let r = mem.access(now, node, addr, kind);
+                    now = now.max(r.done_at.saturating_sub(Cycle(64)));
+                }
+                mem
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_machine(c: &mut Criterion) {
+    c.bench_function("machine/uniform_random_16x200", |b| {
+        b.iter_batched(
+            || {
+                let topo = Topology::new(16, 1);
+                let mut space = AddressSpaceBuilder::new(16);
+                let w = UniformRandom::new(topo, &mut space, 1 << 18, 200, 0.3, 5, 3);
+                let mem = MemorySystem::new(MemConfig::dash_scaled(16), space.build());
+                (topo, mem, w)
+            },
+            |(topo, mem, w)| {
+                Machine::new(ProcConfig::sc_baseline(), topo, mem, w)
+                    .run()
+                    .expect("terminates")
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_apps_test_scale(c: &mut Criterion) {
+    let mut g = c.benchmark_group("apps_test_scale");
+    g.sample_size(10);
+    for app in App::ALL {
+        g.bench_function(app.name(), |b| {
+            b.iter(|| run(app, &ExperimentConfig::base_test()).expect("runs"))
+        });
+    }
+    g.finish();
+}
+
+fn bench_protocol_paths(c: &mut Criterion) {
+    // Host cost of each Table-1 service class in isolation.
+    let mut g = c.benchmark_group("protocol_paths");
+    let build = || {
+        let mut space = AddressSpaceBuilder::new(4);
+        let locals: Vec<_> = space
+            .alloc_per_node("local", 4096)
+            .iter()
+            .map(|s| s.base())
+            .collect();
+        let mut cfg = MemConfig::dash_scaled(4);
+        cfg.contention = false;
+        (MemorySystem::new(cfg, space.build()), locals)
+    };
+    g.bench_function("primary_hit", |b| {
+        let (mut mem, locals) = build();
+        mem.access(Cycle(0), NodeId(0), locals[0], AccessKind::Read);
+        let mut now = Cycle(100);
+        b.iter(|| {
+            now += Cycle(2);
+            mem.access(now, NodeId(0), locals[0], AccessKind::Read)
+        })
+    });
+    g.bench_function("write_hit_owned", |b| {
+        let (mut mem, locals) = build();
+        mem.access(Cycle(0), NodeId(0), locals[0], AccessKind::Write);
+        let mut now = Cycle(100);
+        b.iter(|| {
+            now += Cycle(4);
+            mem.access(now, NodeId(0), locals[0], AccessKind::Write)
+        })
+    });
+    g.bench_function("remote_dirty_pingpong", |b| {
+        // Two nodes alternately writing one line: the protocol's most
+        // expensive path (ownership transfer) on every access.
+        let (mut mem, locals) = build();
+        let mut now = Cycle(0);
+        let mut n = 0usize;
+        b.iter(|| {
+            n = (n + 1) % 2;
+            now += Cycle(100);
+            mem.access(now, NodeId(n), locals[3], AccessKind::Write)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_event_queue,
+    bench_memory_system,
+    bench_machine,
+    bench_apps_test_scale,
+    bench_protocol_paths
+);
+criterion_main!(benches);

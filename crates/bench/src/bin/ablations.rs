@@ -1,0 +1,172 @@
+//! Ablation studies on the design choices DESIGN.md calls out.
+//!
+//! These go beyond the paper's figures: each sweep isolates one mechanism
+//! of the simulated machine and shows its contribution.
+//!
+//! * write-buffer depth (RC's pipelining headroom),
+//! * invalidation-acknowledgement latency (what RC releases wait for),
+//! * context-switch overhead beyond the paper's {4, 16},
+//! * cache scaling (the paper's §2.3 scaled-vs-full-size check),
+//! * contention on/off (how much of the latency is queueing).
+
+use dashlat::apps::App;
+use dashlat::config::ExperimentConfig;
+use dashlat::runner::run;
+use dashlat_bench::{base_config_from_args, print_preamble};
+use dashlat_sim::Cycle;
+
+fn elapsed(app: App, cfg: &ExperimentConfig) -> u64 {
+    run(app, cfg)
+        .expect("runs complete")
+        .result
+        .elapsed
+        .as_u64()
+}
+
+fn main() {
+    let base = base_config_from_args();
+    print_preamble("Ablations", &base);
+
+    println!("## Write-buffer depth (MP3D, RC)\n");
+    let rc = base.clone().with_rc();
+    for depth in [1usize, 2, 4, 8, 16, 32] {
+        let cfg = rc.clone();
+        let t = {
+            // Depth is a ProcConfig knob; route it through a one-off run.
+            let topo = cfg.topology();
+            let mut space = dashlat_mem::layout::AddressSpaceBuilder::new(cfg.processors);
+            let w = App::Mp3d.build(cfg.scale, topo, &mut space, false);
+            let mem = dashlat_mem::system::MemorySystem::new(cfg.mem_config(), space.build());
+            let mut pc = cfg.proc_config();
+            pc.write_buffer_entries = depth;
+            dashlat_cpu::machine::Machine::new(pc, topo, mem, w)
+                .run()
+                .expect("runs")
+                .elapsed
+                .as_u64()
+        };
+        println!("  depth {depth:>2}: {t:>12} pclk");
+    }
+
+    println!("\n## Invalidation-ack latency (PTHOR, RC; what releases wait for)\n");
+    for ack in [0u64, 10, 20, 40, 80] {
+        let cfg = base.clone().with_rc();
+        let t = {
+            let topo = cfg.topology();
+            let mut space = dashlat_mem::layout::AddressSpaceBuilder::new(cfg.processors);
+            let w = App::Pthor.build(cfg.scale, topo, &mut space, false);
+            let mut mc = cfg.mem_config();
+            mc.latencies.inval_roundtrip = Cycle(ack);
+            let mem = dashlat_mem::system::MemorySystem::new(mc, space.build());
+            dashlat_cpu::machine::Machine::new(cfg.proc_config(), topo, mem, w)
+                .run()
+                .expect("runs")
+                .elapsed
+                .as_u64()
+        };
+        println!("  ack +{ack:>3}: {t:>12} pclk");
+    }
+
+    println!(
+        "\n## Prefetch schedule: distributed vs whole-column burst (LU, SC+pf; section 5.2)\n"
+    );
+    for burst in [false, true] {
+        let t = {
+            let topo = base.topology();
+            let mut space = dashlat_mem::layout::AddressSpaceBuilder::new(base.processors);
+            let params = dashlat_workloads::lu::LuParams {
+                burst_prefetch: burst,
+                ..match base.scale {
+                    dashlat::config::AppScale::Paper => dashlat_workloads::lu::LuParams::paper(),
+                    dashlat::config::AppScale::Test => {
+                        dashlat_workloads::lu::LuParams::test_scale()
+                    }
+                }
+            };
+            let w = dashlat_workloads::lu::Lu::new(params, topo, &mut space, true);
+            let mem = dashlat_mem::system::MemorySystem::new(base.mem_config(), space.build());
+            let mut pc = base.proc_config();
+            pc.prefetching = true;
+            dashlat_cpu::machine::Machine::new(pc, topo, mem, w)
+                .run()
+                .expect("runs")
+                .elapsed
+                .as_u64()
+        };
+        println!(
+            "  {}: {t:>12} pclk",
+            if burst { "burst      " } else { "distributed" }
+        );
+    }
+
+    println!("\n## Context-switch overhead (MP3D, SC, 4 contexts)\n");
+    for sw in [0u64, 1, 2, 4, 8, 16, 32] {
+        let cfg = base.clone().with_contexts(4, Cycle(sw));
+        println!("  switch {sw:>2}: {:>12} pclk", elapsed(App::Mp3d, &cfg));
+    }
+
+    println!("\n## Cache scaling (all apps, SC)\n");
+    for (label, full) in [("scaled 2KB/4KB", false), ("full 64KB/256KB", true)] {
+        for app in App::ALL {
+            let cfg = if full {
+                base.clone().with_full_caches()
+            } else {
+                base.clone()
+            };
+            let e = run(app, &cfg).expect("runs");
+            println!(
+                "  {label:<16} {:<6} {:>12} pclk | read hits {}",
+                app.name(),
+                e.result.elapsed.as_u64(),
+                e.result.mem.read_hits
+            );
+        }
+    }
+
+    println!("\n## Read lookahead: the section-4.1 out-of-order what-if (all apps, RC)\n");
+    for app in App::ALL {
+        print!("  {:<6}", app.name());
+        for window in [0u64, 16, 32, 64, 128] {
+            let cfg = base.clone().with_rc().with_read_lookahead(Cycle(window));
+            print!("  W{window}: {:>11}", elapsed(app, &cfg));
+        }
+        println!();
+    }
+
+    println!("\n## Network model: endpoint ports vs 2-D mesh (all apps, SC)\n");
+    for app in App::ALL {
+        let ports = elapsed(app, &base);
+        let mesh = elapsed(app, &base.clone().with_mesh_network());
+        println!(
+            "  {:<6} ports {ports:>12} | mesh {mesh:>12} | delta {:>+5.1}%",
+            app.name(),
+            (mesh as f64 / ports as f64 - 1.0) * 100.0
+        );
+    }
+
+    println!("\n## Directory organisation: full-map vs Dir_i-B (MP3D + PTHOR, SC)\n");
+    for app in [App::Mp3d, App::Pthor] {
+        let full = elapsed(app, &base);
+        for ptrs in [1usize, 2, 4] {
+            let limited = elapsed(app, &base.clone().with_limited_directory(ptrs));
+            println!(
+                "  {:<6} full-map {full:>12} | Dir{ptrs}B {limited:>12} | delta {:>+5.1}%",
+                app.name(),
+                (limited as f64 / full as f64 - 1.0) * 100.0
+            );
+        }
+    }
+
+    println!("\n## Contention model on/off (all apps, SC)\n");
+    for app in App::ALL {
+        let on = elapsed(app, &base);
+        let mut cfg = base.clone();
+        cfg.contention = false;
+        let off = elapsed(app, &cfg);
+        println!(
+            "  {:<6} contention on {on:>12} | off {off:>12} | queueing adds {:>5.1}%",
+            app.name(),
+            (on as f64 / off as f64 - 1.0) * 100.0
+        );
+    }
+}

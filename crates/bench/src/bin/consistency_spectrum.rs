@@ -1,0 +1,40 @@
+//! Extension experiment: the full consistency spectrum (SC, PC, WC, RC).
+//!
+//! The paper evaluates the two ends and notes that processor consistency
+//! and weak consistency fall in between (§4). This binary sweeps all four
+//! models over the three applications.
+
+use dashlat::apps::App;
+use dashlat::config::ExperimentConfig;
+use dashlat::report::AppFigure;
+use dashlat::runner::run_matrix;
+use dashlat_bench::{base_config_from_args, print_preamble};
+use dashlat_cpu::config::Consistency;
+
+fn main() {
+    let base = base_config_from_args();
+    print_preamble("Consistency spectrum (extension)", &base);
+    let configs: Vec<ExperimentConfig> = [
+        Consistency::Sc,
+        Consistency::Pc,
+        Consistency::Wc,
+        Consistency::Rc,
+    ]
+    .into_iter()
+    .map(|m| base.clone().with_consistency(m))
+    .collect();
+    for app in App::ALL {
+        let runs = run_matrix(app, &configs).expect("runs complete");
+        let g = AppFigure::from_experiments(&runs);
+        println!("{}", g.app);
+        for (i, bar) in g.bars.iter().enumerate() {
+            println!(
+                "  {:<4} {:>6.1}% of SC   {:>5.2}x",
+                bar.label,
+                bar.scaled.total(),
+                g.speedup(i)
+            );
+        }
+        println!();
+    }
+}

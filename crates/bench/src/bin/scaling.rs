@@ -1,0 +1,58 @@
+//! Machine-scaling study.
+//!
+//! Two parts:
+//!
+//! 1. Application speedup vs processor count (the concurrency context for
+//!    all of the paper's 16-processor results).
+//! 2. The paper's §6.1 observation: "when PTHOR is run with only four
+//!    processors instead of sixteen, multiple contexts achieve much
+//!    greater gains: four context-processors run about twice as fast as
+//!    single-context processors" — the parallelism freed by fewer
+//!    processors becomes available for latency hiding.
+
+use dashlat::apps::App;
+use dashlat::runner::run;
+use dashlat_bench::{base_config_from_args, print_preamble};
+use dashlat_sim::Cycle;
+
+fn main() {
+    let base = base_config_from_args();
+    print_preamble("Scaling study", &base);
+
+    println!("## Speedup vs processor count (SC)\n");
+    for app in App::ALL {
+        print!("  {:<6}", app.name());
+        let mut baseline = None;
+        for procs in [1usize, 2, 4, 8, 16] {
+            let mut cfg = base.clone();
+            cfg.processors = procs;
+            let e = run(app, &cfg).expect("runs complete");
+            let t = e.result.elapsed.as_u64();
+            let speedup = baseline.map(|b: u64| b as f64 / t as f64).unwrap_or(1.0);
+            if baseline.is_none() {
+                baseline = Some(t);
+            }
+            print!("  p{procs}: {speedup:>5.2}x");
+        }
+        println!();
+    }
+
+    println!("\n## PTHOR with 4 processors: multiple contexts shine (§6.1)\n");
+    for procs in [4usize, 16] {
+        let mut one = base.clone();
+        one.processors = procs;
+        let mut four = base.clone().with_contexts(4, Cycle(4));
+        four.processors = procs;
+        let t1 = run(App::Pthor, &one).expect("runs complete").result.elapsed;
+        let t4 = run(App::Pthor, &four)
+            .expect("runs complete")
+            .result
+            .elapsed;
+        println!(
+            "  {procs:>2} processors: 1ctx {:>12} | 4ctx/4 {:>12} | gain {:>4.2}x",
+            t1.as_u64(),
+            t4.as_u64(),
+            t1.as_u64() as f64 / t4.as_u64() as f64
+        );
+    }
+}

@@ -1,0 +1,22 @@
+//! Prints the prose statistics the paper quotes: hit rates, utilizations,
+//! run lengths and miss latencies per application and configuration.
+
+use dashlat::apps::App;
+use dashlat::report::describe_run;
+use dashlat::runner::run;
+use dashlat_bench::{base_config_from_args, print_preamble};
+
+fn main() {
+    let base = base_config_from_args();
+    print_preamble("Per-application statistics", &base);
+    for app in App::ALL {
+        for cfg in [base.clone(), base.clone().with_rc()] {
+            let e = run(app, &cfg).expect("runs complete");
+            println!("{}", describe_run(&e));
+            println!(
+                "    read-miss latency: {} | write-miss latency: {}",
+                e.result.mem.read_miss_latency, e.result.mem.write_miss_latency
+            );
+        }
+    }
+}

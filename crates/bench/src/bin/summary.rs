@@ -1,0 +1,11 @@
+//! Regenerates the paper's concluding claim (§7): best technique
+//! combinations and their overall speedups.
+
+use dashlat_bench::{base_config_from_args, print_preamble};
+
+fn main() {
+    let cfg = base_config_from_args();
+    print_preamble("Summary (paper section 7)", &cfg);
+    let s = dashlat::experiments::summary(&cfg).expect("runs complete");
+    println!("{}", s.render());
+}

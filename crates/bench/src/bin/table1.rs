@@ -1,0 +1,5 @@
+//! Regenerates Table 1: memory-operation latencies.
+
+fn main() {
+    println!("{}", dashlat::experiments::table1());
+}

@@ -1,0 +1,10 @@
+//! Regenerates Table 2: general statistics for the benchmarks.
+
+use dashlat_bench::{base_config_from_args, print_preamble};
+
+fn main() {
+    let cfg = base_config_from_args();
+    print_preamble("Table 2: General statistics for the benchmarks", &cfg);
+    let table = dashlat::experiments::table2(&cfg).expect("runs complete");
+    println!("{}", table.render());
+}

@@ -1,0 +1,486 @@
+//! Command-line parsing (hand-rolled; the workspace keeps its dependency
+//! surface to the approved simulation crates).
+
+use dashlat::apps::App;
+use dashlat::config::{AppScale, ExperimentConfig};
+use dashlat_cpu::config::Consistency;
+use dashlat_sim::Cycle;
+
+/// Parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Run one experiment and print its breakdown.
+    Run {
+        /// Application to run.
+        app: App,
+        /// Machine variant.
+        config: Box<ExperimentConfig>,
+        /// Also print the stacked-bar chart.
+        chart: bool,
+    },
+    /// Regenerate a paper figure (2–6).
+    Figure {
+        /// Figure number.
+        number: u8,
+        /// Machine baseline.
+        config: Box<ExperimentConfig>,
+        /// Emit CSV instead of tables.
+        csv: bool,
+    },
+    /// Regenerate a paper table (1 or 2).
+    Table {
+        /// Table number.
+        number: u8,
+        /// Machine baseline.
+        config: Box<ExperimentConfig>,
+    },
+    /// The §7 best-combination summary.
+    Summary {
+        /// Machine baseline.
+        config: Box<ExperimentConfig>,
+    },
+    /// Record an application's reference trace to a file.
+    TraceRecord {
+        /// Application to trace.
+        app: App,
+        /// Output path.
+        out: String,
+        /// Machine variant used while recording.
+        config: Box<ExperimentConfig>,
+    },
+    /// Replay a recorded trace.
+    TraceReplay {
+        /// Input path.
+        input: String,
+        /// Machine variant to replay under.
+        config: Box<ExperimentConfig>,
+    },
+    /// Print usage.
+    Help,
+}
+
+/// A parse failure with a user-facing message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArgError(pub String);
+
+impl std::fmt::Display for ArgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+/// Usage text.
+pub const USAGE: &str = "\
+dashlat — DASH-like latency-technique simulator (ISCA'91 reproduction)
+
+USAGE:
+  dashlat run --app <mp3d|lu|pthor> [machine flags] [--chart]
+  dashlat figure <2|3|4|5|6> [machine flags] [--csv]
+  dashlat table <1|2> [machine flags]
+  dashlat summary [machine flags]
+  dashlat trace record --app <app> --out <file> [machine flags]
+  dashlat trace replay --in <file> [machine flags]
+  dashlat help
+
+MACHINE FLAGS:
+  --processors <1..64>      processors (default 16)
+  --consistency <sc|pc|wc|rc>  memory consistency model (default sc)
+  --contexts <n>            hardware contexts per processor (default 1)
+  --switch <cycles>         context switch overhead (default 4)
+  --prefetch                enable software prefetching
+  --no-cache                shared data not cacheable
+  --full-caches             64KB/256KB caches instead of 2KB/4KB
+  --no-contention           disable bus/network queueing
+  --mesh                    2-D mesh network model
+  --dir-pointers <n>        limited-pointer (Dir_n-B) directory
+  --lookahead <cycles>      perfect read lookahead window (OoO what-if)
+  --test-scale              reduced data sets (default: paper scale)
+";
+
+fn parse_consistency(v: &str) -> Result<Consistency, ArgError> {
+    match v.to_ascii_lowercase().as_str() {
+        "sc" => Ok(Consistency::Sc),
+        "pc" => Ok(Consistency::Pc),
+        "wc" => Ok(Consistency::Wc),
+        "rc" => Ok(Consistency::Rc),
+        other => Err(ArgError(format!(
+            "unknown consistency model {other:?} (expected sc, pc, wc or rc)"
+        ))),
+    }
+}
+
+/// Extracts the machine flags from `args`, removing everything it
+/// consumes; unrecognized tokens are left in place for the caller.
+fn parse_machine_flags(args: &mut Vec<String>) -> Result<ExperimentConfig, ArgError> {
+    let mut cfg = ExperimentConfig::base();
+    let mut contexts: usize = 1;
+    let mut switch: u64 = 4;
+    let take_value = |args: &mut Vec<String>, i: usize, flag: &str| -> Result<String, ArgError> {
+        if i + 1 >= args.len() {
+            return Err(ArgError(format!("{flag} needs a value")));
+        }
+        let v = args.remove(i + 1);
+        args.remove(i);
+        Ok(v)
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--processors" => {
+                let v = take_value(args, i, "--processors")?;
+                let n: usize = v
+                    .parse()
+                    .map_err(|_| ArgError(format!("bad processor count {v:?}")))?;
+                if !(1..=64).contains(&n) {
+                    return Err(ArgError("--processors must be 1..=64".into()));
+                }
+                cfg.processors = n;
+            }
+            "--consistency" => {
+                let v = take_value(args, i, "--consistency")?;
+                cfg = cfg.with_consistency(parse_consistency(&v)?);
+            }
+            "--contexts" => {
+                let v = take_value(args, i, "--contexts")?;
+                contexts = v
+                    .parse()
+                    .map_err(|_| ArgError(format!("bad context count {v:?}")))?;
+                if contexts == 0 {
+                    return Err(ArgError("--contexts must be positive".into()));
+                }
+            }
+            "--switch" => {
+                let v = take_value(args, i, "--switch")?;
+                switch = v
+                    .parse()
+                    .map_err(|_| ArgError(format!("bad switch overhead {v:?}")))?;
+            }
+            "--prefetch" => {
+                args.remove(i);
+                cfg = cfg.with_prefetching();
+            }
+            "--no-cache" => {
+                args.remove(i);
+                cfg = cfg.without_caching();
+            }
+            "--full-caches" => {
+                args.remove(i);
+                cfg = cfg.with_full_caches();
+            }
+            "--no-contention" => {
+                args.remove(i);
+                cfg.contention = false;
+            }
+            "--mesh" => {
+                args.remove(i);
+                cfg = cfg.with_mesh_network();
+            }
+            "--dir-pointers" => {
+                let v = take_value(args, i, "--dir-pointers")?;
+                let n: usize = v
+                    .parse()
+                    .map_err(|_| ArgError(format!("bad pointer count {v:?}")))?;
+                if n == 0 {
+                    return Err(ArgError("--dir-pointers must be positive".into()));
+                }
+                cfg = cfg.with_limited_directory(n);
+            }
+            "--lookahead" => {
+                let v = take_value(args, i, "--lookahead")?;
+                let n: u64 = v
+                    .parse()
+                    .map_err(|_| ArgError(format!("bad lookahead window {v:?}")))?;
+                cfg = cfg.with_read_lookahead(Cycle(n));
+            }
+            "--test-scale" => {
+                args.remove(i);
+                cfg.scale = AppScale::Test;
+            }
+            _ => i += 1,
+        }
+    }
+    Ok(cfg.with_contexts(contexts, Cycle(switch)))
+}
+
+fn take_flag_value(args: &mut Vec<String>, flag: &str) -> Result<String, ArgError> {
+    match args.iter().position(|a| a == flag) {
+        Some(i) if i + 1 < args.len() => {
+            let v = args.remove(i + 1);
+            args.remove(i);
+            Ok(v)
+        }
+        Some(_) => Err(ArgError(format!("{flag} needs a value"))),
+        None => Err(ArgError(format!("missing required {flag}"))),
+    }
+}
+
+fn ensure_consumed(args: &[String]) -> Result<(), ArgError> {
+    if let Some(extra) = args.first() {
+        return Err(ArgError(format!("unrecognized argument {extra:?}")));
+    }
+    Ok(())
+}
+
+/// Parses a full command line (without the program name).
+///
+/// # Errors
+///
+/// Returns [`ArgError`] with a user-facing message for anything malformed.
+pub fn parse(mut args: Vec<String>) -> Result<Command, ArgError> {
+    if args.is_empty() {
+        return Ok(Command::Help);
+    }
+    let cmd = args.remove(0);
+    match cmd.as_str() {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "run" => {
+            let config = parse_machine_flags(&mut args)?;
+            let app: App = take_flag_value(&mut args, "--app")?
+                .parse()
+                .map_err(ArgError)?;
+            let chart = if let Some(i) = args.iter().position(|a| a == "--chart") {
+                args.remove(i);
+                true
+            } else {
+                false
+            };
+            ensure_consumed(&args)?;
+            Ok(Command::Run {
+                app,
+                config: Box::new(config),
+                chart,
+            })
+        }
+        "figure" => {
+            if args.is_empty() {
+                return Err(ArgError("figure needs a number (2-6)".into()));
+            }
+            let number: u8 = args
+                .remove(0)
+                .parse()
+                .map_err(|_| ArgError("figure needs a number (2-6)".into()))?;
+            if !(2..=6).contains(&number) {
+                return Err(ArgError("figure number must be 2-6".into()));
+            }
+            let config = parse_machine_flags(&mut args)?;
+            let csv = if let Some(i) = args.iter().position(|a| a == "--csv") {
+                args.remove(i);
+                true
+            } else {
+                false
+            };
+            ensure_consumed(&args)?;
+            Ok(Command::Figure {
+                number,
+                config: Box::new(config),
+                csv,
+            })
+        }
+        "table" => {
+            if args.is_empty() {
+                return Err(ArgError("table needs a number (1 or 2)".into()));
+            }
+            let number: u8 = args
+                .remove(0)
+                .parse()
+                .map_err(|_| ArgError("table needs a number (1 or 2)".into()))?;
+            if !(1..=2).contains(&number) {
+                return Err(ArgError("table number must be 1 or 2".into()));
+            }
+            let config = parse_machine_flags(&mut args)?;
+            ensure_consumed(&args)?;
+            Ok(Command::Table {
+                number,
+                config: Box::new(config),
+            })
+        }
+        "summary" => {
+            let config = parse_machine_flags(&mut args)?;
+            ensure_consumed(&args)?;
+            Ok(Command::Summary {
+                config: Box::new(config),
+            })
+        }
+        "trace" => {
+            if args.is_empty() {
+                return Err(ArgError("trace needs `record` or `replay`".into()));
+            }
+            let sub = args.remove(0);
+            let config = parse_machine_flags(&mut args)?;
+            match sub.as_str() {
+                "record" => {
+                    let app: App = take_flag_value(&mut args, "--app")?
+                        .parse()
+                        .map_err(ArgError)?;
+                    let out = take_flag_value(&mut args, "--out")?;
+                    ensure_consumed(&args)?;
+                    Ok(Command::TraceRecord {
+                        app,
+                        out,
+                        config: Box::new(config),
+                    })
+                }
+                "replay" => {
+                    let input = take_flag_value(&mut args, "--in")?;
+                    ensure_consumed(&args)?;
+                    Ok(Command::TraceReplay {
+                        input,
+                        config: Box::new(config),
+                    })
+                }
+                other => Err(ArgError(format!(
+                    "unknown trace subcommand {other:?} (expected record or replay)"
+                ))),
+            }
+        }
+        other => Err(ArgError(format!(
+            "unknown command {other:?}; try `dashlat help`"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(items: &[&str]) -> Vec<String> {
+        items.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn empty_is_help() {
+        assert_eq!(parse(vec![]), Ok(Command::Help));
+        assert_eq!(parse(v(&["help"])), Ok(Command::Help));
+        assert_eq!(parse(v(&["--help"])), Ok(Command::Help));
+    }
+
+    #[test]
+    fn run_with_full_machine_flags() {
+        let cmd = parse(v(&[
+            "run",
+            "--app",
+            "mp3d",
+            "--consistency",
+            "rc",
+            "--contexts",
+            "4",
+            "--switch",
+            "16",
+            "--prefetch",
+            "--processors",
+            "8",
+            "--test-scale",
+            "--chart",
+        ]))
+        .expect("parses");
+        match cmd {
+            Command::Run { app, config, chart } => {
+                assert_eq!(app, App::Mp3d);
+                assert!(chart);
+                assert_eq!(config.processors, 8);
+                assert_eq!(config.consistency, Consistency::Rc);
+                assert_eq!(config.contexts, 4);
+                assert_eq!(config.switch_overhead, Cycle(16));
+                assert!(config.prefetching);
+                assert_eq!(config.scale, AppScale::Test);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn run_requires_app() {
+        let err = parse(v(&["run"])).unwrap_err();
+        assert!(err.0.contains("--app"));
+    }
+
+    #[test]
+    fn figure_number_validated() {
+        assert!(parse(v(&["figure", "3"])).is_ok());
+        assert!(parse(v(&["figure", "7"])).is_err());
+        assert!(parse(v(&["figure"])).is_err());
+        assert!(parse(v(&["figure", "three"])).is_err());
+    }
+
+    #[test]
+    fn table_number_validated() {
+        assert!(parse(v(&["table", "1"])).is_ok());
+        assert!(parse(v(&["table", "2"])).is_ok());
+        assert!(parse(v(&["table", "3"])).is_err());
+    }
+
+    #[test]
+    fn trace_subcommands() {
+        let cmd = parse(v(&[
+            "trace",
+            "record",
+            "--app",
+            "lu",
+            "--out",
+            "/tmp/t.trace",
+        ]))
+        .expect("parses");
+        assert!(matches!(cmd, Command::TraceRecord { app: App::Lu, .. }));
+        let cmd = parse(v(&[
+            "trace",
+            "replay",
+            "--in",
+            "/tmp/t.trace",
+            "--consistency",
+            "rc",
+        ]))
+        .expect("parses");
+        match cmd {
+            Command::TraceReplay { input, config } => {
+                assert_eq!(input, "/tmp/t.trace");
+                assert_eq!(config.consistency, Consistency::Rc);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse(v(&["trace", "compress"])).is_err());
+        assert!(parse(v(&["trace"])).is_err());
+    }
+
+    #[test]
+    fn bad_values_are_reported() {
+        assert!(parse(v(&["run", "--app", "spice"])).is_err());
+        assert!(parse(v(&["run", "--app", "lu", "--consistency", "tso"])).is_err());
+        assert!(parse(v(&["run", "--app", "lu", "--processors", "0"])).is_err());
+        assert!(parse(v(&["run", "--app", "lu", "--processors", "65"])).is_err());
+        assert!(parse(v(&["run", "--app", "lu", "--contexts", "0"])).is_err());
+        assert!(parse(v(&["run", "--app", "lu", "--dir-pointers", "0"])).is_err());
+        assert!(parse(v(&["run", "--app", "lu", "--bogus"])).is_err());
+        assert!(parse(v(&["launch"])).is_err());
+    }
+
+    #[test]
+    fn machine_flag_variants() {
+        let cmd = parse(v(&[
+            "run",
+            "--app",
+            "pthor",
+            "--no-cache",
+            "--mesh",
+            "--dir-pointers",
+            "2",
+            "--full-caches",
+            "--no-contention",
+        ]))
+        .expect("parses");
+        match cmd {
+            Command::Run { config, .. } => {
+                assert!(!config.caching);
+                assert!(!config.contention);
+                assert!(config.full_caches);
+                assert_eq!(config.network, dashlat_mem::NetworkModel::Mesh2D);
+                assert_eq!(
+                    config.directory,
+                    dashlat_mem::directory::DirectoryKind::LimitedPtr { pointers: 2 }
+                );
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,195 @@
+//! `dashlat` — command-line front-end for the dash-latency simulator.
+//!
+//! ```sh
+//! dashlat run --app mp3d --consistency rc --prefetch --chart
+//! dashlat figure 3
+//! dashlat trace record --app lu --test-scale --out lu.trace
+//! dashlat trace replay --in lu.trace --consistency rc
+//! ```
+
+mod args;
+
+use std::process::ExitCode;
+
+use args::{parse, ArgError, Command, USAGE};
+use dashlat::apps::App;
+use dashlat::config::ExperimentConfig;
+use dashlat::report::{describe_run, AppFigure, Figure};
+use dashlat::runner::run;
+use dashlat_cpu::machine::Machine;
+use dashlat_cpu::trace::{Trace, TraceRecorder};
+use dashlat_mem::layout::AddressSpaceBuilder;
+use dashlat_mem::system::MemorySystem;
+use dashlat_sim::Cycle;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match parse(argv) {
+        Ok(cmd) => match execute(cmd) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        Err(ArgError(msg)) => {
+            eprintln!("error: {msg}\n\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn execute(cmd: Command) -> Result<(), Box<dyn std::error::Error>> {
+    match cmd {
+        Command::Help => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        Command::Run { app, config, chart } => {
+            let e = run(app, &config)?;
+            println!("{}", describe_run(&e));
+            let b = &e.result.aggregate;
+            println!(
+                "breakdown: busy {} | read {} | write {} | sync {} | prefetch {} | \
+                 switch {} | idle {} | no-switch {}",
+                b.busy,
+                b.read_stall,
+                b.write_stall,
+                b.sync_stall,
+                b.prefetch_overhead,
+                b.switching,
+                b.all_idle,
+                b.no_switch
+            );
+            if chart {
+                let fig = Figure {
+                    title: format!("{app} on {}", config.label()),
+                    groups: vec![AppFigure::from_experiments(&[e])],
+                };
+                println!("{}", fig.render_chart());
+            }
+            Ok(())
+        }
+        Command::Figure {
+            number,
+            config,
+            csv,
+        } => {
+            let fig = match number {
+                2 => dashlat::experiments::figure2(&config)?,
+                3 => dashlat::experiments::figure3(&config)?,
+                4 => dashlat::experiments::figure4(&config)?,
+                5 => dashlat::experiments::figure5(&config)?,
+                6 => dashlat::experiments::figure6(&config)?,
+                _ => unreachable!("validated by the parser"),
+            };
+            if csv {
+                print!("{}", fig.to_csv());
+            } else {
+                println!("{}", fig.render());
+                println!("{}", fig.render_chart());
+            }
+            Ok(())
+        }
+        Command::Table { number, config } => {
+            match number {
+                1 => println!("{}", dashlat::experiments::table1()),
+                2 => println!("{}", dashlat::experiments::table2(&config)?.render()),
+                _ => unreachable!("validated by the parser"),
+            }
+            Ok(())
+        }
+        Command::Summary { config } => {
+            println!("{}", dashlat::experiments::summary(&config)?.render());
+            Ok(())
+        }
+        Command::TraceRecord { app, out, config } => {
+            let trace = record_trace(app, &config)?;
+            std::fs::write(&out, trace.to_text())?;
+            println!(
+                "recorded {} ops from {} ({} processes) to {out}",
+                trace.len(),
+                app,
+                trace.streams.len()
+            );
+            Ok(())
+        }
+        Command::TraceReplay { input, config } => {
+            let text = std::fs::read_to_string(&input)?;
+            let trace = Trace::from_text(&text)?;
+            let processes = trace.streams.len();
+            let mut cfg = (*config).clone();
+            // The trace fixes the process count; derive the topology.
+            if processes % cfg.contexts != 0 {
+                return Err(format!(
+                    "trace has {processes} processes, not divisible by {} contexts",
+                    cfg.contexts
+                )
+                .into());
+            }
+            cfg.processors = processes / cfg.contexts;
+            let topo = cfg.topology();
+            // Reconstruct the recorded page placement when available so
+            // local/remote classification matches the original run;
+            // otherwise fall back to a flat round-robin region.
+            let page_map = match &trace.page_homes {
+                Some((nodes, homes)) if *nodes == cfg.processors => {
+                    dashlat_mem::layout::PageMap::from_homes(
+                        homes.iter().map(|&h| dashlat_mem::NodeId(h)).collect(),
+                        *nodes,
+                    )
+                }
+                _ => {
+                    let max_addr = trace
+                        .streams
+                        .iter()
+                        .flatten()
+                        .filter_map(|op| match op {
+                            dashlat_cpu::ops::Op::Read(a) | dashlat_cpu::ops::Op::Write(a) => {
+                                Some(a.0)
+                            }
+                            dashlat_cpu::ops::Op::Prefetch { addr, .. } => Some(addr.0),
+                            _ => None,
+                        })
+                        .max()
+                        .unwrap_or(0);
+                    let mut space = AddressSpaceBuilder::new(cfg.processors);
+                    let _ = space.alloc(
+                        "trace-region",
+                        max_addr + 64,
+                        dashlat_mem::layout::Placement::RoundRobin,
+                    );
+                    space.build()
+                }
+            };
+            let mem = MemorySystem::new(cfg.mem_config(), page_map);
+            let result = Machine::new(cfg.proc_config(), topo, mem, trace.into_workload())
+                .with_max_cycles(Cycle(50_000_000_000))
+                .run()?;
+            println!(
+                "replayed {input} under {}: elapsed {} | util {:.0}% | read hits {}",
+                cfg.label(),
+                result.elapsed,
+                result.utilization() * 100.0,
+                result.mem.read_hits
+            );
+            Ok(())
+        }
+    }
+}
+
+/// Runs `app` once with a recorder attached and returns the trace,
+/// including the page placement so replays keep local/remote geometry.
+fn record_trace(app: App, config: &ExperimentConfig) -> Result<Trace, Box<dyn std::error::Error>> {
+    let topo = config.topology();
+    let mut space = AddressSpaceBuilder::new(config.processors);
+    let inner = app.build(config.scale, topo, &mut space, config.prefetching);
+    let mut recorder = TraceRecorder::new(inner);
+    let page_map = space.build();
+    let homes: Vec<usize> = page_map.homes().iter().map(|n| n.0).collect();
+    let mem = MemorySystem::new(config.mem_config(), page_map);
+    Machine::new(config.proc_config(), topo, mem, &mut recorder)
+        .with_max_cycles(Cycle(50_000_000_000))
+        .run()?;
+    Ok(recorder.into_trace_with_pages(config.processors, homes))
+}

@@ -1,0 +1,117 @@
+//! The three benchmark applications, addressable by name.
+
+use dashlat_cpu::ops::{Topology, Workload};
+use dashlat_mem::layout::AddressSpaceBuilder;
+use dashlat_workloads::lu::{Lu, LuParams};
+use dashlat_workloads::mp3d::{Mp3d, Mp3dParams};
+use dashlat_workloads::pthor::{Pthor, PthorParams};
+
+use crate::config::AppScale;
+
+/// One of the paper's benchmark applications (Table 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum App {
+    /// The particle-based wind-tunnel simulator.
+    Mp3d,
+    /// Dense LU decomposition.
+    Lu,
+    /// The Chandy–Misra parallel logic simulator.
+    Pthor,
+}
+
+impl App {
+    /// All three, in the order the paper's figures list them.
+    pub const ALL: [App; 3] = [App::Mp3d, App::Lu, App::Pthor];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            App::Mp3d => "MP3D",
+            App::Lu => "LU",
+            App::Pthor => "PTHOR",
+        }
+    }
+
+    /// Instantiates the application: allocates its shared data in `space`
+    /// and returns the op generator.
+    pub fn build(
+        self,
+        scale: AppScale,
+        topo: Topology,
+        space: &mut AddressSpaceBuilder,
+        prefetch: bool,
+    ) -> Box<dyn Workload> {
+        match self {
+            App::Mp3d => {
+                let p = match scale {
+                    AppScale::Paper => Mp3dParams::paper(),
+                    AppScale::Test => Mp3dParams::test_scale(),
+                };
+                Box::new(Mp3d::new(p, topo, space, prefetch))
+            }
+            App::Lu => {
+                let p = match scale {
+                    AppScale::Paper => LuParams::paper(),
+                    AppScale::Test => LuParams::test_scale(),
+                };
+                Box::new(Lu::new(p, topo, space, prefetch))
+            }
+            App::Pthor => {
+                let p = match scale {
+                    AppScale::Paper => PthorParams::paper(),
+                    AppScale::Test => PthorParams::test_scale(),
+                };
+                Box::new(Pthor::new(p, topo, space, prefetch))
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for App {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for App {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "mp3d" => Ok(App::Mp3d),
+            "lu" => Ok(App::Lu),
+            "pthor" => Ok(App::Pthor),
+            other => Err(format!(
+                "unknown application {other:?} (expected mp3d, lu or pthor)"
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dashlat_cpu::ops::ProcId;
+
+    #[test]
+    fn builds_each_app() {
+        for app in App::ALL {
+            let topo = Topology::new(2, 1);
+            let mut space = AddressSpaceBuilder::new(2);
+            let mut w = app.build(AppScale::Test, topo, &mut space, false);
+            assert_eq!(w.processes(), 2);
+            // The generator produces something.
+            let _ = w.next_op(ProcId(0));
+            assert!(w.shared_bytes() > 0);
+        }
+    }
+
+    #[test]
+    fn names_and_parsing() {
+        assert_eq!(App::Mp3d.name(), "MP3D");
+        assert_eq!("pthor".parse::<App>(), Ok(App::Pthor));
+        assert_eq!("LU".parse::<App>(), Ok(App::Lu));
+        assert!("spice".parse::<App>().is_err());
+        assert_eq!(App::Lu.to_string(), "LU");
+    }
+}

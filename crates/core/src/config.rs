@@ -1,0 +1,264 @@
+//! Experiment configuration.
+//!
+//! One [`ExperimentConfig`] value describes a complete machine variant:
+//! which latency techniques are enabled (caching, consistency model,
+//! prefetching, contexts) and at what scale the application runs. The
+//! paper's figures are all matrices of such variants.
+
+use dashlat_cpu::config::{Consistency, ProcConfig};
+use dashlat_cpu::ops::Topology;
+use dashlat_mem::contention::NetworkModel;
+use dashlat_mem::directory::DirectoryKind;
+use dashlat_mem::system::MemConfig;
+use dashlat_sim::Cycle;
+
+/// Application data-set scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AppScale {
+    /// The paper's data sets (Table 2): MP3D 10,000 particles / 5 steps,
+    /// LU 200×200, PTHOR ~11,000 gates / 5 clock cycles.
+    Paper,
+    /// Reduced data sets for tests and quick exploration.
+    Test,
+}
+
+/// A complete machine + technique configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentConfig {
+    /// Number of processors (the paper simulates 16).
+    pub processors: usize,
+    /// Hardware contexts per processor.
+    pub contexts: usize,
+    /// Context-switch overhead in cycles (4 or 16 in the paper).
+    pub switch_overhead: Cycle,
+    /// Memory consistency model.
+    pub consistency: Consistency,
+    /// Whether shared data is cacheable.
+    pub caching: bool,
+    /// Whether software prefetching is enabled (and compiled into the
+    /// applications).
+    pub prefetching: bool,
+    /// Use the full-size 64 KB/256 KB caches instead of the scaled
+    /// 2 KB/4 KB ones.
+    pub full_caches: bool,
+    /// Model bus/network/memory queueing.
+    pub contention: bool,
+    /// Application data-set scale.
+    pub scale: AppScale,
+    /// Interconnection-network queueing model.
+    pub network: NetworkModel,
+    /// Directory organisation.
+    pub directory: DirectoryKind,
+    /// Perfect-lookahead window for reads (0 = the paper's blocking
+    /// reads; see `dashlat_cpu::config::ProcConfig::read_lookahead`).
+    pub read_lookahead: Cycle,
+}
+
+impl ExperimentConfig {
+    /// The paper's base machine: 16 processors, single context, coherent
+    /// caches (scaled), sequential consistency, no prefetching.
+    pub fn base() -> Self {
+        ExperimentConfig {
+            processors: 16,
+            contexts: 1,
+            switch_overhead: Cycle(4),
+            consistency: Consistency::Sc,
+            caching: true,
+            prefetching: false,
+            full_caches: false,
+            contention: true,
+            scale: AppScale::Paper,
+            network: NetworkModel::Ports,
+            directory: DirectoryKind::FullMap,
+            read_lookahead: Cycle(0),
+        }
+    }
+
+    /// Same machine at test scale (for CI).
+    pub fn base_test() -> Self {
+        ExperimentConfig {
+            scale: AppScale::Test,
+            processors: 8,
+            ..Self::base()
+        }
+    }
+
+    /// Returns a copy with shared-data caching disabled (Figure 2's
+    /// baseline).
+    pub fn without_caching(mut self) -> Self {
+        self.caching = false;
+        self
+    }
+
+    /// Returns a copy using release consistency.
+    pub fn with_rc(mut self) -> Self {
+        self.consistency = Consistency::Rc;
+        self
+    }
+
+    /// Returns a copy using the given consistency model (the full SC / PC /
+    /// WC / RC spectrum).
+    pub fn with_consistency(mut self, model: Consistency) -> Self {
+        self.consistency = model;
+        self
+    }
+
+    /// Returns a copy with software prefetching enabled.
+    pub fn with_prefetching(mut self) -> Self {
+        self.prefetching = true;
+        self
+    }
+
+    /// Returns a copy with `contexts` hardware contexts at the given
+    /// switch overhead.
+    pub fn with_contexts(mut self, contexts: usize, switch_overhead: Cycle) -> Self {
+        assert!(contexts > 0);
+        self.contexts = contexts;
+        self.switch_overhead = switch_overhead;
+        self
+    }
+
+    /// Returns a copy with the full-size (64 KB / 256 KB) caches.
+    pub fn with_full_caches(mut self) -> Self {
+        self.full_caches = true;
+        self
+    }
+
+    /// Returns a copy using the 2-D mesh network model.
+    pub fn with_mesh_network(mut self) -> Self {
+        self.network = NetworkModel::Mesh2D;
+        self
+    }
+
+    /// Returns a copy using a limited-pointer (Dir_i-B) directory.
+    pub fn with_limited_directory(mut self, pointers: usize) -> Self {
+        self.directory = DirectoryKind::LimitedPtr { pointers };
+        self
+    }
+
+    /// Returns a copy with a perfect read-lookahead window (the §4.1
+    /// out-of-order what-if; 0 = blocking reads).
+    pub fn with_read_lookahead(mut self, window: Cycle) -> Self {
+        self.read_lookahead = window;
+        self
+    }
+
+    /// The machine topology this configuration implies.
+    pub fn topology(&self) -> Topology {
+        Topology::new(self.processors, self.contexts)
+    }
+
+    /// The processor configuration this implies.
+    pub fn proc_config(&self) -> ProcConfig {
+        let mut cfg = match self.consistency {
+            Consistency::Sc => ProcConfig::sc_baseline(),
+            Consistency::Pc => ProcConfig::pc_baseline(),
+            Consistency::Wc => ProcConfig::wc_baseline(),
+            Consistency::Rc => ProcConfig::rc_baseline(),
+        };
+        cfg.prefetching = self.prefetching;
+        cfg.contexts = self.contexts;
+        cfg.switch_overhead = self.switch_overhead;
+        cfg.read_lookahead = self.read_lookahead;
+        cfg
+    }
+
+    /// The memory-system configuration this implies.
+    pub fn mem_config(&self) -> MemConfig {
+        let mut cfg = if self.full_caches {
+            MemConfig::dash_full(self.processors)
+        } else {
+            MemConfig::dash_scaled(self.processors)
+        };
+        cfg.caching = self.caching;
+        cfg.contention = self.contention;
+        cfg.network = self.network;
+        cfg.directory = self.directory;
+        cfg
+    }
+
+    /// A short label like `"RC+pf 4ctx/4"` for report columns.
+    pub fn label(&self) -> String {
+        let mut s = self.consistency.to_string();
+        if !self.caching {
+            s = format!("NoCache {s}");
+        }
+        if self.prefetching {
+            s.push_str("+pf");
+        }
+        if self.contexts > 1 {
+            s.push_str(&format!(
+                " {}ctx/{}",
+                self.contexts,
+                self.switch_overhead.as_u64()
+            ));
+        }
+        s
+    }
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        Self::base()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_matches_paper_machine() {
+        let c = ExperimentConfig::base();
+        assert_eq!(c.processors, 16);
+        assert_eq!(c.contexts, 1);
+        assert_eq!(c.consistency, Consistency::Sc);
+        assert!(c.caching);
+        assert!(!c.prefetching);
+        let mem = c.mem_config();
+        assert_eq!(mem.primary_bytes, 2048);
+        assert_eq!(mem.secondary_bytes, 4096);
+    }
+
+    #[test]
+    fn builder_combinators() {
+        let c = ExperimentConfig::base()
+            .with_rc()
+            .with_prefetching()
+            .with_contexts(4, Cycle(16))
+            .with_full_caches();
+        assert_eq!(c.consistency, Consistency::Rc);
+        assert!(c.prefetching);
+        assert_eq!(c.contexts, 4);
+        assert_eq!(c.switch_overhead, Cycle(16));
+        assert_eq!(c.mem_config().primary_bytes, 64 * 1024);
+        assert_eq!(c.topology().processes(), 64);
+        let pc = c.proc_config();
+        assert!(pc.prefetching);
+        assert_eq!(pc.contexts, 4);
+    }
+
+    #[test]
+    fn uncached_variant() {
+        let c = ExperimentConfig::base().without_caching();
+        assert!(!c.mem_config().caching);
+        assert!(c.label().contains("NoCache"));
+    }
+
+    #[test]
+    fn labels_are_descriptive() {
+        assert_eq!(ExperimentConfig::base().label(), "SC");
+        assert_eq!(ExperimentConfig::base().with_rc().label(), "RC");
+        assert_eq!(
+            ExperimentConfig::base()
+                .with_rc()
+                .with_prefetching()
+                .label(),
+            "RC+pf"
+        );
+        assert_eq!(
+            ExperimentConfig::base().with_contexts(2, Cycle(4)).label(),
+            "SC 2ctx/4"
+        );
+    }
+}

@@ -1,0 +1,292 @@
+//! Presets reproducing every table and figure of the paper.
+//!
+//! Each function takes the base machine configuration (use
+//! [`ExperimentConfig::base`] for the paper's machine,
+//! [`ExperimentConfig::base_test`] for quick runs) and returns the
+//! rendered-ready structure. The experiment index lives in `DESIGN.md`.
+
+use dashlat_cpu::machine::RunError;
+use dashlat_mem::latency::LatencyTable;
+use dashlat_sim::Cycle;
+
+use crate::apps::App;
+use crate::config::ExperimentConfig;
+use crate::report::{AppFigure, Figure, Table2, Table2Row};
+use crate::runner::{run, run_matrix, Experiment};
+
+/// Renders Table 1: the memory-operation latencies of the simulated
+/// machine (configuration, not measurement).
+pub fn table1() -> String {
+    let t = LatencyTable::dash();
+    let row = |name: &str, c: Cycle| format!("  {name:<44} {:>4} pclock\n", c.as_u64());
+    let mut s = String::from("Table 1: Latency for memory system operations (1 pclock = 30 ns)\n");
+    s.push_str("Read Operations\n");
+    s.push_str(&row("Hit in Primary Cache", t.read_primary_hit));
+    s.push_str(&row("Fill from Secondary Cache", t.read_fill_secondary));
+    s.push_str(&row("Fill from Local Node", t.read_fill_local));
+    s.push_str(&row(
+        "Fill from Home Node (Home != Local)",
+        t.read_fill_home,
+    ));
+    s.push_str(&row(
+        "Fill from Remote Node (Remote != Home != Local)",
+        t.read_fill_remote,
+    ));
+    s.push_str("Write Operations\n");
+    s.push_str(&row("Owned by Secondary Cache", t.write_owned_secondary));
+    s.push_str(&row("Owned by Local Node", t.write_owned_local));
+    s.push_str(&row(
+        "Owned in Home Node (Home != Local)",
+        t.write_owned_home,
+    ));
+    s.push_str(&row(
+        "Owned in Remote Node (Remote != Home != Local)",
+        t.write_owned_remote,
+    ));
+    s
+}
+
+/// Table 2: general statistics for the benchmarks, measured on the base
+/// machine.
+///
+/// # Errors
+///
+/// Propagates a failed run.
+pub fn table2(base: &ExperimentConfig) -> Result<Table2, RunError> {
+    let rows = App::ALL
+        .iter()
+        .map(|&app| run(app, base).map(|e| Table2Row::from_experiment(&e)))
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(Table2 { rows })
+}
+
+fn figure_from_matrix(title: &str, configs: &[ExperimentConfig]) -> Result<Figure, RunError> {
+    let mut groups = Vec::with_capacity(App::ALL.len());
+    for app in App::ALL {
+        let runs = run_matrix(app, configs)?;
+        groups.push(AppFigure::from_experiments(&runs));
+    }
+    Ok(Figure {
+        title: title.to_owned(),
+        groups,
+    })
+}
+
+/// Figure 2: effect of caching shared data (no-cache baseline vs coherent
+/// caches, both under SC).
+///
+/// # Errors
+///
+/// Propagates a failed run.
+pub fn figure2(base: &ExperimentConfig) -> Result<Figure, RunError> {
+    figure_from_matrix(
+        "Figure 2: Effect of caching shared data (normalized to no-cache)",
+        &[base.clone().without_caching(), base.clone()],
+    )
+}
+
+/// Figure 3: effect of relaxing the consistency model (SC vs RC).
+///
+/// # Errors
+///
+/// Propagates a failed run.
+pub fn figure3(base: &ExperimentConfig) -> Result<Figure, RunError> {
+    figure_from_matrix(
+        "Figure 3: Effect of relaxing the consistency model (normalized to SC)",
+        &[base.clone(), base.clone().with_rc()],
+    )
+}
+
+/// Figure 4: effect of prefetching, without and with, under SC and RC.
+/// Bars: SC, SC+pf, RC, RC+pf — normalized to SC.
+///
+/// # Errors
+///
+/// Propagates a failed run.
+pub fn figure4(base: &ExperimentConfig) -> Result<Figure, RunError> {
+    figure_from_matrix(
+        "Figure 4: Effect of prefetching (normalized to SC without prefetching)",
+        &[
+            base.clone(),
+            base.clone().with_prefetching(),
+            base.clone().with_rc(),
+            base.clone().with_rc().with_prefetching(),
+        ],
+    )
+}
+
+/// Figure 5: effect of multiple contexts under SC: 1 context, then 2 and 4
+/// contexts at 16-cycle and at 4-cycle switch overhead.
+///
+/// # Errors
+///
+/// Propagates a failed run.
+pub fn figure5(base: &ExperimentConfig) -> Result<Figure, RunError> {
+    figure_from_matrix(
+        "Figure 5: Effect of multiple contexts under SC (normalized to 1 context)",
+        &[
+            base.clone(),
+            base.clone().with_contexts(2, Cycle(16)),
+            base.clone().with_contexts(4, Cycle(16)),
+            base.clone().with_contexts(2, Cycle(4)),
+            base.clone().with_contexts(4, Cycle(4)),
+        ],
+    )
+}
+
+/// Figure 6: combining the schemes (4-cycle switch): SC with 1/2/4
+/// contexts, RC with 1/2/4 contexts, RC+prefetch with 1/2/4 contexts.
+///
+/// # Errors
+///
+/// Propagates a failed run.
+pub fn figure6(base: &ExperimentConfig) -> Result<Figure, RunError> {
+    let sw = Cycle(4);
+    figure_from_matrix(
+        "Figure 6: Effect of combining the schemes (4-cycle switch, normalized to SC/1ctx)",
+        &[
+            base.clone(),
+            base.clone().with_contexts(2, sw),
+            base.clone().with_contexts(4, sw),
+            base.clone().with_rc(),
+            base.clone().with_rc().with_contexts(2, sw),
+            base.clone().with_rc().with_contexts(4, sw),
+            base.clone().with_rc().with_prefetching(),
+            base.clone()
+                .with_rc()
+                .with_prefetching()
+                .with_contexts(2, sw),
+            base.clone()
+                .with_rc()
+                .with_prefetching()
+                .with_contexts(4, sw),
+        ],
+    )
+}
+
+/// The concluding claim (§7): the best technique combination per
+/// application, against both the cached-SC machine and the no-cache
+/// machine (the paper's overall 4–7× figure composes the caching gain with
+/// the best latency-tolerance combination).
+#[derive(Debug, Clone)]
+pub struct Summary {
+    /// Per-app: (best experiment, speedup vs cached SC, speedup vs no-cache).
+    pub best: Vec<(Experiment, f64, f64)>,
+}
+
+impl Summary {
+    /// Renders the summary lines.
+    pub fn render(&self) -> String {
+        let mut s = String::from("Best combinations (paper §7: overall gains of 4x-7x)\n");
+        for (e, vs_sc, vs_nc) in &self.best {
+            s.push_str(&format!(
+                "  {:<6} best = {:<18} {:>5.2}x over cached SC, {:>5.2}x over no-cache SC\n",
+                e.app.name(),
+                e.config.label(),
+                vs_sc,
+                vs_nc
+            ));
+        }
+        s
+    }
+}
+
+/// Searches the full technique matrix for each application's best
+/// combination.
+///
+/// # Errors
+///
+/// Propagates a failed run.
+pub fn summary(base: &ExperimentConfig) -> Result<Summary, RunError> {
+    let sw = Cycle(4);
+    let candidates = [
+        base.clone().with_rc(),
+        base.clone().with_rc().with_prefetching(),
+        base.clone().with_rc().with_contexts(2, sw),
+        base.clone().with_rc().with_contexts(4, sw),
+        base.clone()
+            .with_rc()
+            .with_prefetching()
+            .with_contexts(2, sw),
+        base.clone()
+            .with_rc()
+            .with_prefetching()
+            .with_contexts(4, sw),
+    ];
+    let mut best = Vec::new();
+    for app in App::ALL {
+        let cached_sc = run(app, base)?;
+        let no_cache = run(app, &base.clone().without_caching())?;
+        let mut best_e: Option<Experiment> = None;
+        for c in &candidates {
+            let e = run(app, c)?;
+            if best_e
+                .as_ref()
+                .map(|b| e.result.elapsed < b.result.elapsed)
+                .unwrap_or(true)
+            {
+                best_e = Some(e);
+            }
+        }
+        let e = best_e.expect("candidates non-empty");
+        let vs_sc = cached_sc.result.elapsed.as_u64() as f64 / e.result.elapsed.as_u64() as f64;
+        let vs_nc = no_cache.result.elapsed.as_u64() as f64 / e.result.elapsed.as_u64() as f64;
+        best.push((e, vs_sc, vs_nc));
+    }
+    Ok(Summary { best })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_lists_the_nine_rows() {
+        let t = table1();
+        assert!(t.contains("Hit in Primary Cache"));
+        assert!(t.contains("90 pclock") || t.contains("  90 pclock"));
+        assert!(t.contains("Owned in Remote Node"));
+    }
+
+    #[test]
+    fn figure3_shapes_hold_at_test_scale() {
+        let f = figure3(&ExperimentConfig::base_test()).expect("runs");
+        assert_eq!(f.groups.len(), 3);
+        for g in &f.groups {
+            // RC bar is never (materially) taller than the SC baseline.
+            // PTHOR gets slack: its amount of work is timing-dependent
+            // (task activation order changes which gates re-evaluate — the
+            // paper notes the same busy-time variability in §2.2), which
+            // at test scale can outweigh the consistency-model gain.
+            let limit = if g.app == "PTHOR" { 115.0 } else { 100.5 };
+            assert!(
+                g.bars[1].scaled.total() <= limit,
+                "{}: RC bar {:.1} exceeds SC baseline",
+                g.app,
+                g.bars[1].scaled.total()
+            );
+            // RC write stall is (near) zero.
+            assert!(
+                g.bars[1].scaled.write_stall < 1.0,
+                "{}: RC write stall {:.1}%",
+                g.app,
+                g.bars[1].scaled.write_stall
+            );
+        }
+        let text = f.render();
+        assert!(text.contains("MP3D") && text.contains("LU") && text.contains("PTHOR"));
+    }
+
+    #[test]
+    fn figure2_caching_wins_everywhere() {
+        let f = figure2(&ExperimentConfig::base_test()).expect("runs");
+        for g in &f.groups {
+            assert!(
+                g.speedup(1) > 1.3,
+                "{}: caching speedup only {:.2}",
+                g.app,
+                g.speedup(1)
+            );
+        }
+    }
+}

@@ -1,0 +1,46 @@
+#![warn(missing_docs)]
+
+//! `dashlat` — experiment layer of the `dash-latency` reproduction.
+//!
+//! This crate glues the substrates together and exposes the paper's
+//! experiments as a library:
+//!
+//! * [`config::ExperimentConfig`] — one machine variant (caching on/off,
+//!   SC/RC, prefetching, context count/switch overhead, cache sizes).
+//! * [`apps::App`] — the three benchmark applications of Table 2.
+//! * [`runner::run`] — wire an application to a machine and measure it.
+//! * [`report`] — the paper's normalized-execution-time bar groups and
+//!   Table 2 rendering.
+//! * [`experiments`] — one preset per paper table/figure
+//!   ([`experiments::figure2`] … [`experiments::figure6`],
+//!   [`experiments::table1`], [`experiments::table2`],
+//!   [`experiments::summary`]).
+//!
+//! # Example
+//!
+//! Compare SC and RC for LU on a small machine:
+//!
+//! ```
+//! use dashlat::apps::App;
+//! use dashlat::config::ExperimentConfig;
+//! use dashlat::runner::run;
+//!
+//! # fn main() -> Result<(), dashlat_cpu::machine::RunError> {
+//! let base = ExperimentConfig::base_test();
+//! let sc = run(App::Lu, &base)?;
+//! let rc = run(App::Lu, &base.clone().with_rc())?;
+//! assert!(rc.result.elapsed <= sc.result.elapsed);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod apps;
+pub mod config;
+pub mod experiments;
+pub mod report;
+pub mod runner;
+
+pub use apps::App;
+pub use config::{AppScale, ExperimentConfig};
+pub use report::{AppFigure, Figure, FigureBar, Table2, Table2Row};
+pub use runner::{run, run_matrix, Experiment};

@@ -1,0 +1,412 @@
+//! Rendering experiments the way the paper presents them.
+//!
+//! Every figure in the paper is a set of per-application stacked bars of
+//! *normalized execution time*: each bar's sections are percentages of the
+//! application's baseline run. [`Figure`] holds that structure and renders
+//! it as a text table; [`Table2`] reproduces the benchmark-statistics
+//! table.
+
+use std::fmt::Write as _;
+
+use dashlat_cpu::breakdown::ScaledBreakdown;
+use dashlat_sim::Cycle;
+
+use crate::runner::Experiment;
+
+/// One stacked bar: a labelled, baseline-normalized breakdown.
+#[derive(Debug, Clone)]
+pub struct FigureBar {
+    /// Configuration label (e.g. `"RC+pf 2ctx/4"`).
+    pub label: String,
+    /// Sections as percentages of the app's baseline execution time.
+    pub scaled: ScaledBreakdown,
+    /// Raw elapsed time of the run.
+    pub elapsed: Cycle,
+}
+
+/// All bars of one application within a figure.
+#[derive(Debug, Clone)]
+pub struct AppFigure {
+    /// Application name.
+    pub app: String,
+    /// Bars, first one being the 100% baseline.
+    pub bars: Vec<FigureBar>,
+}
+
+impl AppFigure {
+    /// Builds the bars from experiments, normalizing every run against the
+    /// first one (the baseline).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `experiments` is empty or mixes applications.
+    pub fn from_experiments(experiments: &[Experiment]) -> AppFigure {
+        assert!(!experiments.is_empty(), "a figure needs at least one run");
+        let app = experiments[0].app;
+        assert!(
+            experiments.iter().all(|e| e.app == app),
+            "experiments mix applications"
+        );
+        let baseline_total = experiments[0].result.aggregate.total();
+        let bars = experiments
+            .iter()
+            .map(|e| FigureBar {
+                label: e.config.label(),
+                scaled: e.result.aggregate.scaled_percent(baseline_total),
+                elapsed: e.result.elapsed,
+            })
+            .collect();
+        AppFigure {
+            app: app.name().to_owned(),
+            bars,
+        }
+    }
+
+    /// Speedup of bar `i` over the baseline (elapsed-time ratio).
+    pub fn speedup(&self, i: usize) -> f64 {
+        self.bars[0].elapsed.as_u64().max(1) as f64 / self.bars[i].elapsed.as_u64().max(1) as f64
+    }
+}
+
+/// A full figure: a titled set of per-application bar groups.
+#[derive(Debug, Clone)]
+pub struct Figure {
+    /// Figure title (e.g. `"Figure 3: Effect of relaxing the consistency model"`).
+    pub title: String,
+    /// One group per application.
+    pub groups: Vec<AppFigure>,
+}
+
+impl Figure {
+    /// Renders the figure as a text table of normalized percentages.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.title);
+        let _ = writeln!(out, "{}", "=".repeat(self.title.len()));
+        for group in &self.groups {
+            let _ = writeln!(out, "\n{}", group.app);
+            let _ = writeln!(
+                out,
+                "  {:<18} {:>6} {:>6} {:>6} {:>6} {:>6} {:>6} {:>6} {:>6} | {:>6} {:>8}",
+                "config",
+                "busy",
+                "read",
+                "write",
+                "sync",
+                "pf",
+                "switch",
+                "idle",
+                "nosw",
+                "total",
+                "speedup"
+            );
+            for (i, bar) in group.bars.iter().enumerate() {
+                let s = &bar.scaled;
+                let _ = writeln!(
+                    out,
+                    "  {:<18} {:>6.1} {:>6.1} {:>6.1} {:>6.1} {:>6.1} {:>6.1} {:>6.1} {:>6.1} | {:>6.1} {:>7.2}x",
+                    bar.label,
+                    s.busy,
+                    s.read_stall,
+                    s.write_stall,
+                    s.sync_stall,
+                    s.prefetch_overhead,
+                    s.switching,
+                    s.all_idle,
+                    s.no_switch,
+                    s.total(),
+                    group.speedup(i),
+                );
+            }
+        }
+        out
+    }
+}
+
+impl Figure {
+    /// Renders the figure as horizontal stacked bars (2 % per character),
+    /// the closest text rendering of the paper's stacked-bar charts.
+    ///
+    /// Legend: `B` busy, `r` read stall, `w` write stall, `s` sync,
+    /// `p` prefetch overhead, `x` switching, `i` all idle, `n` no-switch.
+    pub fn render_chart(&self) -> String {
+        const SCALE: f64 = 2.0; // percent per character
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.title);
+        let _ = writeln!(
+            out,
+            "legend: B=busy r=read w=write s=sync p=prefetch x=switch i=idle n=noswitch ({}%/char)",
+            SCALE
+        );
+        for group in &self.groups {
+            let _ = writeln!(out, "\n{}", group.app);
+            for bar in &group.bars {
+                let s = &bar.scaled;
+                let mut glyphs = String::new();
+                let mut carry = 0.0f64;
+                // Largest-remainder-free greedy: accumulate fractional
+                // characters across sections so the bar length tracks the
+                // total faithfully.
+                for (ch, v) in [
+                    ('B', s.busy),
+                    ('r', s.read_stall),
+                    ('w', s.write_stall),
+                    ('s', s.sync_stall),
+                    ('p', s.prefetch_overhead),
+                    ('x', s.switching),
+                    ('i', s.all_idle),
+                    ('n', s.no_switch),
+                ] {
+                    let exact = v / SCALE + carry;
+                    let n = exact.round().max(0.0) as usize;
+                    carry = exact - n as f64;
+                    glyphs.extend(std::iter::repeat_n(ch, n));
+                }
+                let _ = writeln!(out, "  {:<18} |{glyphs}| {:.1}", bar.label, s.total());
+            }
+        }
+        out
+    }
+}
+
+impl Figure {
+    /// Exports the figure as CSV (one row per bar) for external plotting:
+    /// `app,config,busy,read,write,sync,prefetch,switch,idle,noswitch,total,speedup`.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "app,config,busy,read,write,sync,prefetch,switch,idle,noswitch,total,speedup\n",
+        );
+        for group in &self.groups {
+            for (i, bar) in group.bars.iter().enumerate() {
+                let s = &bar.scaled;
+                let _ = writeln!(
+                    out,
+                    "{},{},{:.2},{:.2},{:.2},{:.2},{:.2},{:.2},{:.2},{:.2},{:.2},{:.3}",
+                    group.app,
+                    bar.label,
+                    s.busy,
+                    s.read_stall,
+                    s.write_stall,
+                    s.sync_stall,
+                    s.prefetch_overhead,
+                    s.switching,
+                    s.all_idle,
+                    s.no_switch,
+                    s.total(),
+                    group.speedup(i),
+                );
+            }
+        }
+        out
+    }
+}
+
+/// One row of the paper's Table 2 ("General statistics for the
+/// benchmarks"), measured from a run.
+#[derive(Debug, Clone)]
+pub struct Table2Row {
+    /// Application name.
+    pub program: String,
+    /// Useful (busy) cycles, in thousands, summed over processors.
+    pub useful_kcycles: u64,
+    /// Shared reads issued, thousands.
+    pub shared_reads_k: u64,
+    /// Shared writes issued, thousands.
+    pub shared_writes_k: u64,
+    /// Lock acquisitions.
+    pub locks: u64,
+    /// Barrier arrivals.
+    pub barriers: u64,
+    /// Shared data size in Kbytes.
+    pub shared_kbytes: u64,
+}
+
+impl Table2Row {
+    /// Extracts the row from an experiment.
+    pub fn from_experiment(e: &Experiment) -> Table2Row {
+        Table2Row {
+            program: e.app.name().to_owned(),
+            useful_kcycles: e.result.aggregate.busy.as_u64() / 1000,
+            shared_reads_k: e.result.shared_reads / 1000,
+            shared_writes_k: e.result.shared_writes / 1000,
+            locks: e.result.lock_acquires,
+            barriers: e.result.barrier_arrivals,
+            shared_kbytes: e.shared_bytes / 1024,
+        }
+    }
+}
+
+/// The benchmark-statistics table.
+#[derive(Debug, Clone, Default)]
+pub struct Table2 {
+    /// One row per application.
+    pub rows: Vec<Table2Row>,
+}
+
+impl Table2 {
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<8} {:>14} {:>14} {:>15} {:>9} {:>9} {:>18}",
+            "Program",
+            "Useful (K)",
+            "Sh.Reads (K)",
+            "Sh.Writes (K)",
+            "Locks",
+            "Barriers",
+            "Shared Data (KB)"
+        );
+        for r in &self.rows {
+            let _ = writeln!(
+                out,
+                "{:<8} {:>14} {:>14} {:>15} {:>9} {:>9} {:>18}",
+                r.program,
+                r.useful_kcycles,
+                r.shared_reads_k,
+                r.shared_writes_k,
+                r.locks,
+                r.barriers,
+                r.shared_kbytes
+            );
+        }
+        out
+    }
+}
+
+/// Text summary of hit rates and utilization quoted in the paper's prose.
+pub fn describe_run(e: &Experiment) -> String {
+    let m = &e.result.mem;
+    format!(
+        "{}: elapsed {} | util {:.0}% | read hits {} | write hits {} | \
+         invalidations {} | run-length median {} | switches {}",
+        e.id(),
+        e.result.elapsed,
+        e.result.utilization() * 100.0,
+        m.read_hits,
+        m.write_hits,
+        m.invalidations_sent,
+        e.result
+            .run_lengths
+            .approx_median()
+            .map(|c| c.to_string())
+            .unwrap_or_else(|| "n/a".into()),
+        e.result.context_switches,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apps::App;
+    use crate::config::ExperimentConfig;
+    use crate::runner::run;
+
+    fn two_runs() -> Vec<Experiment> {
+        vec![
+            run(App::Lu, &ExperimentConfig::base_test()).expect("runs"),
+            run(App::Lu, &ExperimentConfig::base_test().with_rc()).expect("runs"),
+        ]
+    }
+
+    #[test]
+    fn baseline_bar_is_100_percent() {
+        let g = AppFigure::from_experiments(&two_runs());
+        assert!((g.bars[0].scaled.total() - 100.0).abs() < 1e-6);
+        assert!((g.speedup(0) - 1.0).abs() < 1e-9);
+        assert!(g.speedup(1) >= 1.0);
+    }
+
+    #[test]
+    fn render_contains_labels_and_numbers() {
+        let f = Figure {
+            title: "Figure 3 (test)".into(),
+            groups: vec![AppFigure::from_experiments(&two_runs())],
+        };
+        let text = f.render();
+        assert!(text.contains("Figure 3 (test)"));
+        assert!(text.contains("LU"));
+        assert!(text.contains("SC"));
+        assert!(text.contains("RC"));
+        assert!(text.contains("100.0"));
+    }
+
+    #[test]
+    fn chart_bars_track_totals() {
+        let f = Figure {
+            title: "chart".into(),
+            groups: vec![AppFigure::from_experiments(&two_runs())],
+        };
+        let chart = f.render_chart();
+        assert!(chart.contains("legend:"));
+        for line in chart.lines().filter(|l| l.contains('|')) {
+            // Bar length in characters ~ total / 2%.
+            let bar: String = line.split('|').nth(1).expect("bar section").to_string();
+            let total: f64 = line
+                .rsplit(' ')
+                .next()
+                .expect("total")
+                .parse()
+                .expect("numeric total");
+            let expect = total / 2.0;
+            assert!(
+                (bar.len() as f64 - expect).abs() <= 4.0,
+                "bar of {} chars vs total {total}",
+                bar.len()
+            );
+        }
+    }
+
+    #[test]
+    fn csv_has_one_row_per_bar_plus_header() {
+        let f = Figure {
+            title: "csv".into(),
+            groups: vec![AppFigure::from_experiments(&two_runs())],
+        };
+        let csv = f.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 1 + 2);
+        assert!(lines[0].starts_with("app,config,busy"));
+        assert!(lines[1].starts_with("LU,SC,"));
+        assert!(lines[2].starts_with("LU,RC,"));
+        // Every data row has 12 fields.
+        for row in &lines[1..] {
+            assert_eq!(row.split(',').count(), 12, "bad row {row:?}");
+        }
+    }
+
+    #[test]
+    fn table2_row_extraction() {
+        let e = run(App::Mp3d, &ExperimentConfig::base_test()).expect("runs");
+        let row = Table2Row::from_experiment(&e);
+        assert_eq!(row.program, "MP3D");
+        assert!(row.shared_reads_k > 0);
+        assert_eq!(row.locks, 0, "MP3D uses no locks");
+        assert!(row.barriers > 0);
+        assert!(row.shared_kbytes > 0);
+        let t = Table2 { rows: vec![row] };
+        let text = t.render();
+        assert!(text.contains("MP3D"));
+        assert!(text.contains("Locks"));
+    }
+
+    #[test]
+    fn describe_run_mentions_key_stats() {
+        let e = run(App::Lu, &ExperimentConfig::base_test()).expect("runs");
+        let d = describe_run(&e);
+        assert!(d.contains("LU/SC"));
+        assert!(d.contains("util"));
+        assert!(d.contains("read hits"));
+    }
+
+    #[test]
+    #[should_panic(expected = "mix applications")]
+    fn mixed_apps_rejected() {
+        let runs = vec![
+            run(App::Lu, &ExperimentConfig::base_test()).expect("runs"),
+            run(App::Mp3d, &ExperimentConfig::base_test()).expect("runs"),
+        ];
+        let _ = AppFigure::from_experiments(&runs);
+    }
+}

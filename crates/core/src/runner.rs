@@ -1,0 +1,104 @@
+//! Wiring and running one experiment.
+
+use dashlat_cpu::machine::{Machine, RunError, RunResult};
+use dashlat_mem::layout::AddressSpaceBuilder;
+use dashlat_mem::system::MemorySystem;
+use dashlat_sim::Cycle;
+
+use crate::apps::App;
+use crate::config::ExperimentConfig;
+
+/// A finished experiment: the configuration and its measurements.
+#[derive(Debug, Clone)]
+pub struct Experiment {
+    /// Which application ran.
+    pub app: App,
+    /// The machine variant.
+    pub config: ExperimentConfig,
+    /// Everything measured.
+    pub result: RunResult,
+    /// Shared-data footprint reported by the workload.
+    pub shared_bytes: u64,
+}
+
+impl Experiment {
+    /// Short `APP/label` identifier.
+    pub fn id(&self) -> String {
+        format!("{}/{}", self.app, self.config.label())
+    }
+}
+
+/// Runs `app` on the machine described by `config`.
+///
+/// # Errors
+///
+/// Propagates [`RunError`] from the machine (cycle budget exceeded or a
+/// synchronization deadlock) — both indicate a bug rather than an expected
+/// outcome for these workloads.
+pub fn run(app: App, config: &ExperimentConfig) -> Result<Experiment, RunError> {
+    let topo = config.topology();
+    let mut space = AddressSpaceBuilder::new(config.processors);
+    let workload = app.build(config.scale, topo, &mut space, config.prefetching);
+    let shared_bytes = workload.shared_bytes();
+    let mem = MemorySystem::new(config.mem_config(), space.build());
+    let result = Machine::new(config.proc_config(), topo, mem, workload)
+        .with_max_cycles(Cycle(50_000_000_000))
+        .run()?;
+    Ok(Experiment {
+        app,
+        config: config.clone(),
+        result,
+        shared_bytes,
+    })
+}
+
+/// Runs `app` on every configuration, returning the experiments in order.
+///
+/// # Errors
+///
+/// Fails on the first configuration whose run fails.
+pub fn run_matrix(app: App, configs: &[ExperimentConfig]) -> Result<Vec<Experiment>, RunError> {
+    configs.iter().map(|c| run(app, c)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dashlat_cpu::config::Consistency;
+
+    #[test]
+    fn runs_mp3d_at_test_scale() {
+        let cfg = ExperimentConfig::base_test();
+        let e = run(App::Mp3d, &cfg).expect("runs");
+        assert!(e.result.elapsed > Cycle::ZERO);
+        assert!(e.shared_bytes > 0);
+        assert_eq!(e.id(), "MP3D/SC");
+    }
+
+    #[test]
+    fn matrix_preserves_order() {
+        let configs = vec![
+            ExperimentConfig::base_test(),
+            ExperimentConfig::base_test().with_rc(),
+        ];
+        let es = run_matrix(App::Lu, &configs).expect("runs");
+        assert_eq!(es.len(), 2);
+        assert_eq!(es[0].config.consistency, Consistency::Sc);
+        assert_eq!(es[1].config.consistency, Consistency::Rc);
+        // RC is never slower for LU.
+        assert!(es[1].result.elapsed <= es[0].result.elapsed);
+    }
+
+    #[test]
+    fn uncached_run_is_slower() {
+        let cached = run(App::Mp3d, &ExperimentConfig::base_test()).expect("runs");
+        let uncached =
+            run(App::Mp3d, &ExperimentConfig::base_test().without_caching()).expect("runs");
+        assert!(
+            uncached.result.elapsed > cached.result.elapsed,
+            "caching did not help: {} <= {}",
+            uncached.result.elapsed,
+            cached.result.elapsed
+        );
+    }
+}

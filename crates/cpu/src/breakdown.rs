@@ -1,0 +1,206 @@
+//! Execution-time decomposition.
+//!
+//! Every figure in the paper is a stack of normalized execution-time
+//! components. [`TimeBreakdown`] accumulates those components per processor;
+//! the experiment runner aggregates them machine-wide and normalizes
+//! against a baseline run.
+
+use std::fmt;
+use std::ops::{Add, AddAssign};
+
+use dashlat_sim::Cycle;
+
+/// Per-processor decomposition of where cycles went.
+///
+/// Which sections a paper figure shows depends on the experiment:
+/// Figures 2–4 use busy/read/write/sync (+ prefetch overhead); Figures 5–6
+/// use busy/switching/all-idle/no-switch (+ prefetch overhead). All
+/// components are tracked simultaneously.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TimeBreakdown {
+    /// Useful cycles (compute, issue slots, primary-cache read hits, and
+    /// any busy-wait spinning the application performs).
+    pub busy: Cycle,
+    /// Stall waiting for reads (single-context attribution).
+    pub read_stall: Cycle,
+    /// Stall waiting for writes, including write-buffer-full stalls.
+    pub write_stall: Cycle,
+    /// Stall on locks and barriers.
+    pub sync_stall: Cycle,
+    /// Prefetch overhead: issue instructions, buffer-full stalls and
+    /// primary-cache fill lockouts.
+    pub prefetch_overhead: Cycle,
+    /// Context-switch overhead cycles (multiple-context processors).
+    pub switching: Cycle,
+    /// Idle cycles with every context blocked (multiple-context
+    /// processors).
+    pub all_idle: Cycle,
+    /// Short stalls that do not trigger a context switch (secondary-cache
+    /// write hits under SC, fill interference).
+    pub no_switch: Cycle,
+}
+
+impl TimeBreakdown {
+    /// Sum of all components — the processor's total execution time.
+    pub fn total(&self) -> Cycle {
+        self.busy
+            + self.read_stall
+            + self.write_stall
+            + self.sync_stall
+            + self.prefetch_overhead
+            + self.switching
+            + self.all_idle
+            + self.no_switch
+    }
+
+    /// Processor utilization: busy / total.
+    pub fn utilization(&self) -> f64 {
+        let t = self.total().as_u64();
+        if t == 0 {
+            0.0
+        } else {
+            self.busy.as_u64() as f64 / t as f64
+        }
+    }
+
+    /// Scales every component by `per_mille / 1000` (used for normalized
+    /// report rendering without floating-point accumulation).
+    pub fn scaled_percent(&self, baseline_total: Cycle) -> ScaledBreakdown {
+        let base = baseline_total.as_u64().max(1) as f64;
+        let pct = |c: Cycle| c.as_u64() as f64 * 100.0 / base;
+        ScaledBreakdown {
+            busy: pct(self.busy),
+            read_stall: pct(self.read_stall),
+            write_stall: pct(self.write_stall),
+            sync_stall: pct(self.sync_stall),
+            prefetch_overhead: pct(self.prefetch_overhead),
+            switching: pct(self.switching),
+            all_idle: pct(self.all_idle),
+            no_switch: pct(self.no_switch),
+        }
+    }
+}
+
+impl Add for TimeBreakdown {
+    type Output = TimeBreakdown;
+    fn add(self, rhs: TimeBreakdown) -> TimeBreakdown {
+        TimeBreakdown {
+            busy: self.busy + rhs.busy,
+            read_stall: self.read_stall + rhs.read_stall,
+            write_stall: self.write_stall + rhs.write_stall,
+            sync_stall: self.sync_stall + rhs.sync_stall,
+            prefetch_overhead: self.prefetch_overhead + rhs.prefetch_overhead,
+            switching: self.switching + rhs.switching,
+            all_idle: self.all_idle + rhs.all_idle,
+            no_switch: self.no_switch + rhs.no_switch,
+        }
+    }
+}
+
+impl AddAssign for TimeBreakdown {
+    fn add_assign(&mut self, rhs: TimeBreakdown) {
+        *self = *self + rhs;
+    }
+}
+
+impl fmt::Display for TimeBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "busy={} read={} write={} sync={} pf={} switch={} idle={} noswitch={}",
+            self.busy,
+            self.read_stall,
+            self.write_stall,
+            self.sync_stall,
+            self.prefetch_overhead,
+            self.switching,
+            self.all_idle,
+            self.no_switch
+        )
+    }
+}
+
+/// A breakdown expressed as percentages of a baseline total (figure bars).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ScaledBreakdown {
+    /// Busy percentage of baseline.
+    pub busy: f64,
+    /// Read-stall percentage.
+    pub read_stall: f64,
+    /// Write-stall percentage.
+    pub write_stall: f64,
+    /// Synchronization percentage.
+    pub sync_stall: f64,
+    /// Prefetch-overhead percentage.
+    pub prefetch_overhead: f64,
+    /// Context-switching percentage.
+    pub switching: f64,
+    /// All-idle percentage.
+    pub all_idle: f64,
+    /// No-switch idle percentage.
+    pub no_switch: f64,
+}
+
+impl ScaledBreakdown {
+    /// Height of the whole bar.
+    pub fn total(&self) -> f64 {
+        self.busy
+            + self.read_stall
+            + self.write_stall
+            + self.sync_stall
+            + self.prefetch_overhead
+            + self.switching
+            + self.all_idle
+            + self.no_switch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TimeBreakdown {
+        TimeBreakdown {
+            busy: Cycle(100),
+            read_stall: Cycle(50),
+            write_stall: Cycle(30),
+            sync_stall: Cycle(20),
+            prefetch_overhead: Cycle(0),
+            switching: Cycle(0),
+            all_idle: Cycle(0),
+            no_switch: Cycle(0),
+        }
+    }
+
+    #[test]
+    fn total_sums_components() {
+        assert_eq!(sample().total(), Cycle(200));
+    }
+
+    #[test]
+    fn utilization() {
+        assert!((sample().utilization() - 0.5).abs() < 1e-12);
+        assert_eq!(TimeBreakdown::default().utilization(), 0.0);
+    }
+
+    #[test]
+    fn addition() {
+        let s = sample() + sample();
+        assert_eq!(s.busy, Cycle(200));
+        assert_eq!(s.total(), Cycle(400));
+        let mut t = sample();
+        t += sample();
+        assert_eq!(t, s);
+    }
+
+    #[test]
+    fn scaling_to_baseline() {
+        let b = sample();
+        let scaled = b.scaled_percent(Cycle(200));
+        assert!((scaled.busy - 50.0).abs() < 1e-9);
+        assert!((scaled.total() - 100.0).abs() < 1e-9);
+        // Against a larger baseline the bar shrinks.
+        let scaled2 = b.scaled_percent(Cycle(400));
+        assert!((scaled2.total() - 50.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,210 @@
+//! Processor-side configuration: consistency model, contexts, buffers.
+
+use dashlat_sim::Cycle;
+
+/// Memory consistency model (paper §4).
+///
+/// The paper evaluates the two ends of the spectrum (SC and RC) and notes
+/// that processor consistency and weak consistency "fall between
+/// sequential and release consistency models in terms of flexibility".
+/// Both intermediates are implemented here as extensions so the whole
+/// spectrum can be swept.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Consistency {
+    /// Sequential consistency: every access is delayed until the previous
+    /// one completes; the processor stalls on every read *and* write.
+    Sc,
+    /// Processor consistency (Goodman): writes from one processor are seen
+    /// in issue order, but reads may bypass buffered writes. Modelled as
+    /// the RC write path with *every* write treated like a release is not
+    /// needed — only FIFO retirement, which the write buffer already
+    /// guarantees; unlike RC, a release gets no special treatment (it
+    /// retires in FIFO order without waiting for invalidation acks).
+    Pc,
+    /// Weak consistency (Dubois et al.): ordinary accesses are buffered
+    /// and pipelined, but *every* synchronization access (acquire and
+    /// release alike) waits until all previously issued accesses complete,
+    /// including invalidation acknowledgements.
+    Wc,
+    /// Release consistency: writes retire through the write buffer, reads
+    /// bypass buffered writes, and only a *release* is delayed until all
+    /// previous writes (including invalidation acks) complete.
+    Rc,
+}
+
+impl Consistency {
+    /// True for the models that buffer writes (everything except SC).
+    pub fn buffers_writes(self) -> bool {
+        !matches!(self, Consistency::Sc)
+    }
+
+    /// True if a release access must wait for all prior writes' acks.
+    pub fn release_waits(self) -> bool {
+        matches!(self, Consistency::Wc | Consistency::Rc)
+    }
+
+    /// True if an acquire access must wait for all prior writes' acks
+    /// (weak consistency fences on every synchronization operation).
+    pub fn acquire_waits(self) -> bool {
+        matches!(self, Consistency::Wc)
+    }
+}
+
+impl std::fmt::Display for Consistency {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Consistency::Sc => write!(f, "SC"),
+            Consistency::Pc => write!(f, "PC"),
+            Consistency::Wc => write!(f, "WC"),
+            Consistency::Rc => write!(f, "RC"),
+        }
+    }
+}
+
+/// Configuration of each processor's environment.
+#[derive(Debug, Clone)]
+pub struct ProcConfig {
+    /// Consistency model.
+    pub consistency: Consistency,
+    /// Hardware contexts per processor (1, 2 or 4 in the paper).
+    pub contexts: usize,
+    /// Cycles to switch between contexts (4 or 16 in the paper).
+    pub switch_overhead: Cycle,
+    /// Stalls at or below this many cycles do not trigger a context switch
+    /// (the 2-cycle secondary write hit stays "no switch" idle; bus-level
+    /// misses switch).
+    pub no_switch_threshold: Cycle,
+    /// Whether software prefetch operations are honoured; when false,
+    /// `Op::Prefetch` is a free no-op (the "without prefetching" bars).
+    pub prefetching: bool,
+    /// Instruction overhead charged per issued prefetch (address
+    /// computation, the conditional, and the prefetch instruction itself).
+    pub prefetch_issue_overhead: Cycle,
+    /// Write buffer depth (16 in the paper).
+    pub write_buffer_entries: usize,
+    /// Prefetch buffer depth (16 in the paper).
+    pub prefetch_buffer_entries: usize,
+    /// Minimum spacing between successive prefetch issues onto the bus
+    /// (the bus transfer occupancy; prefetches behind it pipeline).
+    pub prefetch_issue_spacing: Cycle,
+    /// Minimum spacing between successive write-buffer issues onto the bus
+    /// (RC pipelines writes at this rate).
+    pub write_issue_spacing: Cycle,
+    /// When set, the machine records busy cycles and long-latency misses
+    /// into fixed-width time buckets, returned as `RunResult::timeline` —
+    /// the utilization-over-time view (LU's poor-early / good-late cache
+    /// behaviour is directly visible there).
+    pub timeline_bucket: Option<Cycle>,
+    /// Perfect-lookahead window for reads, in cycles. The paper's
+    /// processors stall on every read; it notes that "processors that
+    /// allow multiple outstanding reads and out-of-order execution" were an
+    /// open research question (§4.1). This knob answers the what-if as an
+    /// optimistic bound: up to this many cycles of every read miss are
+    /// assumed to overlap with independent work, so the charged stall is
+    /// `max(0, miss latency − window)`. Zero (the default) reproduces the
+    /// paper's blocking-read processors.
+    pub read_lookahead: Cycle,
+}
+
+impl ProcConfig {
+    /// The paper's baseline: single-context SC machine, prefetching off.
+    pub fn sc_baseline() -> Self {
+        ProcConfig {
+            consistency: Consistency::Sc,
+            contexts: 1,
+            switch_overhead: Cycle(4),
+            no_switch_threshold: Cycle(6),
+            prefetching: false,
+            prefetch_issue_overhead: Cycle(3),
+            write_buffer_entries: 16,
+            prefetch_buffer_entries: 16,
+            prefetch_issue_spacing: Cycle(4),
+            write_issue_spacing: Cycle(4),
+            read_lookahead: Cycle(0),
+            timeline_bucket: None,
+        }
+    }
+
+    /// Release-consistency variant of the baseline.
+    pub fn rc_baseline() -> Self {
+        ProcConfig {
+            consistency: Consistency::Rc,
+            ..Self::sc_baseline()
+        }
+    }
+
+    /// Processor-consistency variant (extension; see [`Consistency::Pc`]).
+    pub fn pc_baseline() -> Self {
+        ProcConfig {
+            consistency: Consistency::Pc,
+            ..Self::sc_baseline()
+        }
+    }
+
+    /// Weak-consistency variant (extension; see [`Consistency::Wc`]).
+    pub fn wc_baseline() -> Self {
+        ProcConfig {
+            consistency: Consistency::Wc,
+            ..Self::sc_baseline()
+        }
+    }
+
+    /// Returns a copy with prefetching enabled.
+    pub fn with_prefetching(mut self) -> Self {
+        self.prefetching = true;
+        self
+    }
+
+    /// Returns a copy with `contexts` hardware contexts and the given
+    /// switch overhead.
+    pub fn with_contexts(mut self, contexts: usize, switch_overhead: Cycle) -> Self {
+        assert!(contexts > 0, "need at least one context");
+        self.contexts = contexts;
+        self.switch_overhead = switch_overhead;
+        self
+    }
+}
+
+impl Default for ProcConfig {
+    fn default() -> Self {
+        Self::sc_baseline()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baselines() {
+        let sc = ProcConfig::sc_baseline();
+        assert_eq!(sc.consistency, Consistency::Sc);
+        assert_eq!(sc.contexts, 1);
+        assert!(!sc.prefetching);
+        assert_eq!(sc.write_buffer_entries, 16);
+        let rc = ProcConfig::rc_baseline();
+        assert_eq!(rc.consistency, Consistency::Rc);
+    }
+
+    #[test]
+    fn builder_helpers() {
+        let c = ProcConfig::rc_baseline()
+            .with_prefetching()
+            .with_contexts(4, Cycle(16));
+        assert!(c.prefetching);
+        assert_eq!(c.contexts, 4);
+        assert_eq!(c.switch_overhead, Cycle(16));
+    }
+
+    #[test]
+    fn consistency_display() {
+        assert_eq!(Consistency::Sc.to_string(), "SC");
+        assert_eq!(Consistency::Rc.to_string(), "RC");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one context")]
+    fn zero_contexts_rejected() {
+        let _ = ProcConfig::sc_baseline().with_contexts(0, Cycle(4));
+    }
+}

@@ -1,0 +1,979 @@
+//! The machine: processors, contexts and the event loop.
+//!
+//! [`Machine::run`] executes a [`Workload`] on the simulated
+//! multiprocessor: every processor runs one or more hardware contexts, each
+//! bound to one workload process. The executor is event-driven — each
+//! operation of each process is issued at its exact simulated time, so the
+//! interleaving of shared-memory references across processors is globally
+//! consistent (the Tango property, §2.3).
+//!
+//! ## Scheduling model
+//!
+//! * A context issues operations until it hits a *long-latency* operation
+//!   (a stall longer than [`ProcConfig::no_switch_threshold`]): a cache miss
+//!   going to the bus, an SC write miss, or a synchronization wait.
+//! * On a long-latency operation the context blocks. A multiple-context
+//!   processor then switches to another ready context, paying
+//!   [`ProcConfig::switch_overhead`] cycles; if none is ready the processor
+//!   idles ("all idle").
+//! * Short stalls (the 2-cycle secondary-cache write hit under SC, the
+//!   4-cycle primary-cache fill lockout) do not switch ("no switch" idle).
+//!
+//! ## Consistency models
+//!
+//! * **SC** — the processor stalls on every read and write until it
+//!   completes; no write buffering.
+//! * **PC** (extension) — writes retire through the write buffer in FIFO
+//!   order; reads bypass; releases get no special treatment.
+//! * **WC** (extension) — like RC, but *every* synchronization access
+//!   (acquire and release) fences on the completion of all prior writes.
+//! * **RC** — writes (and releases) retire through the 16-entry write
+//!   buffer with pipelined issue; reads bypass buffered writes; a release
+//!   does not begin service until all previously issued writes have
+//!   completed, including their invalidation acknowledgements.
+//!
+//! ## Prefetching
+//!
+//! Prefetch operations are issued to the 16-entry prefetch buffer, which
+//! checks the secondary cache before going to the bus and pipelines
+//! back-to-back prefetches. In-flight lines (demand or prefetch) are
+//! tracked per processor so that a demand reference to an in-flight line is
+//! *combined* with it rather than re-requested (§5.1).
+
+use std::collections::{HashMap, VecDeque};
+
+use dashlat_mem::addr::{Addr, LineAddr};
+use dashlat_mem::buffers::{PendingPrefetch, PendingWrite, PrefetchBuffer, WriteBuffer, WriteKind};
+use dashlat_mem::system::{AccessKind, MemStats, MemorySystem, ServiceClass};
+use dashlat_sim::stats::{Distribution, RunLengthTracker, TimeSeries};
+use dashlat_sim::{Cycle, EventQueue};
+
+use crate::breakdown::TimeBreakdown;
+use crate::config::ProcConfig;
+use crate::ops::{LockId, Op, ProcId, Topology, Workload};
+use crate::sync::{AcquireOutcome, BarrierOutcome, SyncState};
+
+/// Why a context is blocked (drives idle-time attribution).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Reason {
+    Read,
+    Write,
+    Sync,
+    PrefetchFull,
+    WriteBufFull,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CtxState {
+    Ready,
+    Running,
+    Blocked,
+    Finished,
+}
+
+#[derive(Debug)]
+struct Context {
+    state: CtxState,
+    reason: Reason,
+    pending_op: Option<Op>,
+    finished_at: Option<Cycle>,
+}
+
+struct Proc {
+    /// Process ids of this processor's contexts.
+    ctxs: Vec<usize>,
+    /// Context currently occupying the pipeline (its registers are loaded).
+    loaded: usize,
+    idle_since: Option<(Cycle, Reason)>,
+    finished_at: Option<Cycle>,
+    breakdown: TimeBreakdown,
+    run_lengths: RunLengthTracker,
+    // RC write path.
+    wbuf: WriteBuffer,
+    wb_meta: VecDeque<Option<(LockId, usize)>>,
+    wb_active: bool,
+    wb_next_issue: Cycle,
+    writes_done_horizon: Cycle,
+    acks_horizon: Cycle,
+    wb_full_waiters: VecDeque<usize>,
+    /// Contexts fenced on write-buffer drain (weak consistency acquires).
+    fence_waiters: VecDeque<usize>,
+    // Prefetch path.
+    pbuf: PrefetchBuffer,
+    pb_active: bool,
+    pb_next_issue: Cycle,
+    pf_full_waiters: VecDeque<usize>,
+    /// In-flight lines → completion time (MSHR-style combining).
+    outstanding: HashMap<LineAddr, Cycle>,
+    /// Primary-cache lockout cycles to charge at the next busy period.
+    pending_lockout_pf: u64,
+    pending_lockout_fill: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Event {
+    /// Process `pid` issues its next operation.
+    Step(usize),
+    /// Process `pid` unblocks.
+    Wake(usize),
+    /// Processor `p` tries to service its write-buffer head.
+    WbService(usize),
+    /// Processor `p` tries to issue its prefetch-buffer head.
+    PbService(usize),
+    /// A fill for `line` arrived at processor `p`.
+    Fill(usize, LineAddr, bool),
+    /// The release write for lock `l` by process `pid` completed.
+    Unlock(LockId, usize),
+    /// Barrier `b` released: `pid` re-fetches the flag and resumes.
+    BarrierWake(usize, usize),
+}
+
+/// Why a run failed.
+#[derive(Debug)]
+pub enum RunError {
+    /// The simulation exceeded the configured cycle budget — usually a
+    /// livelocked workload (e.g. a spin loop that never observes progress).
+    CycleBudgetExceeded {
+        /// The configured limit.
+        limit: Cycle,
+    },
+    /// The event queue drained while some processes were still blocked —
+    /// a deadlock in the workload's synchronization.
+    Deadlock {
+        /// Processes that never finished.
+        stuck: Vec<ProcId>,
+    },
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::CycleBudgetExceeded { limit } => {
+                write!(f, "simulation exceeded the cycle budget of {limit}")
+            }
+            RunError::Deadlock { stuck } => {
+                write!(f, "deadlock: {} processes never finished", stuck.len())
+            }
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+/// Everything measured in one run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Wall-clock of the run: when the last process finished.
+    pub elapsed: Cycle,
+    /// Per-processor execution-time decomposition.
+    pub breakdowns: Vec<TimeBreakdown>,
+    /// Machine-wide sum of the decompositions.
+    pub aggregate: TimeBreakdown,
+    /// Memory-system statistics (hit rates, invalidations, ...).
+    pub mem: MemStats,
+    /// Distribution of busy run lengths between long-latency operations.
+    pub run_lengths: Distribution,
+    /// Demand shared reads issued (Table 2).
+    pub shared_reads: u64,
+    /// Demand shared writes issued (Table 2).
+    pub shared_writes: u64,
+    /// Lock acquisitions performed (Table 2's "Locks").
+    pub lock_acquires: u64,
+    /// Per-process barrier arrivals (Table 2's "Barriers").
+    pub barrier_arrivals: u64,
+    /// Prefetch operations issued by the program.
+    pub prefetches_issued: u64,
+    /// Context switches performed.
+    pub context_switches: u64,
+    /// Utilization-over-time view, when
+    /// [`ProcConfig::timeline_bucket`](crate::config::ProcConfig::timeline_bucket)
+    /// was set.
+    pub timeline: Option<RunTimeline>,
+}
+
+/// Machine-wide per-interval measurements.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunTimeline {
+    /// Busy cycles executed per bucket (all processors summed).
+    pub busy: TimeSeries,
+    /// Long-latency misses (context blocks) started per bucket.
+    pub misses: TimeSeries,
+}
+
+impl RunResult {
+    /// Average processor utilization (busy / total across processors).
+    pub fn utilization(&self) -> f64 {
+        self.aggregate.utilization()
+    }
+
+    /// Speedup of this run over `other`: how many times faster this run
+    /// was (`other.elapsed / self.elapsed`; > 1 means this run won).
+    pub fn speedup_over(&self, other: &RunResult) -> f64 {
+        other.elapsed.as_u64().max(1) as f64 / self.elapsed.as_u64().max(1) as f64
+    }
+}
+
+/// The machine executor. Construct with [`Machine::new`] and call
+/// [`Machine::run`].
+pub struct Machine<W: Workload> {
+    cfg: ProcConfig,
+    topo: Topology,
+    mem: MemorySystem,
+    sync: SyncState,
+    workload: W,
+    queue: EventQueue<Event>,
+    procs: Vec<Proc>,
+    ctxs: Vec<Context>,
+    max_cycles: Cycle,
+    // Counters.
+    shared_reads: u64,
+    shared_writes: u64,
+    lock_acquires: u64,
+    barrier_arrivals: u64,
+    prefetches_issued: u64,
+    context_switches: u64,
+    timeline: Option<RunTimeline>,
+}
+
+impl<W: Workload> Machine<W> {
+    /// Default cycle budget: generous enough for paper-scale runs, small
+    /// enough to catch livelock in tests.
+    pub const DEFAULT_MAX_CYCLES: Cycle = Cycle(20_000_000_000);
+
+    /// Builds a machine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workload's process count does not match
+    /// `topo.processes()`, or the memory system was built for a different
+    /// node count.
+    pub fn new(cfg: ProcConfig, topo: Topology, mem: MemorySystem, workload: W) -> Self {
+        assert_eq!(
+            workload.processes(),
+            topo.processes(),
+            "workload process count does not match topology"
+        );
+        assert_eq!(
+            mem.config().nodes,
+            topo.processors,
+            "memory system node count does not match topology"
+        );
+        assert_eq!(
+            cfg.contexts, topo.contexts,
+            "processor context count does not match topology"
+        );
+        let sync = SyncState::new(&workload.sync_config(), workload.processes());
+        let procs = (0..topo.processors)
+            .map(|p| Proc {
+                ctxs: (0..topo.contexts).map(|c| p * topo.contexts + c).collect(),
+                loaded: p * topo.contexts,
+                idle_since: None,
+                finished_at: None,
+                breakdown: TimeBreakdown::default(),
+                run_lengths: RunLengthTracker::new(),
+                wbuf: WriteBuffer::new(cfg.write_buffer_entries),
+                wb_meta: VecDeque::new(),
+                wb_active: false,
+                wb_next_issue: Cycle::ZERO,
+                writes_done_horizon: Cycle::ZERO,
+                acks_horizon: Cycle::ZERO,
+                wb_full_waiters: VecDeque::new(),
+                fence_waiters: VecDeque::new(),
+                pbuf: PrefetchBuffer::new(cfg.prefetch_buffer_entries),
+                pb_active: false,
+                pb_next_issue: Cycle::ZERO,
+                pf_full_waiters: VecDeque::new(),
+                outstanding: HashMap::new(),
+                pending_lockout_pf: 0,
+                pending_lockout_fill: 0,
+            })
+            .collect();
+        let timeline = cfg.timeline_bucket.map(|w| RunTimeline {
+            busy: TimeSeries::new(w),
+            misses: TimeSeries::new(w),
+        });
+        let ctxs = (0..topo.processes())
+            .map(|_| Context {
+                state: CtxState::Ready,
+                reason: Reason::Read,
+                pending_op: None,
+                finished_at: None,
+            })
+            .collect();
+        Machine {
+            cfg,
+            topo,
+            mem,
+            sync,
+            workload,
+            queue: EventQueue::new(),
+            procs,
+            ctxs,
+            max_cycles: Self::DEFAULT_MAX_CYCLES,
+            shared_reads: 0,
+            shared_writes: 0,
+            lock_acquires: 0,
+            barrier_arrivals: 0,
+            prefetches_issued: 0,
+            context_switches: 0,
+            timeline,
+        }
+    }
+
+    /// Overrides the livelock cycle budget.
+    pub fn with_max_cycles(mut self, limit: Cycle) -> Self {
+        self.max_cycles = limit;
+        self
+    }
+
+    /// Runs the workload to completion.
+    ///
+    /// # Errors
+    ///
+    /// [`RunError::CycleBudgetExceeded`] if simulated time passes the
+    /// budget, [`RunError::Deadlock`] if the event queue drains with
+    /// processes still blocked.
+    pub fn run(mut self) -> Result<RunResult, RunError> {
+        // Kick off: each processor starts its first context; the rest are
+        // ready.
+        for p in 0..self.topo.processors {
+            let pid = self.procs[p].ctxs[0];
+            self.ctxs[pid].state = CtxState::Running;
+            self.queue.schedule(Cycle::ZERO, Event::Step(pid));
+        }
+
+        while let Some((t, ev)) = self.queue.pop() {
+            if t > self.max_cycles {
+                return Err(RunError::CycleBudgetExceeded {
+                    limit: self.max_cycles,
+                });
+            }
+            match ev {
+                Event::Step(pid) => self.step(t, pid),
+                Event::Wake(pid) => self.wake(t, pid),
+                Event::WbService(p) => self.wb_service(t, p),
+                Event::PbService(p) => self.pb_service(t, p),
+                Event::Fill(p, line, from_prefetch) => self.fill_arrived(t, p, line, from_prefetch),
+                Event::Unlock(lid, pid) => self.unlock(t, lid, pid),
+                Event::BarrierWake(pid, b) => self.barrier_wake(t, pid, b),
+            }
+        }
+
+        let stuck: Vec<ProcId> = self
+            .ctxs
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.state != CtxState::Finished)
+            .map(|(i, _)| ProcId(i))
+            .collect();
+        if !stuck.is_empty() {
+            return Err(RunError::Deadlock { stuck });
+        }
+
+        self.finish()
+    }
+
+    fn finish(mut self) -> Result<RunResult, RunError> {
+        let elapsed = self
+            .ctxs
+            .iter()
+            .filter_map(|c| c.finished_at)
+            .max()
+            .unwrap_or(Cycle::ZERO);
+        // Charge each processor's tail idle (after its last context
+        // finished, while others were still running) so that every
+        // processor's decomposition spans the same wall clock.
+        let multi = self.cfg.contexts > 1;
+        for p in &mut self.procs {
+            p.run_lengths.finish();
+            let stopped = p.finished_at.unwrap_or(elapsed);
+            let tail = elapsed.saturating_sub(stopped);
+            if multi {
+                p.breakdown.all_idle += tail;
+            } else {
+                p.breakdown.sync_stall += tail;
+            }
+        }
+        let mut aggregate = TimeBreakdown::default();
+        let mut run_lengths = Distribution::new();
+        let mut breakdowns = Vec::with_capacity(self.procs.len());
+        for p in &self.procs {
+            aggregate += p.breakdown;
+            run_lengths.merge(p.run_lengths.distribution());
+            breakdowns.push(p.breakdown);
+        }
+        Ok(RunResult {
+            elapsed,
+            breakdowns,
+            aggregate,
+            mem: self.mem.stats().clone(),
+            run_lengths,
+            shared_reads: self.shared_reads,
+            shared_writes: self.shared_writes,
+            lock_acquires: self.lock_acquires,
+            barrier_arrivals: self.barrier_arrivals,
+            prefetches_issued: self.prefetches_issued,
+            context_switches: self.context_switches,
+            timeline: self.timeline,
+        })
+    }
+
+    // ---- helpers ---------------------------------------------------------
+
+    fn proc_of(&self, pid: usize) -> usize {
+        self.topo.processor_of(ProcId(pid))
+    }
+
+    fn node_of(&self, pid: usize) -> dashlat_mem::addr::NodeId {
+        self.topo.node_of(ProcId(pid))
+    }
+
+    /// Charges a short (non-switching) stall.
+    fn charge_short_stall(&mut self, p: usize, stall: Cycle, reason: Reason) {
+        let multi = self.cfg.contexts > 1;
+        let b = &mut self.procs[p].breakdown;
+        if multi {
+            match reason {
+                Reason::PrefetchFull => b.prefetch_overhead += stall,
+                _ => b.no_switch += stall,
+            }
+        } else {
+            match reason {
+                Reason::Read => b.read_stall += stall,
+                Reason::Write | Reason::WriteBufFull => b.write_stall += stall,
+                Reason::Sync => b.sync_stall += stall,
+                Reason::PrefetchFull => b.prefetch_overhead += stall,
+            }
+        }
+    }
+
+    /// Blocks `pid` for `reason`; if `wake_at` is known the wake event is
+    /// scheduled. The processor switches to another context or idles.
+    fn block(&mut self, t: Cycle, pid: usize, reason: Reason, wake_at: Option<Cycle>) {
+        let ctx = &mut self.ctxs[pid];
+        debug_assert_eq!(ctx.state, CtxState::Running);
+        ctx.state = CtxState::Blocked;
+        ctx.reason = reason;
+        if let Some(w) = wake_at {
+            self.queue.schedule(w.max(t), Event::Wake(pid));
+        }
+        let p = self.proc_of(pid);
+        self.procs[p].run_lengths.miss();
+        if let Some(tl) = &mut self.timeline {
+            tl.misses.add(t, 1);
+        }
+        self.reschedule(t, p, reason);
+    }
+
+    /// Picks the next context for processor `p` after the running one
+    /// stopped (blocked or finished).
+    fn reschedule(&mut self, t: Cycle, p: usize, reason: Reason) {
+        let next = self.procs[p]
+            .ctxs
+            .iter()
+            .copied()
+            .find(|&pid| self.ctxs[pid].state == CtxState::Ready);
+        match next {
+            Some(pid) => {
+                self.start_context(t, p, pid);
+            }
+            None => {
+                if self.procs[p]
+                    .ctxs
+                    .iter()
+                    .all(|&c| self.ctxs[c].state == CtxState::Finished)
+                {
+                    self.procs[p].finished_at = Some(t);
+                } else {
+                    self.procs[p].idle_since = Some((t, reason));
+                }
+            }
+        }
+    }
+
+    /// Loads and starts `pid` on processor `p`, charging switch overhead if
+    /// a different context was loaded.
+    fn start_context(&mut self, t: Cycle, p: usize, pid: usize) {
+        self.ctxs[pid].state = CtxState::Running;
+        let overhead = if self.procs[p].loaded == pid {
+            Cycle::ZERO
+        } else {
+            self.procs[p].loaded = pid;
+            self.context_switches += 1;
+            self.procs[p].breakdown.switching += self.cfg.switch_overhead;
+            self.cfg.switch_overhead
+        };
+        self.queue.schedule(t + overhead, Event::Step(pid));
+    }
+
+    /// A blocked context becomes ready.
+    fn wake(&mut self, t: Cycle, pid: usize) {
+        debug_assert_eq!(self.ctxs[pid].state, CtxState::Blocked);
+        self.ctxs[pid].state = CtxState::Ready;
+        let p = self.proc_of(pid);
+        if let Some((since, reason)) = self.procs[p].idle_since.take() {
+            // The processor was idle: attribute the idle span and resume.
+            let span = t.saturating_sub(since);
+            let multi = self.cfg.contexts > 1;
+            let b = &mut self.procs[p].breakdown;
+            if multi {
+                b.all_idle += span;
+            } else {
+                match reason {
+                    Reason::Read => b.read_stall += span,
+                    Reason::Write | Reason::WriteBufFull => b.write_stall += span,
+                    Reason::Sync => b.sync_stall += span,
+                    Reason::PrefetchFull => b.prefetch_overhead += span,
+                }
+            }
+            self.start_context(t, p, pid);
+        }
+        // Otherwise another context is running; `pid` waits as Ready.
+    }
+
+    // ---- the op interpreter ----------------------------------------------
+
+    fn step(&mut self, t: Cycle, pid: usize) {
+        debug_assert_eq!(
+            self.ctxs[pid].state,
+            CtxState::Running,
+            "step of non-running {pid}"
+        );
+        let op = match self.ctxs[pid].pending_op.take() {
+            Some(op) => op,
+            None => self.workload.next_op(ProcId(pid)),
+        };
+        match op {
+            Op::Compute(n) => self.do_compute(t, pid, n),
+            Op::Read(a) => self.do_read(t, pid, a),
+            Op::Write(a) => self.do_write(t, pid, a),
+            Op::Prefetch { addr, exclusive } => self.do_prefetch(t, pid, addr, exclusive),
+            Op::Acquire(l) => self.do_acquire(t, pid, l),
+            Op::Release(l) => self.do_release(t, pid, l),
+            Op::Barrier(b) => self.do_barrier(t, pid, b),
+            Op::Done => self.do_done(t, pid),
+        }
+    }
+
+    fn do_compute(&mut self, t: Cycle, pid: usize, n: u64) {
+        let p = self.proc_of(pid);
+        let proc = &mut self.procs[p];
+        let lock_pf = std::mem::take(&mut proc.pending_lockout_pf);
+        let lock_fill = std::mem::take(&mut proc.pending_lockout_fill);
+        proc.breakdown.prefetch_overhead += Cycle(lock_pf);
+        proc.breakdown.no_switch += Cycle(lock_fill);
+        proc.breakdown.busy += Cycle(n);
+        proc.run_lengths.busy(Cycle(n));
+        if let Some(tl) = &mut self.timeline {
+            tl.busy.add(t, n);
+        }
+        self.queue
+            .schedule(t + Cycle(n + lock_pf + lock_fill), Event::Step(pid));
+    }
+
+    /// Looks up an in-flight line; stale entries (already completed) count
+    /// as absent.
+    fn in_flight(&self, p: usize, line: LineAddr, t: Cycle) -> Option<Cycle> {
+        self.procs[p]
+            .outstanding
+            .get(&line)
+            .copied()
+            .filter(|&d| d > t)
+    }
+
+    fn note_in_flight(&mut self, p: usize, line: LineAddr, done: Cycle, from_prefetch: bool) {
+        let proc = &mut self.procs[p];
+        proc.outstanding.insert(line, done);
+        if proc.outstanding.len() > 128 {
+            let now = done; // prune anything long complete
+            proc.outstanding.retain(|_, d| *d + Cycle(1024) > now);
+        }
+        self.queue
+            .schedule(done, Event::Fill(p, line, from_prefetch));
+    }
+
+    fn do_read(&mut self, t: Cycle, pid: usize, a: Addr) {
+        self.shared_reads += 1;
+        let p = self.proc_of(pid);
+        // Optimistic out-of-order bound (see ProcConfig::read_lookahead):
+        // up to `lookahead` cycles of the miss overlap independent work,
+        // so the context resumes that much earlier.
+        let lookahead = self.cfg.read_lookahead;
+        // Combine with an in-flight request for the same line.
+        if let Some(done) = self.in_flight(p, a.line(), t) {
+            let resume = done
+                .saturating_sub(lookahead)
+                .max(t + Cycle(1))
+                .min(done.max(t));
+            let stall = resume.saturating_sub(t);
+            if stall <= self.cfg.no_switch_threshold {
+                self.charge_short_stall(p, stall, Reason::Read);
+                self.queue.schedule(resume, Event::Step(pid));
+            } else {
+                self.block(t, pid, Reason::Read, Some(resume));
+            }
+            return;
+        }
+        let node = self.node_of(pid);
+        let r = self.mem.access(t, node, a, AccessKind::Read);
+        if r.class == ServiceClass::PrimaryHit {
+            // The load issues and completes in the pipeline: busy time.
+            let cycles = r.done_at.saturating_sub(t);
+            self.procs[p].breakdown.busy += cycles;
+            self.procs[p].run_lengths.busy(cycles);
+            self.queue.schedule(r.done_at, Event::Step(pid));
+            return;
+        }
+        let resume = r
+            .done_at
+            .saturating_sub(lookahead)
+            .max(t + Cycle(1))
+            .min(r.done_at);
+        let eff_stall = resume.saturating_sub(t);
+        if eff_stall <= self.cfg.no_switch_threshold {
+            self.charge_short_stall(p, eff_stall, Reason::Read);
+            self.queue.schedule(resume, Event::Step(pid));
+        } else {
+            if !matches!(r.class, ServiceClass::SecondaryHit) {
+                self.note_in_flight(p, a.line(), r.done_at, false);
+            }
+            self.block(t, pid, Reason::Read, Some(resume));
+        }
+    }
+
+    fn do_write(&mut self, t: Cycle, pid: usize, a: Addr) {
+        self.shared_writes += 1;
+        if self.cfg.consistency.buffers_writes() {
+            self.rc_write(t, pid, a, WriteKind::Data, None);
+        } else {
+            self.sc_write(t, pid, a, None);
+        }
+    }
+
+    /// SC write: the processor stalls until the write completes. Shared by
+    /// data writes and lock/unlock writes (`unlock` carries the lock to
+    /// release when ownership arrives).
+    fn sc_write(&mut self, t: Cycle, pid: usize, a: Addr, unlock: Option<LockId>) {
+        let p = self.proc_of(pid);
+        let reason = if unlock.is_some() {
+            Reason::Sync
+        } else {
+            Reason::Write
+        };
+        // Wait for any in-flight fetch of this line first (e.g. an
+        // exclusive prefetch that has not returned yet).
+        if let Some(done) = self.in_flight(p, a.line(), t) {
+            self.ctxs[pid].pending_op = Some(match unlock {
+                Some(l) => Op::Release(l),
+                None => Op::Write(a),
+            });
+            // Re-issuing a demand write counts only once.
+            self.shared_writes -= u64::from(unlock.is_none());
+            self.block(t, pid, reason, Some(done));
+            return;
+        }
+        let node = self.node_of(pid);
+        let r = self.mem.access(t, node, a, AccessKind::Write);
+        if let Some(lid) = unlock {
+            self.queue.schedule(r.done_at, Event::Unlock(lid, pid));
+        }
+        let stall = r.done_at.saturating_sub(t);
+        if stall <= self.cfg.no_switch_threshold {
+            self.charge_short_stall(p, stall, reason);
+            self.queue.schedule(r.done_at, Event::Step(pid));
+        } else {
+            self.block(t, pid, reason, Some(r.done_at));
+        }
+    }
+
+    /// RC write: enqueue into the write buffer (stalling only when full).
+    fn rc_write(&mut self, t: Cycle, pid: usize, a: Addr, kind: WriteKind, unlock: Option<LockId>) {
+        let p = self.proc_of(pid);
+        if self.procs[p].wbuf.is_full() {
+            self.ctxs[pid].pending_op = Some(match unlock {
+                Some(l) => Op::Release(l),
+                None => Op::Write(a),
+            });
+            self.shared_writes -= u64::from(unlock.is_none());
+            self.procs[p].wb_full_waiters.push_back(pid);
+            let reason = if unlock.is_some() {
+                Reason::Sync
+            } else {
+                Reason::WriteBufFull
+            };
+            self.block(t, pid, reason, None);
+            return;
+        }
+        let pushed = self.procs[p].wbuf.try_push(PendingWrite {
+            addr: a,
+            enqueued_at: t,
+            kind,
+        });
+        debug_assert!(pushed);
+        self.procs[p].wb_meta.push_back(unlock.map(|l| (l, pid)));
+        if !self.procs[p].wb_active {
+            self.procs[p].wb_active = true;
+            self.queue.schedule(t + Cycle(1), Event::WbService(p));
+        }
+        // The store itself is a single issue cycle.
+        self.procs[p].breakdown.busy += Cycle(1);
+        self.procs[p].run_lengths.busy(Cycle(1));
+        self.queue.schedule(t + Cycle(1), Event::Step(pid));
+    }
+
+    /// Write-buffer head service: issues the head write (pipelined; the
+    /// next write can issue a bus-occupancy later), holding releases until
+    /// all previously issued writes have completed with acks.
+    fn wb_service(&mut self, t: Cycle, p: usize) {
+        let Some(head) = self.procs[p].wbuf.head().copied() else {
+            self.procs[p].wb_active = false;
+            return;
+        };
+        // The bus accepts at most one buffered write per occupancy window.
+        if t < self.procs[p].wb_next_issue {
+            let at = self.procs[p].wb_next_issue;
+            self.queue.schedule(at, Event::WbService(p));
+            return;
+        }
+        if head.kind == WriteKind::Release && t < self.procs[p].acks_horizon {
+            let at = self.procs[p].acks_horizon;
+            self.queue.schedule(at, Event::WbService(p));
+            return;
+        }
+        self.procs[p].wb_next_issue = t + self.cfg.write_issue_spacing;
+        let entry = self.procs[p].wbuf.pop().expect("head exists");
+        let meta = self.procs[p].wb_meta.pop_front().expect("meta in lockstep");
+        let node = dashlat_mem::addr::NodeId(p);
+        let r = self.mem.access(t, node, entry.addr, AccessKind::Write);
+        self.procs[p].writes_done_horizon = self.procs[p].writes_done_horizon.max(r.done_at);
+        self.procs[p].acks_horizon = self.procs[p].acks_horizon.max(r.acks_done_at);
+        if let Some((lid, pid)) = meta {
+            self.queue.schedule(r.done_at, Event::Unlock(lid, pid));
+        }
+        // A slot is free: wake one context stalled on the full buffer.
+        if let Some(waiter) = self.procs[p].wb_full_waiters.pop_front() {
+            self.queue.schedule(t, Event::Wake(waiter));
+        }
+        if self.procs[p].wbuf.is_empty() {
+            self.procs[p].wb_active = false;
+            // Wake contexts fenced on the drain (WC acquires); they will
+            // re-check the ack horizon when they re-execute.
+            while let Some(waiter) = self.procs[p].fence_waiters.pop_front() {
+                self.queue.schedule(t, Event::Wake(waiter));
+            }
+        } else {
+            self.queue
+                .schedule(self.procs[p].wb_next_issue, Event::WbService(p));
+        }
+    }
+
+    fn do_prefetch(&mut self, t: Cycle, pid: usize, addr: Addr, exclusive: bool) {
+        if !self.cfg.prefetching {
+            // Compiled out: no overhead at all.
+            self.queue.schedule(t, Event::Step(pid));
+            return;
+        }
+        self.prefetches_issued += 1;
+        let p = self.proc_of(pid);
+        if self.procs[p].pbuf.is_full() {
+            self.ctxs[pid].pending_op = Some(Op::Prefetch { addr, exclusive });
+            self.prefetches_issued -= 1;
+            self.procs[p].pf_full_waiters.push_back(pid);
+            self.block(t, pid, Reason::PrefetchFull, None);
+            return;
+        }
+        let overhead = self.cfg.prefetch_issue_overhead;
+        self.procs[p].breakdown.prefetch_overhead += overhead;
+        let pushed = self.procs[p].pbuf.try_push(PendingPrefetch {
+            addr,
+            exclusive,
+            enqueued_at: t,
+        });
+        debug_assert!(pushed);
+        if !self.procs[p].pb_active {
+            self.procs[p].pb_active = true;
+            self.queue.schedule(t + overhead, Event::PbService(p));
+        }
+        self.queue.schedule(t + overhead, Event::Step(pid));
+    }
+
+    /// Prefetch-buffer head issue: check the secondary cache, discard if
+    /// resident or already in flight, otherwise send to the memory system.
+    fn pb_service(&mut self, t: Cycle, p: usize) {
+        if self.procs[p].pbuf.is_empty() {
+            self.procs[p].pb_active = false;
+            return;
+        }
+        // Enforce the bus-occupancy spacing between prefetch issues.
+        if t < self.procs[p].pb_next_issue {
+            let at = self.procs[p].pb_next_issue;
+            self.queue.schedule(at, Event::PbService(p));
+            return;
+        }
+        let head = self.procs[p].pbuf.pop().expect("non-empty");
+        // A slot frees as soon as the head issues (the buffer pipelines).
+        if let Some(waiter) = self.procs[p].pf_full_waiters.pop_front() {
+            self.queue.schedule(t, Event::Wake(waiter));
+        }
+        let node = dashlat_mem::addr::NodeId(p);
+        let line = head.addr.line();
+        let kind = if head.exclusive {
+            AccessKind::ReadExPrefetch
+        } else {
+            AccessKind::ReadPrefetch
+        };
+        let already_in_flight = self.in_flight(p, line, t).is_some();
+        if already_in_flight {
+            // Combined with the outstanding request; nothing to issue.
+            self.queue.schedule(t + Cycle(1), Event::PbService(p));
+            return;
+        }
+        let r = self.mem.access(t, node, head.addr, kind);
+        if r.class == ServiceClass::PrefetchDiscard {
+            self.queue.schedule(t + Cycle(1), Event::PbService(p));
+            return;
+        }
+        self.procs[p].pb_next_issue = t + self.cfg.prefetch_issue_spacing;
+        self.note_in_flight(p, line, r.done_at, true);
+        self.queue
+            .schedule(self.procs[p].pb_next_issue, Event::PbService(p));
+    }
+
+    /// A fill arrived: clear the in-flight entry and model the primary
+    /// cache lockout if the processor is executing (§5.1 / §6.1).
+    fn fill_arrived(&mut self, t: Cycle, p: usize, line: LineAddr, from_prefetch: bool) {
+        let lockout = self.mem.config().latencies.primary_fill_lockout.as_u64();
+        let multi = self.cfg.contexts > 1;
+        let proc = &mut self.procs[p];
+        if proc.outstanding.get(&line) == Some(&t) {
+            proc.outstanding.remove(&line);
+        }
+        // If a context is executing while the line is written into the
+        // primary cache, it is locked out for the fill duration.
+        let executing = proc.idle_since.is_none() && proc.finished_at.is_none();
+        if executing {
+            if from_prefetch {
+                proc.pending_lockout_pf += lockout;
+            } else if multi {
+                // Another context's demand fill interferes (no-switch idle).
+                proc.pending_lockout_fill += lockout;
+            }
+        }
+    }
+
+    fn do_acquire(&mut self, t: Cycle, pid: usize, l: LockId) {
+        // Weak consistency fences on *every* synchronization access: the
+        // acquire may not issue until all previously issued writes have
+        // completed with acknowledgements.
+        if self.cfg.consistency.acquire_waits() {
+            let p = self.proc_of(pid);
+            if !self.procs[p].wbuf.is_empty() {
+                self.ctxs[pid].pending_op = Some(Op::Acquire(l));
+                self.procs[p].fence_waiters.push_back(pid);
+                self.block(t, pid, Reason::Sync, None);
+                return;
+            }
+            let horizon = self.procs[p].acks_horizon;
+            if horizon > t {
+                self.ctxs[pid].pending_op = Some(Op::Acquire(l));
+                self.block(t, pid, Reason::Sync, Some(horizon));
+                return;
+            }
+        }
+        self.lock_acquires += 1;
+        match self.sync.acquire(l, ProcId(pid)) {
+            AcquireOutcome::Granted => {
+                // Test&set needs exclusive ownership of the lock line.
+                let addr = self.sync.lock_addr(l);
+                let node = self.node_of(pid);
+                let r = self.mem.access(t, node, addr, AccessKind::Write);
+                let stall = r.done_at.saturating_sub(t);
+                let p = self.proc_of(pid);
+                if stall <= self.cfg.no_switch_threshold {
+                    self.charge_short_stall(p, stall, Reason::Sync);
+                    self.queue.schedule(r.done_at, Event::Step(pid));
+                } else {
+                    self.block(t, pid, Reason::Sync, Some(r.done_at));
+                }
+            }
+            AcquireOutcome::Queued => {
+                // Ownership will be handed to us by the releaser; wait.
+                self.block(t, pid, Reason::Sync, None);
+            }
+        }
+    }
+
+    fn do_release(&mut self, t: Cycle, pid: usize, l: LockId) {
+        let addr = self.sync.lock_addr(l);
+        if self.cfg.consistency.buffers_writes() {
+            // Under PC a release is an ordinary FIFO write (no ack fence);
+            // under WC and RC it may not begin service before all prior
+            // writes have completed with acks.
+            let kind = if self.cfg.consistency.release_waits() {
+                WriteKind::Release
+            } else {
+                WriteKind::Data
+            };
+            self.rc_write(t, pid, addr, kind, Some(l));
+        } else {
+            self.sc_write(t, pid, addr, Some(l));
+        }
+    }
+
+    /// The release write completed: pass the lock to the first waiter.
+    fn unlock(&mut self, t: Cycle, l: LockId, pid: usize) {
+        if let Some(next) = self.sync.release(l, ProcId(pid)) {
+            // The waiter re-fetches the lock line (it was invalidated by
+            // the release) and acquires ownership.
+            let addr = self.sync.lock_addr(l);
+            let node = self.node_of(next.0);
+            let r = self.mem.access(t, node, addr, AccessKind::Write);
+            self.queue.schedule(r.done_at, Event::Wake(next.0));
+        }
+    }
+
+    fn do_barrier(&mut self, t: Cycle, pid: usize, b: crate::ops::BarrierId) {
+        self.barrier_arrivals += 1;
+        let addr = self.sync.barrier_addr(b);
+        let node = self.node_of(pid);
+        // Arrival: atomic increment of the barrier count (needs ownership;
+        // the line ping-pongs between arrivals — the hot spot is real).
+        let r = self.mem.access(t, node, addr, AccessKind::Write);
+        match self.sync.arrive(b, ProcId(pid)) {
+            BarrierOutcome::Wait => {
+                self.block(t, pid, Reason::Sync, None);
+            }
+            BarrierOutcome::ReleaseAll(waiters) => {
+                for w in waiters {
+                    self.queue.schedule(r.done_at, Event::BarrierWake(w.0, b.0));
+                }
+                // The last arriver proceeds once its increment completes.
+                let stall = r.done_at.saturating_sub(t);
+                let p = self.proc_of(pid);
+                if stall <= self.cfg.no_switch_threshold {
+                    self.charge_short_stall(p, stall, Reason::Sync);
+                    self.queue.schedule(r.done_at, Event::Step(pid));
+                } else {
+                    self.block(t, pid, Reason::Sync, Some(r.done_at));
+                }
+            }
+        }
+    }
+
+    /// A released barrier waiter re-reads the flag line (invalidated by the
+    /// arrivals) before resuming; the resulting read storm contends on the
+    /// barrier's home node, as on the real machine.
+    fn barrier_wake(&mut self, t: Cycle, pid: usize, barrier: usize) {
+        let node = self.node_of(pid);
+        let addr = self.sync.barrier_addr(crate::ops::BarrierId(barrier));
+        let r = self.mem.access(t, node, addr, AccessKind::Read);
+        self.queue.schedule(r.done_at, Event::Wake(pid));
+    }
+
+    fn do_done(&mut self, t: Cycle, pid: usize) {
+        self.ctxs[pid].state = CtxState::Finished;
+        self.ctxs[pid].finished_at = Some(t);
+        let p = self.proc_of(pid);
+        self.reschedule(t, p, Reason::Sync);
+    }
+}

@@ -1,0 +1,217 @@
+//! The operation vocabulary connecting workloads to the processor model.
+//!
+//! Workloads are *execution-driven op generators* in the style of the Tango
+//! reference generator (§2.3): each simulated process produces its next
+//! shared-memory operation only when the architecture simulator unblocks
+//! it, so the interleaving of references is determined by simulated time.
+//! Instruction fetches and private-data references are assumed to hit
+//! (paper footnote 2) and are folded into [`Op::Compute`] busy cycles.
+
+use dashlat_mem::addr::{Addr, NodeId};
+
+/// Identifier of a simulated process (one per hardware context).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ProcId(pub usize);
+
+impl std::fmt::Display for ProcId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+/// Identifier of a lock declared by the workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LockId(pub usize);
+
+/// Identifier of a barrier declared by the workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BarrierId(pub usize);
+
+/// One operation of a simulated process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// Execute `0` or more cycles of private computation (includes
+    /// instruction fetch and private-data references, which always hit).
+    Compute(u64),
+    /// Load from shared memory; the process blocks until the value arrives.
+    Read(Addr),
+    /// Store to shared memory. Under SC the process stalls until ownership
+    /// is acquired; under RC the store retires through the write buffer.
+    Write(Addr),
+    /// Issue a non-binding software prefetch (read-shared or
+    /// read-exclusive). Free when prefetching is disabled in the machine
+    /// configuration — workloads may emit these unconditionally.
+    Prefetch {
+        /// Line to prefetch.
+        addr: Addr,
+        /// Acquire ownership too (read-exclusive).
+        exclusive: bool,
+    },
+    /// Acquire a lock (an acquire access in the RC classification).
+    Acquire(LockId),
+    /// Release a lock (a release access: under RC it retires through the
+    /// write buffer after all previously issued writes complete).
+    Release(LockId),
+    /// Wait at a global barrier with all other processes.
+    Barrier(BarrierId),
+    /// The process has finished its work.
+    Done,
+}
+
+/// Shape of the machine a workload is generated for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Topology {
+    /// Number of processors (= nodes; the paper simulates 16).
+    pub processors: usize,
+    /// Hardware contexts per processor (1, 2 or 4 in the paper).
+    pub contexts: usize,
+}
+
+impl Topology {
+    /// Creates a topology.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(processors: usize, contexts: usize) -> Self {
+        assert!(processors > 0 && contexts > 0);
+        Topology {
+            processors,
+            contexts,
+        }
+    }
+
+    /// Total process count (`processors × contexts`).
+    pub fn processes(&self) -> usize {
+        self.processors * self.contexts
+    }
+
+    /// Processor that runs `pid` (contexts are assigned in contiguous
+    /// blocks: processor 0 runs processes `0..contexts`).
+    pub fn processor_of(&self, pid: ProcId) -> usize {
+        pid.0 / self.contexts
+    }
+
+    /// Node whose local memory is "local" for `pid` — the same as its
+    /// processor, since every processor lives on its own node.
+    pub fn node_of(&self, pid: ProcId) -> NodeId {
+        NodeId(self.processor_of(pid))
+    }
+
+    /// Hardware-context slot of `pid` within its processor.
+    pub fn context_of(&self, pid: ProcId) -> usize {
+        pid.0 % self.contexts
+    }
+}
+
+/// Synchronization resources a workload declares up front: the shared-memory
+/// addresses backing each lock and barrier (they are ordinary cache lines
+/// and generate ordinary coherence traffic).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SyncConfig {
+    /// One backing address per lock.
+    pub lock_addrs: Vec<Addr>,
+    /// One backing address per barrier. All processes participate in every
+    /// barrier (the paper's applications use global barriers).
+    pub barrier_addrs: Vec<Addr>,
+}
+
+/// An execution-driven reference generator.
+///
+/// The machine calls [`Workload::next_op`] each time process `pid` is ready
+/// to issue; the workload advances that process's logical computation and
+/// returns the next operation. Logical shared state (particle positions,
+/// matrix values, task queues) lives inside the workload; the timing and
+/// interleaving come from the simulator.
+pub trait Workload {
+    /// Number of simulated processes (must equal `topology.processes()`).
+    fn processes(&self) -> usize;
+
+    /// Produces the next operation of `pid`. Called again only after the
+    /// previous operation completed. Must keep returning [`Op::Done`] once
+    /// the process has finished.
+    fn next_op(&mut self, pid: ProcId) -> Op;
+
+    /// The locks and barriers this workload uses.
+    fn sync_config(&self) -> SyncConfig;
+
+    /// Bytes of shared data touched (Table 2's "Shared Data Size").
+    fn shared_bytes(&self) -> u64 {
+        0
+    }
+
+    /// Short name for reports.
+    fn name(&self) -> &str {
+        "workload"
+    }
+}
+
+impl<W: Workload + ?Sized> Workload for &mut W {
+    fn processes(&self) -> usize {
+        (**self).processes()
+    }
+    fn next_op(&mut self, pid: ProcId) -> Op {
+        (**self).next_op(pid)
+    }
+    fn sync_config(&self) -> SyncConfig {
+        (**self).sync_config()
+    }
+    fn shared_bytes(&self) -> u64 {
+        (**self).shared_bytes()
+    }
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+}
+
+impl<W: Workload + ?Sized> Workload for Box<W> {
+    fn processes(&self) -> usize {
+        (**self).processes()
+    }
+    fn next_op(&mut self, pid: ProcId) -> Op {
+        (**self).next_op(pid)
+    }
+    fn sync_config(&self) -> SyncConfig {
+        (**self).sync_config()
+    }
+    fn shared_bytes(&self) -> u64 {
+        (**self).shared_bytes()
+    }
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn topology_mapping() {
+        let t = Topology::new(4, 2);
+        assert_eq!(t.processes(), 8);
+        assert_eq!(t.processor_of(ProcId(0)), 0);
+        assert_eq!(t.processor_of(ProcId(1)), 0);
+        assert_eq!(t.processor_of(ProcId(2)), 1);
+        assert_eq!(t.processor_of(ProcId(7)), 3);
+        assert_eq!(t.node_of(ProcId(5)), NodeId(2));
+        assert_eq!(t.context_of(ProcId(0)), 0);
+        assert_eq!(t.context_of(ProcId(1)), 1);
+        assert_eq!(t.context_of(ProcId(2)), 0);
+    }
+
+    #[test]
+    fn single_context_is_identity() {
+        let t = Topology::new(16, 1);
+        for p in 0..16 {
+            assert_eq!(t.processor_of(ProcId(p)), p);
+            assert_eq!(t.context_of(ProcId(p)), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_dimension_rejected() {
+        let _ = Topology::new(0, 1);
+    }
+}

@@ -1,0 +1,183 @@
+//! Semantics of the four consistency models (SC / PC / WC / RC).
+
+use dashlat_cpu::config::{Consistency, ProcConfig};
+use dashlat_cpu::machine::{Machine, RunResult};
+use dashlat_cpu::ops::{LockId, Op, Topology};
+use dashlat_cpu::script::ScriptWorkload;
+use dashlat_mem::addr::Addr;
+use dashlat_mem::layout::{AddressSpaceBuilder, Placement};
+use dashlat_mem::system::{MemConfig, MemorySystem};
+use dashlat_sim::Cycle;
+
+fn rig(nodes: usize) -> (Vec<Addr>, Addr, MemorySystem) {
+    let mut b = AddressSpaceBuilder::new(nodes);
+    let locals: Vec<Addr> = b
+        .alloc_per_node("local", 4096)
+        .iter()
+        .map(|s| s.base())
+        .collect();
+    let shared = b
+        .alloc("shared", 4096 * nodes as u64, Placement::RoundRobin)
+        .base();
+    let mut cfg = MemConfig::dash_scaled(nodes);
+    cfg.contention = false;
+    (locals, shared, MemorySystem::new(cfg, b.build()))
+}
+
+fn cfg_for(model: Consistency) -> ProcConfig {
+    match model {
+        Consistency::Sc => ProcConfig::sc_baseline(),
+        Consistency::Pc => ProcConfig::pc_baseline(),
+        Consistency::Wc => ProcConfig::wc_baseline(),
+        Consistency::Rc => ProcConfig::rc_baseline(),
+    }
+}
+
+/// Writer performs N remote writes and finishes; measures pure write-path
+/// behaviour.
+fn write_burst(model: Consistency) -> RunResult {
+    let (locals, _, mem) = rig(2);
+    let remote = locals[1];
+    let ops: Vec<Op> = (0..12).map(|i| Op::Write(remote.offset(i * 16))).collect();
+    let w = ScriptWorkload::new(vec![ops, vec![]]);
+    Machine::new(cfg_for(model), Topology::new(2, 1), mem, w)
+        .with_max_cycles(Cycle(10_000_000))
+        .run()
+        .expect("terminates")
+}
+
+#[test]
+fn every_relaxed_model_buffers_writes() {
+    let sc = write_burst(Consistency::Sc);
+    for model in [Consistency::Pc, Consistency::Wc, Consistency::Rc] {
+        let r = write_burst(model);
+        assert_eq!(
+            r.aggregate.write_stall,
+            Cycle::ZERO,
+            "{model} did not buffer writes"
+        );
+        assert!(
+            r.elapsed < sc.elapsed,
+            "{model} not faster than SC: {} !< {}",
+            r.elapsed,
+            sc.elapsed
+        );
+    }
+    assert!(sc.aggregate.write_stall > Cycle::ZERO);
+}
+
+#[test]
+fn pc_release_is_not_fenced_rc_release_is() {
+    // Under PC the release retires FIFO right behind the data write;
+    // under RC/WC it additionally waits for the data write's acks. With
+    // no sharers the ack horizon equals the write completion, so instead
+    // create an ack dependency: pre-share the written line.
+    let run_with_sharers = |model: Consistency| {
+        let (locals, shared, mem) = rig(4);
+        let line = locals[1];
+        let w = ScriptWorkload::new(vec![
+            vec![
+                Op::Read(line), // becomes a sharer
+                Op::Compute(5),
+                Op::Acquire(LockId(0)),
+                Op::Write(line), // upgrade: invalidations + acks
+                Op::Release(LockId(0)),
+            ],
+            vec![Op::Read(line)], // another sharer
+            vec![
+                Op::Compute(40),
+                Op::Acquire(LockId(0)),
+                Op::Release(LockId(0)),
+            ],
+            vec![],
+        ])
+        .with_locks(vec![shared]);
+        Machine::new(cfg_for(model), Topology::new(4, 1), mem, w)
+            .with_max_cycles(Cycle(10_000_000))
+            .run()
+            .expect("terminates")
+    };
+    let pc = run_with_sharers(Consistency::Pc);
+    let rc = run_with_sharers(Consistency::Rc);
+    // The RC run's critical-section handoff includes the ack wait; PC's
+    // does not, so PC finishes no later than RC here.
+    assert!(
+        pc.elapsed <= rc.elapsed,
+        "PC {} should not lag RC {} on the release path",
+        pc.elapsed,
+        rc.elapsed
+    );
+}
+
+#[test]
+fn wc_acquire_fences_on_prior_writes() {
+    // A WC acquire after a burst of buffered writes must wait for the
+    // buffer to drain; an RC acquire may proceed immediately.
+    let mk = |model: Consistency| {
+        let (locals, shared, mem) = rig(2);
+        let remote = locals[1];
+        let mut ops: Vec<Op> = (0..10).map(|i| Op::Write(remote.offset(i * 16))).collect();
+        ops.push(Op::Acquire(LockId(0)));
+        ops.push(Op::Release(LockId(0)));
+        let w = ScriptWorkload::new(vec![ops, vec![]]).with_locks(vec![shared]);
+        Machine::new(cfg_for(model), Topology::new(2, 1), mem, w)
+            .with_max_cycles(Cycle(10_000_000))
+            .run()
+            .expect("terminates")
+    };
+    let wc = mk(Consistency::Wc);
+    let rc = mk(Consistency::Rc);
+    assert!(
+        wc.aggregate.sync_stall > rc.aggregate.sync_stall,
+        "WC acquire did not fence: sync {} !> {}",
+        wc.aggregate.sync_stall,
+        rc.aggregate.sync_stall
+    );
+    assert!(wc.elapsed >= rc.elapsed);
+}
+
+#[test]
+fn spectrum_orders_sc_slowest() {
+    // Mixed read/write/lock workload: SC must be the slowest of the four.
+    let mk = |model: Consistency| {
+        let (locals, shared, mem) = rig(2);
+        let remote = locals[1];
+        let ops: Vec<Op> = (0..20)
+            .flat_map(|i| {
+                [
+                    Op::Compute(5),
+                    Op::Write(remote.offset((i % 32) * 16)),
+                    Op::Read(remote.offset(((i + 40) % 64) * 16)),
+                    Op::Acquire(LockId(0)),
+                    Op::Compute(3),
+                    Op::Release(LockId(0)),
+                ]
+            })
+            .collect();
+        let w = ScriptWorkload::new(vec![ops, vec![]]).with_locks(vec![shared]);
+        Machine::new(cfg_for(model), Topology::new(2, 1), mem, w)
+            .with_max_cycles(Cycle(10_000_000))
+            .run()
+            .expect("terminates")
+    };
+    let sc = mk(Consistency::Sc).elapsed;
+    for model in [Consistency::Pc, Consistency::Wc, Consistency::Rc] {
+        let t = mk(model).elapsed;
+        assert!(t < sc, "{model} {t} not faster than SC {sc}");
+    }
+}
+
+#[test]
+fn model_helpers_are_consistent() {
+    assert!(!Consistency::Sc.buffers_writes());
+    assert!(Consistency::Pc.buffers_writes());
+    assert!(Consistency::Wc.buffers_writes());
+    assert!(Consistency::Rc.buffers_writes());
+    assert!(!Consistency::Pc.release_waits());
+    assert!(Consistency::Wc.release_waits());
+    assert!(Consistency::Rc.release_waits());
+    assert!(Consistency::Wc.acquire_waits());
+    assert!(!Consistency::Rc.acquire_waits());
+    assert_eq!(Consistency::Pc.to_string(), "PC");
+    assert_eq!(Consistency::Wc.to_string(), "WC");
+}

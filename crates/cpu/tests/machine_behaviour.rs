@@ -1,0 +1,545 @@
+//! Behavioural tests of the machine executor: timing, consistency models,
+//! context switching, synchronization and prefetching semantics.
+
+use dashlat_cpu::config::ProcConfig;
+use dashlat_cpu::machine::{Machine, RunError, RunResult};
+use dashlat_cpu::ops::{BarrierId, LockId, Op, Topology};
+use dashlat_cpu::script::ScriptWorkload;
+use dashlat_mem::addr::{Addr, NodeId};
+use dashlat_mem::layout::{AddressSpaceBuilder, Placement};
+use dashlat_mem::system::{MemConfig, MemorySystem};
+use dashlat_sim::Cycle;
+
+/// Builds a machine with contention disabled (analytic Table 1 latencies)
+/// and a per-node local page plus a shared round-robin region.
+struct Rig {
+    locals: Vec<Addr>,
+    shared: Addr,
+    mem: MemorySystem,
+}
+
+fn rig(nodes: usize) -> Rig {
+    let mut b = AddressSpaceBuilder::new(nodes);
+    let locals = b
+        .alloc_per_node("local", 4096)
+        .iter()
+        .map(|s| s.base())
+        .collect();
+    let shared = b
+        .alloc("shared", 4096 * nodes as u64, Placement::RoundRobin)
+        .base();
+    let mut cfg = MemConfig::dash_scaled(nodes);
+    cfg.contention = false;
+    Rig {
+        locals,
+        shared,
+        mem: MemorySystem::new(cfg, b.build()),
+    }
+}
+
+fn run(cfg: ProcConfig, topo: Topology, mem: MemorySystem, w: ScriptWorkload) -> RunResult {
+    Machine::new(cfg, topo, mem, w)
+        .with_max_cycles(Cycle(50_000_000))
+        .run()
+        .expect("script terminates")
+}
+
+#[test]
+fn compute_only_costs_exactly_busy_time() {
+    let r = rig(1);
+    let w = ScriptWorkload::new(vec![vec![Op::Compute(100), Op::Compute(23)]]);
+    let res = run(ProcConfig::sc_baseline(), Topology::new(1, 1), r.mem, w);
+    assert_eq!(res.elapsed, Cycle(123));
+    assert_eq!(res.aggregate.busy, Cycle(123));
+    assert_eq!(res.aggregate.total(), Cycle(123));
+    assert!((res.utilization() - 1.0).abs() < 1e-12);
+}
+
+#[test]
+fn cold_read_miss_charges_read_stall() {
+    let r = rig(1);
+    let a = r.locals[0];
+    let w = ScriptWorkload::new(vec![vec![Op::Read(a), Op::Read(a)]]);
+    let res = run(ProcConfig::sc_baseline(), Topology::new(1, 1), r.mem, w);
+    // Cold read: 26 (local fill). Second read: primary hit, 1 busy cycle.
+    assert_eq!(res.elapsed, Cycle(27));
+    assert_eq!(res.aggregate.read_stall, Cycle(26));
+    assert_eq!(res.aggregate.busy, Cycle(1));
+    assert_eq!(res.shared_reads, 2);
+}
+
+#[test]
+fn sc_stalls_on_writes_rc_buffers_them() {
+    // Writes to consecutive lines of a *remote* page: 64 cycles each SC.
+    let mk = |_| {
+        let r = rig(2);
+        let remote = r.locals[1];
+        let ops: Vec<Op> = (0..8).map(|i| Op::Write(remote.offset(i * 16))).collect();
+        let w = ScriptWorkload::new(vec![ops, vec![]]);
+        (r, w)
+    };
+    let (r_sc, w_sc) = mk(());
+    let sc = run(
+        ProcConfig::sc_baseline(),
+        Topology::new(2, 1),
+        r_sc.mem,
+        w_sc,
+    );
+    let (r_rc, w_rc) = mk(());
+    let rc = run(
+        ProcConfig::rc_baseline(),
+        Topology::new(2, 1),
+        r_rc.mem,
+        w_rc,
+    );
+    // SC pays 8 × 64 cycles of write stall; RC hides all of it.
+    assert_eq!(sc.breakdowns[0].write_stall, Cycle(8 * 64));
+    assert_eq!(rc.breakdowns[0].write_stall, Cycle::ZERO);
+    assert!(
+        rc.elapsed < sc.elapsed,
+        "RC {} !< SC {}",
+        rc.elapsed,
+        sc.elapsed
+    );
+    // Under RC the processor finishes issuing almost immediately.
+    assert!(rc.breakdowns[0].busy >= Cycle(8));
+}
+
+#[test]
+fn write_hit_is_a_short_stall_not_a_switch() {
+    let r = rig(1);
+    let a = r.locals[0];
+    // First write acquires ownership (18, local); second is a 2-cycle hit.
+    let w = ScriptWorkload::new(vec![vec![Op::Write(a), Op::Write(a)]]);
+    let res = run(ProcConfig::sc_baseline(), Topology::new(1, 1), r.mem, w);
+    assert_eq!(res.aggregate.write_stall, Cycle(18 + 2));
+    assert_eq!(res.context_switches, 0);
+}
+
+#[test]
+fn rc_write_buffer_full_stalls_the_processor() {
+    let r = rig(2);
+    let remote = r.locals[1];
+    // 40 writes to distinct remote lines, zero compute between them: the
+    // 16-entry buffer must fill and the processor must stall.
+    let ops: Vec<Op> = (0..40).map(|i| Op::Write(remote.offset(i * 16))).collect();
+    let w = ScriptWorkload::new(vec![ops, vec![]]);
+    let res = run(ProcConfig::rc_baseline(), Topology::new(2, 1), r.mem, w);
+    assert!(
+        res.breakdowns[0].write_stall > Cycle::ZERO,
+        "expected buffer-full stalls, breakdown: {}",
+        res.breakdowns[0]
+    );
+    assert_eq!(res.shared_writes, 40);
+}
+
+#[test]
+fn lock_handoff_serializes_critical_sections() {
+    let r = rig(2);
+    let lock_addr = r.shared;
+    let make = |_: usize| {
+        vec![
+            Op::Acquire(LockId(0)),
+            Op::Compute(100),
+            Op::Release(LockId(0)),
+        ]
+    };
+    let w = ScriptWorkload::new(vec![make(0), make(1)]).with_locks(vec![lock_addr]);
+    let res = run(ProcConfig::sc_baseline(), Topology::new(2, 1), r.mem, w);
+    // The two 100-cycle critical sections cannot overlap.
+    assert!(
+        res.elapsed >= Cycle(200),
+        "critical sections overlapped: {}",
+        res.elapsed
+    );
+    // The second process waited on the lock: sync stall recorded somewhere.
+    let total_sync: u64 = res.breakdowns.iter().map(|b| b.sync_stall.as_u64()).sum();
+    assert!(total_sync >= 100, "sync stall {total_sync} too small");
+    assert_eq!(res.lock_acquires, 2);
+}
+
+#[test]
+fn rc_release_waits_for_prior_writes() {
+    // A release behind a slow remote write must not become visible before
+    // that write's invalidation acks complete.
+    let r = rig(2);
+    let remote = r.locals[1];
+    let lock_addr = r.shared;
+    let w = ScriptWorkload::new(vec![
+        vec![
+            Op::Acquire(LockId(0)),
+            Op::Write(remote), // slow write (64 + acks)
+            Op::Release(LockId(0)),
+            Op::Compute(1),
+        ],
+        vec![Op::Acquire(LockId(0)), Op::Release(LockId(0))],
+    ])
+    .with_locks(vec![lock_addr]);
+    let res = run(ProcConfig::rc_baseline(), Topology::new(2, 1), r.mem, w);
+    // P1's acquire can only succeed after P0's buffered write (≥64 cycles)
+    // plus the release write propagate.
+    assert!(
+        res.elapsed > Cycle(64),
+        "release became visible before the prior write: {}",
+        res.elapsed
+    );
+}
+
+#[test]
+fn barrier_releases_everyone_and_charges_sync() {
+    let r = rig(4);
+    let barrier_addr = r.shared;
+    let scripts: Vec<Vec<Op>> = (0..4)
+        .map(|i| {
+            vec![
+                Op::Compute((i as u64 + 1) * 100), // staggered arrivals
+                Op::Barrier(BarrierId(0)),
+                Op::Compute(10),
+            ]
+        })
+        .collect();
+    let w = ScriptWorkload::new(scripts).with_barriers(vec![barrier_addr]);
+    let res = run(ProcConfig::sc_baseline(), Topology::new(4, 1), r.mem, w);
+    // Everyone leaves after the slowest (400 cycles) arrival.
+    assert!(res.elapsed > Cycle(400));
+    // Early arrivals accumulated sync time (p0 waited ~300 cycles).
+    assert!(res.breakdowns[0].sync_stall >= Cycle(250));
+    assert!(res.breakdowns[3].sync_stall < res.breakdowns[0].sync_stall);
+    assert_eq!(res.barrier_arrivals, 4);
+}
+
+#[test]
+fn prefetch_hides_read_latency() {
+    let mk = |prefetch: bool| {
+        let r = rig(2);
+        let remote = r.locals[1];
+        let mut ops = Vec::new();
+        if prefetch {
+            ops.push(Op::Prefetch {
+                addr: remote,
+                exclusive: false,
+            });
+        }
+        ops.push(Op::Compute(200)); // plenty of time to cover the 72 cycles
+        ops.push(Op::Read(remote));
+        let w = ScriptWorkload::new(vec![ops, vec![]]);
+        let cfg = if prefetch {
+            ProcConfig::sc_baseline().with_prefetching()
+        } else {
+            ProcConfig::sc_baseline()
+        };
+        run(cfg, Topology::new(2, 1), r.mem, w)
+    };
+    let without = mk(false);
+    let with = mk(true);
+    assert_eq!(without.breakdowns[0].read_stall, Cycle(72));
+    // With an early-enough prefetch the demand read hits in the cache.
+    assert!(
+        with.breakdowns[0].read_stall <= Cycle(1),
+        "read stall not hidden: {}",
+        with.breakdowns[0]
+    );
+    assert!(with.breakdowns[0].prefetch_overhead > Cycle::ZERO);
+    assert!(with.elapsed < without.elapsed);
+}
+
+#[test]
+fn late_prefetch_is_combined_not_duplicated() {
+    let r = rig(2);
+    let remote = r.locals[1];
+    let w = ScriptWorkload::new(vec![
+        vec![
+            Op::Prefetch {
+                addr: remote,
+                exclusive: false,
+            },
+            Op::Compute(10), // far less than the 72-cycle fetch
+            Op::Read(remote),
+        ],
+        vec![],
+    ]);
+    let res = run(
+        ProcConfig::sc_baseline().with_prefetching(),
+        Topology::new(2, 1),
+        r.mem,
+        w,
+    );
+    // The read waits only for the remainder of the in-flight prefetch, and
+    // only one memory fetch happened (the demand was combined and never
+    // re-issued to the memory system).
+    assert!(res.breakdowns[0].read_stall < Cycle(72));
+    assert!(res.breakdowns[0].read_stall > Cycle::ZERO);
+    assert_eq!(res.shared_reads, 1);
+    assert_eq!(
+        res.mem.reads, 0,
+        "combined demand must not re-access memory"
+    );
+    assert_eq!(res.mem.prefetches, 1);
+}
+
+#[test]
+fn disabled_prefetching_is_free() {
+    let r = rig(2);
+    let remote = r.locals[1];
+    let w = ScriptWorkload::new(vec![
+        vec![
+            Op::Prefetch {
+                addr: remote,
+                exclusive: false,
+            },
+            Op::Compute(5),
+        ],
+        vec![],
+    ]);
+    let res = run(ProcConfig::sc_baseline(), Topology::new(2, 1), r.mem, w);
+    assert_eq!(res.aggregate.prefetch_overhead, Cycle::ZERO);
+    assert_eq!(res.prefetches_issued, 0);
+    assert_eq!(res.mem.prefetches, 0);
+}
+
+#[test]
+fn two_contexts_overlap_misses() {
+    // Each context alternates compute and remote misses; a second context
+    // should hide a large part of the latency.
+    let mk = |contexts: usize| {
+        let r = rig(2);
+        let remote = r.locals[1];
+        let script = |c: usize| -> Vec<Op> {
+            (0..32)
+                .flat_map(|i| {
+                    [
+                        Op::Compute(10),
+                        Op::Read(remote.offset(((c * 64 + i) * 16) as u64)),
+                    ]
+                })
+                .collect()
+        };
+        let scripts: Vec<Vec<Op>> = (0..contexts).map(script).collect();
+        let mut all = scripts;
+        for _ in 0..contexts {
+            all.push(vec![]); // processor 1 idle
+        }
+        let w = ScriptWorkload::new(all);
+        run(
+            ProcConfig::sc_baseline().with_contexts(contexts, Cycle(4)),
+            Topology::new(2, contexts),
+            r.mem,
+            w,
+        )
+    };
+    let one = mk(1);
+    let two = mk(2);
+    // Two contexts do twice the work; if latency were not hidden the time
+    // would double. Require clearly better than 2x.
+    assert!(
+        two.elapsed.as_u64() < 2 * one.elapsed.as_u64() * 9 / 10,
+        "no overlap: 1ctx={} 2ctx={}",
+        one.elapsed,
+        two.elapsed
+    );
+    assert!(two.context_switches > 0);
+    assert!(two.aggregate.switching > Cycle::ZERO);
+}
+
+#[test]
+fn switch_overhead_is_charged_per_switch() {
+    let mk = |overhead: u64| {
+        let r = rig(1);
+        let a = r.shared;
+        let script = |c: usize| -> Vec<Op> {
+            (0..16)
+                .flat_map(|i| {
+                    [
+                        Op::Compute(5),
+                        Op::Read(a.offset(((c * 32 + i) * 16) as u64)),
+                    ]
+                })
+                .collect()
+        };
+        let w = ScriptWorkload::new(vec![script(0), script(1)]);
+        run(
+            ProcConfig::sc_baseline().with_contexts(2, Cycle(overhead)),
+            Topology::new(1, 2),
+            r.mem,
+            w,
+        )
+    };
+    let fast = mk(4);
+    let slow = mk(16);
+    assert!(slow.aggregate.switching > fast.aggregate.switching);
+    assert_eq!(fast.context_switches, slow.context_switches);
+    assert_eq!(fast.aggregate.switching.as_u64(), fast.context_switches * 4);
+}
+
+#[test]
+fn single_context_never_switches() {
+    let r = rig(1);
+    let a = r.locals[0];
+    let w = ScriptWorkload::new(vec![(0..10).map(|i| Op::Read(a.offset(i * 16))).collect()]);
+    let res = run(ProcConfig::sc_baseline(), Topology::new(1, 1), r.mem, w);
+    assert_eq!(res.context_switches, 0);
+    assert_eq!(res.aggregate.switching, Cycle::ZERO);
+    assert_eq!(res.aggregate.all_idle, Cycle::ZERO);
+}
+
+#[test]
+fn multi_context_idle_goes_to_all_idle() {
+    // One context with long misses, the other finishes immediately: after
+    // that, misses leave the processor with nothing to run.
+    let r = rig(2);
+    let remote = r.locals[1];
+    let w = ScriptWorkload::new(vec![
+        (0..8).map(|i| Op::Read(remote.offset(i * 16))).collect(),
+        vec![],
+        vec![],
+        vec![],
+    ]);
+    let res = run(
+        ProcConfig::sc_baseline().with_contexts(2, Cycle(4)),
+        Topology::new(2, 2),
+        r.mem,
+        w,
+    );
+    assert!(res.breakdowns[0].all_idle > Cycle::ZERO);
+    assert_eq!(res.breakdowns[0].read_stall, Cycle::ZERO);
+}
+
+#[test]
+fn deadlock_is_reported() {
+    let r = rig(1);
+    // Acquire a lock that is never released by anyone else... then acquire
+    // a second time from another process that can never get it.
+    let w = ScriptWorkload::new(vec![
+        vec![Op::Acquire(LockId(0)), Op::Acquire(LockId(1))],
+        vec![Op::Acquire(LockId(1)), Op::Acquire(LockId(0))],
+    ])
+    .with_locks(vec![r.shared, r.shared.offset(16)]);
+    // Both processes on one processor is fine for a deadlock test.
+    let err = Machine::new(
+        ProcConfig::sc_baseline().with_contexts(2, Cycle(4)),
+        Topology::new(1, 2),
+        r.mem,
+        w,
+    )
+    .run()
+    .expect_err("must deadlock");
+    match err {
+        RunError::Deadlock { stuck } => assert!(!stuck.is_empty()),
+        other => panic!("expected deadlock, got {other}"),
+    }
+}
+
+#[test]
+fn runaway_workload_hits_cycle_budget() {
+    struct Forever;
+    impl dashlat_cpu::ops::Workload for Forever {
+        fn processes(&self) -> usize {
+            1
+        }
+        fn next_op(&mut self, _pid: dashlat_cpu::ops::ProcId) -> Op {
+            Op::Compute(1000)
+        }
+        fn sync_config(&self) -> dashlat_cpu::ops::SyncConfig {
+            dashlat_cpu::ops::SyncConfig::default()
+        }
+    }
+    let r = rig(1);
+    let err = Machine::new(
+        ProcConfig::sc_baseline(),
+        Topology::new(1, 1),
+        r.mem,
+        Forever,
+    )
+    .with_max_cycles(Cycle(10_000))
+    .run()
+    .expect_err("must exceed budget");
+    assert!(matches!(err, RunError::CycleBudgetExceeded { .. }));
+}
+
+#[test]
+fn per_node_placement_matters() {
+    // Reading your own node's memory (26) vs another node's (72).
+    let r = rig(2);
+    let local = r.locals[0];
+    let w = ScriptWorkload::new(vec![vec![Op::Read(local)], vec![Op::Read(local)]]);
+    let res = run(ProcConfig::sc_baseline(), Topology::new(2, 1), r.mem, w);
+    assert_eq!(res.breakdowns[0].read_stall, Cycle(26));
+    assert_eq!(res.breakdowns[1].read_stall, Cycle(72));
+}
+
+#[test]
+fn uncached_machine_pays_full_latency_repeatedly() {
+    let mut b = AddressSpaceBuilder::new(1);
+    let seg = b.alloc("x", 4096, Placement::Local(NodeId(0)));
+    let mut cfg = MemConfig::uncached(1);
+    cfg.contention = false;
+    let mem = MemorySystem::new(cfg, b.build());
+    let w = ScriptWorkload::new(vec![vec![
+        Op::Read(seg.base()),
+        Op::Read(seg.base()),
+        Op::Write(seg.base()),
+    ]]);
+    let res = run(ProcConfig::sc_baseline(), Topology::new(1, 1), mem, w);
+    // 20 + 20 + 12, nothing cached.
+    assert_eq!(res.aggregate.read_stall, Cycle(40));
+    assert_eq!(res.aggregate.write_stall, Cycle(12));
+}
+
+#[test]
+fn breakdown_totals_are_consistent_with_elapsed() {
+    // With one processor, the breakdown must exactly tile the elapsed time.
+    let r = rig(1);
+    let a = r.locals[0];
+    let ops: Vec<Op> = (0..20)
+        .flat_map(|i| {
+            [
+                Op::Compute(7),
+                Op::Read(a.offset((i % 8) * 16)),
+                Op::Write(a.offset((i % 4) * 16)),
+            ]
+        })
+        .collect();
+    let w = ScriptWorkload::new(vec![ops]);
+    let res = run(ProcConfig::sc_baseline(), Topology::new(1, 1), r.mem, w);
+    assert_eq!(res.aggregate.total(), res.elapsed);
+}
+
+#[test]
+fn run_lengths_are_recorded() {
+    let r = rig(2);
+    let remote = r.locals[1];
+    let ops: Vec<Op> = (0..10)
+        .flat_map(|i| [Op::Compute(11), Op::Read(remote.offset(i * 16))])
+        .collect();
+    let w = ScriptWorkload::new(vec![ops, vec![]]);
+    let res = run(ProcConfig::sc_baseline(), Topology::new(2, 1), r.mem, w);
+    assert!(res.run_lengths.count() >= 10);
+    let median = res.run_lengths.approx_median().expect("non-empty");
+    assert!((8..=16).contains(&median.as_u64()), "median {median}");
+}
+
+#[test]
+fn read_lookahead_hides_part_of_the_miss() {
+    // The §4.1 what-if: a perfect 40-cycle lookahead window cuts every
+    // 72-cycle remote miss to an effective 32-cycle stall.
+    let mk = |lookahead: u64| {
+        let r = rig(2);
+        let remote = r.locals[1];
+        let mut cfg = ProcConfig::sc_baseline();
+        cfg.read_lookahead = Cycle(lookahead);
+        let ops: Vec<Op> = (0..10)
+            .flat_map(|i| [Op::Compute(5), Op::Read(remote.offset(i * 16))])
+            .collect();
+        let w = ScriptWorkload::new(vec![ops, vec![]]);
+        run(cfg, Topology::new(2, 1), r.mem, w)
+    };
+    let blocking = mk(0);
+    let oo40 = mk(40);
+    let oo200 = mk(200);
+    assert_eq!(blocking.breakdowns[0].read_stall, Cycle(10 * 72));
+    assert_eq!(oo40.breakdowns[0].read_stall, Cycle(10 * 32));
+    // A window beyond the latency leaves the 1-cycle issue slot.
+    assert!(oo200.breakdowns[0].read_stall <= Cycle(10));
+    assert!(oo200.elapsed < oo40.elapsed);
+    assert!(oo40.elapsed < blocking.elapsed);
+}

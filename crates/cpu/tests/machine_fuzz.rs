@@ -1,0 +1,189 @@
+//! Property-based fuzzing of the whole machine: arbitrary (but
+//! deadlock-free) scripted workloads must terminate, account every cycle,
+//! and behave deterministically under every consistency model and context
+//! count.
+
+use dashlat_cpu::config::{Consistency, ProcConfig};
+use dashlat_cpu::machine::Machine;
+use dashlat_cpu::ops::{BarrierId, LockId, Op, Topology};
+use dashlat_cpu::script::ScriptWorkload;
+use dashlat_mem::addr::Addr;
+use dashlat_mem::layout::{AddressSpaceBuilder, Placement};
+use dashlat_mem::system::{MemConfig, MemorySystem};
+use dashlat_sim::Cycle;
+use proptest::prelude::*;
+
+/// A compact op encoding the strategy generates; locks are always used in
+/// balanced acquire/release bracket pairs so no deadlock is possible
+/// (single lock, non-nested).
+#[derive(Debug, Clone)]
+enum GenOp {
+    Compute(u64),
+    Read(u64),
+    Write(u64),
+    Prefetch(u64, bool),
+    CriticalSection(u64),
+    Barrier,
+}
+
+fn gen_op() -> impl Strategy<Value = GenOp> {
+    prop_oneof![
+        (1u64..40).prop_map(GenOp::Compute),
+        (0u64..256).prop_map(GenOp::Read),
+        (0u64..256).prop_map(GenOp::Write),
+        ((0u64..256), any::<bool>()).prop_map(|(l, e)| GenOp::Prefetch(l, e)),
+        (1u64..30).prop_map(GenOp::CriticalSection),
+        Just(GenOp::Barrier),
+    ]
+}
+
+/// Expands the generated ops into real scripts. Barriers must be emitted
+/// by *every* process the same number of times, so barrier counts are
+/// equalized across processes.
+fn build_scripts(raw: Vec<Vec<GenOp>>, region: Addr) -> Vec<Vec<Op>> {
+    let max_barriers = raw
+        .iter()
+        .map(|ops| ops.iter().filter(|o| matches!(o, GenOp::Barrier)).count())
+        .max()
+        .unwrap_or(0);
+    raw.into_iter()
+        .map(|ops| {
+            let mut script = Vec::new();
+            let mut barriers = 0;
+            for op in ops {
+                match op {
+                    GenOp::Compute(n) => script.push(Op::Compute(n)),
+                    GenOp::Read(l) => script.push(Op::Read(region.offset(l * 16))),
+                    GenOp::Write(l) => script.push(Op::Write(region.offset(l * 16))),
+                    GenOp::Prefetch(l, e) => script.push(Op::Prefetch {
+                        addr: region.offset(l * 16),
+                        exclusive: e,
+                    }),
+                    GenOp::CriticalSection(n) => {
+                        script.push(Op::Acquire(LockId(0)));
+                        script.push(Op::Compute(n));
+                        script.push(Op::Release(LockId(0)));
+                    }
+                    GenOp::Barrier => {
+                        script.push(Op::Barrier(BarrierId(0)));
+                        barriers += 1;
+                    }
+                }
+            }
+            for _ in barriers..max_barriers {
+                script.push(Op::Barrier(BarrierId(0)));
+            }
+            script
+        })
+        .collect()
+}
+
+fn run_cfg(
+    scripts: Vec<Vec<Op>>,
+    processors: usize,
+    contexts: usize,
+    model: Consistency,
+    prefetch: bool,
+) -> dashlat_cpu::machine::RunResult {
+    let mut b = AddressSpaceBuilder::new(processors);
+    let _region = b.alloc("region", 256 * 16, Placement::RoundRobin);
+    let lock = b.alloc("lock", 16, Placement::RoundRobin);
+    let barrier = b.alloc("barrier", 16, Placement::RoundRobin);
+    let mem = MemorySystem::new(MemConfig::dash_scaled(processors), b.build());
+    let w = ScriptWorkload::new(scripts)
+        .with_locks(vec![lock.base()])
+        .with_barriers(vec![barrier.base()]);
+    let mut cfg = match model {
+        Consistency::Sc => ProcConfig::sc_baseline(),
+        Consistency::Pc => ProcConfig::pc_baseline(),
+        Consistency::Wc => ProcConfig::wc_baseline(),
+        Consistency::Rc => ProcConfig::rc_baseline(),
+    };
+    cfg.prefetching = prefetch;
+    cfg = cfg.with_contexts(contexts, Cycle(4));
+    Machine::new(cfg, Topology::new(processors, contexts), mem, w)
+        .with_max_cycles(Cycle(50_000_000))
+        .run()
+        .expect("generated workload must terminate")
+    // region is rebuilt per call; address identical across calls because
+    // the allocation order is identical.
+}
+
+/// Region base is deterministic: first allocation in a fresh space.
+fn region_base(processors: usize) -> Addr {
+    let mut b = AddressSpaceBuilder::new(processors);
+    b.alloc("region", 256 * 16, Placement::RoundRobin).base()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Single-context machines account every cycle: per-processor
+    /// breakdown totals equal the wall clock exactly.
+    #[test]
+    fn single_context_accounting_is_exact(
+        raw in proptest::collection::vec(proptest::collection::vec(gen_op(), 0..40), 1..4),
+    ) {
+        let processors = raw.len();
+        let scripts = build_scripts(raw, region_base(processors));
+        for model in [Consistency::Sc, Consistency::Rc] {
+            let res = run_cfg(scripts.clone(), processors, 1, model, true);
+            for (i, b) in res.breakdowns.iter().enumerate() {
+                prop_assert_eq!(
+                    b.total(), res.elapsed,
+                    "{:?}: processor {} does not tile elapsed", model, i
+                );
+            }
+        }
+    }
+
+    /// Runs are deterministic for every consistency model.
+    #[test]
+    fn all_models_are_deterministic(
+        raw in proptest::collection::vec(proptest::collection::vec(gen_op(), 0..30), 2..5),
+    ) {
+        let processors = raw.len();
+        let scripts = build_scripts(raw, region_base(processors));
+        for model in [Consistency::Sc, Consistency::Pc, Consistency::Wc, Consistency::Rc] {
+            let a = run_cfg(scripts.clone(), processors, 1, model, false);
+            let b = run_cfg(scripts.clone(), processors, 1, model, false);
+            prop_assert_eq!(a.elapsed, b.elapsed);
+            prop_assert_eq!(a.aggregate, b.aggregate);
+        }
+    }
+
+    /// Relaxed models never stall on data writes, and SC is never faster
+    /// than RC by more than the sync-interleaving wiggle.
+    #[test]
+    fn relaxed_models_never_record_write_stall(
+        raw in proptest::collection::vec(proptest::collection::vec(gen_op(), 0..40), 1..4),
+    ) {
+        let processors = raw.len();
+        let scripts = build_scripts(raw, region_base(processors));
+        for model in [Consistency::Pc, Consistency::Wc, Consistency::Rc] {
+            let res = run_cfg(scripts.clone(), processors, 1, model, false);
+            prop_assert_eq!(res.aggregate.write_stall, Cycle::ZERO, "{:?}", model);
+        }
+    }
+
+    /// Multiple contexts never lose work: the same scripts spread over 2
+    /// contexts per processor still terminate with identical op counts.
+    #[test]
+    fn contexts_preserve_op_counts(
+        raw in proptest::collection::vec(proptest::collection::vec(gen_op(), 0..30), 2..5),
+    ) {
+        // Pad to an even process count.
+        let mut raw = raw;
+        if raw.len() % 2 == 1 {
+            raw.push(Vec::new());
+        }
+        let processes = raw.len();
+        let scripts = build_scripts(raw, region_base(processes / 2));
+        let one = run_cfg(scripts.clone(), processes, 1, Consistency::Sc, false);
+        let two = run_cfg(scripts.clone(), processes / 2, 2, Consistency::Sc, false);
+        prop_assert_eq!(one.shared_reads, two.shared_reads);
+        prop_assert_eq!(one.shared_writes, two.shared_writes);
+        prop_assert_eq!(one.lock_acquires, two.lock_acquires);
+        prop_assert_eq!(one.barrier_arrivals, two.barrier_arrivals);
+    }
+}

@@ -1,0 +1,252 @@
+//! Interaction tests: multiple contexts × consistency models × buffers.
+
+use dashlat_cpu::config::ProcConfig;
+use dashlat_cpu::machine::{Machine, RunResult};
+use dashlat_cpu::ops::{LockId, Op, Topology};
+use dashlat_cpu::script::ScriptWorkload;
+use dashlat_mem::addr::Addr;
+use dashlat_mem::layout::{AddressSpaceBuilder, Placement};
+use dashlat_mem::system::{MemConfig, MemorySystem};
+use dashlat_sim::Cycle;
+
+struct Rig {
+    locals: Vec<Addr>,
+    shared: Addr,
+    mem: MemorySystem,
+}
+
+fn rig(nodes: usize) -> Rig {
+    let mut b = AddressSpaceBuilder::new(nodes);
+    let locals = b
+        .alloc_per_node("local", 4096)
+        .iter()
+        .map(|s| s.base())
+        .collect();
+    let shared = b
+        .alloc("shared", 4096 * nodes as u64, Placement::RoundRobin)
+        .base();
+    let mut cfg = MemConfig::dash_scaled(nodes);
+    cfg.contention = false;
+    Rig {
+        locals,
+        shared,
+        mem: MemorySystem::new(cfg, b.build()),
+    }
+}
+
+fn run(cfg: ProcConfig, topo: Topology, mem: MemorySystem, w: ScriptWorkload) -> RunResult {
+    Machine::new(cfg, topo, mem, w)
+        .with_max_cycles(Cycle(100_000_000))
+        .run()
+        .expect("script terminates")
+}
+
+#[test]
+fn rc_with_two_contexts_hides_both_read_and_write_latency() {
+    // Context A writes remote lines (RC buffers them); context B reads
+    // remote lines (switch-on-miss hides them behind A's issue slots).
+    let r = rig(2);
+    let remote = r.locals[1];
+    let writer: Vec<Op> = (0..16).map(|i| Op::Write(remote.offset(i * 16))).collect();
+    let reader: Vec<Op> = (0..16)
+        .flat_map(|i| [Op::Compute(5), Op::Read(remote.offset((256 + i) * 16))])
+        .collect();
+    let w = ScriptWorkload::new(vec![writer, reader, vec![], vec![]]);
+    let res = run(
+        ProcConfig::rc_baseline().with_contexts(2, Cycle(4)),
+        Topology::new(2, 2),
+        r.mem,
+        w,
+    );
+    assert_eq!(res.breakdowns[0].write_stall, Cycle::ZERO);
+    // All idle only once both contexts are simultaneously blocked.
+    assert!(res.aggregate.switching > Cycle::ZERO);
+    assert_eq!(
+        res.aggregate.total(),
+        res.elapsed + res.breakdowns[1].total()
+    );
+}
+
+#[test]
+fn context_switch_happens_on_secondary_miss_not_primary_hit() {
+    let r = rig(1);
+    let a = r.locals[0];
+    // Context 0: one miss (fills the line), then pure hits.
+    // Context 1: pure compute.
+    let w = ScriptWorkload::new(vec![
+        vec![Op::Read(a), Op::Read(a), Op::Read(a), Op::Read(a)],
+        vec![Op::Compute(200)],
+    ]);
+    let res = run(
+        ProcConfig::sc_baseline().with_contexts(2, Cycle(4)),
+        Topology::new(1, 2),
+        r.mem,
+        w,
+    );
+    // Exactly two switches: out on the first miss, back when ctx1 is done
+    // or blocked... ctx1 never blocks, so after its compute finishes ctx0
+    // resumes. The primary hits cause no further switching.
+    assert!(
+        res.context_switches <= 2,
+        "switched {} times",
+        res.context_switches
+    );
+}
+
+#[test]
+fn write_buffer_drains_across_context_switches() {
+    // A release issued by context 0 must still unlock even while context 1
+    // monopolizes the processor afterwards.
+    let r = rig(2);
+    let lock = r.shared;
+    let remote = r.locals[1];
+    let w = ScriptWorkload::new(vec![
+        vec![
+            Op::Acquire(LockId(0)),
+            Op::Write(remote),
+            Op::Release(LockId(0)),
+            Op::Compute(1),
+        ],
+        vec![Op::Compute(4000)],
+        // The waiter on processor 1.
+        vec![Op::Acquire(LockId(0)), Op::Release(LockId(0))],
+        vec![],
+    ])
+    .with_locks(vec![lock]);
+    let res = run(
+        ProcConfig::rc_baseline().with_contexts(2, Cycle(4)),
+        Topology::new(2, 2),
+        r.mem,
+        w,
+    );
+    assert_eq!(res.lock_acquires, 2);
+    // Everything terminated: the release retired despite the busy sibling
+    // context (the machine would report Deadlock otherwise).
+    assert!(res.elapsed > Cycle::ZERO);
+}
+
+#[test]
+fn cross_context_demand_combining() {
+    // Two contexts of the same processor read the same remote line at the
+    // same time: the second must combine with the first's in-flight fetch
+    // (one memory access, both complete).
+    let r = rig(2);
+    let remote = r.locals[1];
+    let w = ScriptWorkload::new(vec![
+        vec![Op::Read(remote)],
+        vec![Op::Read(remote)],
+        vec![],
+        vec![],
+    ]);
+    let res = run(
+        ProcConfig::sc_baseline().with_contexts(2, Cycle(4)),
+        Topology::new(2, 2),
+        r.mem,
+        w,
+    );
+    assert_eq!(res.shared_reads, 2);
+    assert_eq!(res.mem.reads, 1, "second read should have combined");
+}
+
+#[test]
+fn four_contexts_round_robin_fairly() {
+    // Four contexts each with identical miss-compute loops: all must
+    // finish, and the elapsed time must beat 4x the single-context time.
+    let mk = |contexts: usize| {
+        let r = rig(2);
+        let remote = r.locals[1];
+        let script = |c: usize| -> Vec<Op> {
+            (0..24)
+                .flat_map(|i| {
+                    [
+                        Op::Compute(8),
+                        Op::Read(remote.offset(((c * 64 + i) * 16) as u64)),
+                    ]
+                })
+                .collect()
+        };
+        let mut scripts: Vec<Vec<Op>> = (0..contexts).map(script).collect();
+        for _ in 0..contexts {
+            scripts.push(vec![]);
+        }
+        let w = ScriptWorkload::new(scripts);
+        run(
+            ProcConfig::sc_baseline().with_contexts(contexts, Cycle(4)),
+            Topology::new(2, contexts),
+            r.mem,
+            w,
+        )
+    };
+    let one = mk(1);
+    let four = mk(4);
+    assert!(
+        four.elapsed.as_u64() < 4 * one.elapsed.as_u64() * 2 / 3,
+        "4 contexts did not overlap: {} vs 4x{}",
+        four.elapsed,
+        one.elapsed
+    );
+}
+
+#[test]
+fn sixteen_cycle_switches_can_make_contexts_unprofitable() {
+    // Very short run lengths + expensive switches: the paper's LU-style
+    // pathology where 16-cycle switch overhead dominates.
+    let mk = |contexts: usize, sw: u64| {
+        let r = rig(1);
+        let a = r.shared;
+        let script = |c: usize| -> Vec<Op> {
+            (0..64)
+                .flat_map(|i| {
+                    [
+                        Op::Compute(2), // tiny run lengths
+                        Op::Read(a.offset(((c * 128 + i) * 16) as u64)),
+                    ]
+                })
+                .collect()
+        };
+        let w = ScriptWorkload::new((0..contexts).map(script).collect());
+        run(
+            ProcConfig::sc_baseline().with_contexts(contexts, Cycle(sw)),
+            Topology::new(1, contexts),
+            r.mem,
+            w,
+        )
+    };
+    let two_fast = mk(2, 4);
+    let two_slow = mk(2, 16);
+    // With 16-cycle switches, the switching section is a large fraction.
+    let slow_frac =
+        two_slow.aggregate.switching.as_u64() as f64 / two_slow.aggregate.total().as_u64() as f64;
+    assert!(slow_frac > 0.15, "switch share only {slow_frac:.2}");
+    assert!(two_fast.elapsed < two_slow.elapsed);
+}
+
+#[test]
+fn release_consistency_lengthens_run_lengths() {
+    // §6.2: removing write stalls raises the median run length between
+    // long-latency operations (11 -> 22 cycles for MP3D).
+    let mk = |cfg: ProcConfig| {
+        let r = rig(2);
+        let remote = r.locals[1];
+        let ops: Vec<Op> = (0..64)
+            .flat_map(|i| {
+                [
+                    Op::Compute(6),
+                    Op::Write(remote.offset((i * 16) % 2048)),
+                    Op::Compute(5),
+                    Op::Read(remote.offset((i + 200) * 16)),
+                ]
+            })
+            .collect();
+        let w = ScriptWorkload::new(vec![ops, vec![]]);
+        run(cfg, Topology::new(2, 1), r.mem, w)
+    };
+    let sc = mk(ProcConfig::sc_baseline());
+    let rc = mk(ProcConfig::rc_baseline());
+    let sc_med = sc.run_lengths.approx_median().expect("runs").as_u64();
+    let rc_med = rc.run_lengths.approx_median().expect("runs").as_u64();
+    assert!(
+        rc_med > sc_med,
+        "RC median run length {rc_med} not above SC {sc_med}"
+    );
+}

@@ -1,0 +1,266 @@
+//! Addresses, cache lines and pages.
+//!
+//! The simulated machine uses 16-byte cache lines (both levels) and 4 KB
+//! pages for the round-robin page placement policy. Newtypes keep byte
+//! addresses, line numbers and page numbers from being mixed up.
+
+use std::fmt;
+
+/// Bytes per cache line in the DASH-like machine (paper §2.1).
+pub const LINE_BYTES: u64 = 16;
+
+/// Bytes per page for the page-placement policy.
+pub const PAGE_BYTES: u64 = 4096;
+
+/// A byte address in the simulated shared address space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Addr(pub u64);
+
+impl Addr {
+    /// The cache line containing this address.
+    #[inline]
+    pub fn line(self) -> LineAddr {
+        LineAddr(self.0 / LINE_BYTES)
+    }
+
+    /// The page containing this address.
+    #[inline]
+    pub fn page(self) -> PageId {
+        PageId(self.0 / PAGE_BYTES)
+    }
+
+    /// Byte offset within the cache line.
+    #[inline]
+    pub fn line_offset(self) -> u64 {
+        self.0 % LINE_BYTES
+    }
+
+    /// Address advanced by `bytes`.
+    #[inline]
+    pub fn offset(self, bytes: u64) -> Addr {
+        Addr(self.0 + bytes)
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0x{:x}", self.0)
+    }
+}
+
+/// A cache-line number (byte address divided by [`LINE_BYTES`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct LineAddr(pub u64);
+
+impl LineAddr {
+    /// First byte address of the line.
+    #[inline]
+    pub fn base(self) -> Addr {
+        Addr(self.0 * LINE_BYTES)
+    }
+
+    /// The page containing this line.
+    #[inline]
+    pub fn page(self) -> PageId {
+        PageId(self.0 * LINE_BYTES / PAGE_BYTES)
+    }
+
+    /// The next line.
+    #[inline]
+    pub fn next(self) -> LineAddr {
+        LineAddr(self.0 + 1)
+    }
+}
+
+impl fmt::Display for LineAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line#{}", self.0)
+    }
+}
+
+/// A page number (byte address divided by [`PAGE_BYTES`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PageId(pub u64);
+
+impl fmt::Display for PageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "page#{}", self.0)
+    }
+}
+
+/// Identifier of a processing node (processor + local memory + directory).
+/// The paper simulates a 16-node machine; the model supports up to 64 so the
+/// sharer set fits a `u64` bitmask.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct NodeId(pub usize);
+
+impl NodeId {
+    /// Maximum number of nodes supported by the full-map directory bitmask.
+    pub const MAX_NODES: usize = 64;
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node{}", self.0)
+    }
+}
+
+/// A set of nodes, stored as a bitmask (full-map directory entry).
+///
+/// # Example
+///
+/// ```
+/// use dashlat_mem::addr::{NodeId, NodeSet};
+///
+/// let mut s = NodeSet::default();
+/// s.insert(NodeId(3));
+/// s.insert(NodeId(7));
+/// assert!(s.contains(NodeId(3)));
+/// assert_eq!(s.len(), 2);
+/// assert_eq!(s.iter().collect::<Vec<_>>(), vec![NodeId(3), NodeId(7)]);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct NodeSet(u64);
+
+impl NodeSet {
+    /// The empty set.
+    pub const EMPTY: NodeSet = NodeSet(0);
+
+    /// A set containing a single node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node.0 >= NodeId::MAX_NODES`.
+    pub fn singleton(node: NodeId) -> NodeSet {
+        let mut s = NodeSet::EMPTY;
+        s.insert(node);
+        s
+    }
+
+    /// Inserts a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node.0 >= NodeId::MAX_NODES`.
+    pub fn insert(&mut self, node: NodeId) {
+        assert!(node.0 < NodeId::MAX_NODES, "node id out of range");
+        self.0 |= 1 << node.0;
+    }
+
+    /// Removes a node; returns whether it was present.
+    pub fn remove(&mut self, node: NodeId) -> bool {
+        let bit = 1u64 << node.0;
+        let present = self.0 & bit != 0;
+        self.0 &= !bit;
+        present
+    }
+
+    /// Membership test.
+    pub fn contains(self, node: NodeId) -> bool {
+        node.0 < NodeId::MAX_NODES && self.0 & (1 << node.0) != 0
+    }
+
+    /// Number of members.
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// True when no node is in the set.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Iterates members in increasing node order.
+    pub fn iter(self) -> impl Iterator<Item = NodeId> {
+        (0..NodeId::MAX_NODES)
+            .filter(move |&i| self.0 & (1 << i) != 0)
+            .map(NodeId)
+    }
+
+    /// Set difference: members of `self` not in `other`.
+    pub fn without(self, other: NodeSet) -> NodeSet {
+        NodeSet(self.0 & !other.0)
+    }
+}
+
+impl FromIterator<NodeId> for NodeSet {
+    fn from_iter<T: IntoIterator<Item = NodeId>>(iter: T) -> Self {
+        let mut s = NodeSet::EMPTY;
+        for n in iter {
+            s.insert(n);
+        }
+        s
+    }
+}
+
+impl fmt::Display for NodeSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, n) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{}", n.0)?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_and_page_math() {
+        let a = Addr(4096 + 17);
+        assert_eq!(a.line(), LineAddr((4096 + 17) / 16));
+        assert_eq!(a.page(), PageId(1));
+        assert_eq!(a.line_offset(), 1);
+        assert_eq!(a.line().base(), Addr(4096 + 16));
+        assert_eq!(a.offset(15).line(), a.line().next());
+    }
+
+    #[test]
+    fn line_page_relation() {
+        // 256 lines per 4KB page with 16-byte lines.
+        assert_eq!(LineAddr(255).page(), PageId(0));
+        assert_eq!(LineAddr(256).page(), PageId(1));
+    }
+
+    #[test]
+    fn nodeset_operations() {
+        let mut s = NodeSet::default();
+        assert!(s.is_empty());
+        s.insert(NodeId(0));
+        s.insert(NodeId(15));
+        s.insert(NodeId(15)); // idempotent
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(NodeId(0)));
+        assert!(!s.contains(NodeId(1)));
+        assert!(s.remove(NodeId(0)));
+        assert!(!s.remove(NodeId(0)));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn nodeset_without() {
+        let a: NodeSet = [NodeId(1), NodeId(2), NodeId(3)].into_iter().collect();
+        let b = NodeSet::singleton(NodeId(2));
+        let d = a.without(b);
+        assert_eq!(d.iter().collect::<Vec<_>>(), vec![NodeId(1), NodeId(3)]);
+    }
+
+    #[test]
+    fn nodeset_display() {
+        let s: NodeSet = [NodeId(2), NodeId(5)].into_iter().collect();
+        assert_eq!(s.to_string(), "{2,5}");
+        assert_eq!(NodeSet::EMPTY.to_string(), "{}");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn nodeset_rejects_large_ids() {
+        let mut s = NodeSet::default();
+        s.insert(NodeId(64));
+    }
+}

@@ -1,0 +1,313 @@
+//! Write buffer and prefetch buffer.
+//!
+//! The processor environment (paper Figure 1) interposes a 16-entry write
+//! buffer between the write-through primary cache and the write-back
+//! secondary cache; reads may bypass the writes queued there when the
+//! consistency model permits. Prefetches are issued to a separate 16-entry
+//! prefetch buffer — identical to the write buffer but carrying only
+//! prefetch requests — so that prefetches are not delayed behind writes
+//! (§5.1).
+//!
+//! These types are pure bounded FIFOs plus the entry bookkeeping; the
+//! *timing* of retirement (one entry in service at a time, service time from
+//! the memory system) is driven by the processor model in `dashlat-cpu`.
+
+use std::collections::VecDeque;
+
+use dashlat_sim::Cycle;
+
+use crate::addr::Addr;
+
+/// Capacity of both buffers in the paper's machine.
+pub const BUFFER_ENTRIES: usize = 16;
+
+/// What a write-buffer entry represents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteKind {
+    /// An ordinary data write.
+    Data,
+    /// A release (e.g. an unlock): under RC it may not retire until all
+    /// previously issued writes have completed, including their
+    /// invalidation acknowledgements.
+    Release,
+}
+
+/// A write waiting in the write buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PendingWrite {
+    /// Target address.
+    pub addr: Addr,
+    /// When the processor issued it (for occupancy statistics).
+    pub enqueued_at: Cycle,
+    /// Data write or release.
+    pub kind: WriteKind,
+}
+
+/// The 16-entry write buffer.
+///
+/// # Example
+///
+/// ```
+/// use dashlat_mem::addr::Addr;
+/// use dashlat_mem::buffers::{PendingWrite, WriteBuffer, WriteKind};
+/// use dashlat_sim::Cycle;
+///
+/// let mut wb = WriteBuffer::new(2);
+/// assert!(wb.try_push(PendingWrite { addr: Addr(0), enqueued_at: Cycle(0), kind: WriteKind::Data }));
+/// assert!(wb.try_push(PendingWrite { addr: Addr(16), enqueued_at: Cycle(1), kind: WriteKind::Data }));
+/// assert!(!wb.try_push(PendingWrite { addr: Addr(32), enqueued_at: Cycle(2), kind: WriteKind::Data }));
+/// assert_eq!(wb.pop().map(|w| w.addr), Some(Addr(0)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct WriteBuffer {
+    entries: VecDeque<PendingWrite>,
+    capacity: usize,
+    high_water: usize,
+    total_pushed: u64,
+}
+
+impl WriteBuffer {
+    /// Creates a buffer with the given capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "write buffer needs at least one entry");
+        WriteBuffer {
+            entries: VecDeque::with_capacity(capacity),
+            capacity,
+            high_water: 0,
+            total_pushed: 0,
+        }
+    }
+
+    /// Enqueues a write; returns false (and does nothing) when full.
+    pub fn try_push(&mut self, w: PendingWrite) -> bool {
+        if self.entries.len() >= self.capacity {
+            return false;
+        }
+        self.entries.push_back(w);
+        self.high_water = self.high_water.max(self.entries.len());
+        self.total_pushed += 1;
+        true
+    }
+
+    /// The entry currently at the head (next to retire).
+    pub fn head(&self) -> Option<&PendingWrite> {
+        self.entries.front()
+    }
+
+    /// Removes and returns the head entry.
+    pub fn pop(&mut self) -> Option<PendingWrite> {
+        self.entries.pop_front()
+    }
+
+    /// Number of queued writes.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// True when no further write can be accepted.
+    pub fn is_full(&self) -> bool {
+        self.entries.len() >= self.capacity
+    }
+
+    /// Deepest occupancy seen (telemetry).
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+
+    /// Total writes ever enqueued (telemetry).
+    pub fn total_pushed(&self) -> u64 {
+        self.total_pushed
+    }
+}
+
+/// A prefetch waiting in the prefetch buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PendingPrefetch {
+    /// Target address.
+    pub addr: Addr,
+    /// Read-exclusive (ownership) prefetch vs read-shared.
+    pub exclusive: bool,
+    /// When the processor issued it.
+    pub enqueued_at: Cycle,
+}
+
+/// The 16-entry prefetch buffer.
+///
+/// When an entry reaches the head, the secondary cache is checked: if the
+/// line is already present the prefetch is discarded, otherwise it is issued
+/// to the memory system like a normal request (§5.1). That check-and-issue
+/// sequencing is driven by the processor model.
+#[derive(Debug, Clone)]
+pub struct PrefetchBuffer {
+    entries: VecDeque<PendingPrefetch>,
+    capacity: usize,
+    high_water: usize,
+    total_pushed: u64,
+}
+
+impl PrefetchBuffer {
+    /// Creates a buffer with the given capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "prefetch buffer needs at least one entry");
+        PrefetchBuffer {
+            entries: VecDeque::with_capacity(capacity),
+            capacity,
+            high_water: 0,
+            total_pushed: 0,
+        }
+    }
+
+    /// Enqueues a prefetch; returns false (and does nothing) when full.
+    pub fn try_push(&mut self, p: PendingPrefetch) -> bool {
+        if self.entries.len() >= self.capacity {
+            return false;
+        }
+        self.entries.push_back(p);
+        self.high_water = self.high_water.max(self.entries.len());
+        self.total_pushed += 1;
+        true
+    }
+
+    /// The entry next to be issued.
+    pub fn head(&self) -> Option<&PendingPrefetch> {
+        self.entries.front()
+    }
+
+    /// Removes and returns the head entry.
+    pub fn pop(&mut self) -> Option<PendingPrefetch> {
+        self.entries.pop_front()
+    }
+
+    /// Number of queued prefetches.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// True when no further prefetch can be accepted.
+    pub fn is_full(&self) -> bool {
+        self.entries.len() >= self.capacity
+    }
+
+    /// Deepest occupancy seen (telemetry).
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+
+    /// Total prefetches ever enqueued (telemetry).
+    pub fn total_pushed(&self) -> u64 {
+        self.total_pushed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w(addr: u64) -> PendingWrite {
+        PendingWrite {
+            addr: Addr(addr),
+            enqueued_at: Cycle::ZERO,
+            kind: WriteKind::Data,
+        }
+    }
+
+    #[test]
+    fn write_buffer_fifo_order() {
+        let mut wb = WriteBuffer::new(4);
+        for i in 0..4 {
+            assert!(wb.try_push(w(i * 16)));
+        }
+        assert!(wb.is_full());
+        for i in 0..4 {
+            assert_eq!(wb.pop().map(|e| e.addr), Some(Addr(i * 16)));
+        }
+        assert!(wb.is_empty());
+    }
+
+    #[test]
+    fn write_buffer_rejects_when_full() {
+        let mut wb = WriteBuffer::new(1);
+        assert!(wb.try_push(w(0)));
+        assert!(!wb.try_push(w(16)));
+        assert_eq!(wb.len(), 1);
+        assert_eq!(wb.total_pushed(), 1);
+    }
+
+    #[test]
+    fn write_buffer_head_peeks() {
+        let mut wb = WriteBuffer::new(2);
+        wb.try_push(w(0));
+        wb.try_push(PendingWrite {
+            addr: Addr(16),
+            enqueued_at: Cycle(5),
+            kind: WriteKind::Release,
+        });
+        assert_eq!(wb.head().map(|e| e.addr), Some(Addr(0)));
+        wb.pop();
+        assert_eq!(wb.head().map(|e| e.kind), Some(WriteKind::Release));
+    }
+
+    #[test]
+    fn high_water_tracks_depth() {
+        let mut wb = WriteBuffer::new(8);
+        wb.try_push(w(0));
+        wb.try_push(w(16));
+        wb.try_push(w(32));
+        wb.pop();
+        wb.pop();
+        wb.try_push(w(48));
+        assert_eq!(wb.high_water(), 3);
+    }
+
+    #[test]
+    fn prefetch_buffer_basics() {
+        let mut pb = PrefetchBuffer::new(2);
+        assert!(pb.is_empty());
+        assert!(pb.try_push(PendingPrefetch {
+            addr: Addr(0),
+            exclusive: false,
+            enqueued_at: Cycle(0),
+        }));
+        assert!(pb.try_push(PendingPrefetch {
+            addr: Addr(16),
+            exclusive: true,
+            enqueued_at: Cycle(1),
+        }));
+        assert!(pb.is_full());
+        assert!(!pb.try_push(PendingPrefetch {
+            addr: Addr(32),
+            exclusive: false,
+            enqueued_at: Cycle(2),
+        }));
+        let first = pb.pop().expect("non-empty");
+        assert!(!first.exclusive);
+        let second = pb.pop().expect("non-empty");
+        assert!(second.exclusive);
+        assert_eq!(pb.total_pushed(), 2);
+        assert_eq!(pb.high_water(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry")]
+    fn zero_capacity_rejected() {
+        let _ = WriteBuffer::new(0);
+    }
+}

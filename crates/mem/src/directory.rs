@@ -1,0 +1,395 @@
+//! Invalidating directory: full-map, or limited-pointer with broadcast.
+//!
+//! For every memory block the directory at the block's home node tracks the
+//! set of remote caches holding it (§2.1). On a write, point-to-point
+//! invalidations go to all sharers and acknowledgements flow back to the
+//! requester. The model keeps one logical directory keyed by line address;
+//! the home node of a line (from the [`PageMap`](crate::layout::PageMap))
+//! decides which node's directory controller — and thus which resources —
+//! a transaction occupies.
+//!
+//! Besides the paper's full-map organisation, a classic *limited-pointer
+//! with broadcast* (Dir_i-B) variant is provided as an extension: each
+//! entry holds at most `i` sharer pointers; when an `i+1`-th sharer
+//! arrives, the entry degrades to an overflow state and a later write must
+//! broadcast invalidations to every node. This exposes the
+//! directory-storage vs invalidation-traffic trade-off that full-map
+//! machines like DASH avoided by paying the full bit vector.
+
+use std::collections::HashMap;
+
+use crate::addr::{LineAddr, NodeId, NodeSet};
+
+/// Directory organisation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DirectoryKind {
+    /// One presence bit per node (the paper's machine).
+    #[default]
+    FullMap,
+    /// At most `pointers` sharer pointers; overflow degrades to broadcast
+    /// invalidation (Dir_i-B).
+    LimitedPtr {
+        /// Pointers per entry (the `i` in Dir_i-B).
+        pointers: usize,
+    },
+}
+
+/// Directory knowledge about one line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DirState {
+    /// No cache holds the line; memory is up to date.
+    #[default]
+    Uncached,
+    /// The listed caches hold clean copies; memory is up to date.
+    Shared(NodeSet),
+    /// Pointer overflow (limited-pointer directories only): an unknown
+    /// superset of nodes may hold clean copies; a write must broadcast.
+    SharedOverflow,
+    /// Exactly one cache holds a modified copy; memory is stale.
+    Dirty(NodeId),
+}
+
+/// What the directory did in response to a request (used by the memory
+/// system to charge latencies and update remote caches).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DirOutcome {
+    /// State the line was in when the request arrived.
+    pub prev: DirState,
+    /// Caches that must be invalidated (write requests only).
+    pub invalidate: NodeSet,
+    /// Cache that must supply the data and be downgraded (dirty-remote reads)
+    /// or invalidated (dirty-remote writes).
+    pub dirty_owner: Option<NodeId>,
+}
+
+/// The machine-wide directory (one logical map; entries are homed by page).
+#[derive(Debug, Default)]
+pub struct Directory {
+    entries: HashMap<LineAddr, DirState>,
+    kind: DirectoryKind,
+    /// Total nodes (needed to build broadcast invalidation sets).
+    nodes: usize,
+    /// Writes that had to broadcast because of pointer overflow.
+    broadcasts: u64,
+}
+
+impl Directory {
+    /// Creates an empty full-map directory (all lines `Uncached`).
+    /// Prefer [`Directory::with_kind`] when the node count matters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a directory of the given organisation for `nodes` nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics for a limited-pointer directory with zero pointers.
+    pub fn with_kind(kind: DirectoryKind, nodes: usize) -> Self {
+        if let DirectoryKind::LimitedPtr { pointers } = kind {
+            assert!(pointers > 0, "Dir_i-B needs at least one pointer");
+        }
+        Directory {
+            entries: HashMap::new(),
+            kind,
+            nodes,
+            broadcasts: 0,
+        }
+    }
+
+    /// Writes that degraded to broadcast invalidation (telemetry).
+    pub fn broadcasts(&self) -> u64 {
+        self.broadcasts
+    }
+
+    /// The set every node belongs to (broadcast target), minus `except`.
+    fn all_but(&self, except: NodeId) -> NodeSet {
+        let mut s = NodeSet::EMPTY;
+        for n in 0..self.nodes.max(1) {
+            if n != except.0 {
+                s.insert(NodeId(n));
+            }
+        }
+        s
+    }
+
+    /// Current state of a line.
+    pub fn state(&self, line: LineAddr) -> DirState {
+        self.entries.get(&line).copied().unwrap_or_default()
+    }
+
+    /// Handles a read request from `node`: the line becomes shared by
+    /// `node` (plus the previous owner if it was dirty, which supplies the
+    /// data and keeps a clean copy — "sharing writeback").
+    pub fn read(&mut self, line: LineAddr, node: NodeId) -> DirOutcome {
+        let prev = self.state(line);
+        let (next, dirty_owner) = match prev {
+            DirState::Uncached => (DirState::Shared(NodeSet::singleton(node)), None),
+            DirState::Shared(mut set) => {
+                set.insert(node);
+                (self.clamp_shared(set), None)
+            }
+            DirState::SharedOverflow => (DirState::SharedOverflow, None),
+            DirState::Dirty(owner) if owner == node => {
+                // The owner re-reading its own line; directory unchanged.
+                (prev, None)
+            }
+            DirState::Dirty(owner) => {
+                let mut set = NodeSet::singleton(node);
+                set.insert(owner);
+                (self.clamp_shared(set), Some(owner))
+            }
+        };
+        self.entries.insert(line, next);
+        DirOutcome {
+            prev,
+            invalidate: NodeSet::EMPTY,
+            dirty_owner,
+        }
+    }
+
+    /// Applies the pointer limit: a sharer set that no longer fits the
+    /// entry degrades to the overflow state.
+    fn clamp_shared(&self, set: NodeSet) -> DirState {
+        match self.kind {
+            DirectoryKind::FullMap => DirState::Shared(set),
+            DirectoryKind::LimitedPtr { pointers } => {
+                if set.len() <= pointers {
+                    DirState::Shared(set)
+                } else {
+                    DirState::SharedOverflow
+                }
+            }
+        }
+    }
+
+    /// Handles a write (ownership) request from `node`: all other copies are
+    /// invalidated and the line becomes dirty at `node`.
+    pub fn write(&mut self, line: LineAddr, node: NodeId) -> DirOutcome {
+        let prev = self.state(line);
+        let (invalidate, dirty_owner) = match prev {
+            DirState::Uncached => (NodeSet::EMPTY, None),
+            DirState::Shared(set) => (set.without(NodeSet::singleton(node)), None),
+            DirState::SharedOverflow => {
+                // The pointers were lost: broadcast to everyone else.
+                self.broadcasts += 1;
+                (self.all_but(node), None)
+            }
+            DirState::Dirty(owner) if owner == node => (NodeSet::EMPTY, None),
+            DirState::Dirty(owner) => (NodeSet::EMPTY, Some(owner)),
+        };
+        self.entries.insert(line, DirState::Dirty(node));
+        DirOutcome {
+            prev,
+            invalidate,
+            dirty_owner,
+        }
+    }
+
+    /// A cache evicted a clean copy of `line`; remove it from the sharer set.
+    pub fn evict_clean(&mut self, line: LineAddr, node: NodeId) {
+        if let DirState::Shared(mut set) = self.state(line) {
+            set.remove(node);
+            let next = if set.is_empty() {
+                DirState::Uncached
+            } else {
+                DirState::Shared(set)
+            };
+            self.entries.insert(line, next);
+        }
+        // Overflow entries have no pointers to prune: the eviction is
+        // silent, exactly the information loss Dir_i-B pays for.
+    }
+
+    /// A cache wrote back and dropped its dirty copy of `line`.
+    ///
+    /// No-op unless the directory indeed believed `node` owned the line
+    /// (a race-free model keeps these in lockstep, but eviction and
+    /// invalidation can cross in simplified orderings).
+    pub fn writeback(&mut self, line: LineAddr, node: NodeId) {
+        if self.state(line) == DirState::Dirty(node) {
+            self.entries.insert(line, DirState::Uncached);
+        }
+    }
+
+    /// Number of lines with a non-`Uncached` entry (for tests/telemetry).
+    pub fn tracked_lines(&self) -> usize {
+        self.entries
+            .values()
+            .filter(|s| !matches!(s, DirState::Uncached))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const L: LineAddr = LineAddr(42);
+    const N0: NodeId = NodeId(0);
+    const N1: NodeId = NodeId(1);
+    const N2: NodeId = NodeId(2);
+
+    #[test]
+    fn read_from_uncached() {
+        let mut d = Directory::new();
+        let out = d.read(L, N0);
+        assert_eq!(out.prev, DirState::Uncached);
+        assert_eq!(out.dirty_owner, None);
+        assert_eq!(d.state(L), DirState::Shared(NodeSet::singleton(N0)));
+    }
+
+    #[test]
+    fn multiple_readers_accumulate() {
+        let mut d = Directory::new();
+        d.read(L, N0);
+        d.read(L, N1);
+        match d.state(L) {
+            DirState::Shared(set) => {
+                assert!(set.contains(N0) && set.contains(N1));
+                assert_eq!(set.len(), 2);
+            }
+            s => panic!("unexpected state {s:?}"),
+        }
+    }
+
+    #[test]
+    fn write_invalidates_other_sharers() {
+        let mut d = Directory::new();
+        d.read(L, N0);
+        d.read(L, N1);
+        d.read(L, N2);
+        let out = d.write(L, N1);
+        assert_eq!(out.invalidate.len(), 2);
+        assert!(out.invalidate.contains(N0) && out.invalidate.contains(N2));
+        assert!(!out.invalidate.contains(N1));
+        assert_eq!(d.state(L), DirState::Dirty(N1));
+    }
+
+    #[test]
+    fn read_of_dirty_line_downgrades_owner() {
+        let mut d = Directory::new();
+        d.write(L, N0);
+        let out = d.read(L, N1);
+        assert_eq!(out.dirty_owner, Some(N0));
+        match d.state(L) {
+            DirState::Shared(set) => {
+                assert!(set.contains(N0) && set.contains(N1));
+            }
+            s => panic!("unexpected state {s:?}"),
+        }
+    }
+
+    #[test]
+    fn owner_rereading_does_not_change_state() {
+        let mut d = Directory::new();
+        d.write(L, N0);
+        let out = d.read(L, N0);
+        assert_eq!(out.dirty_owner, None);
+        assert_eq!(d.state(L), DirState::Dirty(N0));
+    }
+
+    #[test]
+    fn write_to_dirty_remote_transfers_ownership() {
+        let mut d = Directory::new();
+        d.write(L, N0);
+        let out = d.write(L, N1);
+        assert_eq!(out.dirty_owner, Some(N0));
+        assert!(out.invalidate.is_empty());
+        assert_eq!(d.state(L), DirState::Dirty(N1));
+    }
+
+    #[test]
+    fn rewrite_by_owner_is_silent() {
+        let mut d = Directory::new();
+        d.write(L, N0);
+        let out = d.write(L, N0);
+        assert!(out.invalidate.is_empty());
+        assert_eq!(out.dirty_owner, None);
+        assert_eq!(d.state(L), DirState::Dirty(N0));
+    }
+
+    #[test]
+    fn clean_eviction_prunes_sharers() {
+        let mut d = Directory::new();
+        d.read(L, N0);
+        d.read(L, N1);
+        d.evict_clean(L, N0);
+        assert_eq!(d.state(L), DirState::Shared(NodeSet::singleton(N1)));
+        d.evict_clean(L, N1);
+        assert_eq!(d.state(L), DirState::Uncached);
+        assert_eq!(d.tracked_lines(), 0);
+    }
+
+    #[test]
+    fn writeback_clears_dirty_owner() {
+        let mut d = Directory::new();
+        d.write(L, N0);
+        d.writeback(L, N0);
+        assert_eq!(d.state(L), DirState::Uncached);
+        // Stale writeback from a non-owner is ignored.
+        d.write(L, N1);
+        d.writeback(L, N0);
+        assert_eq!(d.state(L), DirState::Dirty(N1));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[derive(Debug, Clone)]
+    enum Op {
+        Read(usize),
+        Write(usize),
+        EvictClean(usize),
+        Writeback(usize),
+    }
+
+    fn op_strategy(nodes: usize) -> impl Strategy<Value = Op> {
+        prop_oneof![
+            (0..nodes).prop_map(Op::Read),
+            (0..nodes).prop_map(Op::Write),
+            (0..nodes).prop_map(Op::EvictClean),
+            (0..nodes).prop_map(Op::Writeback),
+        ]
+    }
+
+    proptest! {
+        /// Directory invariants under arbitrary operation sequences:
+        /// a Dirty line never coexists with sharers, writes always end with
+        /// the writer as owner, and invalidation sets never include the
+        /// requester.
+        #[test]
+        fn directory_invariants(ops in proptest::collection::vec(op_strategy(4), 1..200)) {
+            let mut d = Directory::new();
+            let line = LineAddr(9);
+            for op in ops {
+                match op {
+                    Op::Read(n) => {
+                        let out = d.read(line, NodeId(n));
+                        prop_assert!(out.invalidate.is_empty());
+                        match d.state(line) {
+                            DirState::Shared(set) => prop_assert!(set.contains(NodeId(n))),
+                            DirState::SharedOverflow => {} // pointers lost
+                            DirState::Dirty(owner) => prop_assert_eq!(owner, NodeId(n)),
+                            DirState::Uncached => prop_assert!(false, "read left line uncached"),
+                        }
+                    }
+                    Op::Write(n) => {
+                        let out = d.write(line, NodeId(n));
+                        prop_assert!(!out.invalidate.contains(NodeId(n)));
+                        prop_assert_eq!(d.state(line), DirState::Dirty(NodeId(n)));
+                    }
+                    Op::EvictClean(n) => d.evict_clean(line, NodeId(n)),
+                    Op::Writeback(n) => d.writeback(line, NodeId(n)),
+                }
+                // Shared sets are never empty (normalised to Uncached).
+                if let DirState::Shared(set) = d.state(line) {
+                    prop_assert!(!set.is_empty());
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! Memory-operation latencies (the paper's Table 1).
+//!
+//! All values are in processor clock cycles (1 pclock = 30 ns) and describe
+//! the *uncontended* service time; queueing delay from bus/network/directory
+//! contention is added on top by [`crate::contention`].
+
+use dashlat_sim::Cycle;
+
+/// Latency parameters of the simulated memory hierarchy.
+///
+/// The defaults are exactly the paper's Table 1. Write latencies are the
+/// time to retire the request from the write buffer — i.e. to acquire
+/// exclusive ownership — and do *not* include invalidation acknowledgements,
+/// which are tracked separately (`inval_roundtrip`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatencyTable {
+    /// Read hit in the primary cache.
+    pub read_primary_hit: Cycle,
+    /// Read fill from the secondary cache.
+    pub read_fill_secondary: Cycle,
+    /// Read fill from the local node's memory (home = local).
+    pub read_fill_local: Cycle,
+    /// Read fill from the home node (home ≠ local, line clean at home).
+    pub read_fill_home: Cycle,
+    /// Read fill from a remote (dirty-third-party) node.
+    pub read_fill_remote: Cycle,
+    /// Read fill when the home is local but the line is dirty in a remote
+    /// cache. Not in Table 1 (it lists the three-party case); one
+    /// network round trip shorter than `read_fill_remote`.
+    pub read_fill_remote_home_local: Cycle,
+
+    /// Write hit on a line already owned by the secondary cache.
+    pub write_owned_secondary: Cycle,
+    /// Ownership acquired at the local node (home = local).
+    pub write_owned_local: Cycle,
+    /// Ownership acquired at the home node (home ≠ local).
+    pub write_owned_home: Cycle,
+    /// Ownership acquired from a dirty remote third-party node.
+    pub write_owned_remote: Cycle,
+    /// Ownership when home is local but line dirty in a remote cache.
+    pub write_owned_remote_home_local: Cycle,
+
+    /// Extra cycles, beyond the ownership grant, until all invalidation
+    /// acknowledgements reach the requester. The home sends invalidations
+    /// while processing the request, so acks arrive shortly after the
+    /// grant; a release under RC waits for them.
+    pub inval_roundtrip: Cycle,
+
+    /// Uncached (cache-bypassing) access latencies; the paper says these are
+    /// five to ten cycles less than the cached-fill latencies because there
+    /// is no fill overhead.
+    pub uncached_read_local: Cycle,
+    /// Uncached read serviced at a non-local home node.
+    pub uncached_read_home: Cycle,
+    /// Uncached write to local memory.
+    pub uncached_write_local: Cycle,
+    /// Uncached write to a non-local home node.
+    pub uncached_write_home: Cycle,
+
+    /// Cycles the processor is locked out of the primary cache while a
+    /// prefetched/filled line is written into it (four words, §5.1).
+    pub primary_fill_lockout: Cycle,
+}
+
+impl LatencyTable {
+    /// The paper's Table 1 values (DASH prototype derived).
+    pub fn dash() -> Self {
+        LatencyTable {
+            read_primary_hit: Cycle(1),
+            read_fill_secondary: Cycle(14),
+            read_fill_local: Cycle(26),
+            read_fill_home: Cycle(72),
+            read_fill_remote: Cycle(90),
+            read_fill_remote_home_local: Cycle(78),
+            write_owned_secondary: Cycle(2),
+            write_owned_local: Cycle(18),
+            write_owned_home: Cycle(64),
+            write_owned_remote: Cycle(82),
+            write_owned_remote_home_local: Cycle(70),
+            inval_roundtrip: Cycle(20),
+            uncached_read_local: Cycle(20),
+            uncached_read_home: Cycle(64),
+            uncached_write_local: Cycle(12),
+            uncached_write_home: Cycle(56),
+            primary_fill_lockout: Cycle(4),
+        }
+    }
+}
+
+impl Default for LatencyTable {
+    fn default() -> Self {
+        Self::dash()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_values() {
+        let t = LatencyTable::dash();
+        // Read operations (paper Table 1).
+        assert_eq!(t.read_primary_hit, Cycle(1));
+        assert_eq!(t.read_fill_secondary, Cycle(14));
+        assert_eq!(t.read_fill_local, Cycle(26));
+        assert_eq!(t.read_fill_home, Cycle(72));
+        assert_eq!(t.read_fill_remote, Cycle(90));
+        // Write operations.
+        assert_eq!(t.write_owned_secondary, Cycle(2));
+        assert_eq!(t.write_owned_local, Cycle(18));
+        assert_eq!(t.write_owned_home, Cycle(64));
+        assert_eq!(t.write_owned_remote, Cycle(82));
+    }
+
+    #[test]
+    fn latencies_are_monotone_with_distance() {
+        let t = LatencyTable::dash();
+        assert!(t.read_primary_hit < t.read_fill_secondary);
+        assert!(t.read_fill_secondary < t.read_fill_local);
+        assert!(t.read_fill_local < t.read_fill_home);
+        assert!(t.read_fill_home < t.read_fill_remote);
+        assert!(t.write_owned_secondary < t.write_owned_local);
+        assert!(t.write_owned_local < t.write_owned_home);
+        assert!(t.write_owned_home < t.write_owned_remote);
+    }
+
+    #[test]
+    fn uncached_is_cheaper_than_cached_fill() {
+        // "The latencies for non-cached shared data are five to ten cycles
+        // less than those in Table 1" (§3).
+        let t = LatencyTable::dash();
+        let read_delta = t.read_fill_local.as_u64() - t.uncached_read_local.as_u64();
+        assert!((5..=10).contains(&read_delta), "delta {read_delta}");
+        let home_delta = t.read_fill_home.as_u64() - t.uncached_read_home.as_u64();
+        assert!((5..=10).contains(&home_delta), "delta {home_delta}");
+        let write_delta = t.write_owned_local.as_u64() - t.uncached_write_local.as_u64();
+        assert!((5..=10).contains(&write_delta), "delta {write_delta}");
+    }
+
+    #[test]
+    fn default_is_dash() {
+        assert_eq!(LatencyTable::default(), LatencyTable::dash());
+    }
+}

@@ -1,0 +1,57 @@
+#![warn(missing_docs)]
+
+//! DASH-like memory-system substrate for the `dash-latency` simulator.
+//!
+//! This crate models the memory hierarchy of the paper's machine (§2.1):
+//! per-node write-through primary and write-back lockup-free secondary
+//! caches with 16-byte lines, a 16-entry write buffer and a 16-entry
+//! prefetch buffer, physically distributed memory with round-robin page
+//! placement (plus node-local allocation directives), an invalidating
+//! full-map directory protocol, and FCFS queueing contention on node buses,
+//! network ports and directory controllers.
+//!
+//! The central type is [`system::MemorySystem`]: the processor model asks it
+//! to service an access at a given simulated time and receives the
+//! completion time, the Table 1 service class, and the coherence actions
+//! performed.
+//!
+//! # Example
+//!
+//! ```
+//! use dashlat_mem::addr::NodeId;
+//! use dashlat_mem::layout::{AddressSpaceBuilder, Placement};
+//! use dashlat_mem::system::{AccessKind, MemConfig, MemorySystem, ServiceClass};
+//! use dashlat_sim::Cycle;
+//!
+//! let mut space = AddressSpaceBuilder::new(4);
+//! let data = space.alloc("data", 4096, Placement::Local(NodeId(0)));
+//! let mut cfg = MemConfig::dash_scaled(4);
+//! cfg.contention = false;
+//! let mut mem = MemorySystem::new(cfg, space.build());
+//!
+//! // A cold read from the local node's memory takes 26 cycles (Table 1).
+//! let r = mem.access(Cycle(0), NodeId(0), data.base(), AccessKind::Read);
+//! assert_eq!(r.class, ServiceClass::LocalMem);
+//! assert_eq!(r.done_at, Cycle(26));
+//! ```
+
+pub mod addr;
+pub mod buffers;
+pub mod cache;
+pub mod contention;
+pub mod directory;
+pub mod latency;
+pub mod layout;
+pub mod mesh;
+pub mod system;
+
+pub use addr::{Addr, LineAddr, NodeId, NodeSet, LINE_BYTES, PAGE_BYTES};
+pub use buffers::{
+    PendingPrefetch, PendingWrite, PrefetchBuffer, WriteBuffer, WriteKind, BUFFER_ENTRIES,
+};
+pub use cache::{Cache, Eviction, LineState};
+pub use contention::NetworkModel;
+pub use latency::LatencyTable;
+pub use layout::{AddressSpaceBuilder, PageMap, Placement, Segment};
+pub use mesh::Mesh;
+pub use system::{AccessKind, AccessResult, MemConfig, MemStats, MemorySystem, ServiceClass};

@@ -1,0 +1,978 @@
+//! The memory system: classification, coherence and timing of every access.
+//!
+//! [`MemorySystem`] owns each node's two cache levels, the machine-wide
+//! directory and the contended resources. The processor model calls
+//! [`MemorySystem::access`] at the simulated time an access (or buffered
+//! write, or prefetch) starts service and receives back *when* it completes,
+//! *where* it was serviced and what coherence actions it triggered.
+//!
+//! Timing = Table 1 uncontended latency + FCFS queueing delay on every
+//! resource along the path (local bus, network ports, home
+//! directory/memory, and for dirty-remote service the owner's bus).
+//!
+//! ### Modelling notes (documented deviations)
+//!
+//! * Directory and cache state updates take effect at request-processing
+//!   time; transient protocol races shorter than a network traversal are not
+//!   modelled. The paper's behavioural simulator abstracts at the same
+//!   level.
+//! * Write-backs of evicted dirty lines occupy the bus/network/memory but
+//!   are off the critical path of the access that caused them.
+
+use dashlat_sim::stats::{Distribution, Ratio};
+use dashlat_sim::Cycle;
+
+use crate::addr::{Addr, LineAddr, NodeId};
+use crate::cache::{Cache, Eviction, LineState};
+use crate::contention::{Contention, NetworkModel, OccupancyTable};
+use crate::directory::{Directory, DirectoryKind};
+use crate::latency::LatencyTable;
+use crate::layout::PageMap;
+
+/// Kinds of requests the processor environment can issue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessKind {
+    /// Demand load.
+    Read,
+    /// Demand store (or the service of a buffered store).
+    Write,
+    /// Non-binding read-shared prefetch.
+    ReadPrefetch,
+    /// Non-binding read-exclusive (ownership) prefetch.
+    ReadExPrefetch,
+}
+
+impl AccessKind {
+    /// True for the two prefetch kinds.
+    pub fn is_prefetch(self) -> bool {
+        matches!(self, AccessKind::ReadPrefetch | AccessKind::ReadExPrefetch)
+    }
+}
+
+/// Where an access was serviced (paper Table 1 rows).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ServiceClass {
+    /// Hit in the primary cache.
+    PrimaryHit,
+    /// Filled from / owned by the secondary cache.
+    SecondaryHit,
+    /// Serviced by the local node's memory (home = local).
+    LocalMem,
+    /// Serviced by a non-local home node's memory.
+    HomeMem,
+    /// Serviced by a remote cache holding the line dirty.
+    RemoteDirty,
+    /// Cache-bypassing access (caching of shared data disabled).
+    Uncached,
+    /// A prefetch dropped because the line was already cached.
+    PrefetchDiscard,
+}
+
+/// Result of one access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessResult {
+    /// When the data is available / ownership is acquired; for writes this
+    /// is the write-buffer retirement time.
+    pub done_at: Cycle,
+    /// When all invalidation acknowledgements have arrived (≥ `done_at`);
+    /// a release under RC waits for this.
+    pub acks_done_at: Cycle,
+    /// Where the access was serviced.
+    pub class: ServiceClass,
+    /// Whether the access hit in this node's caches (primary or secondary
+    /// for reads; owned-by-secondary for writes).
+    pub cache_hit: bool,
+    /// Number of sharer copies invalidated.
+    pub invalidations: u32,
+    /// Queueing delay included in `done_at` (contention telemetry).
+    pub queue_delay: Cycle,
+}
+
+impl AccessResult {
+    /// Total service latency relative to `start`.
+    pub fn latency_from(&self, start: Cycle) -> Cycle {
+        self.done_at.saturating_sub(start)
+    }
+}
+
+/// Configuration of the memory system.
+#[derive(Debug, Clone)]
+pub struct MemConfig {
+    /// Number of processing nodes (= processors).
+    pub nodes: usize,
+    /// Whether shared data is cacheable (Figure 2 contrasts off/on).
+    pub caching: bool,
+    /// Primary cache capacity in bytes.
+    pub primary_bytes: u64,
+    /// Secondary cache capacity in bytes.
+    pub secondary_bytes: u64,
+    /// Uncontended latencies (Table 1).
+    pub latencies: LatencyTable,
+    /// Resource occupancies for the contention model.
+    pub occupancies: OccupancyTable,
+    /// Whether to model queueing at all (disable for analytic tests).
+    pub contention: bool,
+    /// How network queueing is modelled (endpoint ports or a 2-D mesh).
+    pub network: NetworkModel,
+    /// Directory organisation (full-map or limited-pointer broadcast).
+    pub directory: DirectoryKind,
+}
+
+impl MemConfig {
+    /// The scaled configuration used for all the paper's experiments:
+    /// 2 KB primary / 4 KB secondary (§2.3).
+    pub fn dash_scaled(nodes: usize) -> Self {
+        MemConfig {
+            nodes,
+            caching: true,
+            primary_bytes: 2 * 1024,
+            secondary_bytes: 4 * 1024,
+            latencies: LatencyTable::dash(),
+            occupancies: OccupancyTable::dash(),
+            contention: true,
+            network: NetworkModel::Ports,
+            directory: DirectoryKind::FullMap,
+        }
+    }
+
+    /// The full-size 64 KB / 256 KB caches of the DASH prototype.
+    pub fn dash_full(nodes: usize) -> Self {
+        MemConfig {
+            primary_bytes: 64 * 1024,
+            secondary_bytes: 256 * 1024,
+            ..Self::dash_scaled(nodes)
+        }
+    }
+
+    /// Shared data not cacheable (the Figure 2 baseline).
+    pub fn uncached(nodes: usize) -> Self {
+        MemConfig {
+            caching: false,
+            ..Self::dash_scaled(nodes)
+        }
+    }
+}
+
+/// Aggregate memory-system statistics for a run.
+#[derive(Debug, Clone, Default)]
+pub struct MemStats {
+    /// Shared-read cache hit ratio (primary or secondary).
+    pub read_hits: Ratio,
+    /// Shared-write "owned by secondary" hit ratio.
+    pub write_hits: Ratio,
+    /// Demand reads serviced.
+    pub reads: u64,
+    /// Writes serviced (write-buffer retirements under RC).
+    pub writes: u64,
+    /// Prefetches issued to the memory system.
+    pub prefetches: u64,
+    /// Prefetches discarded because the line was already cached.
+    pub prefetch_discards: u64,
+    /// Invalidation messages sent.
+    pub invalidations_sent: u64,
+    /// Dirty lines written back on eviction.
+    pub writebacks: u64,
+    /// Distribution of read-miss service latencies.
+    pub read_miss_latency: Distribution,
+    /// Distribution of write-miss (ownership) service latencies.
+    pub write_miss_latency: Distribution,
+    /// Total queueing delay suffered by all accesses.
+    pub queue_delay: Cycle,
+}
+
+/// The simulated memory system of the whole machine.
+pub struct MemorySystem {
+    cfg: MemConfig,
+    page_map: PageMap,
+    primary: Vec<Cache>,
+    secondary: Vec<Cache>,
+    directory: Directory,
+    contention: Contention,
+    stats: MemStats,
+}
+
+impl std::fmt::Debug for MemorySystem {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MemorySystem")
+            .field("nodes", &self.cfg.nodes)
+            .field("caching", &self.cfg.caching)
+            .field("tracked_lines", &self.directory.tracked_lines())
+            .finish()
+    }
+}
+
+impl MemorySystem {
+    /// Builds the memory system for a machine layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the page map was built for a different node count.
+    pub fn new(cfg: MemConfig, page_map: PageMap) -> Self {
+        assert_eq!(cfg.nodes, page_map.nodes(), "config/page-map node mismatch");
+        let primary = (0..cfg.nodes)
+            .map(|_| Cache::new(cfg.primary_bytes))
+            .collect();
+        let secondary = (0..cfg.nodes)
+            .map(|_| Cache::new(cfg.secondary_bytes))
+            .collect();
+        let contention = Contention::with_network(
+            cfg.nodes,
+            cfg.occupancies.clone(),
+            cfg.contention,
+            cfg.network,
+        );
+        let directory = Directory::with_kind(cfg.directory, cfg.nodes);
+        MemorySystem {
+            cfg,
+            page_map,
+            primary,
+            secondary,
+            directory,
+            contention,
+            stats: MemStats::default(),
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &MemConfig {
+        &self.cfg
+    }
+
+    /// Statistics accumulated so far.
+    pub fn stats(&self) -> &MemStats {
+        &self.stats
+    }
+
+    /// Writes that degraded to broadcast invalidation (limited-pointer
+    /// directories only).
+    pub fn directory_broadcasts(&self) -> u64 {
+        self.directory.broadcasts()
+    }
+
+    /// Home node of an address (page placement).
+    pub fn home_of(&self, addr: Addr) -> NodeId {
+        self.page_map.home_of(addr)
+    }
+
+    /// State of `line` in `node`'s secondary cache (used by the prefetch
+    /// buffer's head check). Always `None` when caching is disabled.
+    pub fn probe_secondary(&self, node: NodeId, line: LineAddr) -> Option<LineState> {
+        if !self.cfg.caching {
+            return None;
+        }
+        self.secondary[node.0].probe(line)
+    }
+
+    /// Services one access starting at `now` from `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is outside the machine.
+    pub fn access(
+        &mut self,
+        now: Cycle,
+        node: NodeId,
+        addr: Addr,
+        kind: AccessKind,
+    ) -> AccessResult {
+        assert!(node.0 < self.cfg.nodes, "access from nonexistent {node}");
+        if !self.cfg.caching {
+            return self.uncached_access(now, node, addr, kind);
+        }
+        match kind {
+            AccessKind::Read => self.read(now, node, addr),
+            AccessKind::Write => self.write(now, node, addr),
+            AccessKind::ReadPrefetch => self.prefetch(now, node, addr, false),
+            AccessKind::ReadExPrefetch => self.prefetch(now, node, addr, true),
+        }
+    }
+
+    // ---- demand reads -------------------------------------------------
+
+    fn read(&mut self, now: Cycle, node: NodeId, addr: Addr) -> AccessResult {
+        let line = addr.line();
+        self.stats.reads += 1;
+        if self.primary[node.0].probe(line).is_some() {
+            self.stats.read_hits.record(true);
+            return AccessResult {
+                done_at: now + self.cfg.latencies.read_primary_hit,
+                acks_done_at: now + self.cfg.latencies.read_primary_hit,
+                class: ServiceClass::PrimaryHit,
+                cache_hit: true,
+                invalidations: 0,
+                queue_delay: Cycle::ZERO,
+            };
+        }
+        if self.secondary[node.0].probe(line).is_some() {
+            self.stats.read_hits.record(true);
+            self.primary[node.0].fill(line, LineState::Shared);
+            let done = now + self.cfg.latencies.read_fill_secondary;
+            return AccessResult {
+                done_at: done,
+                acks_done_at: done,
+                class: ServiceClass::SecondaryHit,
+                cache_hit: true,
+                invalidations: 0,
+                queue_delay: Cycle::ZERO,
+            };
+        }
+        self.stats.read_hits.record(false);
+        let res = self.fetch_shared(now, node, line, true);
+        self.stats.read_miss_latency.record(res.latency_from(now));
+        res
+    }
+
+    /// Fetches `line` in shared state into `node`'s caches (read miss or
+    /// read prefetch). `fill_primary` distinguishes demand reads and
+    /// prefetches (both fill both levels, §5.1) — kept as a parameter so
+    /// alternative policies can be tested.
+    fn fetch_shared(
+        &mut self,
+        now: Cycle,
+        node: NodeId,
+        line: LineAddr,
+        fill_primary: bool,
+    ) -> AccessResult {
+        let home = self.page_map.home_of(line.base());
+        let outcome = self.directory.read(line, node);
+        let lat = self.cfg.latencies.clone();
+
+        let mut t = now;
+        let mut delay = self.contention.bus(t, node);
+        t = now + delay;
+
+        let (class, service) = if let Some(owner) = outcome.dirty_owner {
+            // Data supplied by the remote owner's cache; owner keeps a
+            // clean copy (sharing writeback).
+            if home != node {
+                delay += self.contention.network(t, node, home);
+                t = now + delay;
+                delay += self.contention.memory(t, home);
+                t = now + delay;
+            } else {
+                delay += self.contention.memory(t, home);
+                t = now + delay;
+            }
+            delay += self.contention.network(t, home, owner);
+            t = now + delay;
+            delay += self.contention.bus(t, owner);
+            t = now + delay;
+            delay += self.contention.network(t, owner, node);
+            self.secondary[owner.0].downgrade(line);
+            if home == node {
+                (ServiceClass::RemoteDirty, lat.read_fill_remote_home_local)
+            } else {
+                (ServiceClass::RemoteDirty, lat.read_fill_remote)
+            }
+        } else if home == node {
+            delay += self.contention.memory(t, home);
+            (ServiceClass::LocalMem, lat.read_fill_local)
+        } else {
+            delay += self.contention.network(t, node, home);
+            t = now + delay;
+            delay += self.contention.memory(t, home);
+            t = now + delay;
+            delay += self.contention.network(t, home, node);
+            (ServiceClass::HomeMem, lat.read_fill_home)
+        };
+
+        self.install_secondary(node, line, LineState::Shared);
+        if fill_primary {
+            self.primary[node.0].fill(line, LineState::Shared);
+        }
+        self.stats.queue_delay += delay;
+        let done = now + delay + service;
+        AccessResult {
+            done_at: done,
+            acks_done_at: done,
+            class,
+            cache_hit: false,
+            invalidations: 0,
+            queue_delay: delay,
+        }
+    }
+
+    // ---- writes --------------------------------------------------------
+
+    fn write(&mut self, now: Cycle, node: NodeId, addr: Addr) -> AccessResult {
+        let line = addr.line();
+        self.stats.writes += 1;
+        if self.secondary[node.0].probe(line) == Some(LineState::Dirty) {
+            self.stats.write_hits.record(true);
+            let done = now + self.cfg.latencies.write_owned_secondary;
+            return AccessResult {
+                done_at: done,
+                acks_done_at: done,
+                class: ServiceClass::SecondaryHit,
+                cache_hit: true,
+                invalidations: 0,
+                queue_delay: Cycle::ZERO,
+            };
+        }
+        self.stats.write_hits.record(false);
+        let res = self.fetch_exclusive(now, node, line);
+        self.stats.write_miss_latency.record(res.latency_from(now));
+        res
+    }
+
+    /// Acquires exclusive ownership of `line` for `node` (write miss,
+    /// shared-upgrade, or read-exclusive prefetch).
+    fn fetch_exclusive(&mut self, now: Cycle, node: NodeId, line: LineAddr) -> AccessResult {
+        let home = self.page_map.home_of(line.base());
+        let had_shared_copy = self.secondary[node.0].probe(line) == Some(LineState::Shared);
+        let outcome = self.directory.write(line, node);
+        let lat = self.cfg.latencies.clone();
+
+        let mut t = now;
+        let mut delay = self.contention.bus(t, node);
+        t = now + delay;
+
+        let (class, service) = if let Some(owner) = outcome.dirty_owner {
+            // Ownership (and data) transferred from the remote dirty owner.
+            if home != node {
+                delay += self.contention.network(t, node, home);
+                t = now + delay;
+                delay += self.contention.memory(t, home);
+                t = now + delay;
+            } else {
+                delay += self.contention.memory(t, home);
+                t = now + delay;
+            }
+            delay += self.contention.network(t, home, owner);
+            t = now + delay;
+            delay += self.contention.bus(t, owner);
+            t = now + delay;
+            delay += self.contention.network(t, owner, node);
+            self.invalidate_at(owner, line);
+            if home == node {
+                (ServiceClass::RemoteDirty, lat.write_owned_remote_home_local)
+            } else {
+                (ServiceClass::RemoteDirty, lat.write_owned_remote)
+            }
+        } else if home == node {
+            delay += self.contention.memory(t, home);
+            (ServiceClass::LocalMem, lat.write_owned_local)
+        } else {
+            delay += self.contention.network(t, node, home);
+            t = now + delay;
+            delay += self.contention.memory(t, home);
+            t = now + delay;
+            delay += self.contention.network(t, home, node);
+            (ServiceClass::HomeMem, lat.write_owned_home)
+        };
+
+        // Invalidate all other sharer copies (point-to-point messages from
+        // the home; they occupy network ports but are off the grant path —
+        // the grant does not wait for acks, §2.1).
+        let mut invalidations = 0u32;
+        let grant = now + delay + service;
+        for sharer in outcome.invalidate.iter() {
+            self.invalidate_at(sharer, line);
+            self.contention.network(grant, home, sharer);
+            invalidations += 1;
+        }
+        self.stats.invalidations_sent += u64::from(invalidations);
+
+        if had_shared_copy {
+            self.secondary[node.0].upgrade(line);
+        } else {
+            self.install_secondary(node, line, LineState::Dirty);
+        }
+
+        self.stats.queue_delay += delay;
+        let needs_acks = invalidations > 0 || outcome.dirty_owner.is_some();
+        let acks_done = if needs_acks {
+            grant + lat.inval_roundtrip
+        } else {
+            grant
+        };
+        AccessResult {
+            done_at: grant,
+            acks_done_at: acks_done,
+            class,
+            cache_hit: false,
+            invalidations,
+            queue_delay: delay,
+        }
+    }
+
+    // ---- prefetches ----------------------------------------------------
+
+    fn prefetch(&mut self, now: Cycle, node: NodeId, addr: Addr, exclusive: bool) -> AccessResult {
+        let line = addr.line();
+        self.stats.prefetches += 1;
+        let resident = self.secondary[node.0].probe(line);
+        let satisfied = match (resident, exclusive) {
+            (Some(LineState::Dirty), _) => true,
+            (Some(LineState::Shared), false) => true,
+            (Some(LineState::Shared), true) => false, // needs ownership upgrade
+            (None, _) => false,
+        };
+        if satisfied {
+            self.stats.prefetch_discards += 1;
+            return AccessResult {
+                done_at: now,
+                acks_done_at: now,
+                class: ServiceClass::PrefetchDiscard,
+                cache_hit: true,
+                invalidations: 0,
+                queue_delay: Cycle::ZERO,
+            };
+        }
+        if exclusive {
+            let res = self.fetch_exclusive(now, node, line);
+            // Prefetch responses are placed in both caches (§5.1).
+            self.primary[node.0].fill(line, LineState::Shared);
+            res
+        } else {
+            self.fetch_shared(now, node, line, true)
+        }
+    }
+
+    // ---- uncached (Figure 2 baseline) ------------------------------------
+
+    fn uncached_access(
+        &mut self,
+        now: Cycle,
+        node: NodeId,
+        addr: Addr,
+        kind: AccessKind,
+    ) -> AccessResult {
+        // Without caches there is nothing for a prefetch to do.
+        if kind.is_prefetch() {
+            self.stats.prefetches += 1;
+            self.stats.prefetch_discards += 1;
+            return AccessResult {
+                done_at: now,
+                acks_done_at: now,
+                class: ServiceClass::PrefetchDiscard,
+                cache_hit: false,
+                invalidations: 0,
+                queue_delay: Cycle::ZERO,
+            };
+        }
+        let home = self.page_map.home_of(addr);
+        let lat = self.cfg.latencies.clone();
+        let service = match (kind, home == node) {
+            (AccessKind::Read, true) => lat.uncached_read_local,
+            (AccessKind::Read, false) => lat.uncached_read_home,
+            (AccessKind::Write, true) => lat.uncached_write_local,
+            (AccessKind::Write, false) => lat.uncached_write_home,
+            _ => unreachable!("prefetches handled above"),
+        };
+        match kind {
+            AccessKind::Read => self.stats.reads += 1,
+            AccessKind::Write => self.stats.writes += 1,
+            _ => {}
+        }
+
+        let mut t = now;
+        let mut delay = self.contention.bus(t, node);
+        t = now + delay;
+        if home != node {
+            delay += self.contention.network(t, node, home);
+            t = now + delay;
+            delay += self.contention.memory(t, home);
+            t = now + delay;
+            delay += self.contention.network(t, home, node);
+        } else {
+            delay += self.contention.memory(t, home);
+        }
+        self.stats.queue_delay += delay;
+        let done = now + delay + service;
+        let dist = if kind == AccessKind::Read {
+            &mut self.stats.read_miss_latency
+        } else {
+            &mut self.stats.write_miss_latency
+        };
+        dist.record(done.saturating_sub(now));
+        AccessResult {
+            done_at: done,
+            acks_done_at: done,
+            class: ServiceClass::Uncached,
+            cache_hit: false,
+            invalidations: 0,
+            queue_delay: delay,
+        }
+    }
+
+    // ---- helpers ---------------------------------------------------------
+
+    /// Installs a line in `node`'s secondary cache, handling the directory
+    /// consequences of any eviction and keeping the primary inclusive.
+    fn install_secondary(&mut self, node: NodeId, line: LineAddr, state: LineState) {
+        match self.secondary[node.0].fill(line, state) {
+            Eviction::None => {}
+            Eviction::Clean(victim) => {
+                self.directory.evict_clean(victim, node);
+                self.primary[node.0].invalidate(victim);
+            }
+            Eviction::Dirty(victim) => {
+                self.directory.writeback(victim, node);
+                self.primary[node.0].invalidate(victim);
+                self.stats.writebacks += 1;
+            }
+        }
+    }
+
+    /// Invalidates `line` in both of `node`'s cache levels.
+    fn invalidate_at(&mut self, node: NodeId, line: LineAddr) {
+        self.secondary[node.0].invalidate(line);
+        self.primary[node.0].invalidate(line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::{AddressSpaceBuilder, Placement};
+
+    /// Machine with `nodes` nodes, contention off (analytic latencies), one
+    /// local page per node and one round-robin region.
+    fn machine(nodes: usize) -> (MemorySystem, Vec<Addr>, Addr) {
+        let mut b = AddressSpaceBuilder::new(nodes);
+        let locals: Vec<Addr> = b
+            .alloc_per_node("local", 4096)
+            .iter()
+            .map(|s| s.base())
+            .collect();
+        let shared = b
+            .alloc("shared", 4096 * nodes as u64, Placement::RoundRobin)
+            .base();
+        let mut cfg = MemConfig::dash_scaled(nodes);
+        cfg.contention = false;
+        (MemorySystem::new(cfg, b.build()), locals, shared)
+    }
+
+    #[test]
+    fn read_latency_ladder_matches_table1() {
+        let (mut m, locals, _) = machine(4);
+        let a = locals[0]; // homed on node 0
+        let n0 = NodeId(0);
+        let n1 = NodeId(1);
+
+        // Cold read from local memory: 26.
+        let r = m.access(Cycle(0), n0, a, AccessKind::Read);
+        assert_eq!(r.class, ServiceClass::LocalMem);
+        assert_eq!(r.done_at, Cycle(26));
+        assert!(!r.cache_hit);
+
+        // Re-read: primary hit, 1 cycle.
+        let r = m.access(Cycle(30), n0, a, AccessKind::Read);
+        assert_eq!(r.class, ServiceClass::PrimaryHit);
+        assert_eq!(r.done_at, Cycle(31));
+
+        // Node 1 reads the same line: home (node 0) service, 72.
+        let r = m.access(Cycle(40), n1, a, AccessKind::Read);
+        assert_eq!(r.class, ServiceClass::HomeMem);
+        assert_eq!(r.done_at, Cycle(40 + 72));
+    }
+
+    #[test]
+    fn secondary_hit_after_primary_conflict() {
+        let (mut m, locals, _) = machine(2);
+        let n0 = NodeId(0);
+        let a = locals[0];
+        // Fill line A, then evict it from the primary (2KB = 128 lines) with
+        // a conflicting line, while it stays in the 4KB secondary.
+        let conflict = a.offset(2048);
+        m.access(Cycle(0), n0, a, AccessKind::Read);
+        m.access(Cycle(100), n0, conflict, AccessKind::Read);
+        let r = m.access(Cycle(200), n0, a, AccessKind::Read);
+        assert_eq!(r.class, ServiceClass::SecondaryHit);
+        assert_eq!(r.done_at, Cycle(214));
+    }
+
+    #[test]
+    fn dirty_remote_read_costs_90_and_downgrades() {
+        let (mut m, locals, _) = machine(4);
+        let a = locals[2]; // home = node 2
+                           // Node 0 writes the line (dirty at node 0).
+        let w = m.access(Cycle(0), NodeId(0), a, AccessKind::Write);
+        assert_eq!(w.class, ServiceClass::HomeMem);
+        assert_eq!(w.done_at, Cycle(64));
+        // Node 1 reads: three-party remote service, 90 cycles.
+        let r = m.access(Cycle(100), NodeId(1), a, AccessKind::Read);
+        assert_eq!(r.class, ServiceClass::RemoteDirty);
+        assert_eq!(r.done_at, Cycle(190));
+        // Owner's copy is now clean.
+        assert_eq!(
+            m.probe_secondary(NodeId(0), a.line()),
+            Some(LineState::Shared)
+        );
+    }
+
+    #[test]
+    fn write_hit_costs_2() {
+        let (mut m, locals, _) = machine(2);
+        let a = locals[0];
+        m.access(Cycle(0), NodeId(0), a, AccessKind::Write);
+        let w = m.access(Cycle(50), NodeId(0), a, AccessKind::Write);
+        assert_eq!(w.class, ServiceClass::SecondaryHit);
+        assert_eq!(w.done_at, Cycle(52));
+        assert!(w.cache_hit);
+    }
+
+    #[test]
+    fn write_to_shared_line_invalidates_and_waits_for_acks() {
+        let (mut m, locals, _) = machine(4);
+        let a = locals[0];
+        // Three nodes read the line.
+        for n in 0..3 {
+            m.access(Cycle(0), NodeId(n), a, AccessKind::Read);
+        }
+        // Node 1 writes: local copy upgraded, two invalidations.
+        let w = m.access(Cycle(100), NodeId(1), a, AccessKind::Write);
+        assert_eq!(w.invalidations, 2);
+        assert_eq!(w.done_at, Cycle(100 + 64)); // ownership from home (node 0)
+        assert!(w.acks_done_at > w.done_at);
+        // Other copies are gone: node 0's read misses now.
+        let r = m.access(Cycle(300), NodeId(0), a, AccessKind::Read);
+        assert!(!r.cache_hit);
+        assert_eq!(r.class, ServiceClass::RemoteDirty);
+    }
+
+    #[test]
+    fn write_upgrade_keeps_requester_copy_out_of_inval_set() {
+        let (mut m, locals, _) = machine(2);
+        let a = locals[0];
+        m.access(Cycle(0), NodeId(0), a, AccessKind::Read);
+        let w = m.access(Cycle(50), NodeId(0), a, AccessKind::Write);
+        assert_eq!(w.invalidations, 0);
+        assert_eq!(w.acks_done_at, w.done_at);
+        assert_eq!(w.done_at, Cycle(50 + 18)); // local ownership
+        assert_eq!(
+            m.probe_secondary(NodeId(0), a.line()),
+            Some(LineState::Dirty)
+        );
+    }
+
+    #[test]
+    fn dirty_remote_write_transfers_ownership() {
+        let (mut m, locals, _) = machine(4);
+        let a = locals[3];
+        m.access(Cycle(0), NodeId(0), a, AccessKind::Write);
+        let w = m.access(Cycle(100), NodeId(1), a, AccessKind::Write);
+        assert_eq!(w.class, ServiceClass::RemoteDirty);
+        assert_eq!(w.done_at, Cycle(100 + 82));
+        assert_eq!(m.probe_secondary(NodeId(0), a.line()), None);
+        assert_eq!(
+            m.probe_secondary(NodeId(1), a.line()),
+            Some(LineState::Dirty)
+        );
+    }
+
+    #[test]
+    fn prefetch_fills_and_demand_read_hits() {
+        let (mut m, locals, _) = machine(2);
+        let a = locals[1];
+        let p = m.access(Cycle(0), NodeId(0), a, AccessKind::ReadPrefetch);
+        assert_eq!(p.class, ServiceClass::HomeMem);
+        let r = m.access(p.done_at, NodeId(0), a, AccessKind::Read);
+        assert_eq!(r.class, ServiceClass::PrimaryHit);
+    }
+
+    #[test]
+    fn prefetch_discarded_when_line_resident() {
+        let (mut m, locals, _) = machine(2);
+        let a = locals[0];
+        m.access(Cycle(0), NodeId(0), a, AccessKind::Read);
+        let p = m.access(Cycle(50), NodeId(0), a, AccessKind::ReadPrefetch);
+        assert_eq!(p.class, ServiceClass::PrefetchDiscard);
+        assert_eq!(p.done_at, Cycle(50));
+        assert_eq!(m.stats().prefetch_discards, 1);
+    }
+
+    #[test]
+    fn exclusive_prefetch_makes_write_hit() {
+        let (mut m, locals, _) = machine(2);
+        let a = locals[1];
+        let p = m.access(Cycle(0), NodeId(0), a, AccessKind::ReadExPrefetch);
+        assert_eq!(p.class, ServiceClass::HomeMem);
+        let w = m.access(Cycle(200), NodeId(0), a, AccessKind::Write);
+        assert_eq!(w.class, ServiceClass::SecondaryHit);
+        assert_eq!(w.done_at, Cycle(202));
+    }
+
+    #[test]
+    fn exclusive_prefetch_upgrades_shared_line() {
+        let (mut m, locals, _) = machine(2);
+        let a = locals[0];
+        m.access(Cycle(0), NodeId(0), a, AccessKind::Read);
+        let p = m.access(Cycle(50), NodeId(0), a, AccessKind::ReadExPrefetch);
+        assert_ne!(p.class, ServiceClass::PrefetchDiscard);
+        assert_eq!(
+            m.probe_secondary(NodeId(0), a.line()),
+            Some(LineState::Dirty)
+        );
+    }
+
+    #[test]
+    fn uncached_mode_bypasses_caches() {
+        let mut b = AddressSpaceBuilder::new(2);
+        let seg = b.alloc("x", 4096, Placement::Local(NodeId(0)));
+        let mut cfg = MemConfig::uncached(2);
+        cfg.contention = false;
+        let mut m = MemorySystem::new(cfg, b.build());
+        let a = seg.base();
+        let r1 = m.access(Cycle(0), NodeId(0), a, AccessKind::Read);
+        assert_eq!(r1.class, ServiceClass::Uncached);
+        assert_eq!(r1.done_at, Cycle(20));
+        // Second read is just as slow: nothing was cached.
+        let r2 = m.access(Cycle(100), NodeId(0), a, AccessKind::Read);
+        assert_eq!(r2.done_at, Cycle(120));
+        // Remote read/write.
+        let r3 = m.access(Cycle(0), NodeId(1), a, AccessKind::Read);
+        assert_eq!(r3.done_at, Cycle(64));
+        let w = m.access(Cycle(0), NodeId(1), a, AccessKind::Write);
+        assert_eq!(w.done_at, Cycle(56));
+        let wl = m.access(Cycle(0), NodeId(0), a, AccessKind::Write);
+        assert_eq!(wl.done_at, Cycle(12));
+    }
+
+    #[test]
+    fn contention_queues_concurrent_remote_reads() {
+        let mut b = AddressSpaceBuilder::new(2);
+        let seg = b.alloc("x", 4096, Placement::Local(NodeId(0)));
+        let cfg = MemConfig::dash_scaled(2); // contention on
+        let mut m = MemorySystem::new(cfg, b.build());
+        // Two different lines, both homed on node 0, read by node 1
+        // back-to-back: the second suffers queueing delay.
+        let r1 = m.access(Cycle(0), NodeId(1), seg.base(), AccessKind::Read);
+        let r2 = m.access(Cycle(0), NodeId(1), seg.base().offset(16), AccessKind::Read);
+        assert_eq!(r1.queue_delay, Cycle::ZERO);
+        assert!(r2.queue_delay > Cycle::ZERO, "no queueing modelled");
+        assert!(r2.done_at > r1.done_at);
+    }
+
+    #[test]
+    fn dirty_eviction_writes_back_and_releases_ownership() {
+        let (mut m, locals, _) = machine(2);
+        let n0 = NodeId(0);
+        let a = locals[0];
+        // Dirty line A, then evict it from the 4KB secondary via a
+        // conflicting line 4096 bytes away.
+        m.access(Cycle(0), n0, a, AccessKind::Write);
+        m.access(Cycle(100), n0, a.offset(4096), AccessKind::Read);
+        assert_eq!(m.stats().writebacks, 1);
+        // Node 1 can now read from memory (home), not from node 0.
+        let r = m.access(Cycle(300), NodeId(1), a, AccessKind::Read);
+        assert_eq!(r.class, ServiceClass::HomeMem);
+    }
+
+    #[test]
+    fn inclusion_primary_never_outlives_secondary() {
+        let (mut m, locals, _) = machine(2);
+        let n0 = NodeId(0);
+        let a = locals[0];
+        m.access(Cycle(0), n0, a, AccessKind::Read); // in both levels
+        m.access(Cycle(100), n0, a.offset(4096), AccessKind::Read); // evicts from secondary
+                                                                    // The primary copy must be gone too: a read may not be a primary hit.
+        let r = m.access(Cycle(200), n0, a, AccessKind::Read);
+        assert_ne!(r.class, ServiceClass::PrimaryHit);
+        assert_ne!(r.class, ServiceClass::SecondaryHit);
+    }
+
+    #[test]
+    fn hit_ratio_accounting() {
+        let (mut m, locals, _) = machine(2);
+        let a = locals[0];
+        m.access(Cycle(0), NodeId(0), a, AccessKind::Read); // miss
+        m.access(Cycle(50), NodeId(0), a, AccessKind::Read); // hit
+        m.access(Cycle(60), NodeId(0), a, AccessKind::Read); // hit
+        let s = m.stats();
+        assert_eq!(s.reads, 3);
+        assert_eq!(s.read_hits.hits(), 2);
+        assert_eq!(s.read_hits.total(), 3);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::layout::{AddressSpaceBuilder, Placement};
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Coherence safety: after any access sequence, at most one node
+        /// holds a line dirty, and completion times are always >= start.
+        #[test]
+        fn single_writer_invariant(
+            ops in proptest::collection::vec((0usize..4, 0u64..32, any::<bool>()), 1..300)
+        ) {
+            let mut b = AddressSpaceBuilder::new(4);
+            let seg = b.alloc("x", 32 * 16, Placement::RoundRobin);
+            let mut cfg = MemConfig::dash_scaled(4);
+            cfg.contention = false;
+            let mut m = MemorySystem::new(cfg, b.build());
+            let mut now = Cycle::ZERO;
+            for (node, lineno, is_write) in ops {
+                let addr = seg.base().offset(lineno * 16);
+                let kind = if is_write { AccessKind::Write } else { AccessKind::Read };
+                let r = m.access(now, NodeId(node), addr, kind);
+                prop_assert!(r.done_at >= now);
+                prop_assert!(r.acks_done_at >= r.done_at);
+                now = r.done_at;
+                // Check the single-writer invariant on the touched line.
+                let dirty_holders = (0..4)
+                    .filter(|&n| m.probe_secondary(NodeId(n), addr.line()) == Some(crate::cache::LineState::Dirty))
+                    .count();
+                prop_assert!(dirty_holders <= 1, "{dirty_holders} dirty holders");
+                if is_write {
+                    // Writer must own the line afterwards.
+                    prop_assert_eq!(
+                        m.probe_secondary(NodeId(node), addr.line()),
+                        Some(crate::cache::LineState::Dirty)
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod contention_proptests {
+    use super::*;
+    use crate::layout::{AddressSpaceBuilder, Placement};
+    use proptest::prelude::*;
+
+    fn machine(contention: bool) -> (MemorySystem, crate::layout::Segment) {
+        let mut b = AddressSpaceBuilder::new(4);
+        let seg = b.alloc("x", 64 * 16, Placement::RoundRobin);
+        let mut cfg = MemConfig::dash_scaled(4);
+        cfg.contention = contention;
+        (MemorySystem::new(cfg, b.build()), seg)
+    }
+
+    proptest! {
+        /// Contention only ever adds queueing delay: for the same access
+        /// sequence the contended machine reports the same service classes
+        /// and never-earlier completion times than the analytic one.
+        #[test]
+        fn queueing_is_purely_additive(
+            ops in proptest::collection::vec((0usize..4, 0u64..64, any::<bool>(), 0u64..50), 1..200)
+        ) {
+            let (mut with, seg) = machine(true);
+            let (mut without, _) = machine(false);
+            let mut now = Cycle::ZERO;
+            for (node, line, is_write, gap) in ops {
+                now += Cycle(gap);
+                let addr = seg.at(line * 16);
+                let kind = if is_write { AccessKind::Write } else { AccessKind::Read };
+                let a = with.access(now, NodeId(node), addr, kind);
+                let b = without.access(now, NodeId(node), addr, kind);
+                prop_assert_eq!(a.class, b.class, "service classes diverged");
+                prop_assert_eq!(a.invalidations, b.invalidations);
+                prop_assert!(a.done_at >= b.done_at, "contention made an access faster");
+                prop_assert_eq!(a.done_at, b.done_at + a.queue_delay);
+            }
+            // Identical protocol state at the end.
+            prop_assert_eq!(with.stats().read_hits, without.stats().read_hits);
+            prop_assert_eq!(with.stats().write_hits, without.stats().write_hits);
+            prop_assert_eq!(
+                with.stats().invalidations_sent,
+                without.stats().invalidations_sent
+            );
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! Behaviour of the limited-pointer (Dir_i-B) directory extension,
+//! end-to-end through the memory system.
+
+use dashlat_mem::addr::NodeId;
+use dashlat_mem::directory::DirectoryKind;
+use dashlat_mem::layout::{AddressSpaceBuilder, Placement};
+use dashlat_mem::system::{AccessKind, MemConfig, MemorySystem};
+use dashlat_sim::Cycle;
+
+fn machine(nodes: usize, directory: DirectoryKind) -> (MemorySystem, dashlat_mem::Addr) {
+    let mut b = AddressSpaceBuilder::new(nodes);
+    let seg = b.alloc("x", 4096, Placement::Local(NodeId(0)));
+    let mut cfg = MemConfig::dash_scaled(nodes);
+    cfg.contention = false;
+    cfg.directory = directory;
+    (MemorySystem::new(cfg, b.build()), seg.base())
+}
+
+#[test]
+fn full_map_invalidates_exactly_the_sharers() {
+    let (mut m, a) = machine(8, DirectoryKind::FullMap);
+    for n in 0..5 {
+        m.access(Cycle(0), NodeId(n), a, AccessKind::Read);
+    }
+    let w = m.access(Cycle(100), NodeId(0), a, AccessKind::Write);
+    assert_eq!(w.invalidations, 4);
+    assert_eq!(m.directory_broadcasts(), 0);
+}
+
+#[test]
+fn within_pointer_budget_behaves_like_full_map() {
+    let (mut m, a) = machine(8, DirectoryKind::LimitedPtr { pointers: 4 });
+    // Three sharers fit the four pointers.
+    for n in 0..3 {
+        m.access(Cycle(0), NodeId(n), a, AccessKind::Read);
+    }
+    let w = m.access(Cycle(100), NodeId(0), a, AccessKind::Write);
+    assert_eq!(w.invalidations, 2);
+    assert_eq!(m.directory_broadcasts(), 0);
+}
+
+#[test]
+fn overflow_broadcasts_to_everyone() {
+    let (mut m, a) = machine(8, DirectoryKind::LimitedPtr { pointers: 2 });
+    // Four sharers overflow the two pointers.
+    for n in 0..4 {
+        m.access(Cycle(0), NodeId(n), a, AccessKind::Read);
+    }
+    let w = m.access(Cycle(100), NodeId(0), a, AccessKind::Write);
+    // Broadcast: everyone but the writer gets an invalidation message.
+    assert_eq!(w.invalidations, 7);
+    assert_eq!(m.directory_broadcasts(), 1);
+    // Coherence still holds: node 1's copy is gone.
+    let r = m.access(Cycle(500), NodeId(1), a, AccessKind::Read);
+    assert!(!r.cache_hit, "stale copy survived a broadcast invalidation");
+}
+
+#[test]
+fn overflow_line_recovers_after_the_write() {
+    let (mut m, a) = machine(8, DirectoryKind::LimitedPtr { pointers: 3 });
+    for n in 0..4 {
+        m.access(Cycle(0), NodeId(n), a, AccessKind::Read);
+    }
+    m.access(Cycle(100), NodeId(0), a, AccessKind::Write);
+    assert_eq!(m.directory_broadcasts(), 1);
+    // Post-write the line is Dirty at node 0 again: precise tracking
+    // resumes. Two readers join the old owner — three pointers suffice.
+    for n in 1..3 {
+        m.access(Cycle(200), NodeId(n), a, AccessKind::Read);
+    }
+    let w = m.access(Cycle(300), NodeId(1), a, AccessKind::Write);
+    assert_eq!(
+        w.invalidations, 2,
+        "expected precise invalidations after recovery"
+    );
+    assert_eq!(m.directory_broadcasts(), 1, "no further broadcast needed");
+}
+
+#[test]
+fn limited_directory_costs_more_ack_traffic() {
+    // Widely shared line, repeated producer writes: the limited directory
+    // sends strictly more invalidation messages.
+    let run = |directory: DirectoryKind| {
+        let (mut m, a) = machine(16, directory);
+        let mut now = Cycle(0);
+        for round in 0..10 {
+            for n in 1..16 {
+                m.access(now, NodeId(n), a, AccessKind::Read);
+            }
+            let w = m.access(now, NodeId(0), a, AccessKind::Write);
+            now = w.done_at + Cycle(100 * (round + 1));
+        }
+        m.stats().invalidations_sent
+    };
+    let full = run(DirectoryKind::FullMap);
+    let limited = run(DirectoryKind::LimitedPtr { pointers: 2 });
+    assert!(
+        limited >= full,
+        "limited directory sent fewer invalidations ({limited} < {full})"
+    );
+}
+
+#[test]
+#[should_panic(expected = "at least one pointer")]
+fn zero_pointer_directory_rejected() {
+    let _ = machine(4, DirectoryKind::LimitedPtr { pointers: 0 });
+}

@@ -1,0 +1,42 @@
+#![warn(missing_docs)]
+
+//! Deterministic event-driven simulation kernel for the `dash-latency` simulator.
+//!
+//! This crate provides the small, dependency-free foundations that every other
+//! crate in the workspace builds on:
+//!
+//! * [`time::Cycle`] — the simulated clock (1 pclock = 30 ns in the paper's
+//!   DASH-like machine).
+//! * [`queue::EventQueue`] — a deterministic priority queue of timestamped
+//!   events. Ties are broken by insertion order so that a simulation run is a
+//!   pure function of its inputs.
+//! * [`rng::Xorshift`] — a tiny seedable PRNG used by the workloads so that
+//!   reference streams are reproducible across runs and platforms.
+//! * [`stats`] — counters, histograms and run-length trackers used for the
+//!   execution-time breakdowns reported in the paper's figures.
+//!
+//! # Example
+//!
+//! ```
+//! use dashlat_sim::queue::EventQueue;
+//! use dashlat_sim::time::Cycle;
+//!
+//! let mut q: EventQueue<&str> = EventQueue::new();
+//! q.schedule(Cycle(10), "late");
+//! q.schedule(Cycle(5), "early");
+//! q.schedule(Cycle(5), "early-second");
+//!
+//! assert_eq!(q.pop(), Some((Cycle(5), "early")));
+//! assert_eq!(q.pop(), Some((Cycle(5), "early-second")));
+//! assert_eq!(q.pop(), Some((Cycle(10), "late")));
+//! assert_eq!(q.pop(), None);
+//! ```
+
+pub mod queue;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use queue::EventQueue;
+pub use rng::Xorshift;
+pub use time::Cycle;

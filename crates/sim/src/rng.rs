@@ -1,0 +1,188 @@
+//! Deterministic pseudo-random number generation.
+//!
+//! The workloads (particle initialisation in MP3D, matrix values in LU, the
+//! netlist generator for PTHOR) need randomness that is reproducible across
+//! runs, platforms and compiler versions, because the *reference stream*
+//! derived from it is the experiment input. A small splitmix/xorshift
+//! generator with an explicit seed gives us that without pulling `rand` into
+//! the simulator core.
+
+/// A small, fast, seedable PRNG (xorshift64* with a splitmix64-seeded state).
+///
+/// Not cryptographically secure — it only needs to be statistically decent
+/// and perfectly reproducible.
+///
+/// # Example
+///
+/// ```
+/// use dashlat_sim::Xorshift;
+///
+/// let mut a = Xorshift::new(42);
+/// let mut b = Xorshift::new(42);
+/// assert_eq!(a.next_u64(), b.next_u64()); // same seed, same stream
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Xorshift {
+    state: u64,
+}
+
+impl Xorshift {
+    /// Creates a generator from a seed. Any seed (including 0) is valid; the
+    /// seed is whitened through splitmix64 so similar seeds give unrelated
+    /// streams.
+    pub fn new(seed: u64) -> Self {
+        // splitmix64 step to avoid the all-zero state and decorrelate seeds.
+        let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        Xorshift {
+            state: z | 1, // ensure non-zero
+        }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform value in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "below(0) is meaningless");
+        // Multiply-shift bounded generation (Lemire); tiny bias is irrelevant
+        // for workload initialisation.
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Uniform `usize` index in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn index(&mut self, bound: usize) -> usize {
+        self.below(bound as u64) as usize
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Bernoulli trial with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.unit_f64() < p
+    }
+
+    /// Splits off an independent generator (for per-process streams).
+    pub fn fork(&mut self) -> Xorshift {
+        Xorshift::new(self.next_u64())
+    }
+
+    /// Fisher–Yates shuffle of a slice.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.index(i + 1);
+            slice.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_equal_seeds() {
+        let mut a = Xorshift::new(7);
+        let mut b = Xorshift::new(7);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = Xorshift::new(1);
+        let mut b = Xorshift::new(2);
+        let same = (0..100).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn zero_seed_is_fine() {
+        let mut r = Xorshift::new(0);
+        let v: Vec<u64> = (0..10).map(|_| r.next_u64()).collect();
+        assert!(v.iter().any(|&x| x != 0));
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut r = Xorshift::new(3);
+        for _ in 0..10_000 {
+            assert!(r.below(17) < 17);
+        }
+    }
+
+    #[test]
+    fn unit_f64_in_range_and_spread() {
+        let mut r = Xorshift::new(11);
+        let vals: Vec<f64> = (0..10_000).map(|_| r.unit_f64()).collect();
+        assert!(vals.iter().all(|&v| (0.0..1.0).contains(&v)));
+        let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean} too far from 0.5");
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = Xorshift::new(5);
+        assert!((0..100).all(|_| !r.chance(0.0)));
+        assert!((0..100).all(|_| r.chance(1.1)));
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut r = Xorshift::new(9);
+        let mut v: Vec<u32> = (0..50).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<u32>>());
+        assert_ne!(
+            v,
+            (0..50).collect::<Vec<u32>>(),
+            "shuffle left input unchanged"
+        );
+    }
+
+    #[test]
+    fn fork_produces_independent_stream() {
+        let mut a = Xorshift::new(21);
+        let mut f = a.fork();
+        let same = (0..100).filter(|_| a.next_u64() == f.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn below_is_roughly_uniform() {
+        let mut r = Xorshift::new(13);
+        let mut buckets = [0u32; 8];
+        for _ in 0..80_000 {
+            buckets[r.below(8) as usize] += 1;
+        }
+        for &b in &buckets {
+            assert!(
+                (9_000..11_000).contains(&b),
+                "bucket count {b} outside 10k +/- 10%"
+            );
+        }
+    }
+}

@@ -1,0 +1,492 @@
+//! Statistics utilities used across the simulator.
+//!
+//! The paper reports execution time decomposed into categories (busy, read
+//! miss, write miss, synchronization, prefetch overhead, context switching,
+//! no-switch idle, all idle), plus derived quantities such as hit rates,
+//! median run lengths between misses, and average miss latencies. The types
+//! here accumulate those measurements during a run.
+
+use std::fmt;
+
+use crate::time::Cycle;
+
+/// A ratio counter: hits out of total accesses.
+///
+/// # Example
+///
+/// ```
+/// use dashlat_sim::stats::Ratio;
+///
+/// let mut r = Ratio::default();
+/// r.record(true);
+/// r.record(true);
+/// r.record(false);
+/// assert!((r.fraction() - 2.0 / 3.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Ratio {
+    hits: u64,
+    total: u64,
+}
+
+impl Ratio {
+    /// Records one trial; `hit` selects the numerator.
+    pub fn record(&mut self, hit: bool) {
+        self.total += 1;
+        if hit {
+            self.hits += 1;
+        }
+    }
+
+    /// Numerator.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Denominator.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Fraction in `[0, 1]`; zero when nothing was recorded.
+    pub fn fraction(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.total as f64
+        }
+    }
+
+    /// Fraction expressed as a percentage.
+    pub fn percent(&self) -> f64 {
+        self.fraction() * 100.0
+    }
+
+    /// Merges another ratio into this one.
+    pub fn merge(&mut self, other: Ratio) {
+        self.hits += other.hits;
+        self.total += other.total;
+    }
+}
+
+impl fmt::Display for Ratio {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.1}% ({}/{})", self.percent(), self.hits, self.total)
+    }
+}
+
+/// Streaming distribution summary: count, sum, min, max, and a coarse
+/// log-ish histogram good enough to extract medians of run lengths and miss
+/// latencies (the paper quotes medians like "11 cycles" and ranges like
+/// "20–27 cycles").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Distribution {
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+    /// Fixed bucket boundaries; `buckets[i]` counts samples `<= BOUNDS[i]`,
+    /// the final bucket counts the rest.
+    buckets: [u64; Self::BOUNDS.len() + 1],
+}
+
+impl Distribution {
+    /// Bucket upper bounds in cycles. Chosen to resolve the interesting
+    /// region (run lengths of a few cycles up to miss latencies ~100).
+    const BOUNDS: [u64; 16] = [1, 2, 3, 4, 6, 8, 11, 16, 22, 32, 45, 64, 90, 128, 256, 1024];
+
+    /// Creates an empty distribution.
+    pub fn new() -> Self {
+        Distribution {
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+            buckets: [0; Self::BOUNDS.len() + 1],
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: Cycle) {
+        let v = value.as_u64();
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        let idx = Self::BOUNDS
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(Self::BOUNDS.len());
+        self.buckets[idx] += 1;
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean; zero when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Smallest sample; `None` when empty.
+    pub fn min(&self) -> Option<Cycle> {
+        (self.count > 0).then_some(Cycle(self.min))
+    }
+
+    /// Largest sample; `None` when empty.
+    pub fn max(&self) -> Option<Cycle> {
+        (self.count > 0).then_some(Cycle(self.max))
+    }
+
+    /// Approximate median: the upper bound of the bucket containing the
+    /// middle sample (exact enough for "median run length ~11 cycles").
+    pub fn approx_median(&self) -> Option<Cycle> {
+        if self.count == 0 {
+            return None;
+        }
+        let middle = self.count.div_ceil(2);
+        let mut seen = 0;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= middle {
+                let bound = Self::BOUNDS.get(i).copied().unwrap_or(self.max);
+                return Some(Cycle(bound.min(self.max)));
+            }
+        }
+        Some(Cycle(self.max))
+    }
+
+    /// Merges another distribution into this one.
+    pub fn merge(&mut self, other: &Distribution) {
+        self.count += other.count;
+        self.sum += other.sum;
+        if other.count > 0 {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+    }
+}
+
+impl Default for Distribution {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl fmt::Display for Distribution {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.count == 0 {
+            return write!(f, "n=0");
+        }
+        write!(
+            f,
+            "n={} mean={:.1} median~{} range=[{}, {}]",
+            self.count,
+            self.mean(),
+            self.approx_median().expect("non-empty"),
+            Cycle(self.min),
+            Cycle(self.max),
+        )
+    }
+}
+
+/// A fixed-bucket time series: amounts accumulated per interval of
+/// simulated time. Used for utilization-over-time and misses-over-time
+/// views of a run (e.g. LU's poor-early / good-late cache behaviour).
+///
+/// # Example
+///
+/// ```
+/// use dashlat_sim::stats::TimeSeries;
+/// use dashlat_sim::Cycle;
+///
+/// let mut ts = TimeSeries::new(Cycle(100));
+/// ts.add(Cycle(10), 5);
+/// ts.add(Cycle(250), 7);
+/// assert_eq!(ts.buckets(), vec![5, 0, 7]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimeSeries {
+    bucket_width: u64,
+    data: Vec<u64>,
+}
+
+impl TimeSeries {
+    /// Creates an empty series with the given bucket width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bucket_width` is zero.
+    pub fn new(bucket_width: Cycle) -> Self {
+        assert!(bucket_width.as_u64() > 0, "bucket width must be positive");
+        TimeSeries {
+            bucket_width: bucket_width.as_u64(),
+            data: Vec::new(),
+        }
+    }
+
+    /// Adds `amount` to the bucket containing instant `at`.
+    pub fn add(&mut self, at: Cycle, amount: u64) {
+        let idx = (at.as_u64() / self.bucket_width) as usize;
+        if idx >= self.data.len() {
+            self.data.resize(idx + 1, 0);
+        }
+        self.data[idx] += amount;
+    }
+
+    /// Bucket width in cycles.
+    pub fn bucket_width(&self) -> Cycle {
+        Cycle(self.bucket_width)
+    }
+
+    /// The accumulated buckets (index 0 = `[0, width)`).
+    pub fn buckets(&self) -> Vec<u64> {
+        self.data.clone()
+    }
+
+    /// Largest bucket value (zero when empty).
+    pub fn peak(&self) -> u64 {
+        self.data.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Total across all buckets.
+    pub fn total(&self) -> u64 {
+        self.data.iter().sum()
+    }
+
+    /// Renders the series as a one-line unicode sparkline.
+    pub fn sparkline(&self) -> String {
+        const GLYPHS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+        let peak = self.peak();
+        if peak == 0 {
+            return "▁".repeat(self.data.len());
+        }
+        self.data
+            .iter()
+            .map(|&v| GLYPHS[((v * 7).div_ceil(peak)) as usize])
+            .collect()
+    }
+}
+
+/// Tracks "run lengths": the number of busy cycles executed between
+/// successive long-latency operations (cache misses). The paper reports
+/// median run lengths per application (e.g. 11 cycles for MP3D under SC).
+#[derive(Debug, Clone, Default)]
+pub struct RunLengthTracker {
+    current: u64,
+    dist: Distribution,
+}
+
+impl RunLengthTracker {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds busy cycles to the current run.
+    pub fn busy(&mut self, cycles: Cycle) {
+        self.current += cycles.as_u64();
+    }
+
+    /// Ends the current run (a miss occurred) and records its length.
+    pub fn miss(&mut self) {
+        self.dist.record(Cycle(self.current));
+        self.current = 0;
+    }
+
+    /// Finishes tracking, recording any in-progress run.
+    pub fn finish(&mut self) {
+        if self.current > 0 {
+            self.dist.record(Cycle(self.current));
+            self.current = 0;
+        }
+    }
+
+    /// The distribution of completed run lengths.
+    pub fn distribution(&self) -> &Distribution {
+        &self.dist
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_basics() {
+        let mut r = Ratio::default();
+        assert_eq!(r.fraction(), 0.0);
+        for i in 0..10 {
+            r.record(i % 2 == 0);
+        }
+        assert_eq!(r.hits(), 5);
+        assert_eq!(r.total(), 10);
+        assert!((r.percent() - 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ratio_merge() {
+        let mut a = Ratio::default();
+        a.record(true);
+        let mut b = Ratio::default();
+        b.record(false);
+        b.record(true);
+        a.merge(b);
+        assert_eq!(a.hits(), 2);
+        assert_eq!(a.total(), 3);
+    }
+
+    #[test]
+    fn distribution_summary() {
+        let mut d = Distribution::new();
+        for v in [1u64, 2, 3, 4, 100] {
+            d.record(Cycle(v));
+        }
+        assert_eq!(d.count(), 5);
+        assert_eq!(d.min(), Some(Cycle(1)));
+        assert_eq!(d.max(), Some(Cycle(100)));
+        assert!((d.mean() - 22.0).abs() < 1e-12);
+        let med = d.approx_median().expect("non-empty").as_u64();
+        assert!((2..=4).contains(&med), "median bucket {med}");
+    }
+
+    #[test]
+    fn distribution_empty() {
+        let d = Distribution::new();
+        assert_eq!(d.approx_median(), None);
+        assert_eq!(d.min(), None);
+        assert_eq!(d.max(), None);
+        assert_eq!(d.mean(), 0.0);
+        assert_eq!(d.to_string(), "n=0");
+    }
+
+    #[test]
+    fn distribution_merge() {
+        let mut a = Distribution::new();
+        a.record(Cycle(5));
+        let mut b = Distribution::new();
+        b.record(Cycle(50));
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.min(), Some(Cycle(5)));
+        assert_eq!(a.max(), Some(Cycle(50)));
+    }
+
+    #[test]
+    fn run_lengths() {
+        let mut t = RunLengthTracker::new();
+        t.busy(Cycle(10));
+        t.miss();
+        t.busy(Cycle(4));
+        t.busy(Cycle(8));
+        t.miss();
+        t.busy(Cycle(2));
+        t.finish();
+        let d = t.distribution();
+        assert_eq!(d.count(), 3);
+        assert_eq!(d.max(), Some(Cycle(12)));
+        assert_eq!(d.min(), Some(Cycle(2)));
+    }
+
+    #[test]
+    fn run_length_finish_without_residue() {
+        let mut t = RunLengthTracker::new();
+        t.busy(Cycle(3));
+        t.miss();
+        t.finish(); // nothing in progress
+        assert_eq!(t.distribution().count(), 1);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// The approximate median is always within [min, max] and the bucket
+        /// structure never loses samples.
+        #[test]
+        fn distribution_invariants(samples in proptest::collection::vec(0u64..2000, 1..300)) {
+            let mut d = Distribution::new();
+            for &s in &samples {
+                d.record(Cycle(s));
+            }
+            prop_assert_eq!(d.count(), samples.len() as u64);
+            let min = d.min().expect("non-empty");
+            let max = d.max().expect("non-empty");
+            let med = d.approx_median().expect("non-empty");
+            prop_assert!(min <= max);
+            prop_assert!(med <= max);
+            let mean = d.mean();
+            prop_assert!(mean >= min.as_u64() as f64 && mean <= max.as_u64() as f64);
+        }
+
+        /// Merging two ratios is the same as recording into one.
+        #[test]
+        fn ratio_merge_equivalence(xs in proptest::collection::vec(any::<bool>(), 0..100),
+                                   ys in proptest::collection::vec(any::<bool>(), 0..100)) {
+            let mut separate = Ratio::default();
+            let mut merged_a = Ratio::default();
+            let mut merged_b = Ratio::default();
+            for &x in &xs { separate.record(x); merged_a.record(x); }
+            for &y in &ys { separate.record(y); merged_b.record(y); }
+            merged_a.merge(merged_b);
+            prop_assert_eq!(separate, merged_a);
+        }
+    }
+}
+
+#[cfg(test)]
+mod timeseries_tests {
+    use super::*;
+
+    #[test]
+    fn buckets_accumulate_by_interval() {
+        let mut ts = TimeSeries::new(Cycle(10));
+        ts.add(Cycle(0), 1);
+        ts.add(Cycle(9), 2);
+        ts.add(Cycle(10), 3);
+        ts.add(Cycle(35), 4);
+        assert_eq!(ts.buckets(), vec![3, 3, 0, 4]);
+        assert_eq!(ts.total(), 10);
+        assert_eq!(ts.peak(), 4);
+        assert_eq!(ts.bucket_width(), Cycle(10));
+    }
+
+    #[test]
+    fn sparkline_scales_to_peak() {
+        let mut ts = TimeSeries::new(Cycle(1));
+        ts.add(Cycle(0), 0);
+        ts.add(Cycle(1), 7);
+        ts.add(Cycle(2), 14);
+        let s: Vec<char> = ts.sparkline().chars().collect();
+        assert_eq!(s.len(), 3);
+        assert_eq!(s[0], '▁');
+        assert_eq!(s[2], '█');
+        assert!(s[1] > s[0] && s[1] < s[2]);
+    }
+
+    #[test]
+    fn empty_series_renders_empty() {
+        let ts = TimeSeries::new(Cycle(100));
+        assert_eq!(ts.sparkline(), "");
+        assert_eq!(ts.peak(), 0);
+        assert_eq!(ts.total(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_bucket_width_rejected() {
+        let _ = TimeSeries::new(Cycle(0));
+    }
+}

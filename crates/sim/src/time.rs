@@ -1,0 +1,192 @@
+//! Simulated time.
+//!
+//! The unit of time throughout the simulator is the processor clock cycle
+//! ("pclock"); the paper's machine runs a 33 MHz MIPS R3000, so one pclock is
+//! 30 ns. All latencies in the paper's Table 1 are expressed in pclocks.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Sub, SubAssign};
+
+/// A point in simulated time, or a duration, measured in processor clock
+/// cycles (1 pclock = 30 ns).
+///
+/// `Cycle` is used for both instants and durations; the arithmetic provided
+/// (`+`, `-`, saturating helpers) is the same for both and keeping a single
+/// type mirrors how the simulator's bookkeeping actually works (busy-until
+/// times, latencies and stall intervals are freely combined).
+///
+/// # Example
+///
+/// ```
+/// use dashlat_sim::time::Cycle;
+///
+/// let start = Cycle(100);
+/// let latency = Cycle(26); // fill from local node
+/// assert_eq!(start + latency, Cycle(126));
+/// assert_eq!((start + latency).saturating_sub(start), latency);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Cycle(pub u64);
+
+impl Cycle {
+    /// Time zero — the beginning of every simulation.
+    pub const ZERO: Cycle = Cycle(0);
+
+    /// Duration of one pclock in nanoseconds (33 MHz clock).
+    pub const NANOS_PER_CYCLE: u64 = 30;
+
+    /// Returns the raw cycle count.
+    #[inline]
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Converts to simulated wall-clock nanoseconds (30 ns per cycle).
+    #[inline]
+    pub fn as_nanos(self) -> u64 {
+        self.0 * Self::NANOS_PER_CYCLE
+    }
+
+    /// Subtraction that clamps at zero instead of panicking.
+    ///
+    /// Useful when computing stall intervals that may be fully hidden
+    /// (e.g. a prefetch that completed before the demand reference).
+    #[inline]
+    pub fn saturating_sub(self, other: Cycle) -> Cycle {
+        Cycle(self.0.saturating_sub(other.0))
+    }
+
+    /// The later of two instants.
+    #[inline]
+    pub fn max(self, other: Cycle) -> Cycle {
+        Cycle(self.0.max(other.0))
+    }
+
+    /// The earlier of two instants.
+    #[inline]
+    pub fn min(self, other: Cycle) -> Cycle {
+        Cycle(self.0.min(other.0))
+    }
+
+    /// True if this is time zero / a zero-length duration.
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl Add for Cycle {
+    type Output = Cycle;
+    #[inline]
+    fn add(self, rhs: Cycle) -> Cycle {
+        Cycle(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Cycle {
+    #[inline]
+    fn add_assign(&mut self, rhs: Cycle) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Cycle {
+    type Output = Cycle;
+    /// # Panics
+    ///
+    /// Panics in debug builds if `rhs` is later than `self`; use
+    /// [`Cycle::saturating_sub`] when the interval may be empty.
+    #[inline]
+    fn sub(self, rhs: Cycle) -> Cycle {
+        Cycle(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Cycle {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Cycle) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Sum for Cycle {
+    fn sum<I: Iterator<Item = Cycle>>(iter: I) -> Cycle {
+        Cycle(iter.map(|c| c.0).sum())
+    }
+}
+
+impl From<u64> for Cycle {
+    fn from(v: u64) -> Cycle {
+        Cycle(v)
+    }
+}
+
+impl From<Cycle> for u64 {
+    fn from(c: Cycle) -> u64 {
+        c.0
+    }
+}
+
+impl fmt::Display for Cycle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} pclk", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_roundtrips() {
+        let a = Cycle(72);
+        let b = Cycle(18);
+        assert_eq!(a + b, Cycle(90));
+        assert_eq!((a + b) - b, a);
+        let mut c = a;
+        c += b;
+        assert_eq!(c, Cycle(90));
+        c -= b;
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    fn saturating_sub_clamps() {
+        assert_eq!(Cycle(5).saturating_sub(Cycle(10)), Cycle::ZERO);
+        assert_eq!(Cycle(10).saturating_sub(Cycle(5)), Cycle(5));
+    }
+
+    #[test]
+    fn ordering_and_minmax() {
+        assert!(Cycle(1) < Cycle(2));
+        assert_eq!(Cycle(1).max(Cycle(2)), Cycle(2));
+        assert_eq!(Cycle(1).min(Cycle(2)), Cycle(1));
+    }
+
+    #[test]
+    fn nanos_conversion() {
+        // 1 pclock = 30ns at 33MHz.
+        assert_eq!(Cycle(1).as_nanos(), 30);
+        assert_eq!(Cycle(100).as_nanos(), 3000);
+    }
+
+    #[test]
+    fn sum_of_cycles() {
+        let total: Cycle = [Cycle(1), Cycle(2), Cycle(3)].into_iter().sum();
+        assert_eq!(total, Cycle(6));
+    }
+
+    #[test]
+    fn display_mentions_unit() {
+        assert_eq!(Cycle(42).to_string(), "42 pclk");
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Cycle::from(7u64), Cycle(7));
+        assert_eq!(u64::from(Cycle(7)), 7);
+        assert!(Cycle::ZERO.is_zero());
+        assert!(!Cycle(1).is_zero());
+    }
+}

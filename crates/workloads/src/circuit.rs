@@ -1,0 +1,318 @@
+//! Deterministic netlist generation for PTHOR.
+//!
+//! The paper simulates "five clock cycles of a small RISC processor
+//! consisting of the equivalent of 11,000 two-input gates". The real
+//! netlist is not available, so this module generates a synthetic
+//! equivalent: a register-bounded combinational DAG of two-input gates with
+//! flip-flops and primary inputs, with fanout and depth distributions in
+//! the range typical of synthesized control logic. What PTHOR's memory
+//! behaviour depends on — element count, fanout-driven task propagation,
+//! limited wavefront parallelism and irregular pointer-linked records — is
+//! preserved.
+
+use dashlat_sim::Xorshift;
+
+/// Two-input gate function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GateFn {
+    /// Logical AND.
+    And,
+    /// Logical OR.
+    Or,
+    /// Exclusive OR.
+    Xor,
+    /// Negated AND.
+    Nand,
+}
+
+impl GateFn {
+    /// Evaluates the gate.
+    pub fn eval(self, a: bool, b: bool) -> bool {
+        match self {
+            GateFn::And => a && b,
+            GateFn::Or => a || b,
+            GateFn::Xor => a ^ b,
+            GateFn::Nand => !(a && b),
+        }
+    }
+}
+
+/// What an element is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ElementKind {
+    /// A primary input (driven by the testbench each edge).
+    Input,
+    /// A D flip-flop (latches its input on the rising clock edge).
+    FlipFlop,
+    /// A combinational two-input gate.
+    Gate(GateFn),
+}
+
+/// One circuit element.
+#[derive(Debug, Clone)]
+pub struct Element {
+    /// Element kind.
+    pub kind: ElementKind,
+    /// Driving elements (gate inputs / the flip-flop's D input in
+    /// `inputs[0]`). Unused slots point at the element itself.
+    pub inputs: [u32; 2],
+    /// Combinational successors activated when this element's output
+    /// changes (flip-flops are *not* listed — they sample at the edge).
+    pub fanout: Vec<u32>,
+}
+
+/// Netlist generation parameters.
+#[derive(Debug, Clone)]
+pub struct CircuitParams {
+    /// Number of two-input gates.
+    pub gates: usize,
+    /// Number of flip-flops.
+    pub flip_flops: usize,
+    /// Number of primary inputs.
+    pub inputs: usize,
+    /// Locality bias: how strongly gate inputs prefer recent gates
+    /// (controls combinational depth; higher = deeper cones).
+    pub depth_bias: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl CircuitParams {
+    /// The paper-scale circuit: ~11,000 gates (a "small RISC processor").
+    pub fn paper() -> Self {
+        CircuitParams {
+            gates: 11_000,
+            flip_flops: 700,
+            inputs: 64,
+            depth_bias: 0.7,
+            seed: 0x5054_484f, // "PTHO"
+        }
+    }
+
+    /// A small circuit for tests.
+    pub fn test_scale() -> Self {
+        CircuitParams {
+            gates: 1_200,
+            flip_flops: 96,
+            inputs: 24,
+            depth_bias: 0.7,
+            seed: 0x5054_484f,
+        }
+    }
+}
+
+/// A generated netlist. Element indices are laid out as
+/// `[inputs | flip-flops | gates]`.
+#[derive(Debug, Clone)]
+pub struct Circuit {
+    /// All elements.
+    pub elements: Vec<Element>,
+    /// Count of primary inputs (elements `0..inputs`).
+    pub inputs: usize,
+    /// Count of flip-flops (elements `inputs..inputs+flip_flops`).
+    pub flip_flops: usize,
+}
+
+impl Circuit {
+    /// Generates a deterministic netlist.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are no sources (inputs + flip-flops) or no gates.
+    pub fn generate(params: &CircuitParams) -> Circuit {
+        assert!(params.inputs + params.flip_flops > 0, "need signal sources");
+        assert!(params.gates > 0, "need gates");
+        let mut rng = Xorshift::new(params.seed);
+        let sources = params.inputs + params.flip_flops;
+        let total = sources + params.gates;
+        let mut elements: Vec<Element> = Vec::with_capacity(total);
+        for i in 0..params.inputs {
+            elements.push(Element {
+                kind: ElementKind::Input,
+                inputs: [i as u32, i as u32],
+                fanout: Vec::new(),
+            });
+        }
+        for i in 0..params.flip_flops {
+            let idx = (params.inputs + i) as u32;
+            elements.push(Element {
+                kind: ElementKind::FlipFlop,
+                inputs: [idx, idx], // D input patched after gates exist
+                fanout: Vec::new(),
+            });
+        }
+        // Gates pick inputs among earlier elements, biased towards recent
+        // gates so cones get realistic depth.
+        for g in 0..params.gates {
+            let gid = (sources + g) as u32;
+            // Mostly monotone gates; XOR (which propagates every input
+            // change) is rare in synthesized logic.
+            let kind = match rng.below(10) {
+                0..=2 => GateFn::And,
+                3..=5 => GateFn::Or,
+                6..=8 => GateFn::Nand,
+                _ => GateFn::Xor,
+            };
+            let pick = |rng: &mut Xorshift| -> u32 {
+                let pool = sources + g; // everything generated so far
+                if g > 0 && rng.chance(params.depth_bias) {
+                    // Recent gate window.
+                    let window = (g / 4).clamp(1, 64);
+                    (sources + g - 1 - rng.index(window)) as u32
+                } else {
+                    rng.index(pool) as u32
+                }
+            };
+            let a = pick(&mut rng);
+            let b = pick(&mut rng);
+            elements.push(Element {
+                kind: ElementKind::Gate(kind),
+                inputs: [a, b],
+                fanout: Vec::new(),
+            });
+            let _ = gid;
+        }
+        // Patch flip-flop D inputs to random gates.
+        for i in 0..params.flip_flops {
+            let ff = params.inputs + i;
+            let d = (sources + rng.index(params.gates)) as u32;
+            elements[ff].inputs = [d, d];
+        }
+        // Build combinational fanout lists (gate successors only).
+        for g in 0..params.gates {
+            let gid = sources + g;
+            let [a, b] = elements[gid].inputs;
+            for src in [a, b] {
+                if src as usize != gid {
+                    elements[src as usize].fanout.push(gid as u32);
+                }
+            }
+        }
+        Circuit {
+            elements,
+            inputs: params.inputs,
+            flip_flops: params.flip_flops,
+        }
+    }
+
+    /// Total element count.
+    pub fn len(&self) -> usize {
+        self.elements.len()
+    }
+
+    /// True if the circuit has no elements (never, for generated circuits).
+    pub fn is_empty(&self) -> bool {
+        self.elements.is_empty()
+    }
+
+    /// Index of the first gate element.
+    pub fn first_gate(&self) -> usize {
+        self.inputs + self.flip_flops
+    }
+
+    /// True if `idx` is a primary input.
+    pub fn is_input(&self, idx: usize) -> bool {
+        idx < self.inputs
+    }
+
+    /// True if `idx` is a flip-flop.
+    pub fn is_flip_flop(&self, idx: usize) -> bool {
+        idx >= self.inputs && idx < self.inputs + self.flip_flops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gate_functions() {
+        assert!(GateFn::And.eval(true, true));
+        assert!(!GateFn::And.eval(true, false));
+        assert!(GateFn::Or.eval(false, true));
+        assert!(!GateFn::Or.eval(false, false));
+        assert!(GateFn::Xor.eval(true, false));
+        assert!(!GateFn::Xor.eval(true, true));
+        assert!(GateFn::Nand.eval(false, false));
+        assert!(!GateFn::Nand.eval(true, true));
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = Circuit::generate(&CircuitParams::test_scale());
+        let b = Circuit::generate(&CircuitParams::test_scale());
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.elements.iter().zip(b.elements.iter()) {
+            assert_eq!(x.inputs, y.inputs);
+            assert_eq!(x.fanout, y.fanout);
+        }
+    }
+
+    #[test]
+    fn layout_and_counts() {
+        let p = CircuitParams::test_scale();
+        let c = Circuit::generate(&p);
+        assert_eq!(c.len(), p.inputs + p.flip_flops + p.gates);
+        assert_eq!(c.first_gate(), p.inputs + p.flip_flops);
+        assert!(c.is_input(0));
+        assert!(c.is_flip_flop(p.inputs));
+        assert!(!c.is_flip_flop(c.first_gate()));
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn gates_form_a_dag() {
+        // Every gate's inputs must precede it (no combinational cycles).
+        let c = Circuit::generate(&CircuitParams::test_scale());
+        for (idx, e) in c.elements.iter().enumerate().skip(c.first_gate()) {
+            for &i in &e.inputs {
+                assert!(
+                    (i as usize) < idx,
+                    "gate {idx} depends on later element {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn flip_flop_d_inputs_are_gates() {
+        let c = Circuit::generate(&CircuitParams::test_scale());
+        for ff in c.inputs..c.first_gate() {
+            let d = c.elements[ff].inputs[0] as usize;
+            assert!(d >= c.first_gate(), "FF {ff} driven by non-gate {d}");
+        }
+    }
+
+    #[test]
+    fn fanout_lists_are_consistent() {
+        let c = Circuit::generate(&CircuitParams::test_scale());
+        for (idx, e) in c.elements.iter().enumerate() {
+            for &f in &e.fanout {
+                let succ = &c.elements[f as usize];
+                assert!(
+                    succ.inputs.contains(&(idx as u32)),
+                    "element {idx} lists {f} as fanout but is not its input"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn average_fanout_is_about_two() {
+        // Two-input gates: total edges = 2 × gates, so average fanout over
+        // all elements ≈ 2×gates/total.
+        let p = CircuitParams::test_scale();
+        let c = Circuit::generate(&p);
+        let edges: usize = c.elements.iter().map(|e| e.fanout.len()).sum();
+        assert!(edges <= 2 * p.gates);
+        assert!(edges > p.gates, "suspiciously few fanout edges: {edges}");
+    }
+
+    #[test]
+    fn paper_scale_matches_11k_gates() {
+        let p = CircuitParams::paper();
+        assert_eq!(p.gates, 11_000);
+        let c = Circuit::generate(&p);
+        assert_eq!(c.len(), 11_000 + 700 + 64);
+    }
+}

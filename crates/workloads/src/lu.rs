@@ -1,0 +1,552 @@
+//! LU — dense LU decomposition (§2.2).
+//!
+//! Working left to right, a pivot column is used to modify every column to
+//! its right. Columns are statically assigned to the processes in an
+//! interleaved fashion and **owned columns are allocated from the owner's
+//! node memory** to reduce miss penalties. A process waits until a column
+//! has been produced, then applies it to all owned columns to its right;
+//! when it completes a column of its own it releases the processes waiting
+//! for it.
+//!
+//! The column-ready pipeline is modelled exactly as the Argonne macros
+//! would build it: one lock per column, acquired by the owner before the
+//! factorization starts and released when the column is produced. A
+//! consumer performs `Acquire(k); Release(k)` to wait — this yields the
+//! paper's Table 2 lock count of roughly `(n_columns − 1) × processes`.
+//!
+//! Prefetching (§5.2): each time the pivot column is applied to an owned
+//! column, the pivot is prefetched **read-shared** and the owned column
+//! **read-exclusive**, with the prefetches distributed through the update
+//! loop (one line ahead per line processed) rather than in a single burst,
+//! to avoid hot-spotting. Re-prefetching the pivot each time is redundant
+//! when it is still cached but repairs the replacements caused by the
+//! owned-column sweep — the paper reports ~89 % coverage for this scheme.
+
+use std::collections::VecDeque;
+
+use dashlat_cpu::ops::{BarrierId, LockId, Op, ProcId, SyncConfig, Topology, Workload};
+use dashlat_mem::layout::{AddressSpaceBuilder, Placement, Segment};
+use dashlat_mem::{Addr, LINE_BYTES};
+
+/// Bytes per matrix element (double precision).
+const ELEM_BYTES: u64 = 8;
+/// Elements per 16-byte cache line.
+const ELEMS_PER_LINE: u64 = LINE_BYTES / ELEM_BYTES;
+
+/// LU configuration.
+#[derive(Debug, Clone)]
+pub struct LuParams {
+    /// Matrix dimension (n×n).
+    pub n: usize,
+    /// Busy cycles charged per element update (multiply-subtract plus
+    /// loop overhead).
+    pub compute_per_elem: u64,
+    /// Software-pipelining distance (lines) for the distributed prefetches.
+    pub prefetch_distance: u64,
+    /// Issue each column's prefetches in a single burst at the start of the
+    /// update instead of distributing them through the loop. The paper
+    /// found the distributed schedule better "in order to avoid
+    /// hot-spotting problems" (§5.2); this knob reproduces the comparison.
+    pub burst_prefetch: bool,
+}
+
+impl LuParams {
+    /// The paper's run: a 200×200 matrix.
+    pub fn paper() -> Self {
+        LuParams {
+            n: 200,
+            compute_per_elem: 10,
+            prefetch_distance: 4,
+            burst_prefetch: false,
+        }
+    }
+
+    /// A small configuration for tests.
+    pub fn test_scale() -> Self {
+        LuParams {
+            n: 48,
+            compute_per_elem: 10,
+            prefetch_distance: 4,
+            burst_prefetch: false,
+        }
+    }
+}
+
+/// Per-process progress through the factorization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// Initial barrier before the factorization starts.
+    Start,
+    /// Waiting for pivot column `k` to be produced (about to acquire its
+    /// ready-lock).
+    AwaitPivot {
+        k: usize,
+    },
+    /// Applying pivot `k` to the owned column `j`, at element row `i`.
+    Update {
+        k: usize,
+        j: usize,
+        i: usize,
+    },
+    /// Normalizing owned pivot column `k` (dividing by the diagonal),
+    /// at element row `i`.
+    Normalize {
+        k: usize,
+        i: usize,
+    },
+    /// Final barrier.
+    End,
+    Finished,
+}
+
+/// The LU workload. See the module docs for the model.
+#[derive(Debug)]
+pub struct Lu {
+    params: LuParams,
+    topo: Topology,
+    prefetch: bool,
+    /// Per-process column storage: all columns owned by process `p` live
+    /// contiguously in `col_store[p]`, allocated on `p`'s node (page-
+    /// aligning each column individually would alias every column onto the
+    /// same direct-mapped sets, which the real packed layout does not do).
+    col_store: Vec<Segment>,
+    /// `col_slot[j]` = index of column `j` within its owner's store.
+    col_slot: Vec<u64>,
+    /// Logical "column produced" flags.
+    produced: Vec<bool>,
+    sync: SyncConfig,
+    phase: Vec<Phase>,
+    queue: Vec<VecDeque<Op>>,
+    /// Set when the owner has emitted its initial lock acquisitions.
+    primed: Vec<bool>,
+}
+
+impl Lu {
+    /// Builds the workload, allocating one node-local segment per column.
+    pub fn new(
+        params: LuParams,
+        topo: Topology,
+        space: &mut AddressSpaceBuilder,
+        prefetch: bool,
+    ) -> Self {
+        let n = params.n;
+        let nproc = topo.processes();
+        let col_bytes = n as u64 * ELEM_BYTES;
+        // Interleaved ownership, packed per-owner storage on the owner's
+        // node ("main memory for storing columns that are owned by a
+        // processor is allocated from shared memory in that processor's
+        // node").
+        let mut col_slot = vec![0u64; n];
+        let mut owned_count = vec![0u64; nproc];
+        for (j, slot) in col_slot.iter_mut().enumerate() {
+            let owner = j % nproc;
+            *slot = owned_count[owner];
+            owned_count[owner] += 1;
+        }
+        let col_store: Vec<Segment> = (0..nproc)
+            .map(|p| {
+                space.alloc(
+                    &format!("lu-cols-p{p}"),
+                    owned_count[p].max(1) * col_bytes,
+                    Placement::Local(topo.node_of(ProcId(p))),
+                )
+            })
+            .collect();
+        // One ready-lock per column, allocated on the owner's node next to
+        // the column data, plus start/end barrier lines.
+        let lock_store: Vec<Segment> = (0..nproc)
+            .map(|p| {
+                space.alloc(
+                    &format!("lu-locks-p{p}"),
+                    owned_count[p].max(1) * LINE_BYTES,
+                    Placement::Local(topo.node_of(ProcId(p))),
+                )
+            })
+            .collect();
+        let barriers = space.alloc("lu-barriers", 2 * LINE_BYTES, Placement::RoundRobin);
+        let sync = SyncConfig {
+            lock_addrs: (0..n)
+                .map(|j| lock_store[j % nproc].at(col_slot[j] * LINE_BYTES))
+                .collect(),
+            barrier_addrs: vec![barriers.at(0), barriers.at(LINE_BYTES)],
+        };
+        Lu {
+            params,
+            topo,
+            prefetch,
+            col_store,
+            col_slot,
+            produced: vec![false; n],
+            sync,
+            phase: vec![Phase::Start; nproc],
+            queue: (0..nproc).map(|_| VecDeque::new()).collect(),
+            primed: vec![false; nproc],
+        }
+    }
+
+    fn owner(&self, col: usize) -> usize {
+        col % self.topo.processes()
+    }
+
+    /// Address of element `i` of column `j` within its owner's packed
+    /// column store.
+    fn elem(&self, j: usize, i: usize) -> Addr {
+        let col_bytes = self.params.n as u64 * ELEM_BYTES;
+        self.col_store[self.owner(j)].at(self.col_slot[j] * col_bytes + i as u64 * ELEM_BYTES)
+    }
+
+    /// First owned column at or after `from` for process `pid`, restricted
+    /// to columns right of `k`; `None` when the process owns none.
+    fn next_owned_after(&self, pid: usize, k: usize, from: usize) -> Option<usize> {
+        let n = self.params.n;
+        let nproc = self.topo.processes();
+        let mut j = from.max(k + 1);
+        // Advance to this process's residue class.
+        while j < n && j % nproc != pid {
+            j += 1;
+        }
+        (j < n).then_some(j)
+    }
+
+    /// Emits a strip of the update `col[j] -= pivot[k] * col[k]` covering
+    /// one cache line of rows, with distributed prefetches for the strip
+    /// `prefetch_distance` lines ahead.
+    fn emit_update_strip(&mut self, pid: usize, k: usize, j: usize, i: usize) {
+        let n = self.params.n;
+        let line_rows = ELEMS_PER_LINE as usize;
+        let strip_end = (i + line_rows).min(n);
+        let mut ops: Vec<Op> = Vec::with_capacity(16);
+        if self.prefetch {
+            if self.params.burst_prefetch {
+                // Whole-column burst at the start of the update (the
+                // schedule the paper rejected): every line of the pivot and
+                // the owned column at once.
+                if i == k + 1 {
+                    let mut row = i;
+                    while row < n {
+                        ops.push(Op::Prefetch {
+                            addr: self.elem(k, row),
+                            exclusive: false,
+                        });
+                        ops.push(Op::Prefetch {
+                            addr: self.elem(j, row),
+                            exclusive: true,
+                        });
+                        row += line_rows;
+                    }
+                }
+            } else {
+                let pf_row = i + (self.params.prefetch_distance as usize) * line_rows;
+                if pf_row < n {
+                    ops.push(Op::Prefetch {
+                        addr: self.elem(k, pf_row),
+                        exclusive: false, // pivot is read-shared
+                    });
+                    ops.push(Op::Prefetch {
+                        addr: self.elem(j, pf_row),
+                        exclusive: true, // owned column is modified
+                    });
+                }
+            }
+        }
+        for row in i..strip_end {
+            ops.push(Op::Read(self.elem(k, row)));
+            ops.push(Op::Read(self.elem(j, row)));
+            ops.push(Op::Compute(self.params.compute_per_elem));
+            ops.push(Op::Write(self.elem(j, row)));
+        }
+        self.queue[pid].extend(ops);
+        self.phase[pid] = if strip_end < n {
+            Phase::Update { k, j, i: strip_end }
+        } else {
+            // Column strip done: move to the next owned column, or the
+            // next pivot.
+            match self.next_owned_after(pid, k, j + 1) {
+                Some(j2) => Phase::Update { k, j: j2, i: k + 1 },
+                None => self.after_pivot(pid, k),
+            }
+        };
+    }
+
+    /// Emits a strip of the pivot normalization `col[k][i] /= col[k][k]`.
+    fn emit_normalize_strip(&mut self, pid: usize, k: usize, i: usize) {
+        let n = self.params.n;
+        let line_rows = ELEMS_PER_LINE as usize;
+        let strip_end = (i + line_rows).min(n);
+        let mut ops: Vec<Op> = Vec::with_capacity(16);
+        if self.prefetch {
+            let pf_row = i + (self.params.prefetch_distance as usize) * line_rows;
+            if pf_row < n {
+                ops.push(Op::Prefetch {
+                    addr: self.elem(k, pf_row),
+                    exclusive: true,
+                });
+            }
+        }
+        for row in i..strip_end {
+            ops.push(Op::Read(self.elem(k, row)));
+            ops.push(Op::Compute(self.params.compute_per_elem));
+            ops.push(Op::Write(self.elem(k, row)));
+        }
+        self.queue[pid].extend(ops);
+        if strip_end < n {
+            self.phase[pid] = Phase::Normalize { k, i: strip_end };
+        } else {
+            // Column produced: release the waiters.
+            self.produced[k] = true;
+            self.queue[pid].push_back(Op::Release(LockId(k)));
+            self.phase[pid] = match self.next_owned_after(pid, k, k + 1) {
+                Some(j) => Phase::Update { k, j, i: k + 1 },
+                None => self.after_pivot(pid, k),
+            };
+        }
+    }
+
+    /// Decides what a process does after finishing its work for pivot `k`.
+    fn after_pivot(&self, pid: usize, k: usize) -> Phase {
+        let n = self.params.n;
+        let next_k = k + 1;
+        if next_k >= n - 1 {
+            // Factorization complete (the last column needs no updates).
+            Phase::End
+        } else if self.owner(next_k) == pid {
+            // This process produces the next pivot.
+            Phase::Normalize {
+                k: next_k,
+                i: next_k + 1,
+            }
+        } else if self.next_owned_after(pid, next_k, next_k + 1).is_some() {
+            Phase::AwaitPivot { k: next_k }
+        } else {
+            // No work right of next_k; done.
+            Phase::End
+        }
+    }
+}
+
+impl Workload for Lu {
+    fn processes(&self) -> usize {
+        self.topo.processes()
+    }
+
+    fn next_op(&mut self, pid: ProcId) -> Op {
+        let p = pid.0;
+        loop {
+            if let Some(op) = self.queue[p].pop_front() {
+                return op;
+            }
+            match self.phase[p] {
+                Phase::Start => {
+                    if !self.primed[p] {
+                        self.primed[p] = true;
+                        // The owner of each column holds its ready-lock
+                        // until the column is produced. Column 0 is ready
+                        // from the start (its owner normalizes it first,
+                        // still holding the lock until normalization ends).
+                        let n = self.params.n;
+                        let owned: Vec<usize> = (0..n).filter(|&j| self.owner(j) == p).collect();
+                        for j in owned {
+                            self.queue[p].push_back(Op::Acquire(LockId(j)));
+                        }
+                        continue;
+                    }
+                    // After priming: initial barrier, then the pipeline.
+                    self.phase[p] = if self.owner(0) == p {
+                        Phase::Normalize { k: 0, i: 1 }
+                    } else if self.next_owned_after(p, 0, 1).is_some() {
+                        Phase::AwaitPivot { k: 0 }
+                    } else {
+                        Phase::End
+                    };
+                    return Op::Barrier(BarrierId(0));
+                }
+                Phase::AwaitPivot { k } => {
+                    // Wait for the producer: acquire+release its ready-lock.
+                    self.queue[p].push_back(Op::Acquire(LockId(k)));
+                    self.queue[p].push_back(Op::Release(LockId(k)));
+                    let j = self
+                        .next_owned_after(p, k, k + 1)
+                        .expect("AwaitPivot implies owned work");
+                    self.phase[p] = Phase::Update { k, j, i: k + 1 };
+                }
+                Phase::Update { k, j, i } => self.emit_update_strip(p, k, j, i),
+                Phase::Normalize { k, i } => self.emit_normalize_strip(p, k, i),
+                Phase::End => {
+                    self.phase[p] = Phase::Finished;
+                    return Op::Barrier(BarrierId(1));
+                }
+                Phase::Finished => return Op::Done,
+            }
+        }
+    }
+
+    fn sync_config(&self) -> SyncConfig {
+        self.sync.clone()
+    }
+
+    fn shared_bytes(&self) -> u64 {
+        self.col_store.iter().map(|c| c.len()).sum()
+    }
+
+    fn name(&self) -> &str {
+        "LU"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dashlat_cpu::config::ProcConfig;
+    use dashlat_cpu::machine::{Machine, RunResult};
+    use dashlat_mem::system::{MemConfig, MemorySystem};
+    use dashlat_sim::Cycle;
+
+    fn run(params: LuParams, procs: usize, prefetch: bool, cfg: ProcConfig) -> RunResult {
+        let topo = Topology::new(procs, cfg.contexts);
+        let mut space = AddressSpaceBuilder::new(procs);
+        let w = Lu::new(params, topo, &mut space, prefetch);
+        let mem = MemorySystem::new(MemConfig::dash_scaled(procs), space.build());
+        Machine::new(cfg, topo, mem, w)
+            .with_max_cycles(Cycle(4_000_000_000))
+            .run()
+            .expect("LU terminates")
+    }
+
+    #[test]
+    fn completes_with_expected_sync_counts() {
+        let params = LuParams::test_scale();
+        let n = params.n as u64;
+        let procs = 4u64;
+        let res = run(params, procs as usize, false, ProcConfig::sc_baseline());
+        // Owners prime all n locks; consumers acquire+release per awaited
+        // pivot. At minimum the n priming acquires happened.
+        assert!(res.lock_acquires >= n, "lock count {}", res.lock_acquires);
+        // Start and end barriers.
+        assert_eq!(res.barrier_arrivals, 2 * procs);
+    }
+
+    #[test]
+    fn pipeline_order_is_respected() {
+        // With contention for pivots the factorization must serialize
+        // correctly and still terminate (the ready-lock pipeline is the
+        // proof: a consumer can never update with an unproduced pivot).
+        let res = run(LuParams::test_scale(), 3, false, ProcConfig::sc_baseline());
+        assert!(res.elapsed > Cycle::ZERO);
+        assert!(
+            res.aggregate.sync_stall > Cycle::ZERO,
+            "no pipeline waiting observed"
+        );
+    }
+
+    #[test]
+    fn is_deterministic() {
+        let a = run(LuParams::test_scale(), 4, false, ProcConfig::sc_baseline());
+        let b = run(LuParams::test_scale(), 4, false, ProcConfig::sc_baseline());
+        assert_eq!(a.elapsed, b.elapsed);
+        assert_eq!(a.shared_reads, b.shared_reads);
+    }
+
+    #[test]
+    fn write_hit_rate_is_high() {
+        // Owned columns live in local memory and are written repeatedly:
+        // Table 2 reports a 97% shared-write hit rate for LU.
+        let res = run(LuParams::test_scale(), 4, false, ProcConfig::sc_baseline());
+        assert!(
+            res.mem.write_hits.fraction() > 0.7,
+            "write hit rate {} too low",
+            res.mem.write_hits
+        );
+    }
+
+    #[test]
+    fn rc_gain_is_modest_compared_to_reads() {
+        // Figure 3: LU's write-miss time under SC is small (~7%), so RC
+        // helps much less than for MP3D.
+        let sc = run(LuParams::test_scale(), 4, false, ProcConfig::sc_baseline());
+        let rc = run(LuParams::test_scale(), 4, false, ProcConfig::rc_baseline());
+        assert!(rc.elapsed <= sc.elapsed);
+        let speedup = sc.elapsed.as_u64() as f64 / rc.elapsed.as_u64() as f64;
+        assert!(
+            speedup < 1.35,
+            "LU RC speedup {speedup:.2} implausibly large"
+        );
+    }
+
+    #[test]
+    fn prefetching_helps_but_costs_overhead() {
+        let without = run(LuParams::test_scale(), 4, false, ProcConfig::sc_baseline());
+        let with = run(
+            LuParams::test_scale(),
+            4,
+            true,
+            ProcConfig::sc_baseline().with_prefetching(),
+        );
+        assert!(with.aggregate.read_stall < without.aggregate.read_stall);
+        // LU has little computation between references: overhead is a
+        // visible fraction (Figure 4 shows it clearly).
+        assert!(with.aggregate.prefetch_overhead > Cycle::ZERO);
+    }
+
+    #[test]
+    fn reads_dominate_writes_two_to_one() {
+        // Each update reads pivot and owned element and writes one back.
+        let res = run(LuParams::test_scale(), 2, false, ProcConfig::sc_baseline());
+        let ratio = res.shared_reads as f64 / res.shared_writes as f64;
+        assert!((1.6..=2.4).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn single_process_factorizes_alone() {
+        let res = run(LuParams::test_scale(), 1, false, ProcConfig::sc_baseline());
+        assert!(res.elapsed > Cycle::ZERO);
+        assert_eq!(res.barrier_arrivals, 2);
+    }
+}
+
+#[cfg(test)]
+mod prefetch_schedule_tests {
+    use super::*;
+    use dashlat_cpu::config::ProcConfig;
+    use dashlat_cpu::machine::Machine;
+    use dashlat_mem::system::{MemConfig, MemorySystem};
+    use dashlat_sim::Cycle;
+
+    fn run_schedule(burst: bool) -> dashlat_cpu::machine::RunResult {
+        let params = LuParams {
+            burst_prefetch: burst,
+            ..LuParams::test_scale()
+        };
+        let topo = Topology::new(4, 1);
+        let mut space = AddressSpaceBuilder::new(4);
+        let w = Lu::new(params, topo, &mut space, true);
+        let mem = MemorySystem::new(MemConfig::dash_scaled(4), space.build());
+        Machine::new(ProcConfig::sc_baseline().with_prefetching(), topo, mem, w)
+            .with_max_cycles(Cycle(4_000_000_000))
+            .run()
+            .expect("LU terminates")
+    }
+
+    #[test]
+    fn distributed_prefetch_beats_whole_column_bursts() {
+        // §5.2: "we found that it is better to evenly distribute the issue
+        // of prefetches throughout the computation rather than prefetching
+        // an entire column in a single burst, in order to avoid
+        // hot-spotting problems."
+        let distributed = run_schedule(false);
+        let burst = run_schedule(true);
+        assert!(
+            distributed.elapsed <= burst.elapsed,
+            "burst schedule won: distributed {} vs burst {}",
+            distributed.elapsed,
+            burst.elapsed
+        );
+        // Bursts also pile more stall onto the prefetch path (full-buffer
+        // waits) — the overhead section grows.
+        assert!(
+            burst.aggregate.prefetch_overhead >= distributed.aggregate.prefetch_overhead,
+            "burst overhead {} below distributed {}",
+            burst.aggregate.prefetch_overhead,
+            distributed.aggregate.prefetch_overhead
+        );
+    }
+}

@@ -1,0 +1,412 @@
+//! Synthetic microworkloads.
+//!
+//! These are not from the paper; they exercise the machine in controlled
+//! ways for tests and ablation benches: a uniform random sweep (worst-case
+//! locality), a strided sweep (predictable, prefetch-friendly), and a
+//! lock-mediated producer/consumer (synchronization-bound).
+
+use std::collections::VecDeque;
+
+use dashlat_cpu::ops::{LockId, Op, ProcId, SyncConfig, Topology, Workload};
+use dashlat_mem::layout::{AddressSpaceBuilder, Placement, Segment};
+use dashlat_mem::LINE_BYTES;
+use dashlat_sim::Xorshift;
+
+/// Uniformly random reads/writes over a shared region.
+///
+/// Each process performs `accesses` operations; a fraction `write_ratio`
+/// are writes. With a region much larger than the caches this produces the
+/// miss-dominated behaviour that motivates every latency technique.
+#[derive(Debug)]
+pub struct UniformRandom {
+    topo: Topology,
+    region: Segment,
+    accesses: u64,
+    write_ratio: f64,
+    compute_between: u64,
+    rngs: Vec<Xorshift>,
+    issued: Vec<u64>,
+    queue: Vec<VecDeque<Op>>,
+}
+
+impl UniformRandom {
+    /// Allocates the shared region and builds the workload.
+    pub fn new(
+        topo: Topology,
+        space: &mut AddressSpaceBuilder,
+        region_bytes: u64,
+        accesses_per_process: u64,
+        write_ratio: f64,
+        compute_between: u64,
+        seed: u64,
+    ) -> Self {
+        let region = space.alloc("uniform-region", region_bytes, Placement::RoundRobin);
+        let mut root = Xorshift::new(seed);
+        let rngs = (0..topo.processes()).map(|_| root.fork()).collect();
+        UniformRandom {
+            topo,
+            region,
+            accesses: accesses_per_process,
+            write_ratio,
+            compute_between,
+            rngs,
+            issued: vec![0; topo.processes()],
+            queue: (0..topo.processes()).map(|_| VecDeque::new()).collect(),
+        }
+    }
+
+    fn refill(&mut self, pid: ProcId) {
+        if self.issued[pid.0] >= self.accesses {
+            return;
+        }
+        self.issued[pid.0] += 1;
+        let rng = &mut self.rngs[pid.0];
+        let lines = self.region.len() / LINE_BYTES;
+        let addr = self.region.at(rng.below(lines) * LINE_BYTES);
+        let q = &mut self.queue[pid.0];
+        if self.compute_between > 0 {
+            q.push_back(Op::Compute(self.compute_between));
+        }
+        if rng.chance(self.write_ratio) {
+            q.push_back(Op::Write(addr));
+        } else {
+            q.push_back(Op::Read(addr));
+        }
+    }
+}
+
+impl Workload for UniformRandom {
+    fn processes(&self) -> usize {
+        self.topo.processes()
+    }
+
+    fn next_op(&mut self, pid: ProcId) -> Op {
+        if self.queue[pid.0].is_empty() {
+            self.refill(pid);
+        }
+        self.queue[pid.0].pop_front().unwrap_or(Op::Done)
+    }
+
+    fn sync_config(&self) -> SyncConfig {
+        SyncConfig::default()
+    }
+
+    fn shared_bytes(&self) -> u64 {
+        self.region.len()
+    }
+
+    fn name(&self) -> &str {
+        "uniform-random"
+    }
+}
+
+/// A strided sweep over a large array, optionally emitting prefetches a
+/// fixed distance ahead — the canonical prefetch-friendly pattern.
+#[derive(Debug)]
+pub struct StrideSweep {
+    topo: Topology,
+    region: Segment,
+    lines_per_process: u64,
+    compute_per_line: u64,
+    prefetch_distance: u64,
+    cursor: Vec<u64>,
+    queue: Vec<VecDeque<Op>>,
+}
+
+impl StrideSweep {
+    /// Allocates the array; each process sweeps its own contiguous chunk of
+    /// `lines_per_process` cache lines.
+    pub fn new(
+        topo: Topology,
+        space: &mut AddressSpaceBuilder,
+        lines_per_process: u64,
+        compute_per_line: u64,
+        prefetch_distance: u64,
+    ) -> Self {
+        let bytes = lines_per_process * LINE_BYTES * topo.processes() as u64;
+        let region = space.alloc("stride-region", bytes, Placement::RoundRobin);
+        StrideSweep {
+            topo,
+            region,
+            lines_per_process,
+            compute_per_line,
+            prefetch_distance,
+            cursor: vec![0; topo.processes()],
+            queue: (0..topo.processes()).map(|_| VecDeque::new()).collect(),
+        }
+    }
+
+    fn line_addr(&self, pid: ProcId, i: u64) -> dashlat_mem::Addr {
+        let base = pid.0 as u64 * self.lines_per_process;
+        self.region.at((base + i) * LINE_BYTES)
+    }
+
+    fn refill(&mut self, pid: ProcId) {
+        let i = self.cursor[pid.0];
+        if i >= self.lines_per_process {
+            return;
+        }
+        self.cursor[pid.0] += 1;
+        let addr = self.line_addr(pid, i);
+        let pf = i + self.prefetch_distance;
+        let pf_addr = (self.prefetch_distance > 0 && pf < self.lines_per_process)
+            .then(|| self.line_addr(pid, pf));
+        let q = &mut self.queue[pid.0];
+        if let Some(a) = pf_addr {
+            q.push_back(Op::Prefetch {
+                addr: a,
+                exclusive: false,
+            });
+        }
+        q.push_back(Op::Compute(self.compute_per_line));
+        q.push_back(Op::Read(addr));
+    }
+}
+
+impl Workload for StrideSweep {
+    fn processes(&self) -> usize {
+        self.topo.processes()
+    }
+
+    fn next_op(&mut self, pid: ProcId) -> Op {
+        if self.queue[pid.0].is_empty() {
+            self.refill(pid);
+        }
+        self.queue[pid.0].pop_front().unwrap_or(Op::Done)
+    }
+
+    fn sync_config(&self) -> SyncConfig {
+        SyncConfig::default()
+    }
+
+    fn shared_bytes(&self) -> u64 {
+        self.region.len()
+    }
+
+    fn name(&self) -> &str {
+        "stride-sweep"
+    }
+}
+
+/// Producer/consumer pairs over a lock-protected mailbox: process `2i`
+/// produces `items` values for process `2i+1`.
+///
+/// Exercises lock handoff and release-consistency visibility ordering: the
+/// consumer must observe every item exactly once.
+#[derive(Debug)]
+pub struct ProducerConsumer {
+    topo: Topology,
+    items: u64,
+    mailboxes: Vec<Segment>,
+    /// Logical state: per-pair (produced, consumed) counters.
+    progress: Vec<(u64, u64)>,
+    sync: SyncConfig,
+    queue: Vec<VecDeque<Op>>,
+    done: Vec<bool>,
+}
+
+impl ProducerConsumer {
+    /// Builds the pairs; requires an even process count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `topo.processes()` is odd.
+    pub fn new(topo: Topology, space: &mut AddressSpaceBuilder, items: u64) -> Self {
+        let n = topo.processes();
+        assert!(
+            n.is_multiple_of(2),
+            "producer/consumer needs an even process count"
+        );
+        let pairs = n / 2;
+        let mailboxes: Vec<Segment> = (0..pairs)
+            .map(|i| space.alloc(&format!("mailbox-{i}"), 256, Placement::RoundRobin))
+            .collect();
+        let locks = space.alloc("pc-locks", pairs as u64 * LINE_BYTES, Placement::RoundRobin);
+        let sync = SyncConfig {
+            lock_addrs: (0..pairs)
+                .map(|i| locks.at(i as u64 * LINE_BYTES))
+                .collect(),
+            barrier_addrs: Vec::new(),
+        };
+        ProducerConsumer {
+            topo,
+            items,
+            mailboxes,
+            progress: vec![(0, 0); pairs],
+            sync,
+            queue: (0..n).map(|_| VecDeque::new()).collect(),
+            done: vec![false; n],
+        }
+    }
+
+    /// Logical progress of a pair (for test assertions).
+    pub fn progress(&self, pair: usize) -> (u64, u64) {
+        self.progress[pair]
+    }
+
+    fn refill(&mut self, pid: ProcId) {
+        let pair = pid.0 / 2;
+        let is_producer = pid.0.is_multiple_of(2);
+        let (produced, consumed) = self.progress[pair];
+        let mbox = self.mailboxes[pair];
+        let lock = LockId(pair);
+        let q = &mut self.queue[pid.0];
+        if is_producer {
+            if produced >= self.items {
+                self.done[pid.0] = true;
+                return;
+            }
+            // Produce: write the value then publish under the lock.
+            self.progress[pair].0 += 1;
+            q.push_back(Op::Compute(20));
+            q.push_back(Op::Write(mbox.at((produced % 8) * LINE_BYTES)));
+            q.push_back(Op::Acquire(lock));
+            q.push_back(Op::Write(mbox.at(128))); // the "count" word
+            q.push_back(Op::Release(lock));
+        } else {
+            if consumed >= self.items {
+                self.done[pid.0] = true;
+                return;
+            }
+            // Consume: check the count under the lock; if something is
+            // available, read it out.
+            q.push_back(Op::Acquire(lock));
+            q.push_back(Op::Read(mbox.at(128)));
+            if produced > consumed {
+                self.progress[pair].1 += 1;
+                q.push_back(Op::Read(mbox.at((consumed % 8) * LINE_BYTES)));
+                q.push_back(Op::Compute(20));
+            } else {
+                // Nothing yet: release and spin a little.
+                q.push_back(Op::Compute(30));
+            }
+            q.push_back(Op::Release(lock));
+        }
+    }
+}
+
+impl Workload for ProducerConsumer {
+    fn processes(&self) -> usize {
+        self.topo.processes()
+    }
+
+    fn next_op(&mut self, pid: ProcId) -> Op {
+        if self.queue[pid.0].is_empty() && !self.done[pid.0] {
+            self.refill(pid);
+        }
+        self.queue[pid.0].pop_front().unwrap_or(Op::Done)
+    }
+
+    fn sync_config(&self) -> SyncConfig {
+        self.sync.clone()
+    }
+
+    fn shared_bytes(&self) -> u64 {
+        self.mailboxes.iter().map(|m| m.len()).sum()
+    }
+
+    fn name(&self) -> &str {
+        "producer-consumer"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dashlat_cpu::config::ProcConfig;
+    use dashlat_cpu::machine::Machine;
+    use dashlat_mem::system::{MemConfig, MemorySystem};
+    use dashlat_sim::Cycle;
+
+    fn run_workload<W: Workload>(
+        topo: Topology,
+        space: AddressSpaceBuilder,
+        w: W,
+        cfg: ProcConfig,
+    ) -> dashlat_cpu::machine::RunResult {
+        let mem = MemorySystem::new(MemConfig::dash_scaled(topo.processors), space.build());
+        Machine::new(cfg, topo, mem, w)
+            .with_max_cycles(Cycle(200_000_000))
+            .run()
+            .expect("workload terminates")
+    }
+
+    #[test]
+    fn uniform_random_issues_expected_counts() {
+        let topo = Topology::new(4, 1);
+        let mut space = AddressSpaceBuilder::new(4);
+        let w = UniformRandom::new(topo, &mut space, 64 * 1024, 200, 0.3, 4, 7);
+        let res = run_workload(topo, space, w, ProcConfig::sc_baseline());
+        assert_eq!(res.shared_reads + res.shared_writes, 4 * 200);
+        assert!(res.shared_writes > 100, "write ratio not honoured");
+        assert!(res.aggregate.read_stall > Cycle::ZERO);
+    }
+
+    #[test]
+    fn uniform_random_is_deterministic() {
+        let mk = || {
+            let topo = Topology::new(2, 1);
+            let mut space = AddressSpaceBuilder::new(2);
+            let w = UniformRandom::new(topo, &mut space, 16 * 1024, 100, 0.5, 2, 42);
+            run_workload(topo, space, w, ProcConfig::sc_baseline())
+        };
+        let a = mk();
+        let b = mk();
+        assert_eq!(a.elapsed, b.elapsed);
+        assert_eq!(a.aggregate, b.aggregate);
+    }
+
+    #[test]
+    fn stride_sweep_prefetching_helps() {
+        let mk = |pf_dist: u64, enabled: bool| {
+            let topo = Topology::new(2, 1);
+            let mut space = AddressSpaceBuilder::new(2);
+            let w = StrideSweep::new(topo, &mut space, 400, 20, pf_dist);
+            let cfg = if enabled {
+                ProcConfig::sc_baseline().with_prefetching()
+            } else {
+                ProcConfig::sc_baseline()
+            };
+            run_workload(topo, space, w, cfg)
+        };
+        let without = mk(0, false);
+        let with = mk(8, true);
+        assert!(
+            with.elapsed < without.elapsed,
+            "prefetching did not help: {} !< {}",
+            with.elapsed,
+            without.elapsed
+        );
+        assert!(
+            with.aggregate.read_stall < without.aggregate.read_stall,
+            "read stall not reduced"
+        );
+    }
+
+    #[test]
+    fn producer_consumer_transfers_every_item() {
+        let topo = Topology::new(4, 1);
+        let mut space = AddressSpaceBuilder::new(4);
+        let w = ProducerConsumer::new(topo, &mut space, 50);
+        let res = run_workload(topo, space, w, ProcConfig::rc_baseline());
+        assert!(res.lock_acquires >= 2 * 50);
+        assert!(res.aggregate.sync_stall > Cycle::ZERO);
+    }
+
+    #[test]
+    fn producer_consumer_works_under_sc_too() {
+        let topo = Topology::new(2, 1);
+        let mut space = AddressSpaceBuilder::new(2);
+        let w = ProducerConsumer::new(topo, &mut space, 20);
+        let res = run_workload(topo, space, w, ProcConfig::sc_baseline());
+        assert!(res.elapsed > Cycle::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "even process count")]
+    fn producer_consumer_rejects_odd() {
+        let topo = Topology::new(3, 1);
+        let mut space = AddressSpaceBuilder::new(3);
+        let _ = ProducerConsumer::new(topo, &mut space, 10);
+    }
+}

@@ -1,0 +1,165 @@
+//! Generator-level invariants, checked by driving the workloads directly
+//! (no machine): every emitted address lies inside the allocated shared
+//! space, op streams are deterministic, prefetch emission is controlled by
+//! the flag, and sync ids are within the declared tables.
+
+use dashlat_cpu::ops::{Op, ProcId, Topology, Workload};
+use dashlat_mem::layout::AddressSpaceBuilder;
+use dashlat_mem::PAGE_BYTES;
+use dashlat_workloads::lu::{Lu, LuParams};
+use dashlat_workloads::mp3d::{Mp3d, Mp3dParams};
+use dashlat_workloads::pthor::{Pthor, PthorParams};
+
+/// Drives all processes round-robin for `steps` rounds, collecting ops.
+fn drive<W: Workload + ?Sized>(w: &mut W, steps: usize) -> Vec<(usize, Op)> {
+    let n = w.processes();
+    let mut out = Vec::new();
+    let mut done = vec![false; n];
+    for _ in 0..steps {
+        for (p, finished) in done.iter_mut().enumerate() {
+            if *finished {
+                continue;
+            }
+            let op = w.next_op(ProcId(p));
+            if op == Op::Done {
+                *finished = true;
+            }
+            out.push((p, op));
+        }
+        if done.iter().all(|&d| d) {
+            break;
+        }
+    }
+    out
+}
+
+fn build_all(prefetch: bool) -> Vec<(Box<dyn Workload>, u64)> {
+    let topo = Topology::new(4, 1);
+    let mut v: Vec<(Box<dyn Workload>, u64)> = Vec::new();
+    {
+        let mut space = AddressSpaceBuilder::new(4);
+        let w = Mp3d::new(Mp3dParams::test_scale(), topo, &mut space, prefetch);
+        let bytes = space.allocated_bytes();
+        v.push((Box::new(w), bytes));
+    }
+    {
+        let mut space = AddressSpaceBuilder::new(4);
+        let w = Lu::new(LuParams::test_scale(), topo, &mut space, prefetch);
+        let bytes = space.allocated_bytes();
+        v.push((Box::new(w), bytes));
+    }
+    {
+        let mut space = AddressSpaceBuilder::new(4);
+        let w = Pthor::new(PthorParams::test_scale(), topo, &mut space, prefetch);
+        let bytes = space.allocated_bytes();
+        v.push((Box::new(w), bytes));
+    }
+    v
+}
+
+#[test]
+fn all_addresses_are_inside_the_allocated_space() {
+    for (mut w, bytes) in build_all(true) {
+        let name = w.name().to_owned();
+        let ops = drive(&mut *w, 50_000);
+        assert!(!ops.is_empty());
+        for (p, op) in &ops {
+            let addr = match op {
+                Op::Read(a) | Op::Write(a) => Some(*a),
+                Op::Prefetch { addr, .. } => Some(*addr),
+                _ => None,
+            };
+            if let Some(a) = addr {
+                assert!(
+                    a.0 < bytes + PAGE_BYTES,
+                    "{name}: process {p} touched {a} beyond the {bytes}-byte space"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn op_streams_are_deterministic() {
+    for ((mut a, _), (mut b, _)) in build_all(false).into_iter().zip(build_all(false)) {
+        let name = a.name().to_owned();
+        let ops_a = drive(&mut *a, 3_000);
+        let ops_b = drive(&mut *b, 3_000);
+        assert_eq!(ops_a, ops_b, "{name}: op stream not deterministic");
+    }
+}
+
+#[test]
+fn prefetch_flag_controls_emission() {
+    for (mut w, _) in build_all(false) {
+        let name = w.name().to_owned();
+        let ops = drive(&mut *w, 3_000);
+        assert!(
+            !ops.iter().any(|(_, op)| matches!(op, Op::Prefetch { .. })),
+            "{name}: emitted prefetches although compiled out"
+        );
+    }
+    for (mut w, _) in build_all(true) {
+        let name = w.name().to_owned();
+        let ops = drive(&mut *w, 3_000);
+        assert!(
+            ops.iter().any(|(_, op)| matches!(op, Op::Prefetch { .. })),
+            "{name}: no prefetches although compiled in"
+        );
+    }
+}
+
+#[test]
+fn sync_ids_stay_within_declared_tables() {
+    for (mut w, _) in build_all(false) {
+        let name = w.name().to_owned();
+        let sc = w.sync_config();
+        let ops = drive(&mut *w, 50_000);
+        for (_, op) in ops {
+            match op {
+                Op::Acquire(l) | Op::Release(l) => {
+                    assert!(
+                        l.0 < sc.lock_addrs.len(),
+                        "{name}: lock id {} undeclared",
+                        l.0
+                    );
+                }
+                Op::Barrier(b) => {
+                    assert!(
+                        b.0 < sc.barrier_addrs.len(),
+                        "{name}: barrier id {} undeclared",
+                        b.0
+                    );
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+#[test]
+fn compute_ops_are_bounded() {
+    // No workload emits absurd single compute blocks that would starve the
+    // event loop's interleaving fidelity.
+    for (mut w, _) in build_all(false) {
+        let name = w.name().to_owned();
+        for (_, op) in drive(&mut *w, 20_000) {
+            if let Op::Compute(n) = op {
+                assert!(n < 10_000, "{name}: compute block of {n} cycles");
+            }
+        }
+    }
+}
+
+#[test]
+fn done_is_sticky() {
+    let topo = Topology::new(2, 1);
+    let mut space = AddressSpaceBuilder::new(2);
+    let mut w = Lu::new(LuParams::test_scale(), topo, &mut space, false);
+    // Drive to completion, then keep asking.
+    let _ = drive(&mut w, 2_000_000);
+    for _ in 0..10 {
+        assert_eq!(w.next_op(ProcId(0)), Op::Done);
+        assert_eq!(w.next_op(ProcId(1)), Op::Done);
+    }
+}

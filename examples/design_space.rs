@@ -1,0 +1,59 @@
+//! Design-space sweep: explore the full contexts × consistency grid for
+//! one application and find the sweet spot.
+//!
+//! ```sh
+//! cargo run --release --example design_space [mp3d|lu|pthor]
+//! ```
+
+use dash_latency::apps::App;
+use dash_latency::config::ExperimentConfig;
+use dash_latency::cpu::config::Consistency;
+use dash_latency::runner::run;
+use dash_latency::sim::Cycle;
+
+fn main() {
+    let app: App = std::env::args()
+        .nth(1)
+        .map(|v| v.parse().expect("unknown application"))
+        .unwrap_or(App::Mp3d);
+    let base = ExperimentConfig::base_test();
+    println!(
+        "{app} on {} processors ({:?} scale): elapsed pclk by contexts x consistency\n",
+        base.processors, base.scale
+    );
+    let models = [
+        Consistency::Sc,
+        Consistency::Pc,
+        Consistency::Wc,
+        Consistency::Rc,
+    ];
+    print!("{:>10}", "ctx\\model");
+    for m in models {
+        print!("{:>13}{:>13}", m.to_string(), format!("{m}+pf"));
+    }
+    println!();
+    let mut best: Option<(u64, String)> = None;
+    for contexts in [1usize, 2, 4] {
+        print!("{contexts:>10}");
+        for m in models {
+            for pf in [false, true] {
+                let mut cfg = base
+                    .clone()
+                    .with_consistency(m)
+                    .with_contexts(contexts, Cycle(4));
+                if pf {
+                    cfg = cfg.with_prefetching();
+                }
+                let e = run(app, &cfg).expect("terminates");
+                let t = e.result.elapsed.as_u64();
+                if best.as_ref().map(|(b, _)| t < *b).unwrap_or(true) {
+                    best = Some((t, cfg.label()));
+                }
+                print!("{t:>13}");
+            }
+        }
+        println!();
+    }
+    let (t, label) = best.expect("grid non-empty");
+    println!("\nsweet spot: {label} at {t} pclk");
+}

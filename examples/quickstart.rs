@@ -1,0 +1,47 @@
+//! Quickstart: run one of the paper's applications on the simulated
+//! DASH-like machine and look at where the time went.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use dash_latency::apps::App;
+use dash_latency::config::ExperimentConfig;
+use dash_latency::report::describe_run;
+use dash_latency::runner::run;
+
+fn main() {
+    // An 8-processor machine with coherent caches, sequential consistency,
+    // no prefetching, single context — the study's reference point — at
+    // the reduced test scale so this example finishes in seconds.
+    let base = ExperimentConfig::base_test();
+
+    let experiment = run(App::Mp3d, &base).expect("MP3D terminates");
+    println!("{}", describe_run(&experiment));
+
+    let b = &experiment.result.aggregate;
+    let total = b.total().as_u64() as f64;
+    println!("\nWhere the cycles went:");
+    for (name, cycles) in [
+        ("busy", b.busy),
+        ("read stall", b.read_stall),
+        ("write stall", b.write_stall),
+        ("synchronization", b.sync_stall),
+    ] {
+        println!(
+            "  {name:<16} {:>12} pclk  ({:>5.1}%)",
+            cycles.as_u64(),
+            cycles.as_u64() as f64 * 100.0 / total
+        );
+    }
+
+    // Now flip on two latency-tolerating techniques and compare.
+    let improved =
+        run(App::Mp3d, &base.clone().with_rc().with_prefetching()).expect("MP3D terminates");
+    println!(
+        "\nRelaxed consistency + prefetching: {:.2}x faster ({} -> {})",
+        experiment.result.elapsed.as_u64() as f64 / improved.result.elapsed.as_u64() as f64,
+        experiment.result.elapsed,
+        improved.result.elapsed,
+    );
+}

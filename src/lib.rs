@@ -1,0 +1,23 @@
+#![warn(missing_docs)]
+
+//! `dash-latency` — facade crate for the ISCA'91 latency-technique study
+//! reproduction.
+//!
+//! This crate re-exports the whole public API of the workspace so that
+//! examples, integration tests and downstream users need a single
+//! dependency. See the [`dashlat`] crate for the experiment runner and the
+//! README for a tour.
+
+pub use dashlat::*;
+
+/// The simulation kernel (time, event queue, RNG, statistics).
+pub use dashlat_sim as sim;
+
+/// The memory-system substrate (caches, directory, buffers, contention).
+pub use dashlat_mem as mem;
+
+/// The processor model (contexts, consistency models, synchronization).
+pub use dashlat_cpu as cpu;
+
+/// The benchmark workloads (MP3D, LU, PTHOR, synthetic generators).
+pub use dashlat_workloads as workloads;

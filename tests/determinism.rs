@@ -1,0 +1,66 @@
+//! Reproducibility: a run is a pure function of (application, config).
+
+use dash_latency::apps::App;
+use dash_latency::config::ExperimentConfig;
+use dash_latency::runner::run;
+use dash_latency::sim::Cycle;
+
+#[test]
+fn every_app_is_bit_for_bit_reproducible() {
+    for app in App::ALL {
+        let cfg = ExperimentConfig::base_test();
+        let a = run(app, &cfg).expect("runs");
+        let b = run(app, &cfg).expect("runs");
+        assert_eq!(a.result.elapsed, b.result.elapsed, "{app} elapsed differs");
+        assert_eq!(
+            a.result.aggregate, b.result.aggregate,
+            "{app} breakdown differs"
+        );
+        assert_eq!(a.result.shared_reads, b.result.shared_reads);
+        assert_eq!(a.result.shared_writes, b.result.shared_writes);
+        assert_eq!(a.result.lock_acquires, b.result.lock_acquires);
+        assert_eq!(
+            a.result.mem.invalidations_sent,
+            b.result.mem.invalidations_sent
+        );
+    }
+}
+
+#[test]
+fn reproducible_across_technique_matrix() {
+    let variants = [
+        ExperimentConfig::base_test().with_rc(),
+        ExperimentConfig::base_test().with_prefetching(),
+        ExperimentConfig::base_test().with_contexts(2, Cycle(4)),
+    ];
+    for cfg in &variants {
+        let a = run(App::Lu, cfg).expect("runs");
+        let b = run(App::Lu, cfg).expect("runs");
+        assert_eq!(
+            a.result.elapsed,
+            b.result.elapsed,
+            "{} differs",
+            cfg.label()
+        );
+    }
+}
+
+#[test]
+fn per_processor_breakdowns_tile_the_aggregate() {
+    for app in App::ALL {
+        let e = run(app, &ExperimentConfig::base_test()).expect("runs");
+        let sum = e.result.breakdowns.iter().fold(
+            dash_latency::cpu::breakdown::TimeBreakdown::default(),
+            |acc, b| acc + *b,
+        );
+        assert_eq!(sum, e.result.aggregate, "{app}: aggregate mismatch");
+        // Every processor's decomposition spans the same wall clock.
+        for (i, b) in e.result.breakdowns.iter().enumerate() {
+            assert_eq!(
+                b.total(),
+                e.result.elapsed,
+                "{app}: processor {i} breakdown does not tile elapsed"
+            );
+        }
+    }
+}
