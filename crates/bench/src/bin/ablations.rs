@@ -8,30 +8,29 @@
 //! * context-switch overhead beyond the paper's {4, 16},
 //! * cache scaling (the paper's §2.3 scaled-vs-full-size check),
 //! * contention on/off (how much of the latency is queueing).
+//!
+//! Every measurement goes through a [`SweepLog`]: a single failing
+//! configuration is recorded and skipped, the rest of the sweep still
+//! runs, and the binary ends with a (partial, if needed) JSON record and
+//! exit code 5 instead of aborting mid-sweep.
+
+use std::process::ExitCode;
 
 use dashlat::apps::App;
-use dashlat::config::ExperimentConfig;
 use dashlat::runner::run;
-use dashlat_bench::{base_config_from_args, print_preamble};
+use dashlat_bench::{base_config_from_args, print_preamble, SweepLog};
 use dashlat_sim::Cycle;
 
-fn elapsed(app: App, cfg: &ExperimentConfig) -> u64 {
-    run(app, cfg)
-        .expect("runs complete")
-        .result
-        .elapsed
-        .as_u64()
-}
-
-fn main() {
+fn main() -> ExitCode {
     let base = base_config_from_args();
     print_preamble("Ablations", &base);
+    let mut log = SweepLog::new();
 
     println!("## Write-buffer depth (MP3D, RC)\n");
     let rc = base.clone().with_rc();
     for depth in [1usize, 2, 4, 8, 16, 32] {
         let cfg = rc.clone();
-        let t = {
+        let t = log.measure_with("write-buffer-depth", &format!("depth={depth}"), || {
             // Depth is a ProcConfig knob; route it through a one-off run.
             let topo = cfg.topology();
             let mut space = dashlat_mem::layout::AddressSpaceBuilder::new(cfg.processors);
@@ -41,17 +40,18 @@ fn main() {
             pc.write_buffer_entries = depth;
             dashlat_cpu::machine::Machine::new(pc, topo, mem, w)
                 .run()
-                .expect("runs")
-                .elapsed
-                .as_u64()
-        };
-        println!("  depth {depth:>2}: {t:>12} pclk");
+                .map(|r| r.elapsed.as_u64())
+                .map_err(|e| e.to_string())
+        });
+        if let Some(t) = t {
+            println!("  depth {depth:>2}: {t:>12} pclk");
+        }
     }
 
     println!("\n## Invalidation-ack latency (PTHOR, RC; what releases wait for)\n");
     for ack in [0u64, 10, 20, 40, 80] {
         let cfg = base.clone().with_rc();
-        let t = {
+        let t = log.measure_with("inval-ack-latency", &format!("ack={ack}"), || {
             let topo = cfg.topology();
             let mut space = dashlat_mem::layout::AddressSpaceBuilder::new(cfg.processors);
             let w = App::Pthor.build(cfg.scale, topo, &mut space, false);
@@ -60,18 +60,20 @@ fn main() {
             let mem = dashlat_mem::system::MemorySystem::new(mc, space.build());
             dashlat_cpu::machine::Machine::new(cfg.proc_config(), topo, mem, w)
                 .run()
-                .expect("runs")
-                .elapsed
-                .as_u64()
-        };
-        println!("  ack +{ack:>3}: {t:>12} pclk");
+                .map(|r| r.elapsed.as_u64())
+                .map_err(|e| e.to_string())
+        });
+        if let Some(t) = t {
+            println!("  ack +{ack:>3}: {t:>12} pclk");
+        }
     }
 
     println!(
         "\n## Prefetch schedule: distributed vs whole-column burst (LU, SC+pf; section 5.2)\n"
     );
     for burst in [false, true] {
-        let t = {
+        let point = if burst { "burst" } else { "distributed" };
+        let t = log.measure_with("prefetch-schedule", point, || {
             let topo = base.topology();
             let mut space = dashlat_mem::layout::AddressSpaceBuilder::new(base.processors);
             let params = dashlat_workloads::lu::LuParams {
@@ -89,20 +91,29 @@ fn main() {
             pc.prefetching = true;
             dashlat_cpu::machine::Machine::new(pc, topo, mem, w)
                 .run()
-                .expect("runs")
-                .elapsed
-                .as_u64()
-        };
-        println!(
-            "  {}: {t:>12} pclk",
-            if burst { "burst      " } else { "distributed" }
-        );
+                .map(|r| r.elapsed.as_u64())
+                .map_err(|e| e.to_string())
+        });
+        if let Some(t) = t {
+            println!(
+                "  {}: {t:>12} pclk",
+                if burst { "burst      " } else { "distributed" }
+            );
+        }
     }
 
     println!("\n## Context-switch overhead (MP3D, SC, 4 contexts)\n");
     for sw in [0u64, 1, 2, 4, 8, 16, 32] {
         let cfg = base.clone().with_contexts(4, Cycle(sw));
-        println!("  switch {sw:>2}: {:>12} pclk", elapsed(App::Mp3d, &cfg));
+        let t = log.measure(
+            "context-switch-overhead",
+            &format!("switch={sw}"),
+            App::Mp3d,
+            &cfg,
+        );
+        if let Some(t) = t {
+            println!("  switch {sw:>2}: {t:>12} pclk");
+        }
     }
 
     println!("\n## Cache scaling (all apps, SC)\n");
@@ -113,13 +124,18 @@ fn main() {
             } else {
                 base.clone()
             };
-            let e = run(app, &cfg).expect("runs");
-            println!(
-                "  {label:<16} {:<6} {:>12} pclk | read hits {}",
-                app.name(),
-                e.result.elapsed.as_u64(),
-                e.result.mem.read_hits
-            );
+            let mut read_hits = String::new();
+            let t = log.measure_with("cache-scaling", &format!("{label}/{}", app.name()), || {
+                let e = run(app, &cfg).map_err(|e| e.to_string())?;
+                read_hits = e.result.mem.read_hits.to_string();
+                Ok(e.result.elapsed.as_u64())
+            });
+            if let Some(t) = t {
+                println!(
+                    "  {label:<16} {:<6} {t:>12} pclk | read hits {read_hits}",
+                    app.name(),
+                );
+            }
         }
     }
 
@@ -128,45 +144,72 @@ fn main() {
         print!("  {:<6}", app.name());
         for window in [0u64, 16, 32, 64, 128] {
             let cfg = base.clone().with_rc().with_read_lookahead(Cycle(window));
-            print!("  W{window}: {:>11}", elapsed(app, &cfg));
+            let point = format!("{}/W{window}", app.name());
+            match log.measure("read-lookahead", &point, app, &cfg) {
+                Some(t) => print!("  W{window}: {t:>11}"),
+                None => print!("  W{window}:      failed"),
+            }
         }
         println!();
     }
 
     println!("\n## Network model: endpoint ports vs 2-D mesh (all apps, SC)\n");
     for app in App::ALL {
-        let ports = elapsed(app, &base);
-        let mesh = elapsed(app, &base.clone().with_mesh_network());
-        println!(
-            "  {:<6} ports {ports:>12} | mesh {mesh:>12} | delta {:>+5.1}%",
-            app.name(),
-            (mesh as f64 / ports as f64 - 1.0) * 100.0
+        let ports = log.measure(
+            "network-model",
+            &format!("{}/ports", app.name()),
+            app,
+            &base,
         );
+        let mesh = log.measure(
+            "network-model",
+            &format!("{}/mesh", app.name()),
+            app,
+            &base.clone().with_mesh_network(),
+        );
+        if let (Some(ports), Some(mesh)) = (ports, mesh) {
+            println!(
+                "  {:<6} ports {ports:>12} | mesh {mesh:>12} | delta {:>+5.1}%",
+                app.name(),
+                (mesh as f64 / ports as f64 - 1.0) * 100.0
+            );
+        }
     }
 
     println!("\n## Directory organisation: full-map vs Dir_i-B (MP3D + PTHOR, SC)\n");
     for app in [App::Mp3d, App::Pthor] {
-        let full = elapsed(app, &base);
+        let full = log.measure("directory", &format!("{}/full-map", app.name()), app, &base);
         for ptrs in [1usize, 2, 4] {
-            let limited = elapsed(app, &base.clone().with_limited_directory(ptrs));
-            println!(
-                "  {:<6} full-map {full:>12} | Dir{ptrs}B {limited:>12} | delta {:>+5.1}%",
-                app.name(),
-                (limited as f64 / full as f64 - 1.0) * 100.0
+            let limited = log.measure(
+                "directory",
+                &format!("{}/Dir{ptrs}B", app.name()),
+                app,
+                &base.clone().with_limited_directory(ptrs),
             );
+            if let (Some(full), Some(limited)) = (full, limited) {
+                println!(
+                    "  {:<6} full-map {full:>12} | Dir{ptrs}B {limited:>12} | delta {:>+5.1}%",
+                    app.name(),
+                    (limited as f64 / full as f64 - 1.0) * 100.0
+                );
+            }
         }
     }
 
     println!("\n## Contention model on/off (all apps, SC)\n");
     for app in App::ALL {
-        let on = elapsed(app, &base);
+        let on = log.measure("contention", &format!("{}/on", app.name()), app, &base);
         let mut cfg = base.clone();
         cfg.contention = false;
-        let off = elapsed(app, &cfg);
-        println!(
-            "  {:<6} contention on {on:>12} | off {off:>12} | queueing adds {:>5.1}%",
-            app.name(),
-            (on as f64 / off as f64 - 1.0) * 100.0
-        );
+        let off = log.measure("contention", &format!("{}/off", app.name()), app, &cfg);
+        if let (Some(on), Some(off)) = (on, off) {
+            println!(
+                "  {:<6} contention on {on:>12} | off {off:>12} | queueing adds {:>5.1}%",
+                app.name(),
+                (on as f64 / off as f64 - 1.0) * 100.0
+            );
+        }
     }
+
+    log.finish()
 }

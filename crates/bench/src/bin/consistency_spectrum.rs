@@ -2,7 +2,11 @@
 //!
 //! The paper evaluates the two ends and notes that processor consistency
 //! and weak consistency fall in between (§4). This binary sweeps all four
-//! models over the three applications.
+//! models over the three applications. The sweep is resilient: a failed
+//! cell is reported and the remaining models still render (exit code 5
+//! marks a partial result).
+
+use std::process::ExitCode;
 
 use dashlat::apps::App;
 use dashlat::config::ExperimentConfig;
@@ -11,7 +15,7 @@ use dashlat::runner::run_matrix;
 use dashlat_bench::{base_config_from_args, print_preamble};
 use dashlat_cpu::config::Consistency;
 
-fn main() {
+fn main() -> ExitCode {
     let base = base_config_from_args();
     print_preamble("Consistency spectrum (extension)", &base);
     let configs: Vec<ExperimentConfig> = [
@@ -23,8 +27,19 @@ fn main() {
     .into_iter()
     .map(|m| base.clone().with_consistency(m))
     .collect();
+    let mut failed = 0usize;
     for app in App::ALL {
-        let runs = run_matrix(app, &configs).expect("runs complete");
+        let report = run_matrix(app, &configs);
+        for (label, failure) in report.failures() {
+            eprintln!("warning: {app}/{label} failed: {failure}");
+            failed += 1;
+        }
+        let runs: Vec<_> = report.successes().into_iter().cloned().collect();
+        // Bars are normalized to SC (the first cell); without it the group
+        // cannot be scaled.
+        if runs.is_empty() || report.cells[0].outcome.is_err() {
+            continue;
+        }
         let g = AppFigure::from_experiments(&runs);
         println!("{}", g.app);
         for (i, bar) in g.bars.iter().enumerate() {
@@ -36,5 +51,10 @@ fn main() {
             );
         }
         println!();
+    }
+    if failed == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(5)
     }
 }

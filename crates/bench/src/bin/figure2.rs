@@ -1,15 +1,11 @@
 //! Regenerates Figure 2 of the paper.
 
-use dashlat_bench::{base_config_from_args, print_preamble};
+use std::process::ExitCode;
 
-fn main() {
+use dashlat_bench::{base_config_from_args, emit_figure, print_preamble};
+
+fn main() -> ExitCode {
     let cfg = base_config_from_args();
     print_preamble("Figure 2", &cfg);
-    let fig = dashlat::experiments::figure2(&cfg).expect("runs complete");
-    if std::env::args().any(|a| a == "--csv") {
-        print!("{}", fig.to_csv());
-    } else {
-        println!("{}", fig.render());
-        println!("{}", fig.render_chart());
-    }
+    emit_figure(&dashlat::experiments::figure2(&cfg))
 }

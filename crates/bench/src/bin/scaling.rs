@@ -9,15 +9,21 @@
 //!    greater gains: four context-processors run about twice as fast as
 //!    single-context processors" — the parallelism freed by fewer
 //!    processors becomes available for latency hiding.
+//!
+//! Every measurement goes through a [`SweepLog`], so one failed machine
+//! size degrades the output to a partial JSON record (exit code 5)
+//! instead of aborting the whole study.
+
+use std::process::ExitCode;
 
 use dashlat::apps::App;
-use dashlat::runner::run;
-use dashlat_bench::{base_config_from_args, print_preamble};
+use dashlat_bench::{base_config_from_args, print_preamble, SweepLog};
 use dashlat_sim::Cycle;
 
-fn main() {
+fn main() -> ExitCode {
     let base = base_config_from_args();
     print_preamble("Scaling study", &base);
+    let mut log = SweepLog::new();
 
     println!("## Speedup vs processor count (SC)\n");
     for app in App::ALL {
@@ -26,13 +32,17 @@ fn main() {
         for procs in [1usize, 2, 4, 8, 16] {
             let mut cfg = base.clone();
             cfg.processors = procs;
-            let e = run(app, &cfg).expect("runs complete");
-            let t = e.result.elapsed.as_u64();
-            let speedup = baseline.map(|b: u64| b as f64 / t as f64).unwrap_or(1.0);
-            if baseline.is_none() {
-                baseline = Some(t);
+            let point = format!("{}/p{procs}", app.name());
+            match log.measure("speedup", &point, app, &cfg) {
+                Some(t) => {
+                    let speedup = baseline.map(|b: u64| b as f64 / t as f64).unwrap_or(1.0);
+                    if baseline.is_none() {
+                        baseline = Some(t);
+                    }
+                    print!("  p{procs}: {speedup:>5.2}x");
+                }
+                None => print!("  p{procs}: failed"),
             }
-            print!("  p{procs}: {speedup:>5.2}x");
         }
         println!();
     }
@@ -43,16 +53,25 @@ fn main() {
         one.processors = procs;
         let mut four = base.clone().with_contexts(4, Cycle(4));
         four.processors = procs;
-        let t1 = run(App::Pthor, &one).expect("runs complete").result.elapsed;
-        let t4 = run(App::Pthor, &four)
-            .expect("runs complete")
-            .result
-            .elapsed;
-        println!(
-            "  {procs:>2} processors: 1ctx {:>12} | 4ctx/4 {:>12} | gain {:>4.2}x",
-            t1.as_u64(),
-            t4.as_u64(),
-            t1.as_u64() as f64 / t4.as_u64() as f64
+        let t1 = log.measure(
+            "pthor-contexts",
+            &format!("p{procs}/1ctx"),
+            App::Pthor,
+            &one,
         );
+        let t4 = log.measure(
+            "pthor-contexts",
+            &format!("p{procs}/4ctx"),
+            App::Pthor,
+            &four,
+        );
+        if let (Some(t1), Some(t4)) = (t1, t4) {
+            println!(
+                "  {procs:>2} processors: 1ctx {t1:>12} | 4ctx/4 {t4:>12} | gain {:>4.2}x",
+                t1 as f64 / t4 as f64
+            );
+        }
     }
+
+    log.finish()
 }

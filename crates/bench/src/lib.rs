@@ -18,7 +18,167 @@
 //! All binaries run the paper-scale data sets by default; pass
 //! `--test-scale` for the reduced data sets used in CI.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::process::ExitCode;
+
+use dashlat::apps::App;
 use dashlat::config::ExperimentConfig;
+use dashlat::runner::run;
+
+/// One sweep point: which sweep it belongs to, which setting it measured,
+/// and the elapsed cycles or the failure message.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// Sweep name, e.g. `write-buffer-depth`.
+    pub sweep: String,
+    /// Point label within the sweep, e.g. `depth=4`.
+    pub point: String,
+    /// Elapsed pclocks on success, or why the run failed.
+    pub outcome: Result<u64, String>,
+}
+
+/// Collects sweep results so one failed configuration degrades the run to
+/// a *partial* JSON record instead of aborting the whole binary.
+///
+/// The sweep binaries (`ablations`, `scaling`) route every measurement
+/// through [`SweepLog::measure`]/[`SweepLog::measure_with`]: failures
+/// (structured [`RunError`](dashlat_cpu::machine::RunError)s and panics
+/// alike) are recorded and warned about, the sweep continues, and
+/// [`SweepLog::finish`] emits the machine-readable JSON record with a
+/// `complete` flag plus the matching process exit code (0 complete,
+/// 5 partial — the same convention as the CLI).
+#[derive(Debug, Default)]
+pub struct SweepLog {
+    points: Vec<SweepPoint>,
+}
+
+impl SweepLog {
+    /// Empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Runs `f` with panic isolation and records the outcome under
+    /// `sweep`/`point`. Returns the elapsed cycles on success, `None` on a
+    /// failure (which is recorded and warned to stderr).
+    pub fn measure_with(
+        &mut self,
+        sweep: &str,
+        point: &str,
+        f: impl FnOnce() -> Result<u64, String>,
+    ) -> Option<u64> {
+        let outcome = match catch_unwind(AssertUnwindSafe(f)) {
+            Ok(r) => r,
+            Err(payload) => {
+                let msg = if let Some(s) = payload.downcast_ref::<&str>() {
+                    (*s).to_string()
+                } else if let Some(s) = payload.downcast_ref::<String>() {
+                    s.clone()
+                } else {
+                    "non-string panic payload".to_string()
+                };
+                Err(format!("panic: {msg}"))
+            }
+        };
+        if let Err(e) = &outcome {
+            eprintln!("warning: {sweep} / {point} failed: {e}");
+        }
+        let elapsed = outcome.as_ref().ok().copied();
+        self.points.push(SweepPoint {
+            sweep: sweep.to_owned(),
+            point: point.to_owned(),
+            outcome,
+        });
+        elapsed
+    }
+
+    /// Runs `app` under `cfg` through the standard runner, recording the
+    /// outcome like [`SweepLog::measure_with`].
+    pub fn measure(
+        &mut self,
+        sweep: &str,
+        point: &str,
+        app: App,
+        cfg: &ExperimentConfig,
+    ) -> Option<u64> {
+        self.measure_with(sweep, point, || {
+            run(app, cfg)
+                .map(|e| e.result.elapsed.as_u64())
+                .map_err(|e| e.to_string())
+        })
+    }
+
+    /// Number of failed points recorded so far.
+    pub fn failed(&self) -> usize {
+        self.points.iter().filter(|p| p.outcome.is_err()).count()
+    }
+
+    /// Renders the log as a JSON record. `complete` is false when any
+    /// point failed; failed points carry an `error` field instead of
+    /// `elapsed`, so consumers see exactly which cells are missing.
+    pub fn to_json(&self) -> String {
+        fn esc(s: &str) -> String {
+            s.replace('\\', "\\\\").replace('"', "\\\"")
+        }
+        let mut out = String::from("{\n");
+        out.push_str(&format!(
+            "  \"complete\": {},\n  \"points\": [\n",
+            self.failed() == 0
+        ));
+        for (i, p) in self.points.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"sweep\": \"{}\", \"point\": \"{}\", ",
+                esc(&p.sweep),
+                esc(&p.point)
+            ));
+            match &p.outcome {
+                Ok(v) => out.push_str(&format!("\"elapsed\": {v}}}")),
+                Err(e) => out.push_str(&format!("\"error\": \"{}\"}}", esc(e))),
+            }
+            if i + 1 < self.points.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("  ]\n}");
+        out
+    }
+
+    /// Prints the JSON record (partial or complete) and converts the log
+    /// into the process exit code: 0 when complete, 5 when partial.
+    pub fn finish(self) -> ExitCode {
+        println!("\n## JSON record\n\n{}", self.to_json());
+        if self.failed() == 0 {
+            ExitCode::SUCCESS
+        } else {
+            eprintln!(
+                "warning: {} sweep point(s) failed; the JSON record above is partial",
+                self.failed()
+            );
+            ExitCode::from(5)
+        }
+    }
+}
+
+/// Renders a figure sweep the way the figure binaries do: warnings for
+/// failed cells, then tables (or CSV with `--csv`), then the exit code —
+/// 0 when every cell completed, 5 when the figure is partial.
+pub fn emit_figure(report: &dashlat::experiments::FigureReport) -> ExitCode {
+    for (app, label, failure) in &report.failures {
+        eprintln!("warning: {app}/{label} failed: {failure}");
+    }
+    if std::env::args().any(|a| a == "--csv") {
+        print!("{}", report.figure.to_csv());
+    } else {
+        println!("{}", report.figure.render());
+        println!("{}", report.figure.render_chart());
+    }
+    if report.is_complete() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(5)
+    }
+}
 
 /// Parses the common command line: `--test-scale` selects the reduced data
 /// sets, `--processors N` overrides the machine size.
@@ -64,5 +224,33 @@ mod tests {
         // hold for the direct constructors.
         let cfg = ExperimentConfig::base();
         assert_eq!(cfg.processors, 16);
+    }
+
+    #[test]
+    fn sweep_log_survives_failures_and_emits_partial_json() {
+        let mut log = SweepLog::new();
+        assert_eq!(log.measure_with("s", "ok", || Ok(42)), Some(42));
+        assert_eq!(
+            log.measure_with("s", "boom", || panic!("poisoned config")),
+            None
+        );
+        assert_eq!(
+            log.measure_with("s", "err", || Err("deadlock".into())),
+            None
+        );
+        assert_eq!(log.failed(), 2);
+        let json = log.to_json();
+        assert!(json.contains("\"complete\": false"));
+        assert!(json.contains("\"elapsed\": 42"));
+        assert!(json.contains("panic: poisoned config"));
+        assert!(json.contains("\"error\": \"deadlock\""));
+    }
+
+    #[test]
+    fn sweep_log_complete_json() {
+        let mut log = SweepLog::new();
+        log.measure_with("s", "a", || Ok(1));
+        assert_eq!(log.failed(), 0);
+        assert!(log.to_json().contains("\"complete\": true"));
     }
 }

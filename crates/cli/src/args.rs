@@ -4,6 +4,7 @@
 use dashlat::apps::App;
 use dashlat::config::{AppScale, ExperimentConfig};
 use dashlat_cpu::config::Consistency;
+use dashlat_sim::fault::FaultPlan;
 use dashlat_sim::Cycle;
 
 /// Parsed command line.
@@ -97,6 +98,14 @@ MACHINE FLAGS:
   --dir-pointers <n>        limited-pointer (Dir_n-B) directory
   --lookahead <cycles>      perfect read lookahead window (OoO what-if)
   --test-scale              reduced data sets (default: paper scale)
+  --faults <spec>           seeded fault injection: a preset
+                            (light|heavy|nacks[:seed]) or key=value pairs
+                            (seed,nack,retries,backoff,cap,delay,maxdelay,full)
+  --check-invariants        check coherence invariants after every access
+
+EXIT CODES:
+  0 success   1 generic error   2 deadlock   3 livelock
+  4 invariant violation   5 partial matrix results
 ";
 
 fn parse_consistency(v: &str) -> Result<Consistency, ArgError> {
@@ -197,6 +206,14 @@ fn parse_machine_flags(args: &mut Vec<String>) -> Result<ExperimentConfig, ArgEr
             "--test-scale" => {
                 args.remove(i);
                 cfg.scale = AppScale::Test;
+            }
+            "--faults" => {
+                let v = take_value(args, i, "--faults")?;
+                cfg = cfg.with_faults(FaultPlan::from_spec(&v).map_err(ArgError)?);
+            }
+            "--check-invariants" => {
+                args.remove(i);
+                cfg = cfg.with_invariant_checks(true);
             }
             _ => i += 1,
         }
@@ -453,6 +470,30 @@ mod tests {
         assert!(parse(v(&["run", "--app", "lu", "--dir-pointers", "0"])).is_err());
         assert!(parse(v(&["run", "--app", "lu", "--bogus"])).is_err());
         assert!(parse(v(&["launch"])).is_err());
+    }
+
+    #[test]
+    fn fault_flags() {
+        let cmd = parse(v(&[
+            "run",
+            "--app",
+            "lu",
+            "--faults",
+            "heavy:42",
+            "--check-invariants",
+        ]))
+        .expect("parses");
+        match cmd {
+            Command::Run { config, .. } => {
+                let plan = config.faults.expect("fault plan set");
+                assert_eq!(plan.seed, 42);
+                assert!(plan.is_active());
+                assert!(config.check_invariants);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse(v(&["run", "--app", "lu", "--faults", "bogus"])).is_err());
+        assert!(parse(v(&["run", "--app", "lu", "--faults"])).is_err());
     }
 
     #[test]

@@ -15,12 +15,50 @@ use args::{parse, ArgError, Command, USAGE};
 use dashlat::apps::App;
 use dashlat::config::ExperimentConfig;
 use dashlat::report::{describe_run, AppFigure, Figure};
-use dashlat::runner::run;
-use dashlat_cpu::machine::Machine;
+use dashlat::runner::{run, RunFailure};
+use dashlat_cpu::machine::{Machine, RunError};
 use dashlat_cpu::trace::{Trace, TraceRecorder};
 use dashlat_mem::layout::AddressSpaceBuilder;
 use dashlat_mem::system::MemorySystem;
 use dashlat_sim::Cycle;
+
+/// A matrix sweep finished with some cells failed; the healthy cells were
+/// still rendered.
+#[derive(Debug)]
+struct PartialMatrix(usize);
+
+impl std::fmt::Display for PartialMatrix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} configuration(s) failed; partial results rendered above",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for PartialMatrix {}
+
+/// Distinct exit codes so scripts can tell failure classes apart:
+/// 0 success, 1 generic, 2 deadlock, 3 livelock, 4 invariant violation,
+/// 5 partial matrix results.
+fn exit_code_for(e: &(dyn std::error::Error + 'static)) -> ExitCode {
+    if e.downcast_ref::<PartialMatrix>().is_some() {
+        return ExitCode::from(5);
+    }
+    let run_err = e.downcast_ref::<RunError>().or_else(|| {
+        e.downcast_ref::<RunFailure>().and_then(|f| match f {
+            RunFailure::Error(inner) => Some(inner),
+            RunFailure::Panic(_) => None,
+        })
+    });
+    match run_err {
+        Some(RunError::Deadlock { .. }) => ExitCode::from(2),
+        Some(RunError::Livelock { .. }) => ExitCode::from(3),
+        Some(RunError::InvariantViolation { .. }) => ExitCode::from(4),
+        _ => ExitCode::FAILURE,
+    }
+}
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -29,7 +67,7 @@ fn main() -> ExitCode {
             Ok(()) => ExitCode::SUCCESS,
             Err(e) => {
                 eprintln!("error: {e}");
-                ExitCode::FAILURE
+                exit_code_for(e.as_ref())
             }
         },
         Err(ArgError(msg)) => {
@@ -75,21 +113,28 @@ fn execute(cmd: Command) -> Result<(), Box<dyn std::error::Error>> {
             config,
             csv,
         } => {
-            let fig = match number {
-                2 => dashlat::experiments::figure2(&config)?,
-                3 => dashlat::experiments::figure3(&config)?,
-                4 => dashlat::experiments::figure4(&config)?,
-                5 => dashlat::experiments::figure5(&config)?,
-                6 => dashlat::experiments::figure6(&config)?,
+            let report = match number {
+                2 => dashlat::experiments::figure2(&config),
+                3 => dashlat::experiments::figure3(&config),
+                4 => dashlat::experiments::figure4(&config),
+                5 => dashlat::experiments::figure5(&config),
+                6 => dashlat::experiments::figure6(&config),
                 _ => unreachable!("validated by the parser"),
             };
-            if csv {
-                print!("{}", fig.to_csv());
-            } else {
-                println!("{}", fig.render());
-                println!("{}", fig.render_chart());
+            for (app, label, failure) in &report.failures {
+                eprintln!("warning: {app}/{label} failed: {failure}");
             }
-            Ok(())
+            if csv {
+                print!("{}", report.figure.to_csv());
+            } else {
+                println!("{}", report.figure.render());
+                println!("{}", report.figure.render_chart());
+            }
+            if report.is_complete() {
+                Ok(())
+            } else {
+                Err(Box::new(PartialMatrix(report.failures.len())))
+            }
         }
         Command::Table { number, config } => {
             match number {

@@ -10,6 +10,7 @@ use dashlat_cpu::ops::Topology;
 use dashlat_mem::contention::NetworkModel;
 use dashlat_mem::directory::DirectoryKind;
 use dashlat_mem::system::MemConfig;
+use dashlat_sim::fault::FaultPlan;
 use dashlat_sim::Cycle;
 
 /// Application data-set scale.
@@ -52,6 +53,14 @@ pub struct ExperimentConfig {
     /// Perfect-lookahead window for reads (0 = the paper's blocking
     /// reads; see `dashlat_cpu::config::ProcConfig::read_lookahead`).
     pub read_lookahead: Cycle,
+    /// Fault-injection plan applied to the whole machine (mesh/directory
+    /// NACKs, packet delays, transient buffer-full events). `None`, or an
+    /// inactive plan, runs clean.
+    pub faults: Option<FaultPlan>,
+    /// Check coherence invariants online after every memory access,
+    /// failing the run on the first violation. Defaults to on in debug
+    /// builds, off in release.
+    pub check_invariants: bool,
 }
 
 impl ExperimentConfig {
@@ -71,6 +80,8 @@ impl ExperimentConfig {
             network: NetworkModel::Ports,
             directory: DirectoryKind::FullMap,
             read_lookahead: Cycle(0),
+            faults: None,
+            check_invariants: cfg!(debug_assertions),
         }
     }
 
@@ -143,6 +154,18 @@ impl ExperimentConfig {
         self
     }
 
+    /// Returns a copy that runs under the given fault-injection plan.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// Returns a copy with online invariant checking forced on or off.
+    pub fn with_invariant_checks(mut self, on: bool) -> Self {
+        self.check_invariants = on;
+        self
+    }
+
     /// The machine topology this configuration implies.
     pub fn topology(&self) -> Topology {
         Topology::new(self.processors, self.contexts)
@@ -160,6 +183,8 @@ impl ExperimentConfig {
         cfg.contexts = self.contexts;
         cfg.switch_overhead = self.switch_overhead;
         cfg.read_lookahead = self.read_lookahead;
+        cfg.faults = self.faults;
+        cfg.check_invariants = self.check_invariants;
         cfg
     }
 
@@ -174,6 +199,7 @@ impl ExperimentConfig {
         cfg.contention = self.contention;
         cfg.network = self.network;
         cfg.directory = self.directory;
+        cfg.faults = self.faults;
         cfg
     }
 
@@ -192,6 +218,9 @@ impl ExperimentConfig {
                 self.contexts,
                 self.switch_overhead.as_u64()
             ));
+        }
+        if self.faults.is_some_and(|f| f.is_active()) {
+            s.push_str(" +faults");
         }
         s
     }
@@ -260,5 +289,25 @@ mod tests {
             ExperimentConfig::base().with_contexts(2, Cycle(4)).label(),
             "SC 2ctx/4"
         );
+        assert_eq!(
+            ExperimentConfig::base()
+                .with_faults(FaultPlan::light(7))
+                .label(),
+            "SC +faults"
+        );
+    }
+
+    #[test]
+    fn faults_flow_into_both_sides() {
+        let plan = FaultPlan::light(42);
+        let c = ExperimentConfig::base()
+            .with_faults(plan)
+            .with_invariant_checks(true);
+        assert_eq!(c.proc_config().faults, Some(plan));
+        assert!(c.proc_config().check_invariants);
+        assert_eq!(c.mem_config().faults, Some(plan));
+        // An inactive plan leaves the label untouched.
+        let quiet = ExperimentConfig::base().with_faults(FaultPlan::default());
+        assert_eq!(quiet.label(), "SC");
     }
 }

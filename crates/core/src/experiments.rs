@@ -12,7 +12,7 @@ use dashlat_sim::Cycle;
 use crate::apps::App;
 use crate::config::ExperimentConfig;
 use crate::report::{AppFigure, Figure, Table2, Table2Row};
-use crate::runner::{run, run_matrix, Experiment};
+use crate::runner::{run, run_matrix, Experiment, RunFailure};
 
 /// Renders Table 1: the memory-operation latencies of the simulated
 /// machine (configuration, not measurement).
@@ -60,25 +60,51 @@ pub fn table2(base: &ExperimentConfig) -> Result<Table2, RunError> {
     Ok(Table2 { rows })
 }
 
-fn figure_from_matrix(title: &str, configs: &[ExperimentConfig]) -> Result<Figure, RunError> {
-    let mut groups = Vec::with_capacity(App::ALL.len());
-    for app in App::ALL {
-        let runs = run_matrix(app, configs)?;
-        groups.push(AppFigure::from_experiments(&runs));
+/// A figure assembled from a resilient sweep: the bars that completed,
+/// plus every cell that failed (so partial results are never silently
+/// presented as complete).
+#[derive(Debug, Clone)]
+pub struct FigureReport {
+    /// The renderable figure. App groups whose *baseline* (first) bar
+    /// failed are dropped — the remaining bars could not be normalized —
+    /// but their failures are still listed.
+    pub figure: Figure,
+    /// `(app, config label, failure)` for each cell that did not finish.
+    pub failures: Vec<(String, String, RunFailure)>,
+}
+
+impl FigureReport {
+    /// True when every cell of every app group completed.
+    pub fn is_complete(&self) -> bool {
+        self.failures.is_empty()
     }
-    Ok(Figure {
-        title: title.to_owned(),
-        groups,
-    })
+}
+
+fn figure_from_matrix(title: &str, configs: &[ExperimentConfig]) -> FigureReport {
+    let mut groups = Vec::with_capacity(App::ALL.len());
+    let mut failures = Vec::new();
+    for app in App::ALL {
+        let report = run_matrix(app, configs);
+        for (label, f) in report.failures() {
+            failures.push((app.name().to_owned(), label.to_owned(), f.clone()));
+        }
+        let ok: Vec<Experiment> = report.successes().into_iter().cloned().collect();
+        if !ok.is_empty() && report.cells[0].outcome.is_ok() {
+            groups.push(AppFigure::from_experiments(&ok));
+        }
+    }
+    FigureReport {
+        figure: Figure {
+            title: title.to_owned(),
+            groups,
+        },
+        failures,
+    }
 }
 
 /// Figure 2: effect of caching shared data (no-cache baseline vs coherent
-/// caches, both under SC).
-///
-/// # Errors
-///
-/// Propagates a failed run.
-pub fn figure2(base: &ExperimentConfig) -> Result<Figure, RunError> {
+/// caches, both under SC). Failed cells are reported, not fatal.
+pub fn figure2(base: &ExperimentConfig) -> FigureReport {
     figure_from_matrix(
         "Figure 2: Effect of caching shared data (normalized to no-cache)",
         &[base.clone().without_caching(), base.clone()],
@@ -86,11 +112,8 @@ pub fn figure2(base: &ExperimentConfig) -> Result<Figure, RunError> {
 }
 
 /// Figure 3: effect of relaxing the consistency model (SC vs RC).
-///
-/// # Errors
-///
-/// Propagates a failed run.
-pub fn figure3(base: &ExperimentConfig) -> Result<Figure, RunError> {
+/// Failed cells are reported, not fatal.
+pub fn figure3(base: &ExperimentConfig) -> FigureReport {
     figure_from_matrix(
         "Figure 3: Effect of relaxing the consistency model (normalized to SC)",
         &[base.clone(), base.clone().with_rc()],
@@ -98,12 +121,9 @@ pub fn figure3(base: &ExperimentConfig) -> Result<Figure, RunError> {
 }
 
 /// Figure 4: effect of prefetching, without and with, under SC and RC.
-/// Bars: SC, SC+pf, RC, RC+pf — normalized to SC.
-///
-/// # Errors
-///
-/// Propagates a failed run.
-pub fn figure4(base: &ExperimentConfig) -> Result<Figure, RunError> {
+/// Bars: SC, SC+pf, RC, RC+pf — normalized to SC. Failed cells are
+/// reported, not fatal.
+pub fn figure4(base: &ExperimentConfig) -> FigureReport {
     figure_from_matrix(
         "Figure 4: Effect of prefetching (normalized to SC without prefetching)",
         &[
@@ -116,12 +136,9 @@ pub fn figure4(base: &ExperimentConfig) -> Result<Figure, RunError> {
 }
 
 /// Figure 5: effect of multiple contexts under SC: 1 context, then 2 and 4
-/// contexts at 16-cycle and at 4-cycle switch overhead.
-///
-/// # Errors
-///
-/// Propagates a failed run.
-pub fn figure5(base: &ExperimentConfig) -> Result<Figure, RunError> {
+/// contexts at 16-cycle and at 4-cycle switch overhead. Failed cells are
+/// reported, not fatal.
+pub fn figure5(base: &ExperimentConfig) -> FigureReport {
     figure_from_matrix(
         "Figure 5: Effect of multiple contexts under SC (normalized to 1 context)",
         &[
@@ -136,11 +153,8 @@ pub fn figure5(base: &ExperimentConfig) -> Result<Figure, RunError> {
 
 /// Figure 6: combining the schemes (4-cycle switch): SC with 1/2/4
 /// contexts, RC with 1/2/4 contexts, RC+prefetch with 1/2/4 contexts.
-///
-/// # Errors
-///
-/// Propagates a failed run.
-pub fn figure6(base: &ExperimentConfig) -> Result<Figure, RunError> {
+/// Failed cells are reported, not fatal.
+pub fn figure6(base: &ExperimentConfig) -> FigureReport {
     let sw = Cycle(4);
     figure_from_matrix(
         "Figure 6: Effect of combining the schemes (4-cycle switch, normalized to SC/1ctx)",
@@ -250,7 +264,9 @@ mod tests {
 
     #[test]
     fn figure3_shapes_hold_at_test_scale() {
-        let f = figure3(&ExperimentConfig::base_test()).expect("runs");
+        let report = figure3(&ExperimentConfig::base_test());
+        assert!(report.is_complete(), "failures: {:?}", report.failures);
+        let f = report.figure;
         assert_eq!(f.groups.len(), 3);
         for g in &f.groups {
             // RC bar is never (materially) taller than the SC baseline.
@@ -279,8 +295,9 @@ mod tests {
 
     #[test]
     fn figure2_caching_wins_everywhere() {
-        let f = figure2(&ExperimentConfig::base_test()).expect("runs");
-        for g in &f.groups {
+        let report = figure2(&ExperimentConfig::base_test());
+        assert!(report.is_complete(), "failures: {:?}", report.failures);
+        for g in &report.figure.groups {
             assert!(
                 g.speedup(1) > 1.3,
                 "{}: caching speedup only {:.2}",

@@ -43,4 +43,4 @@ pub mod runner;
 pub use apps::App;
 pub use config::{AppScale, ExperimentConfig};
 pub use report::{AppFigure, Figure, FigureBar, Table2, Table2Row};
-pub use runner::{run, run_matrix, Experiment};
+pub use runner::{run, run_matrix, Experiment, MatrixCell, MatrixReport, RunFailure};

@@ -1,4 +1,13 @@
 //! Wiring and running one experiment.
+//!
+//! [`run`] wires one configuration and runs it to completion. [`run_matrix`]
+//! runs a whole column of configurations *resiliently*: each experiment is
+//! isolated (panics are caught, structured [`RunError`]s recorded), the
+//! sweep continues past failures, and the caller gets a [`MatrixReport`]
+//! with a per-configuration outcome instead of losing the healthy runs to
+//! one poisoned cell.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use dashlat_cpu::machine::{Machine, RunError, RunResult};
 use dashlat_mem::layout::AddressSpaceBuilder;
@@ -28,13 +37,85 @@ impl Experiment {
     }
 }
 
+/// Why one matrix cell failed to produce an experiment.
+#[derive(Debug, Clone)]
+pub enum RunFailure {
+    /// The machine reported a structured error (budget, deadlock,
+    /// livelock, invariant violation).
+    Error(RunError),
+    /// The run panicked; the payload message is preserved.
+    Panic(String),
+}
+
+impl std::fmt::Display for RunFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunFailure::Error(e) => write!(f, "{e}"),
+            RunFailure::Panic(msg) => write!(f, "panic: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RunFailure {}
+
+/// One cell of a [`MatrixReport`]: the configuration label plus either the
+/// finished experiment or the reason it failed.
+#[derive(Debug, Clone)]
+pub struct MatrixCell {
+    /// The configuration's short label (kept even on failure, when no
+    /// [`Experiment`] exists to ask).
+    pub label: String,
+    /// The outcome.
+    pub outcome: Result<Experiment, RunFailure>,
+}
+
+/// Outcome of a resilient matrix sweep: one cell per configuration, in the
+/// order given, failures included.
+#[derive(Debug, Clone)]
+pub struct MatrixReport {
+    /// The application that ran.
+    pub app: App,
+    /// Per-configuration outcomes, in input order.
+    pub cells: Vec<MatrixCell>,
+}
+
+impl MatrixReport {
+    /// The successful experiments, in input order.
+    pub fn successes(&self) -> Vec<&Experiment> {
+        self.cells
+            .iter()
+            .filter_map(|c| c.outcome.as_ref().ok())
+            .collect()
+    }
+
+    /// The failed cells as `(label, failure)` pairs, in input order.
+    pub fn failures(&self) -> Vec<(&str, &RunFailure)> {
+        self.cells
+            .iter()
+            .filter_map(|c| c.outcome.as_ref().err().map(|e| (c.label.as_str(), e)))
+            .collect()
+    }
+
+    /// True when every configuration produced an experiment.
+    pub fn is_fully_ok(&self) -> bool {
+        self.cells.iter().all(|c| c.outcome.is_ok())
+    }
+
+    /// Consumes the report into the experiments, erroring with the first
+    /// failure if any cell failed (the strict pre-resilience contract).
+    pub fn into_experiments(self) -> Result<Vec<Experiment>, RunFailure> {
+        self.cells.into_iter().map(|c| c.outcome).collect()
+    }
+}
+
 /// Runs `app` on the machine described by `config`.
 ///
 /// # Errors
 ///
-/// Propagates [`RunError`] from the machine (cycle budget exceeded or a
-/// synchronization deadlock) — both indicate a bug rather than an expected
-/// outcome for these workloads.
+/// Propagates [`RunError`] from the machine (cycle budget exceeded,
+/// deadlock, livelock, or an invariant violation) — all indicate a bug or
+/// an injected fault exposing one, rather than an expected outcome for
+/// these workloads.
 pub fn run(app: App, config: &ExperimentConfig) -> Result<Experiment, RunError> {
     let topo = config.topology();
     let mut space = AddressSpaceBuilder::new(config.processors);
@@ -52,19 +133,45 @@ pub fn run(app: App, config: &ExperimentConfig) -> Result<Experiment, RunError> 
     })
 }
 
-/// Runs `app` on every configuration, returning the experiments in order.
-///
-/// # Errors
-///
-/// Fails on the first configuration whose run fails.
-pub fn run_matrix(app: App, configs: &[ExperimentConfig]) -> Result<Vec<Experiment>, RunError> {
-    configs.iter().map(|c| run(app, c)).collect()
+/// Runs one configuration with panic isolation: a panicking run becomes a
+/// [`RunFailure::Panic`] instead of unwinding into the sweep.
+fn run_isolated(app: App, config: &ExperimentConfig) -> Result<Experiment, RunFailure> {
+    match catch_unwind(AssertUnwindSafe(|| run(app, config))) {
+        Ok(Ok(e)) => Ok(e),
+        Ok(Err(e)) => Err(RunFailure::Error(e)),
+        Err(payload) => Err(RunFailure::Panic(panic_message(payload))),
+    }
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Runs `app` on every configuration, isolating each run: a failure (panic
+/// or [`RunError`]) is recorded in its cell and the sweep continues, so one
+/// poisoned configuration cannot take down the healthy ones.
+pub fn run_matrix(app: App, configs: &[ExperimentConfig]) -> MatrixReport {
+    let cells = configs
+        .iter()
+        .map(|c| MatrixCell {
+            label: c.label(),
+            outcome: run_isolated(app, c),
+        })
+        .collect();
+    MatrixReport { app, cells }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use dashlat_cpu::config::Consistency;
+    use dashlat_sim::fault::FaultPlan;
 
     #[test]
     fn runs_mp3d_at_test_scale() {
@@ -81,7 +188,9 @@ mod tests {
             ExperimentConfig::base_test(),
             ExperimentConfig::base_test().with_rc(),
         ];
-        let es = run_matrix(App::Lu, &configs).expect("runs");
+        let report = run_matrix(App::Lu, &configs);
+        assert!(report.is_fully_ok());
+        let es = report.into_experiments().expect("runs");
         assert_eq!(es.len(), 2);
         assert_eq!(es[0].config.consistency, Consistency::Sc);
         assert_eq!(es[1].config.consistency, Consistency::Rc);
@@ -99,6 +208,59 @@ mod tests {
             "caching did not help: {} <= {}",
             uncached.result.elapsed,
             cached.result.elapsed
+        );
+    }
+
+    #[test]
+    fn poisoned_config_yields_partial_results() {
+        // A 0-context topology panics deep in the machine; the healthy
+        // neighbours must still complete.
+        let mut poisoned = ExperimentConfig::base_test();
+        poisoned.contexts = 0;
+        let configs = vec![
+            ExperimentConfig::base_test(),
+            poisoned,
+            ExperimentConfig::base_test().with_rc(),
+        ];
+        let report = run_matrix(App::Lu, &configs);
+        assert!(!report.is_fully_ok());
+        assert_eq!(report.cells.len(), 3);
+        assert_eq!(report.successes().len(), 2);
+        let failures = report.failures();
+        assert_eq!(failures.len(), 1);
+        assert!(
+            matches!(failures[0].1, RunFailure::Panic(_)),
+            "expected a caught panic, got {:?}",
+            failures[0].1
+        );
+    }
+
+    #[test]
+    fn fault_runs_are_reproducible() {
+        let cfg = ExperimentConfig::base_test().with_faults(FaultPlan::light(0xDA5));
+        let a = run(App::Mp3d, &cfg).expect("runs");
+        let b = run(App::Mp3d, &cfg).expect("runs");
+        assert_eq!(a.result.elapsed, b.result.elapsed);
+        assert_eq!(a.result.mem.faults, b.result.mem.faults);
+        assert!(
+            !a.result.mem.faults.is_empty(),
+            "light plan injected nothing"
+        );
+    }
+
+    #[test]
+    fn faulted_run_is_no_faster() {
+        let clean = run(App::Mp3d, &ExperimentConfig::base_test()).expect("runs");
+        let faulted = run(
+            App::Mp3d,
+            &ExperimentConfig::base_test().with_faults(FaultPlan::heavy(3)),
+        )
+        .expect("runs");
+        assert!(
+            faulted.result.elapsed >= clean.result.elapsed,
+            "faults sped the run up: {} < {}",
+            faulted.result.elapsed,
+            clean.result.elapsed
         );
     }
 }

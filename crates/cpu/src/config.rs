@@ -1,5 +1,6 @@
 //! Processor-side configuration: consistency model, contexts, buffers.
 
+use dashlat_sim::fault::FaultPlan;
 use dashlat_sim::Cycle;
 
 /// Memory consistency model (paper §4).
@@ -104,6 +105,14 @@ pub struct ProcConfig {
     /// `max(0, miss latency − window)`. Zero (the default) reproduces the
     /// paper's blocking-read processors.
     pub read_lookahead: Cycle,
+    /// Fault-injection plan shared by the memory system and the
+    /// processor-side buffers; `None` (or an inactive plan) runs clean.
+    pub faults: Option<FaultPlan>,
+    /// Check the coherence invariants of every touched line after every
+    /// memory access, failing the run with
+    /// [`RunError::InvariantViolation`](crate::machine::RunError) on the
+    /// first violation. Defaults to on in debug builds, off in release.
+    pub check_invariants: bool,
 }
 
 impl ProcConfig {
@@ -122,6 +131,8 @@ impl ProcConfig {
             write_issue_spacing: Cycle(4),
             read_lookahead: Cycle(0),
             timeline_bucket: None,
+            faults: None,
+            check_invariants: cfg!(debug_assertions),
         }
     }
 
@@ -161,6 +172,18 @@ impl ProcConfig {
         assert!(contexts > 0, "need at least one context");
         self.contexts = contexts;
         self.switch_overhead = switch_overhead;
+        self
+    }
+
+    /// Returns a copy that runs under the given fault plan.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// Returns a copy with online invariant checking forced on or off.
+    pub fn with_invariant_checks(mut self, on: bool) -> Self {
+        self.check_invariants = on;
         self
     }
 }

@@ -64,7 +64,7 @@ pub mod trace;
 
 pub use breakdown::{ScaledBreakdown, TimeBreakdown};
 pub use config::{Consistency, ProcConfig};
-pub use machine::{Machine, RunError, RunResult};
+pub use machine::{BlockedOn, BlockedOp, Machine, RunError, RunResult, StuckProcess};
 pub use ops::{BarrierId, LockId, Op, ProcId, SyncConfig, Topology, Workload};
 pub use sync::SyncState;
 pub use trace::{Trace, TraceRecorder};

@@ -44,7 +44,8 @@ use std::collections::{HashMap, VecDeque};
 
 use dashlat_mem::addr::{Addr, LineAddr};
 use dashlat_mem::buffers::{PendingPrefetch, PendingWrite, PrefetchBuffer, WriteBuffer, WriteKind};
-use dashlat_mem::system::{AccessKind, MemStats, MemorySystem, ServiceClass};
+use dashlat_mem::system::{AccessKind, AccessResult, MemStats, MemorySystem, ServiceClass};
+use dashlat_sim::fault::FaultInjector;
 use dashlat_sim::stats::{Distribution, RunLengthTracker, TimeSeries};
 use dashlat_sim::{Cycle, EventQueue};
 
@@ -77,6 +78,10 @@ struct Context {
     reason: Reason,
     pending_op: Option<Op>,
     finished_at: Option<Cycle>,
+    /// Last simulated time this context issued an op or woke (watchdog).
+    last_advance: Cycle,
+    /// What the context is currently blocked on (watchdog diagnostics).
+    blocked_on: Option<BlockedOn>,
 }
 
 struct Proc {
@@ -108,6 +113,8 @@ struct Proc {
     /// Primary-cache lockout cycles to charge at the next busy period.
     pending_lockout_pf: u64,
     pending_lockout_fill: u64,
+    /// Processor-side fault decisions (transient buffer-full events).
+    faults: Option<FaultInjector>,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -128,11 +135,93 @@ enum Event {
     BarrierWake(usize, usize),
 }
 
+/// The kind of operation a blocked context was waiting on (watchdog
+/// diagnostics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockedOp {
+    /// Waiting for a read fill.
+    Read,
+    /// Waiting for a write to complete.
+    Write,
+    /// Waiting to acquire a lock.
+    Acquire,
+    /// Waiting at a barrier.
+    Barrier,
+    /// Waiting for a full write/prefetch buffer to drain a slot.
+    BufferDrain,
+}
+
+/// What a blocked context was waiting on when the watchdog fired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockedOn {
+    /// The kind of operation that blocked.
+    pub op: BlockedOp,
+    /// The address involved, when the wait is on a specific line.
+    pub addr: Option<Addr>,
+    /// For lock waits, the process currently holding the lock.
+    pub holder: Option<ProcId>,
+}
+
+impl BlockedOn {
+    fn on(op: BlockedOp, addr: Addr) -> Self {
+        BlockedOn {
+            op,
+            addr: Some(addr),
+            holder: None,
+        }
+    }
+}
+
+impl std::fmt::Display for BlockedOn {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.op {
+            BlockedOp::Read => write!(f, "read")?,
+            BlockedOp::Write => write!(f, "write")?,
+            BlockedOp::Acquire => write!(f, "acquire")?,
+            BlockedOp::Barrier => write!(f, "barrier")?,
+            BlockedOp::BufferDrain => write!(f, "buffer drain")?,
+        }
+        if let Some(a) = self.addr {
+            write!(f, " of {:#x}", a.0)?;
+        }
+        if let Some(h) = self.holder {
+            write!(f, " held by {h}")?;
+        }
+        Ok(())
+    }
+}
+
+/// One stuck process in a deadlock or livelock report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StuckProcess {
+    /// The process that is stuck.
+    pub pid: ProcId,
+    /// Last simulated time it made progress (issued an operation or woke).
+    pub last_advance: Cycle,
+    /// What it was blocked on; `None` if it was runnable but starved.
+    pub blocked: Option<BlockedOn>,
+}
+
+impl std::fmt::Display for StuckProcess {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} ", self.pid)?;
+        match &self.blocked {
+            Some(b) => write!(f, "blocked on {b}")?,
+            None => write!(f, "runnable but starved")?,
+        }
+        write!(
+            f,
+            " (last progress at cycle {})",
+            self.last_advance.as_u64()
+        )
+    }
+}
+
 /// Why a run failed.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub enum RunError {
     /// The simulation exceeded the configured cycle budget — usually a
-    /// livelocked workload (e.g. a spin loop that never observes progress).
+    /// workload that spins forever while simulated time keeps advancing.
     CycleBudgetExceeded {
         /// The configured limit.
         limit: Cycle,
@@ -140,9 +229,36 @@ pub enum RunError {
     /// The event queue drained while some processes were still blocked —
     /// a deadlock in the workload's synchronization.
     Deadlock {
-        /// Processes that never finished.
-        stuck: Vec<ProcId>,
+        /// Processes that never finished, with what each was waiting on.
+        stuck: Vec<StuckProcess>,
     },
+    /// The machine processed an enormous number of events without simulated
+    /// time advancing — a zero-time event loop the cycle budget can never
+    /// catch.
+    Livelock {
+        /// Events processed at the stuck timestamp.
+        events: u64,
+        /// The simulated time the machine is stuck at.
+        at: Cycle,
+        /// Processes that had not finished, with what each was waiting on.
+        stuck: Vec<StuckProcess>,
+    },
+    /// Online invariant checking found the coherence protocol in an
+    /// inconsistent state.
+    InvariantViolation {
+        /// When the violation was detected.
+        at: Cycle,
+        /// Human-readable description of the violated invariant.
+        detail: String,
+    },
+}
+
+fn write_stuck(f: &mut std::fmt::Formatter<'_>, stuck: &[StuckProcess]) -> std::fmt::Result {
+    for (i, s) in stuck.iter().enumerate() {
+        let sep = if i == 0 { ": " } else { "; " };
+        write!(f, "{sep}{s}")?;
+    }
+    Ok(())
 }
 
 impl std::fmt::Display for RunError {
@@ -152,7 +268,23 @@ impl std::fmt::Display for RunError {
                 write!(f, "simulation exceeded the cycle budget of {limit}")
             }
             RunError::Deadlock { stuck } => {
-                write!(f, "deadlock: {} processes never finished", stuck.len())
+                write!(f, "deadlock: {} processes never finished", stuck.len())?;
+                write_stuck(f, stuck)
+            }
+            RunError::Livelock { events, at, stuck } => {
+                write!(
+                    f,
+                    "livelock: {events} events processed with simulated time stuck at cycle {}",
+                    at.as_u64()
+                )?;
+                write_stuck(f, stuck)
+            }
+            RunError::InvariantViolation { at, detail } => {
+                write!(
+                    f,
+                    "coherence invariant violated at cycle {}: {detail}",
+                    at.as_u64()
+                )
             }
         }
     }
@@ -233,6 +365,8 @@ pub struct Machine<W: Workload> {
     prefetches_issued: u64,
     context_switches: u64,
     timeline: Option<RunTimeline>,
+    /// First coherence-invariant violation observed (when checking is on).
+    invariant_failure: Option<(Cycle, String)>,
 }
 
 impl<W: Workload> Machine<W> {
@@ -286,6 +420,12 @@ impl<W: Workload> Machine<W> {
                 outstanding: HashMap::new(),
                 pending_lockout_pf: 0,
                 pending_lockout_fill: 0,
+                // Per-processor streams, distinct from the memory system's
+                // stream 0, so cpu-side draws never perturb mem-side ones.
+                faults: cfg
+                    .faults
+                    .filter(|f| f.is_active())
+                    .map(|f| FaultInjector::new(f, 0x1000 + p as u64)),
             })
             .collect();
         let timeline = cfg.timeline_bucket.map(|w| RunTimeline {
@@ -298,6 +438,8 @@ impl<W: Workload> Machine<W> {
                 reason: Reason::Read,
                 pending_op: None,
                 finished_at: None,
+                last_advance: Cycle::ZERO,
+                blocked_on: None,
             })
             .collect();
         Machine {
@@ -317,6 +459,7 @@ impl<W: Workload> Machine<W> {
             prefetches_issued: 0,
             context_switches: 0,
             timeline,
+            invariant_failure: None,
         }
     }
 
@@ -326,13 +469,23 @@ impl<W: Workload> Machine<W> {
         self
     }
 
+    /// Events the machine may process at a single timestamp before the
+    /// watchdog declares livelock. Legitimate same-cycle bursts (barrier
+    /// releases, buffer drains) are bounded by the process count, orders of
+    /// magnitude below this.
+    const LIVELOCK_EVENT_THRESHOLD: u64 = 2_000_000;
+
     /// Runs the workload to completion.
     ///
     /// # Errors
     ///
     /// [`RunError::CycleBudgetExceeded`] if simulated time passes the
     /// budget, [`RunError::Deadlock`] if the event queue drains with
-    /// processes still blocked.
+    /// processes still blocked, [`RunError::Livelock`] if millions of
+    /// events are processed without simulated time advancing, and
+    /// [`RunError::InvariantViolation`] if online checking (see
+    /// [`ProcConfig::check_invariants`]) finds the coherence protocol in an
+    /// inconsistent state.
     pub fn run(mut self) -> Result<RunResult, RunError> {
         // Kick off: each processor starts its first context; the rest are
         // ready.
@@ -342,11 +495,41 @@ impl<W: Workload> Machine<W> {
             self.queue.schedule(Cycle::ZERO, Event::Step(pid));
         }
 
+        let mut last_t = Cycle::ZERO;
+        let mut events_at_t = 0u64;
         while let Some((t, ev)) = self.queue.pop() {
             if t > self.max_cycles {
                 return Err(RunError::CycleBudgetExceeded {
                     limit: self.max_cycles,
                 });
+            }
+            // Simulated time must be monotone: the event queue pops in
+            // nondecreasing order by construction, so a regression means
+            // the machine scheduled an event in the past.
+            if t < last_t {
+                return Err(RunError::InvariantViolation {
+                    at: last_t,
+                    detail: format!(
+                        "simulated time ran backwards: event at cycle {} after cycle {}",
+                        t.as_u64(),
+                        last_t.as_u64()
+                    ),
+                });
+            }
+            // Livelock watchdog: a zero-time event loop never trips the
+            // cycle budget; count events processed at a stuck timestamp.
+            if t == last_t {
+                events_at_t += 1;
+                if events_at_t > Self::LIVELOCK_EVENT_THRESHOLD {
+                    return Err(RunError::Livelock {
+                        events: events_at_t,
+                        at: t,
+                        stuck: self.stuck_processes(),
+                    });
+                }
+            } else {
+                last_t = t;
+                events_at_t = 0;
             }
             match ev {
                 Event::Step(pid) => self.step(t, pid),
@@ -357,20 +540,31 @@ impl<W: Workload> Machine<W> {
                 Event::Unlock(lid, pid) => self.unlock(t, lid, pid),
                 Event::BarrierWake(pid, b) => self.barrier_wake(t, pid, b),
             }
+            if let Some((at, detail)) = self.invariant_failure.take() {
+                return Err(RunError::InvariantViolation { at, detail });
+            }
         }
 
-        let stuck: Vec<ProcId> = self
-            .ctxs
-            .iter()
-            .enumerate()
-            .filter(|(_, c)| c.state != CtxState::Finished)
-            .map(|(i, _)| ProcId(i))
-            .collect();
+        let stuck = self.stuck_processes();
         if !stuck.is_empty() {
             return Err(RunError::Deadlock { stuck });
         }
 
         self.finish()
+    }
+
+    /// Snapshot of every unfinished process for a watchdog report.
+    fn stuck_processes(&self) -> Vec<StuckProcess> {
+        self.ctxs
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.state != CtxState::Finished)
+            .map(|(i, c)| StuckProcess {
+                pid: ProcId(i),
+                last_advance: c.last_advance,
+                blocked: c.blocked_on,
+            })
+            .collect()
     }
 
     fn finish(mut self) -> Result<RunResult, RunError> {
@@ -397,16 +591,20 @@ impl<W: Workload> Machine<W> {
         let mut aggregate = TimeBreakdown::default();
         let mut run_lengths = Distribution::new();
         let mut breakdowns = Vec::with_capacity(self.procs.len());
+        let mut mem = self.mem.snapshot_stats();
         for p in &self.procs {
             aggregate += p.breakdown;
             run_lengths.merge(p.run_lengths.distribution());
             breakdowns.push(p.breakdown);
+            if let Some(inj) = &p.faults {
+                mem.faults.merge(&inj.stats());
+            }
         }
         Ok(RunResult {
             elapsed,
             breakdowns,
             aggregate,
-            mem: self.mem.stats().clone(),
+            mem,
             run_lengths,
             shared_reads: self.shared_reads,
             shared_writes: self.shared_writes,
@@ -426,6 +624,50 @@ impl<W: Workload> Machine<W> {
 
     fn node_of(&self, pid: usize) -> dashlat_mem::addr::NodeId {
         self.topo.node_of(ProcId(pid))
+    }
+
+    /// Every memory access goes through here so online invariant checking
+    /// covers the whole machine. Only the first failure is kept; the run
+    /// loop converts it into [`RunError::InvariantViolation`].
+    fn access_mem(
+        &mut self,
+        t: Cycle,
+        node: dashlat_mem::addr::NodeId,
+        addr: Addr,
+        kind: AccessKind,
+    ) -> AccessResult {
+        let r = self.mem.access(t, node, addr, kind);
+        if self.cfg.check_invariants && self.invariant_failure.is_none() {
+            if let Err(detail) = self.mem.check_line_invariants(addr.line()) {
+                self.invariant_failure = Some((t, detail));
+            }
+        }
+        r
+    }
+
+    /// Injected fault: the write buffer transiently reports full. Only
+    /// honoured while the buffer is non-empty and draining, so a
+    /// retirement event is guaranteed to wake the stalled context.
+    fn transient_wb_full(&mut self, p: usize) -> bool {
+        let proc = &mut self.procs[p];
+        if proc.wbuf.is_empty() || !proc.wb_active {
+            return false;
+        }
+        proc.faults
+            .as_mut()
+            .is_some_and(|inj| inj.transient_buffer_full())
+    }
+
+    /// Injected fault: the prefetch buffer transiently reports full (same
+    /// non-empty-and-draining guard as [`Machine::transient_wb_full`]).
+    fn transient_pf_full(&mut self, p: usize) -> bool {
+        let proc = &mut self.procs[p];
+        if proc.pbuf.is_empty() || !proc.pb_active {
+            return false;
+        }
+        proc.faults
+            .as_mut()
+            .is_some_and(|inj| inj.transient_buffer_full())
     }
 
     /// Charges a short (non-switching) stall.
@@ -449,11 +691,20 @@ impl<W: Workload> Machine<W> {
 
     /// Blocks `pid` for `reason`; if `wake_at` is known the wake event is
     /// scheduled. The processor switches to another context or idles.
-    fn block(&mut self, t: Cycle, pid: usize, reason: Reason, wake_at: Option<Cycle>) {
+    /// `on` records what the context waits for, for watchdog reports.
+    fn block(
+        &mut self,
+        t: Cycle,
+        pid: usize,
+        reason: Reason,
+        wake_at: Option<Cycle>,
+        on: BlockedOn,
+    ) {
         let ctx = &mut self.ctxs[pid];
         debug_assert_eq!(ctx.state, CtxState::Running);
         ctx.state = CtxState::Blocked;
         ctx.reason = reason;
+        ctx.blocked_on = Some(on);
         if let Some(w) = wake_at {
             self.queue.schedule(w.max(t), Event::Wake(pid));
         }
@@ -510,6 +761,8 @@ impl<W: Workload> Machine<W> {
     fn wake(&mut self, t: Cycle, pid: usize) {
         debug_assert_eq!(self.ctxs[pid].state, CtxState::Blocked);
         self.ctxs[pid].state = CtxState::Ready;
+        self.ctxs[pid].blocked_on = None;
+        self.ctxs[pid].last_advance = t;
         let p = self.proc_of(pid);
         if let Some((since, reason)) = self.procs[p].idle_since.take() {
             // The processor was idle: attribute the idle span and resume.
@@ -539,6 +792,7 @@ impl<W: Workload> Machine<W> {
             CtxState::Running,
             "step of non-running {pid}"
         );
+        self.ctxs[pid].last_advance = t;
         let op = match self.ctxs[pid].pending_op.take() {
             Some(op) => op,
             None => self.workload.next_op(ProcId(pid)),
@@ -610,12 +864,18 @@ impl<W: Workload> Machine<W> {
                 self.charge_short_stall(p, stall, Reason::Read);
                 self.queue.schedule(resume, Event::Step(pid));
             } else {
-                self.block(t, pid, Reason::Read, Some(resume));
+                self.block(
+                    t,
+                    pid,
+                    Reason::Read,
+                    Some(resume),
+                    BlockedOn::on(BlockedOp::Read, a),
+                );
             }
             return;
         }
         let node = self.node_of(pid);
-        let r = self.mem.access(t, node, a, AccessKind::Read);
+        let r = self.access_mem(t, node, a, AccessKind::Read);
         if r.class == ServiceClass::PrimaryHit {
             // The load issues and completes in the pipeline: busy time.
             let cycles = r.done_at.saturating_sub(t);
@@ -637,7 +897,13 @@ impl<W: Workload> Machine<W> {
             if !matches!(r.class, ServiceClass::SecondaryHit) {
                 self.note_in_flight(p, a.line(), r.done_at, false);
             }
-            self.block(t, pid, Reason::Read, Some(resume));
+            self.block(
+                t,
+                pid,
+                Reason::Read,
+                Some(resume),
+                BlockedOn::on(BlockedOp::Read, a),
+            );
         }
     }
 
@@ -669,11 +935,17 @@ impl<W: Workload> Machine<W> {
             });
             // Re-issuing a demand write counts only once.
             self.shared_writes -= u64::from(unlock.is_none());
-            self.block(t, pid, reason, Some(done));
+            self.block(
+                t,
+                pid,
+                reason,
+                Some(done),
+                BlockedOn::on(BlockedOp::Write, a),
+            );
             return;
         }
         let node = self.node_of(pid);
-        let r = self.mem.access(t, node, a, AccessKind::Write);
+        let r = self.access_mem(t, node, a, AccessKind::Write);
         if let Some(lid) = unlock {
             self.queue.schedule(r.done_at, Event::Unlock(lid, pid));
         }
@@ -682,14 +954,20 @@ impl<W: Workload> Machine<W> {
             self.charge_short_stall(p, stall, reason);
             self.queue.schedule(r.done_at, Event::Step(pid));
         } else {
-            self.block(t, pid, reason, Some(r.done_at));
+            self.block(
+                t,
+                pid,
+                reason,
+                Some(r.done_at),
+                BlockedOn::on(BlockedOp::Write, a),
+            );
         }
     }
 
     /// RC write: enqueue into the write buffer (stalling only when full).
     fn rc_write(&mut self, t: Cycle, pid: usize, a: Addr, kind: WriteKind, unlock: Option<LockId>) {
         let p = self.proc_of(pid);
-        if self.procs[p].wbuf.is_full() {
+        if self.procs[p].wbuf.is_full() || self.transient_wb_full(p) {
             self.ctxs[pid].pending_op = Some(match unlock {
                 Some(l) => Op::Release(l),
                 None => Op::Write(a),
@@ -701,7 +979,13 @@ impl<W: Workload> Machine<W> {
             } else {
                 Reason::WriteBufFull
             };
-            self.block(t, pid, reason, None);
+            self.block(
+                t,
+                pid,
+                reason,
+                None,
+                BlockedOn::on(BlockedOp::BufferDrain, a),
+            );
             return;
         }
         let pushed = self.procs[p].wbuf.try_push(PendingWrite {
@@ -744,7 +1028,7 @@ impl<W: Workload> Machine<W> {
         let entry = self.procs[p].wbuf.pop().expect("head exists");
         let meta = self.procs[p].wb_meta.pop_front().expect("meta in lockstep");
         let node = dashlat_mem::addr::NodeId(p);
-        let r = self.mem.access(t, node, entry.addr, AccessKind::Write);
+        let r = self.access_mem(t, node, entry.addr, AccessKind::Write);
         self.procs[p].writes_done_horizon = self.procs[p].writes_done_horizon.max(r.done_at);
         self.procs[p].acks_horizon = self.procs[p].acks_horizon.max(r.acks_done_at);
         if let Some((lid, pid)) = meta {
@@ -775,11 +1059,17 @@ impl<W: Workload> Machine<W> {
         }
         self.prefetches_issued += 1;
         let p = self.proc_of(pid);
-        if self.procs[p].pbuf.is_full() {
+        if self.procs[p].pbuf.is_full() || self.transient_pf_full(p) {
             self.ctxs[pid].pending_op = Some(Op::Prefetch { addr, exclusive });
             self.prefetches_issued -= 1;
             self.procs[p].pf_full_waiters.push_back(pid);
-            self.block(t, pid, Reason::PrefetchFull, None);
+            self.block(
+                t,
+                pid,
+                Reason::PrefetchFull,
+                None,
+                BlockedOn::on(BlockedOp::BufferDrain, addr),
+            );
             return;
         }
         let overhead = self.cfg.prefetch_issue_overhead;
@@ -828,7 +1118,7 @@ impl<W: Workload> Machine<W> {
             self.queue.schedule(t + Cycle(1), Event::PbService(p));
             return;
         }
-        let r = self.mem.access(t, node, head.addr, kind);
+        let r = self.access_mem(t, node, head.addr, kind);
         if r.class == ServiceClass::PrefetchDiscard {
             self.queue.schedule(t + Cycle(1), Event::PbService(p));
             return;
@@ -865,18 +1155,23 @@ impl<W: Workload> Machine<W> {
         // Weak consistency fences on *every* synchronization access: the
         // acquire may not issue until all previously issued writes have
         // completed with acknowledgements.
+        let lock_wait = BlockedOn {
+            op: BlockedOp::Acquire,
+            addr: Some(self.sync.lock_addr(l)),
+            holder: self.sync.lock_holder(l),
+        };
         if self.cfg.consistency.acquire_waits() {
             let p = self.proc_of(pid);
             if !self.procs[p].wbuf.is_empty() {
                 self.ctxs[pid].pending_op = Some(Op::Acquire(l));
                 self.procs[p].fence_waiters.push_back(pid);
-                self.block(t, pid, Reason::Sync, None);
+                self.block(t, pid, Reason::Sync, None, lock_wait);
                 return;
             }
             let horizon = self.procs[p].acks_horizon;
             if horizon > t {
                 self.ctxs[pid].pending_op = Some(Op::Acquire(l));
-                self.block(t, pid, Reason::Sync, Some(horizon));
+                self.block(t, pid, Reason::Sync, Some(horizon), lock_wait);
                 return;
             }
         }
@@ -886,19 +1181,29 @@ impl<W: Workload> Machine<W> {
                 // Test&set needs exclusive ownership of the lock line.
                 let addr = self.sync.lock_addr(l);
                 let node = self.node_of(pid);
-                let r = self.mem.access(t, node, addr, AccessKind::Write);
+                let r = self.access_mem(t, node, addr, AccessKind::Write);
                 let stall = r.done_at.saturating_sub(t);
                 let p = self.proc_of(pid);
                 if stall <= self.cfg.no_switch_threshold {
                     self.charge_short_stall(p, stall, Reason::Sync);
                     self.queue.schedule(r.done_at, Event::Step(pid));
                 } else {
-                    self.block(t, pid, Reason::Sync, Some(r.done_at));
+                    self.block(
+                        t,
+                        pid,
+                        Reason::Sync,
+                        Some(r.done_at),
+                        BlockedOn::on(BlockedOp::Acquire, addr),
+                    );
                 }
             }
             AcquireOutcome::Queued => {
                 // Ownership will be handed to us by the releaser; wait.
-                self.block(t, pid, Reason::Sync, None);
+                let wait = BlockedOn {
+                    holder: self.sync.lock_holder(l),
+                    ..lock_wait
+                };
+                self.block(t, pid, Reason::Sync, None, wait);
             }
         }
     }
@@ -927,7 +1232,7 @@ impl<W: Workload> Machine<W> {
             // the release) and acquires ownership.
             let addr = self.sync.lock_addr(l);
             let node = self.node_of(next.0);
-            let r = self.mem.access(t, node, addr, AccessKind::Write);
+            let r = self.access_mem(t, node, addr, AccessKind::Write);
             self.queue.schedule(r.done_at, Event::Wake(next.0));
         }
     }
@@ -938,10 +1243,16 @@ impl<W: Workload> Machine<W> {
         let node = self.node_of(pid);
         // Arrival: atomic increment of the barrier count (needs ownership;
         // the line ping-pongs between arrivals — the hot spot is real).
-        let r = self.mem.access(t, node, addr, AccessKind::Write);
+        let r = self.access_mem(t, node, addr, AccessKind::Write);
         match self.sync.arrive(b, ProcId(pid)) {
             BarrierOutcome::Wait => {
-                self.block(t, pid, Reason::Sync, None);
+                self.block(
+                    t,
+                    pid,
+                    Reason::Sync,
+                    None,
+                    BlockedOn::on(BlockedOp::Barrier, addr),
+                );
             }
             BarrierOutcome::ReleaseAll(waiters) => {
                 for w in waiters {
@@ -954,7 +1265,13 @@ impl<W: Workload> Machine<W> {
                     self.charge_short_stall(p, stall, Reason::Sync);
                     self.queue.schedule(r.done_at, Event::Step(pid));
                 } else {
-                    self.block(t, pid, Reason::Sync, Some(r.done_at));
+                    self.block(
+                        t,
+                        pid,
+                        Reason::Sync,
+                        Some(r.done_at),
+                        BlockedOn::on(BlockedOp::Barrier, addr),
+                    );
                 }
             }
         }
@@ -966,7 +1283,7 @@ impl<W: Workload> Machine<W> {
     fn barrier_wake(&mut self, t: Cycle, pid: usize, barrier: usize) {
         let node = self.node_of(pid);
         let addr = self.sync.barrier_addr(crate::ops::BarrierId(barrier));
-        let r = self.mem.access(t, node, addr, AccessKind::Read);
+        let r = self.access_mem(t, node, addr, AccessKind::Read);
         self.queue.schedule(r.done_at, Event::Wake(pid));
     }
 

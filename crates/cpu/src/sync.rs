@@ -103,6 +103,11 @@ impl SyncState {
         self.barriers[barrier.0].addr
     }
 
+    /// Current holder of a lock, if any (watchdog diagnostics).
+    pub fn lock_holder(&self, lock: LockId) -> Option<ProcId> {
+        self.locks[lock.0].holder
+    }
+
     /// Attempts to acquire `lock` for `pid`.
     ///
     /// Note that `pid` may legitimately queue behind *itself*: under

@@ -141,17 +141,35 @@ impl Contention {
     /// port; under the mesh model every directed link along the
     /// dimension-ordered route.
     pub fn network(&mut self, now: Cycle, from: NodeId, to: NodeId) -> Cycle {
-        if !self.enabled || from == to {
+        self.network_perturbed(now, from, to, Cycle::ZERO)
+    }
+
+    /// Like [`Contention::network`], but the packet is `slow_by` cycles
+    /// slower in transit (fault injection): the extra time is added to the
+    /// returned delay *and* to the occupancy of every resource the packet
+    /// crosses, so traffic behind a delayed packet queues longer too.
+    pub fn network_perturbed(
+        &mut self,
+        now: Cycle,
+        from: NodeId,
+        to: NodeId,
+        slow_by: Cycle,
+    ) -> Cycle {
+        if from == to {
             return Cycle::ZERO;
         }
-        if let Some(mesh) = &mut self.mesh {
-            let d1 = self.net_out[from.0].acquire(now, self.occ.network);
-            let d2 = mesh.send(now + d1, from, to);
-            return d1 + d2;
+        if !self.enabled {
+            return slow_by;
         }
-        let d1 = self.net_out[from.0].acquire(now, self.occ.network);
-        let d2 = self.net_in[to.0].acquire(now + d1, self.occ.network);
-        d1 + d2
+        let occ = self.occ.network + slow_by;
+        if let Some(mesh) = &mut self.mesh {
+            let d1 = self.net_out[from.0].acquire(now, occ);
+            let d2 = mesh.send_occupying(now + d1, from, to, occ);
+            return d1 + d2 + slow_by;
+        }
+        let d1 = self.net_out[from.0].acquire(now, occ);
+        let d2 = self.net_in[to.0].acquire(now + d1, occ);
+        d1 + d2 + slow_by
     }
 
     /// Whether queueing is being modelled.

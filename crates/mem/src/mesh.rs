@@ -91,6 +91,19 @@ impl Mesh {
     /// returns the total queueing delay over the route's links
     /// (dimension-ordered: X first, then Y). Zero for `from == to`.
     pub fn send(&mut self, now: Cycle, from: NodeId, to: NodeId) -> Cycle {
+        self.send_occupying(now, from, to, self.occupancy)
+    }
+
+    /// Like [`Mesh::send`], but the message holds each link for an explicit
+    /// `occupancy` — used by fault injection to model a delayed packet
+    /// congesting every link it crosses.
+    pub fn send_occupying(
+        &mut self,
+        now: Cycle,
+        from: NodeId,
+        to: NodeId,
+        occupancy: Cycle,
+    ) -> Cycle {
         if from == to {
             return Cycle::ZERO;
         }
@@ -105,7 +118,7 @@ impl Mesh {
                 (Dir::West, x - 1)
             };
             let node = y * self.width + x;
-            let d = self.links[node * 4 + dir.index()].acquire(t, self.occupancy);
+            let d = self.links[node * 4 + dir.index()].acquire(t, occupancy);
             delay += d;
             t += d;
             x = nx;
@@ -117,7 +130,7 @@ impl Mesh {
                 (Dir::North, y - 1)
             };
             let node = y * self.width + x;
-            let d = self.links[node * 4 + dir.index()].acquire(t, self.occupancy);
+            let d = self.links[node * 4 + dir.index()].acquire(t, occupancy);
             delay += d;
             t += d;
             y = ny;

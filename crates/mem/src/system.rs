@@ -19,13 +19,14 @@
 //! * Write-backs of evicted dirty lines occupy the bus/network/memory but
 //!   are off the critical path of the access that caused them.
 
+use dashlat_sim::fault::{FaultInjector, FaultPlan, FaultStats};
 use dashlat_sim::stats::{Distribution, Ratio};
 use dashlat_sim::Cycle;
 
 use crate::addr::{Addr, LineAddr, NodeId};
 use crate::cache::{Cache, Eviction, LineState};
 use crate::contention::{Contention, NetworkModel, OccupancyTable};
-use crate::directory::{Directory, DirectoryKind};
+use crate::directory::{DirState, Directory, DirectoryKind};
 use crate::latency::LatencyTable;
 use crate::layout::PageMap;
 
@@ -116,6 +117,8 @@ pub struct MemConfig {
     pub network: NetworkModel,
     /// Directory organisation (full-map or limited-pointer broadcast).
     pub directory: DirectoryKind,
+    /// Fault-injection plan (None, or an inactive plan, runs clean).
+    pub faults: Option<FaultPlan>,
 }
 
 impl MemConfig {
@@ -132,6 +135,7 @@ impl MemConfig {
             contention: true,
             network: NetworkModel::Ports,
             directory: DirectoryKind::FullMap,
+            faults: None,
         }
     }
 
@@ -178,6 +182,8 @@ pub struct MemStats {
     pub write_miss_latency: Distribution,
     /// Total queueing delay suffered by all accesses.
     pub queue_delay: Cycle,
+    /// Injected-fault counters (all zero when no faults were configured).
+    pub faults: FaultStats,
 }
 
 /// The simulated memory system of the whole machine.
@@ -188,6 +194,7 @@ pub struct MemorySystem {
     secondary: Vec<Cache>,
     directory: Directory,
     contention: Contention,
+    faults: Option<FaultInjector>,
     stats: MemStats,
 }
 
@@ -222,6 +229,10 @@ impl MemorySystem {
             cfg.network,
         );
         let directory = Directory::with_kind(cfg.directory, cfg.nodes);
+        let faults = cfg
+            .faults
+            .filter(|p| p.is_active())
+            .map(|p| FaultInjector::new(p, 0));
         MemorySystem {
             cfg,
             page_map,
@@ -229,6 +240,7 @@ impl MemorySystem {
             secondary,
             directory,
             contention,
+            faults,
             stats: MemStats::default(),
         }
     }
@@ -239,8 +251,21 @@ impl MemorySystem {
     }
 
     /// Statistics accumulated so far.
+    ///
+    /// The `faults` field of the returned reference is *not* kept current
+    /// while the run is in flight; use [`MemorySystem::snapshot_stats`] for
+    /// a copy that folds in the fault-injector counters.
     pub fn stats(&self) -> &MemStats {
         &self.stats
+    }
+
+    /// A copy of the statistics with the fault-injector counters folded in.
+    pub fn snapshot_stats(&self) -> MemStats {
+        let mut s = self.stats.clone();
+        if let Some(inj) = &self.faults {
+            s.faults = inj.stats();
+        }
+        s
     }
 
     /// Writes that degraded to broadcast invalidation (limited-pointer
@@ -340,12 +365,14 @@ impl MemorySystem {
         let mut t = now;
         let mut delay = self.contention.bus(t, node);
         t = now + delay;
+        delay += self.nack_retry_delay(t, node, home);
+        t = now + delay;
 
         let (class, service) = if let Some(owner) = outcome.dirty_owner {
             // Data supplied by the remote owner's cache; owner keeps a
             // clean copy (sharing writeback).
             if home != node {
-                delay += self.contention.network(t, node, home);
+                delay += self.network_hop(t, node, home);
                 t = now + delay;
                 delay += self.contention.memory(t, home);
                 t = now + delay;
@@ -353,11 +380,11 @@ impl MemorySystem {
                 delay += self.contention.memory(t, home);
                 t = now + delay;
             }
-            delay += self.contention.network(t, home, owner);
+            delay += self.network_hop(t, home, owner);
             t = now + delay;
             delay += self.contention.bus(t, owner);
             t = now + delay;
-            delay += self.contention.network(t, owner, node);
+            delay += self.network_hop(t, owner, node);
             self.secondary[owner.0].downgrade(line);
             if home == node {
                 (ServiceClass::RemoteDirty, lat.read_fill_remote_home_local)
@@ -368,11 +395,11 @@ impl MemorySystem {
             delay += self.contention.memory(t, home);
             (ServiceClass::LocalMem, lat.read_fill_local)
         } else {
-            delay += self.contention.network(t, node, home);
+            delay += self.network_hop(t, node, home);
             t = now + delay;
             delay += self.contention.memory(t, home);
             t = now + delay;
-            delay += self.contention.network(t, home, node);
+            delay += self.network_hop(t, home, node);
             (ServiceClass::HomeMem, lat.read_fill_home)
         };
 
@@ -426,11 +453,13 @@ impl MemorySystem {
         let mut t = now;
         let mut delay = self.contention.bus(t, node);
         t = now + delay;
+        delay += self.nack_retry_delay(t, node, home);
+        t = now + delay;
 
         let (class, service) = if let Some(owner) = outcome.dirty_owner {
             // Ownership (and data) transferred from the remote dirty owner.
             if home != node {
-                delay += self.contention.network(t, node, home);
+                delay += self.network_hop(t, node, home);
                 t = now + delay;
                 delay += self.contention.memory(t, home);
                 t = now + delay;
@@ -438,11 +467,11 @@ impl MemorySystem {
                 delay += self.contention.memory(t, home);
                 t = now + delay;
             }
-            delay += self.contention.network(t, home, owner);
+            delay += self.network_hop(t, home, owner);
             t = now + delay;
             delay += self.contention.bus(t, owner);
             t = now + delay;
-            delay += self.contention.network(t, owner, node);
+            delay += self.network_hop(t, owner, node);
             self.invalidate_at(owner, line);
             if home == node {
                 (ServiceClass::RemoteDirty, lat.write_owned_remote_home_local)
@@ -453,11 +482,11 @@ impl MemorySystem {
             delay += self.contention.memory(t, home);
             (ServiceClass::LocalMem, lat.write_owned_local)
         } else {
-            delay += self.contention.network(t, node, home);
+            delay += self.network_hop(t, node, home);
             t = now + delay;
             delay += self.contention.memory(t, home);
             t = now + delay;
-            delay += self.contention.network(t, home, node);
+            delay += self.network_hop(t, home, node);
             (ServiceClass::HomeMem, lat.write_owned_home)
         };
 
@@ -570,11 +599,11 @@ impl MemorySystem {
         let mut delay = self.contention.bus(t, node);
         t = now + delay;
         if home != node {
-            delay += self.contention.network(t, node, home);
+            delay += self.network_hop(t, node, home);
             t = now + delay;
             delay += self.contention.memory(t, home);
             t = now + delay;
-            delay += self.contention.network(t, home, node);
+            delay += self.network_hop(t, home, node);
         } else {
             delay += self.contention.memory(t, home);
         }
@@ -619,6 +648,132 @@ impl MemorySystem {
     fn invalidate_at(&mut self, node: NodeId, line: LineAddr) {
         self.secondary[node.0].invalidate(line);
         self.primary[node.0].invalidate(line);
+    }
+
+    // ---- fault injection -------------------------------------------------
+
+    /// One request-path network traversal `from → to`: draws a possible
+    /// injected packet delay and charges it through the contention model,
+    /// so traffic behind a delayed packet queues longer too.
+    fn network_hop(&mut self, now: Cycle, from: NodeId, to: NodeId) -> Cycle {
+        let slow_by = match &mut self.faults {
+            Some(inj) if from != to => inj.packet_delay(),
+            _ => Cycle::ZERO,
+        };
+        self.contention.network_perturbed(now, from, to, slow_by)
+    }
+
+    /// Extra delay from injected directory NACKs for a request issued by
+    /// `node` to `home`. Each NACKed attempt costs a request/NACK round
+    /// trip — the uncached round-trip latency (request to the directory and
+    /// a data-less reply) plus queueing on the resources it crosses — and
+    /// the requester waits out its exponential backoff between attempts.
+    fn nack_retry_delay(&mut self, now: Cycle, node: NodeId, home: NodeId) -> Cycle {
+        let schedule = match &mut self.faults {
+            Some(inj) => inj.nack_schedule(),
+            None => return Cycle::ZERO,
+        };
+        if schedule.retries == 0 {
+            return Cycle::ZERO;
+        }
+        let trip_base = if home == node {
+            self.cfg.latencies.uncached_read_local
+        } else {
+            self.cfg.latencies.uncached_read_home
+        };
+        let mut extra = Cycle::ZERO;
+        let mut t = now;
+        for _ in 0..schedule.retries {
+            let mut trip = trip_base;
+            if home != node {
+                trip += self.contention.network(t, node, home);
+                trip += self.contention.memory(t + trip, home);
+                trip += self.contention.network(t + trip, home, node);
+            } else {
+                trip += self.contention.memory(t, home);
+            }
+            extra += trip;
+            t += trip;
+        }
+        extra + Cycle(schedule.backoff)
+    }
+
+    // ---- invariant checking ----------------------------------------------
+
+    /// Checks the coherence invariants of one line: at most one dirty
+    /// holder; the directory state agrees with the caches (`Dirty(owner)` ⇒
+    /// exactly `owner` holds the line, dirty; `Uncached` ⇒ no cached
+    /// copies; `Shared(set)` ⇒ every holder is in `set`, none dirty); and
+    /// the primary caches stay included in the secondaries. Trivially
+    /// passes when shared-data caching is off.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first violation found.
+    pub fn check_line_invariants(&self, line: LineAddr) -> Result<(), String> {
+        if !self.cfg.caching {
+            return Ok(());
+        }
+        for n in 0..self.cfg.nodes {
+            if self.primary[n].probe(line).is_some() && self.secondary[n].probe(line).is_none() {
+                return Err(format!(
+                    "inclusion violated: {line:?} in P{n}'s primary but not its secondary"
+                ));
+            }
+        }
+        let holders: Vec<(usize, LineState)> = (0..self.cfg.nodes)
+            .filter_map(|n| self.secondary[n].probe(line).map(|s| (n, s)))
+            .collect();
+        let dirty: Vec<usize> = holders
+            .iter()
+            .filter(|&&(_, s)| s == LineState::Dirty)
+            .map(|&(n, _)| n)
+            .collect();
+        if dirty.len() > 1 {
+            return Err(format!("multiple dirty holders of {line:?}: {dirty:?}"));
+        }
+        match self.directory.state(line) {
+            DirState::Uncached => {
+                if let Some(&(n, s)) = holders.first() {
+                    return Err(format!(
+                        "directory says {line:?} is uncached but P{n} holds it {s:?}"
+                    ));
+                }
+            }
+            DirState::Dirty(owner) => {
+                if holders.len() != 1 || dirty != [owner.0] {
+                    return Err(format!(
+                        "directory says {line:?} is dirty at {owner} but holders are {holders:?}"
+                    ));
+                }
+            }
+            DirState::Shared(set) => {
+                if let Some(&n) = dirty.first() {
+                    return Err(format!(
+                        "directory says {line:?} is shared but P{n} holds it dirty"
+                    ));
+                }
+                for &(n, _) in &holders {
+                    if !set.contains(NodeId(n)) {
+                        return Err(format!(
+                            "P{n} holds {line:?} but is missing from the sharer set"
+                        ));
+                    }
+                }
+                // Evictions notify the directory, so the set is exact,
+                // not a stale superset.
+                for n in set.iter() {
+                    if self.secondary[n.0].probe(line).is_none() {
+                        return Err(format!(
+                            "directory lists {n} as a sharer of {line:?} but it holds no copy"
+                        ));
+                    }
+                }
+            }
+            // Broadcast fallback: the sharer set is unknown by design.
+            DirState::SharedOverflow => {}
+        }
+        Ok(())
     }
 }
 
@@ -884,6 +1039,126 @@ mod tests {
         assert_eq!(s.reads, 3);
         assert_eq!(s.read_hits.hits(), 2);
         assert_eq!(s.read_hits.total(), 3);
+    }
+}
+
+#[cfg(test)]
+mod fault_tests {
+    use super::*;
+    use crate::layout::{AddressSpaceBuilder, Placement};
+
+    fn machine_with(plan: Option<FaultPlan>) -> (MemorySystem, Addr) {
+        let mut b = AddressSpaceBuilder::new(4);
+        let shared = b.alloc("shared", 64 * 16, Placement::RoundRobin).base();
+        let mut cfg = MemConfig::dash_scaled(4);
+        cfg.faults = plan;
+        (MemorySystem::new(cfg, b.build()), shared)
+    }
+
+    /// A mixed remote/local traffic pattern exercising reads and writes.
+    fn traffic(m: &mut MemorySystem, base: Addr) -> Vec<AccessResult> {
+        let mut out = Vec::new();
+        let mut now = Cycle::ZERO;
+        for i in 0..200u64 {
+            let node = NodeId((i % 4) as usize);
+            let addr = base.offset((i * 7 % 64) * 16);
+            let kind = if i % 3 == 0 {
+                AccessKind::Write
+            } else {
+                AccessKind::Read
+            };
+            let r = m.access(now, node, addr, kind);
+            now = r.done_at;
+            out.push(r);
+        }
+        out
+    }
+
+    #[test]
+    fn inactive_plan_changes_nothing() {
+        let (mut clean, base) = machine_with(None);
+        let (mut inert, _) = machine_with(Some(FaultPlan::default()));
+        assert_eq!(traffic(&mut clean, base), traffic(&mut inert, base));
+        assert!(inert.snapshot_stats().faults.is_empty());
+    }
+
+    #[test]
+    fn faults_only_ever_slow_accesses() {
+        let (mut clean, base) = machine_with(None);
+        let (mut faulty, _) = machine_with(Some(FaultPlan::heavy(42)));
+        let a = traffic(&mut clean, base);
+        let b = traffic(&mut faulty, base);
+        // Timing paths diverge after the first perturbation (each run feeds
+        // its own completion times forward), but the protocol decisions of
+        // the first access are made before any fault can fire.
+        assert_eq!(a[0].class, b[0].class);
+        assert!(
+            b[0].done_at >= a[0].done_at,
+            "a fault made an access faster"
+        );
+        let s = faulty.snapshot_stats().faults;
+        assert!(!s.is_empty(), "heavy plan injected nothing in 200 accesses");
+    }
+
+    #[test]
+    fn fault_runs_are_deterministic() {
+        let (mut a, base) = machine_with(Some(FaultPlan::heavy(7)));
+        let (mut b, _) = machine_with(Some(FaultPlan::heavy(7)));
+        assert_eq!(traffic(&mut a, base), traffic(&mut b, base));
+        assert_eq!(a.snapshot_stats().faults, b.snapshot_stats().faults);
+    }
+
+    #[test]
+    fn nack_retries_charge_round_trips_and_backoff() {
+        let mut plan = FaultPlan::nacks_only(1);
+        plan.nack_prob = 1.0; // every request exhausts its retries
+        let (mut faulty, base) = machine_with(Some(plan));
+        let (mut clean, _) = machine_with(None);
+        let f = faulty.access(Cycle::ZERO, NodeId(0), base, AccessKind::Read);
+        let c = clean.access(Cycle::ZERO, NodeId(0), base, AccessKind::Read);
+        assert!(f.done_at > c.done_at, "NACK retries added no delay");
+        let s = faulty.snapshot_stats().faults;
+        assert_eq!(s.nacks, u64::from(plan.max_retries));
+        assert_eq!(s.retries_exhausted, 1);
+        assert!(s.backoff_cycles > 0);
+    }
+
+    #[test]
+    fn invariants_hold_under_heavy_faults() {
+        let (mut m, base) = machine_with(Some(FaultPlan::heavy(3)));
+        traffic(&mut m, base);
+        for i in 0..64u64 {
+            let line = base.offset(i * 16).line();
+            m.check_line_invariants(line)
+                .unwrap_or_else(|e| panic!("line {i}: {e}"));
+        }
+    }
+
+    #[test]
+    fn invariant_checker_detects_corruption() {
+        let (mut m, base) = machine_with(None);
+        let line = base.line();
+        m.access(Cycle::ZERO, NodeId(0), base, AccessKind::Read);
+        assert!(m.check_line_invariants(line).is_ok());
+
+        // Inclusion violation: primary copy without a secondary backing.
+        m.secondary[0].invalidate(line);
+        let err = m.check_line_invariants(line).unwrap_err();
+        assert!(err.contains("inclusion"), "unexpected message: {err}");
+
+        // Directory/cache disagreement: directory says shared at node 0,
+        // but no cache holds the line.
+        m.primary[0].invalidate(line);
+        let err = m.check_line_invariants(line).unwrap_err();
+        assert!(err.contains("sharer") || err.contains("shared") || err.contains("holds"));
+
+        // Second writer sneaking in behind the directory's back.
+        let (mut m2, base2) = machine_with(None);
+        let line2 = base2.line();
+        m2.access(Cycle::ZERO, NodeId(0), base2, AccessKind::Write);
+        m2.secondary[1].fill(line2, LineState::Dirty);
+        let err = m2.check_line_invariants(line2).unwrap_err();
+        assert!(err.contains("dirty"), "unexpected message: {err}");
     }
 }
 

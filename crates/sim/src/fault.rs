@@ -1,0 +1,418 @@
+//! Deterministic, seeded fault injection.
+//!
+//! Real DASH is defined by retries: directory controllers NACK requests
+//! they cannot service, packets jostle through a congested mesh, and
+//! bounded buffers push back. A simulator that is never exercised under
+//! those perturbations can hide protocol bugs behind the happy path. This
+//! module provides the *decision* side of fault injection — NACK/backoff
+//! schedules, packet delays, transient buffer-full events — as pure,
+//! seeded, reproducible draws. The memory system and machine consume the
+//! decisions and charge the corresponding simulated time.
+//!
+//! Determinism contract: a [`FaultInjector`] is a pure function of its
+//! [`FaultPlan`] (seed included) and its stream id, and decisions are drawn
+//! in simulation order, which the event queue makes deterministic. Two runs
+//! with the same plan therefore perturb identically — this is what makes
+//! fault runs regression-testable (same seed ⇒ identical `RunResult`).
+
+use crate::rng::Xorshift;
+use crate::time::Cycle;
+
+/// A complete, seeded description of the faults to inject into one run.
+///
+/// The default plan injects nothing; every probability is zero. Plans
+/// compare equal structurally so experiment configurations carrying one
+/// stay comparable.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlan {
+    /// Seed for all fault decision streams.
+    pub seed: u64,
+    /// Probability that a directory request is NACKed (per attempt; the
+    /// requester retries with exponential backoff).
+    pub nack_prob: f64,
+    /// Upper bound on consecutive NACKs of one request. After this many
+    /// the request is serviced — DASH's retries always converge, and a
+    /// bound keeps injected faults from manufacturing livelock.
+    pub max_retries: u32,
+    /// Backoff after the first NACK, in cycles; doubles per retry.
+    pub backoff_base: u64,
+    /// Ceiling on a single backoff interval, in cycles.
+    pub backoff_cap: u64,
+    /// Probability that a network packet is delayed in transit.
+    pub delay_prob: f64,
+    /// Maximum extra transit cycles for a delayed packet (uniform in
+    /// `1..=max_delay`).
+    pub max_delay: u64,
+    /// Probability that a non-empty write/prefetch buffer transiently
+    /// reports full, stalling the issuing context until the head retires.
+    pub buffer_full_prob: f64,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan {
+            seed: 0,
+            nack_prob: 0.0,
+            max_retries: 4,
+            backoff_base: 8,
+            backoff_cap: 256,
+            delay_prob: 0.0,
+            max_delay: 16,
+            buffer_full_prob: 0.0,
+        }
+    }
+}
+
+impl FaultPlan {
+    /// Mild perturbation: occasional NACKs, rare packet delays and buffer
+    /// push-back. Figures should survive this with small deltas.
+    pub fn light(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            nack_prob: 0.02,
+            delay_prob: 0.05,
+            buffer_full_prob: 0.01,
+            ..Self::default()
+        }
+    }
+
+    /// Aggressive perturbation for robustness testing: frequent NACKs with
+    /// deep backoff, common packet delays, regular transient buffer-full
+    /// events.
+    pub fn heavy(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            nack_prob: 0.10,
+            max_retries: 6,
+            backoff_base: 16,
+            backoff_cap: 1024,
+            delay_prob: 0.15,
+            max_delay: 64,
+            buffer_full_prob: 0.05,
+        }
+    }
+
+    /// Only directory NACKs (isolates the retry path).
+    pub fn nacks_only(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            nack_prob: 0.05,
+            ..Self::default()
+        }
+    }
+
+    /// True when at least one fault class can fire.
+    pub fn is_active(&self) -> bool {
+        self.nack_prob > 0.0 || self.delay_prob > 0.0 || self.buffer_full_prob > 0.0
+    }
+
+    /// Parses a CLI spec: a preset name (`light`, `heavy`, `nacks`),
+    /// optionally `:seed` (e.g. `heavy:42`), or a comma-separated
+    /// `key=value` list with keys `seed`, `nack`, `retries`, `backoff`,
+    /// `cap`, `delay`, `maxdelay`, `full`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message for unknown presets, keys or
+    /// malformed numbers.
+    pub fn from_spec(spec: &str) -> Result<FaultPlan, String> {
+        let spec = spec.trim();
+        if spec.is_empty() {
+            return Err("empty fault spec".into());
+        }
+        // Preset form: name[:seed].
+        if !spec.contains('=') {
+            let (name, seed) = match spec.split_once(':') {
+                Some((n, s)) => {
+                    let seed: u64 = s
+                        .parse()
+                        .map_err(|_| format!("bad fault seed {s:?} in {spec:?}"))?;
+                    (n, seed)
+                }
+                None => (spec, 0),
+            };
+            return match name {
+                "light" => Ok(Self::light(seed)),
+                "heavy" => Ok(Self::heavy(seed)),
+                "nacks" => Ok(Self::nacks_only(seed)),
+                other => Err(format!(
+                    "unknown fault preset {other:?} (expected light, heavy or nacks)"
+                )),
+            };
+        }
+        // key=value form.
+        let mut plan = FaultPlan::default();
+        for pair in spec.split(',') {
+            let (key, value) = pair
+                .split_once('=')
+                .ok_or_else(|| format!("expected key=value, got {pair:?}"))?;
+            let (key, value) = (key.trim(), value.trim());
+            let bad = |k: &str, v: &str| format!("bad value {v:?} for fault key {k:?}");
+            match key {
+                "seed" => plan.seed = value.parse().map_err(|_| bad(key, value))?,
+                "nack" => plan.nack_prob = value.parse().map_err(|_| bad(key, value))?,
+                "retries" => plan.max_retries = value.parse().map_err(|_| bad(key, value))?,
+                "backoff" => plan.backoff_base = value.parse().map_err(|_| bad(key, value))?,
+                "cap" => plan.backoff_cap = value.parse().map_err(|_| bad(key, value))?,
+                "delay" => plan.delay_prob = value.parse().map_err(|_| bad(key, value))?,
+                "maxdelay" => plan.max_delay = value.parse().map_err(|_| bad(key, value))?,
+                "full" => plan.buffer_full_prob = value.parse().map_err(|_| bad(key, value))?,
+                other => return Err(format!("unknown fault key {other:?}")),
+            }
+        }
+        Ok(plan)
+    }
+}
+
+/// Counters of injected faults (telemetry; summed into run statistics).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Directory NACKs injected.
+    pub nacks: u64,
+    /// Requests that hit the retry bound and were serviced anyway.
+    pub retries_exhausted: u64,
+    /// Total backoff cycles charged to NACKed requesters.
+    pub backoff_cycles: u64,
+    /// Network packets delayed in transit.
+    pub delayed_packets: u64,
+    /// Total extra transit cycles from delayed packets.
+    pub delay_cycles: u64,
+    /// Transient buffer-full events injected.
+    pub buffer_full_events: u64,
+}
+
+impl FaultStats {
+    /// Accumulates `other` into `self`.
+    pub fn merge(&mut self, other: &FaultStats) {
+        self.nacks += other.nacks;
+        self.retries_exhausted += other.retries_exhausted;
+        self.backoff_cycles += other.backoff_cycles;
+        self.delayed_packets += other.delayed_packets;
+        self.delay_cycles += other.delay_cycles;
+        self.buffer_full_events += other.buffer_full_events;
+    }
+
+    /// True when nothing was injected.
+    pub fn is_empty(&self) -> bool {
+        *self == FaultStats::default()
+    }
+}
+
+/// The outcome of one request's NACK lottery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NackSchedule {
+    /// How many times the request is NACKed before being serviced.
+    pub retries: u32,
+    /// Total backoff the requester waits across all retries, in cycles.
+    pub backoff: u64,
+}
+
+impl NackSchedule {
+    /// A schedule with no NACKs.
+    pub const NONE: NackSchedule = NackSchedule {
+        retries: 0,
+        backoff: 0,
+    };
+}
+
+/// Draws fault decisions from one deterministic stream.
+///
+/// Different subsystems use different `stream` ids so that, e.g., adding a
+/// packet-delay draw does not shift the NACK stream of an unrelated
+/// component.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    rng: Xorshift,
+    stats: FaultStats,
+}
+
+impl FaultInjector {
+    /// Creates an injector for `stream` under `plan`.
+    pub fn new(plan: FaultPlan, stream: u64) -> Self {
+        // Mix the stream id into the seed so forked injectors draw
+        // unrelated sequences from the same plan.
+        let seed = plan
+            .seed
+            .wrapping_add(stream.wrapping_mul(0xA076_1D64_78BD_642F));
+        FaultInjector {
+            plan,
+            rng: Xorshift::new(seed),
+            stats: FaultStats::default(),
+        }
+    }
+
+    /// The plan decisions are drawn from.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Counters accumulated so far.
+    pub fn stats(&self) -> FaultStats {
+        self.stats
+    }
+
+    /// Draws the NACK schedule for one directory request: a geometric
+    /// number of NACKs (bounded by `max_retries`) with exponential backoff
+    /// per retry, capped at `backoff_cap`.
+    pub fn nack_schedule(&mut self) -> NackSchedule {
+        if self.plan.nack_prob <= 0.0 {
+            return NackSchedule::NONE;
+        }
+        let mut retries = 0u32;
+        let mut backoff = 0u64;
+        while retries < self.plan.max_retries && self.rng.chance(self.plan.nack_prob) {
+            retries += 1;
+            let step = self
+                .plan
+                .backoff_base
+                .saturating_mul(1u64 << (retries - 1).min(32))
+                .min(self.plan.backoff_cap.max(self.plan.backoff_base));
+            backoff += step;
+        }
+        if retries == self.plan.max_retries {
+            self.stats.retries_exhausted += 1;
+        }
+        self.stats.nacks += u64::from(retries);
+        self.stats.backoff_cycles += backoff;
+        NackSchedule { retries, backoff }
+    }
+
+    /// Draws the extra transit time for one network packet (zero when the
+    /// packet is not delayed).
+    pub fn packet_delay(&mut self) -> Cycle {
+        if self.plan.delay_prob <= 0.0 || !self.rng.chance(self.plan.delay_prob) {
+            return Cycle::ZERO;
+        }
+        let extra = 1 + self.rng.below(self.plan.max_delay.max(1));
+        self.stats.delayed_packets += 1;
+        self.stats.delay_cycles += extra;
+        Cycle(extra)
+    }
+
+    /// Decides whether a buffer transiently reports full. The caller must
+    /// only honour this when the buffer is *non-empty and draining*, so a
+    /// retirement event is guaranteed to wake the stalled context.
+    pub fn transient_buffer_full(&mut self) -> bool {
+        if self.plan.buffer_full_prob <= 0.0 || !self.rng.chance(self.plan.buffer_full_prob) {
+            return false;
+        }
+        self.stats.buffer_full_events += 1;
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_plan_is_inert() {
+        let plan = FaultPlan::default();
+        assert!(!plan.is_active());
+        let mut inj = FaultInjector::new(plan, 0);
+        for _ in 0..100 {
+            assert_eq!(inj.nack_schedule(), NackSchedule::NONE);
+            assert_eq!(inj.packet_delay(), Cycle::ZERO);
+            assert!(!inj.transient_buffer_full());
+        }
+        assert!(inj.stats().is_empty());
+    }
+
+    #[test]
+    fn presets_are_active() {
+        assert!(FaultPlan::light(1).is_active());
+        assert!(FaultPlan::heavy(1).is_active());
+        assert!(FaultPlan::nacks_only(1).is_active());
+    }
+
+    #[test]
+    fn same_plan_and_stream_draw_identically() {
+        let plan = FaultPlan::heavy(42);
+        let mut a = FaultInjector::new(plan, 7);
+        let mut b = FaultInjector::new(plan, 7);
+        for _ in 0..1000 {
+            assert_eq!(a.nack_schedule(), b.nack_schedule());
+            assert_eq!(a.packet_delay(), b.packet_delay());
+            assert_eq!(a.transient_buffer_full(), b.transient_buffer_full());
+        }
+        assert_eq!(a.stats(), b.stats());
+    }
+
+    #[test]
+    fn different_streams_diverge() {
+        let plan = FaultPlan::heavy(42);
+        let mut a = FaultInjector::new(plan, 0);
+        let mut b = FaultInjector::new(plan, 1);
+        let draws_a: Vec<_> = (0..200).map(|_| a.packet_delay()).collect();
+        let draws_b: Vec<_> = (0..200).map(|_| b.packet_delay()).collect();
+        assert_ne!(draws_a, draws_b);
+    }
+
+    #[test]
+    fn nack_schedule_is_bounded() {
+        let mut plan = FaultPlan::heavy(3);
+        plan.nack_prob = 1.0; // always NACK: must hit the retry bound
+        let mut inj = FaultInjector::new(plan, 0);
+        let s = inj.nack_schedule();
+        assert_eq!(s.retries, plan.max_retries);
+        // Backoff doubles but respects the cap on every step.
+        assert!(s.backoff <= u64::from(plan.max_retries) * plan.backoff_cap);
+        assert_eq!(inj.stats().retries_exhausted, 1);
+    }
+
+    #[test]
+    fn packet_delay_within_bounds() {
+        let mut plan = FaultPlan::heavy(5);
+        plan.delay_prob = 1.0;
+        let mut inj = FaultInjector::new(plan, 0);
+        for _ in 0..1000 {
+            let d = inj.packet_delay().as_u64();
+            assert!((1..=plan.max_delay).contains(&d));
+        }
+        assert_eq!(inj.stats().delayed_packets, 1000);
+    }
+
+    #[test]
+    fn stats_merge_sums_fields() {
+        let mut a = FaultStats {
+            nacks: 1,
+            retries_exhausted: 2,
+            backoff_cycles: 3,
+            delayed_packets: 4,
+            delay_cycles: 5,
+            buffer_full_events: 6,
+        };
+        a.merge(&a.clone());
+        assert_eq!(a.nacks, 2);
+        assert_eq!(a.buffer_full_events, 12);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn spec_parses_presets_and_seeds() {
+        assert_eq!(FaultPlan::from_spec("light").unwrap(), FaultPlan::light(0));
+        assert_eq!(
+            FaultPlan::from_spec("heavy:42").unwrap(),
+            FaultPlan::heavy(42)
+        );
+        assert_eq!(
+            FaultPlan::from_spec("nacks:7").unwrap(),
+            FaultPlan::nacks_only(7)
+        );
+        assert!(FaultPlan::from_spec("cosmic-rays").is_err());
+        assert!(FaultPlan::from_spec("light:banana").is_err());
+    }
+
+    #[test]
+    fn spec_parses_key_value_lists() {
+        let p = FaultPlan::from_spec("seed=9,nack=0.5,retries=2,delay=0.25,full=0.125").unwrap();
+        assert_eq!(p.seed, 9);
+        assert_eq!(p.nack_prob, 0.5);
+        assert_eq!(p.max_retries, 2);
+        assert_eq!(p.delay_prob, 0.25);
+        assert_eq!(p.buffer_full_prob, 0.125);
+        assert!(FaultPlan::from_spec("nack=soon").is_err());
+        assert!(FaultPlan::from_spec("gremlins=1").is_err());
+    }
+}

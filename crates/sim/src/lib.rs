@@ -14,6 +14,9 @@
 //!   reference streams are reproducible across runs and platforms.
 //! * [`stats`] — counters, histograms and run-length trackers used for the
 //!   execution-time breakdowns reported in the paper's figures.
+//! * [`fault`] — deterministic, seeded fault injection (directory NACKs
+//!   with exponential backoff, delayed packets, transient buffer-full
+//!   events) used to harden experiments against protocol perturbation.
 //!
 //! # Example
 //!
@@ -32,11 +35,13 @@
 //! assert_eq!(q.pop(), None);
 //! ```
 
+pub mod fault;
 pub mod queue;
 pub mod rng;
 pub mod stats;
 pub mod time;
 
+pub use fault::{FaultInjector, FaultPlan, FaultStats};
 pub use queue::EventQueue;
 pub use rng::Xorshift;
 pub use time::Cycle;
