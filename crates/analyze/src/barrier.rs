@@ -1,0 +1,138 @@
+//! Barrier-divergence checking.
+//!
+//! In a barrier-phased program every process must pass through the same
+//! sequence of barriers the same number of times. A process that skips a
+//! barrier episode (or arrives at a different barrier than its peers)
+//! diverges: the phases it believed were separated by a global barrier
+//! were not, and any cross-phase accesses lose their ordering edges.
+//! Forced barrier episodes recorded by the replayer (a barrier that never
+//! collected all arrivals) are divergence by definition.
+
+use dashlat_cpu::events::{EventKind, EventLog};
+use dashlat_cpu::ops::BarrierId;
+
+use crate::report::BarrierSummary;
+
+/// Detailed divergence descriptions kept in the summary.
+const DETAIL_CAP: usize = 16;
+
+/// Runs the barrier-divergence pass over `log`.
+pub fn run(log: &EventLog) -> BarrierSummary {
+    let mut seqs: Vec<Vec<BarrierId>> = vec![Vec::new(); log.nprocs];
+    let mut out = BarrierSummary::default();
+    for ev in &log.events {
+        match ev.kind {
+            EventKind::BarrierArrive(b) => {
+                out.arrivals += 1;
+                seqs[ev.pid.0].push(b);
+            }
+            EventKind::BarrierForced(_) => out.forced += 1,
+            _ => {}
+        }
+    }
+    // Processes that never arrive at any barrier are fine (pure
+    // lock-based or independent workers); divergence is only judged
+    // among the processes that participate in barriers at all.
+    let participants: Vec<usize> = (0..log.nprocs).filter(|&p| !seqs[p].is_empty()).collect();
+    if let Some(&first) = participants.first() {
+        for &p in &participants[1..] {
+            if seqs[p] != seqs[first] {
+                out.divergent = true;
+                if out.details.len() < DETAIL_CAP {
+                    out.details.push(format!(
+                        "P{p} saw barrier sequence {:?} but P{first} saw {:?}",
+                        ids(&seqs[p]),
+                        ids(&seqs[first]),
+                    ));
+                }
+            }
+        }
+    }
+    if out.forced > 0 {
+        out.divergent = true;
+        if out.details.len() < DETAIL_CAP {
+            out.details.push(format!(
+                "{} barrier episode(s) never collected all arrivals and were force-released",
+                out.forced
+            ));
+        }
+    }
+    out
+}
+
+fn ids(seq: &[BarrierId]) -> Vec<usize> {
+    seq.iter().map(|b| b.0).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dashlat_cpu::events::events_from_trace;
+    use dashlat_cpu::ops::{Op, SyncConfig};
+    use dashlat_cpu::trace::Trace;
+    use dashlat_mem::addr::Addr;
+
+    fn trace(streams: Vec<Vec<Op>>) -> Trace {
+        Trace {
+            streams,
+            sync: SyncConfig {
+                lock_addrs: Vec::new(),
+                barrier_addrs: vec![Addr(0x2000), Addr(0x2040)],
+                labeled_ranges: Vec::new(),
+            },
+            page_homes: None,
+        }
+    }
+
+    #[test]
+    fn matched_sequences_pass() {
+        let t = trace(vec![
+            vec![
+                Op::Barrier(BarrierId(0)),
+                Op::Barrier(BarrierId(1)),
+                Op::Done,
+            ],
+            vec![
+                Op::Barrier(BarrierId(0)),
+                Op::Barrier(BarrierId(1)),
+                Op::Done,
+            ],
+        ]);
+        let s = run(&events_from_trace(&t));
+        assert!(!s.divergent, "details: {:?}", s.details);
+        assert_eq!(s.arrivals, 4);
+        assert_eq!(s.forced, 0);
+    }
+
+    #[test]
+    fn skipped_episode_diverges() {
+        // P1 skips the second barrier entirely: the replayer forces the
+        // stuck episode and the arrival sequences differ.
+        let t = trace(vec![
+            vec![
+                Op::Barrier(BarrierId(0)),
+                Op::Barrier(BarrierId(1)),
+                Op::Done,
+            ],
+            vec![Op::Barrier(BarrierId(0)), Op::Done],
+        ]);
+        let s = run(&events_from_trace(&t));
+        assert!(s.divergent);
+        assert_eq!(s.forced, 1);
+        assert!(s.details.iter().any(|d| d.contains("force-released")));
+    }
+
+    #[test]
+    fn non_participants_are_ignored() {
+        let t = trace(vec![
+            vec![Op::Barrier(BarrierId(0)), Op::Done],
+            vec![Op::Compute(3), Op::Done],
+        ]);
+        // Only P0 uses barriers; it can never complete the episode, so the
+        // replayer forces it -- which *is* divergence (a barrier that
+        // gates nothing), but the sequence comparison itself is skipped.
+        let s = run(&events_from_trace(&t));
+        assert_eq!(s.arrivals, 1);
+        assert!(s.divergent);
+    }
+}

@@ -1,0 +1,432 @@
+//! FastTrack-style happens-before race detection.
+//!
+//! Every process carries a vector clock; acquires join the releasing
+//! clock of the lock, barrier episodes join all participants, and each
+//! shared location remembers its last write epoch and last read
+//! epoch(s). A conflicting access with no ordering edge back to the
+//! previous access is a race — unless the location lies in a declared
+//! labeled-competing range, in which case the conflict is by design
+//! (properly-labeled semantics) and is only counted.
+
+use std::collections::HashMap;
+
+use dashlat_cpu::events::{EventKind, EventLog};
+use dashlat_cpu::ops::{BarrierId, LockId, ProcId};
+use dashlat_mem::addr::{Addr, LineAddr};
+use dashlat_sim::vclock::{Epoch, VectorClock};
+use dashlat_sim::Cycle;
+
+use crate::report::{HbSummary, Race, Site, SyncPoint};
+
+/// Detailed race reports kept per run; further races only bump the count.
+const RACE_CAP: usize = 64;
+/// Detailed race reports kept per location (racy lines tend to race on
+/// every iteration; two examples suffice).
+const PER_ADDR_CAP: u8 = 2;
+
+#[derive(Debug, Clone)]
+struct SiteInfo {
+    op_index: u64,
+    cycle: Cycle,
+    locks: Vec<LockId>,
+    last_sync: Option<SyncPoint>,
+}
+
+impl SiteInfo {
+    fn site(&self, pid: usize, is_write: bool) -> Site {
+        Site {
+            pid: ProcId(pid),
+            op_index: self.op_index,
+            cycle: self.cycle,
+            is_write,
+            locks_held: self.locks.clone(),
+            last_sync: self.last_sync,
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+enum ReadState {
+    #[default]
+    None,
+    /// The common case: all reads so far ordered, summarized by one epoch.
+    One(Epoch, SiteInfo),
+    /// Concurrent readers: per-process clocks (FastTrack's read vector).
+    Many(HashMap<usize, (u64, SiteInfo)>),
+}
+
+#[derive(Debug, Default)]
+struct AddrState {
+    write: Option<(Epoch, SiteInfo)>,
+    reads: ReadState,
+    reported: u8,
+}
+
+/// Pass state.
+struct Hb<'a> {
+    log: &'a EventLog,
+    clocks: Vec<VectorClock>,
+    lock_clocks: HashMap<LockId, VectorClock>,
+    barrier_pending: HashMap<BarrierId, (VectorClock, Vec<usize>)>,
+    held: Vec<Vec<LockId>>,
+    last_sync: Vec<Option<SyncPoint>>,
+    addrs: HashMap<Addr, AddrState>,
+    last_prefetch: HashMap<LineAddr, Cycle>,
+    out: HbSummary,
+}
+
+/// Runs the happens-before pass over `log`.
+pub fn run(log: &EventLog) -> HbSummary {
+    let n = log.nprocs;
+    let mut clocks: Vec<VectorClock> = (0..n).map(|_| VectorClock::new(n)).collect();
+    for (p, c) in clocks.iter_mut().enumerate() {
+        c.inc(p);
+    }
+    let mut hb = Hb {
+        log,
+        clocks,
+        lock_clocks: HashMap::new(),
+        barrier_pending: HashMap::new(),
+        held: vec![Vec::new(); n],
+        last_sync: vec![None; n],
+        addrs: HashMap::new(),
+        last_prefetch: HashMap::new(),
+        out: HbSummary::default(),
+    };
+    for ev in &log.events {
+        let p = ev.pid.0;
+        match ev.kind {
+            EventKind::Read(a) => hb.access(p, a, ev.op_index, ev.cycle, false),
+            EventKind::Write(a) => hb.access(p, a, ev.op_index, ev.cycle, true),
+            EventKind::Prefetch { addr, .. } => {
+                hb.last_prefetch.insert(addr.line(), ev.cycle);
+            }
+            EventKind::Acquire(l) => {
+                if let Some(lc) = hb.lock_clocks.get(&l) {
+                    hb.clocks[p].join(lc);
+                }
+                hb.held[p].push(l);
+                hb.last_sync[p] = Some(SyncPoint::Acquire(l, ev.op_index));
+            }
+            EventKind::Release(l) => {
+                let snapshot = hb.clocks[p].clone();
+                hb.lock_clocks.insert(l, snapshot);
+                hb.clocks[p].inc(p);
+                if let Some(i) = hb.held[p].iter().rposition(|&h| h == l) {
+                    hb.held[p].remove(i);
+                }
+                hb.last_sync[p] = Some(SyncPoint::Release(l, ev.op_index));
+            }
+            EventKind::BarrierArrive(b) => {
+                let n = hb.log.nprocs;
+                let entry = hb
+                    .barrier_pending
+                    .entry(b)
+                    .or_insert_with(|| (VectorClock::new(n), Vec::new()));
+                entry.0.join(&hb.clocks[p]);
+                entry.1.push(p);
+                hb.last_sync[p] = Some(SyncPoint::Barrier(b, ev.op_index));
+                if entry.1.len() == n {
+                    let (joined, arrived) = hb.barrier_pending.remove(&b).expect("just inserted");
+                    for q in arrived {
+                        hb.clocks[q].assign(&joined);
+                        hb.clocks[q].inc(q);
+                    }
+                }
+            }
+            EventKind::BarrierForced(b) => {
+                // Forced release of a stuck episode: discard it without
+                // creating any ordering edge.
+                hb.barrier_pending.remove(&b);
+            }
+            EventKind::Done => {}
+        }
+    }
+    hb.out
+}
+
+impl Hb<'_> {
+    fn site_info(&self, p: usize, op_index: u64, cycle: Cycle) -> SiteInfo {
+        SiteInfo {
+            op_index,
+            cycle,
+            locks: self.held[p].clone(),
+            last_sync: self.last_sync[p],
+        }
+    }
+
+    fn access(&mut self, p: usize, a: Addr, op_index: u64, cycle: Cycle, is_write: bool) {
+        if self.log.sync.label_of(a).is_some() {
+            self.out.labeled_accesses += 1;
+            return;
+        }
+        self.out.checked_accesses += 1;
+        let info = self.site_info(p, op_index, cycle);
+        // Take the state out, work on it, put it back (sidesteps borrow
+        // conflicts between the map and the reporter).
+        let mut st = self.addrs.remove(&a).unwrap_or_default();
+        let clock = self.clocks[p].clone();
+        let mut racy_pairs: Vec<(Site, Site)> = Vec::new();
+
+        // Write-X race: the previous write must happen-before us.
+        if let Some((we, wsite)) = &st.write {
+            if we.pid != p && !we.le(&clock) {
+                racy_pairs.push((wsite.site(we.pid, true), info.site(p, is_write)));
+            }
+        }
+        if is_write {
+            // Read-write races: every recorded read must happen-before us.
+            match &st.reads {
+                ReadState::None => {}
+                ReadState::One(re, rsite) => {
+                    if re.pid != p && !re.le(&clock) {
+                        racy_pairs.push((rsite.site(re.pid, false), info.site(p, true)));
+                    }
+                }
+                ReadState::Many(map) => {
+                    // Report the lowest unordered reader only (one racy
+                    // write would otherwise fan out into nprocs reports).
+                    let racy = map
+                        .iter()
+                        .filter(|(&q, (c, _))| q != p && *c > clock.get(q))
+                        .min_by_key(|(&q, _)| q);
+                    if let Some((&q, (_, rsite))) = racy {
+                        racy_pairs.push((rsite.site(q, false), info.site(p, true)));
+                    }
+                }
+            }
+            // The write dominates: it was checked against all prior
+            // accesses, so they can be forgotten (FastTrack's write
+            // epoch).
+            st.write = Some((clock.epoch(p), info));
+            st.reads = ReadState::None;
+        } else {
+            let epoch = clock.epoch(p);
+            match &mut st.reads {
+                ReadState::None => st.reads = ReadState::One(epoch, info),
+                ReadState::One(re, rsite) => {
+                    if re.pid == p || re.le(&clock) {
+                        // Same reader, or ordered before us: the new read
+                        // subsumes it.
+                        *re = epoch;
+                        *rsite = info;
+                    } else {
+                        // Concurrent readers: inflate to the read vector.
+                        let mut map = HashMap::new();
+                        map.insert(re.pid, (re.clock, rsite.clone()));
+                        map.insert(p, (epoch.clock, info));
+                        st.reads = ReadState::Many(map);
+                    }
+                }
+                ReadState::Many(map) => {
+                    map.insert(p, (epoch.clock, info));
+                }
+            }
+        }
+        for (first, second) in racy_pairs {
+            self.report(a, first, second, &mut st);
+        }
+        self.addrs.insert(a, st);
+    }
+
+    fn report(&mut self, a: Addr, first: Site, second: Site, st: &mut AddrState) {
+        self.out.races_total += 1;
+        if st.reported >= PER_ADDR_CAP || self.out.races.len() >= RACE_CAP {
+            return;
+        }
+        st.reported += 1;
+        let missing_locks: Vec<LockId> = first
+            .locks_held
+            .iter()
+            .filter(|l| !second.locks_held.contains(l))
+            .chain(
+                second
+                    .locks_held
+                    .iter()
+                    .filter(|l| !first.locks_held.contains(l)),
+            )
+            .copied()
+            .collect();
+        let prefetch_between = self
+            .last_prefetch
+            .get(&a.line())
+            .is_some_and(|&t| t >= first.cycle && t <= second.cycle);
+        self.out.races.push(Race {
+            addr: a,
+            line: a.line(),
+            first,
+            second,
+            missing_locks,
+            prefetch_between,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dashlat_cpu::events::events_from_trace;
+    use dashlat_cpu::ops::{Op, SyncConfig};
+    use dashlat_cpu::trace::Trace;
+    use dashlat_cpu::LabeledRange;
+
+    fn trace_with(streams: Vec<Vec<Op>>, labeled: Vec<LabeledRange>) -> Trace {
+        Trace {
+            streams,
+            sync: SyncConfig {
+                lock_addrs: vec![Addr(0x1000)],
+                barrier_addrs: vec![Addr(0x2000)],
+                labeled_ranges: labeled,
+            },
+            page_homes: None,
+        }
+    }
+
+    #[test]
+    fn locked_conflict_is_ordered() {
+        let t = trace_with(
+            vec![
+                vec![
+                    Op::Acquire(LockId(0)),
+                    Op::Write(Addr(0x40)),
+                    Op::Release(LockId(0)),
+                    Op::Done,
+                ],
+                vec![
+                    Op::Acquire(LockId(0)),
+                    Op::Write(Addr(0x40)),
+                    Op::Release(LockId(0)),
+                    Op::Done,
+                ],
+            ],
+            Vec::new(),
+        );
+        let s = run(&events_from_trace(&t));
+        assert_eq!(s.races_total, 0, "races: {:?}", s.races);
+        assert_eq!(s.checked_accesses, 2);
+    }
+
+    #[test]
+    fn unlocked_write_write_is_a_race() {
+        let t = trace_with(
+            vec![
+                vec![Op::Write(Addr(0x40)), Op::Done],
+                vec![Op::Write(Addr(0x40)), Op::Done],
+            ],
+            Vec::new(),
+        );
+        let s = run(&events_from_trace(&t));
+        assert_eq!(s.races_total, 1);
+        let r = &s.races[0];
+        assert_eq!(r.addr, Addr(0x40));
+        assert_eq!(r.line, Addr(0x40).line());
+        assert!(r.first.is_write && r.second.is_write);
+        let pids = [r.first.pid.0, r.second.pid.0];
+        assert!(pids.contains(&0) && pids.contains(&1));
+    }
+
+    #[test]
+    fn barrier_orders_phases() {
+        let t = trace_with(
+            vec![
+                vec![Op::Write(Addr(0x40)), Op::Barrier(BarrierId(0)), Op::Done],
+                vec![
+                    Op::Barrier(BarrierId(0)),
+                    Op::Read(Addr(0x40)),
+                    Op::Write(Addr(0x40)),
+                    Op::Done,
+                ],
+            ],
+            Vec::new(),
+        );
+        let s = run(&events_from_trace(&t));
+        assert_eq!(s.races_total, 0, "races: {:?}", s.races);
+    }
+
+    #[test]
+    fn labeled_range_is_exempt() {
+        let t = trace_with(
+            vec![
+                vec![Op::Write(Addr(0x40)), Op::Done],
+                vec![Op::Write(Addr(0x40)), Op::Done],
+            ],
+            vec![LabeledRange::new(Addr(0x40), 16, "chaotic")],
+        );
+        let s = run(&events_from_trace(&t));
+        assert_eq!(s.races_total, 0);
+        assert_eq!(s.labeled_accesses, 2);
+        assert_eq!(s.checked_accesses, 0);
+    }
+
+    #[test]
+    fn concurrent_reads_then_unordered_write_races() {
+        // P0 and P1 read concurrently (fine); P2 writes with no sync.
+        let t = trace_with(
+            vec![
+                vec![Op::Read(Addr(0x40)), Op::Done],
+                vec![Op::Read(Addr(0x40)), Op::Done],
+                vec![Op::Compute(1), Op::Write(Addr(0x40)), Op::Done],
+            ],
+            Vec::new(),
+        );
+        let s = run(&events_from_trace(&t));
+        assert!(s.races_total >= 1);
+        let r = &s.races[0];
+        assert!(!r.first.is_write && r.second.is_write);
+    }
+
+    #[test]
+    fn release_acquire_chain_is_transitive() {
+        // P0 -> (lock) -> P1 -> (lock) -> P2; P2's read of P0's write is
+        // ordered transitively.
+        let t = trace_with(
+            vec![
+                vec![
+                    Op::Write(Addr(0x40)),
+                    Op::Acquire(LockId(0)),
+                    Op::Release(LockId(0)),
+                    Op::Done,
+                ],
+                vec![
+                    Op::Compute(1),
+                    Op::Acquire(LockId(0)),
+                    Op::Release(LockId(0)),
+                    Op::Done,
+                ],
+                vec![
+                    Op::Compute(1),
+                    Op::Compute(1),
+                    Op::Acquire(LockId(0)),
+                    Op::Read(Addr(0x40)),
+                    Op::Release(LockId(0)),
+                    Op::Done,
+                ],
+            ],
+            Vec::new(),
+        );
+        let s = run(&events_from_trace(&t));
+        // The write itself is before the acquire in P0's program order and
+        // the lock chain carries it to P2.
+        assert_eq!(s.races_total, 0, "races: {:?}", s.races);
+    }
+
+    #[test]
+    fn missing_lock_is_named() {
+        // P0 writes under lock 0; P1 writes with no lock.
+        let t = trace_with(
+            vec![
+                vec![
+                    Op::Acquire(LockId(0)),
+                    Op::Write(Addr(0x40)),
+                    Op::Release(LockId(0)),
+                    Op::Done,
+                ],
+                vec![Op::Write(Addr(0x40)), Op::Done],
+            ],
+            Vec::new(),
+        );
+        let s = run(&events_from_trace(&t));
+        assert_eq!(s.races_total, 1);
+        assert_eq!(s.races[0].missing_locks, vec![LockId(0)]);
+    }
+}

@@ -1,0 +1,197 @@
+//! Eraser-style lockset checking (lint-grade).
+//!
+//! Each shared location's *candidate lockset* is the intersection of the
+//! locks held at every access once the location becomes shared; an empty
+//! candidate set on a written location means no single lock consistently
+//! protected it. Unlike the happens-before pass this is a heuristic:
+//! barrier-phased sharing (LU hands columns across barriers, not locks)
+//! produces false positives, which is why lockset findings are reported
+//! as warnings and never affect the properly-labeled verdict.
+
+use std::collections::{HashMap, HashSet};
+
+use dashlat_cpu::events::{EventKind, EventLog};
+use dashlat_cpu::ops::{LockId, ProcId};
+use dashlat_mem::addr::Addr;
+
+use crate::report::{LocksetSummary, LocksetWarning};
+
+/// Detailed warnings kept; further ones only bump the count.
+const WARNING_CAP: usize = 64;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// Touched by one process only so far.
+    Exclusive(usize),
+    /// Read-shared across processes.
+    Shared,
+    /// Written while shared: candidate set violations are reportable.
+    SharedModified,
+}
+
+struct Loc {
+    phase: Phase,
+    candidates: Vec<LockId>,
+    pids: Vec<ProcId>,
+    warned: bool,
+}
+
+/// Runs the lockset pass over `log`.
+pub fn run(log: &EventLog) -> LocksetSummary {
+    let mut held: Vec<Vec<LockId>> = vec![Vec::new(); log.nprocs];
+    let mut locs: HashMap<Addr, Loc> = HashMap::new();
+    let mut labeled: HashSet<Addr> = HashSet::new();
+    let mut out = LocksetSummary::default();
+    for ev in &log.events {
+        let p = ev.pid.0;
+        let (a, is_write) = match ev.kind {
+            EventKind::Read(a) => (a, false),
+            EventKind::Write(a) => (a, true),
+            EventKind::Acquire(l) => {
+                held[p].push(l);
+                continue;
+            }
+            EventKind::Release(l) => {
+                if let Some(i) = held[p].iter().rposition(|&h| h == l) {
+                    held[p].remove(i);
+                }
+                continue;
+            }
+            _ => continue,
+        };
+        if log.sync.label_of(a).is_some() {
+            labeled.insert(a);
+            continue;
+        }
+        let loc = locs.entry(a).or_insert_with(|| Loc {
+            phase: Phase::Exclusive(p),
+            candidates: held[p].clone(),
+            pids: Vec::new(),
+            warned: false,
+        });
+        if !loc.pids.contains(&ProcId(p)) {
+            loc.pids.push(ProcId(p));
+        }
+        match loc.phase {
+            Phase::Exclusive(owner) if owner == p => {
+                // First-owner accesses refresh the candidate set: the
+                // initialization pattern (one process sets up, others
+                // join later) should not poison it.
+                loc.candidates = held[p].clone();
+            }
+            Phase::Exclusive(_) => {
+                loc.phase = if is_write {
+                    Phase::SharedModified
+                } else {
+                    Phase::Shared
+                };
+                loc.candidates.retain(|l| held[p].contains(l));
+            }
+            Phase::Shared => {
+                if is_write {
+                    loc.phase = Phase::SharedModified;
+                }
+                loc.candidates.retain(|l| held[p].contains(l));
+            }
+            Phase::SharedModified => {
+                loc.candidates.retain(|l| held[p].contains(l));
+            }
+        }
+        if loc.phase == Phase::SharedModified && loc.candidates.is_empty() && !loc.warned {
+            loc.warned = true;
+            out.warnings_total += 1;
+            if out.warnings.len() < WARNING_CAP {
+                out.warnings.push(LocksetWarning {
+                    addr: a,
+                    line: a.line(),
+                    pids: loc.pids.clone(),
+                });
+            }
+        }
+    }
+    out.labeled_locations = labeled.len() as u64;
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dashlat_cpu::events::events_from_trace;
+    use dashlat_cpu::ops::{Op, SyncConfig};
+    use dashlat_cpu::trace::Trace;
+
+    fn trace(streams: Vec<Vec<Op>>) -> Trace {
+        Trace {
+            streams,
+            sync: SyncConfig {
+                lock_addrs: vec![Addr(0x1000), Addr(0x1010)],
+                barrier_addrs: Vec::new(),
+                labeled_ranges: Vec::new(),
+            },
+            page_homes: None,
+        }
+    }
+
+    #[test]
+    fn consistent_lock_passes() {
+        let t = trace(vec![
+            vec![
+                Op::Acquire(LockId(0)),
+                Op::Write(Addr(0x40)),
+                Op::Release(LockId(0)),
+                Op::Done,
+            ],
+            vec![
+                Op::Acquire(LockId(0)),
+                Op::Write(Addr(0x40)),
+                Op::Release(LockId(0)),
+                Op::Done,
+            ],
+        ]);
+        let s = run(&events_from_trace(&t));
+        assert_eq!(s.warnings_total, 0, "warnings: {:?}", s.warnings);
+    }
+
+    #[test]
+    fn inconsistent_locks_warn() {
+        // P0 protects with lock 0, P1 with lock 1: intersection empty.
+        let t = trace(vec![
+            vec![
+                Op::Acquire(LockId(0)),
+                Op::Write(Addr(0x40)),
+                Op::Release(LockId(0)),
+                Op::Done,
+            ],
+            vec![
+                Op::Acquire(LockId(1)),
+                Op::Write(Addr(0x40)),
+                Op::Release(LockId(1)),
+                Op::Done,
+            ],
+        ]);
+        let s = run(&events_from_trace(&t));
+        assert_eq!(s.warnings_total, 1);
+        assert_eq!(s.warnings[0].addr, Addr(0x40));
+        assert_eq!(s.warnings[0].pids.len(), 2);
+    }
+
+    #[test]
+    fn exclusive_location_never_warns() {
+        let t = trace(vec![
+            vec![Op::Write(Addr(0x40)), Op::Write(Addr(0x40)), Op::Done],
+            vec![Op::Compute(1), Op::Done],
+        ]);
+        let s = run(&events_from_trace(&t));
+        assert_eq!(s.warnings_total, 0);
+    }
+
+    #[test]
+    fn read_shared_without_write_never_warns() {
+        let t = trace(vec![
+            vec![Op::Read(Addr(0x40)), Op::Done],
+            vec![Op::Read(Addr(0x40)), Op::Done],
+        ]);
+        let s = run(&events_from_trace(&t));
+        assert_eq!(s.warnings_total, 0);
+    }
+}

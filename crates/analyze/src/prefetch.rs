@@ -1,0 +1,162 @@
+//! Prefetch-semantics checking.
+//!
+//! Prefetches in the simulated machine are *non-binding*: they move data
+//! but carry no ordering semantics, so they must never be the only thing
+//! standing between two conflicting accesses (the happens-before pass
+//! reports that case via [`crate::report::PrefetchSummary::sole_ordering_edges`]).
+//! This pass audits hygiene: every issued prefetch should be followed by
+//! a demand access from the same process to the same line (otherwise it
+//! is *useless*), not trail the access it was meant to cover too closely
+//! (*late*), and a line prefetched in shared mode should not be written
+//! (*wrong mode* -- the write still pays the ownership transition).
+
+use std::collections::HashMap;
+
+use dashlat_cpu::events::{EventKind, EventLog};
+use dashlat_mem::addr::LineAddr;
+
+use crate::report::PrefetchSummary;
+
+/// Minimum issue-to-demand distance (in event stamps) for a prefetch to
+/// have plausibly hidden any latency. Replayed logs stamp events with a
+/// global sequence counter, so this is a count of interleaved events
+/// rather than machine cycles; either way a distance below the window
+/// means the prefetch cannot have overlapped meaningful latency.
+const LATE_WINDOW: u64 = 30;
+
+struct Pending {
+    issued: u64,
+    exclusive: bool,
+}
+
+/// Runs the prefetch-semantics pass over `log`.
+pub fn run(log: &EventLog) -> PrefetchSummary {
+    let mut out = PrefetchSummary::default();
+    // Pending prefetch per (process, line): a demand access consumes it.
+    let mut pending: HashMap<(usize, LineAddr), Pending> = HashMap::new();
+    for ev in &log.events {
+        let p = ev.pid.0;
+        match ev.kind {
+            EventKind::Prefetch { addr, exclusive } => {
+                out.issued += 1;
+                // Re-prefetching a line before any demand access means
+                // the first prefetch did no useful work.
+                if pending
+                    .insert(
+                        (p, addr.line()),
+                        Pending {
+                            issued: ev.cycle.0,
+                            exclusive,
+                        },
+                    )
+                    .is_some()
+                {
+                    out.useless += 1;
+                }
+            }
+            EventKind::Read(a) | EventKind::Write(a) => {
+                let is_write = matches!(ev.kind, EventKind::Write(_));
+                if let Some(pf) = pending.remove(&(p, a.line())) {
+                    out.covered += 1;
+                    if ev.cycle.0.saturating_sub(pf.issued) < LATE_WINDOW {
+                        out.late += 1;
+                    }
+                    if is_write && !pf.exclusive {
+                        out.wrong_mode += 1;
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    // Prefetches never consumed by a demand access.
+    out.useless += pending.len() as u64;
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dashlat_cpu::events::events_from_trace;
+    use dashlat_cpu::ops::{Op, SyncConfig};
+    use dashlat_cpu::trace::Trace;
+    use dashlat_mem::addr::Addr;
+
+    fn trace(streams: Vec<Vec<Op>>) -> Trace {
+        Trace {
+            streams,
+            sync: SyncConfig::default(),
+            page_homes: None,
+        }
+    }
+
+    fn pf(addr: Addr) -> Op {
+        Op::Prefetch {
+            addr,
+            exclusive: false,
+        }
+    }
+
+    fn pf_ex(addr: Addr) -> Op {
+        Op::Prefetch {
+            addr,
+            exclusive: true,
+        }
+    }
+
+    #[test]
+    fn covered_prefetch_counts() {
+        let mut ops = vec![pf(Addr(0x100))];
+        // Pad with unrelated work so the demand access is not "late".
+        for i in 0..40 {
+            ops.push(Op::Read(Addr(0x4000 + i * 0x40)));
+        }
+        ops.push(Op::Read(Addr(0x100)));
+        ops.push(Op::Done);
+        let s = run(&events_from_trace(&trace(vec![ops])));
+        assert_eq!(s.issued, 1);
+        assert_eq!(s.covered, 1);
+        assert_eq!(s.late, 0);
+        assert_eq!(s.useless, 0);
+    }
+
+    #[test]
+    fn unconsumed_prefetch_is_useless() {
+        let t = trace(vec![vec![pf(Addr(0x100)), Op::Done]]);
+        let s = run(&events_from_trace(&t));
+        assert_eq!(s.issued, 1);
+        assert_eq!(s.useless, 1);
+        assert_eq!(s.covered, 0);
+    }
+
+    #[test]
+    fn immediate_demand_is_late() {
+        let t = trace(vec![vec![pf(Addr(0x100)), Op::Read(Addr(0x100)), Op::Done]]);
+        let s = run(&events_from_trace(&t));
+        assert_eq!(s.covered, 1);
+        assert_eq!(s.late, 1);
+    }
+
+    #[test]
+    fn shared_prefetch_then_write_is_wrong_mode() {
+        let t = trace(vec![vec![
+            pf(Addr(0x100)),
+            Op::Write(Addr(0x100)),
+            Op::Done,
+        ]]);
+        let s = run(&events_from_trace(&t));
+        assert_eq!(s.wrong_mode, 1);
+    }
+
+    #[test]
+    fn exclusive_prefetch_then_write_is_fine() {
+        let t = trace(vec![vec![
+            pf_ex(Addr(0x100)),
+            Op::Write(Addr(0x100)),
+            Op::Done,
+        ]]);
+        let s = run(&events_from_trace(&t));
+        assert_eq!(s.wrong_mode, 0);
+        assert_eq!(s.covered, 1);
+    }
+}

@@ -1,0 +1,189 @@
+//! Sync-balance lint: acquire/release pairing and barrier arithmetic.
+//!
+//! The cheapest possible sanity check over a synchronization stream:
+//! every lock acquired must be released by its holder, no lock may be
+//! granted while another process still holds it (the observable signature
+//! of a dropped Release), and total barrier arrivals must divide evenly
+//! by the process count. Critical findings here void the properly-labeled
+//! verdict because the happens-before pass can only trust sync edges the
+//! program actually executed.
+
+use dashlat_cpu::events::{EventKind, EventLog};
+use dashlat_cpu::ops::{BarrierId, LockId, ProcId};
+
+use crate::report::{SyncBalanceSummary, SyncIssue};
+
+/// Detailed issues kept; pathological streams are truncated.
+const ISSUE_CAP: usize = 64;
+
+/// Runs the sync-balance pass over `log`.
+pub fn run(log: &EventLog) -> SyncBalanceSummary {
+    let mut out = SyncBalanceSummary::default();
+    let mut holder: Vec<Option<ProcId>> = Vec::new();
+    let mut arrivals: Vec<u64> = Vec::new();
+    let push = |out: &mut SyncBalanceSummary, issue: SyncIssue| {
+        if out.issues.len() < ISSUE_CAP {
+            out.issues.push(issue);
+        }
+    };
+    for ev in &log.events {
+        match ev.kind {
+            EventKind::Acquire(l) => {
+                out.acquires += 1;
+                ensure(&mut holder, l.0);
+                if let Some(h) = holder[l.0] {
+                    if h != ev.pid {
+                        push(
+                            &mut out,
+                            SyncIssue::GrantWhileHeld {
+                                lock: l,
+                                pid: ev.pid,
+                                holder: h,
+                            },
+                        );
+                    }
+                }
+                holder[l.0] = Some(ev.pid);
+            }
+            EventKind::Release(l) => {
+                out.releases += 1;
+                ensure(&mut holder, l.0);
+                match holder[l.0] {
+                    Some(h) if h == ev.pid => holder[l.0] = None,
+                    other => push(
+                        &mut out,
+                        SyncIssue::ReleaseWithoutHold {
+                            lock: l,
+                            pid: ev.pid,
+                            holder: other,
+                        },
+                    ),
+                }
+            }
+            EventKind::BarrierArrive(b) => {
+                ensure(&mut arrivals, b.0);
+                arrivals[b.0] += 1;
+            }
+            _ => {}
+        }
+    }
+    for (i, h) in holder.iter().enumerate() {
+        if let Some(pid) = *h {
+            push(
+                &mut out,
+                SyncIssue::UnreleasedLock {
+                    lock: LockId(i),
+                    pid,
+                },
+            );
+        }
+    }
+    for (i, &n) in arrivals.iter().enumerate() {
+        if n % log.nprocs as u64 != 0 {
+            push(
+                &mut out,
+                SyncIssue::UnbalancedBarrier {
+                    barrier: BarrierId(i),
+                    arrivals: n,
+                    nprocs: log.nprocs,
+                },
+            );
+        }
+    }
+    out
+}
+
+fn ensure<T: Default + Clone>(v: &mut Vec<T>, idx: usize) {
+    if v.len() <= idx {
+        v.resize(idx + 1, T::default());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dashlat_cpu::events::events_from_trace;
+    use dashlat_cpu::ops::{Op, SyncConfig};
+    use dashlat_cpu::trace::Trace;
+    use dashlat_mem::addr::Addr;
+
+    fn trace(streams: Vec<Vec<Op>>) -> Trace {
+        Trace {
+            streams,
+            sync: SyncConfig {
+                lock_addrs: vec![Addr(0x1000)],
+                barrier_addrs: vec![Addr(0x2000)],
+                labeled_ranges: Vec::new(),
+            },
+            page_homes: None,
+        }
+    }
+
+    #[test]
+    fn balanced_stream_is_clean() {
+        let t = trace(vec![
+            vec![
+                Op::Acquire(LockId(0)),
+                Op::Release(LockId(0)),
+                Op::Barrier(BarrierId(0)),
+                Op::Done,
+            ],
+            vec![
+                Op::Acquire(LockId(0)),
+                Op::Release(LockId(0)),
+                Op::Barrier(BarrierId(0)),
+                Op::Done,
+            ],
+        ]);
+        let s = run(&events_from_trace(&t));
+        assert!(s.issues.is_empty(), "issues: {:?}", s.issues);
+        assert_eq!(s.acquires, 2);
+        assert_eq!(s.releases, 2);
+        assert!(!s.has_critical());
+    }
+
+    #[test]
+    fn dropped_release_shows_as_grant_while_held() {
+        // P0 acquires and never releases; the replayer force-grants the
+        // lock to P1, which the lint sees as a grant while held.
+        let t = trace(vec![
+            vec![Op::Acquire(LockId(0)), Op::Done],
+            vec![Op::Acquire(LockId(0)), Op::Release(LockId(0)), Op::Done],
+        ]);
+        let s = run(&events_from_trace(&t));
+        assert!(s.issues.iter().any(|i| matches!(
+            i,
+            SyncIssue::GrantWhileHeld {
+                lock: LockId(0),
+                ..
+            }
+        )));
+        assert!(s.has_critical());
+    }
+
+    #[test]
+    fn lock_held_at_exit_is_reported() {
+        let t = trace(vec![vec![Op::Acquire(LockId(0)), Op::Done]]);
+        let s = run(&events_from_trace(&t));
+        assert!(s.issues.iter().any(|i| matches!(
+            i,
+            SyncIssue::UnreleasedLock {
+                lock: LockId(0),
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn uneven_barrier_arrivals_are_reported() {
+        let t = trace(vec![
+            vec![Op::Barrier(BarrierId(0)), Op::Done],
+            vec![Op::Compute(2), Op::Done],
+        ]);
+        let s = run(&events_from_trace(&t));
+        assert!(s
+            .issues
+            .iter()
+            .any(|i| matches!(i, SyncIssue::UnbalancedBarrier { arrivals: 1, .. })));
+    }
+}

@@ -31,7 +31,7 @@ fn bench_event_queue(c: &mut Criterion) {
                 assert!(t >= last);
                 last = t;
             }
-        })
+        });
     });
 }
 
@@ -60,7 +60,7 @@ fn bench_memory_system(c: &mut Criterion) {
                 mem
             },
             BatchSize::SmallInput,
-        )
+        );
     });
 }
 
@@ -80,7 +80,7 @@ fn bench_machine(c: &mut Criterion) {
                     .expect("terminates")
             },
             BatchSize::SmallInput,
-        )
+        );
     });
 }
 
@@ -89,7 +89,7 @@ fn bench_apps_test_scale(c: &mut Criterion) {
     g.sample_size(10);
     for app in App::ALL {
         g.bench_function(app.name(), |b| {
-            b.iter(|| run(app, &ExperimentConfig::base_test()).expect("runs"))
+            b.iter(|| run(app, &ExperimentConfig::base_test()).expect("runs"));
         });
     }
     g.finish();
@@ -103,7 +103,7 @@ fn bench_protocol_paths(c: &mut Criterion) {
         let locals: Vec<_> = space
             .alloc_per_node("local", 4096)
             .iter()
-            .map(|s| s.base())
+            .map(dashlat_mem::Segment::base)
             .collect();
         let mut cfg = MemConfig::dash_scaled(4);
         cfg.contention = false;
@@ -116,7 +116,7 @@ fn bench_protocol_paths(c: &mut Criterion) {
         b.iter(|| {
             now += Cycle(2);
             mem.access(now, NodeId(0), locals[0], AccessKind::Read)
-        })
+        });
     });
     g.bench_function("write_hit_owned", |b| {
         let (mut mem, locals) = build();
@@ -125,7 +125,7 @@ fn bench_protocol_paths(c: &mut Criterion) {
         b.iter(|| {
             now += Cycle(4);
             mem.access(now, NodeId(0), locals[0], AccessKind::Write)
-        })
+        });
     });
     g.bench_function("remote_dirty_pingpong", |b| {
         // Two nodes alternately writing one line: the protocol's most
@@ -137,7 +137,7 @@ fn bench_protocol_paths(c: &mut Criterion) {
             n = (n + 1) % 2;
             now += Cycle(100);
             mem.access(now, NodeId(n), locals[3], AccessKind::Write)
-        })
+        });
     });
     g.finish();
 }

@@ -35,7 +35,7 @@ fn main() -> ExitCode {
             let point = format!("{}/p{procs}", app.name());
             match log.measure("speedup", &point, app, &cfg) {
                 Some(t) => {
-                    let speedup = baseline.map(|b: u64| b as f64 / t as f64).unwrap_or(1.0);
+                    let speedup = baseline.map_or(1.0, |b: u64| b as f64 / t as f64);
                     if baseline.is_none() {
                         baseline = Some(t);
                     }

@@ -162,7 +162,8 @@ impl SweepLog {
 
 /// Renders a figure sweep the way the figure binaries do: warnings for
 /// failed cells, then tables (or CSV with `--csv`), then the exit code —
-/// 0 when every cell completed, 5 when the figure is partial.
+/// 0 when every cell completed, 5 when the figure is partial, 6 when any
+/// cell failed race-freedom certification (with `--verify-labels`).
 pub fn emit_figure(report: &dashlat::experiments::FigureReport) -> ExitCode {
     for (app, label, failure) in &report.failures {
         eprintln!("warning: {app}/{label} failed: {failure}");
@@ -174,14 +175,31 @@ pub fn emit_figure(report: &dashlat::experiments::FigureReport) -> ExitCode {
         println!("{}", report.figure.render_chart());
     }
     if report.is_complete() {
+        if std::env::args().any(|a| a == "--verify-labels") {
+            println!("label verification: every cell certified properly labeled");
+        }
         ExitCode::SUCCESS
     } else {
-        ExitCode::from(5)
+        // A mislabeled program invalidates the whole figure, not just one
+        // cell — mirror the CLI and let races outrank generic failures.
+        let racy = report
+            .failures
+            .iter()
+            .filter(|(_, _, f)| matches!(f, dashlat::runner::RunFailure::RaceDetected(_)))
+            .count();
+        if racy > 0 {
+            eprintln!("error: {racy} figure cell(s) failed race-freedom certification");
+            ExitCode::from(6)
+        } else {
+            ExitCode::from(5)
+        }
     }
 }
 
 /// Parses the common command line: `--test-scale` selects the reduced data
-/// sets, `--processors N` overrides the machine size.
+/// sets, `--processors N` overrides the machine size, `--verify-labels`
+/// runs the full `dashlat-analyze` pass set over every cell and turns a
+/// detected race into exit code 6 (see [`emit_figure`]).
 pub fn base_config_from_args() -> ExperimentConfig {
     let args: Vec<String> = std::env::args().collect();
     let mut cfg = if args.iter().any(|a| a == "--test-scale") {
@@ -201,6 +219,9 @@ pub fn base_config_from_args() -> ExperimentConfig {
     // caches and saw similar relative gains.
     if args.iter().any(|a| a == "--full-caches") {
         cfg = cfg.with_full_caches();
+    }
+    if args.iter().any(|a| a == "--verify-labels") {
+        cfg = cfg.with_analysis(dashlat_analyze::PassKind::ALL.to_vec());
     }
     cfg
 }

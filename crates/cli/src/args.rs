@@ -3,6 +3,7 @@
 
 use dashlat::apps::App;
 use dashlat::config::{AppScale, ExperimentConfig};
+use dashlat_analyze::{parse_passes, PassKind};
 use dashlat_cpu::config::Consistency;
 use dashlat_sim::fault::FaultPlan;
 use dashlat_sim::Cycle;
@@ -56,6 +57,19 @@ pub enum Command {
         /// Machine variant to replay under.
         config: Box<ExperimentConfig>,
     },
+    /// Run analysis passes (race detection, properly-labeled
+    /// certification) over workload runs or a recorded trace.
+    Analyze {
+        /// Applications to certify (all three when empty and no trace
+        /// input was given).
+        apps: Vec<App>,
+        /// Recorded trace to analyze instead of live runs.
+        input: Option<String>,
+        /// Passes to run.
+        passes: Vec<PassKind>,
+        /// Machine variant for live runs.
+        config: Box<ExperimentConfig>,
+    },
     /// Print usage.
     Help,
 }
@@ -83,6 +97,8 @@ USAGE:
   dashlat summary [machine flags]
   dashlat trace record --app <app> --out <file> [machine flags]
   dashlat trace replay --in <file> [machine flags]
+  dashlat analyze [--app <app>]... [--in <file>] [--passes <list>]
+                  [--paper-scale] [machine flags]
   dashlat help
 
 MACHINE FLAGS:
@@ -102,10 +118,20 @@ MACHINE FLAGS:
                             (light|heavy|nacks[:seed]) or key=value pairs
                             (seed,nack,retries,backoff,cap,delay,maxdelay,full)
   --check-invariants        check coherence invariants after every access
+  --analyze <passes>        record an event log and run analysis passes
+                            after the run: all, or a comma list of
+                            hb,lockset,barrier,prefetch,syncbalance
+
+ANALYZE:
+  `dashlat analyze` certifies runs as properly labeled (every competing
+  access ordered by synchronization or explicitly labeled). Defaults:
+  all three applications, 16 processors, release consistency, reduced
+  data sets (--paper-scale restores Table 2 sizes), every pass.
+  --in <file> analyzes a recorded trace by logical replay instead.
 
 EXIT CODES:
   0 success   1 generic error   2 deadlock   3 livelock
-  4 invariant violation   5 partial matrix results
+  4 invariant violation   5 partial matrix results   6 race detected
 ";
 
 fn parse_consistency(v: &str) -> Result<Consistency, ArgError> {
@@ -214,6 +240,10 @@ fn parse_machine_flags(args: &mut Vec<String>) -> Result<ExperimentConfig, ArgEr
             "--check-invariants" => {
                 args.remove(i);
                 cfg = cfg.with_invariant_checks(true);
+            }
+            "--analyze" => {
+                let v = take_value(args, i, "--analyze")?;
+                cfg = cfg.with_analysis(parse_passes(&v).map_err(ArgError)?);
             }
             _ => i += 1,
         }
@@ -352,6 +382,65 @@ pub fn parse(mut args: Vec<String>) -> Result<Command, ArgError> {
                 ))),
             }
         }
+        "analyze" => {
+            // Certification defaults differ from the measurement
+            // commands: release consistency (the strongest test of the
+            // labeling — RC reorders the most) and reduced data sets,
+            // unless the user says otherwise.
+            let user_consistency = args.iter().any(|a| a == "--consistency");
+            let paper_scale = if let Some(i) = args.iter().position(|a| a == "--paper-scale") {
+                args.remove(i);
+                true
+            } else {
+                false
+            };
+            let mut config = parse_machine_flags(&mut args)?;
+            if !user_consistency {
+                config = config.with_rc();
+            }
+            if !paper_scale {
+                config.scale = AppScale::Test;
+            }
+            let mut apps = Vec::new();
+            while let Some(i) = args.iter().position(|a| a == "--app") {
+                if i + 1 >= args.len() {
+                    return Err(ArgError("--app needs a value".into()));
+                }
+                let v = args.remove(i + 1);
+                args.remove(i);
+                apps.push(v.parse().map_err(ArgError)?);
+            }
+            let input = match args.iter().position(|a| a == "--in") {
+                Some(i) if i + 1 < args.len() => {
+                    let v = args.remove(i + 1);
+                    args.remove(i);
+                    Some(v)
+                }
+                Some(_) => return Err(ArgError("--in needs a value".into())),
+                None => None,
+            };
+            let passes = match args.iter().position(|a| a == "--passes") {
+                Some(i) if i + 1 < args.len() => {
+                    let v = args.remove(i + 1);
+                    args.remove(i);
+                    parse_passes(&v).map_err(ArgError)?
+                }
+                Some(_) => return Err(ArgError("--passes needs a value".into())),
+                None => PassKind::ALL.to_vec(),
+            };
+            if input.is_some() && !apps.is_empty() {
+                return Err(ArgError(
+                    "--in and --app are mutually exclusive (a trace fixes the subject)".into(),
+                ));
+            }
+            ensure_consumed(&args)?;
+            Ok(Command::Analyze {
+                apps,
+                input,
+                passes,
+                config: Box::new(config),
+            })
+        }
         other => Err(ArgError(format!(
             "unknown command {other:?}; try `dashlat help`"
         ))),
@@ -363,7 +452,7 @@ mod tests {
     use super::*;
 
     fn v(items: &[&str]) -> Vec<String> {
-        items.iter().map(|s| s.to_string()).collect()
+        items.iter().map(std::string::ToString::to_string).collect()
     }
 
     #[test]
@@ -458,6 +547,90 @@ mod tests {
         }
         assert!(parse(v(&["trace", "compress"])).is_err());
         assert!(parse(v(&["trace"])).is_err());
+    }
+
+    #[test]
+    fn analyze_defaults() {
+        let cmd = parse(v(&["analyze"])).expect("parses");
+        match cmd {
+            Command::Analyze {
+                apps,
+                input,
+                passes,
+                config,
+            } => {
+                assert!(apps.is_empty());
+                assert!(input.is_none());
+                assert_eq!(passes, PassKind::ALL.to_vec());
+                assert_eq!(config.processors, 16);
+                assert_eq!(config.consistency, Consistency::Rc);
+                assert_eq!(config.scale, AppScale::Test);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn analyze_overrides() {
+        let cmd = parse(v(&[
+            "analyze",
+            "--app",
+            "mp3d",
+            "--app",
+            "lu",
+            "--passes",
+            "hb,lockset",
+            "--consistency",
+            "sc",
+            "--paper-scale",
+            "--prefetch",
+        ]))
+        .expect("parses");
+        match cmd {
+            Command::Analyze {
+                apps,
+                passes,
+                config,
+                ..
+            } => {
+                assert_eq!(apps, vec![App::Mp3d, App::Lu]);
+                assert_eq!(passes, vec![PassKind::HappensBefore, PassKind::Lockset]);
+                assert_eq!(config.consistency, Consistency::Sc);
+                assert_eq!(config.scale, AppScale::Paper);
+                assert!(config.prefetching);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn analyze_trace_input() {
+        let cmd = parse(v(&["analyze", "--in", "/tmp/t.trace"])).expect("parses");
+        assert!(matches!(
+            cmd,
+            Command::Analyze { ref input, .. } if input.as_deref() == Some("/tmp/t.trace")
+        ));
+        assert!(parse(v(&["analyze", "--in", "/tmp/t.trace", "--app", "lu"])).is_err());
+        assert!(parse(v(&["analyze", "--passes", "bogus"])).is_err());
+    }
+
+    #[test]
+    fn analyze_machine_flag() {
+        let cmd = parse(v(&["run", "--app", "lu", "--analyze", "all"])).expect("parses");
+        match cmd {
+            Command::Run { config, .. } => {
+                assert_eq!(config.analyze, PassKind::ALL.to_vec());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let cmd = parse(v(&["figure", "2", "--analyze", "hb", "--test-scale"])).expect("parses");
+        match cmd {
+            Command::Figure { config, .. } => {
+                assert_eq!(config.analyze, vec![PassKind::HappensBefore]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse(v(&["run", "--app", "lu", "--analyze", "bogus"])).is_err());
     }
 
     #[test]

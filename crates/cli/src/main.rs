@@ -39,17 +39,38 @@ impl std::fmt::Display for PartialMatrix {
 
 impl std::error::Error for PartialMatrix {}
 
+/// Analysis found data races: the subjects are not properly labeled.
+#[derive(Debug)]
+struct RacesFound(usize);
+
+impl std::fmt::Display for RacesFound {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} subject(s) failed race-freedom certification", self.0)
+    }
+}
+
+impl std::error::Error for RacesFound {}
+
 /// Distinct exit codes so scripts can tell failure classes apart:
 /// 0 success, 1 generic, 2 deadlock, 3 livelock, 4 invariant violation,
-/// 5 partial matrix results.
+/// 5 partial matrix results, 6 race detected.
 fn exit_code_for(e: &(dyn std::error::Error + 'static)) -> ExitCode {
+    if e.downcast_ref::<RacesFound>().is_some() {
+        return ExitCode::from(6);
+    }
     if e.downcast_ref::<PartialMatrix>().is_some() {
         return ExitCode::from(5);
+    }
+    if matches!(
+        e.downcast_ref::<RunFailure>(),
+        Some(RunFailure::RaceDetected(_))
+    ) {
+        return ExitCode::from(6);
     }
     let run_err = e.downcast_ref::<RunError>().or_else(|| {
         e.downcast_ref::<RunFailure>().and_then(|f| match f {
             RunFailure::Error(inner) => Some(inner),
-            RunFailure::Panic(_) => None,
+            RunFailure::Panic(_) | RunFailure::RaceDetected(_) => None,
         })
     });
     match run_err {
@@ -99,6 +120,12 @@ fn execute(cmd: Command) -> Result<(), Box<dyn std::error::Error>> {
                 b.all_idle,
                 b.no_switch
             );
+            if let Some(report) = &e.analysis {
+                println!("{}", report.render());
+                if report.race_detected() {
+                    return Err(Box::new(RacesFound(1)));
+                }
+            }
             if chart {
                 let fig = Figure {
                     title: format!("{app} on {}", config.label()),
@@ -133,7 +160,18 @@ fn execute(cmd: Command) -> Result<(), Box<dyn std::error::Error>> {
             if report.is_complete() {
                 Ok(())
             } else {
-                Err(Box::new(PartialMatrix(report.failures.len())))
+                // Races outrank generic partial results: a mislabeled
+                // program invalidates the figure, not just one cell.
+                let racy = report
+                    .failures
+                    .iter()
+                    .filter(|(_, _, f)| matches!(f, RunFailure::RaceDetected(_)))
+                    .count();
+                if racy > 0 {
+                    Err(Box::new(RacesFound(racy)))
+                } else {
+                    Err(Box::new(PartialMatrix(report.failures.len())))
+                }
             }
         }
         Command::Table { number, config } => {
@@ -218,6 +256,38 @@ fn execute(cmd: Command) -> Result<(), Box<dyn std::error::Error>> {
                 result.utilization() * 100.0,
                 result.mem.read_hits
             );
+            Ok(())
+        }
+        Command::Analyze {
+            apps,
+            input,
+            passes,
+            config,
+        } => {
+            let mut racy = 0usize;
+            if let Some(path) = input {
+                let text = std::fs::read_to_string(&path)?;
+                let trace = Trace::from_text(&text)?;
+                let report = dashlat_analyze::analyze_trace(&path, &trace, &passes);
+                println!("{}", report.render());
+                racy += usize::from(report.race_detected());
+            } else {
+                let apps = if apps.is_empty() {
+                    vec![App::Mp3d, App::Lu, App::Pthor]
+                } else {
+                    apps
+                };
+                let cfg = (*config).with_analysis(passes);
+                for app in apps {
+                    let e = run(app, &cfg)?;
+                    let report = e.analysis.expect("analysis passes were configured");
+                    println!("{}", report.render());
+                    racy += usize::from(report.race_detected());
+                }
+            }
+            if racy > 0 {
+                return Err(Box::new(RacesFound(racy)));
+            }
             Ok(())
         }
     }

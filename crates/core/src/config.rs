@@ -5,6 +5,7 @@
 //! prefetching, contexts) and at what scale the application runs. The
 //! paper's figures are all matrices of such variants.
 
+use dashlat_analyze::PassKind;
 use dashlat_cpu::config::{Consistency, ProcConfig};
 use dashlat_cpu::ops::Topology;
 use dashlat_mem::contention::NetworkModel;
@@ -61,6 +62,11 @@ pub struct ExperimentConfig {
     /// failing the run on the first violation. Defaults to on in debug
     /// builds, off in release.
     pub check_invariants: bool,
+    /// Analysis passes to run over the event stream after the run
+    /// completes (empty = record nothing, analyze nothing). A non-empty
+    /// list makes the machine keep an event log, which costs memory
+    /// proportional to the reference count.
+    pub analyze: Vec<PassKind>,
 }
 
 impl ExperimentConfig {
@@ -82,6 +88,7 @@ impl ExperimentConfig {
             read_lookahead: Cycle(0),
             faults: None,
             check_invariants: cfg!(debug_assertions),
+            analyze: Vec::new(),
         }
     }
 
@@ -163,6 +170,13 @@ impl ExperimentConfig {
     /// Returns a copy with online invariant checking forced on or off.
     pub fn with_invariant_checks(mut self, on: bool) -> Self {
         self.check_invariants = on;
+        self
+    }
+
+    /// Returns a copy that records an event log during the run and feeds
+    /// it to the given analysis passes afterwards.
+    pub fn with_analysis(mut self, passes: Vec<PassKind>) -> Self {
+        self.analyze = passes;
         self
     }
 

@@ -236,8 +236,7 @@ pub fn summary(base: &ExperimentConfig) -> Result<Summary, RunError> {
             let e = run(app, c)?;
             if best_e
                 .as_ref()
-                .map(|b| e.result.elapsed < b.result.elapsed)
-                .unwrap_or(true)
+                .is_none_or(|b| e.result.elapsed < b.result.elapsed)
             {
                 best_e = Some(e);
             }

@@ -135,8 +135,7 @@ impl Figure {
         let _ = writeln!(out, "{}", self.title);
         let _ = writeln!(
             out,
-            "legend: B=busy r=read w=write s=sync p=prefetch x=switch i=idle n=noswitch ({}%/char)",
-            SCALE
+            "legend: B=busy r=read w=write s=sync p=prefetch x=switch i=idle n=noswitch ({SCALE}%/char)"
         );
         for group in &self.groups {
             let _ = writeln!(out, "\n{}", group.app);
@@ -290,8 +289,7 @@ pub fn describe_run(e: &Experiment) -> String {
         e.result
             .run_lengths
             .approx_median()
-            .map(|c| c.to_string())
-            .unwrap_or_else(|| "n/a".into()),
+            .map_or_else(|| "n/a".into(), |c| c.to_string()),
         e.result.context_switches,
     )
 }

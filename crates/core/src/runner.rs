@@ -9,6 +9,7 @@
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
+use dashlat_analyze::AnalysisReport;
 use dashlat_cpu::machine::{Machine, RunError, RunResult};
 use dashlat_mem::layout::AddressSpaceBuilder;
 use dashlat_mem::system::MemorySystem;
@@ -28,6 +29,8 @@ pub struct Experiment {
     pub result: RunResult,
     /// Shared-data footprint reported by the workload.
     pub shared_bytes: u64,
+    /// Analysis report, when the configuration requested passes.
+    pub analysis: Option<AnalysisReport>,
 }
 
 impl Experiment {
@@ -45,6 +48,11 @@ pub enum RunFailure {
     Error(RunError),
     /// The run panicked; the payload message is preserved.
     Panic(String),
+    /// The run completed but the happens-before pass found data races —
+    /// the measurements exist (inside the report's experiment) but the
+    /// program is not properly labeled, so the paper's latency comparison
+    /// does not apply to it.
+    RaceDetected(Box<AnalysisReport>),
 }
 
 impl std::fmt::Display for RunFailure {
@@ -52,6 +60,14 @@ impl std::fmt::Display for RunFailure {
         match self {
             RunFailure::Error(e) => write!(f, "{e}"),
             RunFailure::Panic(msg) => write!(f, "panic: {msg}"),
+            RunFailure::RaceDetected(report) => {
+                let races = report.hb.as_ref().map_or(0, |h| h.races_total);
+                write!(
+                    f,
+                    "race detected: {} ({} processes) is not properly labeled, {races} race(s)",
+                    report.subject, report.nprocs
+                )
+            }
         }
     }
 }
@@ -122,14 +138,21 @@ pub fn run(app: App, config: &ExperimentConfig) -> Result<Experiment, RunError> 
     let workload = app.build(config.scale, topo, &mut space, config.prefetching);
     let shared_bytes = workload.shared_bytes();
     let mem = MemorySystem::new(config.mem_config(), space.build());
-    let result = Machine::new(config.proc_config(), topo, mem, workload)
-        .with_max_cycles(Cycle(50_000_000_000))
-        .run()?;
+    let mut machine = Machine::new(config.proc_config(), topo, mem, workload)
+        .with_max_cycles(Cycle(50_000_000_000));
+    if !config.analyze.is_empty() {
+        machine = machine.with_event_log();
+    }
+    let result = machine.run()?;
+    let analysis = result.events.as_ref().map(|log| {
+        dashlat_analyze::analyze(&format!("{app}/{}", config.label()), log, &config.analyze)
+    });
     Ok(Experiment {
         app,
         config: config.clone(),
         result,
         shared_bytes,
+        analysis,
     })
 }
 
@@ -137,7 +160,12 @@ pub fn run(app: App, config: &ExperimentConfig) -> Result<Experiment, RunError> 
 /// [`RunFailure::Panic`] instead of unwinding into the sweep.
 fn run_isolated(app: App, config: &ExperimentConfig) -> Result<Experiment, RunFailure> {
     match catch_unwind(AssertUnwindSafe(|| run(app, config))) {
-        Ok(Ok(e)) => Ok(e),
+        Ok(Ok(e)) => match &e.analysis {
+            Some(report) if report.race_detected() => {
+                Err(RunFailure::RaceDetected(Box::new(report.clone())))
+            }
+            _ => Ok(e),
+        },
         Ok(Err(e)) => Err(RunFailure::Error(e)),
         Err(payload) => Err(RunFailure::Panic(panic_message(payload))),
     }
@@ -180,6 +208,25 @@ mod tests {
         assert!(e.result.elapsed > Cycle::ZERO);
         assert!(e.shared_bytes > 0);
         assert_eq!(e.id(), "MP3D/SC");
+    }
+
+    #[test]
+    fn analysis_certifies_clean_run() {
+        let cfg =
+            ExperimentConfig::base_test().with_analysis(dashlat_analyze::PassKind::ALL.to_vec());
+        let e = run(App::Mp3d, &cfg).expect("runs");
+        let report = e.analysis.expect("analysis requested");
+        assert_eq!(report.properly_labeled(), Some(true), "{}", report.render());
+        assert!(report.replay_notes.is_empty());
+        // Live logs come straight from the machine, never from replay.
+        assert!(e.result.events.is_some());
+    }
+
+    #[test]
+    fn no_analysis_requested_means_no_log() {
+        let e = run(App::Lu, &ExperimentConfig::base_test()).expect("runs");
+        assert!(e.analysis.is_none());
+        assert!(e.result.events.is_none());
     }
 
     #[test]

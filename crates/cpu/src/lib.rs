@@ -14,6 +14,9 @@
 //! * [`breakdown`] — the execution-time decomposition the paper's figures
 //!   are built from.
 //! * [`machine`] — the event-driven executor tying it all together.
+//! * [`events`] — the analysis-event stream the `dashlat-analyze` passes
+//!   consume, produced live by the machine (`with_event_log`) or by
+//!   fault-tolerant logical replay of a serialized trace.
 //!
 //! # Example
 //!
@@ -56,6 +59,7 @@
 
 pub mod breakdown;
 pub mod config;
+pub mod events;
 pub mod machine;
 pub mod ops;
 pub mod script;
@@ -64,7 +68,8 @@ pub mod trace;
 
 pub use breakdown::{ScaledBreakdown, TimeBreakdown};
 pub use config::{Consistency, ProcConfig};
+pub use events::{events_from_trace, AnalysisEvent, EventKind, EventLog, ReplayNote};
 pub use machine::{BlockedOn, BlockedOp, Machine, RunError, RunResult, StuckProcess};
-pub use ops::{BarrierId, LockId, Op, ProcId, SyncConfig, Topology, Workload};
+pub use ops::{BarrierId, LabeledRange, LockId, Op, ProcId, SyncConfig, Topology, Workload};
 pub use sync::SyncState;
 pub use trace::{Trace, TraceRecorder};

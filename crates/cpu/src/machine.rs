@@ -51,6 +51,7 @@ use dashlat_sim::{Cycle, EventQueue};
 
 use crate::breakdown::TimeBreakdown;
 use crate::config::ProcConfig;
+use crate::events::{AnalysisEvent, EventKind, EventLog};
 use crate::ops::{LockId, Op, ProcId, Topology, Workload};
 use crate::sync::{AcquireOutcome, BarrierOutcome, SyncState};
 
@@ -321,6 +322,11 @@ pub struct RunResult {
     /// [`ProcConfig::timeline_bucket`](crate::config::ProcConfig::timeline_bucket)
     /// was set.
     pub timeline: Option<RunTimeline>,
+    /// Analysis-event stream, when the machine was built with
+    /// [`Machine::with_event_log`]. Events are recorded at each
+    /// operation's commit point, in global simulated-time order, ready for
+    /// the `dashlat-analyze` passes.
+    pub events: Option<EventLog>,
 }
 
 /// Machine-wide per-interval measurements.
@@ -367,6 +373,10 @@ pub struct Machine<W: Workload> {
     timeline: Option<RunTimeline>,
     /// First coherence-invariant violation observed (when checking is on).
     invariant_failure: Option<(Cycle, String)>,
+    /// Analysis-event capture (see [`Machine::with_event_log`]).
+    events: Option<EventLog>,
+    /// Per-process analysis-event sequence numbers (site identifiers).
+    event_seq: Vec<u64>,
 }
 
 impl<W: Workload> Machine<W> {
@@ -424,7 +434,7 @@ impl<W: Workload> Machine<W> {
                 // stream 0, so cpu-side draws never perturb mem-side ones.
                 faults: cfg
                     .faults
-                    .filter(|f| f.is_active())
+                    .filter(dashlat_sim::FaultPlan::is_active)
                     .map(|f| FaultInjector::new(f, 0x1000 + p as u64)),
             })
             .collect();
@@ -460,6 +470,8 @@ impl<W: Workload> Machine<W> {
             context_switches: 0,
             timeline,
             invariant_failure: None,
+            events: None,
+            event_seq: Vec::new(),
         }
     }
 
@@ -467,6 +479,38 @@ impl<W: Workload> Machine<W> {
     pub fn with_max_cycles(mut self, limit: Cycle) -> Self {
         self.max_cycles = limit;
         self
+    }
+
+    /// Records an analysis-event stream during the run (shared accesses,
+    /// sync operations, prefetches — each at its commit point). The log
+    /// comes back in [`RunResult::events`] for the `dashlat-analyze`
+    /// passes. Costs memory proportional to the reference count; leave off
+    /// for plain performance runs.
+    pub fn with_event_log(mut self) -> Self {
+        self.events = Some(EventLog::new(
+            self.topo.processes(),
+            self.workload.sync_config(),
+        ));
+        self.event_seq = vec![0; self.topo.processes()];
+        self
+    }
+
+    /// Appends one analysis event (no-op unless event logging is on).
+    ///
+    /// `op_index` is the per-process event sequence number — for
+    /// machine-produced logs it identifies the access site as "the n-th
+    /// committed operation of this process".
+    fn emit(&mut self, t: Cycle, pid: usize, kind: EventKind) {
+        if let Some(log) = &mut self.events {
+            let op_index = self.event_seq[pid];
+            self.event_seq[pid] += 1;
+            log.events.push(AnalysisEvent {
+                pid: ProcId(pid),
+                op_index,
+                cycle: t,
+                kind,
+            });
+        }
     }
 
     /// Events the machine may process at a single timestamp before the
@@ -550,7 +594,7 @@ impl<W: Workload> Machine<W> {
             return Err(RunError::Deadlock { stuck });
         }
 
-        self.finish()
+        Ok(self.finish())
     }
 
     /// Snapshot of every unfinished process for a watchdog report.
@@ -567,7 +611,7 @@ impl<W: Workload> Machine<W> {
             .collect()
     }
 
-    fn finish(mut self) -> Result<RunResult, RunError> {
+    fn finish(mut self) -> RunResult {
         let elapsed = self
             .ctxs
             .iter()
@@ -600,7 +644,7 @@ impl<W: Workload> Machine<W> {
                 mem.faults.merge(&inj.stats());
             }
         }
-        Ok(RunResult {
+        RunResult {
             elapsed,
             breakdowns,
             aggregate,
@@ -613,7 +657,8 @@ impl<W: Workload> Machine<W> {
             prefetches_issued: self.prefetches_issued,
             context_switches: self.context_switches,
             timeline: self.timeline,
-        })
+            events: self.events,
+        }
     }
 
     // ---- helpers ---------------------------------------------------------
@@ -655,7 +700,7 @@ impl<W: Workload> Machine<W> {
         }
         proc.faults
             .as_mut()
-            .is_some_and(|inj| inj.transient_buffer_full())
+            .is_some_and(dashlat_sim::FaultInjector::transient_buffer_full)
     }
 
     /// Injected fault: the prefetch buffer transiently reports full (same
@@ -667,7 +712,7 @@ impl<W: Workload> Machine<W> {
         }
         proc.faults
             .as_mut()
-            .is_some_and(|inj| inj.transient_buffer_full())
+            .is_some_and(dashlat_sim::FaultInjector::transient_buffer_full)
     }
 
     /// Charges a short (non-switching) stall.
@@ -848,6 +893,9 @@ impl<W: Workload> Machine<W> {
 
     fn do_read(&mut self, t: Cycle, pid: usize, a: Addr) {
         self.shared_reads += 1;
+        // Reads never re-execute (in-flight combining resumes past the
+        // op), so issue is the commit point.
+        self.emit(t, pid, EventKind::Read(a));
         let p = self.proc_of(pid);
         // Optimistic out-of-order bound (see ProcConfig::read_lookahead):
         // up to `lookahead` cycles of the miss overlap independent work,
@@ -944,6 +992,12 @@ impl<W: Workload> Machine<W> {
             );
             return;
         }
+        // Past the in-flight re-issue: the write commits now. Releases
+        // are sync accesses, not data writes, in the event vocabulary.
+        match unlock {
+            Some(l) => self.emit(t, pid, EventKind::Release(l)),
+            None => self.emit(t, pid, EventKind::Write(a)),
+        }
         let node = self.node_of(pid);
         let r = self.access_mem(t, node, a, AccessKind::Write);
         if let Some(lid) = unlock {
@@ -987,6 +1041,13 @@ impl<W: Workload> Machine<W> {
                 BlockedOn::on(BlockedOp::BufferDrain, a),
             );
             return;
+        }
+        // Past the buffer-full re-issue: entering the write buffer is the
+        // RC commit point (the release's clock snapshot must not include
+        // program-order-later writes, so it is taken at issue).
+        match unlock {
+            Some(l) => self.emit(t, pid, EventKind::Release(l)),
+            None => self.emit(t, pid, EventKind::Write(a)),
         }
         let pushed = self.procs[p].wbuf.try_push(PendingWrite {
             addr: a,
@@ -1072,6 +1133,9 @@ impl<W: Workload> Machine<W> {
             );
             return;
         }
+        // Past the buffer-full re-issue: the prefetch is committed to the
+        // buffer now.
+        self.emit(t, pid, EventKind::Prefetch { addr, exclusive });
         let overhead = self.cfg.prefetch_issue_overhead;
         self.procs[p].breakdown.prefetch_overhead += overhead;
         let pushed = self.procs[p].pbuf.try_push(PendingPrefetch {
@@ -1178,6 +1242,11 @@ impl<W: Workload> Machine<W> {
         self.lock_acquires += 1;
         match self.sync.acquire(l, ProcId(pid)) {
             AcquireOutcome::Granted => {
+                // The lock is ours: the acquire commits here. (Queued
+                // acquires commit in `unlock` when the releaser hands the
+                // lock over — the woken context does not re-execute the
+                // acquire.)
+                self.emit(t, pid, EventKind::Acquire(l));
                 // Test&set needs exclusive ownership of the lock line.
                 let addr = self.sync.lock_addr(l);
                 let node = self.node_of(pid);
@@ -1228,6 +1297,8 @@ impl<W: Workload> Machine<W> {
     /// The release write completed: pass the lock to the first waiter.
     fn unlock(&mut self, t: Cycle, l: LockId, pid: usize) {
         if let Some(next) = self.sync.release(l, ProcId(pid)) {
+            // Hand-off is the queued waiter's acquire commit point.
+            self.emit(t, next.0, EventKind::Acquire(l));
             // The waiter re-fetches the lock line (it was invalidated by
             // the release) and acquires ownership.
             let addr = self.sync.lock_addr(l);
@@ -1239,6 +1310,8 @@ impl<W: Workload> Machine<W> {
 
     fn do_barrier(&mut self, t: Cycle, pid: usize, b: crate::ops::BarrierId) {
         self.barrier_arrivals += 1;
+        // Arrival always commits (barriers never re-execute).
+        self.emit(t, pid, EventKind::BarrierArrive(b));
         let addr = self.sync.barrier_addr(b);
         let node = self.node_of(pid);
         // Arrival: atomic increment of the barrier count (needs ownership;
@@ -1288,6 +1361,7 @@ impl<W: Workload> Machine<W> {
     }
 
     fn do_done(&mut self, t: Cycle, pid: usize) {
+        self.emit(t, pid, EventKind::Done);
         self.ctxs[pid].state = CtxState::Finished;
         self.ctxs[pid].finished_at = Some(t);
         let p = self.proc_of(pid);

@@ -104,9 +104,42 @@ impl Topology {
     }
 }
 
+/// A contiguous address range the workload declares as holding *labeled
+/// competing* accesses (properly-labeled terminology, Gharachorloo et al.):
+/// conflicting accesses to these bytes are intentional data races — chaotic
+/// accumulations, spin-read flags — that the program semantics tolerate.
+/// The happens-before verifier exempts them; everything else must be
+/// ordered by Acquire/Release/Barrier edges.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LabeledRange {
+    /// First byte of the range.
+    pub base: Addr,
+    /// Length in bytes.
+    pub len: u64,
+    /// Why the range competes (shown in analysis reports).
+    pub name: String,
+}
+
+impl LabeledRange {
+    /// Creates a labeled range.
+    pub fn new(base: Addr, len: u64, name: impl Into<String>) -> Self {
+        LabeledRange {
+            base,
+            len,
+            name: name.into(),
+        }
+    }
+
+    /// True when `addr` falls inside the range.
+    pub fn contains(&self, addr: Addr) -> bool {
+        addr.0 >= self.base.0 && addr.0 < self.base.0 + self.len
+    }
+}
+
 /// Synchronization resources a workload declares up front: the shared-memory
 /// addresses backing each lock and barrier (they are ordinary cache lines
-/// and generate ordinary coherence traffic).
+/// and generate ordinary coherence traffic), plus any address ranges whose
+/// competing accesses are *labeled* as intentionally unordered.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SyncConfig {
     /// One backing address per lock.
@@ -114,6 +147,19 @@ pub struct SyncConfig {
     /// One backing address per barrier. All processes participate in every
     /// barrier (the paper's applications use global barriers).
     pub barrier_addrs: Vec<Addr>,
+    /// Declared labeled-competing ranges (empty for fully ordered
+    /// workloads such as LU).
+    pub labeled_ranges: Vec<LabeledRange>,
+}
+
+impl SyncConfig {
+    /// The declared label covering `addr`, if any.
+    pub fn label_of(&self, addr: Addr) -> Option<&str> {
+        self.labeled_ranges
+            .iter()
+            .find(|r| r.contains(addr))
+            .map(|r| r.name.as_str())
+    }
 }
 
 /// An execution-driven reference generator.

@@ -6,7 +6,7 @@
 
 use dashlat_mem::addr::Addr;
 
-use crate::ops::{Op, ProcId, SyncConfig, Workload};
+use crate::ops::{LabeledRange, Op, ProcId, SyncConfig, Workload};
 
 /// A workload that replays fixed operation sequences.
 ///
@@ -62,6 +62,13 @@ impl ScriptWorkload {
     /// Declares the backing addresses of the barriers the script uses.
     pub fn with_barriers(mut self, addrs: Vec<Addr>) -> Self {
         self.sync.barrier_addrs = addrs;
+        self
+    }
+
+    /// Declares labeled-competing address ranges (intentional races the
+    /// happens-before verifier must exempt).
+    pub fn with_labeled_ranges(mut self, ranges: Vec<LabeledRange>) -> Self {
+        self.sync.labeled_ranges = ranges;
         self
     }
 

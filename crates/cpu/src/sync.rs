@@ -199,6 +199,7 @@ mod tests {
             barrier_addrs: (0..barriers)
                 .map(|i| Addr(0x1000 + i as u64 * 16))
                 .collect(),
+            labeled_ranges: Vec::new(),
         }
     }
 

@@ -19,7 +19,7 @@ use std::fmt::Write as _;
 
 use dashlat_mem::addr::Addr;
 
-use crate::ops::{BarrierId, LockId, Op, ProcId, SyncConfig, Workload};
+use crate::ops::{BarrierId, LabeledRange, LockId, Op, ProcId, SyncConfig, Workload};
 use crate::script::ScriptWorkload;
 
 /// A captured multi-process reference trace.
@@ -59,8 +59,9 @@ impl std::error::Error for ParseTraceError {}
 impl Trace {
     /// Serializes the trace.
     ///
-    /// Format: a header (`procs`, `lock`/`barrier` address declarations),
-    /// then one line per op: `<pid> C <cycles>` / `R <addr>` / `W <addr>` /
+    /// Format: a header (`procs`, `lock`/`barrier` address declarations,
+    /// `atomic <base> <len> <name>` labeled-competing ranges), then one
+    /// line per op: `<pid> C <cycles>` / `R <addr>` / `W <addr>` /
     /// `P <addr> <0|1>` / `A <lock>` / `L <lock>` / `B <barrier>` / `D`.
     pub fn to_text(&self) -> String {
         let mut out = String::new();
@@ -77,6 +78,9 @@ impl Trace {
         }
         for a in &self.sync.barrier_addrs {
             let _ = writeln!(out, "barrier {:#x}", a.0);
+        }
+        for r in &self.sync.labeled_ranges {
+            let _ = writeln!(out, "atomic {:#x} {} {}", r.base.0, r.len, r.name);
         }
         for (pid, stream) in self.streams.iter().enumerate() {
             for op in stream {
@@ -153,6 +157,22 @@ impl Trace {
             if let Some(rest) = line.strip_prefix("barrier ") {
                 let a = parse_hex(rest).ok_or_else(|| err(lineno, "bad barrier address"))?;
                 sync.barrier_addrs.push(Addr(a));
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("atomic ") {
+                let mut it = rest.splitn(3, ' ');
+                let base = it
+                    .next()
+                    .and_then(parse_hex)
+                    .ok_or_else(|| err(lineno, "bad atomic base address"))?;
+                let len: u64 = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&l| l > 0)
+                    .ok_or_else(|| err(lineno, "bad atomic range length"))?;
+                let name = it.next().unwrap_or("labeled").to_owned();
+                sync.labeled_ranges
+                    .push(LabeledRange::new(Addr(base), len, name));
                 continue;
             }
             let mut parts = line.split_whitespace();
@@ -243,11 +263,12 @@ impl Trace {
         ScriptWorkload::new(scripts)
             .with_locks(self.sync.lock_addrs)
             .with_barriers(self.sync.barrier_addrs)
+            .with_labeled_ranges(self.sync.labeled_ranges)
     }
 
     /// Total recorded operations.
     pub fn len(&self) -> usize {
-        self.streams.iter().map(|s| s.len()).sum()
+        self.streams.iter().map(std::vec::Vec::len).sum()
     }
 
     /// True when nothing was recorded.
@@ -373,6 +394,7 @@ mod tests {
             sync: SyncConfig {
                 lock_addrs: vec![Addr(0x1000)],
                 barrier_addrs: vec![Addr(0x2000)],
+                labeled_ranges: vec![LabeledRange::new(Addr(0x3000), 32, "test scratch")],
             },
             page_homes: Some((4, vec![0, 1, 2, 3, 0])),
         }

@@ -14,7 +14,7 @@ fn rig(nodes: usize) -> (Vec<Addr>, Addr, MemorySystem) {
     let locals: Vec<Addr> = b
         .alloc_per_node("local", 4096)
         .iter()
-        .map(|s| s.base())
+        .map(dashlat_mem::Segment::base)
         .collect();
     let shared = b
         .alloc("shared", 4096 * nodes as u64, Placement::RoundRobin)

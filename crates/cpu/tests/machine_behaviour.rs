@@ -23,7 +23,7 @@ fn rig(nodes: usize) -> Rig {
     let locals = b
         .alloc_per_node("local", 4096)
         .iter()
-        .map(|s| s.base())
+        .map(dashlat_mem::Segment::base)
         .collect();
     let shared = b
         .alloc("shared", 4096 * nodes as u64, Placement::RoundRobin)

@@ -35,6 +35,12 @@ impl Addr {
         self.0 % LINE_BYTES
     }
 
+    /// True when this address is the first byte of its cache line.
+    #[inline]
+    pub fn is_line_aligned(self) -> bool {
+        self.line_offset() == 0
+    }
+
     /// Address advanced by `bytes`.
     #[inline]
     pub fn offset(self, bytes: u64) -> Addr {
@@ -53,10 +59,30 @@ impl fmt::Display for Addr {
 pub struct LineAddr(pub u64);
 
 impl LineAddr {
+    /// The line containing `addr` — the stable line-address export used by
+    /// analysis passes to key per-line state (equivalent to
+    /// [`Addr::line`], provided so line-keyed code reads left-to-right).
+    #[inline]
+    pub fn containing(addr: Addr) -> LineAddr {
+        addr.line()
+    }
+
+    /// The raw line number (byte address divided by [`LINE_BYTES`]).
+    #[inline]
+    pub fn index(self) -> u64 {
+        self.0
+    }
+
     /// First byte address of the line.
     #[inline]
     pub fn base(self) -> Addr {
         Addr(self.0 * LINE_BYTES)
+    }
+
+    /// True when `addr` falls on this line.
+    #[inline]
+    pub fn covers(self, addr: Addr) -> bool {
+        addr.line() == self
     }
 
     /// The page containing this line.
@@ -218,6 +244,18 @@ mod tests {
         assert_eq!(a.line_offset(), 1);
         assert_eq!(a.line().base(), Addr(4096 + 16));
         assert_eq!(a.offset(15).line(), a.line().next());
+    }
+
+    #[test]
+    fn stable_line_exports() {
+        let a = Addr(0x123);
+        assert_eq!(LineAddr::containing(a), a.line());
+        assert_eq!(a.line().index(), 0x123 / 16);
+        assert!(a.line().covers(a));
+        assert!(a.line().covers(a.line().base()));
+        assert!(!a.line().covers(a.offset(LINE_BYTES)));
+        assert!(Addr(32).is_line_aligned());
+        assert!(!Addr(33).is_line_aligned());
     }
 
     #[test]

@@ -1,4 +1,4 @@
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 //! DASH-like memory-system substrate for the `dash-latency` simulator.
 //!

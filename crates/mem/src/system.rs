@@ -231,7 +231,7 @@ impl MemorySystem {
         let directory = Directory::with_kind(cfg.directory, cfg.nodes);
         let faults = cfg
             .faults
-            .filter(|p| p.is_active())
+            .filter(dashlat_sim::FaultPlan::is_active)
             .map(|p| FaultInjector::new(p, 0));
         MemorySystem {
             cfg,
@@ -789,7 +789,7 @@ mod tests {
         let locals: Vec<Addr> = b
             .alloc_per_node("local", 4096)
             .iter()
-            .map(|s| s.base())
+            .map(super::super::layout::Segment::base)
             .collect();
         let shared = b
             .alloc("shared", 4096 * nodes as u64, Placement::RoundRobin)

@@ -1,4 +1,4 @@
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 //! Deterministic event-driven simulation kernel for the `dash-latency` simulator.
 //!
@@ -17,6 +17,9 @@
 //! * [`fault`] — deterministic, seeded fault injection (directory NACKs
 //!   with exponential backoff, delayed packets, transient buffer-full
 //!   events) used to harden experiments against protocol perturbation.
+//! * [`vclock`] — vector clocks and FastTrack-style epochs, the ordering
+//!   machinery behind the happens-before race detector in
+//!   `dashlat-analyze`.
 //!
 //! # Example
 //!
@@ -40,8 +43,10 @@ pub mod queue;
 pub mod rng;
 pub mod stats;
 pub mod time;
+pub mod vclock;
 
 pub use fault::{FaultInjector, FaultPlan, FaultStats};
 pub use queue::EventQueue;
 pub use rng::Xorshift;
 pub use time::Cycle;
+pub use vclock::{Epoch, VectorClock};

@@ -1,0 +1,209 @@
+//! Vector clocks and epochs for happens-before analysis.
+//!
+//! The analysis layer (`dashlat-analyze`) orders the events of a simulated
+//! run with the classic vector-clock machinery: every process carries a
+//! [`VectorClock`], every lock and barrier carries the clock captured at
+//! its last release, and an access is racy when neither of two conflicting
+//! accesses happens-before the other. The representation follows FastTrack
+//! (Flanagan & Freund): most accesses are summarized by a single
+//! [`Epoch`] — one `(process, clock)` pair — and a full clock is only
+//! materialized where true concurrency shows up.
+
+/// One process's component of a vector clock: `clock@pid`.
+///
+/// An epoch summarizes "the last access was by `pid` at its local time
+/// `clock`"; it happens-before a vector clock `C` iff `clock <= C[pid]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Epoch {
+    /// The process the epoch belongs to.
+    pub pid: usize,
+    /// That process's local clock value.
+    pub clock: u64,
+}
+
+impl Epoch {
+    /// True when this epoch happens-before (or equals) the point in time
+    /// described by `clock`.
+    #[inline]
+    pub fn le(self, clock: &VectorClock) -> bool {
+        self.clock <= clock.get(self.pid)
+    }
+}
+
+impl std::fmt::Display for Epoch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}@P{}", self.clock, self.pid)
+    }
+}
+
+/// A fixed-width vector clock over `n` processes.
+///
+/// # Example
+///
+/// ```
+/// use dashlat_sim::vclock::VectorClock;
+///
+/// let mut a = VectorClock::new(2);
+/// let mut b = VectorClock::new(2);
+/// a.inc(0); // a = [1, 0]
+/// b.inc(1); // b = [0, 1]
+/// assert!(!a.le(&b) && !b.le(&a)); // concurrent
+/// b.join(&a); // b = [1, 1]
+/// assert!(a.le(&b));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VectorClock {
+    clocks: Vec<u64>,
+}
+
+impl VectorClock {
+    /// The zero clock over `n` processes.
+    pub fn new(n: usize) -> Self {
+        VectorClock { clocks: vec![0; n] }
+    }
+
+    /// Number of processes the clock covers.
+    pub fn len(&self) -> usize {
+        self.clocks.len()
+    }
+
+    /// True when the clock covers no processes.
+    pub fn is_empty(&self) -> bool {
+        self.clocks.is_empty()
+    }
+
+    /// Component for process `pid` (0 when out of range).
+    #[inline]
+    pub fn get(&self, pid: usize) -> u64 {
+        self.clocks.get(pid).copied().unwrap_or(0)
+    }
+
+    /// Advances process `pid`'s own component by one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` is out of range.
+    #[inline]
+    pub fn inc(&mut self, pid: usize) {
+        self.clocks[pid] += 1;
+    }
+
+    /// The epoch `(pid, self[pid])` — process `pid`'s current local time.
+    #[inline]
+    pub fn epoch(&self, pid: usize) -> Epoch {
+        Epoch {
+            pid,
+            clock: self.get(pid),
+        }
+    }
+
+    /// Component-wise maximum with `other` (the happens-before join).
+    pub fn join(&mut self, other: &VectorClock) {
+        if other.clocks.len() > self.clocks.len() {
+            self.clocks.resize(other.clocks.len(), 0);
+        }
+        for (c, o) in self.clocks.iter_mut().zip(&other.clocks) {
+            *c = (*c).max(*o);
+        }
+    }
+
+    /// Overwrites this clock with a copy of `other`.
+    pub fn assign(&mut self, other: &VectorClock) {
+        self.clocks.clear();
+        self.clocks.extend_from_slice(&other.clocks);
+    }
+
+    /// Pointwise ≤ — true when every component of `self` is at most the
+    /// matching component of `other` (i.e. `self` happens-before or equals
+    /// `other`).
+    pub fn le(&self, other: &VectorClock) -> bool {
+        self.clocks
+            .iter()
+            .enumerate()
+            .all(|(i, &c)| c <= other.get(i))
+    }
+}
+
+impl std::fmt::Display for VectorClock {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[")?;
+        for (i, c) in self.clocks.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_is_componentwise_max() {
+        let mut a = VectorClock::new(3);
+        a.inc(0);
+        a.inc(0);
+        a.inc(2);
+        let mut b = VectorClock::new(3);
+        b.inc(1);
+        b.join(&a);
+        assert_eq!(b.get(0), 2);
+        assert_eq!(b.get(1), 1);
+        assert_eq!(b.get(2), 1);
+    }
+
+    #[test]
+    fn epoch_ordering() {
+        let mut c = VectorClock::new(2);
+        c.inc(0);
+        let e = c.epoch(0);
+        assert_eq!(e, Epoch { pid: 0, clock: 1 });
+        let other = VectorClock::new(2);
+        assert!(!e.le(&other), "epoch 1@P0 not included in zero clock");
+        let mut seen = VectorClock::new(2);
+        seen.join(&c);
+        assert!(e.le(&seen));
+    }
+
+    #[test]
+    fn le_detects_concurrency() {
+        let mut a = VectorClock::new(2);
+        let mut b = VectorClock::new(2);
+        a.inc(0);
+        b.inc(1);
+        assert!(!a.le(&b));
+        assert!(!b.le(&a));
+        let zero = VectorClock::new(2);
+        assert!(zero.le(&a));
+    }
+
+    #[test]
+    fn assign_copies() {
+        let mut a = VectorClock::new(2);
+        a.inc(1);
+        let mut b = VectorClock::new(2);
+        b.assign(&a);
+        assert_eq!(a, b);
+        b.inc(0);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn display_forms() {
+        let mut c = VectorClock::new(2);
+        c.inc(0);
+        assert_eq!(c.to_string(), "[1,0]");
+        assert_eq!(c.epoch(0).to_string(), "1@P0");
+    }
+
+    #[test]
+    fn out_of_range_get_is_zero() {
+        let c = VectorClock::new(1);
+        assert_eq!(c.get(5), 0);
+        assert_eq!(c.len(), 1);
+        assert!(!c.is_empty());
+    }
+}

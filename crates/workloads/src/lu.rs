@@ -169,6 +169,10 @@ impl Lu {
                 .map(|j| lock_store[j % nproc].at(col_slot[j] * LINE_BYTES))
                 .collect(),
             barrier_addrs: vec![barriers.at(0), barriers.at(LINE_BYTES)],
+            // LU is fully properly labeled with no labeled competing
+            // accesses: the per-column ready locks plus the two global
+            // barriers order every conflicting access.
+            labeled_ranges: Vec::new(),
         };
         Lu {
             params,
@@ -303,11 +307,20 @@ impl Lu {
     }
 
     /// Decides what a process does after finishing its work for pivot `k`.
-    fn after_pivot(&self, pid: usize, k: usize) -> Phase {
+    fn after_pivot(&mut self, pid: usize, k: usize) -> Phase {
         let n = self.params.n;
         let next_k = k + 1;
         if next_k >= n - 1 {
-            // Factorization complete (the last column needs no updates).
+            // Factorization complete (the last column needs no updates
+            // and nothing below its diagonal to normalize). Its owner
+            // still holds the ready-lock taken at priming, though:
+            // release it so the program terminates with every acquire
+            // paired — holding a lock into the end barrier is the kind
+            // of sloppy synchronization the analyzer flags.
+            if next_k == n - 1 && self.owner(next_k) == pid {
+                self.produced[next_k] = true;
+                self.queue[pid].push_back(Op::Release(LockId(next_k)));
+            }
             Phase::End
         } else if self.owner(next_k) == pid {
             // This process produces the next pivot.
@@ -385,7 +398,7 @@ impl Workload for Lu {
     }
 
     fn shared_bytes(&self) -> u64 {
-        self.col_store.iter().map(|c| c.len()).sum()
+        self.col_store.iter().map(dashlat_mem::Segment::len).sum()
     }
 
     fn name(&self) -> &str {

@@ -21,7 +21,7 @@
 
 use std::collections::VecDeque;
 
-use dashlat_cpu::ops::{BarrierId, Op, ProcId, SyncConfig, Topology, Workload};
+use dashlat_cpu::ops::{BarrierId, LabeledRange, Op, ProcId, SyncConfig, Topology, Workload};
 use dashlat_mem::layout::{AddressSpaceBuilder, Placement, Segment};
 use dashlat_mem::{Addr, LINE_BYTES};
 use dashlat_sim::Xorshift;
@@ -188,9 +188,28 @@ impl Mp3d {
             Placement::RoundRobin,
         );
         let barrier_lines = space.alloc("mp3d-barriers", 2 * LINE_BYTES, Placement::RoundRobin);
+        // MP3D's move phase accumulates into space cells and the global
+        // counters *without locks* (the SPLASH original does the same):
+        // those conflicting accesses are chaotic, tolerated by the physics,
+        // and must be declared as labeled competing accesses for the
+        // program to be properly labeled. Particle records stay ordinary:
+        // they are partitioned per process and only handed over across
+        // barriers.
         let sync = SyncConfig {
             lock_addrs: Vec::new(),
             barrier_addrs: vec![barrier_lines.at(0), barrier_lines.at(LINE_BYTES)],
+            labeled_ranges: vec![
+                LabeledRange::new(
+                    cells_seg.base(),
+                    cells_seg.len(),
+                    "mp3d cells (chaotic collision accumulation)",
+                ),
+                LabeledRange::new(
+                    globals.base(),
+                    globals.len(),
+                    "mp3d globals (chaotic counter accumulation)",
+                ),
+            ],
         };
         let shared_bytes =
             params.particles as u64 * PARTICLE_BYTES + params.cells() as u64 * CELL_BYTES + 64;

@@ -28,7 +28,9 @@
 
 use std::collections::VecDeque;
 
-use dashlat_cpu::ops::{BarrierId, LockId, Op, ProcId, SyncConfig, Topology, Workload};
+use dashlat_cpu::ops::{
+    BarrierId, LabeledRange, LockId, Op, ProcId, SyncConfig, Topology, Workload,
+};
 use dashlat_mem::layout::{AddressSpaceBuilder, Placement, Segment};
 use dashlat_mem::{Addr, LINE_BYTES};
 
@@ -171,11 +173,36 @@ impl Pthor {
             })
             .collect();
         let barriers = space.alloc("pthor-barriers", 2 * LINE_BYTES, Placement::RoundRobin);
+        // Chandy-Misra PTHOR tolerates two kinds of competing accesses and
+        // we label them accordingly: element records are updated by
+        // whichever process evaluates the element while fan-out neighbours
+        // read them (the algorithm is tolerant of stale element state), and
+        // each queue's control line is peeked without the queue lock by
+        // spinning owners, stealing neighbours and the resolution scan.
+        // Queue *slots* stay ordinary: they are only written by the owner
+        // under its own lock and read by thieves under that same lock.
+        let mut labeled_ranges: Vec<LabeledRange> = (0..n)
+            .map(|p| {
+                LabeledRange::new(
+                    elem_segs[p].base(),
+                    elem_segs[p].len(),
+                    "pthor element records (stale-tolerant evaluation)",
+                )
+            })
+            .collect();
+        labeled_ranges.extend((0..n).map(|p| {
+            LabeledRange::new(
+                queue_segs[p].base(),
+                LINE_BYTES,
+                "pthor queue control line (lock-free peek/spin)",
+            )
+        }));
         let sync = SyncConfig {
             lock_addrs: (0..n)
                 .map(|p| queue_segs[p].at((QUEUE_SLOTS + 1) * LINE_BYTES))
                 .collect(),
             barrier_addrs: vec![barriers.at(0), barriers.at(LINE_BYTES)],
+            labeled_ranges,
         };
         let owned_sources: Vec<Vec<u32>> = (0..n)
             .map(|p| {
@@ -536,8 +563,15 @@ impl Workload for Pthor {
     }
 
     fn shared_bytes(&self) -> u64 {
-        self.elem_segs.iter().map(|s| s.len()).sum::<u64>()
-            + self.queue_segs.iter().map(|s| s.len()).sum::<u64>()
+        self.elem_segs
+            .iter()
+            .map(dashlat_mem::Segment::len)
+            .sum::<u64>()
+            + self
+                .queue_segs
+                .iter()
+                .map(dashlat_mem::Segment::len)
+                .sum::<u64>()
     }
 
     fn name(&self) -> &str {
@@ -722,7 +756,7 @@ mod tests {
             for p in 0..4 {
                 let _ = w.next_op(ProcId(p));
             }
-            let actual: usize = w.queues.iter().map(|q| q.len()).sum();
+            let actual: usize = w.queues.iter().map(std::collections::VecDeque::len).sum();
             assert_eq!(actual, w.in_queues, "in_queues counter drifted");
         }
     }

@@ -227,6 +227,7 @@ impl ProducerConsumer {
                 .map(|i| locks.at(i as u64 * LINE_BYTES))
                 .collect(),
             barrier_addrs: Vec::new(),
+            labeled_ranges: Vec::new(),
         };
         ProducerConsumer {
             topo,
@@ -302,7 +303,7 @@ impl Workload for ProducerConsumer {
     }
 
     fn shared_bytes(&self) -> u64 {
-        self.mailboxes.iter().map(|m| m.len()).sum()
+        self.mailboxes.iter().map(dashlat_mem::Segment::len).sum()
     }
 
     fn name(&self) -> &str {

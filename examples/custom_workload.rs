@@ -13,7 +13,7 @@ use std::collections::VecDeque;
 
 use dash_latency::cpu::config::ProcConfig;
 use dash_latency::cpu::machine::Machine;
-use dash_latency::cpu::ops::{BarrierId, Op, ProcId, SyncConfig, Topology, Workload};
+use dash_latency::cpu::ops::{BarrierId, LabeledRange, Op, ProcId, SyncConfig, Topology, Workload};
 use dash_latency::mem::layout::{AddressSpaceBuilder, Placement, Segment};
 use dash_latency::mem::system::{MemConfig, MemorySystem};
 use dash_latency::mem::LINE_BYTES;
@@ -69,6 +69,13 @@ impl Histogram {
             sync: SyncConfig {
                 lock_addrs: Vec::new(),
                 barrier_addrs: vec![barrier.at(0)],
+                // Bin increments race on purpose (chaotic accumulation,
+                // like MP3D's cells) — declare them labeled competing.
+                labeled_ranges: vec![LabeledRange::new(
+                    bins.base(),
+                    bins.len(),
+                    "histogram bins (chaotic accumulation)",
+                )],
             },
             topo,
             prefetch,

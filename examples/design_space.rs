@@ -14,8 +14,7 @@ use dash_latency::sim::Cycle;
 fn main() {
     let app: App = std::env::args()
         .nth(1)
-        .map(|v| v.parse().expect("unknown application"))
-        .unwrap_or(App::Mp3d);
+        .map_or(App::Mp3d, |v| v.parse().expect("unknown application"));
     let base = ExperimentConfig::base_test();
     println!(
         "{app} on {} processors ({:?} scale): elapsed pclk by contexts x consistency\n",
@@ -46,7 +45,7 @@ fn main() {
                 }
                 let e = run(app, &cfg).expect("terminates");
                 let t = e.result.elapsed.as_u64();
-                if best.as_ref().map(|(b, _)| t < *b).unwrap_or(true) {
+                if best.as_ref().is_none_or(|(b, _)| t < *b) {
                     best = Some((t, cfg.label()));
                 }
                 print!("{t:>13}");

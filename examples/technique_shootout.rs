@@ -37,9 +37,8 @@ fn main() {
         for (name, cfg) in &variants {
             let e = run(app, cfg).expect("terminates");
             let elapsed = e.result.elapsed;
-            let speedup = baseline
-                .map(|b: Cycle| b.as_u64() as f64 / elapsed.as_u64() as f64)
-                .unwrap_or(1.0);
+            let speedup =
+                baseline.map_or(1.0, |b: Cycle| b.as_u64() as f64 / elapsed.as_u64() as f64);
             if baseline.is_none() {
                 baseline = Some(elapsed);
             }
