@@ -9,16 +9,19 @@
 //! * cache scaling (the paper's §2.3 scaled-vs-full-size check),
 //! * contention on/off (how much of the latency is queueing).
 //!
-//! Every measurement goes through a [`SweepLog`]: a single failing
-//! configuration is recorded and skipped, the rest of the sweep still
-//! runs, and the binary ends with a (partial, if needed) JSON record and
-//! exit code 5 instead of aborting mid-sweep.
+//! Every measurement goes through a [`SweepLog`]: each study's cells are
+//! queued as a [`SweepBatch`] and run in parallel on the sweep worker pool
+//! (`--jobs N` to cap it). A single failing configuration is recorded and
+//! skipped, the rest of the sweep still runs, and the binary ends with a
+//! (partial, if needed) JSON record and exit code 5 instead of aborting
+//! mid-sweep.
 
 use std::process::ExitCode;
+use std::sync::Mutex;
 
 use dashlat::apps::App;
 use dashlat::runner::run;
-use dashlat_bench::{base_config_from_args, print_preamble, SweepLog};
+use dashlat_bench::{base_config_from_args, print_preamble, SweepBatch, SweepLog};
 use dashlat_sim::Cycle;
 
 fn main() -> ExitCode {
@@ -27,10 +30,12 @@ fn main() -> ExitCode {
     let mut log = SweepLog::new();
 
     println!("## Write-buffer depth (MP3D, RC)\n");
+    const DEPTHS: [usize; 6] = [1, 2, 4, 8, 16, 32];
     let rc = base.clone().with_rc();
-    for depth in [1usize, 2, 4, 8, 16, 32] {
+    let mut batch = SweepBatch::new();
+    for depth in DEPTHS {
         let cfg = rc.clone();
-        let t = log.measure_with("write-buffer-depth", &format!("depth={depth}"), || {
+        batch.add("write-buffer-depth", format!("depth={depth}"), move || {
             // Depth is a ProcConfig knob; route it through a one-off run.
             let topo = cfg.topology();
             let mut space = dashlat_mem::layout::AddressSpaceBuilder::new(cfg.processors);
@@ -43,15 +48,20 @@ fn main() -> ExitCode {
                 .map(|r| r.elapsed.as_u64())
                 .map_err(|e| e.to_string())
         });
+    }
+    let elapsed = log.measure_batch(batch, None);
+    for (depth, t) in DEPTHS.iter().zip(&elapsed) {
         if let Some(t) = t {
             println!("  depth {depth:>2}: {t:>12} pclk");
         }
     }
 
     println!("\n## Invalidation-ack latency (PTHOR, RC; what releases wait for)\n");
-    for ack in [0u64, 10, 20, 40, 80] {
+    const ACKS: [u64; 5] = [0, 10, 20, 40, 80];
+    let mut batch = SweepBatch::new();
+    for ack in ACKS {
         let cfg = base.clone().with_rc();
-        let t = log.measure_with("inval-ack-latency", &format!("ack={ack}"), || {
+        batch.add("inval-ack-latency", format!("ack={ack}"), move || {
             let topo = cfg.topology();
             let mut space = dashlat_mem::layout::AddressSpaceBuilder::new(cfg.processors);
             let w = App::Pthor.build(cfg.scale, topo, &mut space, false);
@@ -63,6 +73,9 @@ fn main() -> ExitCode {
                 .map(|r| r.elapsed.as_u64())
                 .map_err(|e| e.to_string())
         });
+    }
+    let elapsed = log.measure_batch(batch, None);
+    for (ack, t) in ACKS.iter().zip(&elapsed) {
         if let Some(t) = t {
             println!("  ack +{ack:>3}: {t:>12} pclk");
         }
@@ -71,14 +84,16 @@ fn main() -> ExitCode {
     println!(
         "\n## Prefetch schedule: distributed vs whole-column burst (LU, SC+pf; section 5.2)\n"
     );
+    let mut batch = SweepBatch::new();
     for burst in [false, true] {
         let point = if burst { "burst" } else { "distributed" };
-        let t = log.measure_with("prefetch-schedule", point, || {
-            let topo = base.topology();
-            let mut space = dashlat_mem::layout::AddressSpaceBuilder::new(base.processors);
+        let cfg = base.clone();
+        batch.add("prefetch-schedule", point, move || {
+            let topo = cfg.topology();
+            let mut space = dashlat_mem::layout::AddressSpaceBuilder::new(cfg.processors);
             let params = dashlat_workloads::lu::LuParams {
                 burst_prefetch: burst,
-                ..match base.scale {
+                ..match cfg.scale {
                     dashlat::config::AppScale::Paper => dashlat_workloads::lu::LuParams::paper(),
                     dashlat::config::AppScale::Test => {
                         dashlat_workloads::lu::LuParams::test_scale()
@@ -86,66 +101,103 @@ fn main() -> ExitCode {
                 }
             };
             let w = dashlat_workloads::lu::Lu::new(params, topo, &mut space, true);
-            let mem = dashlat_mem::system::MemorySystem::new(base.mem_config(), space.build());
-            let mut pc = base.proc_config();
+            let mem = dashlat_mem::system::MemorySystem::new(cfg.mem_config(), space.build());
+            let mut pc = cfg.proc_config();
             pc.prefetching = true;
             dashlat_cpu::machine::Machine::new(pc, topo, mem, w)
                 .run()
                 .map(|r| r.elapsed.as_u64())
                 .map_err(|e| e.to_string())
         });
+    }
+    let elapsed = log.measure_batch(batch, None);
+    for (burst, t) in [false, true].iter().zip(&elapsed) {
         if let Some(t) = t {
             println!(
                 "  {}: {t:>12} pclk",
-                if burst { "burst      " } else { "distributed" }
+                if *burst { "burst      " } else { "distributed" }
             );
         }
     }
 
     println!("\n## Context-switch overhead (MP3D, SC, 4 contexts)\n");
-    for sw in [0u64, 1, 2, 4, 8, 16, 32] {
+    const SWITCHES: [u64; 7] = [0, 1, 2, 4, 8, 16, 32];
+    let mut batch = SweepBatch::new();
+    for sw in SWITCHES {
         let cfg = base.clone().with_contexts(4, Cycle(sw));
-        let t = log.measure(
+        batch.add_run(
             "context-switch-overhead",
-            &format!("switch={sw}"),
+            format!("switch={sw}"),
             App::Mp3d,
             &cfg,
         );
+    }
+    let elapsed = log.measure_batch(batch, None);
+    for (sw, t) in SWITCHES.iter().zip(&elapsed) {
         if let Some(t) = t {
             println!("  switch {sw:>2}: {t:>12} pclk");
         }
     }
 
     println!("\n## Cache scaling (all apps, SC)\n");
-    for (label, full) in [("scaled 2KB/4KB", false), ("full 64KB/256KB", true)] {
-        for app in App::ALL {
-            let cfg = if full {
+    const CACHES: [(&str, bool); 2] = [("scaled 2KB/4KB", false), ("full 64KB/256KB", true)];
+    let read_hits: Vec<Mutex<String>> = (0..CACHES.len() * App::ALL.len())
+        .map(|_| Mutex::new(String::new()))
+        .collect();
+    let mut batch = SweepBatch::new();
+    for (c, (label, full)) in CACHES.iter().enumerate() {
+        for (a, app) in App::ALL.iter().enumerate() {
+            let cfg = if *full {
                 base.clone().with_full_caches()
             } else {
                 base.clone()
             };
-            let mut read_hits = String::new();
-            let t = log.measure_with("cache-scaling", &format!("{label}/{}", app.name()), || {
-                let e = run(app, &cfg).map_err(|e| e.to_string())?;
-                read_hits = e.result.mem.read_hits.to_string();
-                Ok(e.result.elapsed.as_u64())
-            });
-            if let Some(t) = t {
+            let hits = &read_hits[c * App::ALL.len() + a];
+            let app = *app;
+            batch.add(
+                "cache-scaling",
+                format!("{label}/{}", app.name()),
+                move || {
+                    let e = run(app, &cfg).map_err(|e| e.to_string())?;
+                    *hits.lock().expect("hits lock") = e.result.mem.read_hits.to_string();
+                    Ok(e.result.elapsed.as_u64())
+                },
+            );
+        }
+    }
+    let elapsed = log.measure_batch(batch, None);
+    for (c, (label, _)) in CACHES.iter().enumerate() {
+        for (a, app) in App::ALL.iter().enumerate() {
+            let i = c * App::ALL.len() + a;
+            if let Some(t) = elapsed[i] {
                 println!(
-                    "  {label:<16} {:<6} {t:>12} pclk | read hits {read_hits}",
+                    "  {label:<16} {:<6} {t:>12} pclk | read hits {}",
                     app.name(),
+                    read_hits[i].lock().expect("hits lock"),
                 );
             }
         }
     }
 
     println!("\n## Read lookahead: the section-4.1 out-of-order what-if (all apps, RC)\n");
+    const WINDOWS: [u64; 5] = [0, 16, 32, 64, 128];
+    let mut batch = SweepBatch::new();
     for app in App::ALL {
-        print!("  {:<6}", app.name());
-        for window in [0u64, 16, 32, 64, 128] {
+        for window in WINDOWS {
             let cfg = base.clone().with_rc().with_read_lookahead(Cycle(window));
-            let point = format!("{}/W{window}", app.name());
-            match log.measure("read-lookahead", &point, app, &cfg) {
+            batch.add_run(
+                "read-lookahead",
+                format!("{}/W{window}", app.name()),
+                app,
+                &cfg,
+            );
+        }
+    }
+    let elapsed = log.measure_batch(batch, None);
+    for (a, app) in App::ALL.iter().enumerate() {
+        print!("  {:<6}", app.name());
+        for (wi, window) in WINDOWS.iter().enumerate() {
+            match elapsed[a * WINDOWS.len() + wi] {
                 Some(t) => print!("  W{window}: {t:>11}"),
                 None => print!("  W{window}:      failed"),
             }
@@ -154,20 +206,19 @@ fn main() -> ExitCode {
     }
 
     println!("\n## Network model: endpoint ports vs 2-D mesh (all apps, SC)\n");
+    let mut batch = SweepBatch::new();
     for app in App::ALL {
-        let ports = log.measure(
+        batch.add_run("network-model", format!("{}/ports", app.name()), app, &base);
+        batch.add_run(
             "network-model",
-            &format!("{}/ports", app.name()),
-            app,
-            &base,
-        );
-        let mesh = log.measure(
-            "network-model",
-            &format!("{}/mesh", app.name()),
+            format!("{}/mesh", app.name()),
             app,
             &base.clone().with_mesh_network(),
         );
-        if let (Some(ports), Some(mesh)) = (ports, mesh) {
+    }
+    let elapsed = log.measure_batch(batch, None);
+    for (a, app) in App::ALL.iter().enumerate() {
+        if let (Some(ports), Some(mesh)) = (elapsed[2 * a], elapsed[2 * a + 1]) {
             println!(
                 "  {:<6} ports {ports:>12} | mesh {mesh:>12} | delta {:>+5.1}%",
                 app.name(),
@@ -177,16 +228,26 @@ fn main() -> ExitCode {
     }
 
     println!("\n## Directory organisation: full-map vs Dir_i-B (MP3D + PTHOR, SC)\n");
-    for app in [App::Mp3d, App::Pthor] {
-        let full = log.measure("directory", &format!("{}/full-map", app.name()), app, &base);
-        for ptrs in [1usize, 2, 4] {
-            let limited = log.measure(
+    const PTRS: [usize; 3] = [1, 2, 4];
+    const DIR_APPS: [App; 2] = [App::Mp3d, App::Pthor];
+    let mut batch = SweepBatch::new();
+    for app in DIR_APPS {
+        batch.add_run("directory", format!("{}/full-map", app.name()), app, &base);
+        for ptrs in PTRS {
+            batch.add_run(
                 "directory",
-                &format!("{}/Dir{ptrs}B", app.name()),
+                format!("{}/Dir{ptrs}B", app.name()),
                 app,
                 &base.clone().with_limited_directory(ptrs),
             );
-            if let (Some(full), Some(limited)) = (full, limited) {
+        }
+    }
+    let elapsed = log.measure_batch(batch, None);
+    let stride = 1 + PTRS.len();
+    for (a, app) in DIR_APPS.iter().enumerate() {
+        let full = elapsed[a * stride];
+        for (p, ptrs) in PTRS.iter().enumerate() {
+            if let (Some(full), Some(limited)) = (full, elapsed[a * stride + 1 + p]) {
                 println!(
                     "  {:<6} full-map {full:>12} | Dir{ptrs}B {limited:>12} | delta {:>+5.1}%",
                     app.name(),
@@ -197,12 +258,16 @@ fn main() -> ExitCode {
     }
 
     println!("\n## Contention model on/off (all apps, SC)\n");
+    let mut batch = SweepBatch::new();
     for app in App::ALL {
-        let on = log.measure("contention", &format!("{}/on", app.name()), app, &base);
+        batch.add_run("contention", format!("{}/on", app.name()), app, &base);
         let mut cfg = base.clone();
         cfg.contention = false;
-        let off = log.measure("contention", &format!("{}/off", app.name()), app, &cfg);
-        if let (Some(on), Some(off)) = (on, off) {
+        batch.add_run("contention", format!("{}/off", app.name()), app, &cfg);
+    }
+    let elapsed = log.measure_batch(batch, None);
+    for (a, app) in App::ALL.iter().enumerate() {
+        if let (Some(on), Some(off)) = (elapsed[2 * a], elapsed[2 * a + 1]) {
             println!(
                 "  {:<6} contention on {on:>12} | off {off:>12} | queueing adds {:>5.1}%",
                 app.name(),

@@ -1,0 +1,180 @@
+//! Performance harness: times the figure sweeps themselves.
+//!
+//! Where every other binary in this crate measures the *simulated*
+//! machine, this one measures the *simulator*: wall-clock per figure
+//! matrix, simulation events per second, and the serial-vs-parallel
+//! speedup of the sweep engine. It writes the machine-readable record
+//! (`BENCH_3.json` at the repo root by convention) that CI and the
+//! results log track across commits.
+//!
+//! Usage: `perf [--test-scale] [--jobs N] [--out PATH] [--figures 2,3]`
+//!
+//! * `--test-scale` — reduced data sets (CI smoke); default is paper scale.
+//! * `--jobs N` — worker count for the parallel pass (default all cores).
+//! * `--out PATH` — where to write the JSON record (default stdout only).
+//! * `--figures LIST` — comma-separated subset of 2..=6 (default all).
+//!
+//! Each figure is swept twice through [`dashlat::run_matrix_jobs`]: once
+//! with `jobs = 1` (the serial baseline) and once with the requested
+//! worker count. The two reports must fingerprint identically — the
+//! harness asserts it, so a determinism regression fails the benchmark
+//! run rather than silently producing numbers for diverging sweeps.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use dashlat::apps::App;
+use dashlat::experiments::figure_configs;
+use dashlat::{effective_jobs, run_matrix_jobs, ExperimentConfig, MatrixReport};
+use dashlat_bench::base_config_from_args;
+
+struct FigureTiming {
+    figure: u8,
+    cells: usize,
+    serial_ms: f64,
+    parallel_ms: f64,
+    sim_events: u64,
+    sim_cycles: u64,
+    failures: usize,
+}
+
+fn sweep(figure: u8, base: &ExperimentConfig, jobs: usize) -> (Vec<MatrixReport>, f64) {
+    let configs = figure_configs(figure, base);
+    let start = Instant::now();
+    let reports: Vec<MatrixReport> = App::ALL
+        .iter()
+        .map(|&app| run_matrix_jobs(app, &configs, Some(jobs)))
+        .collect();
+    (reports, start.elapsed().as_secs_f64() * 1e3)
+}
+
+fn fingerprint(reports: &[MatrixReport]) -> String {
+    reports.iter().map(|r| format!("{r:?}")).collect()
+}
+
+fn main() -> ExitCode {
+    let base = base_config_from_args();
+    let args: Vec<String> = std::env::args().collect();
+    let jobs = effective_jobs(None);
+    let figures: Vec<u8> = args
+        .iter()
+        .position(|a| a == "--figures")
+        .and_then(|i| args.get(i + 1))
+        .map_or_else(
+            || (2u8..=6).collect(),
+            |list| {
+                list.split(',')
+                    .map(|s| {
+                        let n: u8 = s.trim().parse().expect("--figures wants numbers in 2..=6");
+                        assert!((2..=6).contains(&n), "--figures wants numbers in 2..=6");
+                        n
+                    })
+                    .collect()
+            },
+        );
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+
+    println!(
+        "# Simulator performance — {} processors, {:?} scale, {jobs} job(s), {} core(s)\n",
+        base.processors,
+        base.scale,
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+    );
+
+    let mut timings = Vec::new();
+    for &figure in &figures {
+        let (serial, serial_ms) = sweep(figure, &base, 1);
+        let (parallel, parallel_ms) = sweep(figure, &base, jobs);
+        assert_eq!(
+            fingerprint(&serial),
+            fingerprint(&parallel),
+            "figure {figure}: parallel sweep diverged from serial — determinism regression"
+        );
+        let mut sim_events = 0u64;
+        let mut sim_cycles = 0u64;
+        let mut cells = 0usize;
+        let mut failures = 0usize;
+        for report in &parallel {
+            cells += report.cells.len();
+            failures += report.failures().len();
+            for e in report.successes() {
+                sim_events += e.result.sim_events;
+                sim_cycles += e.result.elapsed.as_u64();
+            }
+        }
+        println!(
+            "figure {figure}: {cells:>2} cells | serial {serial_ms:>9.1} ms | parallel {parallel_ms:>9.1} ms | speedup {:>4.2}x | {:>5.2} Mevents/s",
+            serial_ms / parallel_ms,
+            sim_events as f64 / parallel_ms / 1e3,
+        );
+        timings.push(FigureTiming {
+            figure,
+            cells,
+            serial_ms,
+            parallel_ms,
+            sim_events,
+            sim_cycles,
+            failures,
+        });
+    }
+
+    let total_serial: f64 = timings.iter().map(|t| t.serial_ms).sum();
+    let total_parallel: f64 = timings.iter().map(|t| t.parallel_ms).sum();
+    println!(
+        "\ntotal: serial {total_serial:.1} ms | parallel {total_parallel:.1} ms | speedup {:.2}x",
+        total_serial / total_parallel
+    );
+
+    let json = render_json(&base, jobs, &timings, total_serial, total_parallel);
+    if let Some(path) = out_path {
+        std::fs::write(&path, &json).expect("write --out file");
+        println!("\nwrote {path}");
+    } else {
+        println!("\n## JSON record\n\n{json}");
+    }
+    if timings.iter().any(|t| t.failures > 0) {
+        eprintln!("warning: some sweep cells failed; the record is partial");
+        return ExitCode::from(5);
+    }
+    ExitCode::SUCCESS
+}
+
+fn render_json(
+    base: &ExperimentConfig,
+    jobs: usize,
+    timings: &[FigureTiming],
+    total_serial: f64,
+    total_parallel: f64,
+) -> String {
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let mut out = String::from("{\n");
+    out.push_str(&format!(
+        "  \"scale\": \"{:?}\",\n  \"processors\": {},\n  \"cores\": {cores},\n  \"jobs\": {jobs},\n",
+        base.scale, base.processors
+    ));
+    out.push_str("  \"figures\": [\n");
+    for (i, t) in timings.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"figure\": {}, \"cells\": {}, \"serial_ms\": {:.1}, \"parallel_ms\": {:.1}, \"speedup\": {:.3}, \"sim_events\": {}, \"sim_cycles\": {}, \"events_per_sec\": {:.0}, \"failures\": {}}}{}\n",
+            t.figure,
+            t.cells,
+            t.serial_ms,
+            t.parallel_ms,
+            t.serial_ms / t.parallel_ms,
+            t.sim_events,
+            t.sim_cycles,
+            t.sim_events as f64 / (t.parallel_ms / 1e3),
+            t.failures,
+            if i + 1 < timings.len() { "," } else { "" },
+        ));
+    }
+    out.push_str(&format!(
+        "  ],\n  \"total_serial_ms\": {total_serial:.1},\n  \"total_parallel_ms\": {total_parallel:.1},\n  \"total_speedup\": {:.3}\n}}\n",
+        total_serial / total_parallel
+    ));
+    out
+}

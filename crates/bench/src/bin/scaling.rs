@@ -10,14 +10,16 @@
 //!    single-context processors" — the parallelism freed by fewer
 //!    processors becomes available for latency hiding.
 //!
-//! Every measurement goes through a [`SweepLog`], so one failed machine
-//! size degrades the output to a partial JSON record (exit code 5)
-//! instead of aborting the whole study.
+//! Every measurement goes through a [`SweepLog`]: the cells of each part
+//! are queued as a [`SweepBatch`] and run in parallel on the sweep worker
+//! pool (`--jobs N` to cap it), and one failed machine size degrades the
+//! output to a partial JSON record (exit code 5) instead of aborting the
+//! whole study.
 
 use std::process::ExitCode;
 
 use dashlat::apps::App;
-use dashlat_bench::{base_config_from_args, print_preamble, SweepLog};
+use dashlat_bench::{base_config_from_args, print_preamble, SweepBatch, SweepLog};
 use dashlat_sim::Cycle;
 
 fn main() -> ExitCode {
@@ -26,14 +28,21 @@ fn main() -> ExitCode {
     let mut log = SweepLog::new();
 
     println!("## Speedup vs processor count (SC)\n");
+    const PROCS: [usize; 5] = [1, 2, 4, 8, 16];
+    let mut batch = SweepBatch::new();
     for app in App::ALL {
-        print!("  {:<6}", app.name());
-        let mut baseline = None;
-        for procs in [1usize, 2, 4, 8, 16] {
+        for procs in PROCS {
             let mut cfg = base.clone();
             cfg.processors = procs;
-            let point = format!("{}/p{procs}", app.name());
-            match log.measure("speedup", &point, app, &cfg) {
+            batch.add_run("speedup", format!("{}/p{procs}", app.name()), app, &cfg);
+        }
+    }
+    let elapsed = log.measure_batch(batch, None);
+    for (a, app) in App::ALL.iter().enumerate() {
+        print!("  {:<6}", app.name());
+        let mut baseline = None;
+        for (p, procs) in PROCS.iter().enumerate() {
+            match elapsed[a * PROCS.len() + p] {
                 Some(t) => {
                     let speedup = baseline.map_or(1.0, |b: u64| b as f64 / t as f64);
                     if baseline.is_none() {
@@ -48,24 +57,23 @@ fn main() -> ExitCode {
     }
 
     println!("\n## PTHOR with 4 processors: multiple contexts shine (§6.1)\n");
+    let mut batch = SweepBatch::new();
     for procs in [4usize, 16] {
         let mut one = base.clone();
         one.processors = procs;
         let mut four = base.clone().with_contexts(4, Cycle(4));
         four.processors = procs;
-        let t1 = log.measure(
+        batch.add_run("pthor-contexts", format!("p{procs}/1ctx"), App::Pthor, &one);
+        batch.add_run(
             "pthor-contexts",
-            &format!("p{procs}/1ctx"),
-            App::Pthor,
-            &one,
-        );
-        let t4 = log.measure(
-            "pthor-contexts",
-            &format!("p{procs}/4ctx"),
+            format!("p{procs}/4ctx"),
             App::Pthor,
             &four,
         );
-        if let (Some(t1), Some(t4)) = (t1, t4) {
+    }
+    let elapsed = log.measure_batch(batch, None);
+    for (i, procs) in [4usize, 16].iter().enumerate() {
+        if let (Some(t1), Some(t4)) = (elapsed[2 * i], elapsed[2 * i + 1]) {
             println!(
                 "  {procs:>2} processors: 1ctx {t1:>12} | 4ctx/4 {t4:>12} | gain {:>4.2}x",
                 t1 as f64 / t4 as f64

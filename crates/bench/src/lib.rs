@@ -16,14 +16,86 @@
 //! | `summary` | §7 — best combinations (the 4–7× claim) |
 //!
 //! All binaries run the paper-scale data sets by default; pass
-//! `--test-scale` for the reduced data sets used in CI.
+//! `--test-scale` for the reduced data sets used in CI. Sweep cells are
+//! independent simulations and execute on a worker pool sized by
+//! `--jobs N` (default: all cores); results are always recorded in input
+//! order and are bit-identical to a serial run.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::process::ExitCode;
+use std::sync::Mutex;
 
 use dashlat::apps::App;
 use dashlat::config::ExperimentConfig;
 use dashlat::runner::run;
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+type CellFn<'a> = Box<dyn FnOnce() -> Result<u64, String> + Send + 'a>;
+
+/// A batch of independent sweep cells, built up first and then executed
+/// together on the worker pool by [`SweepLog::measure_batch`].
+///
+/// The sweep binaries used to interleave measuring and printing one cell
+/// at a time; batching separates the two so the measurements — each an
+/// independent single-threaded simulation — can run in parallel while the
+/// log still records (and the binary still prints) results in input order.
+#[derive(Default)]
+pub struct SweepBatch<'a> {
+    cells: Vec<(String, String, CellFn<'a>)>,
+}
+
+impl<'a> SweepBatch<'a> {
+    /// Empty batch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Queues one cell: `f` will run under panic isolation when the batch
+    /// is measured, recorded under `sweep`/`point`.
+    pub fn add(
+        &mut self,
+        sweep: impl Into<String>,
+        point: impl Into<String>,
+        f: impl FnOnce() -> Result<u64, String> + Send + 'a,
+    ) {
+        self.cells.push((sweep.into(), point.into(), Box::new(f)));
+    }
+
+    /// Queues a standard-runner cell: `app` under `cfg` (cloned).
+    pub fn add_run(
+        &mut self,
+        sweep: impl Into<String>,
+        point: impl Into<String>,
+        app: App,
+        cfg: &ExperimentConfig,
+    ) {
+        let cfg = cfg.clone();
+        self.add(sweep, point, move || {
+            run(app, &cfg)
+                .map(|e| e.result.elapsed.as_u64())
+                .map_err(|e| e.to_string())
+        });
+    }
+
+    /// Number of queued cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// True when no cell is queued.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+}
 
 /// One sweep point: which sweep it belongs to, which setting it measured,
 /// and the elapsed cycles or the failure message.
@@ -69,16 +141,7 @@ impl SweepLog {
     ) -> Option<u64> {
         let outcome = match catch_unwind(AssertUnwindSafe(f)) {
             Ok(r) => r,
-            Err(payload) => {
-                let msg = if let Some(s) = payload.downcast_ref::<&str>() {
-                    (*s).to_string()
-                } else if let Some(s) = payload.downcast_ref::<String>() {
-                    s.clone()
-                } else {
-                    "non-string panic payload".to_string()
-                };
-                Err(format!("panic: {msg}"))
-            }
+            Err(payload) => Err(format!("panic: {}", panic_message(payload))),
         };
         if let Err(e) = &outcome {
             eprintln!("warning: {sweep} / {point} failed: {e}");
@@ -106,6 +169,52 @@ impl SweepLog {
                 .map(|e| e.result.elapsed.as_u64())
                 .map_err(|e| e.to_string())
         })
+    }
+
+    /// Runs every cell of `batch` on the sweep worker pool
+    /// ([`dashlat::par_indexed_map`], `jobs = None` → the process-wide
+    /// `--jobs` default) and records each outcome exactly as
+    /// [`SweepLog::measure_with`] would, **in input order** regardless of
+    /// completion order. Returns the elapsed cycles per cell, also in
+    /// input order.
+    pub fn measure_batch(
+        &mut self,
+        batch: SweepBatch<'_>,
+        jobs: Option<usize>,
+    ) -> Vec<Option<u64>> {
+        let jobs = dashlat::effective_jobs(jobs);
+        let cells: Vec<(String, String, Mutex<Option<CellFn<'_>>>)> = batch
+            .cells
+            .into_iter()
+            .map(|(s, p, f)| (s, p, Mutex::new(Some(f))))
+            .collect();
+        let outcomes = dashlat::par_indexed_map(jobs, &cells, |_, (_, _, cell)| {
+            let f = cell
+                .lock()
+                .expect("cell lock poisoned")
+                .take()
+                .expect("each cell runs exactly once");
+            match catch_unwind(AssertUnwindSafe(f)) {
+                Ok(r) => r,
+                Err(payload) => Err(format!("panic: {}", panic_message(payload))),
+            }
+        });
+        cells
+            .into_iter()
+            .zip(outcomes)
+            .map(|((sweep, point, _), outcome)| {
+                if let Err(e) = &outcome {
+                    eprintln!("warning: {sweep} / {point} failed: {e}");
+                }
+                let elapsed = outcome.as_ref().ok().copied();
+                self.points.push(SweepPoint {
+                    sweep,
+                    point,
+                    outcome,
+                });
+                elapsed
+            })
+            .collect()
     }
 
     /// Number of failed points recorded so far.
@@ -197,9 +306,10 @@ pub fn emit_figure(report: &dashlat::experiments::FigureReport) -> ExitCode {
 }
 
 /// Parses the common command line: `--test-scale` selects the reduced data
-/// sets, `--processors N` overrides the machine size, `--verify-labels`
-/// runs the full `dashlat-analyze` pass set over every cell and turns a
-/// detected race into exit code 6 (see [`emit_figure`]).
+/// sets, `--processors N` overrides the machine size, `--jobs N` pins the
+/// sweep worker count (default: all cores), `--verify-labels` runs the
+/// full `dashlat-analyze` pass set over every cell and turns a detected
+/// race into exit code 6 (see [`emit_figure`]).
 pub fn base_config_from_args() -> ExperimentConfig {
     let args: Vec<String> = std::env::args().collect();
     let mut cfg = if args.iter().any(|a| a == "--test-scale") {
@@ -214,6 +324,14 @@ pub fn base_config_from_args() -> ExperimentConfig {
             .unwrap_or_else(|| panic!("--processors needs a number"));
         assert!((1..=64).contains(&n), "--processors must be 1..=64");
         cfg.processors = n;
+    }
+    if let Some(i) = args.iter().position(|a| a == "--jobs") {
+        let n = args
+            .get(i + 1)
+            .and_then(|v| v.parse::<usize>().ok())
+            .unwrap_or_else(|| panic!("--jobs needs a number"));
+        assert!(n >= 1, "--jobs must be at least 1");
+        dashlat::set_default_jobs(Some(n));
     }
     // §2.3: the paper also ran everything with the full-size 64KB/256KB
     // caches and saw similar relative gains.
@@ -273,5 +391,50 @@ mod tests {
         log.measure_with("s", "a", || Ok(1));
         assert_eq!(log.failed(), 0);
         assert!(log.to_json().contains("\"complete\": true"));
+    }
+
+    #[test]
+    fn batch_records_in_input_order_and_isolates_panics() {
+        let mut batch = SweepBatch::new();
+        for i in 0u64..20 {
+            batch.add("batch", format!("i={i}"), move || {
+                if i == 7 {
+                    panic!("cell 7 poisoned");
+                }
+                Ok(i * 10)
+            });
+        }
+        assert_eq!(batch.len(), 20);
+        let mut log = SweepLog::new();
+        let elapsed = log.measure_batch(batch, Some(4));
+        assert_eq!(elapsed.len(), 20);
+        for (i, e) in elapsed.iter().enumerate() {
+            if i == 7 {
+                assert!(e.is_none());
+            } else {
+                assert_eq!(*e, Some(i as u64 * 10));
+            }
+        }
+        assert_eq!(log.failed(), 1);
+        let json = log.to_json();
+        assert!(json.contains("cell 7 poisoned"));
+        // Points appear in input order in the JSON record.
+        let p3 = json.find("\"point\": \"i=3\"").expect("i=3 present");
+        let p12 = json.find("\"point\": \"i=12\"").expect("i=12 present");
+        assert!(p3 < p12);
+    }
+
+    #[test]
+    fn batch_serial_and_parallel_agree() {
+        let run_with = |jobs: usize| {
+            let mut batch = SweepBatch::new();
+            for i in 0u64..12 {
+                batch.add("s", format!("i={i}"), move || Ok(i * i));
+            }
+            let mut log = SweepLog::new();
+            let elapsed = log.measure_batch(batch, Some(jobs));
+            (elapsed, log.to_json())
+        };
+        assert_eq!(run_with(1), run_with(8));
     }
 }

@@ -114,6 +114,9 @@ MACHINE FLAGS:
   --dir-pointers <n>        limited-pointer (Dir_n-B) directory
   --lookahead <cycles>      perfect read lookahead window (OoO what-if)
   --test-scale              reduced data sets (default: paper scale)
+  --jobs <n>                sweep worker threads for figure/table/summary
+                            matrices (default: all cores; cells stay
+                            bit-identical to a serial run)
   --faults <spec>           seeded fault injection: a preset
                             (light|heavy|nacks[:seed]) or key=value pairs
                             (seed,nack,retries,backoff,cap,delay,maxdelay,full)
@@ -232,6 +235,20 @@ fn parse_machine_flags(args: &mut Vec<String>) -> Result<ExperimentConfig, ArgEr
             "--test-scale" => {
                 args.remove(i);
                 cfg.scale = AppScale::Test;
+            }
+            "--jobs" => {
+                let v = take_value(args, i, "--jobs")?;
+                let n: usize = v
+                    .parse()
+                    .map_err(|_| ArgError(format!("bad job count {v:?}")))?;
+                if n == 0 {
+                    return Err(ArgError("--jobs must be at least 1".into()));
+                }
+                // Worker count is a property of the sweep engine, not of
+                // the simulated machine, so it pins the process-wide
+                // default instead of living in the config (which takes
+                // part in bit-identical comparisons).
+                dashlat::set_default_jobs(Some(n));
             }
             "--faults" => {
                 let v = take_value(args, i, "--faults")?;
@@ -500,6 +517,18 @@ mod tests {
     fn run_requires_app() {
         let err = parse(v(&["run"])).unwrap_err();
         assert!(err.0.contains("--app"));
+    }
+
+    #[test]
+    fn jobs_flag_validated_and_pins_default() {
+        assert!(parse(v(&["figure", "3", "--jobs", "0"])).is_err());
+        assert!(parse(v(&["figure", "3", "--jobs", "many"])).is_err());
+        assert!(parse(v(&["figure", "3", "--jobs"])).is_err());
+        // A valid count is consumed (not left as an unrecognized token)
+        // and pins the process-wide sweep default.
+        assert!(parse(v(&["figure", "3", "--jobs", "3"])).is_ok());
+        assert_eq!(dashlat::effective_jobs(None), 3);
+        dashlat::set_default_jobs(None);
     }
 
     #[test]

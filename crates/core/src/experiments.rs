@@ -102,63 +102,33 @@ fn figure_from_matrix(title: &str, configs: &[ExperimentConfig]) -> FigureReport
     }
 }
 
-/// Figure 2: effect of caching shared data (no-cache baseline vs coherent
-/// caches, both under SC). Failed cells are reported, not fatal.
-pub fn figure2(base: &ExperimentConfig) -> FigureReport {
-    figure_from_matrix(
-        "Figure 2: Effect of caching shared data (normalized to no-cache)",
-        &[base.clone().without_caching(), base.clone()],
-    )
-}
-
-/// Figure 3: effect of relaxing the consistency model (SC vs RC).
-/// Failed cells are reported, not fatal.
-pub fn figure3(base: &ExperimentConfig) -> FigureReport {
-    figure_from_matrix(
-        "Figure 3: Effect of relaxing the consistency model (normalized to SC)",
-        &[base.clone(), base.clone().with_rc()],
-    )
-}
-
-/// Figure 4: effect of prefetching, without and with, under SC and RC.
-/// Bars: SC, SC+pf, RC, RC+pf — normalized to SC. Failed cells are
-/// reported, not fatal.
-pub fn figure4(base: &ExperimentConfig) -> FigureReport {
-    figure_from_matrix(
-        "Figure 4: Effect of prefetching (normalized to SC without prefetching)",
-        &[
+/// The machine-variant columns of one paper figure (2–6), in bar order.
+/// This is the single source of truth for the figure presets — the figure
+/// functions, the bench harness and the parallel-determinism tests all
+/// sweep exactly these matrices.
+///
+/// # Panics
+///
+/// Panics for a figure number outside 2..=6.
+pub fn figure_configs(figure: u8, base: &ExperimentConfig) -> Vec<ExperimentConfig> {
+    let sw = Cycle(4);
+    match figure {
+        2 => vec![base.clone().without_caching(), base.clone()],
+        3 => vec![base.clone(), base.clone().with_rc()],
+        4 => vec![
             base.clone(),
             base.clone().with_prefetching(),
             base.clone().with_rc(),
             base.clone().with_rc().with_prefetching(),
         ],
-    )
-}
-
-/// Figure 5: effect of multiple contexts under SC: 1 context, then 2 and 4
-/// contexts at 16-cycle and at 4-cycle switch overhead. Failed cells are
-/// reported, not fatal.
-pub fn figure5(base: &ExperimentConfig) -> FigureReport {
-    figure_from_matrix(
-        "Figure 5: Effect of multiple contexts under SC (normalized to 1 context)",
-        &[
+        5 => vec![
             base.clone(),
             base.clone().with_contexts(2, Cycle(16)),
             base.clone().with_contexts(4, Cycle(16)),
             base.clone().with_contexts(2, Cycle(4)),
             base.clone().with_contexts(4, Cycle(4)),
         ],
-    )
-}
-
-/// Figure 6: combining the schemes (4-cycle switch): SC with 1/2/4
-/// contexts, RC with 1/2/4 contexts, RC+prefetch with 1/2/4 contexts.
-/// Failed cells are reported, not fatal.
-pub fn figure6(base: &ExperimentConfig) -> FigureReport {
-    let sw = Cycle(4);
-    figure_from_matrix(
-        "Figure 6: Effect of combining the schemes (4-cycle switch, normalized to SC/1ctx)",
-        &[
+        6 => vec![
             base.clone(),
             base.clone().with_contexts(2, sw),
             base.clone().with_contexts(4, sw),
@@ -175,6 +145,55 @@ pub fn figure6(base: &ExperimentConfig) -> FigureReport {
                 .with_prefetching()
                 .with_contexts(4, sw),
         ],
+        n => panic!("no figure {n}: the paper's sweep figures are 2..=6"),
+    }
+}
+
+/// Figure 2: effect of caching shared data (no-cache baseline vs coherent
+/// caches, both under SC). Failed cells are reported, not fatal.
+pub fn figure2(base: &ExperimentConfig) -> FigureReport {
+    figure_from_matrix(
+        "Figure 2: Effect of caching shared data (normalized to no-cache)",
+        &figure_configs(2, base),
+    )
+}
+
+/// Figure 3: effect of relaxing the consistency model (SC vs RC).
+/// Failed cells are reported, not fatal.
+pub fn figure3(base: &ExperimentConfig) -> FigureReport {
+    figure_from_matrix(
+        "Figure 3: Effect of relaxing the consistency model (normalized to SC)",
+        &figure_configs(3, base),
+    )
+}
+
+/// Figure 4: effect of prefetching, without and with, under SC and RC.
+/// Bars: SC, SC+pf, RC, RC+pf — normalized to SC. Failed cells are
+/// reported, not fatal.
+pub fn figure4(base: &ExperimentConfig) -> FigureReport {
+    figure_from_matrix(
+        "Figure 4: Effect of prefetching (normalized to SC without prefetching)",
+        &figure_configs(4, base),
+    )
+}
+
+/// Figure 5: effect of multiple contexts under SC: 1 context, then 2 and 4
+/// contexts at 16-cycle and at 4-cycle switch overhead. Failed cells are
+/// reported, not fatal.
+pub fn figure5(base: &ExperimentConfig) -> FigureReport {
+    figure_from_matrix(
+        "Figure 5: Effect of multiple contexts under SC (normalized to 1 context)",
+        &figure_configs(5, base),
+    )
+}
+
+/// Figure 6: combining the schemes (4-cycle switch): SC with 1/2/4
+/// contexts, RC with 1/2/4 contexts, RC+prefetch with 1/2/4 contexts.
+/// Failed cells are reported, not fatal.
+pub fn figure6(base: &ExperimentConfig) -> FigureReport {
+    figure_from_matrix(
+        "Figure 6: Effect of combining the schemes (4-cycle switch, normalized to SC/1ctx)",
+        &figure_configs(6, base),
     )
 }
 

@@ -37,10 +37,14 @@
 pub mod apps;
 pub mod config;
 pub mod experiments;
+pub mod pool;
 pub mod report;
 pub mod runner;
 
 pub use apps::App;
 pub use config::{AppScale, ExperimentConfig};
+pub use pool::{effective_jobs, par_indexed_map, set_default_jobs};
 pub use report::{AppFigure, Figure, FigureBar, Table2, Table2Row};
-pub use runner::{run, run_matrix, Experiment, MatrixCell, MatrixReport, RunFailure};
+pub use runner::{
+    run, run_matrix, run_matrix_jobs, Experiment, MatrixCell, MatrixReport, RunFailure,
+};

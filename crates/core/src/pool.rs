@@ -1,0 +1,128 @@
+//! Scoped worker pool for parallel sweeps.
+//!
+//! Every paper figure is a matrix of *independent, deterministic* cells:
+//! each cell builds its own machine, memory system and workload from a
+//! `(config, seed)` pair and shares nothing mutable with its neighbours. A
+//! sweep therefore parallelises embarrassingly — the only requirements are
+//! that results come back keyed by cell index (never by completion order)
+//! and that a panicking cell stays isolated, both of which
+//! [`par_indexed_map`] guarantees. Runs themselves stay single-threaded,
+//! so per-cell results are bit-identical to serial execution.
+//!
+//! The worker count defaults to [`std::thread::available_parallelism`] and
+//! can be pinned process-wide with [`set_default_jobs`] (the CLI and bench
+//! binaries wire their `--jobs N` flag to it).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::thread;
+
+/// Process-wide default worker count; 0 means "not set, use
+/// `available_parallelism`".
+static DEFAULT_JOBS: AtomicUsize = AtomicUsize::new(0);
+
+/// Pins the process-wide default worker count used when a sweep is run
+/// without an explicit `jobs` argument. `None` restores the default
+/// (`available_parallelism`). Values are clamped to at least 1.
+pub fn set_default_jobs(jobs: Option<usize>) {
+    DEFAULT_JOBS.store(jobs.unwrap_or(0), Ordering::Relaxed);
+}
+
+/// The effective worker count: the explicit `requested` value if given,
+/// else the process-wide default from [`set_default_jobs`], else
+/// [`std::thread::available_parallelism`]. Never less than 1.
+pub fn effective_jobs(requested: Option<usize>) -> usize {
+    requested
+        .filter(|&n| n > 0)
+        .or_else(|| {
+            let d = DEFAULT_JOBS.load(Ordering::Relaxed);
+            (d > 0).then_some(d)
+        })
+        .unwrap_or_else(|| thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get))
+}
+
+/// Applies `f` to every item on a scoped pool of `jobs` workers, returning
+/// the results **in input order** (keyed by item index, not completion
+/// order).
+///
+/// Work is handed out through a shared atomic cursor, so cell-to-worker
+/// assignment varies between runs — which is exactly why results are
+/// written into their input slot instead of being collected. `f` must
+/// contain its own panic isolation if items may panic (the runner's cells
+/// wrap each run in `catch_unwind`); a panic that does escape `f` aborts
+/// the whole sweep when the scope joins.
+///
+/// With `jobs == 1`, or a single item, `f` runs inline on the caller's
+/// thread: the serial path stays allocation- and thread-free.
+pub fn par_indexed_map<T, R, F>(jobs: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let jobs = jobs.max(1).min(items.len().max(1));
+    if jobs == 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<std::sync::Mutex<Option<R>>> =
+        items.iter().map(|_| std::sync::Mutex::new(None)).collect();
+    thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = items.get(i) else { break };
+                let r = f(i, item);
+                *slots[i].lock().expect("result slot poisoned") = Some(r);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| {
+            s.into_inner()
+                .expect("result slot poisoned")
+                .expect("worker filled every slot")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<usize> = (0..100).collect();
+        let out = par_indexed_map(8, &items, |i, &x| {
+            assert_eq!(i, x);
+            x * 2
+        });
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn serial_path_matches_parallel() {
+        let items: Vec<u64> = (0..37).collect();
+        let serial = par_indexed_map(1, &items, |_, &x| x * x);
+        let parallel = par_indexed_map(4, &items, |_, &x| x * x);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn empty_and_single_item() {
+        let none: Vec<u8> = Vec::new();
+        assert!(par_indexed_map(4, &none, |_, &x| x).is_empty());
+        assert_eq!(par_indexed_map(4, &[7u8], |_, &x| x), vec![7]);
+    }
+
+    #[test]
+    fn effective_jobs_resolution() {
+        assert!(effective_jobs(None) >= 1);
+        assert_eq!(effective_jobs(Some(3)), 3);
+        set_default_jobs(Some(2));
+        assert_eq!(effective_jobs(None), 2);
+        assert_eq!(effective_jobs(Some(5)), 5);
+        set_default_jobs(None);
+        assert!(effective_jobs(None) >= 1);
+    }
+}

@@ -184,14 +184,29 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
 /// Runs `app` on every configuration, isolating each run: a failure (panic
 /// or [`RunError`]) is recorded in its cell and the sweep continues, so one
 /// poisoned configuration cannot take down the healthy ones.
+///
+/// Cells execute on a scoped worker pool sized by
+/// [`crate::pool::effective_jobs`] (the process-wide `--jobs` default, else
+/// `available_parallelism`). Each cell is an independent single-threaded
+/// simulation, so the report is bit-identical to serial execution and the
+/// cells stay in input order regardless of completion order.
 pub fn run_matrix(app: App, configs: &[ExperimentConfig]) -> MatrixReport {
-    let cells = configs
-        .iter()
-        .map(|c| MatrixCell {
-            label: c.label(),
-            outcome: run_isolated(app, c),
-        })
-        .collect();
+    run_matrix_jobs(app, configs, None)
+}
+
+/// [`run_matrix`] with an explicit worker count (`None` = the process-wide
+/// default). `jobs = Some(1)` forces the serial path on the caller's
+/// thread.
+pub fn run_matrix_jobs(
+    app: App,
+    configs: &[ExperimentConfig],
+    jobs: Option<usize>,
+) -> MatrixReport {
+    let jobs = crate::pool::effective_jobs(jobs);
+    let cells = crate::pool::par_indexed_map(jobs, configs, |_, c| MatrixCell {
+        label: c.label(),
+        outcome: run_isolated(app, c),
+    });
     MatrixReport { app, cells }
 }
 

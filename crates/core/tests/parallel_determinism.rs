@@ -1,0 +1,68 @@
+//! Regression tests for the parallel sweep engine: a matrix run on the
+//! worker pool must be **bit-identical** to the serial run, cell for cell.
+//!
+//! Each cell is an independent single-threaded simulation, so parallelism
+//! may only change wall-clock time — never a label, an ordering, a
+//! measurement, or a failure message. The fingerprint below is the full
+//! `Debug` rendering of the report, which covers every field of every
+//! `RunResult` (elapsed cycles, per-class stall breakdowns, memory-system
+//! counters, fault records) and every failure variant.
+
+use dashlat::experiments::figure_configs;
+use dashlat::{run_matrix_jobs, App, ExperimentConfig, MatrixReport};
+use dashlat_sim::fault::FaultPlan;
+
+fn fingerprint(report: &MatrixReport) -> String {
+    format!("{report:?}")
+}
+
+/// Every figure-2..6 preset matrix, spread across the three applications,
+/// produces the same report under `jobs = 1` and `jobs = 8`.
+#[test]
+fn figure_presets_parallel_matches_serial() {
+    let base = ExperimentConfig::base_test();
+    let apps = [App::Mp3d, App::Lu, App::Pthor, App::Mp3d, App::Lu];
+    for (figure, app) in (2u8..=6).zip(apps) {
+        let configs = figure_configs(figure, &base);
+        let serial = run_matrix_jobs(app, &configs, Some(1));
+        let parallel = run_matrix_jobs(app, &configs, Some(8));
+        assert_eq!(
+            fingerprint(&serial),
+            fingerprint(&parallel),
+            "figure {figure} on {app}: parallel report diverged from serial"
+        );
+    }
+}
+
+/// A mixed SC/RC/prefetch/multi-context matrix — including a fault-injected
+/// cell and a poisoned (panicking) cell — fingerprints identically under
+/// serial and parallel execution: failures land in the same cells with the
+/// same messages.
+#[test]
+fn mixed_matrix_with_failures_parallel_matches_serial() {
+    let base = ExperimentConfig::base_test();
+    let mut poisoned = base.clone();
+    poisoned.contexts = 0;
+    let configs = vec![
+        base.clone(),
+        base.clone().with_rc(),
+        base.clone().with_prefetching(),
+        base.clone().with_rc().with_prefetching(),
+        base.clone().with_contexts(2, dashlat_sim::Cycle(4)),
+        base.clone().with_faults(FaultPlan::light(0xDA5)),
+        poisoned,
+    ];
+    for app in App::ALL {
+        let serial = run_matrix_jobs(app, &configs, Some(1));
+        let parallel = run_matrix_jobs(app, &configs, Some(8));
+        assert_eq!(serial.cells.len(), configs.len());
+        assert_eq!(
+            fingerprint(&serial),
+            fingerprint(&parallel),
+            "{app}: parallel report diverged from serial"
+        );
+        // The poisoned cell failed, the rest succeeded — in both modes.
+        assert_eq!(serial.successes().len(), configs.len() - 1);
+        assert_eq!(parallel.failures().len(), 1);
+    }
+}

@@ -40,14 +40,18 @@
 //! tracked per processor so that a demand reference to an in-flight line is
 //! *combined* with it rather than re-requested (§5.1).
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 use dashlat_mem::addr::{Addr, LineAddr};
 use dashlat_mem::buffers::{PendingPrefetch, PendingWrite, PrefetchBuffer, WriteBuffer, WriteKind};
 use dashlat_mem::system::{AccessKind, AccessResult, MemStats, MemorySystem, ServiceClass};
 use dashlat_sim::fault::FaultInjector;
 use dashlat_sim::stats::{Distribution, RunLengthTracker, TimeSeries};
-use dashlat_sim::{Cycle, EventQueue};
+use dashlat_sim::{Cycle, EventQueue, FxHashMap};
+
+/// MSHR-map length beyond which completed entries are pruned (and the
+/// pre-sized capacity of the map, so steady state never rehashes).
+const OUTSTANDING_PRUNE_LEN: usize = 128;
 
 use crate::breakdown::TimeBreakdown;
 use crate::config::ProcConfig;
@@ -110,7 +114,7 @@ struct Proc {
     pb_next_issue: Cycle,
     pf_full_waiters: VecDeque<usize>,
     /// In-flight lines → completion time (MSHR-style combining).
-    outstanding: HashMap<LineAddr, Cycle>,
+    outstanding: FxHashMap<LineAddr, Cycle>,
     /// Primary-cache lockout cycles to charge at the next busy period.
     pending_lockout_pf: u64,
     pending_lockout_fill: u64,
@@ -318,6 +322,10 @@ pub struct RunResult {
     pub prefetches_issued: u64,
     /// Context switches performed.
     pub context_switches: u64,
+    /// Simulation events processed (the event queue's lifetime schedule
+    /// count) — the simulator's unit of work, used by the bench harness
+    /// for its events/second throughput metric.
+    pub sim_events: u64,
     /// Utilization-over-time view, when
     /// [`ProcConfig::timeline_bucket`](crate::config::ProcConfig::timeline_bucket)
     /// was set.
@@ -427,7 +435,13 @@ impl<W: Workload> Machine<W> {
                 pb_active: false,
                 pb_next_issue: Cycle::ZERO,
                 pf_full_waiters: VecDeque::new(),
-                outstanding: HashMap::new(),
+                // Pre-sized to the MSHR prune threshold or the layout's
+                // shared-line count, whichever is smaller: the map never
+                // rehashes in steady state.
+                outstanding: FxHashMap::with_capacity_and_hasher(
+                    mem.shared_lines().min(OUTSTANDING_PRUNE_LEN),
+                    dashlat_sim::FxBuildHasher::default(),
+                ),
                 pending_lockout_pf: 0,
                 pending_lockout_fill: 0,
                 // Per-processor streams, distinct from the memory system's
@@ -656,6 +670,7 @@ impl<W: Workload> Machine<W> {
             barrier_arrivals: self.barrier_arrivals,
             prefetches_issued: self.prefetches_issued,
             context_switches: self.context_switches,
+            sim_events: self.queue.scheduled(),
             timeline: self.timeline,
             events: self.events,
         }
@@ -883,7 +898,7 @@ impl<W: Workload> Machine<W> {
     fn note_in_flight(&mut self, p: usize, line: LineAddr, done: Cycle, from_prefetch: bool) {
         let proc = &mut self.procs[p];
         proc.outstanding.insert(line, done);
-        if proc.outstanding.len() > 128 {
+        if proc.outstanding.len() > OUTSTANDING_PRUNE_LEN {
             let now = done; // prune anything long complete
             proc.outstanding.retain(|_, d| *d + Cycle(1024) > now);
         }

@@ -157,6 +157,7 @@ impl NodeSet {
     /// # Panics
     ///
     /// Panics if `node.0 >= NodeId::MAX_NODES`.
+    #[inline]
     pub fn singleton(node: NodeId) -> NodeSet {
         let mut s = NodeSet::EMPTY;
         s.insert(node);
@@ -168,12 +169,14 @@ impl NodeSet {
     /// # Panics
     ///
     /// Panics if `node.0 >= NodeId::MAX_NODES`.
+    #[inline]
     pub fn insert(&mut self, node: NodeId) {
         assert!(node.0 < NodeId::MAX_NODES, "node id out of range");
         self.0 |= 1 << node.0;
     }
 
     /// Removes a node; returns whether it was present.
+    #[inline]
     pub fn remove(&mut self, node: NodeId) -> bool {
         let bit = 1u64 << node.0;
         let present = self.0 & bit != 0;
@@ -182,21 +185,25 @@ impl NodeSet {
     }
 
     /// Membership test.
+    #[inline]
     pub fn contains(self, node: NodeId) -> bool {
         node.0 < NodeId::MAX_NODES && self.0 & (1 << node.0) != 0
     }
 
     /// Number of members.
+    #[inline]
     pub fn len(self) -> usize {
         self.0.count_ones() as usize
     }
 
     /// True when no node is in the set.
+    #[inline]
     pub fn is_empty(self) -> bool {
         self.0 == 0
     }
 
     /// Iterates members in increasing node order.
+    #[inline]
     pub fn iter(self) -> impl Iterator<Item = NodeId> {
         (0..NodeId::MAX_NODES)
             .filter(move |&i| self.0 & (1 << i) != 0)
@@ -204,6 +211,7 @@ impl NodeSet {
     }
 
     /// Set difference: members of `self` not in `other`.
+    #[inline]
     pub fn without(self, other: NodeSet) -> NodeSet {
         NodeSet(self.0 & !other.0)
     }

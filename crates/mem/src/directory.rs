@@ -16,7 +16,7 @@
 //! directory-storage vs invalidation-traffic trade-off that full-map
 //! machines like DASH avoided by paying the full bit vector.
 
-use std::collections::HashMap;
+use dashlat_sim::FxHashMap;
 
 use crate::addr::{LineAddr, NodeId, NodeSet};
 
@@ -65,7 +65,7 @@ pub struct DirOutcome {
 /// The machine-wide directory (one logical map; entries are homed by page).
 #[derive(Debug, Default)]
 pub struct Directory {
-    entries: HashMap<LineAddr, DirState>,
+    entries: FxHashMap<LineAddr, DirState>,
     kind: DirectoryKind,
     /// Total nodes (needed to build broadcast invalidation sets).
     nodes: usize,
@@ -86,11 +86,25 @@ impl Directory {
     ///
     /// Panics for a limited-pointer directory with zero pointers.
     pub fn with_kind(kind: DirectoryKind, nodes: usize) -> Self {
+        Self::with_kind_sized(kind, nodes, 0)
+    }
+
+    /// Like [`Directory::with_kind`], but pre-sizes the entry table for
+    /// `lines` tracked lines (typically the machine layout's shared-segment
+    /// line count) so the sweep's steady state never rehashes.
+    ///
+    /// # Panics
+    ///
+    /// Panics for a limited-pointer directory with zero pointers.
+    pub fn with_kind_sized(kind: DirectoryKind, nodes: usize, lines: usize) -> Self {
         if let DirectoryKind::LimitedPtr { pointers } = kind {
             assert!(pointers > 0, "Dir_i-B needs at least one pointer");
         }
         Directory {
-            entries: HashMap::new(),
+            entries: FxHashMap::with_capacity_and_hasher(
+                lines,
+                dashlat_sim::FxBuildHasher::default(),
+            ),
             kind,
             nodes,
             broadcasts: 0,

@@ -12,7 +12,7 @@ use dashlat_sim::Cycle;
 /// time to retire the request from the write buffer — i.e. to acquire
 /// exclusive ownership — and do *not* include invalidation acknowledgements,
 /// which are tracked separately (`inval_roundtrip`).
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LatencyTable {
     /// Read hit in the primary cache.
     pub read_primary_hit: Cycle,

@@ -23,7 +23,7 @@ use dashlat_sim::fault::{FaultInjector, FaultPlan, FaultStats};
 use dashlat_sim::stats::{Distribution, Ratio};
 use dashlat_sim::Cycle;
 
-use crate::addr::{Addr, LineAddr, NodeId};
+use crate::addr::{Addr, LineAddr, NodeId, LINE_BYTES};
 use crate::cache::{Cache, Eviction, LineState};
 use crate::contention::{Contention, NetworkModel, OccupancyTable};
 use crate::directory::{DirState, Directory, DirectoryKind};
@@ -196,6 +196,12 @@ pub struct MemorySystem {
     contention: Contention,
     faults: Option<FaultInjector>,
     stats: MemStats,
+    /// Reusable scratch for [`MemorySystem::check_line_invariants`]
+    /// (holders of the line under inspection) — avoids two heap
+    /// allocations per checked access.
+    holders_scratch: Vec<(usize, LineState)>,
+    /// Reusable scratch: dirty holders of the line under inspection.
+    dirty_scratch: Vec<usize>,
 }
 
 impl std::fmt::Debug for MemorySystem {
@@ -228,7 +234,13 @@ impl MemorySystem {
             cfg.contention,
             cfg.network,
         );
-        let directory = Directory::with_kind(cfg.directory, cfg.nodes);
+        // Pre-size the directory for every shared line the layout can
+        // produce (capped so a pathological layout cannot balloon the
+        // table): the steady state of a sweep cell then never rehashes.
+        let lines = usize::try_from(page_map.allocated_bytes() / LINE_BYTES)
+            .unwrap_or(usize::MAX)
+            .min(1 << 20);
+        let directory = Directory::with_kind_sized(cfg.directory, cfg.nodes, lines);
         let faults = cfg
             .faults
             .filter(dashlat_sim::FaultPlan::is_active)
@@ -242,7 +254,16 @@ impl MemorySystem {
             contention,
             faults,
             stats: MemStats::default(),
+            holders_scratch: Vec::new(),
+            dirty_scratch: Vec::new(),
         }
+    }
+
+    /// Number of 16-byte lines in the layout's shared segments (the upper
+    /// bound on distinct lines this system can ever be asked about). Used
+    /// by callers to pre-size their own per-line tracking structures.
+    pub fn shared_lines(&self) -> usize {
+        usize::try_from(self.page_map.allocated_bytes() / LINE_BYTES).unwrap_or(usize::MAX)
     }
 
     /// The configuration in use.
@@ -360,7 +381,7 @@ impl MemorySystem {
     ) -> AccessResult {
         let home = self.page_map.home_of(line.base());
         let outcome = self.directory.read(line, node);
-        let lat = self.cfg.latencies.clone();
+        let lat = self.cfg.latencies;
 
         let mut t = now;
         let mut delay = self.contention.bus(t, node);
@@ -448,7 +469,7 @@ impl MemorySystem {
         let home = self.page_map.home_of(line.base());
         let had_shared_copy = self.secondary[node.0].probe(line) == Some(LineState::Shared);
         let outcome = self.directory.write(line, node);
-        let lat = self.cfg.latencies.clone();
+        let lat = self.cfg.latencies;
 
         let mut t = now;
         let mut delay = self.contention.bus(t, node);
@@ -581,7 +602,7 @@ impl MemorySystem {
             };
         }
         let home = self.page_map.home_of(addr);
-        let lat = self.cfg.latencies.clone();
+        let lat = self.cfg.latencies;
         let service = match (kind, home == node) {
             (AccessKind::Read, true) => lat.uncached_read_local,
             (AccessKind::Read, false) => lat.uncached_read_home,
@@ -710,7 +731,7 @@ impl MemorySystem {
     /// # Errors
     ///
     /// Returns a human-readable description of the first violation found.
-    pub fn check_line_invariants(&self, line: LineAddr) -> Result<(), String> {
+    pub fn check_line_invariants(&mut self, line: LineAddr) -> Result<(), String> {
         if !self.cfg.caching {
             return Ok(());
         }
@@ -721,14 +742,20 @@ impl MemorySystem {
                 ));
             }
         }
-        let holders: Vec<(usize, LineState)> = (0..self.cfg.nodes)
-            .filter_map(|n| self.secondary[n].probe(line).map(|s| (n, s)))
-            .collect();
-        let dirty: Vec<usize> = holders
-            .iter()
-            .filter(|&&(_, s)| s == LineState::Dirty)
-            .map(|&(n, _)| n)
-            .collect();
+        // Reusable scratch buffers: invariant checking runs per access when
+        // enabled, so collecting the holders must not allocate.
+        self.holders_scratch.clear();
+        self.dirty_scratch.clear();
+        for n in 0..self.cfg.nodes {
+            if let Some(s) = self.secondary[n].probe(line) {
+                self.holders_scratch.push((n, s));
+                if s == LineState::Dirty {
+                    self.dirty_scratch.push(n);
+                }
+            }
+        }
+        let holders = &self.holders_scratch;
+        let dirty = &self.dirty_scratch;
         if dirty.len() > 1 {
             return Err(format!("multiple dirty holders of {line:?}: {dirty:?}"));
         }
@@ -741,7 +768,7 @@ impl MemorySystem {
                 }
             }
             DirState::Dirty(owner) => {
-                if holders.len() != 1 || dirty != [owner.0] {
+                if holders.len() != 1 || *dirty != [owner.0] {
                     return Err(format!(
                         "directory says {line:?} is dirty at {owner} but holders are {holders:?}"
                     ));
@@ -753,7 +780,7 @@ impl MemorySystem {
                         "directory says {line:?} is shared but P{n} holds it dirty"
                     ));
                 }
-                for &(n, _) in &holders {
+                for &(n, _) in holders {
                     if !set.contains(NodeId(n)) {
                         return Err(format!(
                             "P{n} holds {line:?} but is missing from the sharer set"

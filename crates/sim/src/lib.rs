@@ -14,6 +14,9 @@
 //!   reference streams are reproducible across runs and platforms.
 //! * [`stats`] — counters, histograms and run-length trackers used for the
 //!   execution-time breakdowns reported in the paper's figures.
+//! * [`hasher`] — a deterministic FxHash-style hasher for the hot-path
+//!   maps (directory entries, MSHR tracking) where the default SipHash
+//!   costs more than it protects.
 //! * [`fault`] — deterministic, seeded fault injection (directory NACKs
 //!   with exponential backoff, delayed packets, transient buffer-full
 //!   events) used to harden experiments against protocol perturbation.
@@ -39,6 +42,7 @@
 //! ```
 
 pub mod fault;
+pub mod hasher;
 pub mod queue;
 pub mod rng;
 pub mod stats;
@@ -46,6 +50,7 @@ pub mod time;
 pub mod vclock;
 
 pub use fault::{FaultInjector, FaultPlan, FaultStats};
+pub use hasher::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use queue::EventQueue;
 pub use rng::Xorshift;
 pub use time::Cycle;

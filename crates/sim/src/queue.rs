@@ -4,15 +4,41 @@
 //! buffers and barrier releases all schedule future work as timestamped
 //! events. For reproducibility the queue must be *deterministic*: two events
 //! scheduled for the same cycle are delivered in the order they were
-//! scheduled (FIFO within a timestamp), independent of heap internals.
+//! scheduled (FIFO within a timestamp), independent of container internals.
+//!
+//! # Implementation
+//!
+//! The queue is a bucketed calendar (timing wheel) of [`WHEEL_SLOTS`]
+//! one-cycle buckets covering the window `[now, now + WHEEL_SLOTS)`, with a
+//! binary-heap fallback for far-future events. Nearly every event in the
+//! simulator fires within a few hundred cycles of being scheduled (Table 1
+//! latencies plus queueing), so the hot path is an O(1) bucket push and a
+//! bitmap scan instead of `BinaryHeap` sift churn.
+//!
+//! Determinism is preserved by construction:
+//!
+//! * within a bucket, events are pushed in scheduling order and popped from
+//!   the front, so same-cycle FIFO holds;
+//! * every wheel event satisfies `at < now + WHEEL_SLOTS` (the window only
+//!   grows as `now` advances), so a bucket never mixes two timestamps;
+//! * for a given timestamp `t`, any overflow-heap event at `t` was scheduled
+//!   strictly earlier (while `t` was still beyond the window) than any wheel
+//!   event at `t`, so ties between the heap and the wheel resolve to the
+//!   heap — which is exactly insertion order.
 
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
 
 use crate::time::Cycle;
 
-/// An entry in the queue: `(time, sequence, payload)` with inverted ordering
-/// so the `BinaryHeap` (a max-heap) pops the earliest time / lowest sequence.
+/// Number of one-cycle buckets in the calendar wheel (power of two).
+const WHEEL_SLOTS: usize = 1024;
+/// Words in the occupancy bitmap.
+const WHEEL_WORDS: usize = WHEEL_SLOTS / 64;
+
+/// An entry in the overflow heap: `(time, sequence, payload)` with inverted
+/// ordering so the `BinaryHeap` (a max-heap) pops the earliest time / lowest
+/// sequence.
 struct Entry<E> {
     at: Cycle,
     seq: u64,
@@ -54,7 +80,15 @@ impl<E> Ord for Entry<E> {
 /// assert_eq!((t, e), (Cycle(1), 'a'));
 /// ```
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
+    /// `WHEEL_SLOTS` buckets; bucket `at % WHEEL_SLOTS` holds the events for
+    /// timestamp `at` while `at` lies inside the window.
+    wheel: Box<[VecDeque<(Cycle, E)>]>,
+    /// One bit per bucket: set iff the bucket is non-empty.
+    occupied: [u64; WHEEL_WORDS],
+    /// Events currently in the wheel.
+    wheel_len: usize,
+    /// Far-future events (`at >= now + WHEEL_SLOTS` at scheduling time).
+    overflow: BinaryHeap<Entry<E>>,
     next_seq: u64,
     now: Cycle,
 }
@@ -63,7 +97,10 @@ impl<E> EventQueue<E> {
     /// Creates an empty queue with the clock at [`Cycle::ZERO`].
     pub fn new() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
+            wheel: (0..WHEEL_SLOTS).map(|_| VecDeque::new()).collect(),
+            occupied: [0; WHEEL_WORDS],
+            wheel_len: 0,
+            overflow: BinaryHeap::new(),
             next_seq: 0,
             now: Cycle::ZERO,
         }
@@ -75,6 +112,7 @@ impl<E> EventQueue<E> {
     ///
     /// Panics if `at` is earlier than the time of the last popped event:
     /// scheduling into the past would make simulated causality inconsistent.
+    #[inline]
     pub fn schedule(&mut self, at: Cycle, event: E) {
         assert!(
             at >= self.now,
@@ -83,36 +121,111 @@ impl<E> EventQueue<E> {
         );
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Entry { at, seq, event });
+        if at.0 - self.now.0 < WHEEL_SLOTS as u64 {
+            let slot = (at.0 as usize) % WHEEL_SLOTS;
+            self.wheel[slot].push_back((at, event));
+            self.occupied[slot / 64] |= 1 << (slot % 64);
+            self.wheel_len += 1;
+        } else {
+            self.overflow.push(Entry { at, seq, event });
+        }
+    }
+
+    /// Earliest occupied wheel bucket (circular scan starting at the bucket
+    /// for `now`) and the timestamp of its front event.
+    fn first_wheel(&self) -> Option<(usize, Cycle)> {
+        if self.wheel_len == 0 {
+            return None;
+        }
+        let start = (self.now.0 as usize) % WHEEL_SLOTS;
+        let w0 = start / 64;
+        let bit = start % 64;
+        // Bits at or after `start` within its word…
+        let masked = self.occupied[w0] & (!0u64 << bit);
+        let slot = if masked != 0 {
+            w0 * 64 + masked.trailing_zeros() as usize
+        } else {
+            // …then the remaining words circularly; the final iteration
+            // revisits `w0`, whose low bits are the wrapped-around slots.
+            let mut found = None;
+            for i in 1..=WHEEL_WORDS {
+                let w = (w0 + i) % WHEEL_WORDS;
+                if self.occupied[w] != 0 {
+                    found = Some(w * 64 + self.occupied[w].trailing_zeros() as usize);
+                    break;
+                }
+            }
+            found?
+        };
+        let &(at, _) = self.wheel[slot].front()?;
+        Some((slot, at))
     }
 
     /// Removes and returns the earliest event, advancing the clock to its
     /// timestamp. Returns `None` when the queue is empty.
     pub fn pop(&mut self) -> Option<(Cycle, E)> {
-        let entry = self.heap.pop()?;
-        debug_assert!(entry.at >= self.now);
-        self.now = entry.at;
-        Some((entry.at, entry.event))
+        let wheel_next = self.first_wheel();
+        let heap_at = self.overflow.peek().map(|e| e.at);
+        // On a timestamp tie the heap entry was scheduled first (it was
+        // beyond the window then; the window only grows), so FIFO says the
+        // heap wins.
+        let take_heap = match (wheel_next, heap_at) {
+            (None, None) => return None,
+            (None, Some(_)) => true,
+            (Some(_), None) => false,
+            (Some((_, wt)), Some(ht)) => ht <= wt,
+        };
+        if take_heap {
+            let entry = self.overflow.pop()?;
+            debug_assert!(entry.at >= self.now);
+            self.now = entry.at;
+            return Some((entry.at, entry.event));
+        }
+        let (slot, at) = wheel_next?;
+        let (t, event) = self.wheel[slot].pop_front()?;
+        debug_assert_eq!(t, at);
+        debug_assert!(at >= self.now);
+        if self.wheel[slot].is_empty() {
+            self.occupied[slot / 64] &= !(1 << (slot % 64));
+        }
+        self.wheel_len -= 1;
+        self.now = at;
+        Some((at, event))
     }
 
     /// Timestamp of the next event without removing it.
     pub fn peek_time(&self) -> Option<Cycle> {
-        self.heap.peek().map(|e| e.at)
+        let wheel_at = self.first_wheel().map(|(_, at)| at);
+        let heap_at = self.overflow.peek().map(|e| e.at);
+        match (wheel_at, heap_at) {
+            (Some(w), Some(h)) => Some(w.min(h)),
+            (a, b) => a.or(b),
+        }
     }
 
     /// The time of the most recently popped event (the simulation "now").
+    #[inline]
     pub fn now(&self) -> Cycle {
         self.now
     }
 
+    /// Total events scheduled over the queue's lifetime (the simulator's
+    /// unit of work — the throughput metric of the bench harness).
+    #[inline]
+    pub fn scheduled(&self) -> u64 {
+        self.next_seq
+    }
+
     /// Number of pending events.
+    #[inline]
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.wheel_len + self.overflow.len()
     }
 
     /// True if no events are pending.
+    #[inline]
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len() == 0
     }
 }
 
@@ -126,8 +239,58 @@ impl<E> std::fmt::Debug for EventQueue<E> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("EventQueue")
             .field("now", &self.now)
-            .field("pending", &self.heap.len())
+            .field("pending", &self.len())
+            .field("far_future", &self.overflow.len())
             .finish()
+    }
+}
+
+/// The pre-calendar `BinaryHeap` implementation, kept as the test oracle for
+/// the observational-equivalence property tests below.
+#[cfg(test)]
+mod oracle {
+    use super::{BinaryHeap, Cycle, Entry};
+
+    /// Reference queue: a max-heap over inverted `(at, seq)`.
+    pub struct HeapQueue<E> {
+        heap: BinaryHeap<Entry<E>>,
+        next_seq: u64,
+        now: Cycle,
+    }
+
+    impl<E> HeapQueue<E> {
+        pub fn new() -> Self {
+            HeapQueue {
+                heap: BinaryHeap::new(),
+                next_seq: 0,
+                now: Cycle::ZERO,
+            }
+        }
+
+        pub fn schedule(&mut self, at: Cycle, event: E) {
+            assert!(at >= self.now, "event scheduled in the past");
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            self.heap.push(Entry { at, seq, event });
+        }
+
+        pub fn pop(&mut self) -> Option<(Cycle, E)> {
+            let entry = self.heap.pop()?;
+            self.now = entry.at;
+            Some((entry.at, entry.event))
+        }
+
+        pub fn peek_time(&self) -> Option<Cycle> {
+            self.heap.peek().map(|e| e.at)
+        }
+
+        pub fn now(&self) -> Cycle {
+            self.now
+        }
+
+        pub fn len(&self) -> usize {
+            self.heap.len()
+        }
     }
 }
 
@@ -199,10 +362,61 @@ mod tests {
         assert_eq!(q.now(), Cycle::ZERO);
         assert_eq!(q.len(), 1);
     }
+
+    #[test]
+    fn far_future_events_fall_back_to_the_heap() {
+        let mut q = EventQueue::new();
+        // Far beyond the wheel window.
+        q.schedule(Cycle(1_000_000), "far");
+        q.schedule(Cycle(3), "near");
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.peek_time(), Some(Cycle(3)));
+        assert_eq!(q.pop(), Some((Cycle(3), "near")));
+        assert_eq!(q.peek_time(), Some(Cycle(1_000_000)));
+        assert_eq!(q.pop(), Some((Cycle(1_000_000), "far")));
+        assert_eq!(q.now(), Cycle(1_000_000));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn heap_wins_timestamp_ties_against_the_wheel() {
+        let mut q = EventQueue::new();
+        // Scheduled while 2000 is beyond the window → overflow heap.
+        q.schedule(Cycle(2000), "first");
+        q.schedule(Cycle(1500), "step");
+        assert_eq!(q.pop(), Some((Cycle(1500), "step")));
+        // 2000 is now inside the window → wheel; it was scheduled later so
+        // it must pop second.
+        q.schedule(Cycle(2000), "second");
+        assert_eq!(q.pop(), Some((Cycle(2000), "first")));
+        assert_eq!(q.pop(), Some((Cycle(2000), "second")));
+    }
+
+    #[test]
+    fn wheel_wraps_across_many_windows() {
+        let mut q = EventQueue::new();
+        let mut expect = Vec::new();
+        let mut t = 0u64;
+        for i in 0..500u64 {
+            t += 7 * (i % 13) + 1;
+            q.schedule(Cycle(t), i);
+            expect.push((Cycle(t), i));
+            // Drain every third scheduling so the window keeps sliding.
+            if i % 3 == 0 {
+                let got = q.pop().unwrap();
+                assert_eq!(got, expect.remove(0));
+            }
+        }
+        while let Some(got) = q.pop() {
+            assert_eq!(got, expect.remove(0));
+        }
+        assert!(expect.is_empty());
+    }
 }
 
 #[cfg(test)]
 mod proptests {
+    use super::oracle::HeapQueue;
     use super::*;
     use proptest::prelude::*;
 
@@ -225,6 +439,43 @@ mod proptests {
                 if w[0].0 == w[1].0 {
                     prop_assert!(w[0].1 < w[1].1, "FIFO broken within a timestamp");
                 }
+            }
+        }
+
+        /// The calendar wheel is observationally equivalent to the old
+        /// `BinaryHeap` queue on arbitrary schedule/pop interleavings. Deltas
+        /// span both the wheel window and the far-future overflow heap, and
+        /// delta 0 exercises same-cycle FIFO.
+        #[test]
+        fn wheel_matches_heap_oracle(
+            ops in proptest::collection::vec(
+                (any::<bool>(), 0u64..4000, 0u64..3), 1..300)
+        ) {
+            let mut wheel = EventQueue::new();
+            let mut heap = HeapQueue::new();
+            let mut id = 0u64;
+            for (is_pop, delta, repeat) in ops {
+                if is_pop {
+                    prop_assert_eq!(wheel.pop(), heap.pop());
+                } else {
+                    // `repeat` schedules several events at the same cycle to
+                    // stress FIFO-within-timestamp.
+                    for _ in 0..=repeat {
+                        let at = Cycle(wheel.now().0 + delta);
+                        wheel.schedule(at, id);
+                        heap.schedule(at, id);
+                        id += 1;
+                    }
+                }
+                prop_assert_eq!(wheel.len(), heap.len());
+                prop_assert_eq!(wheel.peek_time(), heap.peek_time());
+                prop_assert_eq!(wheel.now(), heap.now());
+            }
+            // Drain: every remaining event pops identically.
+            loop {
+                let (a, b) = (wheel.pop(), heap.pop());
+                prop_assert_eq!(a, b);
+                if a.is_none() { break; }
             }
         }
     }

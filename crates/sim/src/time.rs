@@ -111,18 +111,21 @@ impl SubAssign for Cycle {
 }
 
 impl Sum for Cycle {
+    #[inline]
     fn sum<I: Iterator<Item = Cycle>>(iter: I) -> Cycle {
         Cycle(iter.map(|c| c.0).sum())
     }
 }
 
 impl From<u64> for Cycle {
+    #[inline]
     fn from(v: u64) -> Cycle {
         Cycle(v)
     }
 }
 
 impl From<Cycle> for u64 {
+    #[inline]
     fn from(c: Cycle) -> u64 {
         c.0
     }
