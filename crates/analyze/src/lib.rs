@@ -36,8 +36,8 @@ use dashlat_cpu::events::{events_from_trace, EventLog};
 use dashlat_cpu::trace::Trace;
 
 pub use report::{
-    AnalysisReport, BarrierSummary, HbSummary, LocksetSummary, LocksetWarning, PrefetchSummary,
-    Race, Site, SyncBalanceSummary, SyncIssue, SyncPoint,
+    AnalysisReport, BarrierSummary, HbSummary, LocksetSummary, LocksetWarning, OpTimeline,
+    PrefetchSummary, Race, Site, SyncBalanceSummary, SyncIssue, SyncPoint,
 };
 
 /// One analysis pass selectable from the command line.

@@ -1,5 +1,6 @@
 //! Report types shared by all analysis passes, and the rendered summary.
 
+use dashlat_cpu::events::EventLog;
 use dashlat_cpu::ops::{BarrierId, LockId, ProcId};
 use dashlat_mem::addr::{Addr, LineAddr};
 use dashlat_sim::Cycle;
@@ -308,6 +309,88 @@ impl SyncBalanceSummary {
     /// True when any finding breaks certification.
     pub fn has_critical(&self) -> bool {
         self.issues.iter().any(SyncIssue::is_critical)
+    }
+}
+
+/// A per-processor operation timeline rendered from an [`EventLog`] —
+/// the shared trace-display machinery for race reports and the memory-model
+/// verifier's counterexample rendering (`dashlat-verify`).
+///
+/// Each committed event becomes one row, in global commit order, annotated
+/// with its cycle and per-process operation index, indented into one column
+/// per process so interleavings read top-to-bottom:
+///
+/// ```text
+///   cycle    P0                  P1
+///       0    W 0x0 (op 0)
+///       0                        R 0x10 (op 0)
+/// ```
+#[derive(Debug, Clone)]
+pub struct OpTimeline {
+    rows: Vec<(u64, usize, u64, String)>,
+    nprocs: usize,
+}
+
+impl OpTimeline {
+    /// Builds the timeline from a log's committed events.
+    pub fn from_log(log: &EventLog) -> Self {
+        use dashlat_cpu::events::EventKind;
+        let rows = log
+            .events
+            .iter()
+            .map(|e| {
+                let what = match e.kind {
+                    EventKind::Read(a) => format!("R {a}"),
+                    EventKind::Write(a) => format!("W {a}"),
+                    EventKind::Prefetch { addr, exclusive } => {
+                        format!("PF{} {addr}", if exclusive { "x" } else { "" })
+                    }
+                    EventKind::Acquire(l) => format!("acq L{}", l.0),
+                    EventKind::Release(l) => format!("rel L{}", l.0),
+                    EventKind::BarrierArrive(b) => format!("bar B{}", b.0),
+                    EventKind::BarrierForced(b) => format!("bar! B{}", b.0),
+                    EventKind::Done => "done".to_string(),
+                };
+                (e.cycle.as_u64(), e.pid.0, e.op_index, what)
+            })
+            .collect();
+        OpTimeline {
+            rows,
+            nprocs: log.nprocs,
+        }
+    }
+
+    /// Number of rendered rows (committed events).
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the log had no events.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+impl std::fmt::Display for OpTimeline {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        const COL: usize = 20;
+        write!(f, "  {:>7}  ", "cycle")?;
+        for p in 0..self.nprocs {
+            write!(f, "{:<COL$}", format!("P{p}"))?;
+        }
+        writeln!(f)?;
+        for (cycle, pid, op_index, what) in &self.rows {
+            write!(f, "  {cycle:>7}  ")?;
+            for p in 0..self.nprocs {
+                if p == *pid {
+                    write!(f, "{:<COL$}", format!("{what} (op {op_index})"))?;
+                } else {
+                    write!(f, "{:<COL$}", "")?;
+                }
+            }
+            writeln!(f)?;
+        }
+        Ok(())
     }
 }
 

@@ -70,6 +70,16 @@ pub enum Command {
         /// Machine variant for live runs.
         config: Box<ExperimentConfig>,
     },
+    /// Exhaustively verify the machine's memory model and directory
+    /// protocol against their specifications.
+    VerifyModel {
+        /// Consistency models to check.
+        models: Vec<Consistency>,
+        /// Corpus tests to run (empty = whole corpus).
+        tests: Vec<String>,
+        /// Per-cell run budget (0 = the crate default).
+        max_runs: u64,
+    },
     /// Print usage.
     Help,
 }
@@ -99,6 +109,8 @@ USAGE:
   dashlat trace replay --in <file> [machine flags]
   dashlat analyze [--app <app>]... [--in <file>] [--passes <list>]
                   [--paper-scale] [machine flags]
+  dashlat verify-model [--all] [--models <sc,pc,wc,rc>] [--tests <names>]
+                       [--max-runs <n>]
   dashlat help
 
 MACHINE FLAGS:
@@ -132,9 +144,22 @@ ANALYZE:
   data sets (--paper-scale restores Table 2 sizes), every pass.
   --in <file> analyzes a recorded trace by logical replay instead.
 
+VERIFY-MODEL:
+  `dashlat verify-model` runs the litmus corpus through a sleep-set
+  stateless model checker and compares the machine's outcome sets
+  against the axiomatic consistency models, then exhaustively checks
+  the directory protocol's SWMR and data-value invariants on small
+  configurations. Defaults: SC and RC, whole corpus. --all checks all
+  four models; --models / --tests narrow the sweep (comma lists);
+  --max-runs caps runs per (test, model) cell — hitting the cap marks
+  the cell truncated, which fails it (truncation is never silent).
+
 EXIT CODES:
   0 success   1 generic error   2 deadlock   3 livelock
   4 invariant violation   5 partial matrix results   6 race detected
+  7 memory-model violation
+  When several failures co-occur (e.g. in one figure matrix), the most
+  severe code wins: 7, then 4, 2, 3, 6, 5, and 1 last.
 ";
 
 fn parse_consistency(v: &str) -> Result<Consistency, ArgError> {
@@ -458,6 +483,68 @@ pub fn parse(mut args: Vec<String>) -> Result<Command, ArgError> {
                 config: Box::new(config),
             })
         }
+        "verify-model" => {
+            let all = if let Some(i) = args.iter().position(|a| a == "--all") {
+                args.remove(i);
+                true
+            } else {
+                false
+            };
+            let models = match args.iter().position(|a| a == "--models") {
+                Some(i) if i + 1 < args.len() => {
+                    if all {
+                        return Err(ArgError("--all and --models are mutually exclusive".into()));
+                    }
+                    let v = args.remove(i + 1);
+                    args.remove(i);
+                    v.split(',')
+                        .map(parse_consistency)
+                        .collect::<Result<Vec<_>, _>>()?
+                }
+                Some(_) => return Err(ArgError("--models needs a value".into())),
+                // The paper's endpoints by default; --all adds PC and WC.
+                None if all => dashlat_verify::ALL_MODELS.to_vec(),
+                None => vec![Consistency::Sc, Consistency::Rc],
+            };
+            let tests = match args.iter().position(|a| a == "--tests") {
+                Some(i) if i + 1 < args.len() => {
+                    let v = args.remove(i + 1);
+                    args.remove(i);
+                    let names: Vec<String> = v.split(',').map(str::to_string).collect();
+                    for n in &names {
+                        if dashlat_verify::litmus::by_name(n).is_none() {
+                            return Err(ArgError(format!(
+                                "unknown litmus test {n:?} (known: {})",
+                                dashlat_verify::corpus()
+                                    .iter()
+                                    .map(|t| t.name)
+                                    .collect::<Vec<_>>()
+                                    .join(", ")
+                            )));
+                        }
+                    }
+                    names
+                }
+                Some(_) => return Err(ArgError("--tests needs a value".into())),
+                None => Vec::new(),
+            };
+            let max_runs = match args.iter().position(|a| a == "--max-runs") {
+                Some(i) if i + 1 < args.len() => {
+                    let v = args.remove(i + 1);
+                    args.remove(i);
+                    v.parse()
+                        .map_err(|_| ArgError(format!("bad run budget {v:?}")))?
+                }
+                Some(_) => return Err(ArgError("--max-runs needs a value".into())),
+                None => 0,
+            };
+            ensure_consumed(&args)?;
+            Ok(Command::VerifyModel {
+                models,
+                tests,
+                max_runs,
+            })
+        }
         other => Err(ArgError(format!(
             "unknown command {other:?}; try `dashlat help`"
         ))),
@@ -660,6 +747,49 @@ mod tests {
             other => panic!("unexpected {other:?}"),
         }
         assert!(parse(v(&["run", "--app", "lu", "--analyze", "bogus"])).is_err());
+    }
+
+    #[test]
+    fn verify_model_defaults_and_flags() {
+        let cmd = parse(v(&["verify-model"])).expect("parses");
+        assert_eq!(
+            cmd,
+            Command::VerifyModel {
+                models: vec![Consistency::Sc, Consistency::Rc],
+                tests: vec![],
+                max_runs: 0,
+            }
+        );
+        let cmd = parse(v(&["verify-model", "--all"])).expect("parses");
+        match cmd {
+            Command::VerifyModel { models, .. } => {
+                assert_eq!(models, dashlat_verify::ALL_MODELS.to_vec());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let cmd = parse(v(&[
+            "verify-model",
+            "--models",
+            "sc,wc",
+            "--tests",
+            "sb,mp",
+            "--max-runs",
+            "500",
+        ]))
+        .expect("parses");
+        assert_eq!(
+            cmd,
+            Command::VerifyModel {
+                models: vec![Consistency::Sc, Consistency::Wc],
+                tests: vec!["sb".into(), "mp".into()],
+                max_runs: 500,
+            }
+        );
+        assert!(parse(v(&["verify-model", "--all", "--models", "sc"])).is_err());
+        assert!(parse(v(&["verify-model", "--tests", "bogus"])).is_err());
+        assert!(parse(v(&["verify-model", "--models", "tso"])).is_err());
+        assert!(parse(v(&["verify-model", "--max-runs", "many"])).is_err());
+        assert!(parse(v(&["verify-model", "--bogus"])).is_err());
     }
 
     #[test]

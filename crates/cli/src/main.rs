@@ -51,10 +51,82 @@ impl std::fmt::Display for RacesFound {
 
 impl std::error::Error for RacesFound {}
 
+/// The memory-model verifier found a violation (or could not establish
+/// exhaustiveness, which is treated just as seriously).
+#[derive(Debug)]
+struct ModelViolation;
+
+impl std::fmt::Display for ModelViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("memory-model verification failed (details above)")
+    }
+}
+
+impl std::error::Error for ModelViolation {}
+
+/// A pre-ranked failure from a path where several failure classes can
+/// co-occur (a figure matrix): carries the exit code of its most severe
+/// constituent so `main` does not have to re-derive it.
+#[derive(Debug)]
+struct WorstFailure {
+    code: u8,
+    msg: String,
+}
+
+impl std::fmt::Display for WorstFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for WorstFailure {}
+
+/// Severity ranking of the exit codes, most severe first: a memory-model
+/// violation (7) means the simulator's consistency guarantees are wrong,
+/// which invalidates everything downstream; an invariant violation (4)
+/// means corrupted coherence state; deadlock (2) and livelock (3) are
+/// forward-progress failures; a race (6) indicts the workload's labeling
+/// rather than the machine; partial results (5) and generic errors (1)
+/// rank last. When failures co-occur the most severe code wins.
+const SEVERITY: [u8; 7] = [7, 4, 2, 3, 6, 5, 1];
+
+/// Returns the more severe of two exit codes under [`SEVERITY`].
+fn worst_code(a: u8, b: u8) -> u8 {
+    let rank = |c: u8| {
+        SEVERITY
+            .iter()
+            .position(|&s| s == c)
+            .unwrap_or(SEVERITY.len())
+    };
+    if rank(a) <= rank(b) {
+        a
+    } else {
+        b
+    }
+}
+
+/// Exit code of one run failure (a figure-matrix cell).
+fn failure_code(f: &RunFailure) -> u8 {
+    match f {
+        RunFailure::RaceDetected(_) => 6,
+        RunFailure::Error(RunError::Deadlock { .. }) => 2,
+        RunFailure::Error(RunError::Livelock { .. }) => 3,
+        RunFailure::Error(RunError::InvariantViolation { .. }) => 4,
+        RunFailure::Error(_) | RunFailure::Panic(_) => 1,
+    }
+}
+
 /// Distinct exit codes so scripts can tell failure classes apart:
 /// 0 success, 1 generic, 2 deadlock, 3 livelock, 4 invariant violation,
-/// 5 partial matrix results, 6 race detected.
+/// 5 partial matrix results, 6 race detected, 7 memory-model violation.
+/// Paths where failures co-occur pre-rank them into [`WorstFailure`].
 fn exit_code_for(e: &(dyn std::error::Error + 'static)) -> ExitCode {
+    if let Some(w) = e.downcast_ref::<WorstFailure>() {
+        return ExitCode::from(w.code);
+    }
+    if e.downcast_ref::<ModelViolation>().is_some() {
+        return ExitCode::from(7);
+    }
     if e.downcast_ref::<RacesFound>().is_some() {
         return ExitCode::from(6);
     }
@@ -160,18 +232,33 @@ fn execute(cmd: Command) -> Result<(), Box<dyn std::error::Error>> {
             if report.is_complete() {
                 Ok(())
             } else {
-                // Races outrank generic partial results: a mislabeled
-                // program invalidates the figure, not just one cell.
+                // Several failure classes can co-occur across the matrix's
+                // cells; the exit code of the most severe one wins (an
+                // invariant violation in one cell outranks another cell's
+                // race, which outranks the generic partial-results code).
+                let code = report
+                    .failures
+                    .iter()
+                    .map(|(_, _, f)| failure_code(f))
+                    .fold(5, worst_code);
                 let racy = report
                     .failures
                     .iter()
                     .filter(|(_, _, f)| matches!(f, RunFailure::RaceDetected(_)))
                     .count();
-                if racy > 0 {
-                    Err(Box::new(RacesFound(racy)))
+                let msg = if racy > 0 {
+                    format!(
+                        "{racy} subject(s) failed race-freedom certification; \
+                         {} configuration(s) failed in total",
+                        report.failures.len()
+                    )
                 } else {
-                    Err(Box::new(PartialMatrix(report.failures.len())))
-                }
+                    format!(
+                        "{} configuration(s) failed; partial results rendered above",
+                        report.failures.len()
+                    )
+                };
+                Err(Box::new(WorstFailure { code, msg }))
             }
         }
         Command::Table { number, config } => {
@@ -258,6 +345,19 @@ fn execute(cmd: Command) -> Result<(), Box<dyn std::error::Error>> {
             );
             Ok(())
         }
+        Command::VerifyModel {
+            models,
+            tests,
+            max_runs,
+        } => {
+            let suite = dashlat_verify::verify_suite(&models, &tests, max_runs);
+            print!("{}", suite.render());
+            if suite.passed() {
+                Ok(())
+            } else {
+                Err(Box::new(ModelViolation))
+            }
+        }
         Command::Analyze {
             apps,
             input,
@@ -307,4 +407,69 @@ fn record_trace(app: App, config: &ExperimentConfig) -> Result<Trace, Box<dyn st
         .with_max_cycles(Cycle(50_000_000_000))
         .run()?;
     Ok(recorder.into_trace_with_pages(config.processors, homes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_ranking_is_total_and_most_severe_wins() {
+        // 7 > 4 > 2 > 3 > 6 > 5 > 1, pairwise.
+        for (i, &a) in SEVERITY.iter().enumerate() {
+            for &b in &SEVERITY[i..] {
+                assert_eq!(worst_code(a, b), a);
+                assert_eq!(worst_code(b, a), a);
+            }
+        }
+        // Unknown codes lose to every ranked one.
+        assert_eq!(worst_code(99, 5), 5);
+        assert_eq!(worst_code(1, 99), 1);
+    }
+
+    #[test]
+    fn figure_matrix_failures_rank_by_class() {
+        let deadlock = RunFailure::Error(RunError::Deadlock { stuck: vec![] });
+        let race = RunFailure::RaceDetected(Box::new(dashlat_analyze::AnalysisReport {
+            subject: String::new(),
+            nprocs: 0,
+            events: 0,
+            passes: vec![],
+            hb: None,
+            lockset: None,
+            barrier: None,
+            prefetch: None,
+            sync_balance: None,
+            replay_notes: vec![],
+        }));
+        let panic = RunFailure::Panic("p".into());
+        assert_eq!(failure_code(&deadlock), 2);
+        assert_eq!(failure_code(&race), 6);
+        assert_eq!(failure_code(&panic), 1);
+        // A deadlock cell outranks a race cell, both outrank partial (5).
+        let code = [&race, &deadlock, &panic]
+            .into_iter()
+            .map(failure_code)
+            .fold(5, worst_code);
+        assert_eq!(code, 2);
+    }
+
+    #[test]
+    fn exit_codes_map_each_error_class() {
+        let as_exit = |e: Box<dyn std::error::Error>| exit_code_for(e.as_ref());
+        assert_eq!(as_exit(Box::new(ModelViolation)), ExitCode::from(7));
+        assert_eq!(as_exit(Box::new(RacesFound(1))), ExitCode::from(6));
+        assert_eq!(as_exit(Box::new(PartialMatrix(2))), ExitCode::from(5));
+        assert_eq!(
+            as_exit(Box::new(WorstFailure {
+                code: 4,
+                msg: String::new()
+            })),
+            ExitCode::from(4)
+        );
+        assert_eq!(
+            as_exit(Box::new(std::io::Error::other("x"))),
+            ExitCode::FAILURE
+        );
+    }
 }

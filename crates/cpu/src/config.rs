@@ -113,6 +113,16 @@ pub struct ProcConfig {
     /// [`RunError::InvariantViolation`](crate::machine::RunError) on the
     /// first violation. Defaults to on in debug builds, off in release.
     pub check_invariants: bool,
+    /// **Deliberately seeded relaxation bug** (compiled only with the
+    /// `verify-mutations` feature; defaults to `false` so a
+    /// feature-unified workspace build behaves identically). When set, the
+    /// write buffer services its *second* entry ahead of its head whenever
+    /// two or more data writes are queued — breaking the W→W FIFO order
+    /// every buffering model in this machine guarantees. Exists purely so
+    /// the memory-model verifier's regression tests can prove the checker
+    /// catches a real reordering bug with a rendered counterexample.
+    #[cfg(feature = "verify-mutations")]
+    pub relaxation_bug: bool,
 }
 
 impl ProcConfig {
@@ -133,6 +143,8 @@ impl ProcConfig {
             timeline_bucket: None,
             faults: None,
             check_invariants: cfg!(debug_assertions),
+            #[cfg(feature = "verify-mutations")]
+            relaxation_bug: false,
         }
     }
 
@@ -184,6 +196,14 @@ impl ProcConfig {
     /// Returns a copy with online invariant checking forced on or off.
     pub fn with_invariant_checks(mut self, on: bool) -> Self {
         self.check_invariants = on;
+        self
+    }
+
+    /// Returns a copy with the seeded write-buffer reordering bug armed
+    /// (see [`ProcConfig::relaxation_bug`]).
+    #[cfg(feature = "verify-mutations")]
+    pub fn with_relaxation_bug(mut self) -> Self {
+        self.relaxation_bug = true;
         self
     }
 }

@@ -44,8 +44,11 @@ use std::collections::VecDeque;
 
 use dashlat_mem::addr::{Addr, LineAddr};
 use dashlat_mem::buffers::{PendingPrefetch, PendingWrite, PrefetchBuffer, WriteBuffer, WriteKind};
-use dashlat_mem::system::{AccessKind, AccessResult, MemStats, MemorySystem, ServiceClass};
+use dashlat_mem::system::{
+    AccessKind, AccessRecord, AccessResult, MemStats, MemorySystem, ServiceClass,
+};
 use dashlat_sim::fault::FaultInjector;
+use dashlat_sim::sched::{Footprint, SchedAlt, Scheduler};
 use dashlat_sim::stats::{Distribution, RunLengthTracker, TimeSeries};
 use dashlat_sim::{Cycle, EventQueue, FxHashMap};
 
@@ -335,6 +338,15 @@ pub struct RunResult {
     /// operation's commit point, in global simulated-time order, ready for
     /// the `dashlat-analyze` passes.
     pub events: Option<EventLog>,
+    /// Memory-system access trace in coherence order, when the machine was
+    /// built with [`Machine::with_access_trace`]. The verifier layers
+    /// value semantics over the (timing-only) simulator from this.
+    pub accesses: Option<Vec<AccessRecord>>,
+    /// Scheduler decision trace — one `(chosen index, slate)` entry per
+    /// decision point — when the machine was built with
+    /// [`Machine::with_scheduler`]. The stateless model checker's
+    /// backtracking state.
+    pub decisions: Option<Vec<(usize, Vec<SchedAlt>)>>,
 }
 
 /// Machine-wide per-interval measurements.
@@ -385,6 +397,14 @@ pub struct Machine<W: Workload> {
     events: Option<EventLog>,
     /// Per-process analysis-event sequence numbers (site identifiers).
     event_seq: Vec<u64>,
+    /// Same-cycle tie-break policy (see [`Machine::with_scheduler`]);
+    /// `None` keeps the plain deterministic `pop()` path.
+    sched: Option<Box<dyn Scheduler>>,
+    /// Decision trace recorded while a scheduler is attached.
+    decisions: Vec<(usize, Vec<SchedAlt>)>,
+    /// Whether the memory system records its access trace (see
+    /// [`Machine::with_access_trace`]).
+    record_accesses: bool,
 }
 
 impl<W: Workload> Machine<W> {
@@ -486,6 +506,9 @@ impl<W: Workload> Machine<W> {
             invariant_failure: None,
             events: None,
             event_seq: Vec::new(),
+            sched: None,
+            decisions: Vec::new(),
+            record_accesses: false,
         }
     }
 
@@ -506,6 +529,34 @@ impl<W: Workload> Machine<W> {
             self.workload.sync_config(),
         ));
         self.event_seq = vec![0; self.topo.processes()];
+        self
+    }
+
+    /// Records the memory system's access trace (coherence order) during
+    /// the run, returned as [`RunResult::accesses`]. The memory-model
+    /// verifier reads values off this trace; leave off for plain
+    /// performance runs.
+    pub fn with_access_trace(mut self) -> Self {
+        self.mem.record_accesses();
+        self.record_accesses = true;
+        self
+    }
+
+    /// Attaches a same-cycle tie-break scheduler.
+    ///
+    /// Without one, the event queue's deterministic insertion-order
+    /// tie-break applies (the plain `pop()` path — zero overhead). With
+    /// one, every time the machine is about to process an event it drains
+    /// *all* events sharing the minimum timestamp, describes each as a
+    /// [`SchedAlt`], and lets the scheduler pick which runs next; the rest
+    /// are re-enqueued in their original relative order. The decision
+    /// trace comes back as [`RunResult::decisions`].
+    ///
+    /// [`dashlat_sim::sched::FifoScheduler`] reproduces the default order
+    /// choice-for-choice; [`dashlat_sim::sched::ReplayScheduler`] is the
+    /// stateless model checker's replay vehicle.
+    pub fn with_scheduler(mut self, sched: Box<dyn Scheduler>) -> Self {
+        self.sched = Some(sched);
         self
     }
 
@@ -555,7 +606,16 @@ impl<W: Workload> Machine<W> {
 
         let mut last_t = Cycle::ZERO;
         let mut events_at_t = 0u64;
-        while let Some((t, ev)) = self.queue.pop() {
+        loop {
+            // The scheduler-attached path collects the whole same-cycle
+            // slate and asks the policy; the default path is the plain
+            // deterministic pop (no overhead beyond this branch).
+            let next = if self.sched.is_some() {
+                self.pop_scheduled()
+            } else {
+                self.queue.pop()
+            };
+            let Some((t, ev)) = next else { break };
             if t > self.max_cycles {
                 return Err(RunError::CycleBudgetExceeded {
                     limit: self.max_cycles,
@@ -609,6 +669,104 @@ impl<W: Workload> Machine<W> {
         }
 
         Ok(self.finish())
+    }
+
+    /// Scheduler-attached event selection: drains every event at the
+    /// minimum timestamp, asks the scheduler which executes next, and
+    /// re-enqueues the rest in their original relative order. Called for
+    /// singleton slates too, so replay prefixes see a stable decision
+    /// numbering.
+    fn pop_scheduled(&mut self) -> Option<(Cycle, Event)> {
+        let t = self.queue.peek_time()?;
+        let mut slate: Vec<Event> = Vec::new();
+        while self.queue.peek_time() == Some(t) {
+            slate.push(self.queue.pop().expect("peeked event exists").1);
+        }
+        let alts: Vec<SchedAlt> = slate.iter().map(|ev| self.describe_event(ev)).collect();
+        let sched = self.sched.as_mut().expect("caller checked");
+        let choice = sched.choose(t, &alts);
+        assert!(
+            choice < slate.len(),
+            "scheduler chose alternative {choice} of a {}-wide slate",
+            slate.len()
+        );
+        self.decisions.push((choice, alts));
+        let ev = slate.remove(choice);
+        for rest in slate {
+            self.queue.schedule(t, rest);
+        }
+        Some((t, ev))
+    }
+
+    /// Describes one pending event for the scheduler: which processor it
+    /// belongs to and what memory it will touch. Anything that cannot be
+    /// bounded precisely is `Unknown`/`Sync` (dependent with everything) —
+    /// conservative for partial-order reduction, never unsound.
+    fn describe_event(&self, ev: &Event) -> SchedAlt {
+        match *ev {
+            Event::Step(pid) => {
+                let op = match self.ctxs[pid].pending_op {
+                    Some(op) => Some(op),
+                    None => self.workload.peek_op(ProcId(pid)),
+                };
+                let footprint = match op {
+                    Some(Op::Compute(_) | Op::Done) => Footprint::None,
+                    Some(Op::Read(a) | Op::Write(a) | Op::Prefetch { addr: a, .. }) => {
+                        Footprint::Line(a.line().index())
+                    }
+                    Some(Op::Acquire(_) | Op::Release(_) | Op::Barrier(_)) => Footprint::Sync,
+                    None => Footprint::Unknown,
+                };
+                SchedAlt {
+                    pid: self.proc_of(pid),
+                    footprint,
+                    tag: "step",
+                }
+            }
+            Event::Wake(pid) => SchedAlt {
+                pid: self.proc_of(pid),
+                footprint: Footprint::None,
+                tag: "wake",
+            },
+            Event::WbService(p) => {
+                let footprint = match self.procs[p].wbuf.head() {
+                    Some(w) if w.kind == WriteKind::Release => Footprint::Sync,
+                    Some(w) => Footprint::Line(w.addr.line().index()),
+                    None => Footprint::None,
+                };
+                SchedAlt {
+                    pid: p,
+                    footprint,
+                    tag: "wb",
+                }
+            }
+            Event::PbService(p) => {
+                let footprint = match self.procs[p].pbuf.head() {
+                    Some(pf) => Footprint::Line(pf.addr.line().index()),
+                    None => Footprint::None,
+                };
+                SchedAlt {
+                    pid: p,
+                    footprint,
+                    tag: "pb",
+                }
+            }
+            Event::Fill(p, line, _) => SchedAlt {
+                pid: p,
+                footprint: Footprint::Line(line.index()),
+                tag: "fill",
+            },
+            Event::Unlock(_, pid) => SchedAlt {
+                pid: self.proc_of(pid),
+                footprint: Footprint::Sync,
+                tag: "unlock",
+            },
+            Event::BarrierWake(pid, _) => SchedAlt {
+                pid: self.proc_of(pid),
+                footprint: Footprint::Sync,
+                tag: "barrier-wake",
+            },
+        }
     }
 
     /// Snapshot of every unfinished process for a watchdog report.
@@ -673,6 +831,11 @@ impl<W: Workload> Machine<W> {
             sim_events: self.queue.scheduled(),
             timeline: self.timeline,
             events: self.events,
+            accesses: self.record_accesses.then(|| self.mem.take_access_trace()),
+            decisions: self
+                .sched
+                .is_some()
+                .then(|| std::mem::take(&mut self.decisions)),
         }
     }
 
@@ -1101,8 +1264,35 @@ impl<W: Workload> Machine<W> {
             return;
         }
         self.procs[p].wb_next_issue = t + self.cfg.write_issue_spacing;
-        let entry = self.procs[p].wbuf.pop().expect("head exists");
-        let meta = self.procs[p].wb_meta.pop_front().expect("meta in lockstep");
+        // Seeded relaxation bug (`verify-mutations` + runtime flag): when
+        // two or more data writes are queued, service the *second* one
+        // ahead of the head — a W→W FIFO violation every buffering model
+        // here forbids. Exists so the model checker's regression tests can
+        // prove they catch a real reordering bug.
+        #[cfg(feature = "verify-mutations")]
+        let (entry, meta) = {
+            let swap = self.cfg.relaxation_bug
+                && head.kind == WriteKind::Data
+                && self.procs[p]
+                    .wbuf
+                    .peek_at(1)
+                    .is_some_and(|w| w.kind == WriteKind::Data);
+            if swap {
+                let entry = self.procs[p].wbuf.remove_at(1).expect("second entry");
+                let meta = self.procs[p].wb_meta.remove(1).expect("meta in lockstep");
+                (entry, meta)
+            } else {
+                let entry = self.procs[p].wbuf.pop().expect("head exists");
+                let meta = self.procs[p].wb_meta.pop_front().expect("meta in lockstep");
+                (entry, meta)
+            }
+        };
+        #[cfg(not(feature = "verify-mutations"))]
+        let (entry, meta) = {
+            let entry = self.procs[p].wbuf.pop().expect("head exists");
+            let meta = self.procs[p].wb_meta.pop_front().expect("meta in lockstep");
+            (entry, meta)
+        };
         let node = dashlat_mem::addr::NodeId(p);
         let r = self.access_mem(t, node, entry.addr, AccessKind::Write);
         self.procs[p].writes_done_horizon = self.procs[p].writes_done_horizon.max(r.done_at);

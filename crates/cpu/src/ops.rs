@@ -178,6 +178,19 @@ pub trait Workload {
     /// the process has finished.
     fn next_op(&mut self, pid: ProcId) -> Op;
 
+    /// The operation [`Workload::next_op`] would return for `pid`, without
+    /// consuming it — or `None` when the workload cannot look ahead.
+    ///
+    /// Only consulted when a scheduler
+    /// ([`dashlat_sim::sched::Scheduler`]) is attached to the machine: the
+    /// footprint of a pending processor step feeds the independence
+    /// relation of the partial-order-reduction explorer. Workloads that
+    /// cannot cheaply look ahead keep the default (`None`), which is
+    /// treated as "may touch anything" — always safe, just less reduced.
+    fn peek_op(&self, _pid: ProcId) -> Option<Op> {
+        None
+    }
+
     /// The locks and barriers this workload uses.
     fn sync_config(&self) -> SyncConfig;
 
@@ -199,6 +212,9 @@ impl<W: Workload + ?Sized> Workload for &mut W {
     fn next_op(&mut self, pid: ProcId) -> Op {
         (**self).next_op(pid)
     }
+    fn peek_op(&self, pid: ProcId) -> Option<Op> {
+        (**self).peek_op(pid)
+    }
     fn sync_config(&self) -> SyncConfig {
         (**self).sync_config()
     }
@@ -216,6 +232,9 @@ impl<W: Workload + ?Sized> Workload for Box<W> {
     }
     fn next_op(&mut self, pid: ProcId) -> Op {
         (**self).next_op(pid)
+    }
+    fn peek_op(&self, pid: ProcId) -> Option<Op> {
+        (**self).peek_op(pid)
     }
     fn sync_config(&self) -> SyncConfig {
         (**self).sync_config()

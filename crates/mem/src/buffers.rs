@@ -103,6 +103,22 @@ impl WriteBuffer {
         self.entries.pop_front()
     }
 
+    /// Removes an entry *out of FIFO order* — the support surface for the
+    /// verifier's deliberately seeded write-buffer reordering bug
+    /// (`ProcConfig::relaxation_bug` in `dashlat-cpu`). Never part of the
+    /// real machine model.
+    #[cfg(feature = "verify-mutations")]
+    pub fn remove_at(&mut self, index: usize) -> Option<PendingWrite> {
+        self.entries.remove(index)
+    }
+
+    /// Inspects an arbitrary entry — companion of
+    /// [`WriteBuffer::remove_at`], same caveat.
+    #[cfg(feature = "verify-mutations")]
+    pub fn peek_at(&self, index: usize) -> Option<&PendingWrite> {
+        self.entries.get(index)
+    }
+
     /// Number of queued writes.
     pub fn len(&self) -> usize {
         self.entries.len()

@@ -63,7 +63,7 @@ pub struct DirOutcome {
 }
 
 /// The machine-wide directory (one logical map; entries are homed by page).
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct Directory {
     entries: FxHashMap<LineAddr, DirState>,
     kind: DirectoryKind,

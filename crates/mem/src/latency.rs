@@ -85,6 +85,35 @@ impl LatencyTable {
             primary_fill_lockout: Cycle(4),
         }
     }
+
+    /// Every latency equal to `c` (and no invalidation-ack surcharge).
+    ///
+    /// Used by the memory-model verifier: with all classes costing the
+    /// same, the *value*-visible behaviour of a run depends only on the
+    /// order events are scheduled in, never on which cache level happened
+    /// to service an access — so enumerating event-queue tie-breaks
+    /// enumerates exactly the machine's memory-ordering nondeterminism.
+    pub fn uniform(c: Cycle) -> Self {
+        LatencyTable {
+            read_primary_hit: c,
+            read_fill_secondary: c,
+            read_fill_local: c,
+            read_fill_home: c,
+            read_fill_remote: c,
+            read_fill_remote_home_local: c,
+            write_owned_secondary: c,
+            write_owned_local: c,
+            write_owned_home: c,
+            write_owned_remote: c,
+            write_owned_remote_home_local: c,
+            inval_roundtrip: Cycle::ZERO,
+            uncached_read_local: c,
+            uncached_read_home: c,
+            uncached_write_local: c,
+            uncached_write_home: c,
+            primary_fill_lockout: Cycle::ZERO,
+        }
+    }
 }
 
 impl Default for LatencyTable {

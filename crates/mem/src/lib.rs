@@ -54,4 +54,6 @@ pub use contention::NetworkModel;
 pub use latency::LatencyTable;
 pub use layout::{AddressSpaceBuilder, PageMap, Placement, Segment};
 pub use mesh::Mesh;
-pub use system::{AccessKind, AccessResult, MemConfig, MemStats, MemorySystem, ServiceClass};
+pub use system::{
+    AccessKind, AccessRecord, AccessResult, MemConfig, MemStats, MemorySystem, ServiceClass,
+};

@@ -96,6 +96,31 @@ impl AccessResult {
     }
 }
 
+/// One serviced access, as recorded by the optional access trace
+/// ([`MemorySystem::record_accesses`]).
+///
+/// Directory and cache state mutate at *request-processing* time, i.e. in
+/// the order [`MemorySystem::access`] is called — so the position of a
+/// record in the trace **is** the access's place in the machine's global
+/// coherence order. The memory-model verifier relies on this to layer
+/// value semantics over the (timing-only) simulator: a read returns the
+/// value of the last write to its address that precedes it in trace order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessRecord {
+    /// When service started (the `now` passed to `access`).
+    pub at: Cycle,
+    /// Requesting node.
+    pub node: NodeId,
+    /// Target address.
+    pub addr: Addr,
+    /// Demand read / write / prefetch flavour.
+    pub kind: AccessKind,
+    /// Where the access was serviced.
+    pub class: ServiceClass,
+    /// When the access completed.
+    pub done_at: Cycle,
+}
+
 /// Configuration of the memory system.
 #[derive(Debug, Clone)]
 pub struct MemConfig {
@@ -202,6 +227,9 @@ pub struct MemorySystem {
     holders_scratch: Vec<(usize, LineState)>,
     /// Reusable scratch: dirty holders of the line under inspection.
     dirty_scratch: Vec<usize>,
+    /// When `Some`, every serviced access is appended here in coherence
+    /// order (see [`AccessRecord`]). Off (`None`) for normal sweeps.
+    access_trace: Option<Vec<AccessRecord>>,
 }
 
 impl std::fmt::Debug for MemorySystem {
@@ -256,6 +284,60 @@ impl MemorySystem {
             stats: MemStats::default(),
             holders_scratch: Vec::new(),
             dirty_scratch: Vec::new(),
+            access_trace: None,
+        }
+    }
+
+    /// Turns on access-trace recording: every subsequent
+    /// [`MemorySystem::access`] appends an [`AccessRecord`] in coherence
+    /// order, retrievable with [`MemorySystem::take_access_trace`].
+    pub fn record_accesses(&mut self) {
+        self.access_trace = Some(Vec::new());
+    }
+
+    /// Takes the recorded access trace (empty if recording was never
+    /// enabled); recording continues into a fresh buffer if it was on.
+    pub fn take_access_trace(&mut self) -> Vec<AccessRecord> {
+        match &mut self.access_trace {
+            Some(t) => std::mem::take(t),
+            None => Vec::new(),
+        }
+    }
+
+    /// Directory state of `line` (read-only; protocol-checker probe).
+    pub fn directory_state(&self, line: LineAddr) -> DirState {
+        self.directory.state(line)
+    }
+
+    /// A protocol-state fork of this system: identical caches, directory
+    /// and page map, but fresh contention/fault/statistics state and no
+    /// access trace.
+    ///
+    /// The exhaustive directory-protocol checker explores the reachable
+    /// protocol state space breadth-first; each frontier state is expanded
+    /// by forking the system and applying one more access. Only the
+    /// *protocol* state (cache line states + directory entries) matters
+    /// for the SWMR and data-value invariants — timing artefacts like
+    /// queue occupancy deliberately reset so two states that differ only
+    /// in contention history compare equal.
+    pub fn fork_protocol(&self) -> MemorySystem {
+        MemorySystem {
+            cfg: self.cfg.clone(),
+            page_map: self.page_map.clone(),
+            primary: self.primary.clone(),
+            secondary: self.secondary.clone(),
+            directory: self.directory.clone(),
+            contention: Contention::with_network(
+                self.cfg.nodes,
+                self.cfg.occupancies.clone(),
+                self.cfg.contention,
+                self.cfg.network,
+            ),
+            faults: None,
+            stats: MemStats::default(),
+            holders_scratch: Vec::new(),
+            dirty_scratch: Vec::new(),
+            access_trace: None,
         }
     }
 
@@ -300,6 +382,17 @@ impl MemorySystem {
         self.page_map.home_of(addr)
     }
 
+    /// State of `line` in `node`'s primary cache (protocol-checker probe:
+    /// two machine states whose primaries differ are distinct protocol
+    /// states even when their secondaries agree). Always `None` when
+    /// caching is disabled.
+    pub fn probe_primary(&self, node: NodeId, line: LineAddr) -> Option<LineState> {
+        if !self.cfg.caching {
+            return None;
+        }
+        self.primary[node.0].probe(line)
+    }
+
     /// State of `line` in `node`'s secondary cache (used by the prefetch
     /// buffer's head check). Always `None` when caching is disabled.
     pub fn probe_secondary(&self, node: NodeId, line: LineAddr) -> Option<LineState> {
@@ -322,15 +415,27 @@ impl MemorySystem {
         kind: AccessKind,
     ) -> AccessResult {
         assert!(node.0 < self.cfg.nodes, "access from nonexistent {node}");
-        if !self.cfg.caching {
-            return self.uncached_access(now, node, addr, kind);
+        let res = if !self.cfg.caching {
+            self.uncached_access(now, node, addr, kind)
+        } else {
+            match kind {
+                AccessKind::Read => self.read(now, node, addr),
+                AccessKind::Write => self.write(now, node, addr),
+                AccessKind::ReadPrefetch => self.prefetch(now, node, addr, false),
+                AccessKind::ReadExPrefetch => self.prefetch(now, node, addr, true),
+            }
+        };
+        if let Some(trace) = &mut self.access_trace {
+            trace.push(AccessRecord {
+                at: now,
+                node,
+                addr,
+                kind,
+                class: res.class,
+                done_at: res.done_at,
+            });
         }
-        match kind {
-            AccessKind::Read => self.read(now, node, addr),
-            AccessKind::Write => self.write(now, node, addr),
-            AccessKind::ReadPrefetch => self.prefetch(now, node, addr, false),
-            AccessKind::ReadExPrefetch => self.prefetch(now, node, addr, true),
-        }
+        res
     }
 
     // ---- demand reads -------------------------------------------------

@@ -23,6 +23,9 @@
 //! * [`vclock`] — vector clocks and FastTrack-style epochs, the ordering
 //!   machinery behind the happens-before race detector in
 //!   `dashlat-analyze`.
+//! * [`sched`] — the scheduler decision-point abstraction that lets the
+//!   memory-model verifier in `dashlat-verify` enumerate every tie-order
+//!   of same-cycle events instead of the single deterministic one.
 //!
 //! # Example
 //!
@@ -45,6 +48,7 @@ pub mod fault;
 pub mod hasher;
 pub mod queue;
 pub mod rng;
+pub mod sched;
 pub mod stats;
 pub mod time;
 pub mod vclock;
@@ -53,5 +57,6 @@ pub use fault::{FaultInjector, FaultPlan, FaultStats};
 pub use hasher::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use queue::EventQueue;
 pub use rng::Xorshift;
+pub use sched::{FifoScheduler, Footprint, ReplayScheduler, SchedAlt, Scheduler};
 pub use time::Cycle;
 pub use vclock::{Epoch, VectorClock};

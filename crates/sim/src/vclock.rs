@@ -80,12 +80,23 @@ impl VectorClock {
 
     /// Advances process `pid`'s own component by one.
     ///
+    /// The increment is *checked*: a `u64` epoch wrapping back to zero
+    /// would silently re-order every later event before every earlier one
+    /// and corrupt the happens-before analysis, so a pathological sweep
+    /// that actually exhausts the clock must fail loudly instead. (In
+    /// release builds plain `+= 1` would wrap without this guard; the
+    /// analysis crates run on release-profile sweeps.)
+    ///
     /// # Panics
     ///
-    /// Panics if `pid` is out of range.
+    /// Panics if `pid` is out of range, or if the component would
+    /// overflow `u64::MAX`.
     #[inline]
     pub fn inc(&mut self, pid: usize) {
-        self.clocks[pid] += 1;
+        let c = &mut self.clocks[pid];
+        *c = c
+            .checked_add(1)
+            .unwrap_or_else(|| panic!("vector clock overflow: P{pid} exceeded u64::MAX epochs"));
     }
 
     /// The epoch `(pid, self[pid])` — process `pid`'s current local time.
@@ -205,5 +216,21 @@ mod tests {
         assert_eq!(c.get(5), 0);
         assert_eq!(c.len(), 1);
         assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn inc_near_max_is_fine() {
+        let mut c = VectorClock::new(1);
+        c.clocks[0] = u64::MAX - 1;
+        c.inc(0);
+        assert_eq!(c.get(0), u64::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "vector clock overflow")]
+    fn inc_at_max_panics_instead_of_wrapping() {
+        let mut c = VectorClock::new(2);
+        c.clocks[1] = u64::MAX;
+        c.inc(1);
     }
 }

@@ -1,0 +1,283 @@
+//! Executable axiomatic reference: the exact allowed-outcome set of a
+//! litmus test under each consistency model.
+//!
+//! The reference is a small operational semantics — a per-processor FIFO
+//! store buffer in front of a single multi-copy-atomic memory — explored
+//! exhaustively. This is the *specification* the machine under test is
+//! compared against, built independently of the simulator's code paths:
+//!
+//! * **SC** — no buffering. Each operation takes effect in memory the
+//!   moment it issues; the allowed outcomes are exactly the interleavings
+//!   of the program orders.
+//! * **PC** — writes (and releases) retire through the FIFO buffer; reads
+//!   bypass the buffer but forward from their own processor's buffered
+//!   writes. A release gets no special treatment.
+//! * **WC** — as PC, but *every* synchronization access fences: an acquire
+//!   cannot issue until its processor's buffer has drained.
+//! * **RC** — as PC. The machine's RC release additionally waits for
+//!   invalidation acknowledgements before retiring, but acknowledgement
+//!   timing is value-invisible in a single-copy memory, so PC and RC admit
+//!   the same outcome sets on this corpus — the machine comparison checks
+//!   both independently anyway.
+//!
+//! Locks: an acquire is enabled when no processor holds the lock; a
+//! release under a buffering model enqueues a *release marker* that frees
+//! the lock only when it drains (after all program-order-earlier writes),
+//! which is what makes critical sections publish their writes.
+
+use std::collections::hash_map::Entry;
+use std::collections::{HashMap, VecDeque};
+
+use dashlat_cpu::config::Consistency;
+
+use crate::litmus::{LOp, LitmusTest};
+use crate::outcome::{Outcome, OutcomeSet};
+
+/// One store-buffer entry of the reference semantics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum BufEntry {
+    /// A buffered store (variable, value).
+    Write(usize, u64),
+    /// A release marker: frees the lock when it drains.
+    Release(usize),
+}
+
+/// A reference-machine state. Deriving `Hash`/`Eq` makes memoization
+/// exact: two states that agree on program counters, buffers, registers,
+/// memory and lock ownership have identical futures.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct State {
+    pc: Vec<usize>,
+    buf: Vec<VecDeque<BufEntry>>,
+    regs: Vec<Vec<u64>>,
+    mem: Vec<u64>,
+    locks: Vec<Option<usize>>,
+}
+
+impl State {
+    fn initial(test: &LitmusTest) -> State {
+        let n = test.nprocs();
+        State {
+            pc: vec![0; n],
+            buf: vec![VecDeque::new(); n],
+            regs: (0..n).map(|_| Vec::new()).collect(),
+            mem: vec![0; test.nvars],
+            locks: vec![None; test.nlocks],
+        }
+    }
+
+    fn done(&self, test: &LitmusTest) -> bool {
+        self.pc
+            .iter()
+            .zip(&test.programs)
+            .all(|(&pc, prog)| pc >= prog.len())
+    }
+
+    fn outcome(&self) -> Outcome {
+        self.regs.iter().flatten().copied().collect()
+    }
+
+    /// Latest buffered write of processor `p` to variable `v`, if any
+    /// (the store-forwarding source).
+    fn forward(&self, p: usize, v: usize) -> Option<u64> {
+        self.buf[p].iter().rev().find_map(|e| match *e {
+            BufEntry::Write(w, val) if w == v => Some(val),
+            _ => None,
+        })
+    }
+}
+
+/// Every state reachable from `s` in one step, under `model`.
+fn successors(test: &LitmusTest, model: Consistency, s: &State) -> Vec<State> {
+    let mut out = Vec::new();
+    for p in 0..test.nprocs() {
+        // Issue p's next program operation.
+        if let Some(&op) = test.programs[p].get(s.pc[p]) {
+            match op {
+                LOp::W(v, val) => {
+                    let mut n = s.clone();
+                    if model.buffers_writes() {
+                        n.buf[p].push_back(BufEntry::Write(v, val));
+                    } else {
+                        n.mem[v] = val;
+                    }
+                    n.pc[p] += 1;
+                    out.push(n);
+                }
+                LOp::R(v) => {
+                    let mut n = s.clone();
+                    let val = s.forward(p, v).unwrap_or(s.mem[v]);
+                    n.regs[p].push(val);
+                    n.pc[p] += 1;
+                    out.push(n);
+                }
+                LOp::Acq(l) => {
+                    let fence_ok = !model.acquire_waits() || s.buf[p].is_empty();
+                    if s.locks[l].is_none() && fence_ok {
+                        let mut n = s.clone();
+                        n.locks[l] = Some(p);
+                        n.pc[p] += 1;
+                        out.push(n);
+                    }
+                }
+                LOp::Rel(l) => {
+                    debug_assert_eq!(s.locks[l], Some(p), "release by non-holder");
+                    let mut n = s.clone();
+                    if model.buffers_writes() {
+                        n.buf[p].push_back(BufEntry::Release(l));
+                    } else {
+                        n.locks[l] = None;
+                    }
+                    n.pc[p] += 1;
+                    out.push(n);
+                }
+            }
+        }
+        // Drain the head of p's store buffer.
+        if let Some(&head) = s.buf[p].front() {
+            let mut n = s.clone();
+            n.buf[p].pop_front();
+            match head {
+                BufEntry::Write(v, val) => n.mem[v] = val,
+                BufEntry::Release(l) => {
+                    debug_assert_eq!(n.locks[l], Some(p), "release marker by non-holder");
+                    n.locks[l] = None;
+                }
+            }
+            out.push(n);
+        }
+    }
+    out
+}
+
+/// The exact set of outcomes `model` admits for `test`: exhaustive
+/// memoized depth-first search over the reference semantics.
+pub fn allowed(test: &LitmusTest, model: Consistency) -> OutcomeSet {
+    let mut outcomes = OutcomeSet::new();
+    let mut seen: HashMap<State, ()> = HashMap::new();
+    let mut stack = vec![State::initial(test)];
+    while let Some(s) = stack.pop() {
+        if let Entry::Vacant(e) = seen.entry(s.clone()) {
+            e.insert(());
+        } else {
+            continue;
+        }
+        if s.done(test) {
+            outcomes.insert(s.outcome());
+            // Remaining buffer drains cannot change the registers.
+            continue;
+        }
+        stack.extend(successors(test, model, &s));
+    }
+    assert!(
+        !outcomes.is_empty(),
+        "reference model deadlocked on {} — malformed test",
+        test.name
+    );
+    outcomes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::litmus::{by_name, corpus};
+    use Consistency::{Pc, Rc, Sc, Wc};
+
+    fn set(outs: &[&[u64]]) -> OutcomeSet {
+        outs.iter().map(|o| o.to_vec()).collect()
+    }
+
+    #[test]
+    fn sb_allows_relaxation_only_when_buffered() {
+        let t = by_name("sb").unwrap();
+        assert_eq!(
+            allowed(&t, Sc),
+            set(&[&[0, 1], &[1, 0], &[1, 1]]),
+            "SC store buffering"
+        );
+        assert_eq!(
+            allowed(&t, Rc),
+            set(&[&[0, 0], &[0, 1], &[1, 0], &[1, 1]]),
+            "RC store buffering"
+        );
+    }
+
+    #[test]
+    fn mp_flag_never_outruns_payload() {
+        let t = by_name("mp").unwrap();
+        for m in [Sc, Pc, Wc, Rc] {
+            let a = allowed(&t, m);
+            assert!(!a.contains(&vec![1, 0]), "{m}: {a:?}");
+            assert!(a.contains(&vec![1, 1]), "{m}: {a:?}");
+            assert!(a.contains(&vec![0, 0]), "{m}: {a:?}");
+        }
+    }
+
+    #[test]
+    fn pc_and_rc_agree_valuewise() {
+        for t in corpus() {
+            assert_eq!(
+                allowed(&t, Pc),
+                allowed(&t, Rc),
+                "{}: ack timing must be value-invisible",
+                t.name
+            );
+        }
+    }
+
+    #[test]
+    fn properly_labeled_tests_are_sc_under_rc() {
+        for t in corpus().iter().filter(|t| t.properly_labeled) {
+            assert_eq!(
+                allowed(t, Sc),
+                allowed(t, Rc),
+                "{}: PL must collapse RC to SC",
+                t.name
+            );
+        }
+    }
+
+    #[test]
+    fn corpus_annotations_hold_in_the_reference() {
+        for t in corpus() {
+            for ann in &t.forbidden {
+                assert!(
+                    !allowed(&t, ann.model).contains(&ann.outcome),
+                    "{}: forbidden outcome {:?} is reference-allowed under {}",
+                    t.name,
+                    ann.outcome,
+                    ann.model
+                );
+            }
+            for ann in &t.witnesses {
+                assert!(
+                    allowed(&t, ann.model).contains(&ann.outcome),
+                    "{}: witness {:?} is not reference-allowed under {}",
+                    t.name,
+                    ann.outcome,
+                    ann.model
+                );
+            }
+            // Machine-unreachable waivers only make sense for outcomes
+            // the reference *does* allow — otherwise they would mask an
+            // unsound outcome instead of a completeness gap.
+            for ann in &t.unreachable {
+                assert!(
+                    allowed(&t, ann.model).contains(&ann.outcome),
+                    "{}: unreachable waiver {:?} is not reference-allowed \
+                     under {} — a waiver must never cover an unsound outcome",
+                    t.name,
+                    ann.outcome,
+                    ann.model
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn wc_acquire_fence_separates_wc_from_rc() {
+        let t = by_name("wc_acq").unwrap();
+        assert!(!allowed(&t, Wc).contains(&vec![0, 0]));
+        assert!(allowed(&t, Rc).contains(&vec![0, 0]));
+    }
+}

@@ -1,0 +1,458 @@
+//! The verification harness: machine construction, offset sweeping, and
+//! the machine-vs-axiomatic verdict.
+//!
+//! ### The verification configuration
+//!
+//! The machine is run with every access latency forced to one cycle
+//! ([`LatencyTable::uniform`]), contention off, a single context per
+//! processor and a context-switch threshold no latency can reach. Under
+//! that configuration the simulator is in *lockstep*: every piece of
+//! scheduling nondeterminism shows up as a same-cycle tie in the event
+//! queue, which the attached [`ReplayScheduler`] turns into an enumerable
+//! decision point for the explorer.
+//!
+//! ### Why start offsets are swept
+//!
+//! Tie-breaking alone cannot reorder events the uniform timing pins to
+//! *different* cycles: in message passing under RC, the reader's first
+//! load always services before the writer's buffered flag write unless
+//! the reader starts later. Sweeping per-processor start offsets (leading
+//! `Compute` cycles, `0..=max_offset` each, full cross product) shifts
+//! program phases against each other so every axiomatically allowed
+//! outcome becomes reachable in some cell; the machine outcome set is the
+//! union over the sweep. Soundness is unaffected — every individual run,
+//! whatever its offsets, must still produce a reference-allowed outcome.
+
+use std::collections::BTreeMap;
+
+use dashlat_cpu::config::Consistency;
+use dashlat_cpu::machine::Machine;
+use dashlat_cpu::ops::Topology;
+use dashlat_cpu::{EventLog, ProcConfig};
+use dashlat_mem::system::{MemConfig, MemorySystem};
+use dashlat_mem::LatencyTable;
+use dashlat_sim::{Cycle, ReplayScheduler, SchedAlt};
+
+use crate::axiomatic;
+use crate::explore::{explore, Exploration};
+use crate::litmus::LitmusTest;
+use crate::outcome::{self, format_set, Outcome, OutcomeSet};
+use crate::workload::{layout, LitmusLayout, LitmusWorkload};
+
+/// Default per-verdict run budget. Generous: the most expensive corpus
+/// cell (iriw under the buffered models) exhausts well below it; hitting
+/// the cap marks the verdict `truncated`, which fails it — truncation is
+/// never silent.
+pub const DEFAULT_MAX_RUNS: u64 = 2_000_000;
+
+/// Stall threshold no uniform-latency access can reach: the processor
+/// never context-switches during verification runs.
+const NEVER_SWITCH: Cycle = Cycle(1 << 40);
+
+/// The processor configuration of a verification run. `seeded_bug` arms
+/// the deliberately planted write-buffer reordering mutation — it only
+/// exists under the `verify-mutations` feature and is rejected here
+/// otherwise, so a mis-built regression test fails loudly instead of
+/// silently testing the healthy machine.
+fn proc_config(model: Consistency, seeded_bug: bool) -> ProcConfig {
+    let mut cfg = match model {
+        Consistency::Sc => ProcConfig::sc_baseline(),
+        Consistency::Pc => ProcConfig::pc_baseline(),
+        Consistency::Wc => ProcConfig::wc_baseline(),
+        Consistency::Rc => ProcConfig::rc_baseline(),
+    };
+    cfg.no_switch_threshold = NEVER_SWITCH;
+    cfg.write_issue_spacing = Cycle(1);
+    cfg.check_invariants = true;
+    #[cfg(feature = "verify-mutations")]
+    {
+        cfg.relaxation_bug = seeded_bug;
+    }
+    #[cfg(not(feature = "verify-mutations"))]
+    assert!(
+        !seeded_bug,
+        "seeded-bug verification requires the `verify-mutations` feature"
+    );
+    cfg
+}
+
+/// The memory configuration of a verification run: uniform single-cycle
+/// latencies, no contention.
+fn mem_config(nprocs: usize) -> MemConfig {
+    MemConfig {
+        latencies: LatencyTable::uniform(Cycle(1)),
+        contention: false,
+        ..MemConfig::dash_scaled(nprocs)
+    }
+}
+
+/// Builds the machine for one verification run.
+fn build(
+    test: &LitmusTest,
+    lay: &LitmusLayout,
+    model: Consistency,
+    offsets: &[u64],
+    prefix: Vec<usize>,
+    with_log: bool,
+    seeded_bug: bool,
+) -> Machine<LitmusWorkload> {
+    let nprocs = test.nprocs();
+    let mem = MemorySystem::new(mem_config(nprocs), lay.page_map.clone());
+    let workload = LitmusWorkload::new(test, lay, offsets);
+    let mut m = Machine::new(
+        proc_config(model, seeded_bug),
+        Topology::new(nprocs, 1),
+        mem,
+        workload,
+    )
+    .with_access_trace()
+    .with_scheduler(Box::new(ReplayScheduler::with_prefix(prefix)));
+    if with_log {
+        m = m.with_event_log();
+    }
+    m
+}
+
+/// Runs one interleaving to completion and extracts its outcome.
+fn run_once(
+    test: &LitmusTest,
+    lay: &LitmusLayout,
+    model: Consistency,
+    offsets: &[u64],
+    prefix: &[usize],
+    seeded_bug: bool,
+) -> (Vec<(usize, Vec<SchedAlt>)>, Outcome) {
+    let result = build(
+        test,
+        lay,
+        model,
+        offsets,
+        prefix.to_vec(),
+        false,
+        seeded_bug,
+    )
+    .run()
+    .unwrap_or_else(|e| {
+        panic!(
+            "litmus {} under {model} with offsets {offsets:?} failed: {e}",
+            test.name
+        )
+    });
+    let decisions = result
+        .decisions
+        .expect("scheduler attached, decisions recorded");
+    let trace = result.accesses.expect("access trace attached");
+    let outcome = outcome::extract(test, &lay.var_addrs, &trace);
+    (decisions, outcome)
+}
+
+/// Re-runs one witnessed interleaving with event logging on, for
+/// counterexample rendering.
+pub(crate) fn replay_with_log(
+    test: &LitmusTest,
+    model: Consistency,
+    offsets: &[u64],
+    prefix: &[usize],
+    seeded_bug: bool,
+) -> EventLog {
+    let lay = layout(test, test.nprocs());
+    let result = build(
+        test,
+        &lay,
+        model,
+        offsets,
+        prefix.to_vec(),
+        true,
+        seeded_bug,
+    )
+    .run()
+    .expect("witnessed interleaving replays");
+    result.events.expect("event log attached")
+}
+
+/// Explores every interleaving of one offset cell — exposed so the
+/// corpus tests can assert that sleep-set reduction loses no outcomes
+/// relative to the unreduced search.
+pub fn explore_cell(
+    test: &LitmusTest,
+    model: Consistency,
+    offsets: &[u64],
+    max_runs: u64,
+    sleep: bool,
+) -> Exploration {
+    let lay = layout(test, test.nprocs());
+    explore(
+        |prefix| run_once(test, &lay, model, offsets, prefix, false),
+        max_runs,
+        sleep,
+    )
+}
+
+/// Every offset vector of the sweep: `{0..=max}^nprocs`.
+fn offset_grid(nprocs: usize, max: u64) -> Vec<Vec<u64>> {
+    let mut grid = vec![vec![0; nprocs]];
+    for p in 0..nprocs {
+        grid = grid
+            .into_iter()
+            .flat_map(|v| {
+                (0..=max).map(move |o| {
+                    let mut v = v.clone();
+                    v[p] = o;
+                    v
+                })
+            })
+            .collect();
+    }
+    grid
+}
+
+/// The machine-side result of verifying one `(test, model)` cell.
+#[derive(Debug, Clone)]
+pub struct LitmusVerdict {
+    /// Corpus test name.
+    pub test: String,
+    /// The consistency model the machine ran under.
+    pub model: Consistency,
+    /// Outcomes the axiomatic reference admits.
+    pub reference: OutcomeSet,
+    /// Outcomes the machine produced across the whole exploration.
+    pub machine: OutcomeSet,
+    /// Machine runs performed (all offsets, all interleavings).
+    pub runs: u64,
+    /// Offset cells swept.
+    pub cells: u64,
+    /// True when the run budget stopped any cell early. A truncated
+    /// verdict never passes.
+    pub truncated: bool,
+    /// Outcomes the machine produced that the reference forbids — memory
+    /// -model violations.
+    pub unsound: Vec<Outcome>,
+    /// Reference-allowed outcomes the machine never produced. With the
+    /// offset sweep these indicate a harness gap (or an over-strict
+    /// machine) and fail the exact-match contract loudly rather than
+    /// silently weakening it.
+    pub missing: Vec<Outcome>,
+    /// Reference-allowed outcomes the machine never produced that the
+    /// corpus documents as machine-unreachable
+    /// ([`LitmusTest::unreachable`]): waived from the completeness check
+    /// but still reported, so the strictness stays visible.
+    pub waived: Vec<Outcome>,
+    /// Corpus-annotation failures (forbidden outcome seen / witness not
+    /// reachable), phrased for reports.
+    pub annotation_failures: Vec<String>,
+    /// For each machine outcome, the `(offsets, prefix)` that first
+    /// produced it — the replayable witness.
+    pub witnesses: BTreeMap<Outcome, (Vec<u64>, Vec<usize>)>,
+    /// True when the run had the deliberately seeded write-buffer
+    /// reordering bug armed (regression tests only; requires the
+    /// `verify-mutations` feature). Witness replays honour it so a
+    /// counterexample reproduces the buggy interleaving.
+    pub seeded_bug: bool,
+}
+
+impl LitmusVerdict {
+    /// True when the machine's outcome set exactly matches the axiomatic
+    /// model and every corpus annotation held.
+    pub fn passed(&self) -> bool {
+        !self.truncated
+            && self.unsound.is_empty()
+            && self.missing.is_empty()
+            && self.annotation_failures.is_empty()
+    }
+
+    /// One-line summary for suite listings.
+    pub fn summary(&self) -> String {
+        let waived = if self.waived.is_empty() {
+            String::new()
+        } else {
+            format!("  ({} waived machine-unreachable)", self.waived.len())
+        };
+        format!(
+            "{:8} {:3} {:5} runs {:4} cells  machine {} == reference {}{}",
+            self.test,
+            self.model.to_string(),
+            self.runs,
+            self.cells,
+            format_set(&self.machine),
+            format_set(&self.reference),
+            waived,
+        )
+    }
+}
+
+/// Verifies one `(test, model)` cell: explores every interleaving in
+/// every offset cell and compares the union against the axiomatic model.
+pub fn verify_litmus(test: &LitmusTest, model: Consistency, max_runs: u64) -> LitmusVerdict {
+    verify_litmus_opts(test, model, max_runs, false)
+}
+
+/// [`verify_litmus`] with the seeded write-buffer reordering bug armed —
+/// the regression path proving the checker catches a real W→W violation
+/// with a rendered counterexample.
+#[cfg(feature = "verify-mutations")]
+pub fn verify_litmus_seeded_bug(
+    test: &LitmusTest,
+    model: Consistency,
+    max_runs: u64,
+) -> LitmusVerdict {
+    verify_litmus_opts(test, model, max_runs, true)
+}
+
+fn verify_litmus_opts(
+    test: &LitmusTest,
+    model: Consistency,
+    max_runs: u64,
+    seeded_bug: bool,
+) -> LitmusVerdict {
+    let lay = layout(test, test.nprocs());
+    let reference = axiomatic::allowed(test, model);
+    let mut grid = offset_grid(test.nprocs(), test.max_offset);
+    for cell in &test.extra_cells {
+        if !grid.contains(cell) {
+            grid.push(cell.clone());
+        }
+    }
+
+    let mut machine = OutcomeSet::new();
+    let mut witnesses: BTreeMap<Outcome, (Vec<u64>, Vec<usize>)> = BTreeMap::new();
+    let mut runs = 0;
+    let mut truncated = false;
+    for offsets in &grid {
+        let budget = max_runs.saturating_sub(runs);
+        if budget == 0 {
+            truncated = true;
+            break;
+        }
+        let Exploration {
+            outcomes,
+            witnesses: cell_witnesses,
+            runs: cell_runs,
+            truncated: cell_truncated,
+        } = explore(
+            |prefix| run_once(test, &lay, model, offsets, prefix, seeded_bug),
+            budget,
+            true,
+        );
+        runs += cell_runs;
+        truncated |= cell_truncated;
+        machine.extend(outcomes);
+        for (o, prefix) in cell_witnesses {
+            witnesses
+                .entry(o)
+                .or_insert_with(|| (offsets.clone(), prefix));
+        }
+    }
+
+    let unsound: Vec<Outcome> = machine.difference(&reference).cloned().collect();
+    let is_waivable = |o: &Outcome| {
+        test.unreachable
+            .iter()
+            .any(|a| a.model == model && a.outcome == *o)
+    };
+    let (waived, missing): (Vec<Outcome>, Vec<Outcome>) = reference
+        .difference(&machine)
+        .cloned()
+        .partition(is_waivable);
+
+    let mut annotation_failures = Vec::new();
+    // A stale waiver self-invalidates: an outcome documented as
+    // machine-unreachable that the machine *does* produce means the
+    // documented strictness no longer holds — fail so the corpus entry
+    // gets re-examined instead of silently masking a behaviour change.
+    for ann in test.unreachable.iter().filter(|a| a.model == model) {
+        if machine.contains(&ann.outcome) {
+            annotation_failures.push(format!(
+                "outcome {} is documented machine-unreachable under {model} \
+                 but the machine produced it — stale waiver, re-examine the \
+                 corpus entry",
+                test.format_outcome(&ann.outcome)
+            ));
+        }
+    }
+    for ann in test.forbidden.iter().filter(|a| a.model == model) {
+        if machine.contains(&ann.outcome) {
+            annotation_failures.push(format!(
+                "forbidden outcome {} observed under {model}",
+                test.format_outcome(&ann.outcome)
+            ));
+        }
+    }
+    for ann in test.witnesses.iter().filter(|a| a.model == model) {
+        if !machine.contains(&ann.outcome) {
+            annotation_failures.push(format!(
+                "relaxation witness {} unreachable under {model} — \
+                 the check would be vacuous",
+                test.format_outcome(&ann.outcome)
+            ));
+        }
+    }
+
+    LitmusVerdict {
+        test: test.name.to_string(),
+        model,
+        reference,
+        machine,
+        runs,
+        cells: grid.len() as u64,
+        truncated,
+        unsound,
+        missing,
+        waived,
+        annotation_failures,
+        witnesses,
+        seeded_bug,
+    }
+}
+
+/// Checks the properly-labeled theorem on one PL test: the machine's RC
+/// outcome set must equal its SC outcome set. Returns a failure message
+/// when it does not.
+pub fn check_properly_labeled(
+    test: &LitmusTest,
+    sc: &LitmusVerdict,
+    rc: &LitmusVerdict,
+) -> Option<String> {
+    debug_assert!(test.properly_labeled);
+    (sc.machine != rc.machine).then(|| {
+        format!(
+            "{}: properly-labeled program is not SC under RC — SC {} vs RC {}",
+            test.name,
+            format_set(&sc.machine),
+            format_set(&rc.machine)
+        )
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::litmus::by_name;
+
+    #[test]
+    fn offset_grid_shape() {
+        assert_eq!(offset_grid(2, 1).len(), 4);
+        assert_eq!(offset_grid(3, 2).len(), 27);
+        assert_eq!(offset_grid(2, 0), vec![vec![0, 0]]);
+    }
+
+    #[test]
+    fn sb_machine_matches_reference_under_sc() {
+        let t = by_name("sb").unwrap();
+        let v = verify_litmus(&t, Consistency::Sc, DEFAULT_MAX_RUNS);
+        assert!(v.passed(), "{v:?}");
+        assert!(!v.machine.contains(&vec![0, 0]));
+    }
+
+    #[test]
+    fn sb_machine_reaches_relaxation_under_rc() {
+        let t = by_name("sb").unwrap();
+        let v = verify_litmus(&t, Consistency::Rc, DEFAULT_MAX_RUNS);
+        assert!(v.passed(), "{v:?}");
+        assert!(v.machine.contains(&vec![0, 0]));
+        // The witness replays deterministically.
+        let (offsets, prefix) = &v.witnesses[&vec![0, 0]];
+        let lay = layout(&t, 2);
+        let (_, outcome) = run_once(&t, &lay, Consistency::Rc, offsets, prefix, false);
+        assert_eq!(outcome, vec![0, 0]);
+    }
+}

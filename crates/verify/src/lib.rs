@@ -1,0 +1,163 @@
+#![deny(missing_docs)]
+//! `dashlat-verify` — exhaustive memory-model verification of the
+//! simulated machine.
+//!
+//! The paper's latency comparison between consistency models is only
+//! meaningful if the simulated SC machine actually *is* sequentially
+//! consistent and the simulated RC machine admits *exactly* the release-
+//! consistency relaxations — nothing more (a bug), nothing less (the
+//! comparison would overstate SC's cost). This crate checks both, plus
+//! the coherence protocol underneath:
+//!
+//! * [`litmus`] — a DSL for multi-processor litmus programs (SB, MP, LB,
+//!   IRIW, `CoRR`/`CoWW`, properly-labeled lock variants, acquire/release
+//!   separation tests) with forbidden/witness outcome annotations.
+//! * [`axiomatic`] — the executable reference: the exact allowed-outcome
+//!   set of each test under SC/PC/WC/RC, from an independent operational
+//!   semantics (FIFO store buffers over a multi-copy-atomic memory).
+//! * [`explore`] — a sleep-set-reduced stateless model checker that
+//!   drives the real simulator (`dashlat-cpu`/`dashlat-mem`) through
+//!   every interleaving of its scheduler decision points.
+//! * [`harness`] — the verification configuration (uniform latencies,
+//!   start-offset sweep) and the machine-vs-reference verdict.
+//! * [`outcome`] — value-semantics layering over the timing-only
+//!   simulator via its coherence-order access trace.
+//! * [`report`] — counterexample rendering: a violated axiom plus the
+//!   per-processor commit timeline of the witnessing interleaving.
+//! * [`protocol`] — exhaustive reachable-state checking of the directory
+//!   protocol (SWMR + data-value invariants) on small configurations.
+//!
+//! The top-level entry point is [`verify_suite`], which the
+//! `dashlat verify-model` subcommand wraps.
+
+pub mod axiomatic;
+pub mod explore;
+pub mod harness;
+pub mod litmus;
+pub mod outcome;
+pub mod protocol;
+pub mod report;
+pub mod workload;
+
+use dashlat_cpu::config::Consistency;
+
+pub use harness::{
+    check_properly_labeled, explore_cell, verify_litmus, LitmusVerdict, DEFAULT_MAX_RUNS,
+};
+pub use litmus::{corpus, LitmusTest};
+pub use outcome::{Outcome, OutcomeSet};
+pub use protocol::{check_directory, ProtocolConfig, ProtocolReport};
+pub use report::{counterexample, Counterexample};
+
+/// The models the full suite checks. PC and WC ride along with the
+/// paper's SC/RC endpoints — the corpus contains tests (`wc_acq`,
+/// `sb_rel`) that separate all four.
+pub const ALL_MODELS: [Consistency; 4] = [
+    Consistency::Sc,
+    Consistency::Pc,
+    Consistency::Wc,
+    Consistency::Rc,
+];
+
+/// Everything one `verify-model` invocation established.
+#[derive(Debug)]
+pub struct SuiteReport {
+    /// One verdict per `(test, model)` cell, corpus order.
+    pub verdicts: Vec<(LitmusTest, LitmusVerdict)>,
+    /// Properly-labeled equivalence failures (machine RC set != machine
+    /// SC set on a PL test).
+    pub pl_failures: Vec<String>,
+    /// Directory-protocol closure reports.
+    pub protocol: Vec<ProtocolReport>,
+}
+
+impl SuiteReport {
+    /// True when every cell matched, every PL test collapsed, and the
+    /// protocol closures were violation-free.
+    pub fn passed(&self) -> bool {
+        self.verdicts.iter().all(|(_, v)| v.passed())
+            && self.pl_failures.is_empty()
+            && self.protocol.iter().all(ProtocolReport::passed)
+    }
+
+    /// Total machine runs across all cells.
+    pub fn runs(&self) -> u64 {
+        self.verdicts.iter().map(|(_, v)| v.runs).sum()
+    }
+
+    /// Renders the whole suite for terminal output.
+    pub fn render(&self) -> String {
+        let mut s = String::from("memory-model verification\n=========================\n");
+        for (test, v) in &self.verdicts {
+            s.push_str(&report::render_verdict(test, v));
+        }
+        for f in &self.pl_failures {
+            s.push_str(&format!("[FAIL] properly-labeled: {f}\n"));
+        }
+        for p in &self.protocol {
+            let status = if p.passed() { "PASS" } else { "FAIL" };
+            s.push_str(&format!("[{status}] {}\n", p.summary()));
+        }
+        s.push_str(&format!(
+            "\nsuite: {} — {} litmus cells, {} machine runs, {} protocol closures\n",
+            if self.passed() { "PASS" } else { "FAIL" },
+            self.verdicts.len(),
+            self.runs(),
+            self.protocol.len(),
+        ));
+        s
+    }
+}
+
+/// Runs the full suite: every corpus test under `models`, the properly-
+/// labeled equivalence checks, and the directory-protocol closures.
+///
+/// `tests` filters the corpus by name (empty = whole corpus);
+/// `max_runs` is the per-cell run budget ([`DEFAULT_MAX_RUNS`] when 0).
+pub fn verify_suite(models: &[Consistency], tests: &[String], max_runs: u64) -> SuiteReport {
+    let max_runs = if max_runs == 0 {
+        DEFAULT_MAX_RUNS
+    } else {
+        max_runs
+    };
+    let selected: Vec<LitmusTest> = corpus()
+        .into_iter()
+        .filter(|t| tests.is_empty() || tests.iter().any(|n| n == t.name))
+        .collect();
+
+    let mut verdicts = Vec::new();
+    for test in &selected {
+        for &model in models {
+            verdicts.push((test.clone(), verify_litmus(test, model, max_runs)));
+        }
+    }
+
+    let mut pl_failures = Vec::new();
+    let both = |name: &str, m: Consistency| {
+        verdicts
+            .iter()
+            .find(|(t, v)| t.name == name && v.model == m)
+            .map(|(_, v)| v)
+    };
+    for test in selected.iter().filter(|t| t.properly_labeled) {
+        if let (Some(sc), Some(rc)) = (
+            both(test.name, Consistency::Sc),
+            both(test.name, Consistency::Rc),
+        ) {
+            if let Some(f) = check_properly_labeled(test, sc, rc) {
+                pl_failures.push(f);
+            }
+        }
+    }
+
+    let protocol = vec![
+        check_directory(ProtocolConfig::small()),
+        check_directory(ProtocolConfig::wide()),
+    ];
+
+    SuiteReport {
+        verdicts,
+        pl_failures,
+        protocol,
+    }
+}

@@ -1,0 +1,456 @@
+//! Litmus-test DSL and the standard corpus.
+//!
+//! A litmus test is a tiny multi-processor program over a handful of
+//! shared variables (one cache line each) plus lock-based synchronization,
+//! together with the outcome annotations that make the corpus
+//! self-documenting: outcomes that must be **forbidden** under a given
+//! consistency model and relaxation **witnesses** that must be reachable
+//! under a given model (otherwise the verification would be vacuous —
+//! a machine that forbids everything passes every "no forbidden outcome"
+//! check).
+//!
+//! The ground truth for the full allowed set is not these annotations but
+//! the executable axiomatic model in [`crate::axiomatic`]; the harness
+//! checks the machine against that, *and* checks the annotations against
+//! the axiomatic model itself, so a reference-model bug that silently
+//! shrinks or grows an allowed set is caught too.
+//!
+//! Conventions: variables are numbered `0..nvars` and initialised to `0`;
+//! every write in a test uses a distinct non-zero value so outcomes are
+//! unambiguous; an outcome is the concatenation, processor by processor,
+//! of each processor's read results in program order.
+
+use dashlat_cpu::config::Consistency;
+
+use crate::outcome::Outcome;
+
+/// One litmus-program operation. Mirrors the machine's op vocabulary
+/// ([`dashlat_cpu::ops::Op`]) minus timing-only ops, plus write *values* —
+/// the machine is a timing simulator, so values live in the verifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LOp {
+    /// Store `value` to variable `var`.
+    W(usize, u64),
+    /// Load variable `var` into the processor's next result register.
+    R(usize),
+    /// Acquire lock `lock`.
+    Acq(usize),
+    /// Release lock `lock` (must follow the same processor's acquire).
+    Rel(usize),
+}
+
+/// A named outcome annotation: `model` must (witness) or must not
+/// (forbidden) be able to produce `outcome`.
+#[derive(Debug, Clone)]
+pub struct Annotation {
+    /// The consistency model the annotation constrains.
+    pub model: Consistency,
+    /// The constrained outcome (read registers, processor-major order).
+    pub outcome: Outcome,
+}
+
+impl Annotation {
+    fn new(model: Consistency, outcome: &[u64]) -> Self {
+        Annotation {
+            model,
+            outcome: outcome.to_vec(),
+        }
+    }
+}
+
+/// A multi-processor litmus program plus its outcome annotations.
+#[derive(Debug, Clone)]
+pub struct LitmusTest {
+    /// Short corpus name (`sb`, `mp`, ...).
+    pub name: &'static str,
+    /// What the test exercises, for reports.
+    pub description: &'static str,
+    /// One op sequence per processor.
+    pub programs: Vec<Vec<LOp>>,
+    /// Number of shared variables (numbered `0..nvars`, init 0).
+    pub nvars: usize,
+    /// Number of locks (numbered `0..nlocks`).
+    pub nlocks: usize,
+    /// True when every competing access pair is ordered through a lock —
+    /// the paper's *properly labeled* property. For these tests the
+    /// machine's RC outcome set must equal its SC outcome set.
+    pub properly_labeled: bool,
+    /// Outcomes the named model must **never** produce.
+    pub forbidden: Vec<Annotation>,
+    /// Relaxed outcomes the named model **must** be able to produce
+    /// (guards against vacuously-strong machines and reference models).
+    pub witnesses: Vec<Annotation>,
+    /// Reference-allowed outcomes this *implementation* provably cannot
+    /// produce under the named model — documented strictness, not a bug.
+    /// The machine's write-buffer drain is eagerly scheduled (one cycle
+    /// after enqueue), so a buffered write's memory access always lands a
+    /// fixed cycle or two before any program-order-later read's; shapes
+    /// whose relaxed outcome needs the *own* buffered write delayed past
+    /// a later read separated from it by an intervening sync op are
+    /// therefore timing-unreachable at every start offset. Each entry is
+    /// waived from the completeness check but **fails the verdict if the
+    /// machine ever does produce it** — a stale waiver self-invalidates.
+    pub unreachable: Vec<Annotation>,
+    /// Largest per-processor start offset the harness sweeps (see
+    /// [`crate::harness`]; offsets realise cross-cycle orderings that
+    /// same-cycle tie-breaking alone cannot).
+    pub max_offset: u64,
+    /// Extra offset cells swept in addition to the uniform
+    /// `{0..=max_offset}^nprocs` grid. Used where completeness needs a
+    /// few far-apart start times (IRIW's mixed outcomes need the two
+    /// writers spread by 2–3 cycles) but sweeping the whole wider grid
+    /// would cost millions of runs. Completeness is still checked
+    /// against the axiomatic reference, so a wrong cell list fails
+    /// loudly instead of silently under-exploring.
+    pub extra_cells: Vec<Vec<u64>>,
+}
+
+impl LitmusTest {
+    /// Number of processors.
+    pub fn nprocs(&self) -> usize {
+        self.programs.len()
+    }
+
+    /// Read count of processor `p` (its share of the outcome tuple).
+    pub fn reads_of(&self, p: usize) -> usize {
+        self.programs[p]
+            .iter()
+            .filter(|o| matches!(o, LOp::R(_)))
+            .count()
+    }
+
+    /// Total read count (= outcome tuple length).
+    pub fn total_reads(&self) -> usize {
+        (0..self.nprocs()).map(|p| self.reads_of(p)).sum()
+    }
+
+    /// Formats an outcome as `P0:(r0=1) P1:(r0=0 r1=1)` for reports.
+    pub fn format_outcome(&self, outcome: &Outcome) -> String {
+        let mut s = String::new();
+        let mut i = 0;
+        for p in 0..self.nprocs() {
+            if p > 0 {
+                s.push(' ');
+            }
+            s.push_str(&format!("P{p}:("));
+            for r in 0..self.reads_of(p) {
+                if r > 0 {
+                    s.push(' ');
+                }
+                let v = outcome.get(i).copied().unwrap_or(u64::MAX);
+                s.push_str(&format!("r{r}={v}"));
+                i += 1;
+            }
+            s.push(')');
+        }
+        s
+    }
+}
+
+use Consistency::{Pc, Rc, Sc, Wc};
+use LOp::{Acq, Rel, R, W};
+
+/// The standard corpus: classic relaxation shapes (SB, MP, LB, IRIW),
+/// coherence shapes (`CoRR`, `CoWW`), properly-labeled lock variants, and
+/// two tests separating the intermediate PC/WC models from SC and RC.
+pub fn corpus() -> Vec<LitmusTest> {
+    vec![
+        LitmusTest {
+            name: "sb",
+            description: "store buffering: W x; R y || W y; R x — both reads \
+                          stale requires W->R reordering (the one relaxation \
+                          every write-buffering model here admits)",
+            programs: vec![vec![W(0, 1), R(1)], vec![W(1, 1), R(0)]],
+            nvars: 2,
+            nlocks: 0,
+            properly_labeled: false,
+            forbidden: vec![Annotation::new(Sc, &[0, 0])],
+            witnesses: vec![
+                Annotation::new(Pc, &[0, 0]),
+                Annotation::new(Wc, &[0, 0]),
+                Annotation::new(Rc, &[0, 0]),
+            ],
+            unreachable: vec![],
+            extra_cells: vec![],
+            max_offset: 4,
+        },
+        LitmusTest {
+            name: "mp",
+            description: "message passing: W x; W y || R y; R x — flag seen \
+                          but payload stale requires W->W or R->R reordering; \
+                          FIFO write buffers forbid it under every model",
+            programs: vec![vec![W(0, 1), W(1, 1)], vec![R(1), R(0)]],
+            nvars: 2,
+            nlocks: 0,
+            properly_labeled: false,
+            forbidden: vec![
+                Annotation::new(Sc, &[1, 0]),
+                Annotation::new(Pc, &[1, 0]),
+                Annotation::new(Wc, &[1, 0]),
+                Annotation::new(Rc, &[1, 0]),
+            ],
+            witnesses: vec![],
+            unreachable: vec![],
+            extra_cells: vec![],
+            max_offset: 4,
+        },
+        LitmusTest {
+            name: "lb",
+            description: "load buffering: R y; W x || R x; W y — both loads \
+                          observing the other's later store requires read \
+                          speculation, which no model here performs",
+            programs: vec![vec![R(1), W(0, 1)], vec![R(0), W(1, 1)]],
+            nvars: 2,
+            nlocks: 0,
+            properly_labeled: false,
+            forbidden: vec![
+                Annotation::new(Sc, &[1, 1]),
+                Annotation::new(Pc, &[1, 1]),
+                Annotation::new(Wc, &[1, 1]),
+                Annotation::new(Rc, &[1, 1]),
+            ],
+            witnesses: vec![],
+            unreachable: vec![],
+            extra_cells: vec![],
+            max_offset: 4,
+        },
+        LitmusTest {
+            name: "iriw",
+            description: "independent reads of independent writes: two \
+                          writers, two readers disagreeing on write order \
+                          requires non-multi-copy-atomic stores; a single \
+                          drain order into memory forbids it everywhere",
+            programs: vec![
+                vec![W(0, 1)],
+                vec![W(1, 1)],
+                vec![R(0), R(1)],
+                vec![R(1), R(0)],
+            ],
+            nvars: 2,
+            nlocks: 0,
+            properly_labeled: false,
+            forbidden: vec![
+                Annotation::new(Sc, &[1, 0, 1, 0]),
+                Annotation::new(Rc, &[1, 0, 1, 0]),
+            ],
+            witnesses: vec![],
+            unreachable: vec![],
+            // Four processors make a full wider grid prohibitively large
+            // (offset 3 is 256 cells, ~3.3M runs under RC), but a few
+            // outcomes need the writers/readers spread by 2-3 cycles.
+            // These cells are the witnesses found by a one-off offset-3
+            // sweep: the first two reach (0,0,1,0) and (1,0,0,0) under
+            // SC, the last two reach (1,0,1,1) and (1,1,1,0) under the
+            // buffered models. Completeness stays checked, so a machine
+            // change that invalidates them fails loudly.
+            extra_cells: vec![
+                vec![2, 1, 0, 1],
+                vec![1, 2, 1, 0],
+                vec![0, 1, 1, 2],
+                vec![1, 0, 2, 1],
+            ],
+            max_offset: 1,
+        },
+        LitmusTest {
+            name: "corr",
+            description: "coherent read-read: one write || two reads of the \
+                          same variable — new-then-old violates per-location \
+                          coherence under every model",
+            programs: vec![vec![W(0, 1)], vec![R(0), R(0)]],
+            nvars: 1,
+            nlocks: 0,
+            properly_labeled: false,
+            forbidden: vec![
+                Annotation::new(Sc, &[1, 0]),
+                Annotation::new(Pc, &[1, 0]),
+                Annotation::new(Wc, &[1, 0]),
+                Annotation::new(Rc, &[1, 0]),
+            ],
+            witnesses: vec![],
+            unreachable: vec![],
+            extra_cells: vec![],
+            max_offset: 4,
+        },
+        LitmusTest {
+            name: "coww",
+            description: "coherent write-write: two same-variable writes || \
+                          two reads — observing the second write then the \
+                          first violates per-location write order (FIFO \
+                          buffers preserve it under every model)",
+            programs: vec![vec![W(0, 1), W(0, 2)], vec![R(0), R(0)]],
+            nvars: 1,
+            nlocks: 0,
+            properly_labeled: false,
+            forbidden: vec![Annotation::new(Sc, &[2, 1]), Annotation::new(Rc, &[2, 1])],
+            witnesses: vec![],
+            unreachable: vec![],
+            extra_cells: vec![],
+            max_offset: 4,
+        },
+        LitmusTest {
+            name: "mp_pl",
+            description: "properly-labeled message passing: both the writes \
+                          and the reads inside one critical section — RC must \
+                          collapse to the SC outcome set {(0,0),(1,1)}",
+            programs: vec![
+                vec![Acq(0), W(0, 1), W(1, 1), Rel(0)],
+                vec![Acq(0), R(1), R(0), Rel(0)],
+            ],
+            nvars: 2,
+            nlocks: 1,
+            properly_labeled: true,
+            forbidden: vec![
+                Annotation::new(Sc, &[1, 0]),
+                Annotation::new(Sc, &[0, 1]),
+                Annotation::new(Rc, &[1, 0]),
+                Annotation::new(Rc, &[0, 1]),
+            ],
+            witnesses: vec![],
+            unreachable: vec![],
+            extra_cells: vec![],
+            max_offset: 2,
+        },
+        LitmusTest {
+            name: "sb_pl",
+            description: "properly-labeled store buffering: the whole W;R \
+                          pair inside one critical section — locking excludes \
+                          the relaxed (0,0) outcome even under RC",
+            programs: vec![
+                vec![Acq(0), W(0, 1), R(1), Rel(0)],
+                vec![Acq(0), W(1, 1), R(0), Rel(0)],
+            ],
+            nvars: 2,
+            nlocks: 1,
+            properly_labeled: true,
+            forbidden: vec![Annotation::new(Sc, &[0, 0]), Annotation::new(Rc, &[0, 0])],
+            witnesses: vec![],
+            unreachable: vec![],
+            extra_cells: vec![],
+            max_offset: 2,
+        },
+        LitmusTest {
+            name: "sb_rel",
+            description: "store buffering around unrelated critical sections: \
+                          a release orders the *preceding* write only, so the \
+                          trailing read may axiomatically bypass it under RC. \
+                          This implementation's eager buffer drain retires the \
+                          write before the read can reach memory, so (0,0) is \
+                          documented machine-unreachable — the machine is \
+                          strictly stronger than RC requires here",
+            programs: vec![
+                vec![Acq(0), W(0, 1), Rel(0), R(1)],
+                vec![Acq(1), W(1, 1), Rel(1), R(0)],
+            ],
+            nvars: 2,
+            nlocks: 2,
+            properly_labeled: false,
+            forbidden: vec![Annotation::new(Sc, &[0, 0])],
+            witnesses: vec![],
+            unreachable: vec![
+                Annotation::new(Pc, &[0, 0]),
+                Annotation::new(Wc, &[0, 0]),
+                Annotation::new(Rc, &[0, 0]),
+            ],
+            extra_cells: vec![],
+            max_offset: 2,
+        },
+        LitmusTest {
+            name: "wc_acq",
+            description: "acquire fencing: W x; Acq l; R y || W y; Acq m; R x \
+                          with distinct locks — WC's acquire drains the write \
+                          buffer, forbidding (0,0); RC's acquire axiomatically \
+                          does not, but this implementation's eager drain \
+                          retires the write during the acquire's memory round \
+                          trip, so (0,0) is documented machine-unreachable",
+            programs: vec![
+                vec![W(0, 1), Acq(0), R(1), Rel(0)],
+                vec![W(1, 1), Acq(1), R(0), Rel(1)],
+            ],
+            nvars: 2,
+            nlocks: 2,
+            properly_labeled: false,
+            forbidden: vec![Annotation::new(Sc, &[0, 0]), Annotation::new(Wc, &[0, 0])],
+            witnesses: vec![],
+            unreachable: vec![Annotation::new(Pc, &[0, 0]), Annotation::new(Rc, &[0, 0])],
+            extra_cells: vec![],
+            max_offset: 2,
+        },
+    ]
+}
+
+/// Looks a corpus test up by name.
+pub fn by_name(name: &str) -> Option<LitmusTest> {
+    corpus().into_iter().find(|t| t.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_is_well_formed() {
+        let tests = corpus();
+        assert!(tests.len() >= 10);
+        for t in &tests {
+            assert_eq!(t.nprocs(), t.programs.len());
+            let mut held: Vec<Vec<usize>> = vec![Vec::new(); t.nprocs()];
+            for (p, prog) in t.programs.iter().enumerate() {
+                for op in prog {
+                    match *op {
+                        W(v, val) => {
+                            assert!(v < t.nvars, "{}: var out of range", t.name);
+                            assert_ne!(val, 0, "{}: write of the init value", t.name);
+                        }
+                        R(v) => assert!(v < t.nvars, "{}: var out of range", t.name),
+                        Acq(l) => {
+                            assert!(l < t.nlocks, "{}: lock out of range", t.name);
+                            held[p].push(l);
+                        }
+                        Rel(l) => {
+                            assert_eq!(
+                                held[p].pop(),
+                                Some(l),
+                                "{}: release without matching acquire",
+                                t.name
+                            );
+                        }
+                    }
+                }
+            }
+            for ann in t.forbidden.iter().chain(&t.witnesses).chain(&t.unreachable) {
+                assert_eq!(
+                    ann.outcome.len(),
+                    t.total_reads(),
+                    "{}: annotation arity mismatch",
+                    t.name
+                );
+            }
+            for cell in &t.extra_cells {
+                assert_eq!(
+                    cell.len(),
+                    t.nprocs(),
+                    "{}: extra offset cell arity mismatch",
+                    t.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn distinct_names() {
+        let tests = corpus();
+        for (i, a) in tests.iter().enumerate() {
+            for b in &tests[i + 1..] {
+                assert_ne!(a.name, b.name);
+            }
+        }
+        assert!(by_name("sb").is_some());
+        assert!(by_name("nope").is_none());
+    }
+
+    #[test]
+    fn outcome_formatting() {
+        let t = by_name("mp").unwrap();
+        assert_eq!(t.format_outcome(&vec![1, 0]), "P0:() P1:(r0=1 r1=0)");
+    }
+}

@@ -1,0 +1,396 @@
+//! Exhaustive directory-protocol checking.
+//!
+//! Breadth-first closure of the coherence-protocol state space on tiny
+//! configurations (2–4 processors, 1–3 cache lines, single-line caches so
+//! conflict evictions and their write-backs are reachable). Each frontier
+//! state is expanded by forking the memory system
+//! ([`MemorySystem::fork_protocol`]) and applying one more demand access;
+//! every transition is checked against:
+//!
+//! * the **structural invariants** of
+//!   [`MemorySystem::check_line_invariants`] — single-writer/multiple-
+//!   reader, cache/directory agreement, primary⊆secondary inclusion;
+//! * a **data-value invariant** tracked by a shadow freshness model: each
+//!   line has a set of cache copies holding the *latest* value plus a
+//!   memory-freshness bit, updated from first principles (a write makes
+//!   its writer the only fresh holder and memory stale; servicing a read
+//!   from a dirty remote cache writes the line back; evicting a dirty
+//!   copy writes it back). A read is a violation if it is serviced from a
+//!   stale source — a cache hit on a non-fresh copy, or memory service
+//!   while memory is stale.
+//!
+//! The closure is exact when it completes; a state cap marks the report
+//! `truncated` and records how far it got, so a bounded run can never
+//! masquerade as a full proof.
+
+use std::collections::{HashSet, VecDeque};
+
+use dashlat_mem::addr::{Addr, LineAddr, NodeId};
+use dashlat_mem::layout::{AddressSpaceBuilder, Placement};
+use dashlat_mem::system::{AccessKind, MemConfig, MemorySystem, ServiceClass};
+use dashlat_mem::{LatencyTable, LineState, LINE_BYTES};
+use dashlat_sim::Cycle;
+
+/// One checker configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ProtocolConfig {
+    /// Processors (= nodes).
+    pub nodes: usize,
+    /// Distinct cache lines the alphabet touches. With the single-line
+    /// primary / two-line direct-mapped secondary used here, three lines
+    /// force conflict evictions (lines 0 and 2 collide).
+    pub lines: usize,
+    /// Explored-state cap; exceeding it truncates (loudly).
+    pub max_states: usize,
+}
+
+impl ProtocolConfig {
+    /// Full closure on the smallest interesting machine.
+    pub fn small() -> Self {
+        ProtocolConfig {
+            nodes: 2,
+            lines: 3,
+            max_states: 200_000,
+        }
+    }
+
+    /// Wider machine, bounded: 4 processors sharing 2 lines.
+    pub fn wide() -> Self {
+        ProtocolConfig {
+            nodes: 4,
+            lines: 2,
+            max_states: 150_000,
+        }
+    }
+}
+
+/// What one protocol-closure run established.
+#[derive(Debug, Clone)]
+pub struct ProtocolReport {
+    /// The explored configuration.
+    pub nodes: usize,
+    /// Lines in the access alphabet.
+    pub lines: usize,
+    /// Distinct protocol states reached.
+    pub states: u64,
+    /// Transitions applied (and checked).
+    pub transitions: u64,
+    /// True when the state cap stopped the closure: the result is a
+    /// bounded-depth check, not a full proof, and reports must say so.
+    pub truncated: bool,
+    /// First invariant violation found, with the access path that
+    /// reaches it from the initial state.
+    pub violation: Option<String>,
+}
+
+impl ProtocolReport {
+    /// True when no violation was found (truncated runs still pass —
+    /// the `truncated` flag reports the reduced confidence separately).
+    pub fn passed(&self) -> bool {
+        self.violation.is_none()
+    }
+
+    /// One-line summary for suite output.
+    pub fn summary(&self) -> String {
+        format!(
+            "directory protocol {}p/{}l: {} states, {} transitions{}{}",
+            self.nodes,
+            self.lines,
+            self.states,
+            self.transitions,
+            if self.truncated {
+                " [TRUNCATED — bounded-depth check, not a full closure]"
+            } else {
+                " (full closure)"
+            },
+            match &self.violation {
+                Some(v) => format!("\n  VIOLATION: {v}"),
+                None => String::new(),
+            }
+        )
+    }
+}
+
+/// Shadow data-value model: which caches hold the latest value of each
+/// line, and whether memory does.
+#[derive(Debug, Clone)]
+struct Shadow {
+    /// `fresh[line][node]`: node's cached copy holds the latest value.
+    fresh: Vec<Vec<bool>>,
+    /// `mem_fresh[line]`: memory holds the latest value.
+    mem_fresh: Vec<bool>,
+}
+
+impl Shadow {
+    fn new(lines: usize, nodes: usize) -> Self {
+        Shadow {
+            fresh: vec![vec![false; nodes]; lines],
+            mem_fresh: vec![true; lines],
+        }
+    }
+}
+
+/// One BFS node: the forked protocol state, its shadow, and the access
+/// path that reached it (for violation reports).
+struct Node {
+    sys: MemorySystem,
+    shadow: Shadow,
+    path: Vec<(usize, usize, AccessKind)>,
+}
+
+fn kind_name(k: AccessKind) -> &'static str {
+    match k {
+        AccessKind::Read => "R",
+        AccessKind::Write => "W",
+        AccessKind::ReadPrefetch => "PF",
+        AccessKind::ReadExPrefetch => "PFx",
+    }
+}
+
+fn format_path(path: &[(usize, usize, AccessKind)]) -> String {
+    path.iter()
+        .map(|&(n, l, k)| format!("P{n}:{} line{l}", kind_name(k)))
+        .collect::<Vec<_>>()
+        .join(" -> ")
+}
+
+/// Canonical signature of a protocol state: directory entry plus both
+/// cache levels' line states per node, plus the shadow freshness bits
+/// (two states with equal caches but different value locations have
+/// different futures for the data-value invariant).
+fn signature(sys: &MemorySystem, shadow: &Shadow, lines: &[LineAddr]) -> String {
+    use std::fmt::Write as _;
+    let nodes = sys.config().nodes;
+    let mut s = String::new();
+    for (li, &line) in lines.iter().enumerate() {
+        let _ = write!(s, "L{li}:{:?}|", sys.directory_state(line));
+        for n in 0..nodes {
+            let _ = write!(
+                s,
+                "{:?}/{:?}/{}",
+                sys.probe_primary(NodeId(n), line),
+                sys.probe_secondary(NodeId(n), line),
+                u8::from(shadow.fresh[li][n]),
+            );
+        }
+        let _ = write!(s, "|m{};", u8::from(shadow.mem_fresh[li]));
+    }
+    s
+}
+
+/// Applies one access to a forked state, checking every invariant.
+fn step(
+    node: &mut Node,
+    lines: &[LineAddr],
+    li: usize,
+    actor: usize,
+    kind: AccessKind,
+) -> Result<(), String> {
+    let addr = lines[li].base();
+    node.path.push((actor, li, kind));
+    let fail = |msg: String, path: &[(usize, usize, AccessKind)]| {
+        Err(format!("{msg}\n  path: {}", format_path(path)))
+    };
+
+    // Dirty copies present before the access: a dirty copy that vanishes
+    // without being the invalidation target of this very write must have
+    // been evicted, which writes the latest value back to memory.
+    let nodes = node.sys.config().nodes;
+    let dirty_before: Vec<Vec<bool>> = lines
+        .iter()
+        .map(|&l| {
+            (0..nodes)
+                .map(|n| node.sys.probe_secondary(NodeId(n), l) == Some(LineState::Dirty))
+                .collect()
+        })
+        .collect();
+
+    let res = node.sys.access(Cycle::ZERO, NodeId(actor), addr, kind);
+
+    for (i, &l) in lines.iter().enumerate() {
+        if let Err(e) = node.sys.check_line_invariants(l) {
+            return fail(format!("structural invariant on line {i}: {e}"), &node.path);
+        }
+    }
+
+    for (i, &l) in lines.iter().enumerate() {
+        for (n, &was_dirty) in dirty_before[i].iter().enumerate().take(nodes) {
+            let vanished = was_dirty && node.sys.probe_secondary(NodeId(n), l).is_none();
+            if vanished {
+                let invalidated = kind == AccessKind::Write && i == li && n != actor;
+                if !invalidated {
+                    // Conflict eviction of a dirty line: write-back.
+                    node.shadow.mem_fresh[i] = true;
+                }
+            }
+        }
+    }
+
+    match kind {
+        AccessKind::Write => {
+            for n in 0..nodes {
+                node.shadow.fresh[li][n] = n == actor;
+            }
+            node.shadow.mem_fresh[li] = false;
+        }
+        AccessKind::Read => match res.class {
+            ServiceClass::PrimaryHit | ServiceClass::SecondaryHit => {
+                if !node.shadow.fresh[li][actor] {
+                    return fail(
+                        format!(
+                            "data-value invariant: P{actor} read line {li} as a \
+                             cache hit on a STALE copy (class {:?})",
+                            res.class
+                        ),
+                        &node.path,
+                    );
+                }
+            }
+            ServiceClass::LocalMem | ServiceClass::HomeMem => {
+                if !node.shadow.mem_fresh[li] {
+                    return fail(
+                        format!(
+                            "data-value invariant: P{actor} read line {li} from \
+                             MEMORY while a cache holds a newer value (class {:?})",
+                            res.class
+                        ),
+                        &node.path,
+                    );
+                }
+                node.shadow.fresh[li][actor] = true;
+            }
+            ServiceClass::RemoteDirty => {
+                // Serviced from the (unique, freshest) dirty owner; DASH
+                // sharing-writeback updates memory too.
+                node.shadow.mem_fresh[li] = true;
+                node.shadow.fresh[li][actor] = true;
+            }
+            ServiceClass::Uncached | ServiceClass::PrefetchDiscard => {
+                return fail(
+                    format!(
+                        "unexpected service class {:?} in protocol closure",
+                        res.class
+                    ),
+                    &node.path,
+                );
+            }
+        },
+        AccessKind::ReadPrefetch | AccessKind::ReadExPrefetch => {
+            unreachable!("prefetches are not in the closure alphabet")
+        }
+    }
+
+    // A copy that is no longer cached cannot be fresh.
+    for (i, &l) in lines.iter().enumerate() {
+        for n in 0..nodes {
+            if node.sys.probe_secondary(NodeId(n), l).is_none() {
+                node.shadow.fresh[i][n] = false;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Runs the reachable-state closure for one configuration.
+pub fn check_directory(cfg: ProtocolConfig) -> ProtocolReport {
+    let mut b = AddressSpaceBuilder::new(cfg.nodes);
+    let seg = b.alloc(
+        "protocol-lines",
+        cfg.lines as u64 * LINE_BYTES,
+        Placement::RoundRobin,
+    );
+    let lines: Vec<LineAddr> = (0..cfg.lines)
+        .map(|l| Addr(seg.at(l as u64 * LINE_BYTES).0).line())
+        .collect();
+    let mem_cfg = MemConfig {
+        // Single-line primary, two-line secondary: conflict evictions
+        // (and dirty write-backs) are reachable with three lines.
+        primary_bytes: LINE_BYTES,
+        secondary_bytes: 2 * LINE_BYTES,
+        latencies: LatencyTable::uniform(Cycle(1)),
+        contention: false,
+        ..MemConfig::dash_scaled(cfg.nodes)
+    };
+    let root = Node {
+        sys: MemorySystem::new(mem_cfg, b.build()),
+        shadow: Shadow::new(cfg.lines, cfg.nodes),
+        path: Vec::new(),
+    };
+
+    let mut report = ProtocolReport {
+        nodes: cfg.nodes,
+        lines: cfg.lines,
+        states: 0,
+        transitions: 0,
+        truncated: false,
+        violation: None,
+    };
+    let mut seen: HashSet<String> = HashSet::new();
+    seen.insert(signature(&root.sys, &root.shadow, &lines));
+    let mut frontier = VecDeque::from([root]);
+    report.states = 1;
+
+    while let Some(node) = frontier.pop_front() {
+        for actor in 0..cfg.nodes {
+            for li in 0..cfg.lines {
+                for kind in [AccessKind::Read, AccessKind::Write] {
+                    let mut next = Node {
+                        sys: node.sys.fork_protocol(),
+                        shadow: node.shadow.clone(),
+                        path: node.path.clone(),
+                    };
+                    report.transitions += 1;
+                    if let Err(v) = step(&mut next, &lines, li, actor, kind) {
+                        report.violation = Some(v);
+                        return report;
+                    }
+                    let sig = signature(&next.sys, &next.shadow, &lines);
+                    if seen.insert(sig) {
+                        report.states += 1;
+                        if report.states as usize >= cfg.max_states {
+                            report.truncated = true;
+                            return report;
+                        }
+                        frontier.push_back(next);
+                    }
+                }
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_closure_is_clean_and_complete() {
+        let r = check_directory(ProtocolConfig::small());
+        assert!(r.passed(), "{}", r.summary());
+        assert!(!r.truncated, "small config must close: {}", r.summary());
+        assert!(r.states > 50, "closure too small to be real: {}", r.states);
+    }
+
+    #[test]
+    fn wide_closure_is_clean() {
+        let r = check_directory(ProtocolConfig {
+            nodes: 4,
+            lines: 1,
+            max_states: 100_000,
+        });
+        assert!(r.passed(), "{}", r.summary());
+        assert!(!r.truncated);
+    }
+
+    #[test]
+    fn state_cap_truncates_loudly() {
+        let r = check_directory(ProtocolConfig {
+            nodes: 2,
+            lines: 3,
+            max_states: 10,
+        });
+        assert!(r.truncated);
+        assert!(r.summary().contains("TRUNCATED"));
+    }
+}

@@ -1,0 +1,111 @@
+//! Counterexample rendering.
+//!
+//! A failed verdict is only useful if a human can see *which*
+//! interleaving broke *which* axiom. Every machine outcome carries a
+//! replayable witness (`offsets` + scheduler choice prefix); rendering a
+//! counterexample re-runs that exact interleaving with the machine's
+//! analysis event log enabled and formats it through
+//! [`dashlat_analyze::OpTimeline`] — the per-processor operation timeline
+//! — under a header stating the violated axiom and the allowed set.
+
+use dashlat_analyze::OpTimeline;
+
+use crate::harness::{replay_with_log, LitmusVerdict};
+use crate::litmus::LitmusTest;
+use crate::outcome::{format_set, Outcome};
+
+/// A rendered memory-model counterexample.
+#[derive(Debug, Clone)]
+pub struct Counterexample {
+    /// The forbidden outcome the machine produced.
+    pub outcome: Outcome,
+    /// Start offsets of the witnessing run.
+    pub offsets: Vec<u64>,
+    /// Scheduler choice prefix of the witnessing run.
+    pub prefix: Vec<usize>,
+    /// The full human-readable rendering (axiom + per-processor timeline).
+    pub rendered: String,
+}
+
+/// Renders the first unsound outcome of a failed verdict, replaying its
+/// witnessed interleaving with event logging on. Returns `None` for
+/// verdicts whose failure is not an unsound outcome (missing outcomes and
+/// annotation failures have no single guilty interleaving to show).
+pub fn counterexample(test: &LitmusTest, verdict: &LitmusVerdict) -> Option<Counterexample> {
+    let outcome = verdict.unsound.first()?.clone();
+    let (offsets, prefix) = verdict
+        .witnesses
+        .get(&outcome)
+        .cloned()
+        .expect("every machine outcome has a witness");
+    let log = replay_with_log(test, verdict.model, &offsets, &prefix, verdict.seeded_bug);
+    let timeline = OpTimeline::from_log(&log);
+    let mut s = String::new();
+    s.push_str(&format!(
+        "MEMORY-MODEL VIOLATION: {} under {}\n",
+        test.name, verdict.model
+    ));
+    s.push_str(&format!("  outcome:  {}\n", test.format_outcome(&outcome)));
+    s.push_str(&format!(
+        "  axiom:    the axiomatic {} model admits {} — the observed \
+         outcome is outside it\n",
+        verdict.model,
+        format_set(&verdict.reference)
+    ));
+    s.push_str(&format!(
+        "  witness:  start offsets {offsets:?}, scheduler choices {prefix:?}\n"
+    ));
+    s.push_str(&format!("  test:     {}\n", test.description));
+    s.push_str("  interleaving (per-processor commit timeline):\n");
+    for line in timeline.to_string().lines() {
+        s.push_str("    ");
+        s.push_str(line);
+        s.push('\n');
+    }
+    Some(Counterexample {
+        outcome,
+        offsets,
+        prefix,
+        rendered: s,
+    })
+}
+
+/// Renders a verdict for suite output: one summary line, plus failure
+/// details (and a full counterexample when one exists).
+pub fn render_verdict(test: &LitmusTest, verdict: &LitmusVerdict) -> String {
+    let mut s = String::new();
+    let status = if verdict.passed() { "PASS" } else { "FAIL" };
+    s.push_str(&format!("[{status}] {}\n", verdict.summary()));
+    if verdict.truncated {
+        s.push_str(&format!(
+            "  TRUNCATED after {} runs — outcome set is a lower bound, \
+             exhaustiveness NOT established\n",
+            verdict.runs
+        ));
+    }
+    for o in &verdict.missing {
+        s.push_str(&format!(
+            "  missing: reference-allowed outcome {} never produced by the \
+             machine (harness gap or over-strict machine)\n",
+            test.format_outcome(o)
+        ));
+    }
+    for o in &verdict.waived {
+        s.push_str(&format!(
+            "  waived:  reference-allowed outcome {} is documented \
+             machine-unreachable (implementation stricter than the model)\n",
+            test.format_outcome(o)
+        ));
+    }
+    for a in &verdict.annotation_failures {
+        s.push_str(&format!("  annotation: {a}\n"));
+    }
+    if let Some(cex) = counterexample(test, verdict) {
+        for line in cex.rendered.lines() {
+            s.push_str("  ");
+            s.push_str(line);
+            s.push('\n');
+        }
+    }
+    s
+}

@@ -1,0 +1,178 @@
+//! Compiling litmus programs into machine workloads.
+//!
+//! Each litmus variable gets its own cache line in a dedicated data
+//! segment; locks live in a separate segment so the value extractor can
+//! filter lock-line coherence traffic by address. A per-processor start
+//! *offset* (leading [`Op::Compute`] cycles) shifts that processor's whole
+//! program in time — the harness sweeps offsets because same-cycle
+//! tie-breaking alone cannot realise orderings between events that the
+//! uniform-latency configuration pins to different cycles.
+
+use dashlat_cpu::ops::{LockId, Op, ProcId, SyncConfig, Workload};
+use dashlat_mem::addr::Addr;
+use dashlat_mem::layout::{AddressSpaceBuilder, Placement};
+use dashlat_mem::{PageMap, LINE_BYTES};
+
+use crate::litmus::{LOp, LitmusTest};
+
+/// The shared-address layout of one litmus run.
+#[derive(Debug, Clone)]
+pub struct LitmusLayout {
+    /// Address of each litmus variable (one line apart).
+    pub var_addrs: Vec<Addr>,
+    /// Address of each lock.
+    pub lock_addrs: Vec<Addr>,
+    /// The finished page map (node count = processor count).
+    pub page_map: PageMap,
+}
+
+/// Builds the address layout for `test` on an `nprocs`-node machine.
+pub fn layout(test: &LitmusTest, nprocs: usize) -> LitmusLayout {
+    let mut b = AddressSpaceBuilder::new(nprocs);
+    let vars = b.alloc(
+        "litmus-vars",
+        (test.nvars.max(1) as u64) * LINE_BYTES,
+        Placement::RoundRobin,
+    );
+    let var_addrs = (0..test.nvars)
+        .map(|v| vars.at(v as u64 * LINE_BYTES))
+        .collect();
+    let lock_addrs = if test.nlocks > 0 {
+        let locks = b.alloc(
+            "litmus-locks",
+            (test.nlocks as u64) * LINE_BYTES,
+            Placement::RoundRobin,
+        );
+        (0..test.nlocks)
+            .map(|l| locks.at(l as u64 * LINE_BYTES))
+            .collect()
+    } else {
+        Vec::new()
+    };
+    LitmusLayout {
+        var_addrs,
+        lock_addrs,
+        page_map: b.build(),
+    }
+}
+
+/// A litmus test compiled to an execution-driven machine workload.
+#[derive(Debug, Clone)]
+pub struct LitmusWorkload {
+    programs: Vec<Vec<Op>>,
+    pcs: Vec<usize>,
+    sync: SyncConfig,
+}
+
+impl LitmusWorkload {
+    /// Compiles `test` with the given per-processor start offsets
+    /// (`offsets.len()` must equal the processor count).
+    pub fn new(test: &LitmusTest, lay: &LitmusLayout, offsets: &[u64]) -> Self {
+        assert_eq!(offsets.len(), test.nprocs(), "one offset per processor");
+        let programs = test
+            .programs
+            .iter()
+            .zip(offsets)
+            .map(|(prog, &off)| {
+                let mut ops = Vec::with_capacity(prog.len() + 2);
+                if off > 0 {
+                    ops.push(Op::Compute(off));
+                }
+                for op in prog {
+                    ops.push(match *op {
+                        LOp::W(v, _) => Op::Write(lay.var_addrs[v]),
+                        LOp::R(v) => Op::Read(lay.var_addrs[v]),
+                        LOp::Acq(l) => Op::Acquire(LockId(l)),
+                        LOp::Rel(l) => Op::Release(LockId(l)),
+                    });
+                }
+                ops.push(Op::Done);
+                ops
+            })
+            .collect::<Vec<_>>();
+        let sync = SyncConfig {
+            lock_addrs: lay.lock_addrs.clone(),
+            barrier_addrs: Vec::new(),
+            labeled_ranges: Vec::new(),
+        };
+        LitmusWorkload {
+            pcs: vec![0; programs.len()],
+            programs,
+            sync,
+        }
+    }
+}
+
+impl Workload for LitmusWorkload {
+    fn processes(&self) -> usize {
+        self.programs.len()
+    }
+
+    fn next_op(&mut self, pid: ProcId) -> Op {
+        let pc = self.pcs[pid.0];
+        match self.programs[pid.0].get(pc) {
+            Some(&op) => {
+                self.pcs[pid.0] += 1;
+                op
+            }
+            None => Op::Done,
+        }
+    }
+
+    fn peek_op(&self, pid: ProcId) -> Option<Op> {
+        Some(
+            self.programs[pid.0]
+                .get(self.pcs[pid.0])
+                .copied()
+                .unwrap_or(Op::Done),
+        )
+    }
+
+    fn sync_config(&self) -> SyncConfig {
+        self.sync.clone()
+    }
+
+    fn shared_bytes(&self) -> u64 {
+        (self.sync.lock_addrs.len() as u64 + self.programs.len() as u64) * LINE_BYTES
+    }
+
+    fn name(&self) -> &str {
+        "litmus"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::litmus::by_name;
+
+    #[test]
+    fn compiles_with_offsets_and_peeks() {
+        let t = by_name("sb").unwrap();
+        let lay = layout(&t, 2);
+        let mut w = LitmusWorkload::new(&t, &lay, &[0, 3]);
+        assert_eq!(w.processes(), 2);
+        assert_eq!(w.peek_op(ProcId(1)), Some(Op::Compute(3)));
+        assert_eq!(w.next_op(ProcId(1)), Op::Compute(3));
+        assert_eq!(w.next_op(ProcId(0)), Op::Write(lay.var_addrs[0]));
+        assert_eq!(w.next_op(ProcId(0)), Op::Read(lay.var_addrs[1]));
+        assert_eq!(w.next_op(ProcId(0)), Op::Done);
+        assert_eq!(w.next_op(ProcId(0)), Op::Done, "Done is sticky");
+        assert_eq!(w.peek_op(ProcId(0)), Some(Op::Done));
+    }
+
+    #[test]
+    fn vars_and_locks_live_on_distinct_lines() {
+        let t = by_name("mp_pl").unwrap();
+        let lay = layout(&t, 2);
+        let mut lines: Vec<u64> = lay
+            .var_addrs
+            .iter()
+            .chain(&lay.lock_addrs)
+            .map(|a| a.line().index())
+            .collect();
+        lines.sort_unstable();
+        lines.dedup();
+        assert_eq!(lines.len(), t.nvars + t.nlocks);
+    }
+}

@@ -1,0 +1,65 @@
+//! Regression: the verifier must *catch* a deliberately seeded
+//! relaxation bug, not just bless a correct machine. The
+//! `verify-mutations` feature arms a mutation in the write-buffer
+//! service path that retires the second buffered write before the head —
+//! breaking W→W program order to *different* addresses, which even RC
+//! forbids from a single processor's perspective once the writes are
+//! observed via message-passing.
+#![cfg(feature = "verify-mutations")]
+
+use dashlat_cpu::config::Consistency;
+use dashlat_verify::counterexample;
+use dashlat_verify::harness::verify_litmus_seeded_bug;
+use dashlat_verify::litmus::by_name;
+use dashlat_verify::DEFAULT_MAX_RUNS;
+
+/// MP under RC: with the seeded W→W reorder, the flag write (second
+/// buffer entry) can retire before the data write (head), so the
+/// consumer observes `r0 = 1` (flag set) with `r1 = 0` (stale data) —
+/// an outcome the axiomatic RC model forbids because both writes sit in
+/// one processor's FIFO buffer.
+///
+/// MP is the right probe: the two writes target *different* addresses.
+/// A same-address swap (`CoWW`) is invisible to the outcome extraction,
+/// which assigns values to same-address writes in program-FIFO order.
+#[test]
+fn seeded_write_reorder_is_caught_on_mp_under_rc() {
+    let test = by_name("mp").unwrap();
+    let v = verify_litmus_seeded_bug(&test, Consistency::Rc, DEFAULT_MAX_RUNS);
+    assert!(!v.passed(), "seeded relaxation bug went undetected");
+    assert!(
+        v.unsound.contains(&vec![1, 0]),
+        "expected the forbidden (r0=1, r1=0) outcome, got unsound = {:?}",
+        v.unsound
+    );
+
+    let cex = counterexample(&test, &v).expect("unsound verdict must render a counterexample");
+    assert_eq!(cex.outcome, vec![1, 0]);
+    assert!(
+        cex.rendered.contains("MEMORY-MODEL VIOLATION: mp under RC"),
+        "{}",
+        cex.rendered
+    );
+    assert!(cex.rendered.contains("axiom:"), "{}", cex.rendered);
+    assert!(
+        cex.rendered.contains("per-processor commit timeline"),
+        "{}",
+        cex.rendered
+    );
+    // The replayed timeline actually shows both processors doing work.
+    assert!(cex.rendered.contains("P0"), "{}", cex.rendered);
+    assert!(cex.rendered.contains("P1"), "{}", cex.rendered);
+}
+
+/// The same seeded machine still passes SC cells: with no write buffer,
+/// the mutated service path never runs, so the bug is RC-specific —
+/// exactly the shape of real relaxation bugs this suite exists to catch.
+#[test]
+fn seeded_bug_is_invisible_under_sc() {
+    let test = by_name("mp").unwrap();
+    let v = verify_litmus_seeded_bug(&test, Consistency::Sc, DEFAULT_MAX_RUNS);
+    assert!(
+        v.passed(),
+        "SC has no write buffer; the seeded mutation must be dormant"
+    );
+}
