@@ -70,6 +70,56 @@ pub enum Command {
         /// Machine variant for live runs.
         config: Box<ExperimentConfig>,
     },
+    /// Crash-safe supervised sweep of one paper figure's matrix.
+    Sweep {
+        /// Figure number (2-6).
+        number: u8,
+        /// Machine baseline.
+        config: Box<ExperimentConfig>,
+        /// Write-ahead journal path.
+        journal: String,
+        /// Output path for the final `SweepLog` JSON.
+        out: String,
+        /// Replay an existing journal's committed cells.
+        resume: bool,
+        /// Run each cell in a subprocess with a wall-clock timeout.
+        isolate: bool,
+        /// Per-cell wall-clock timeout for `--isolate`, in seconds.
+        timeout_secs: u64,
+        /// Maximum retries per cell for transient failures.
+        retries: u32,
+        /// Where to write repro bundles for permanent failures.
+        bundle_dir: Option<String>,
+    },
+    /// Run one sweep cell in-process and print its JSON outcome record —
+    /// the subprocess half of `sweep --isolate`.
+    Cell {
+        /// Application to run.
+        app: App,
+        /// Machine variant.
+        config: Box<ExperimentConfig>,
+    },
+    /// Replay a repro bundle and verify the recorded failure reproduces.
+    Repro {
+        /// Bundle path.
+        bundle: String,
+    },
+    /// Fuzz randomized fault schedules against the invariant checker and
+    /// determinism oracle, shrinking the first failing schedule.
+    Chaos {
+        /// Application to hammer.
+        app: App,
+        /// Machine baseline the schedules are applied to.
+        config: Box<ExperimentConfig>,
+        /// Fault schedules to try.
+        trials: u32,
+        /// Campaign seed.
+        seed: u64,
+        /// Re-run surviving schedules for the determinism oracle.
+        determinism: bool,
+        /// Where to write the repro bundle for a failing schedule.
+        bundle_dir: String,
+    },
     /// Exhaustively verify the machine's memory model and directory
     /// protocol against their specifications.
     VerifyModel {
@@ -109,6 +159,13 @@ USAGE:
   dashlat trace replay --in <file> [machine flags]
   dashlat analyze [--app <app>]... [--in <file>] [--passes <list>]
                   [--paper-scale] [machine flags]
+  dashlat sweep <2|3|4|5|6> [machine flags] [--journal <file>] [--out <file>]
+                [--resume] [--isolate] [--timeout-secs <n>] [--retries <n>]
+                [--bundle-dir <dir>]
+  dashlat cell --app <app> [machine flags]
+  dashlat repro <bundle.json>
+  dashlat chaos [--app <app>] [machine flags] [--trials <n>] [--seed <n>]
+                [--no-determinism] [--bundle-dir <dir>]
   dashlat verify-model [--all] [--models <sc,pc,wc,rc>] [--tests <names>]
                        [--max-runs <n>]
   dashlat help
@@ -133,6 +190,13 @@ MACHINE FLAGS:
                             (light|heavy|nacks[:seed]) or key=value pairs
                             (seed,nack,retries,backoff,cap,delay,maxdelay,full)
   --check-invariants        check coherence invariants after every access
+  --no-check-invariants     disable invariant checking (overrides the
+                            debug-build default)
+  --enforce-wb-fifo         enforce W->W write-buffer FIFO retirement
+                            order as an online invariant
+  --mutate-ww               arm the seeded W->W reordering bug
+                            (verify-mutations builds only; for testing
+                            the chaos fuzzer against a known-real bug)
   --analyze <passes>        record an event log and run analysis passes
                             after the run: all, or a comma list of
                             hb,lockset,barrier,prefetch,syncbalance
@@ -143,6 +207,24 @@ ANALYZE:
   all three applications, 16 processors, release consistency, reduced
   data sets (--paper-scale restores Table 2 sizes), every pass.
   --in <file> analyzes a recorded trace by logical replay instead.
+
+SWEEP / CHAOS / REPRO:
+  `dashlat sweep N` runs figure N's matrix under a crash-safe supervisor:
+  each finished cell is committed to a write-ahead journal (fsync per
+  record) before it counts, so after a crash or `kill -9` the same
+  command with --resume replays the committed cells and re-runs only the
+  rest — the final JSON (--out, published atomically) is byte-identical
+  to an uninterrupted run, serial or parallel. --isolate runs each cell
+  in a subprocess with a wall-clock timeout. Transient failures (cycle
+  budget or livelock under active fault injection; subprocess timeouts
+  and signal kills) retry with capped exponential backoff; permanent
+  ones (deadlock, invariant violation, panic, race) fail the cell at
+  once and, with --bundle-dir, emit a self-contained repro bundle.
+  `dashlat repro <bundle>` replays a bundle and exits 0 only when the
+  recorded failure reproduces (9 on divergence). `dashlat chaos` fuzzes
+  seeded fault schedules against the online invariant checker and a
+  determinism oracle, delta-debugs the first failing schedule to
+  minimal, and writes it as a repro bundle (exit 8).
 
 VERIFY-MODEL:
   `dashlat verify-model` runs the litmus corpus through a sleep-set
@@ -157,9 +239,10 @@ VERIFY-MODEL:
 EXIT CODES:
   0 success   1 generic error   2 deadlock   3 livelock
   4 invariant violation   5 partial matrix results   6 race detected
-  7 memory-model violation
+  7 memory-model violation   8 chaos found a failing schedule
+  9 repro bundle did not reproduce
   When several failures co-occur (e.g. in one figure matrix), the most
-  severe code wins: 7, then 4, 2, 3, 6, 5, and 1 last.
+  severe code wins: 7, then 4, 2, 3, 6, 8, 9, 5, and 1 last.
 ";
 
 fn parse_consistency(v: &str) -> Result<Consistency, ArgError> {
@@ -176,7 +259,9 @@ fn parse_consistency(v: &str) -> Result<Consistency, ArgError> {
 
 /// Extracts the machine flags from `args`, removing everything it
 /// consumes; unrecognized tokens are left in place for the caller.
-fn parse_machine_flags(args: &mut Vec<String>) -> Result<ExperimentConfig, ArgError> {
+/// `pub(crate)` so `dashlat repro` can re-parse a bundle's recorded
+/// machine args through exactly the same code path as the command line.
+pub(crate) fn parse_machine_flags(args: &mut Vec<String>) -> Result<ExperimentConfig, ArgError> {
     let mut cfg = ExperimentConfig::base();
     let mut contexts: usize = 1;
     let mut switch: u64 = 4;
@@ -283,6 +368,27 @@ fn parse_machine_flags(args: &mut Vec<String>) -> Result<ExperimentConfig, ArgEr
                 args.remove(i);
                 cfg = cfg.with_invariant_checks(true);
             }
+            "--no-check-invariants" => {
+                args.remove(i);
+                cfg = cfg.with_invariant_checks(false);
+            }
+            "--enforce-wb-fifo" => {
+                args.remove(i);
+                cfg = cfg.with_wb_fifo_enforcement();
+            }
+            "--mutate-ww" => {
+                args.remove(i);
+                #[cfg(feature = "verify-mutations")]
+                {
+                    cfg = cfg.with_ww_mutation();
+                }
+                #[cfg(not(feature = "verify-mutations"))]
+                {
+                    return Err(ArgError(
+                        "--mutate-ww requires a build with the verify-mutations feature".into(),
+                    ));
+                }
+            }
             "--analyze" => {
                 let v = take_value(args, i, "--analyze")?;
                 cfg = cfg.with_analysis(parse_passes(&v).map_err(ArgError)?);
@@ -305,7 +411,28 @@ fn take_flag_value(args: &mut Vec<String>, flag: &str) -> Result<String, ArgErro
     }
 }
 
-fn ensure_consumed(args: &[String]) -> Result<(), ArgError> {
+fn take_opt_flag_value(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, ArgError> {
+    match args.iter().position(|a| a == flag) {
+        Some(i) if i + 1 < args.len() => {
+            let v = args.remove(i + 1);
+            args.remove(i);
+            Ok(Some(v))
+        }
+        Some(_) => Err(ArgError(format!("{flag} needs a value"))),
+        None => Ok(None),
+    }
+}
+
+fn take_bool_flag(args: &mut Vec<String>, flag: &str) -> bool {
+    if let Some(i) = args.iter().position(|a| a == flag) {
+        args.remove(i);
+        true
+    } else {
+        false
+    }
+}
+
+pub(crate) fn ensure_consumed(args: &[String]) -> Result<(), ArgError> {
     if let Some(extra) = args.first() {
         return Err(ArgError(format!("unrecognized argument {extra:?}")));
     }
@@ -481,6 +608,115 @@ pub fn parse(mut args: Vec<String>) -> Result<Command, ArgError> {
                 input,
                 passes,
                 config: Box::new(config),
+            })
+        }
+        "sweep" => {
+            if args.is_empty() {
+                return Err(ArgError("sweep needs a figure number (2-6)".into()));
+            }
+            let number: u8 = args
+                .remove(0)
+                .parse()
+                .map_err(|_| ArgError("sweep needs a figure number (2-6)".into()))?;
+            if !(2..=6).contains(&number) {
+                return Err(ArgError("sweep figure number must be 2-6".into()));
+            }
+            let config = parse_machine_flags(&mut args)?;
+            let journal = take_opt_flag_value(&mut args, "--journal")?
+                .unwrap_or_else(|| format!("sweep-figure{number}.journal"));
+            let out = take_opt_flag_value(&mut args, "--out")?
+                .unwrap_or_else(|| format!("sweep-figure{number}.json"));
+            let resume = take_bool_flag(&mut args, "--resume");
+            let isolate = take_bool_flag(&mut args, "--isolate");
+            let timeout_secs = match take_opt_flag_value(&mut args, "--timeout-secs")? {
+                Some(v) => {
+                    let n: u64 = v
+                        .parse()
+                        .map_err(|_| ArgError(format!("bad timeout {v:?}")))?;
+                    if n == 0 {
+                        return Err(ArgError("--timeout-secs must be positive".into()));
+                    }
+                    n
+                }
+                None => 600,
+            };
+            let retries = match take_opt_flag_value(&mut args, "--retries")? {
+                Some(v) => v
+                    .parse()
+                    .map_err(|_| ArgError(format!("bad retry count {v:?}")))?,
+                None => 2,
+            };
+            let bundle_dir = take_opt_flag_value(&mut args, "--bundle-dir")?;
+            ensure_consumed(&args)?;
+            Ok(Command::Sweep {
+                number,
+                config: Box::new(config),
+                journal,
+                out,
+                resume,
+                isolate,
+                timeout_secs,
+                retries,
+                bundle_dir,
+            })
+        }
+        "cell" => {
+            let config = parse_machine_flags(&mut args)?;
+            let app: App = take_flag_value(&mut args, "--app")?
+                .parse()
+                .map_err(ArgError)?;
+            ensure_consumed(&args)?;
+            Ok(Command::Cell {
+                app,
+                config: Box::new(config),
+            })
+        }
+        "repro" => {
+            if args.is_empty() {
+                return Err(ArgError("repro needs a bundle path".into()));
+            }
+            let bundle = args.remove(0);
+            ensure_consumed(&args)?;
+            Ok(Command::Repro { bundle })
+        }
+        "chaos" => {
+            let config = parse_machine_flags(&mut args)?;
+            if config.faults.is_some() {
+                return Err(ArgError(
+                    "chaos draws its own fault schedules; drop --faults".into(),
+                ));
+            }
+            let app: App = match take_opt_flag_value(&mut args, "--app")? {
+                Some(v) => v.parse().map_err(ArgError)?,
+                None => App::Lu,
+            };
+            let trials = match take_opt_flag_value(&mut args, "--trials")? {
+                Some(v) => {
+                    let n: u32 = v
+                        .parse()
+                        .map_err(|_| ArgError(format!("bad trial count {v:?}")))?;
+                    if n == 0 {
+                        return Err(ArgError("--trials must be positive".into()));
+                    }
+                    n
+                }
+                None => 25,
+            };
+            let seed = match take_opt_flag_value(&mut args, "--seed")? {
+                Some(v) => v.parse().map_err(|_| ArgError(format!("bad seed {v:?}")))?,
+                None => 1,
+            };
+            let determinism = !take_bool_flag(&mut args, "--no-determinism");
+            let bundle_dir =
+                take_opt_flag_value(&mut args, "--bundle-dir")?.unwrap_or_else(|| ".".into());
+            ensure_consumed(&args)?;
+            Ok(Command::Chaos {
+                app,
+                config: Box::new(config),
+                trials,
+                seed,
+                determinism,
+                bundle_dir,
             })
         }
         "verify-model" => {
@@ -826,6 +1062,238 @@ mod tests {
         }
         assert!(parse(v(&["run", "--app", "lu", "--faults", "bogus"])).is_err());
         assert!(parse(v(&["run", "--app", "lu", "--faults"])).is_err());
+    }
+
+    #[test]
+    fn sweep_parsing_defaults_and_overrides() {
+        let cmd = parse(v(&["sweep", "3", "--test-scale"])).expect("parses");
+        match cmd {
+            Command::Sweep {
+                number,
+                journal,
+                out,
+                resume,
+                isolate,
+                timeout_secs,
+                retries,
+                bundle_dir,
+                config,
+            } => {
+                assert_eq!(number, 3);
+                assert_eq!(journal, "sweep-figure3.journal");
+                assert_eq!(out, "sweep-figure3.json");
+                assert!(!resume);
+                assert!(!isolate);
+                assert_eq!(timeout_secs, 600);
+                assert_eq!(retries, 2);
+                assert_eq!(bundle_dir, None);
+                assert_eq!(config.scale, AppScale::Test);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let cmd = parse(v(&[
+            "sweep",
+            "4",
+            "--journal",
+            "/tmp/j",
+            "--out",
+            "/tmp/o.json",
+            "--resume",
+            "--isolate",
+            "--timeout-secs",
+            "30",
+            "--retries",
+            "5",
+            "--bundle-dir",
+            "/tmp/bundles",
+        ]))
+        .expect("parses");
+        match cmd {
+            Command::Sweep {
+                number,
+                journal,
+                out,
+                resume,
+                isolate,
+                timeout_secs,
+                retries,
+                bundle_dir,
+                ..
+            } => {
+                assert_eq!(number, 4);
+                assert_eq!(journal, "/tmp/j");
+                assert_eq!(out, "/tmp/o.json");
+                assert!(resume);
+                assert!(isolate);
+                assert_eq!(timeout_secs, 30);
+                assert_eq!(retries, 5);
+                assert_eq!(bundle_dir, Some("/tmp/bundles".into()));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse(v(&["sweep"])).is_err());
+        assert!(parse(v(&["sweep", "7"])).is_err());
+        assert!(parse(v(&["sweep", "3", "--timeout-secs", "0"])).is_err());
+        assert!(parse(v(&["sweep", "3", "--retries", "many"])).is_err());
+    }
+
+    #[test]
+    fn cell_and_repro_parsing() {
+        let cmd = parse(v(&["cell", "--app", "mp3d", "--test-scale"])).expect("parses");
+        match cmd {
+            Command::Cell { app, config } => {
+                assert_eq!(app, App::Mp3d);
+                assert_eq!(config.scale, AppScale::Test);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse(v(&["cell"])).is_err());
+        assert_eq!(
+            parse(v(&["repro", "/tmp/b.json"])),
+            Ok(Command::Repro {
+                bundle: "/tmp/b.json".into()
+            })
+        );
+        assert!(parse(v(&["repro"])).is_err());
+        assert!(parse(v(&["repro", "/tmp/b.json", "extra"])).is_err());
+    }
+
+    #[test]
+    fn chaos_parsing_defaults_and_overrides() {
+        let cmd = parse(v(&["chaos"])).expect("parses");
+        match cmd {
+            Command::Chaos {
+                app,
+                trials,
+                seed,
+                determinism,
+                bundle_dir,
+                ..
+            } => {
+                assert_eq!(app, App::Lu);
+                assert_eq!(trials, 25);
+                assert_eq!(seed, 1);
+                assert!(determinism);
+                assert_eq!(bundle_dir, ".");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let cmd = parse(v(&[
+            "chaos",
+            "--app",
+            "pthor",
+            "--trials",
+            "3",
+            "--seed",
+            "99",
+            "--no-determinism",
+            "--bundle-dir",
+            "/tmp/b",
+            "--test-scale",
+        ]))
+        .expect("parses");
+        match cmd {
+            Command::Chaos {
+                app,
+                trials,
+                seed,
+                determinism,
+                bundle_dir,
+                config,
+            } => {
+                assert_eq!(app, App::Pthor);
+                assert_eq!(trials, 3);
+                assert_eq!(seed, 99);
+                assert!(!determinism);
+                assert_eq!(bundle_dir, "/tmp/b");
+                assert_eq!(config.scale, AppScale::Test);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Chaos owns the fault schedule.
+        assert!(parse(v(&["chaos", "--faults", "heavy"])).is_err());
+        assert!(parse(v(&["chaos", "--trials", "0"])).is_err());
+    }
+
+    #[test]
+    fn invariant_and_fifo_flags() {
+        let cmd = parse(v(&["run", "--app", "lu", "--no-check-invariants"])).expect("parses");
+        match cmd {
+            Command::Run { config, .. } => assert!(!config.check_invariants),
+            other => panic!("unexpected {other:?}"),
+        }
+        let cmd = parse(v(&["run", "--app", "lu", "--enforce-wb-fifo"])).expect("parses");
+        match cmd {
+            Command::Run { config, .. } => assert!(config.enforce_wb_fifo),
+            other => panic!("unexpected {other:?}"),
+        }
+        #[cfg(not(feature = "verify-mutations"))]
+        {
+            let err = parse(v(&["run", "--app", "lu", "--mutate-ww"])).unwrap_err();
+            assert!(err.0.contains("verify-mutations"), "{}", err.0);
+        }
+        #[cfg(feature = "verify-mutations")]
+        {
+            let cmd = parse(v(&["run", "--app", "lu", "--mutate-ww"])).expect("parses");
+            match cmd {
+                Command::Run { config, .. } => assert!(config.mutate_ww),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn to_cli_args_round_trips_through_the_parser() {
+        // Repro bundles store `ExperimentConfig::to_cli_args()` and replay
+        // it through `parse_machine_flags`; every knob must survive the
+        // text detour exactly.
+        let mut no_contention = ExperimentConfig::base_test();
+        no_contention.contention = false;
+        let variants = vec![
+            ExperimentConfig::base(),
+            ExperimentConfig::base_test(),
+            ExperimentConfig::base_test()
+                .with_rc()
+                .with_prefetching()
+                .with_contexts(4, Cycle(16)),
+            ExperimentConfig::base_test()
+                .without_caching()
+                .with_mesh_network()
+                .with_limited_directory(3),
+            ExperimentConfig::base_test()
+                .with_full_caches()
+                .with_read_lookahead(Cycle(8))
+                .with_invariant_checks(true)
+                .with_wb_fifo_enforcement(),
+            ExperimentConfig::base_test()
+                .with_faults(FaultPlan::heavy(u64::MAX))
+                .with_invariant_checks(false),
+            ExperimentConfig::base_test()
+                .with_analysis(vec![PassKind::HappensBefore, PassKind::Lockset]),
+            no_contention,
+        ];
+        for cfg in variants {
+            let mut argv = cfg.to_cli_args();
+            let parsed = parse_machine_flags(&mut argv).expect("round-trip parse");
+            assert!(argv.is_empty(), "unconsumed args: {argv:?}");
+            assert_eq!(parsed, cfg);
+        }
+    }
+
+    #[test]
+    fn usage_documents_every_exit_code_and_subcommand() {
+        for needle in [
+            "8 chaos found a failing schedule",
+            "9 repro bundle did not reproduce",
+            "7, then 4, 2, 3, 6, 8, 9, 5, and 1 last",
+            "dashlat sweep",
+            "dashlat repro",
+            "dashlat chaos",
+            "--enforce-wb-fifo",
+            "--no-check-invariants",
+        ] {
+            assert!(USAGE.contains(needle), "USAGE missing {needle:?}");
+        }
     }
 
     #[test]

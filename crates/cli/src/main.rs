@@ -8,14 +8,21 @@
 //! ```
 
 mod args;
+mod isolate;
 
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::time::Duration;
 
 use args::{parse, ArgError, Command, USAGE};
 use dashlat::apps::App;
+use dashlat::chaos::{active_classes, run_chaos, ChaosOptions};
 use dashlat::config::ExperimentConfig;
 use dashlat::report::{describe_run, AppFigure, Figure};
 use dashlat::runner::{run, RunFailure};
+use dashlat::sweep::{
+    run_cell_in_process, run_supervised, ReproBundle, SweepCell, SweepOptions, SweepPlan,
+};
 use dashlat_cpu::machine::{Machine, RunError};
 use dashlat_cpu::trace::{Trace, TraceRecorder};
 use dashlat_mem::layout::AddressSpaceBuilder;
@@ -81,14 +88,40 @@ impl std::fmt::Display for WorstFailure {
 
 impl std::error::Error for WorstFailure {}
 
+/// The chaos fuzzer found a failing fault schedule (shrunk and bundled).
+#[derive(Debug)]
+struct ChaosFound(String);
+
+impl std::fmt::Display for ChaosFound {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ChaosFound {}
+
+/// A repro bundle's recorded failure did not reproduce on replay.
+#[derive(Debug)]
+struct ReproDivergence(String);
+
+impl std::fmt::Display for ReproDivergence {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ReproDivergence {}
+
 /// Severity ranking of the exit codes, most severe first: a memory-model
 /// violation (7) means the simulator's consistency guarantees are wrong,
 /// which invalidates everything downstream; an invariant violation (4)
 /// means corrupted coherence state; deadlock (2) and livelock (3) are
 /// forward-progress failures; a race (6) indicts the workload's labeling
-/// rather than the machine; partial results (5) and generic errors (1)
+/// rather than the machine; a chaos finding (8) is a freshly fuzzed bug
+/// and a repro divergence (9) an unconfirmed old one — real, but already
+/// minimized or secondhand; partial results (5) and generic errors (1)
 /// rank last. When failures co-occur the most severe code wins.
-const SEVERITY: [u8; 7] = [7, 4, 2, 3, 6, 5, 1];
+const SEVERITY: [u8; 9] = [7, 4, 2, 3, 6, 8, 9, 5, 1];
 
 /// Returns the more severe of two exit codes under [`SEVERITY`].
 fn worst_code(a: u8, b: u8) -> u8 {
@@ -105,20 +138,10 @@ fn worst_code(a: u8, b: u8) -> u8 {
     }
 }
 
-/// Exit code of one run failure (a figure-matrix cell).
-fn failure_code(f: &RunFailure) -> u8 {
-    match f {
-        RunFailure::RaceDetected(_) => 6,
-        RunFailure::Error(RunError::Deadlock { .. }) => 2,
-        RunFailure::Error(RunError::Livelock { .. }) => 3,
-        RunFailure::Error(RunError::InvariantViolation { .. }) => 4,
-        RunFailure::Error(_) | RunFailure::Panic(_) => 1,
-    }
-}
-
 /// Distinct exit codes so scripts can tell failure classes apart:
 /// 0 success, 1 generic, 2 deadlock, 3 livelock, 4 invariant violation,
-/// 5 partial matrix results, 6 race detected, 7 memory-model violation.
+/// 5 partial matrix results, 6 race detected, 7 memory-model violation,
+/// 8 chaos found a failing schedule, 9 repro bundle did not reproduce.
 /// Paths where failures co-occur pre-rank them into [`WorstFailure`].
 fn exit_code_for(e: &(dyn std::error::Error + 'static)) -> ExitCode {
     if let Some(w) = e.downcast_ref::<WorstFailure>() {
@@ -126,6 +149,12 @@ fn exit_code_for(e: &(dyn std::error::Error + 'static)) -> ExitCode {
     }
     if e.downcast_ref::<ModelViolation>().is_some() {
         return ExitCode::from(7);
+    }
+    if e.downcast_ref::<ChaosFound>().is_some() {
+        return ExitCode::from(8);
+    }
+    if e.downcast_ref::<ReproDivergence>().is_some() {
+        return ExitCode::from(9);
     }
     if e.downcast_ref::<RacesFound>().is_some() {
         return ExitCode::from(6);
@@ -239,7 +268,7 @@ fn execute(cmd: Command) -> Result<(), Box<dyn std::error::Error>> {
                 let code = report
                     .failures
                     .iter()
-                    .map(|(_, _, f)| failure_code(f))
+                    .map(|(_, _, f)| f.exit_code())
                     .fold(5, worst_code);
                 let racy = report
                     .failures
@@ -345,6 +374,202 @@ fn execute(cmd: Command) -> Result<(), Box<dyn std::error::Error>> {
             );
             Ok(())
         }
+        Command::Sweep {
+            number,
+            config,
+            journal,
+            out,
+            resume,
+            isolate,
+            timeout_secs,
+            retries,
+            bundle_dir,
+        } => {
+            let plan = SweepPlan::figure(number, &config);
+            let opts = SweepOptions {
+                max_retries: retries,
+                bundle_dir: bundle_dir.map(PathBuf::from),
+                ..SweepOptions::default()
+            };
+            println!(
+                "supervised sweep {} — {} cells, journal {journal}{}",
+                plan.name,
+                plan.cells.len(),
+                if resume { " (resuming)" } else { "" }
+            );
+            let timeout = Duration::from_secs(timeout_secs);
+            let journal_path = Path::new(&journal);
+            let out_path = Path::new(&out);
+            let report = if isolate {
+                run_supervised(
+                    &plan,
+                    journal_path,
+                    out_path,
+                    resume,
+                    &opts,
+                    |_, cell, _| isolate::run_cell_subprocess(cell, timeout),
+                )?
+            } else {
+                run_supervised(
+                    &plan,
+                    journal_path,
+                    out_path,
+                    resume,
+                    &opts,
+                    |_, cell, _| run_cell_in_process(cell),
+                )?
+            };
+            println!("{}", report.summary());
+            for line in report.diagnostics() {
+                eprintln!("warning: {line}");
+            }
+            for bundle in &report.bundles {
+                eprintln!("repro bundle written: {}", bundle.display());
+            }
+            println!("results: {out}");
+            if report.is_complete() {
+                Ok(())
+            } else {
+                Err(Box::new(WorstFailure {
+                    code: report.exit_code(),
+                    msg: format!(
+                        "{} cell(s) failed permanently; results in {out} are partial",
+                        report.failures.len()
+                    ),
+                }))
+            }
+        }
+        Command::Cell { app, config } => {
+            let cell = SweepCell {
+                app,
+                point: config.label(),
+                config: *config,
+                sweep: "cell".into(),
+            };
+            let outcome = run_cell_in_process(&cell);
+            // The record is the contract with the supervising parent: one
+            // line, last on stdout.
+            println!("{}", isolate::render_record(&outcome));
+            match outcome {
+                Ok(_) => Ok(()),
+                Err(f) => Err(Box::new(WorstFailure {
+                    code: f.code,
+                    msg: f.error,
+                })),
+            }
+        }
+        Command::Repro { bundle } => {
+            let text = std::fs::read_to_string(&bundle)?;
+            let b = ReproBundle::from_json(&text).map_err(ArgError)?;
+            println!(
+                "replaying {} — dashlat run --app {} {}",
+                b.origin,
+                b.app,
+                b.machine_args.join(" ")
+            );
+            let app: App = b.app.parse().map_err(ArgError)?;
+            let mut machine_args = b.machine_args.clone();
+            let config = args::parse_machine_flags(&mut machine_args)?;
+            args::ensure_consumed(&machine_args)?;
+            let cell = SweepCell {
+                app,
+                point: config.label(),
+                config,
+                sweep: "repro".into(),
+            };
+            match run_cell_in_process(&cell) {
+                Err(f) if f.code == b.expect_code => {
+                    println!("reproduced (exit {}): {}", f.code, f.error);
+                    if f.error != b.expect_error {
+                        eprintln!(
+                            "note: failure message differs from the bundle's\n  bundle: {}\n  replay: {}",
+                            b.expect_error, f.error
+                        );
+                    }
+                    Ok(())
+                }
+                Err(f) => Err(Box::new(ReproDivergence(format!(
+                    "replay failed with exit {} ({}), but the bundle expects exit {} ({})",
+                    f.code, f.error, b.expect_code, b.expect_error
+                )))),
+                Ok(elapsed) => Err(Box::new(ReproDivergence(format!(
+                    "replay completed ({elapsed} pclocks), but the bundle expects exit {} ({})",
+                    b.expect_code, b.expect_error
+                )))),
+            }
+        }
+        Command::Chaos {
+            app,
+            config,
+            trials,
+            seed,
+            determinism,
+            bundle_dir,
+        } => {
+            let opts = ChaosOptions {
+                trials,
+                seed,
+                app,
+                check_determinism: determinism,
+                ..ChaosOptions::new(app, (*config).clone())
+            };
+            println!(
+                "chaos: fuzzing {trials} fault schedule(s) against {app} (campaign seed {seed})"
+            );
+            let report = run_chaos(&opts);
+            match report.clean_elapsed {
+                Some(elapsed) => println!(
+                    "fault-free baseline: {elapsed} pclocks; {} trial(s) run",
+                    report.trials_run
+                ),
+                None => println!("fault-free baseline failed — no schedule needed"),
+            }
+            match report.failure {
+                None => {
+                    println!("no failing schedule found");
+                    Ok(())
+                }
+                Some(f) => {
+                    println!(
+                        "trial #{}: {} oracle tripped (exit {}): {}",
+                        f.trial, f.oracle, f.code, f.error
+                    );
+                    println!("  original schedule:  {}", f.original.to_spec());
+                    println!(
+                        "  minimized schedule: {} ({} active fault class(es), {} shrink run(s))",
+                        f.minimized.to_spec(),
+                        active_classes(&f.minimized),
+                        f.shrink_runs
+                    );
+                    let mut cfg = (*config).with_invariant_checks(true);
+                    // A schedule with no active classes means the bug
+                    // needs no faults; bundle the clean configuration.
+                    if f.minimized.is_active() {
+                        cfg = cfg.with_faults(f.minimized);
+                    }
+                    let b = ReproBundle {
+                        app: app.name().to_ascii_lowercase(),
+                        machine_args: cfg.to_cli_args(),
+                        expect_code: f.code,
+                        expect_error: f.error.clone(),
+                        origin: format!(
+                            "chaos trial #{} (campaign seed {seed}, {} oracle)",
+                            f.trial, f.oracle
+                        ),
+                    };
+                    std::fs::create_dir_all(&bundle_dir)?;
+                    let path = Path::new(&bundle_dir)
+                        .join(format!("repro-chaos-{app}-seed{seed}.json").to_lowercase());
+                    b.write(&path)?;
+                    println!("repro bundle written: {}", path.display());
+                    println!("replay with: dashlat repro {}", path.display());
+                    Err(Box::new(ChaosFound(format!(
+                        "chaos found a failing fault schedule ({} oracle): {}",
+                        f.oracle, f.error
+                    ))))
+                }
+            }
+        }
         Command::VerifyModel {
             models,
             tests,
@@ -443,13 +668,13 @@ mod tests {
             replay_notes: vec![],
         }));
         let panic = RunFailure::Panic("p".into());
-        assert_eq!(failure_code(&deadlock), 2);
-        assert_eq!(failure_code(&race), 6);
-        assert_eq!(failure_code(&panic), 1);
+        assert_eq!(deadlock.exit_code(), 2);
+        assert_eq!(race.exit_code(), 6);
+        assert_eq!(panic.exit_code(), 1);
         // A deadlock cell outranks a race cell, both outrank partial (5).
         let code = [&race, &deadlock, &panic]
             .into_iter()
-            .map(failure_code)
+            .map(RunFailure::exit_code)
             .fold(5, worst_code);
         assert_eq!(code, 2);
     }
@@ -460,6 +685,14 @@ mod tests {
         assert_eq!(as_exit(Box::new(ModelViolation)), ExitCode::from(7));
         assert_eq!(as_exit(Box::new(RacesFound(1))), ExitCode::from(6));
         assert_eq!(as_exit(Box::new(PartialMatrix(2))), ExitCode::from(5));
+        assert_eq!(
+            as_exit(Box::new(ChaosFound("schedule".into()))),
+            ExitCode::from(8)
+        );
+        assert_eq!(
+            as_exit(Box::new(ReproDivergence("diverged".into()))),
+            ExitCode::from(9)
+        );
         assert_eq!(
             as_exit(Box::new(WorstFailure {
                 code: 4,

@@ -62,6 +62,16 @@ pub struct ExperimentConfig {
     /// failing the run on the first violation. Defaults to on in debug
     /// builds, off in release.
     pub check_invariants: bool,
+    /// Enforce the write buffer's W→W FIFO retirement order as an online
+    /// invariant (see `ProcConfig::enforce_wb_fifo` in `dashlat-cpu`).
+    /// Off by default; chaos testing and supervised sweeps turn it on.
+    pub enforce_wb_fifo: bool,
+    /// Arm the deliberately seeded W→W write-buffer reordering bug
+    /// (`ProcConfig::relaxation_bug`). Only compiled with the
+    /// `verify-mutations` feature; exists so the chaos fuzzer's
+    /// convergence tests can hunt a known-real bug.
+    #[cfg(feature = "verify-mutations")]
+    pub mutate_ww: bool,
     /// Analysis passes to run over the event stream after the run
     /// completes (empty = record nothing, analyze nothing). A non-empty
     /// list makes the machine keep an event log, which costs memory
@@ -88,6 +98,9 @@ impl ExperimentConfig {
             read_lookahead: Cycle(0),
             faults: None,
             check_invariants: cfg!(debug_assertions),
+            enforce_wb_fifo: false,
+            #[cfg(feature = "verify-mutations")]
+            mutate_ww: false,
             analyze: Vec::new(),
         }
     }
@@ -173,6 +186,21 @@ impl ExperimentConfig {
         self
     }
 
+    /// Returns a copy with the write-buffer W→W FIFO-order invariant
+    /// enforced.
+    pub fn with_wb_fifo_enforcement(mut self) -> Self {
+        self.enforce_wb_fifo = true;
+        self
+    }
+
+    /// Returns a copy with the seeded W→W reordering bug armed (see
+    /// [`ExperimentConfig::mutate_ww`]).
+    #[cfg(feature = "verify-mutations")]
+    pub fn with_ww_mutation(mut self) -> Self {
+        self.mutate_ww = true;
+        self
+    }
+
     /// Returns a copy that records an event log during the run and feeds
     /// it to the given analysis passes afterwards.
     pub fn with_analysis(mut self, passes: Vec<PassKind>) -> Self {
@@ -199,6 +227,11 @@ impl ExperimentConfig {
         cfg.read_lookahead = self.read_lookahead;
         cfg.faults = self.faults;
         cfg.check_invariants = self.check_invariants;
+        cfg.enforce_wb_fifo = self.enforce_wb_fifo;
+        #[cfg(feature = "verify-mutations")]
+        {
+            cfg.relaxation_bug = self.mutate_ww;
+        }
         cfg
     }
 
@@ -215,6 +248,77 @@ impl ExperimentConfig {
         cfg.directory = self.directory;
         cfg.faults = self.faults;
         cfg
+    }
+
+    /// Renders this configuration as the machine-flag argument list the
+    /// CLI parser accepts, such that parsing the result reproduces the
+    /// configuration exactly — the inverse the repro-bundle format relies
+    /// on (`dashlat repro` replays a failure from its recorded cmdline).
+    ///
+    /// Every knob is emitted explicitly (including the
+    /// `--check-invariants` / `--no-check-invariants` pair, whose default
+    /// differs between debug and release builds) so a bundle replays
+    /// identically regardless of which build parses it.
+    pub fn to_cli_args(&self) -> Vec<String> {
+        let mut args: Vec<String> = Vec::new();
+        let mut flag = |f: &str| args.push(f.to_string());
+        let consistency = self.consistency.to_string().to_ascii_lowercase();
+        flag("--processors");
+        flag(&self.processors.to_string());
+        flag("--consistency");
+        flag(&consistency);
+        flag("--contexts");
+        flag(&self.contexts.to_string());
+        flag("--switch");
+        flag(&self.switch_overhead.as_u64().to_string());
+        if self.prefetching {
+            flag("--prefetch");
+        }
+        if !self.caching {
+            flag("--no-cache");
+        }
+        if self.full_caches {
+            flag("--full-caches");
+        }
+        if !self.contention {
+            flag("--no-contention");
+        }
+        if self.network == NetworkModel::Mesh2D {
+            flag("--mesh");
+        }
+        if let DirectoryKind::LimitedPtr { pointers } = self.directory {
+            flag("--dir-pointers");
+            flag(&pointers.to_string());
+        }
+        if self.read_lookahead > Cycle(0) {
+            flag("--lookahead");
+            flag(&self.read_lookahead.as_u64().to_string());
+        }
+        if self.scale == AppScale::Test {
+            flag("--test-scale");
+        }
+        if let Some(plan) = &self.faults {
+            flag("--faults");
+            flag(&plan.to_spec());
+        }
+        flag(if self.check_invariants {
+            "--check-invariants"
+        } else {
+            "--no-check-invariants"
+        });
+        if self.enforce_wb_fifo {
+            flag("--enforce-wb-fifo");
+        }
+        #[cfg(feature = "verify-mutations")]
+        if self.mutate_ww {
+            flag("--mutate-ww");
+        }
+        if !self.analyze.is_empty() {
+            let list: Vec<&str> = self.analyze.iter().copied().map(PassKind::name).collect();
+            flag("--analyze");
+            flag(&list.join(","));
+        }
+        args
     }
 
     /// A short label like `"RC+pf 4ctx/4"` for report columns.

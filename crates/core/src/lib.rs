@@ -15,6 +15,12 @@
 //!   ([`experiments::figure2`] … [`experiments::figure6`],
 //!   [`experiments::table1`], [`experiments::table2`],
 //!   [`experiments::summary`]).
+//! * [`sweeplog`] — ordered sweep results with partial-JSON degradation
+//!   and crash-safe atomic publication.
+//! * [`sweep`] — the crash-safe supervised sweep: write-ahead journal,
+//!   resume, failure classification, retry with backoff, repro bundles.
+//! * [`chaos`] — fault-schedule fuzzing against the invariant checker
+//!   with delta-debugging shrinking of failing schedules.
 //!
 //! # Example
 //!
@@ -35,16 +41,21 @@
 //! ```
 
 pub mod apps;
+pub mod chaos;
 pub mod config;
 pub mod experiments;
 pub mod pool;
 pub mod report;
 pub mod runner;
+pub mod sweep;
+pub mod sweeplog;
 
 pub use apps::App;
 pub use config::{AppScale, ExperimentConfig};
 pub use pool::{effective_jobs, par_indexed_map, set_default_jobs};
 pub use report::{AppFigure, Figure, FigureBar, Table2, Table2Row};
 pub use runner::{
-    run, run_matrix, run_matrix_jobs, Experiment, MatrixCell, MatrixReport, RunFailure,
+    run, run_isolated, run_matrix, run_matrix_jobs, Experiment, MatrixCell, MatrixReport,
+    RunFailure,
 };
+pub use sweeplog::{SweepBatch, SweepLog, SweepPoint};

@@ -74,6 +74,33 @@ impl std::fmt::Display for RunFailure {
 
 impl std::error::Error for RunFailure {}
 
+impl RunFailure {
+    /// The CLI exit code of this failure class (the documented 0–9
+    /// scheme): 6 race detected, 2 deadlock, 3 livelock, 4 invariant
+    /// violation, 1 everything else. Kept next to the type so every
+    /// consumer (CLI dispatch, journal records, repro bundles) agrees.
+    pub fn exit_code(&self) -> u8 {
+        match self {
+            RunFailure::RaceDetected(_) => 6,
+            RunFailure::Error(RunError::Deadlock { .. }) => 2,
+            RunFailure::Error(RunError::Livelock { .. }) => 3,
+            RunFailure::Error(RunError::InvariantViolation { .. }) => 4,
+            RunFailure::Error(_) | RunFailure::Panic(_) => 1,
+        }
+    }
+
+    /// Is this failure plausibly a *transient* effect of the active fault
+    /// plan (worth retrying), rather than a permanent bug? See
+    /// [`RunError::is_transient_under_faults`]; panics and races are
+    /// always permanent.
+    pub fn is_transient_under_faults(&self, faults_active: bool) -> bool {
+        match self {
+            RunFailure::Error(e) => e.is_transient_under_faults(faults_active),
+            RunFailure::Panic(_) | RunFailure::RaceDetected(_) => false,
+        }
+    }
+}
+
 /// One cell of a [`MatrixReport`]: the configuration label plus either the
 /// finished experiment or the reason it failed.
 #[derive(Debug, Clone)]
@@ -157,8 +184,11 @@ pub fn run(app: App, config: &ExperimentConfig) -> Result<Experiment, RunError> 
 }
 
 /// Runs one configuration with panic isolation: a panicking run becomes a
-/// [`RunFailure::Panic`] instead of unwinding into the sweep.
-fn run_isolated(app: App, config: &ExperimentConfig) -> Result<Experiment, RunFailure> {
+/// [`RunFailure::Panic`] instead of unwinding into the sweep, and a
+/// requested analysis that finds races becomes
+/// [`RunFailure::RaceDetected`]. This is the cell-execution primitive the
+/// matrix sweep, the supervised sweep and the chaos fuzzer all share.
+pub fn run_isolated(app: App, config: &ExperimentConfig) -> Result<Experiment, RunFailure> {
     match catch_unwind(AssertUnwindSafe(|| run(app, config))) {
         Ok(Ok(e)) => match &e.analysis {
             Some(report) if report.race_detected() => {
@@ -171,7 +201,7 @@ fn run_isolated(app: App, config: &ExperimentConfig) -> Result<Experiment, RunFa
     }
 }
 
-fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {

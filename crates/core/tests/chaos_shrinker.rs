@@ -1,0 +1,114 @@
+//! End-to-end chaos regression against the seeded W→W reordering bug
+//! (`verify-mutations` feature): the fuzzer must *find* the bug, the
+//! delta-debugger must *shrink* the provoking fault schedule to the
+//! documented bound, and the minimized schedule must replay the exact
+//! same failure — that is what makes the repro bundle trustworthy.
+//!
+//! Two distinct paths are covered, because the seeded bug fires
+//! differently per workload:
+//!
+//! * **LU** never queues two data writes back-to-back on a quiet
+//!   machine, so its baseline is clean — only a fault schedule (NACK
+//!   retries backing up the write buffer) exposes the bug. This is the
+//!   full find → shrink → replay loop.
+//! * **MP3D** trips the bug within ~100 cycles with no faults at all, so
+//!   the fault-free baseline run is itself the finding and the minimal
+//!   schedule is the empty one.
+
+#![cfg(feature = "verify-mutations")]
+
+use dashlat::chaos::{active_classes, run_chaos, ChaosOptions, INACTIVE_PLAN};
+use dashlat::runner::{run_isolated, RunFailure};
+use dashlat::{App, ExperimentConfig};
+
+/// The machine that arms the seeded bug: release consistency (so writes
+/// buffer), the W→W mutation, and the FIFO-retirement invariant that
+/// detects it.
+fn armed_base() -> ExperimentConfig {
+    ExperimentConfig::base_test()
+        .with_rc()
+        .with_ww_mutation()
+        .with_wb_fifo_enforcement()
+}
+
+/// LU: clean baseline, bug only under faults. The campaign must find a
+/// failing schedule, shrink it to at most **one active fault class**
+/// (the documented bound — NACK-induced retry backlog alone provokes
+/// the reorder), and the minimized schedule must replay the identical
+/// invariant violation.
+#[test]
+fn chaos_finds_and_shrinks_the_seeded_ww_bug() {
+    let mut opts = ChaosOptions::new(App::Lu, armed_base());
+    opts.trials = 8;
+    opts.seed = 1;
+    opts.max_shrink_runs = 48;
+
+    let report = run_chaos(&opts);
+    assert!(
+        report.clean_elapsed.is_some(),
+        "LU baseline must be clean — the bug needs faults to fire"
+    );
+    let failure = report
+        .failure
+        .expect("a fault schedule must provoke the seeded bug within 8 trials");
+    assert_eq!(failure.oracle, "failure", "the invariant oracle trips");
+    assert_eq!(failure.code, 4, "invariant violations exit 4");
+    assert!(
+        failure.error.contains("W->W program order"),
+        "the finding is the seeded reorder, got: {}",
+        failure.error
+    );
+    assert!(
+        active_classes(&failure.minimized) <= 1,
+        "documented shrink bound: at most one active fault class, got {} ({:?})",
+        active_classes(&failure.minimized),
+        failure.minimized
+    );
+    assert!(
+        active_classes(&failure.minimized) <= active_classes(&failure.original),
+        "shrinking never grows the schedule"
+    );
+    assert_eq!(failure.minimized.seed, 0, "schedule seed canonicalized");
+    assert!(failure.shrink_runs <= opts.max_shrink_runs);
+
+    // The repro contract: replaying the minimized schedule reproduces the
+    // exact failure, twice (deterministically).
+    let cfg = armed_base()
+        .with_invariant_checks(true)
+        .with_faults(failure.minimized);
+    for round in 0..2 {
+        match run_isolated(App::Lu, &cfg) {
+            Err(RunFailure::Error(e)) => assert_eq!(
+                e.to_string(),
+                failure.error,
+                "replay round {round} diverged from the recorded failure"
+            ),
+            other => panic!("replay round {round} did not fail as recorded: {other:?}"),
+        }
+    }
+}
+
+/// MP3D: the bug fires with zero faults, so the baseline run *is* the
+/// finding — the campaign reports oracle `baseline` with the empty
+/// schedule (trivially minimal), having spent no trials and no shrink
+/// runs. Two campaigns agree bit-for-bit.
+#[test]
+fn baseline_failure_short_circuits_with_the_empty_schedule() {
+    let opts = ChaosOptions::new(App::Mp3d, armed_base());
+    let report = run_chaos(&opts);
+    assert_eq!(report.trials_run, 0);
+    assert_eq!(report.clean_elapsed, None);
+    let failure = report.failure.clone().expect("baseline must fail");
+    assert_eq!(failure.oracle, "baseline");
+    assert_eq!(failure.code, 4);
+    assert_eq!(failure.minimized, INACTIVE_PLAN);
+    assert_eq!(active_classes(&failure.minimized), 0);
+    assert_eq!(failure.shrink_runs, 0);
+    assert!(
+        failure.error.contains("W->W program order"),
+        "{}",
+        failure.error
+    );
+
+    assert_eq!(run_chaos(&opts), report, "campaigns are deterministic");
+}

@@ -1,0 +1,162 @@
+//! Property test for the crash-safe sweep supervisor: a run killed after
+//! committing an *arbitrary* journal prefix and then resumed must publish
+//! a `SweepLog` **byte-identical** to the uninterrupted run — serial or
+//! parallel, with or without a torn half-record at the journal tail.
+//!
+//! The test simulates the crash exactly the way a real crash manifests:
+//! the journal file on disk holds the header plus the first `k` committed
+//! cell records (optionally followed by a torn, newline-less tail, which
+//! is what an append interrupted mid-`write` leaves behind). The
+//! supervisor replays those `k` cells from the journal and re-runs the
+//! rest; determinism of the simulator guarantees the re-run cells produce
+//! the same measurements, so the assembled log must match to the byte.
+
+use std::fs;
+use std::path::PathBuf;
+use std::sync::OnceLock;
+
+use dashlat::sweep::{run_cell_in_process, run_supervised, SweepCell, SweepOptions, SweepPlan};
+use dashlat::{App, ExperimentConfig};
+use proptest::prelude::*;
+
+/// A compact plan that still exercises every record shape: three apps,
+/// mixed consistency/prefetch/context points, and one poisoned cell
+/// (zero contexts panics the runner) so failure records replay too.
+fn small_plan() -> SweepPlan {
+    let base = ExperimentConfig::base_test();
+    let mut poisoned = base.clone();
+    poisoned.contexts = 0;
+    let points = [
+        (App::Lu, base.clone(), "SC"),
+        (App::Lu, base.clone().with_rc(), "RC"),
+        (App::Mp3d, base.clone().with_prefetching(), "SC+PF"),
+        (App::Mp3d, poisoned, "poisoned"),
+        (App::Pthor, base.clone().with_rc(), "RC"),
+        (
+            App::Pthor,
+            base.with_contexts(2, dashlat_sim::Cycle(4)),
+            "MC2",
+        ),
+    ];
+    SweepPlan {
+        name: "resume-prop".into(),
+        cells: points
+            .into_iter()
+            .map(|(app, config, point)| SweepCell {
+                sweep: format!("resume/{}", app.name()),
+                point: point.into(),
+                app,
+                config,
+            })
+            .collect(),
+    }
+}
+
+struct Scratch {
+    dir: PathBuf,
+}
+
+impl Scratch {
+    fn new(tag: &str) -> Self {
+        let dir =
+            std::env::temp_dir().join(format!("dashlat-resume-prop-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).expect("create scratch dir");
+        Scratch { dir }
+    }
+
+    fn path(&self, name: &str) -> PathBuf {
+        self.dir.join(name)
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.dir);
+    }
+}
+
+/// Runs the plan uninterrupted (once per process — every proptest case
+/// compares against the same reference) and returns the published log
+/// bytes plus the journal header and cell-record lines (in commit order).
+fn uninterrupted(plan: &SweepPlan) -> &'static (Vec<u8>, String, Vec<String>) {
+    static REFERENCE: OnceLock<(Vec<u8>, String, Vec<String>)> = OnceLock::new();
+    REFERENCE.get_or_init(|| run_uninterrupted(plan))
+}
+
+fn run_uninterrupted(plan: &SweepPlan) -> (Vec<u8>, String, Vec<String>) {
+    let scratch = Scratch::new("reference");
+    let journal = scratch.path("full.journal");
+    let out = scratch.path("full.json");
+    let opts = SweepOptions {
+        jobs: Some(1),
+        max_retries: 0,
+        ..SweepOptions::default()
+    };
+    let report = run_supervised(plan, &journal, &out, false, &opts, |_, cell, _| {
+        run_cell_in_process(cell)
+    })
+    .expect("uninterrupted run");
+    assert_eq!(report.executed, plan.cells.len());
+    let bytes = fs::read(&out).expect("read uninterrupted log");
+    let text = fs::read_to_string(&journal).expect("read journal");
+    let mut lines = text.lines().map(str::to_owned);
+    let header = lines.next().expect("journal header");
+    (bytes, header, lines.collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Kill after an arbitrary committed prefix, resume (serially or in
+    /// parallel, with or without a torn tail): the published `SweepLog`
+    /// is byte-identical to the uninterrupted run's.
+    #[test]
+    fn resume_after_any_prefix_is_bit_identical(
+        prefix_raw in 0u64..1_000,
+        parallel in any::<bool>(),
+        torn_tail in any::<bool>(),
+    ) {
+        let scratch = Scratch::new("cases");
+        let plan = small_plan();
+        let (expect, header, records) = uninterrupted(&plan);
+        let k = (prefix_raw as usize) % (records.len() + 1);
+
+        // Reconstruct the exact on-disk state a crash leaves: header,
+        // the first k committed records, and optionally the torn start
+        // of the record the crash interrupted (no trailing newline).
+        let journal = scratch.path("crashed.journal");
+        let mut contents = format!("{header}\n");
+        for rec in &records[..k] {
+            contents.push_str(rec);
+            contents.push('\n');
+        }
+        if torn_tail {
+            contents.push_str("{\"kind\":\"cell\",\"index\":9");
+        }
+        fs::write(&journal, contents).expect("write crashed journal");
+
+        let out = scratch.path("resumed.json");
+        let opts = SweepOptions {
+            jobs: Some(if parallel { 3 } else { 1 }),
+            max_retries: 0,
+            ..SweepOptions::default()
+        };
+        let report = run_supervised(&plan, &journal, &out, true, &opts, |_, cell, _| {
+            run_cell_in_process(cell)
+        })
+        .expect("resumed run");
+
+        prop_assert_eq!(report.replayed, k, "replayed exactly the committed prefix");
+        prop_assert_eq!(report.executed, plan.cells.len() - k);
+        let resumed = fs::read(&out).expect("read resumed log");
+        prop_assert_eq!(
+            resumed,
+            expect.clone(),
+            "resumed log diverged from the uninterrupted run (prefix {}, jobs {}, torn {})",
+            k,
+            if parallel { 3 } else { 1 },
+            torn_tail
+        );
+    }
+}

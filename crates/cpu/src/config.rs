@@ -113,6 +113,19 @@ pub struct ProcConfig {
     /// [`RunError::InvariantViolation`](crate::machine::RunError) on the
     /// first violation. Defaults to on in debug builds, off in release.
     pub check_invariants: bool,
+    /// Enforce the write buffer's W→W FIFO retirement order as an online
+    /// invariant, failing the run with
+    /// [`RunError::InvariantViolation`](crate::machine::RunError) when an
+    /// older buffered write is serviced after a newer one. Off by
+    /// default and deliberately *separate* from [`check_invariants`]: the
+    /// memory-model verifier runs seeded-mutation litmus tests (which
+    /// reorder on purpose) with coherence checking on, expecting them to
+    /// *complete* with reordered outcomes. Chaos testing and sweep
+    /// supervision turn this on to catch reordering bugs as first-class
+    /// failures.
+    ///
+    /// [`check_invariants`]: ProcConfig::check_invariants
+    pub enforce_wb_fifo: bool,
     /// **Deliberately seeded relaxation bug** (compiled only with the
     /// `verify-mutations` feature; defaults to `false` so a
     /// feature-unified workspace build behaves identically). When set, the
@@ -143,6 +156,7 @@ impl ProcConfig {
             timeline_bucket: None,
             faults: None,
             check_invariants: cfg!(debug_assertions),
+            enforce_wb_fifo: false,
             #[cfg(feature = "verify-mutations")]
             relaxation_bug: false,
         }
@@ -196,6 +210,13 @@ impl ProcConfig {
     /// Returns a copy with online invariant checking forced on or off.
     pub fn with_invariant_checks(mut self, on: bool) -> Self {
         self.check_invariants = on;
+        self
+    }
+
+    /// Returns a copy with the write-buffer W→W FIFO-order invariant
+    /// enforced (see [`ProcConfig::enforce_wb_fifo`]).
+    pub fn with_wb_fifo_enforcement(mut self) -> Self {
+        self.enforce_wb_fifo = true;
         self
     }
 

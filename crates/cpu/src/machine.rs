@@ -300,6 +300,27 @@ impl std::fmt::Display for RunError {
 
 impl std::error::Error for RunError {}
 
+impl RunError {
+    /// Failure-classification hook for sweep supervisors: is this error
+    /// plausibly a *transient* consequence of an active fault-injection
+    /// plan (worth retrying), rather than a permanent bug?
+    ///
+    /// Under injected faults, NACK storms and delay pile-ups legitimately
+    /// slow a run until it blows its cycle budget or trips the livelock
+    /// watchdog, so those two classes are transient when (and only when)
+    /// `faults_active`. A deadlock or an invariant violation always
+    /// indicts the protocol or the workload — injected faults are bounded
+    /// by design (retries converge, delays are finite) and must never
+    /// corrupt coherence state or strand a process.
+    pub fn is_transient_under_faults(&self, faults_active: bool) -> bool {
+        faults_active
+            && matches!(
+                self,
+                RunError::CycleBudgetExceeded { .. } | RunError::Livelock { .. }
+            )
+    }
+}
+
 /// Everything measured in one run.
 #[derive(Debug, Clone)]
 pub struct RunResult {
@@ -1293,6 +1314,15 @@ impl<W: Workload> Machine<W> {
             let meta = self.procs[p].wb_meta.pop_front().expect("meta in lockstep");
             (entry, meta)
         };
+        // Opt-in W→W FIFO invariant: the buffer tracks enqueue order and
+        // flags any out-of-order service (only the seeded-bug path above
+        // can produce one); the main loop converts the pending failure
+        // into `RunError::InvariantViolation` after this event.
+        if self.cfg.enforce_wb_fifo && self.invariant_failure.is_none() {
+            if let Some(detail) = self.procs[p].wbuf.take_fifo_violation() {
+                self.invariant_failure = Some((t, detail));
+            }
+        }
         let node = dashlat_mem::addr::NodeId(p);
         let r = self.access_mem(t, node, entry.addr, AccessKind::Write);
         self.procs[p].writes_done_horizon = self.procs[p].writes_done_horizon.max(r.done_at);

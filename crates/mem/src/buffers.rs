@@ -64,6 +64,12 @@ pub struct WriteBuffer {
     capacity: usize,
     high_water: usize,
     total_pushed: u64,
+    /// Enqueue sequence number of each queued entry, in lockstep with
+    /// `entries` — the ground truth for W→W program order.
+    seqs: VecDeque<u64>,
+    next_seq: u64,
+    serviced_high: Option<u64>,
+    fifo_violation: Option<String>,
 }
 
 impl WriteBuffer {
@@ -79,6 +85,10 @@ impl WriteBuffer {
             capacity,
             high_water: 0,
             total_pushed: 0,
+            seqs: VecDeque::with_capacity(capacity),
+            next_seq: 0,
+            serviced_high: None,
+            fifo_violation: None,
         }
     }
 
@@ -88,9 +98,39 @@ impl WriteBuffer {
             return false;
         }
         self.entries.push_back(w);
+        self.seqs.push_back(self.next_seq);
+        self.next_seq += 1;
         self.high_water = self.high_water.max(self.entries.len());
         self.total_pushed += 1;
         true
+    }
+
+    /// Records that the entry with enqueue sequence `seq` left the
+    /// buffer, flagging a W→W FIFO violation if a *later* write was
+    /// already serviced before it.
+    fn note_serviced(&mut self, seq: u64, addr: Addr) {
+        if let Some(high) = self.serviced_high {
+            if seq < high && self.fifo_violation.is_none() {
+                self.fifo_violation = Some(format!(
+                    "write buffer serviced write #{seq} (addr {:#x}) after \
+                     newer write #{high} had already issued: W->W program \
+                     order (FIFO retirement) broken",
+                    addr.0
+                ));
+            }
+        }
+        self.serviced_high = Some(self.serviced_high.map_or(seq, |h| h.max(seq)));
+    }
+
+    /// Takes the pending W→W FIFO-order violation, if the buffer ever
+    /// serviced an entry out of enqueue order. The normal head-only
+    /// service path can never trip this; it exists as the detection side
+    /// of the opt-in write-buffer FIFO invariant
+    /// (`ProcConfig::enforce_wb_fifo` in `dashlat-cpu`), which is what
+    /// lets chaos testing catch reordering bugs like the seeded
+    /// `verify-mutations` one as first-class invariant violations.
+    pub fn take_fifo_violation(&mut self) -> Option<String> {
+        self.fifo_violation.take()
     }
 
     /// The entry currently at the head (next to retire).
@@ -100,7 +140,10 @@ impl WriteBuffer {
 
     /// Removes and returns the head entry.
     pub fn pop(&mut self) -> Option<PendingWrite> {
-        self.entries.pop_front()
+        let w = self.entries.pop_front()?;
+        let seq = self.seqs.pop_front().expect("seqs in lockstep");
+        self.note_serviced(seq, w.addr);
+        Some(w)
     }
 
     /// Removes an entry *out of FIFO order* — the support surface for the
@@ -109,7 +152,10 @@ impl WriteBuffer {
     /// real machine model.
     #[cfg(feature = "verify-mutations")]
     pub fn remove_at(&mut self, index: usize) -> Option<PendingWrite> {
-        self.entries.remove(index)
+        let w = self.entries.remove(index)?;
+        let seq = self.seqs.remove(index).expect("seqs in lockstep");
+        self.note_serviced(seq, w.addr);
+        Some(w)
     }
 
     /// Inspects an arbitrary entry — companion of
@@ -291,6 +337,40 @@ mod tests {
         wb.pop();
         wb.try_push(w(48));
         assert_eq!(wb.high_water(), 3);
+    }
+
+    #[test]
+    fn fifo_service_never_flags_violation() {
+        let mut wb = WriteBuffer::new(4);
+        for i in 0..4 {
+            wb.try_push(w(i * 16));
+        }
+        wb.pop();
+        wb.pop();
+        wb.try_push(w(64));
+        while wb.pop().is_some() {}
+        assert_eq!(wb.take_fifo_violation(), None);
+    }
+
+    #[cfg(feature = "verify-mutations")]
+    #[test]
+    fn out_of_order_removal_flags_violation() {
+        let mut wb = WriteBuffer::new(4);
+        wb.try_push(w(0));
+        wb.try_push(w(16));
+        wb.try_push(w(32));
+        // Service #1 ahead of #0 — the seeded bug's exact move. The
+        // violation fires when the *older* #0 is then serviced late.
+        assert_eq!(wb.remove_at(1).map(|e| e.addr), Some(Addr(16)));
+        assert_eq!(wb.take_fifo_violation(), None);
+        wb.pop();
+        let detail = wb.take_fifo_violation().expect("violation detected");
+        assert!(detail.contains("write #0"), "detail: {detail}");
+        assert!(detail.contains("write #1"), "detail: {detail}");
+        // take() drains it; later in-order service stays clean.
+        assert_eq!(wb.take_fifo_violation(), None);
+        wb.pop();
+        assert_eq!(wb.take_fifo_violation(), None);
     }
 
     #[test]

@@ -162,6 +162,26 @@ impl FaultPlan {
         }
         Ok(plan)
     }
+
+    /// Renders the plan as the `key=value` spec form accepted by
+    /// [`FaultPlan::from_spec`], such that
+    /// `FaultPlan::from_spec(&plan.to_spec()) == Ok(plan)` exactly
+    /// (Rust's `f64` `Display` is shortest-round-trip, so probabilities
+    /// survive the text detour bit-for-bit). This is what repro bundles
+    /// store.
+    pub fn to_spec(&self) -> String {
+        format!(
+            "seed={},nack={},retries={},backoff={},cap={},delay={},maxdelay={},full={}",
+            self.seed,
+            self.nack_prob,
+            self.max_retries,
+            self.backoff_base,
+            self.backoff_cap,
+            self.delay_prob,
+            self.max_delay,
+            self.buffer_full_prob
+        )
+    }
 }
 
 /// Counters of injected faults (telemetry; summed into run statistics).
@@ -402,6 +422,30 @@ mod tests {
         );
         assert!(FaultPlan::from_spec("cosmic-rays").is_err());
         assert!(FaultPlan::from_spec("light:banana").is_err());
+    }
+
+    #[test]
+    fn spec_round_trips_exactly() {
+        let plans = [
+            FaultPlan::default(),
+            FaultPlan::light(7),
+            FaultPlan::heavy(u64::MAX),
+            FaultPlan::nacks_only(42),
+            FaultPlan {
+                seed: 9,
+                nack_prob: 0.1,
+                max_retries: 3,
+                backoff_base: 5,
+                backoff_cap: 333,
+                delay_prob: 1e-9,
+                max_delay: 1,
+                buffer_full_prob: 0.333_333_333_333_333_3,
+            },
+        ];
+        for plan in plans {
+            let spec = plan.to_spec();
+            assert_eq!(FaultPlan::from_spec(&spec), Ok(plan), "spec {spec:?}");
+        }
     }
 
     #[test]

@@ -1,0 +1,283 @@
+//! Crash-safe file primitives: atomic whole-file writes and an fsync'd
+//! append-only line journal.
+//!
+//! The sweep supervisor in `dashlat` uses these to make long experiment
+//! sweeps resumable after a kill/crash/OOM:
+//!
+//! * [`atomic_write`] publishes a result file with the classic
+//!   write-temp → fsync → rename → fsync-dir dance, so readers only ever
+//!   observe the old contents or the complete new contents — never a
+//!   truncated mix.
+//! * [`Journal`] is an append-only JSONL file where every
+//!   [`Journal::append`] is flushed and fsync'd before returning, so a
+//!   line that `append` acknowledged survives `kill -9`.
+//!   [`Journal::read_committed_lines`] tolerates a torn tail (a final
+//!   line without `\n` from a crash mid-append) by dropping it.
+//!
+//! # Deterministic crash points
+//!
+//! Integration tests need to die at *exactly* the worst moment, which a
+//! racing `kill -9` cannot guarantee. Two environment variables turn the
+//! primitives into their own fault injectors:
+//!
+//! * `DASHLAT_CRASH_AFTER_TEMP_WRITE=1` — [`atomic_write`] aborts after
+//!   the temp file is written and fsync'd but *before* the rename: the
+//!   destination must be untouched.
+//! * `DASHLAT_CRASH_AFTER_JOURNAL_APPEND=n` — the process aborts once
+//!   `n` journal lines have been appended (and fsync'd) process-wide:
+//!   the journal must contain exactly those `n` committed lines.
+//!
+//! Both hooks call [`std::process::abort`], the closest in-process
+//! stand-in for SIGKILL (no unwinding, no destructors, no atexit).
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Environment variable enabling the abort-before-rename crash point in
+/// [`atomic_write`].
+pub const CRASH_AFTER_TEMP_WRITE_ENV: &str = "DASHLAT_CRASH_AFTER_TEMP_WRITE";
+
+/// Environment variable enabling the abort-after-n-appends crash point
+/// in [`Journal::append`].
+pub const CRASH_AFTER_JOURNAL_APPEND_ENV: &str = "DASHLAT_CRASH_AFTER_JOURNAL_APPEND";
+
+/// Writes `contents` to `path` atomically: the data goes to a temp file
+/// in the same directory, is fsync'd, and is renamed over `path`; the
+/// directory is then fsync'd so the rename itself is durable. A crash at
+/// any point leaves either the old file or the complete new one.
+///
+/// # Errors
+///
+/// Propagates I/O errors from any step; on failure the temp file is
+/// removed on a best-effort basis and `path` is untouched.
+pub fn atomic_write(path: &Path, contents: &str) -> io::Result<()> {
+    let dir = path.parent().filter(|d| !d.as_os_str().is_empty());
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "path has no file name"))?;
+    let tmp: PathBuf = {
+        let mut name = std::ffi::OsString::from(".");
+        name.push(file_name);
+        name.push(format!(".tmp.{}", std::process::id()));
+        match dir {
+            Some(d) => d.join(name),
+            None => PathBuf::from(name),
+        }
+    };
+    let write_result = (|| {
+        let mut f = File::create(&tmp)?;
+        f.write_all(contents.as_bytes())?;
+        f.sync_all()?;
+        if std::env::var(CRASH_AFTER_TEMP_WRITE_ENV).as_deref() == Ok("1") {
+            // Deterministic crash point: die with the temp file durable
+            // but the destination not yet switched over.
+            std::process::abort();
+        }
+        std::fs::rename(&tmp, path)?;
+        if let Some(d) = dir {
+            // Durability of the rename needs the directory entry synced;
+            // opening a directory read-only for fsync works on Linux.
+            if let Ok(dirf) = File::open(d) {
+                dirf.sync_all()?;
+            }
+        }
+        Ok(())
+    })();
+    if write_result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    write_result
+}
+
+/// Process-wide count of journal lines appended, feeding the
+/// `DASHLAT_CRASH_AFTER_JOURNAL_APPEND` crash point.
+static APPENDS: AtomicU64 = AtomicU64::new(0);
+
+/// An append-only line journal with per-line durability.
+#[derive(Debug)]
+pub struct Journal {
+    path: PathBuf,
+    file: File,
+}
+
+impl Journal {
+    /// Creates a new journal file, failing if `path` already exists (an
+    /// existing journal means a previous run's state would be silently
+    /// clobbered — callers decide whether to resume or remove it).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors; `ErrorKind::AlreadyExists` when the file
+    /// is present.
+    pub fn create(path: &Path) -> io::Result<Journal> {
+        let file = OpenOptions::new().write(true).create_new(true).open(path)?;
+        Ok(Journal {
+            path: path.to_path_buf(),
+            file,
+        })
+    }
+
+    /// Opens an existing journal for appending.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors (including `NotFound`).
+    pub fn open_append(path: &Path) -> io::Result<Journal> {
+        let file = OpenOptions::new().append(true).open(path)?;
+        Ok(Journal {
+            path: path.to_path_buf(),
+            file,
+        })
+    }
+
+    /// The journal's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Appends one line (a `\n` is added) and fsyncs before returning:
+    /// once this returns, the line survives `kill -9`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the write or the fsync.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line` itself contains a newline — the journal's record
+    /// separator; callers must escape payloads (JSON does).
+    pub fn append(&mut self, line: &str) -> io::Result<()> {
+        assert!(
+            !line.contains('\n'),
+            "journal lines must not contain newlines"
+        );
+        self.file.write_all(line.as_bytes())?;
+        self.file.write_all(b"\n")?;
+        self.file.sync_data()?;
+        if let Ok(v) = std::env::var(CRASH_AFTER_JOURNAL_APPEND_ENV) {
+            if let Ok(n) = v.parse::<u64>() {
+                let done = APPENDS.fetch_add(1, Ordering::SeqCst) + 1;
+                if done >= n {
+                    // Deterministic crash point: this line is committed,
+                    // nothing after it will be.
+                    std::process::abort();
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Reads the committed lines of the journal at `path`. A torn final
+    /// line (no trailing `\n` — the process died mid-append) is dropped:
+    /// only fully committed records are returned.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors; non-UTF-8 content is an
+    /// `ErrorKind::InvalidData` error (journals are JSON, so this means
+    /// corruption beyond a torn tail).
+    pub fn read_committed_lines(path: &Path) -> io::Result<Vec<String>> {
+        let mut bytes = Vec::new();
+        File::open(path)?.read_to_end(&mut bytes)?;
+        // Drop the torn tail *before* UTF-8 validation: a crash can tear
+        // mid-codepoint just as easily as mid-record.
+        match bytes.iter().rposition(|&b| b == b'\n') {
+            Some(last) => bytes.truncate(last + 1),
+            None => bytes.clear(),
+        }
+        let text =
+            String::from_utf8(bytes).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        Ok(text.lines().map(str::to_string).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("dashlat-journal-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&d).expect("mkdir");
+        d
+    }
+
+    #[test]
+    fn atomic_write_replaces_contents() {
+        let d = tmpdir("atomic");
+        let p = d.join("out.json");
+        atomic_write(&p, "first").expect("write");
+        assert_eq!(std::fs::read_to_string(&p).unwrap(), "first");
+        atomic_write(&p, "second, longer contents").expect("rewrite");
+        assert_eq!(
+            std::fs::read_to_string(&p).unwrap(),
+            "second, longer contents"
+        );
+        // No temp litter left behind.
+        let litter: Vec<_> = std::fs::read_dir(&d)
+            .unwrap()
+            .filter_map(Result::ok)
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(litter.is_empty(), "temp files left: {litter:?}");
+        std::fs::remove_dir_all(&d).ok();
+    }
+
+    #[test]
+    fn journal_create_refuses_existing() {
+        let d = tmpdir("create");
+        let p = d.join("sweep.journal");
+        drop(Journal::create(&p).expect("fresh create"));
+        let err = Journal::create(&p).expect_err("second create must fail");
+        assert_eq!(err.kind(), io::ErrorKind::AlreadyExists);
+        std::fs::remove_dir_all(&d).ok();
+    }
+
+    #[test]
+    fn journal_append_and_read_round_trip() {
+        let d = tmpdir("roundtrip");
+        let p = d.join("sweep.journal");
+        let mut j = Journal::create(&p).expect("create");
+        j.append("{\"a\":1}").expect("append");
+        j.append("{\"b\":2}").expect("append");
+        drop(j);
+        let mut j = Journal::open_append(&p).expect("reopen");
+        j.append("{\"c\":3}").expect("append");
+        drop(j);
+        assert_eq!(
+            Journal::read_committed_lines(&p).expect("read"),
+            vec!["{\"a\":1}", "{\"b\":2}", "{\"c\":3}"]
+        );
+        std::fs::remove_dir_all(&d).ok();
+    }
+
+    #[test]
+    fn torn_tail_is_dropped() {
+        let d = tmpdir("torn");
+        let p = d.join("sweep.journal");
+        std::fs::write(&p, "{\"a\":1}\n{\"b\":2}\n{\"c\":").expect("write");
+        assert_eq!(
+            Journal::read_committed_lines(&p).expect("read"),
+            vec!["{\"a\":1}", "{\"b\":2}"]
+        );
+        // Even a tail torn mid-UTF-8-codepoint is tolerated.
+        let mut bytes = b"{\"a\":1}\n".to_vec();
+        bytes.extend_from_slice("{\"s\":\"é".as_bytes());
+        let partial = &bytes[..bytes.len() - 1]; // cut the 2-byte é in half
+        std::fs::write(&p, partial).expect("write");
+        assert_eq!(
+            Journal::read_committed_lines(&p).expect("read"),
+            vec!["{\"a\":1}"]
+        );
+        std::fs::remove_dir_all(&d).ok();
+    }
+
+    #[test]
+    #[should_panic(expected = "must not contain newlines")]
+    fn embedded_newline_rejected() {
+        let d = tmpdir("newline");
+        let mut j = Journal::create(&d.join("j")).expect("create");
+        let _ = j.append("two\nlines");
+    }
+}

@@ -20,6 +20,11 @@
 //! * [`fault`] — deterministic, seeded fault injection (directory NACKs
 //!   with exponential backoff, delayed packets, transient buffer-full
 //!   events) used to harden experiments against protocol perturbation.
+//! * [`journal`] — crash-safe file primitives (atomic whole-file writes,
+//!   an fsync'd append-only line journal) backing the resumable sweep
+//!   supervisor in `dashlat`.
+//! * [`json`] — a minimal JSON parser and string escaper for the journal
+//!   records and repro bundles (the workspace has no serde).
 //! * [`vclock`] — vector clocks and FastTrack-style epochs, the ordering
 //!   machinery behind the happens-before race detector in
 //!   `dashlat-analyze`.
@@ -46,6 +51,8 @@
 
 pub mod fault;
 pub mod hasher;
+pub mod journal;
+pub mod json;
 pub mod queue;
 pub mod rng;
 pub mod sched;
