@@ -5,8 +5,6 @@ use dashlat::apps::App;
 use dashlat::config::{AppScale, ExperimentConfig};
 use dashlat_analyze::{parse_passes, PassKind};
 use dashlat_cpu::config::Consistency;
-use dashlat_sim::fault::FaultPlan;
-use dashlat_sim::Cycle;
 
 /// Parsed command line.
 #[derive(Debug, Clone, PartialEq)]
@@ -130,6 +128,43 @@ pub enum Command {
         /// Per-cell run budget (0 = the crate default).
         max_runs: u64,
     },
+    /// Run the long-lived job service: HTTP API, bounded worker pool,
+    /// admission control, result cache, crash recovery.
+    Serve {
+        /// Bind address (`ip:port`; port 0 picks an ephemeral port).
+        addr: String,
+        /// Data directory (`addr` file, result cache, job state).
+        data_dir: String,
+        /// Worker threads executing jobs.
+        workers: usize,
+        /// Queued-job limit before submissions are shed with 429.
+        queue_depth: usize,
+        /// Default per-job wall-clock deadline in seconds (0 = none).
+        job_timeout_secs: u64,
+    },
+    /// Submit a job to a running service.
+    Submit {
+        /// Explicit server address; when absent the daemon's `addr` file
+        /// under `data_dir` is read instead.
+        addr: Option<String>,
+        /// Data directory shared with the daemon.
+        data_dir: String,
+        /// The job to submit.
+        spec: Box<dashlat_serve::JobSpec>,
+        /// Poll until the job reaches a terminal state and exit with its
+        /// exit code.
+        wait: bool,
+    },
+    /// Query a running service: one job's status, or the whole list.
+    Status {
+        /// Explicit server address; when absent the daemon's `addr` file
+        /// under `data_dir` is read instead.
+        addr: Option<String>,
+        /// Data directory shared with the daemon.
+        data_dir: String,
+        /// Job to show (all jobs plus daemon health when absent).
+        id: Option<u64>,
+    },
     /// Print usage.
     Help,
 }
@@ -168,6 +203,14 @@ USAGE:
                 [--no-determinism] [--bundle-dir <dir>]
   dashlat verify-model [--all] [--models <sc,pc,wc,rc>] [--tests <names>]
                        [--max-runs <n>]
+  dashlat serve [--addr <ip:port>] [--data-dir <dir>] [--workers <n>]
+                [--queue-depth <n>] [--job-timeout-secs <n>]
+  dashlat submit [--addr <ip:port> | --data-dir <dir>] [--wait]
+                 [--sweep-jobs <n>] [--retries <n>] [--timeout-secs <n>]
+                 sweep <2|3|4|5|6> [machine flags]
+               | chaos [--app <app>] [--trials <n>] [--seed <n>] [machine flags]
+               | verify [--models <list>] [--tests <names>] [--max-runs <n>]
+  dashlat status [<job-id>] [--addr <ip:port> | --data-dir <dir>]
   dashlat help
 
 MACHINE FLAGS:
@@ -236,167 +279,48 @@ VERIFY-MODEL:
   --max-runs caps runs per (test, model) cell — hitting the cap marks
   the cell truncated, which fails it (truncation is never silent).
 
+SERVE / SUBMIT / STATUS:
+  `dashlat serve` runs a long-lived daemon over a plain-thread HTTP/1.1
+  API: a bounded worker pool drains an admission queue (submissions
+  beyond --queue-depth are shed with 429 + Retry-After), every job
+  carries a cancel token and a wall-clock deadline, and sweep cells are
+  served from a content-addressed result cache keyed by the machine
+  configuration's fingerprint — the same machine measured under two
+  jobs simulates once. On startup the daemon classifies every job
+  directory (terminal / resumable / corrupt) and re-enqueues resumable
+  sweeps, which resume from their journals to byte-identical output;
+  SIGTERM/SIGINT checkpoint in-flight sweeps at the next cell boundary
+  and exit 0. Endpoints: GET /healthz /readyz /jobs /jobs/<id>
+  /jobs/<id>/log /jobs/<id>/events; POST /jobs /jobs/<id>/cancel
+  /shutdown. `dashlat submit` POSTs a job (machine flags travel
+  verbatim and are validated on both ends); with --wait it polls to a
+  terminal state and exits with the job's own exit code. `dashlat
+  status` prints one job's state or the whole list plus daemon health.
+  Both find the daemon through --addr or the `addr` file in its
+  --data-dir.
+
 EXIT CODES:
   0 success   1 generic error   2 deadlock   3 livelock
   4 invariant violation   5 partial matrix results   6 race detected
   7 memory-model violation   8 chaos found a failing schedule
-  9 repro bundle did not reproduce
+  9 repro bundle did not reproduce   10 service error (daemon
+  unreachable, submission rejected, or remote job failed opaquely)
   When several failures co-occur (e.g. in one figure matrix), the most
-  severe code wins: 7, then 4, 2, 3, 6, 8, 9, 5, and 1 last.
+  severe code wins: 7, then 4, 2, 3, 6, 8, 9, 5, 10, and 1 last.
 ";
 
 fn parse_consistency(v: &str) -> Result<Consistency, ArgError> {
-    match v.to_ascii_lowercase().as_str() {
-        "sc" => Ok(Consistency::Sc),
-        "pc" => Ok(Consistency::Pc),
-        "wc" => Ok(Consistency::Wc),
-        "rc" => Ok(Consistency::Rc),
-        other => Err(ArgError(format!(
-            "unknown consistency model {other:?} (expected sc, pc, wc or rc)"
-        ))),
-    }
+    v.parse().map_err(ArgError)
 }
 
 /// Extracts the machine flags from `args`, removing everything it
 /// consumes; unrecognized tokens are left in place for the caller.
-/// `pub(crate)` so `dashlat repro` can re-parse a bundle's recorded
-/// machine args through exactly the same code path as the command line.
+/// A thin wrapper over [`dashlat::parse_machine_args`] — the same parser
+/// behind `dashlat repro` bundle replay and the `dashlat serve`
+/// job-submission API, so a configuration means the same thing on every
+/// path.
 pub(crate) fn parse_machine_flags(args: &mut Vec<String>) -> Result<ExperimentConfig, ArgError> {
-    let mut cfg = ExperimentConfig::base();
-    let mut contexts: usize = 1;
-    let mut switch: u64 = 4;
-    let take_value = |args: &mut Vec<String>, i: usize, flag: &str| -> Result<String, ArgError> {
-        if i + 1 >= args.len() {
-            return Err(ArgError(format!("{flag} needs a value")));
-        }
-        let v = args.remove(i + 1);
-        args.remove(i);
-        Ok(v)
-    };
-    let mut i = 0;
-    while i < args.len() {
-        match args[i].as_str() {
-            "--processors" => {
-                let v = take_value(args, i, "--processors")?;
-                let n: usize = v
-                    .parse()
-                    .map_err(|_| ArgError(format!("bad processor count {v:?}")))?;
-                if !(1..=64).contains(&n) {
-                    return Err(ArgError("--processors must be 1..=64".into()));
-                }
-                cfg.processors = n;
-            }
-            "--consistency" => {
-                let v = take_value(args, i, "--consistency")?;
-                cfg = cfg.with_consistency(parse_consistency(&v)?);
-            }
-            "--contexts" => {
-                let v = take_value(args, i, "--contexts")?;
-                contexts = v
-                    .parse()
-                    .map_err(|_| ArgError(format!("bad context count {v:?}")))?;
-                if contexts == 0 {
-                    return Err(ArgError("--contexts must be positive".into()));
-                }
-            }
-            "--switch" => {
-                let v = take_value(args, i, "--switch")?;
-                switch = v
-                    .parse()
-                    .map_err(|_| ArgError(format!("bad switch overhead {v:?}")))?;
-            }
-            "--prefetch" => {
-                args.remove(i);
-                cfg = cfg.with_prefetching();
-            }
-            "--no-cache" => {
-                args.remove(i);
-                cfg = cfg.without_caching();
-            }
-            "--full-caches" => {
-                args.remove(i);
-                cfg = cfg.with_full_caches();
-            }
-            "--no-contention" => {
-                args.remove(i);
-                cfg.contention = false;
-            }
-            "--mesh" => {
-                args.remove(i);
-                cfg = cfg.with_mesh_network();
-            }
-            "--dir-pointers" => {
-                let v = take_value(args, i, "--dir-pointers")?;
-                let n: usize = v
-                    .parse()
-                    .map_err(|_| ArgError(format!("bad pointer count {v:?}")))?;
-                if n == 0 {
-                    return Err(ArgError("--dir-pointers must be positive".into()));
-                }
-                cfg = cfg.with_limited_directory(n);
-            }
-            "--lookahead" => {
-                let v = take_value(args, i, "--lookahead")?;
-                let n: u64 = v
-                    .parse()
-                    .map_err(|_| ArgError(format!("bad lookahead window {v:?}")))?;
-                cfg = cfg.with_read_lookahead(Cycle(n));
-            }
-            "--test-scale" => {
-                args.remove(i);
-                cfg.scale = AppScale::Test;
-            }
-            "--jobs" => {
-                let v = take_value(args, i, "--jobs")?;
-                let n: usize = v
-                    .parse()
-                    .map_err(|_| ArgError(format!("bad job count {v:?}")))?;
-                if n == 0 {
-                    return Err(ArgError("--jobs must be at least 1".into()));
-                }
-                // Worker count is a property of the sweep engine, not of
-                // the simulated machine, so it pins the process-wide
-                // default instead of living in the config (which takes
-                // part in bit-identical comparisons).
-                dashlat::set_default_jobs(Some(n));
-            }
-            "--faults" => {
-                let v = take_value(args, i, "--faults")?;
-                cfg = cfg.with_faults(FaultPlan::from_spec(&v).map_err(ArgError)?);
-            }
-            "--check-invariants" => {
-                args.remove(i);
-                cfg = cfg.with_invariant_checks(true);
-            }
-            "--no-check-invariants" => {
-                args.remove(i);
-                cfg = cfg.with_invariant_checks(false);
-            }
-            "--enforce-wb-fifo" => {
-                args.remove(i);
-                cfg = cfg.with_wb_fifo_enforcement();
-            }
-            "--mutate-ww" => {
-                args.remove(i);
-                #[cfg(feature = "verify-mutations")]
-                {
-                    cfg = cfg.with_ww_mutation();
-                }
-                #[cfg(not(feature = "verify-mutations"))]
-                {
-                    return Err(ArgError(
-                        "--mutate-ww requires a build with the verify-mutations feature".into(),
-                    ));
-                }
-            }
-            "--analyze" => {
-                let v = take_value(args, i, "--analyze")?;
-                cfg = cfg.with_analysis(parse_passes(&v).map_err(ArgError)?);
-            }
-            _ => i += 1,
-        }
-    }
-    Ok(cfg.with_contexts(contexts, Cycle(switch)))
+    dashlat::parse_machine_args(args).map_err(ArgError)
 }
 
 fn take_flag_value(args: &mut Vec<String>, flag: &str) -> Result<String, ArgError> {
@@ -781,6 +705,189 @@ pub fn parse(mut args: Vec<String>) -> Result<Command, ArgError> {
                 max_runs,
             })
         }
+        "serve" => {
+            let addr =
+                take_opt_flag_value(&mut args, "--addr")?.unwrap_or_else(|| "127.0.0.1:0".into());
+            let data_dir = take_opt_flag_value(&mut args, "--data-dir")?
+                .unwrap_or_else(|| "dashlat-serve-data".into());
+            let workers = match take_opt_flag_value(&mut args, "--workers")? {
+                Some(v) => {
+                    let n: usize = v
+                        .parse()
+                        .map_err(|_| ArgError(format!("bad worker count {v:?}")))?;
+                    if n == 0 {
+                        return Err(ArgError("--workers must be at least 1".into()));
+                    }
+                    n
+                }
+                None => 2,
+            };
+            let queue_depth = match take_opt_flag_value(&mut args, "--queue-depth")? {
+                Some(v) => {
+                    let n: usize = v
+                        .parse()
+                        .map_err(|_| ArgError(format!("bad queue depth {v:?}")))?;
+                    if n == 0 {
+                        return Err(ArgError("--queue-depth must be at least 1".into()));
+                    }
+                    n
+                }
+                None => 8,
+            };
+            let job_timeout_secs = match take_opt_flag_value(&mut args, "--job-timeout-secs")? {
+                Some(v) => v
+                    .parse()
+                    .map_err(|_| ArgError(format!("bad job timeout {v:?}")))?,
+                None => 3600,
+            };
+            ensure_consumed(&args)?;
+            Ok(Command::Serve {
+                addr,
+                data_dir,
+                workers,
+                queue_depth,
+                job_timeout_secs,
+            })
+        }
+        "submit" => {
+            let addr = take_opt_flag_value(&mut args, "--addr")?;
+            let data_dir = take_opt_flag_value(&mut args, "--data-dir")?
+                .unwrap_or_else(|| "dashlat-serve-data".into());
+            let wait = take_bool_flag(&mut args, "--wait");
+            let sweep_jobs = match take_opt_flag_value(&mut args, "--sweep-jobs")? {
+                Some(v) => {
+                    let n: usize = v
+                        .parse()
+                        .map_err(|_| ArgError(format!("bad sweep job count {v:?}")))?;
+                    if n == 0 {
+                        return Err(ArgError("--sweep-jobs must be at least 1".into()));
+                    }
+                    Some(n)
+                }
+                None => None,
+            };
+            let max_retries = match take_opt_flag_value(&mut args, "--retries")? {
+                Some(v) => v
+                    .parse()
+                    .map_err(|_| ArgError(format!("bad retry count {v:?}")))?,
+                None => 2,
+            };
+            let timeout_secs = match take_opt_flag_value(&mut args, "--timeout-secs")? {
+                Some(v) => Some(
+                    v.parse()
+                        .map_err(|_| ArgError(format!("bad timeout {v:?}")))?,
+                ),
+                None => None,
+            };
+            if args.is_empty() {
+                return Err(ArgError(
+                    "submit needs a job kind: sweep, chaos or verify".into(),
+                ));
+            }
+            let kind = match args.remove(0).as_str() {
+                "sweep" => {
+                    if args.is_empty() {
+                        return Err(ArgError("submit sweep needs a figure number (2-6)".into()));
+                    }
+                    let figure: u8 = args
+                        .remove(0)
+                        .parse()
+                        .map_err(|_| ArgError("submit sweep needs a figure number (2-6)".into()))?;
+                    if !(2..=6).contains(&figure) {
+                        return Err(ArgError("sweep figure number must be 2-6".into()));
+                    }
+                    dashlat_serve::JobKind::Sweep { figure }
+                }
+                "chaos" => {
+                    let app: App = match take_opt_flag_value(&mut args, "--app")? {
+                        Some(v) => v.parse().map_err(ArgError)?,
+                        None => App::Lu,
+                    };
+                    let trials = match take_opt_flag_value(&mut args, "--trials")? {
+                        Some(v) => {
+                            let n: u32 = v
+                                .parse()
+                                .map_err(|_| ArgError(format!("bad trial count {v:?}")))?;
+                            if n == 0 {
+                                return Err(ArgError("--trials must be positive".into()));
+                            }
+                            n
+                        }
+                        None => 25,
+                    };
+                    let seed = match take_opt_flag_value(&mut args, "--seed")? {
+                        Some(v) => v.parse().map_err(|_| ArgError(format!("bad seed {v:?}")))?,
+                        None => 1,
+                    };
+                    dashlat_serve::JobKind::Chaos { app, trials, seed }
+                }
+                "verify" | "verify-model" => {
+                    let models = match take_opt_flag_value(&mut args, "--models")? {
+                        Some(v) => v
+                            .split(',')
+                            .map(parse_consistency)
+                            .collect::<Result<Vec<_>, _>>()?,
+                        None => Vec::new(),
+                    };
+                    let tests = match take_opt_flag_value(&mut args, "--tests")? {
+                        Some(v) => v.split(',').map(str::to_string).collect(),
+                        None => Vec::new(),
+                    };
+                    let max_runs = match take_opt_flag_value(&mut args, "--max-runs")? {
+                        Some(v) => v
+                            .parse()
+                            .map_err(|_| ArgError(format!("bad run budget {v:?}")))?,
+                        None => 0,
+                    };
+                    dashlat_serve::JobKind::Verify {
+                        models,
+                        tests,
+                        max_runs,
+                    }
+                }
+                other => {
+                    return Err(ArgError(format!(
+                        "unknown job kind {other:?} (expected sweep, chaos or verify)"
+                    )))
+                }
+            };
+            // Everything left is machine flags; validate them here so a
+            // typo is a parse error at the prompt, not a 400 later — the
+            // *raw* tokens travel in the spec, exactly as the server
+            // re-parses them.
+            let mut probe = args.clone();
+            parse_machine_flags(&mut probe)?;
+            ensure_consumed(&probe)?;
+            let machine = std::mem::take(&mut args);
+            Ok(Command::Submit {
+                addr,
+                data_dir,
+                spec: Box::new(dashlat_serve::JobSpec {
+                    kind,
+                    machine,
+                    sweep_jobs,
+                    max_retries,
+                    timeout_secs,
+                }),
+                wait,
+            })
+        }
+        "status" => {
+            let addr = take_opt_flag_value(&mut args, "--addr")?;
+            let data_dir = take_opt_flag_value(&mut args, "--data-dir")?
+                .unwrap_or_else(|| "dashlat-serve-data".into());
+            let id = if args.is_empty() {
+                None
+            } else {
+                let v = args.remove(0);
+                Some(
+                    v.parse::<u64>()
+                        .map_err(|_| ArgError(format!("bad job id {v:?}")))?,
+                )
+            };
+            ensure_consumed(&args)?;
+            Ok(Command::Status { addr, data_dir, id })
+        }
         other => Err(ArgError(format!(
             "unknown command {other:?}; try `dashlat help`"
         ))),
@@ -790,6 +897,8 @@ pub fn parse(mut args: Vec<String>) -> Result<Command, ArgError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dashlat_sim::fault::FaultPlan;
+    use dashlat_sim::Cycle;
 
     fn v(items: &[&str]) -> Vec<String> {
         items.iter().map(std::string::ToString::to_string).collect()
@@ -1285,15 +1394,172 @@ mod tests {
         for needle in [
             "8 chaos found a failing schedule",
             "9 repro bundle did not reproduce",
-            "7, then 4, 2, 3, 6, 8, 9, 5, and 1 last",
+            "10 service error",
+            "7, then 4, 2, 3, 6, 8, 9, 5, 10, and 1 last",
             "dashlat sweep",
             "dashlat repro",
             "dashlat chaos",
+            "dashlat serve",
+            "dashlat submit",
+            "dashlat status",
             "--enforce-wb-fifo",
             "--no-check-invariants",
         ] {
             assert!(USAGE.contains(needle), "USAGE missing {needle:?}");
         }
+    }
+
+    #[test]
+    fn serve_parsing_defaults_and_overrides() {
+        let cmd = parse(v(&["serve"])).expect("parses");
+        assert_eq!(
+            cmd,
+            Command::Serve {
+                addr: "127.0.0.1:0".into(),
+                data_dir: "dashlat-serve-data".into(),
+                workers: 2,
+                queue_depth: 8,
+                job_timeout_secs: 3600,
+            }
+        );
+        let cmd = parse(v(&[
+            "serve",
+            "--addr",
+            "127.0.0.1:8123",
+            "--data-dir",
+            "/tmp/d",
+            "--workers",
+            "4",
+            "--queue-depth",
+            "2",
+            "--job-timeout-secs",
+            "0",
+        ]))
+        .expect("parses");
+        match cmd {
+            Command::Serve {
+                addr,
+                data_dir,
+                workers,
+                queue_depth,
+                job_timeout_secs,
+            } => {
+                assert_eq!(addr, "127.0.0.1:8123");
+                assert_eq!(data_dir, "/tmp/d");
+                assert_eq!(workers, 4);
+                assert_eq!(queue_depth, 2);
+                assert_eq!(job_timeout_secs, 0);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse(v(&["serve", "--workers", "0"])).is_err());
+        assert!(parse(v(&["serve", "--queue-depth", "0"])).is_err());
+        assert!(parse(v(&["serve", "--bogus"])).is_err());
+    }
+
+    #[test]
+    fn submit_builds_specs_and_validates_machine_flags() {
+        let cmd = parse(v(&[
+            "submit",
+            "--wait",
+            "--sweep-jobs",
+            "1",
+            "sweep",
+            "3",
+            "--test-scale",
+            "--processors",
+            "4",
+        ]))
+        .expect("parses");
+        match cmd {
+            Command::Submit {
+                addr,
+                data_dir,
+                spec,
+                wait,
+            } => {
+                assert_eq!(addr, None);
+                assert_eq!(data_dir, "dashlat-serve-data");
+                assert!(wait);
+                assert_eq!(spec.kind, dashlat_serve::JobKind::Sweep { figure: 3 });
+                assert_eq!(spec.sweep_jobs, Some(1));
+                // Raw machine tokens travel verbatim and parse on the
+                // server side too.
+                assert_eq!(spec.machine, v(&["--test-scale", "--processors", "4"]));
+                assert!(spec.machine_config().is_ok());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let cmd = parse(v(&[
+            "submit",
+            "--addr",
+            "1.2.3.4:80",
+            "chaos",
+            "--app",
+            "pthor",
+            "--trials",
+            "3",
+            "--seed",
+            "9",
+        ]))
+        .expect("parses");
+        match cmd {
+            Command::Submit { addr, spec, .. } => {
+                assert_eq!(addr.as_deref(), Some("1.2.3.4:80"));
+                assert_eq!(
+                    spec.kind,
+                    dashlat_serve::JobKind::Chaos {
+                        app: App::Pthor,
+                        trials: 3,
+                        seed: 9,
+                    }
+                );
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let cmd = parse(v(&[
+            "submit", "verify", "--models", "sc,rc", "--tests", "sb",
+        ]))
+        .expect("parses");
+        match cmd {
+            Command::Submit { spec, .. } => {
+                assert_eq!(
+                    spec.kind,
+                    dashlat_serve::JobKind::Verify {
+                        models: vec![Consistency::Sc, Consistency::Rc],
+                        tests: vec!["sb".into()],
+                        max_runs: 0,
+                    }
+                );
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Machine flags are validated at the prompt, not an hour later.
+        assert!(parse(v(&["submit", "sweep", "3", "--bogus"])).is_err());
+        assert!(parse(v(&["submit", "sweep", "7"])).is_err());
+        assert!(parse(v(&["submit", "dance"])).is_err());
+        assert!(parse(v(&["submit"])).is_err());
+    }
+
+    #[test]
+    fn status_parsing() {
+        assert_eq!(
+            parse(v(&["status"])),
+            Ok(Command::Status {
+                addr: None,
+                data_dir: "dashlat-serve-data".into(),
+                id: None,
+            })
+        );
+        assert_eq!(
+            parse(v(&["status", "7", "--data-dir", "/tmp/d"])),
+            Ok(Command::Status {
+                addr: None,
+                data_dir: "/tmp/d".into(),
+                id: Some(7),
+            })
+        );
+        assert!(parse(v(&["status", "seven"])).is_err());
     }
 
     #[test]

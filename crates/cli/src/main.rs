@@ -112,6 +112,19 @@ impl std::fmt::Display for ReproDivergence {
 
 impl std::error::Error for ReproDivergence {}
 
+/// The job service could not be reached, rejected a request, or a remote
+/// job failed without a mappable exit code of its own.
+#[derive(Debug)]
+struct ServiceError(String);
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
 /// Severity ranking of the exit codes, most severe first: a memory-model
 /// violation (7) means the simulator's consistency guarantees are wrong,
 /// which invalidates everything downstream; an invariant violation (4)
@@ -119,9 +132,11 @@ impl std::error::Error for ReproDivergence {}
 /// forward-progress failures; a race (6) indicts the workload's labeling
 /// rather than the machine; a chaos finding (8) is a freshly fuzzed bug
 /// and a repro divergence (9) an unconfirmed old one — real, but already
-/// minimized or secondhand; partial results (5) and generic errors (1)
-/// rank last. When failures co-occur the most severe code wins.
-const SEVERITY: [u8; 9] = [7, 4, 2, 3, 6, 8, 9, 5, 1];
+/// minimized or secondhand; partial results (5), service errors (10 —
+/// the daemon was unreachable or rejected the request, saying nothing
+/// about the simulator itself) and generic errors (1) rank last. When
+/// failures co-occur the most severe code wins.
+const SEVERITY: [u8; 10] = [7, 4, 2, 3, 6, 8, 9, 5, 10, 1];
 
 /// Returns the more severe of two exit codes under [`SEVERITY`].
 fn worst_code(a: u8, b: u8) -> u8 {
@@ -155,6 +170,9 @@ fn exit_code_for(e: &(dyn std::error::Error + 'static)) -> ExitCode {
     }
     if e.downcast_ref::<ReproDivergence>().is_some() {
         return ExitCode::from(9);
+    }
+    if e.downcast_ref::<ServiceError>().is_some() {
+        return ExitCode::from(10);
     }
     if e.downcast_ref::<RacesFound>().is_some() {
         return ExitCode::from(6);
@@ -583,6 +601,106 @@ fn execute(cmd: Command) -> Result<(), Box<dyn std::error::Error>> {
                 Err(Box::new(ModelViolation))
             }
         }
+        Command::Serve {
+            addr,
+            data_dir,
+            workers,
+            queue_depth,
+            job_timeout_secs,
+        } => {
+            dashlat_serve::signal::install();
+            let server =
+                std::sync::Arc::new(dashlat_serve::Server::new(dashlat_serve::ServeConfig {
+                    addr,
+                    data_dir: PathBuf::from(data_dir),
+                    workers,
+                    queue_depth,
+                    job_timeout_secs,
+                })?);
+            // Graceful shutdown (SIGTERM/SIGINT/POST /shutdown) returns
+            // Ok from run(), so the daemon exits 0.
+            server.run()?;
+            Ok(())
+        }
+        Command::Submit {
+            addr,
+            data_dir,
+            spec,
+            wait,
+        } => {
+            let addr = resolve_addr(addr, &data_dir)?;
+            let resp = dashlat_serve::request(&addr, "POST", "/jobs", Some(&spec.to_json()))
+                .map_err(|e| ServiceError(format!("cannot reach daemon at {addr}: {e}")))?;
+            if resp.status == 429 {
+                let retry = resp.header("retry-after").unwrap_or("2");
+                return Err(Box::new(ServiceError(format!(
+                    "daemon shed the submission (queue full); retry after {retry}s"
+                ))));
+            }
+            if resp.status != 202 {
+                return Err(Box::new(ServiceError(format!(
+                    "daemon rejected the submission ({}): {}",
+                    resp.status,
+                    resp.body.trim()
+                ))));
+            }
+            let id = dashlat_sim::json::Value::parse(&resp.body)
+                .ok()
+                .and_then(|v| v.get("id").and_then(dashlat_sim::json::Value::as_u64))
+                .ok_or_else(|| {
+                    ServiceError(format!("daemon returned no job id: {}", resp.body.trim()))
+                })?;
+            println!("job #{id} submitted ({})", spec.describe());
+            if !wait {
+                println!("follow with: dashlat status {id} --addr {addr}");
+                return Ok(());
+            }
+            wait_for_job(&addr, id)
+        }
+        Command::Status { addr, data_dir, id } => {
+            let addr = resolve_addr(addr, &data_dir)?;
+            match id {
+                Some(id) => {
+                    let resp = dashlat_serve::request(&addr, "GET", &format!("/jobs/{id}"), None)
+                        .map_err(|e| {
+                        ServiceError(format!("cannot reach daemon at {addr}: {e}"))
+                    })?;
+                    if resp.status != 200 {
+                        return Err(Box::new(ServiceError(format!(
+                            "daemon returned {} for job {id}: {}",
+                            resp.status,
+                            resp.body.trim()
+                        ))));
+                    }
+                    let job = dashlat_sim::json::Value::parse(&resp.body)
+                        .map_err(|e| ServiceError(format!("bad status document: {e}")))?;
+                    println!("{}", describe_job(&job));
+                    Ok(())
+                }
+                None => {
+                    let health = dashlat_serve::request(&addr, "GET", "/healthz", None)
+                        .map_err(|e| ServiceError(format!("cannot reach daemon at {addr}: {e}")))?;
+                    println!("daemon at {addr}: {}", health.body.trim());
+                    let resp = dashlat_serve::request(&addr, "GET", "/jobs", None)
+                        .map_err(|e| ServiceError(format!("cannot reach daemon at {addr}: {e}")))?;
+                    let doc = dashlat_sim::json::Value::parse(&resp.body)
+                        .map_err(|e| ServiceError(format!("bad job list: {e}")))?;
+                    let jobs = doc
+                        .get("jobs")
+                        .and_then(dashlat_sim::json::Value::as_arr)
+                        .ok_or_else(|| {
+                            ServiceError(format!("bad job list: {}", resp.body.trim()))
+                        })?;
+                    if jobs.is_empty() {
+                        println!("no jobs");
+                    }
+                    for job in jobs {
+                        println!("{}", describe_job(job));
+                    }
+                    Ok(())
+                }
+            }
+        }
         Command::Analyze {
             apps,
             input,
@@ -616,6 +734,91 @@ fn execute(cmd: Command) -> Result<(), Box<dyn std::error::Error>> {
             Ok(())
         }
     }
+}
+
+/// Finds the daemon: an explicit `--addr` wins, otherwise the `addr`
+/// file the daemon publishes in its data directory.
+fn resolve_addr(addr: Option<String>, data_dir: &str) -> Result<String, Box<ServiceError>> {
+    match addr {
+        Some(a) => Ok(a),
+        None => dashlat_serve::read_addr_file(Path::new(data_dir)).map_err(|e| {
+            Box::new(ServiceError(format!(
+                "no --addr given and no daemon addr file under {data_dir}/ ({e}); \
+                 is `dashlat serve` running?"
+            )))
+        }),
+    }
+}
+
+/// Polls one job to a terminal state (`submit --wait`) and converts its
+/// outcome into this process's exit status: the remote job's own exit
+/// code when it has one, 10 when the job ended opaquely.
+fn wait_for_job(addr: &str, id: u64) -> Result<(), Box<dyn std::error::Error>> {
+    let mut last_status = String::new();
+    loop {
+        let resp = dashlat_serve::request(addr, "GET", &format!("/jobs/{id}"), None)
+            .map_err(|e| ServiceError(format!("lost the daemon at {addr}: {e}")))?;
+        let job = dashlat_sim::json::Value::parse(&resp.body)
+            .map_err(|e| ServiceError(format!("bad status document: {e}")))?;
+        let status = job
+            .get("status")
+            .and_then(dashlat_sim::json::Value::as_str)
+            .unwrap_or("?")
+            .to_owned();
+        if status != last_status {
+            println!("{}", describe_job(&job));
+            last_status.clone_from(&status);
+        }
+        match status.as_str() {
+            "complete" => return Ok(()),
+            "failed" | "cancelled" => {
+                let detail = job
+                    .get("detail")
+                    .and_then(dashlat_sim::json::Value::as_str)
+                    .unwrap_or("no detail")
+                    .to_owned();
+                let code = job
+                    .get("exit_code")
+                    .and_then(dashlat_sim::json::Value::as_u64)
+                    .map_or(10, |c| u8::try_from(c).unwrap_or(10));
+                return Err(Box::new(WorstFailure {
+                    code: if code == 0 { 10 } else { code },
+                    msg: format!("job #{id} {status}: {detail}"),
+                }));
+            }
+            "interrupted" => {
+                return Err(Box::new(ServiceError(format!(
+                    "job #{id} was checkpointed by a daemon shutdown; it resumes when the \
+                     daemon restarts"
+                ))));
+            }
+            _ => std::thread::sleep(Duration::from_millis(200)),
+        }
+    }
+}
+
+/// One status line for a job document from the service API.
+fn describe_job(job: &dashlat_sim::json::Value) -> String {
+    use dashlat_sim::json::Value;
+    let num = |key: &str| job.get(key).and_then(Value::as_u64).unwrap_or(0);
+    let s = |key: &str| job.get(key).and_then(Value::as_str).unwrap_or("?");
+    let mut line = format!(
+        "job #{} [{}] {} — {}/{} cell(s), {} from cache",
+        num("id"),
+        s("kind"),
+        s("status"),
+        num("cells_done"),
+        num("cells_total"),
+        num("cache_hits"),
+    );
+    if let Some(code) = job.get("exit_code").and_then(Value::as_u64) {
+        line.push_str(&format!(", exit {code}"));
+    }
+    let detail = s("detail");
+    if !detail.is_empty() && detail != "?" {
+        line.push_str(&format!("\n  {detail}"));
+    }
+    line
 }
 
 /// Runs `app` once with a recorder attached and returns the trace,

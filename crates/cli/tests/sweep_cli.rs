@@ -180,6 +180,32 @@ fn crash_before_rename_leaves_no_partial_output() {
     assert_eq!(&resumed, reference_log());
 }
 
+/// Abort *after the rename and the directory fsync*: the publication is
+/// complete, so the output must be findable under its final name with
+/// the full contents — this is the durability the parent-directory fsync
+/// buys (without it, a power loss here could forget the rename).
+#[test]
+fn crash_after_rename_leaves_a_durable_published_output() {
+    let dir = scratch("postrename");
+    let args = sweep_args(&dir, &[]);
+    let out = Command::new(env!("CARGO_BIN_EXE_dashlat"))
+        .args(&args)
+        .env("DASHLAT_CRASH_AFTER_RENAME", "1")
+        .output()
+        .expect("sweep runs");
+    assert_ne!(
+        out.status.code(),
+        Some(0),
+        "crash point must abort: {out:?}"
+    );
+    // The simulated crash landed after the commit: the file must be
+    // there, complete, and byte-identical to an uninterrupted run.
+    let published = std::fs::read(dir.join("f3.json"))
+        .expect("published output must survive a crash after the rename");
+    assert_eq!(&published, reference_log());
+    assert_eq!(count_cell_records(&dir.join("f3.journal")), 6);
+}
+
 /// A journal written under one configuration is refused under another
 /// (fingerprint guard), and an existing journal without `--resume` is
 /// refused outright.

@@ -350,6 +350,150 @@ impl Default for ExperimentConfig {
     }
 }
 
+/// Extracts the machine flags from `args`, removing everything it
+/// consumes; unrecognized tokens are left in place for the caller to
+/// validate. This is the single parser behind the CLI's machine flags,
+/// `dashlat repro` bundle replay, and the `dashlat serve` job-submission
+/// API — all three accept exactly the argument list
+/// [`ExperimentConfig::to_cli_args`] emits, so a configuration round-trips
+/// bit-exactly through any of them.
+///
+/// # Errors
+///
+/// Returns a user-facing message for a malformed or out-of-range value.
+#[allow(clippy::too_many_lines)]
+pub fn parse_machine_args(args: &mut Vec<String>) -> Result<ExperimentConfig, String> {
+    let mut cfg = ExperimentConfig::base();
+    let mut contexts: usize = 1;
+    let mut switch: u64 = 4;
+    let take_value = |args: &mut Vec<String>, i: usize, flag: &str| -> Result<String, String> {
+        if i + 1 >= args.len() {
+            return Err(format!("{flag} needs a value"));
+        }
+        let v = args.remove(i + 1);
+        args.remove(i);
+        Ok(v)
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--processors" => {
+                let v = take_value(args, i, "--processors")?;
+                let n: usize = v
+                    .parse()
+                    .map_err(|_| format!("bad processor count {v:?}"))?;
+                if !(1..=64).contains(&n) {
+                    return Err("--processors must be 1..=64".into());
+                }
+                cfg.processors = n;
+            }
+            "--consistency" => {
+                let v = take_value(args, i, "--consistency")?;
+                cfg = cfg.with_consistency(v.parse()?);
+            }
+            "--contexts" => {
+                let v = take_value(args, i, "--contexts")?;
+                contexts = v.parse().map_err(|_| format!("bad context count {v:?}"))?;
+                if contexts == 0 {
+                    return Err("--contexts must be positive".into());
+                }
+            }
+            "--switch" => {
+                let v = take_value(args, i, "--switch")?;
+                switch = v
+                    .parse()
+                    .map_err(|_| format!("bad switch overhead {v:?}"))?;
+            }
+            "--prefetch" => {
+                args.remove(i);
+                cfg = cfg.with_prefetching();
+            }
+            "--no-cache" => {
+                args.remove(i);
+                cfg = cfg.without_caching();
+            }
+            "--full-caches" => {
+                args.remove(i);
+                cfg = cfg.with_full_caches();
+            }
+            "--no-contention" => {
+                args.remove(i);
+                cfg.contention = false;
+            }
+            "--mesh" => {
+                args.remove(i);
+                cfg = cfg.with_mesh_network();
+            }
+            "--dir-pointers" => {
+                let v = take_value(args, i, "--dir-pointers")?;
+                let n: usize = v.parse().map_err(|_| format!("bad pointer count {v:?}"))?;
+                if n == 0 {
+                    return Err("--dir-pointers must be positive".into());
+                }
+                cfg = cfg.with_limited_directory(n);
+            }
+            "--lookahead" => {
+                let v = take_value(args, i, "--lookahead")?;
+                let n: u64 = v
+                    .parse()
+                    .map_err(|_| format!("bad lookahead window {v:?}"))?;
+                cfg = cfg.with_read_lookahead(Cycle(n));
+            }
+            "--test-scale" => {
+                args.remove(i);
+                cfg.scale = AppScale::Test;
+            }
+            "--jobs" => {
+                let v = take_value(args, i, "--jobs")?;
+                let n: usize = v.parse().map_err(|_| format!("bad job count {v:?}"))?;
+                if n == 0 {
+                    return Err("--jobs must be at least 1".into());
+                }
+                // Worker count is a property of the sweep engine, not of
+                // the simulated machine, so it pins the process-wide
+                // default instead of living in the config (which takes
+                // part in bit-identical comparisons).
+                crate::pool::set_default_jobs(Some(n));
+            }
+            "--faults" => {
+                let v = take_value(args, i, "--faults")?;
+                cfg = cfg.with_faults(FaultPlan::from_spec(&v)?);
+            }
+            "--check-invariants" => {
+                args.remove(i);
+                cfg = cfg.with_invariant_checks(true);
+            }
+            "--no-check-invariants" => {
+                args.remove(i);
+                cfg = cfg.with_invariant_checks(false);
+            }
+            "--enforce-wb-fifo" => {
+                args.remove(i);
+                cfg = cfg.with_wb_fifo_enforcement();
+            }
+            "--mutate-ww" => {
+                args.remove(i);
+                #[cfg(feature = "verify-mutations")]
+                {
+                    cfg = cfg.with_ww_mutation();
+                }
+                #[cfg(not(feature = "verify-mutations"))]
+                {
+                    return Err(
+                        "--mutate-ww requires a build with the verify-mutations feature".into(),
+                    );
+                }
+            }
+            "--analyze" => {
+                let v = take_value(args, i, "--analyze")?;
+                cfg = cfg.with_analysis(dashlat_analyze::parse_passes(&v)?);
+            }
+            _ => i += 1,
+        }
+    }
+    Ok(cfg.with_contexts(contexts, Cycle(switch)))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -413,6 +557,29 @@ mod tests {
                 .label(),
             "SC +faults"
         );
+    }
+
+    #[test]
+    fn machine_args_round_trip_through_the_parser() {
+        let cfg = ExperimentConfig::base()
+            .with_rc()
+            .with_prefetching()
+            .with_contexts(2, Cycle(16))
+            .with_mesh_network()
+            .with_limited_directory(4)
+            .with_faults(FaultPlan::light(42))
+            .with_invariant_checks(true);
+        let mut args = cfg.to_cli_args();
+        let parsed = parse_machine_args(&mut args).expect("parses");
+        assert!(args.is_empty(), "nothing left over: {args:?}");
+        assert_eq!(parsed, cfg);
+        // Unknown tokens are left in place, not errors.
+        let mut extra = vec!["--app".to_string(), "lu".to_string()];
+        let _ = parse_machine_args(&mut extra).expect("parses");
+        assert_eq!(extra, vec!["--app".to_string(), "lu".to_string()]);
+        // Malformed values are user-facing errors.
+        let mut bad = vec!["--processors".to_string(), "sixteen".to_string()];
+        assert!(parse_machine_args(&mut bad).is_err());
     }
 
     #[test]

@@ -51,11 +51,14 @@ pub mod sweep;
 pub mod sweeplog;
 
 pub use apps::App;
-pub use config::{AppScale, ExperimentConfig};
-pub use pool::{effective_jobs, par_indexed_map, set_default_jobs};
+pub use config::{parse_machine_args, AppScale, ExperimentConfig};
+pub use pool::{effective_jobs, par_indexed_map, par_indexed_map_while, set_default_jobs};
 pub use report::{AppFigure, Figure, FigureBar, Table2, Table2Row};
 pub use runner::{
     run, run_isolated, run_matrix, run_matrix_jobs, Experiment, MatrixCell, MatrixReport,
     RunFailure,
+};
+pub use sweep::{
+    cell_fingerprint, retry_backoff_ms, run_supervised, run_supervised_controlled, SweepControl,
 };
 pub use sweeplog::{SweepBatch, SweepLog, SweepPoint};

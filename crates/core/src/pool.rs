@@ -86,6 +86,57 @@ where
         .collect()
 }
 
+/// Like [`par_indexed_map`], but checks `keep_going()` before starting
+/// each item and stops handing out work once it returns `false`. Items
+/// that never started are `None` in the result; items already in flight
+/// when the signal flips are finished normally (drained), so a caller
+/// that journals per-item results never loses a completed item.
+///
+/// This is the cooperative-cancellation seam the long-running sweep
+/// service uses: a cancelled or deadline-expired job stops at the next
+/// cell boundary with every finished cell intact.
+pub fn par_indexed_map_while<T, R, F, C>(
+    jobs: usize,
+    items: &[T],
+    keep_going: C,
+    f: F,
+) -> Vec<Option<R>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+    C: Fn() -> bool + Sync,
+{
+    let jobs = jobs.max(1).min(items.len().max(1));
+    if jobs == 1 {
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, t)| keep_going().then(|| f(i, t)))
+            .collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<std::sync::Mutex<Option<R>>> =
+        items.iter().map(|_| std::sync::Mutex::new(None)).collect();
+    thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                if !keep_going() {
+                    break;
+                }
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = items.get(i) else { break };
+                let r = f(i, item);
+                *slots[i].lock().expect("result slot poisoned") = Some(r);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.into_inner().expect("result slot poisoned"))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -113,6 +164,70 @@ mod tests {
         let none: Vec<u8> = Vec::new();
         assert!(par_indexed_map(4, &none, |_, &x| x).is_empty());
         assert_eq!(par_indexed_map(4, &[7u8], |_, &x| x), vec![7]);
+    }
+
+    #[test]
+    fn cancellable_map_runs_everything_when_never_cancelled() {
+        let items: Vec<usize> = (0..40).collect();
+        for jobs in [1, 4] {
+            let out = par_indexed_map_while(jobs, &items, || true, |_, &x| x + 1);
+            assert_eq!(out.len(), 40);
+            assert!(out.iter().all(Option::is_some));
+            assert_eq!(out[7], Some(8));
+        }
+    }
+
+    #[test]
+    fn cancellable_map_drains_in_flight_items_and_skips_the_rest() {
+        use std::sync::atomic::AtomicBool;
+        let items: Vec<usize> = (0..100).collect();
+        let stop = AtomicBool::new(false);
+        // Each of the 4 workers takes one of items 0..=3 first; item 3
+        // flips the flag while 0..=2 hold their workers until it is set,
+        // so no worker can fetch item 4 before cancellation is visible.
+        let out = par_indexed_map_while(
+            4,
+            &items,
+            || !stop.load(Ordering::SeqCst),
+            |i, &x| {
+                if i == 3 {
+                    stop.store(true, Ordering::SeqCst);
+                } else {
+                    while !stop.load(Ordering::SeqCst) {
+                        std::thread::yield_now();
+                    }
+                }
+                x
+            },
+        );
+        // Exactly the in-flight items drained; everything else skipped.
+        for (i, slot) in out.iter().enumerate() {
+            if i <= 3 {
+                assert_eq!(*slot, Some(i), "in-flight item {i} must drain");
+            } else {
+                assert_eq!(*slot, None, "item {i} must not start after cancel");
+            }
+        }
+    }
+
+    #[test]
+    fn cancellable_map_serial_path_respects_the_signal() {
+        use std::sync::atomic::AtomicBool;
+        let items: Vec<usize> = (0..10).collect();
+        let stop = AtomicBool::new(false);
+        let out = par_indexed_map_while(
+            1,
+            &items,
+            || !stop.load(Ordering::Relaxed),
+            |i, &x| {
+                if i == 2 {
+                    stop.store(true, Ordering::Relaxed);
+                }
+                x
+            },
+        );
+        assert_eq!(out[..3], [Some(0), Some(1), Some(2)]);
+        assert!(out[3..].iter().all(Option::is_none));
     }
 
     #[test]

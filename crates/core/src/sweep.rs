@@ -26,8 +26,9 @@
 use std::fmt;
 use std::io;
 use std::path::{Path, PathBuf};
-use std::sync::Mutex;
-use std::time::Duration;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 use dashlat_sim::journal::{atomic_write, Journal};
 use dashlat_sim::json::{quote, Value};
@@ -120,6 +121,120 @@ impl SweepPlan {
             eat(format!("{:?}", cell.config).as_bytes());
         }
         h
+    }
+}
+
+/// FNV-1a fingerprint of one cell's *work identity*: the application and
+/// the full machine configuration, deliberately excluding the
+/// `sweep`/`point` labels. Two cells in different sweeps — or different
+/// jobs of the long-running `dashlat serve` service — that would simulate
+/// exactly the same machine share a fingerprint, which is what lets the
+/// service's content-addressed result cache serve repeated cells without
+/// re-simulating them. Cells are deterministic functions of this
+/// identity, so equal fingerprints imply equal results.
+pub fn cell_fingerprint(cell: &SweepCell) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        h ^= 0xff;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    };
+    eat(cell.app.name().as_bytes());
+    eat(format!("{:?}", cell.config).as_bytes());
+    h
+}
+
+/// The delay in milliseconds before transient-failure retry `attempt`
+/// (1-based: the wait after the first failed attempt): capped exponential
+/// backoff with deterministic seeded jitter, uniform in
+/// `[backoff/2, backoff]`.
+///
+/// The jitter exists to break retry storms: when N cells fail
+/// transiently at the same moment (one NACK-storm fault schedule, one
+/// overloaded host), an unjittered exponential schedule retries them all
+/// in lockstep, re-creating the very contention spike that failed them.
+/// The spread is derived from `splitmix64(salt ^ attempt)` — no clock, no
+/// RNG state — so a given `(salt, attempt)` pair always waits the same
+/// time and supervised runs stay reproducible. Callers salt with the cell
+/// index (XORed with the plan fingerprint) so neighbouring cells spread
+/// apart.
+pub fn retry_backoff_ms(base_ms: u64, cap_ms: u64, attempt: u32, salt: u64) -> u64 {
+    let exp = base_ms
+        .saturating_mul(1u64 << attempt.saturating_sub(1).min(16))
+        .min(cap_ms);
+    if exp <= 1 {
+        return exp;
+    }
+    // splitmix64 finalizer over the (salt, attempt) pair.
+    let mut z =
+        salt ^ u64::from(attempt).wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ 0x9e37_79b9_7f4a_7c15;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^= z >> 31;
+    let lo = exp / 2;
+    lo + z % (exp - lo + 1)
+}
+
+/// Cooperative cancellation and deadline control for a supervised sweep.
+///
+/// The control is checked at cell boundaries: cells already in flight
+/// when it trips are drained (finished and journaled), cells not yet
+/// started are skipped and stay uncommitted in the journal, so a
+/// cancelled or deadline-expired run is exactly a crash-free checkpoint —
+/// resuming it later completes the plan with a byte-identical log. The
+/// default control never interrupts.
+#[derive(Debug, Clone, Default)]
+pub struct SweepControl {
+    cancel: Option<Arc<AtomicBool>>,
+    deadline: Option<Instant>,
+}
+
+impl SweepControl {
+    /// A control that never interrupts (what [`run_supervised`] uses).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns a copy interrupted whenever `token` is `true` — the
+    /// service sets one token per job for client cancellation and
+    /// graceful shutdown alike.
+    #[must_use]
+    pub fn with_cancel(mut self, token: Arc<AtomicBool>) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Returns a copy interrupted once `deadline` passes (per-job
+    /// wall-clock budget).
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Instant) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Why the run should stop (`"cancelled"` or `"deadline exceeded"`),
+    /// or `None` to keep going. Cancellation is reported in preference to
+    /// an expired deadline when both hold.
+    pub fn interruption(&self) -> Option<&'static str> {
+        if self
+            .cancel
+            .as_ref()
+            .is_some_and(|t| t.load(Ordering::SeqCst))
+        {
+            return Some("cancelled");
+        }
+        if self.deadline.is_some_and(|d| Instant::now() >= d) {
+            return Some("deadline exceeded");
+        }
+        None
+    }
+
+    /// True when the run should stop scheduling new cells.
+    pub fn is_interrupted(&self) -> bool {
+        self.interruption().is_some()
     }
 }
 
@@ -391,6 +506,15 @@ pub struct SweepReport {
     /// Highest-index committed cell `(index, sweep, point)` — the resume
     /// point a crashed run would restart after.
     pub last_committed: Option<(usize, String, String)>,
+    /// Cells skipped because the run was interrupted (cancelled or past
+    /// its deadline) before they started. They remain uncommitted in the
+    /// journal and run on the next resume.
+    pub skipped: usize,
+    /// Why the run stopped early (`"cancelled"`, `"deadline exceeded"`),
+    /// or `None` for a run that finished its whole plan. Set only when at
+    /// least one cell was actually skipped — an interruption that arrives
+    /// after the last cell drained is a complete run.
+    pub interrupted: Option<String>,
 }
 
 /// Cell-failure exit codes ranked most-severe-first, mirroring the CLI's
@@ -399,9 +523,9 @@ pub struct SweepReport {
 const CELL_SEVERITY: [u8; 5] = [4, 2, 3, 6, 1];
 
 impl SweepReport {
-    /// True when every cell succeeded.
+    /// True when every cell ran and succeeded.
     pub fn is_complete(&self) -> bool {
-        self.failures.is_empty()
+        self.failures.is_empty() && self.skipped == 0
     }
 
     /// The exit code the sweep should terminate with: 0 when complete,
@@ -449,14 +573,21 @@ impl SweepReport {
 
     /// One-paragraph completion summary.
     pub fn summary(&self) -> String {
-        format!(
+        let mut s = format!(
             "{} cell(s): {} replayed from journal, {} executed, {} retry attempt(s), {} failure(s)",
             self.replayed + self.executed,
             self.replayed,
             self.executed,
             self.retries,
             self.failures.len()
-        )
+        );
+        if let Some(why) = &self.interrupted {
+            s.push_str(&format!(
+                "; {why} with {} cell(s) still pending (journal checkpointed — resume to finish)",
+                self.skipped
+            ));
+        }
+        s
     }
 }
 
@@ -579,6 +710,44 @@ pub fn run_supervised<F>(
 where
     F: Fn(usize, &SweepCell, u32) -> Result<u64, CellFailure> + Sync,
 {
+    run_supervised_controlled(
+        plan,
+        journal_path,
+        out_path,
+        resume,
+        opts,
+        &SweepControl::new(),
+        runner,
+    )
+}
+
+/// [`run_supervised`] with cooperative interruption: `control` is checked
+/// at cell boundaries (before each cell starts, and before each retry
+/// sleep), so a cancelled or deadline-expired run stops promptly while
+/// every *finished* cell stays committed in the journal.
+///
+/// An interrupted run publishes **no** SweepLog — the journal is the
+/// checkpoint, and re-running with `resume` completes the plan with a log
+/// byte-identical to an uninterrupted run. The report's
+/// [`skipped`](SweepReport::skipped) / [`interrupted`](SweepReport::interrupted)
+/// fields say what remains.
+///
+/// # Errors
+///
+/// Same contract as [`run_supervised`].
+#[allow(clippy::too_many_lines)]
+pub fn run_supervised_controlled<F>(
+    plan: &SweepPlan,
+    journal_path: &Path,
+    out_path: &Path,
+    resume: bool,
+    opts: &SweepOptions,
+    control: &SweepControl,
+    runner: F,
+) -> Result<SweepReport, SweepError>
+where
+    F: Fn(usize, &SweepCell, u32) -> Result<u64, CellFailure> + Sync,
+{
     let (committed, journal) = if resume && journal_path.exists() {
         let committed = load_committed(journal_path, plan)?;
         // The torn tail (if any) is dropped by rewriting the file to
@@ -607,49 +776,68 @@ where
     let pending: Vec<usize> = (0..plan.cells.len())
         .filter(|&i| committed[i].is_none())
         .collect();
-    let executed = pending.len();
 
     let journal = Mutex::new(journal);
     let jobs = crate::pool::effective_jobs(opts.jobs);
-    let fresh: Vec<CellRecord> = crate::pool::par_indexed_map(jobs, &pending, |_, &index| {
-        let cell = &plan.cells[index];
-        let mut attempts = 0u32;
-        let outcome = loop {
-            attempts += 1;
-            match runner(index, cell, attempts) {
-                Ok(elapsed) => break Ok(elapsed),
-                Err(f) if f.class == FailureClass::Transient && attempts <= opts.max_retries => {
-                    let backoff = opts
-                        .backoff_base_ms
-                        .saturating_mul(1u64 << (attempts - 1).min(16))
-                        .min(opts.backoff_cap_ms);
-                    std::thread::sleep(Duration::from_millis(backoff));
+    let salt_base = plan.fingerprint();
+    let fresh: Vec<Option<Option<CellRecord>>> = crate::pool::par_indexed_map_while(
+        jobs,
+        &pending,
+        || !control.is_interrupted(),
+        |_, &index| {
+            let cell = &plan.cells[index];
+            let mut attempts = 0u32;
+            let outcome = loop {
+                attempts += 1;
+                match runner(index, cell, attempts) {
+                    Ok(elapsed) => break Ok(elapsed),
+                    Err(f)
+                        if f.class == FailureClass::Transient && attempts <= opts.max_retries =>
+                    {
+                        // A retry is a fresh attempt, not in-flight work:
+                        // honour interruption instead of sleeping, leaving
+                        // the cell uncommitted so resume re-runs it.
+                        if control.is_interrupted() {
+                            return None;
+                        }
+                        let backoff = retry_backoff_ms(
+                            opts.backoff_base_ms,
+                            opts.backoff_cap_ms,
+                            attempts,
+                            salt_base ^ index as u64,
+                        );
+                        std::thread::sleep(Duration::from_millis(backoff));
+                    }
+                    Err(f) => break Err(f),
                 }
-                Err(f) => break Err(f),
-            }
-        };
-        let rec = CellRecord {
-            index,
-            sweep: cell.sweep.clone(),
-            point: cell.point.clone(),
-            outcome,
-            attempts,
-        };
-        // The commit point: once this append returns, the cell is done
-        // forever — a crash immediately after re-runs nothing.
-        journal
-            .lock()
-            .expect("journal lock poisoned")
-            .append(&rec.render())
-            .expect("journal append failed");
-        rec
-    });
+            };
+            let rec = CellRecord {
+                index,
+                sweep: cell.sweep.clone(),
+                point: cell.point.clone(),
+                outcome,
+                attempts,
+            };
+            // The commit point: once this append returns, the cell is done
+            // forever — a crash immediately after re-runs nothing.
+            journal
+                .lock()
+                .expect("journal lock poisoned")
+                .append(&rec.render())
+                .expect("journal append failed");
+            Some(rec)
+        },
+    );
 
-    // Assemble the log in plan order from replayed + fresh records.
+    // Assemble the log in plan order from replayed + fresh records. A
+    // `None` slot (outer: never started; inner: retry loop interrupted)
+    // is an uncommitted cell left for the next resume.
     let mut slots: Vec<Option<CellRecord>> = committed;
     let mut retries = 0u32;
-    for rec in fresh {
+    let mut executed = 0usize;
+    for rec in fresh.into_iter().flatten().flatten() {
         retries += rec.attempts.saturating_sub(1);
+        executed += 1;
         let index = rec.index;
         slots[index] = Some(rec);
     }
@@ -657,8 +845,12 @@ where
     let mut failures = Vec::new();
     let mut bundles = Vec::new();
     let mut last_committed = None;
+    let mut skipped = 0usize;
     for (i, slot) in slots.iter().enumerate() {
-        let rec = slot.as_ref().expect("every cell has a record");
+        let Some(rec) = slot.as_ref() else {
+            skipped += 1;
+            continue;
+        };
         last_committed = Some((i, rec.sweep.clone(), rec.point.clone()));
         match &rec.outcome {
             Ok(elapsed) => log.record(&rec.sweep, &rec.point, Ok(*elapsed)),
@@ -683,7 +875,12 @@ where
         }
     }
 
-    log.write_atomic(out_path)?;
+    // An interrupted run is a checkpoint, not a result: publishing a
+    // partial log would let a reader mistake it for the finished sweep,
+    // so the journal alone carries the state until resume completes it.
+    if skipped == 0 {
+        log.write_atomic(out_path)?;
+    }
     Ok(SweepReport {
         log,
         replayed,
@@ -693,6 +890,9 @@ where
         bundles,
         journal_path: journal_path.to_path_buf(),
         last_committed,
+        skipped,
+        interrupted: (skipped > 0)
+            .then(|| control.interruption().unwrap_or("interrupted").to_owned()),
     })
 }
 
@@ -1165,10 +1365,159 @@ mod tests {
             bundles: Vec::new(),
             journal_path: PathBuf::from("j"),
             last_committed: None,
+            skipped: 0,
+            interrupted: None,
         };
         assert_eq!(mk(&[]).exit_code(), 0);
         assert_eq!(mk(&[1, 3, 2]).exit_code(), 2);
         assert_eq!(mk(&[1, 6]).exit_code(), 6);
         assert_eq!(mk(&[2, 4, 6]).exit_code(), 4);
+    }
+
+    #[test]
+    fn backoff_jitter_is_deterministic_capped_and_spread() {
+        // Deterministic: same (salt, attempt) → same delay.
+        assert_eq!(
+            retry_backoff_ms(50, 2000, 3, 0xdead),
+            retry_backoff_ms(50, 2000, 3, 0xdead)
+        );
+        // Bounded: attempt 3 of base 50 is exp=200; jitter keeps the
+        // delay in [100, 200], and the cap clamps deep attempts.
+        for salt in 0..256u64 {
+            let d = retry_backoff_ms(50, 2000, 3, salt);
+            assert!((100..=200).contains(&d), "attempt 3 delay {d} out of range");
+            let capped = retry_backoff_ms(50, 2000, 30, salt);
+            assert!(
+                (1000..=2000).contains(&capped),
+                "capped delay {capped} out of range"
+            );
+        }
+        // Spread: across 64 cells failing at the same attempt, the
+        // delays must not collapse to lockstep — that is the retry
+        // storm this exists to break.
+        let delays: std::collections::HashSet<u64> = (0..64u64)
+            .map(|salt| retry_backoff_ms(50, 2000, 3, salt))
+            .collect();
+        assert!(
+            delays.len() >= 24,
+            "only {} distinct delays across 64 salts — retries are in lockstep",
+            delays.len()
+        );
+        // Degenerate bases stay degenerate (no panic, no jitter).
+        assert_eq!(retry_backoff_ms(0, 0, 1, 7), 0);
+        assert_eq!(retry_backoff_ms(1, 1, 1, 7), 1);
+    }
+
+    #[test]
+    fn cancelled_run_checkpoints_and_resume_matches_uninterrupted_log() {
+        let dir = tmpdir("cancel");
+        let plan = tiny_plan();
+        let opts = fast_opts();
+        let runner = |index: usize, _cell: &SweepCell, _attempt: u32| Ok(500 + index as u64);
+
+        // Reference: uninterrupted run.
+        run_supervised(
+            &plan,
+            &dir.join("full.journal"),
+            &dir.join("full.json"),
+            false,
+            &opts,
+            runner,
+        )
+        .expect("full run");
+
+        // Cancel after the third cell completes (serial execution, so
+        // cells 0..=2 commit and 3..=5 are skipped).
+        let token = Arc::new(AtomicBool::new(false));
+        let control = SweepControl::new().with_cancel(Arc::clone(&token));
+        let out_path = dir.join("cancelled.json");
+        let report = run_supervised_controlled(
+            &plan,
+            &dir.join("cancelled.journal"),
+            &out_path,
+            false,
+            &opts,
+            &control,
+            |index, cell, attempt| {
+                if index == 2 {
+                    token.store(true, Ordering::SeqCst);
+                }
+                runner(index, cell, attempt)
+            },
+        )
+        .expect("cancelled run");
+        assert_eq!(report.executed, 3);
+        assert_eq!(report.skipped, 3);
+        assert_eq!(report.interrupted.as_deref(), Some("cancelled"));
+        assert!(!report.is_complete());
+        assert!(
+            !out_path.exists(),
+            "an interrupted run must not publish a SweepLog"
+        );
+
+        // Resume with a fresh control: replays the committed prefix,
+        // runs the remainder, and the published log is byte-identical.
+        token.store(false, Ordering::SeqCst);
+        let resumed = run_supervised(
+            &plan,
+            &dir.join("cancelled.journal"),
+            &out_path,
+            true,
+            &opts,
+            |index, cell, attempt| {
+                assert!(index > 2, "committed cells must not re-run");
+                runner(index, cell, attempt)
+            },
+        )
+        .expect("resumed run");
+        assert!(resumed.is_complete());
+        assert_eq!(resumed.replayed, 3);
+        assert_eq!(resumed.executed, 3);
+        assert_eq!(
+            std::fs::read(&out_path).unwrap(),
+            std::fs::read(dir.join("full.json")).unwrap()
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn deadline_in_the_past_skips_every_cell() {
+        let dir = tmpdir("deadline");
+        let plan = tiny_plan();
+        let control = SweepControl::new().with_deadline(Instant::now() - Duration::from_millis(1));
+        let report = run_supervised_controlled(
+            &plan,
+            &dir.join("sweep.journal"),
+            &dir.join("out.json"),
+            false,
+            &fast_opts(),
+            &control,
+            |_, _, _| panic!("no cell may start past the deadline"),
+        )
+        .expect("run");
+        assert_eq!(report.executed, 0);
+        assert_eq!(report.skipped, plan.cells.len());
+        assert_eq!(report.interrupted.as_deref(), Some("deadline exceeded"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn cell_fingerprint_ignores_labels_but_not_work_identity() {
+        let plan = tiny_plan();
+        let fp = cell_fingerprint(&plan.cells[0]);
+        // Same app+config under different labels: same fingerprint —
+        // that is the cross-job cache hit.
+        let mut relabeled = plan.cells[0].clone();
+        relabeled.sweep = "other/LU".into();
+        relabeled.point = "different".into();
+        assert_eq!(fp, cell_fingerprint(&relabeled));
+        // Different config: different fingerprint.
+        let mut reconfigured = plan.cells[0].clone();
+        reconfigured.config = reconfigured.config.clone().with_rc();
+        assert_ne!(fp, cell_fingerprint(&reconfigured));
+        // Different app: different fingerprint.
+        let mut other_app = plan.cells[0].clone();
+        other_app.app = App::Mp3d;
+        assert_ne!(fp, cell_fingerprint(&other_app));
     }
 }

@@ -62,6 +62,25 @@ impl std::fmt::Display for Consistency {
     }
 }
 
+impl std::str::FromStr for Consistency {
+    type Err = String;
+
+    /// Parses the lowercase or uppercase model name (`sc`, `pc`, `wc`,
+    /// `rc`) — the inverse of [`Display`](std::fmt::Display), shared by
+    /// the CLI flag parser and the job-submission API.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "sc" => Ok(Consistency::Sc),
+            "pc" => Ok(Consistency::Pc),
+            "wc" => Ok(Consistency::Wc),
+            "rc" => Ok(Consistency::Rc),
+            other => Err(format!(
+                "unknown consistency model {other:?} (expected sc, pc, wc or rc)"
+            )),
+        }
+    }
+}
+
 /// Configuration of each processor's environment.
 #[derive(Debug, Clone)]
 pub struct ProcConfig {

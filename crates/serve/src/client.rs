@@ -1,0 +1,111 @@
+//! A tiny blocking HTTP client for the service API.
+//!
+//! Used by the `dashlat submit`/`status` CLI subcommands, the bench
+//! traffic driver, and the integration tests — the same few lines of
+//! socket code everywhere, matching the server's one-request-per-
+//! connection model.
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::path::Path;
+use std::time::Duration;
+
+/// One parsed HTTP response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpResponse {
+    /// Status code (200, 429, ...).
+    pub status: u16,
+    /// Headers in arrival order, names lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// Response body.
+    pub body: String,
+}
+
+impl HttpResponse {
+    /// First header with the given (case-insensitive) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+fn bad(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.to_owned())
+}
+
+/// Sends one request to `addr` and reads the full response. `body`
+/// (when given) is sent as `application/json`. Connect/read/write all
+/// carry a 30-second timeout, so a wedged daemon surfaces as an error.
+///
+/// # Errors
+///
+/// Connection, timeout, and malformed-response errors.
+pub fn request(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> io::Result<HttpResponse> {
+    let timeout = Duration::from_secs(30);
+    let sock_addr: std::net::SocketAddr = addr
+        .parse()
+        .map_err(|e| bad(&format!("bad server address {addr:?}: {e}")))?;
+    let mut stream = TcpStream::connect_timeout(&sock_addr, timeout)?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
+
+    let body = body.unwrap_or("");
+    let extra = if body.is_empty() {
+        String::new()
+    } else {
+        format!(
+            "Content-Type: application/json\r\nContent-Length: {}\r\n",
+            body.len()
+        )
+    };
+    stream.write_all(
+        format!(
+            "{method} {path} HTTP/1.1\r\nHost: {addr}\r\n{extra}Connection: close\r\n\r\n{body}"
+        )
+        .as_bytes(),
+    )?;
+
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw)?;
+    let (head, body) = raw
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| bad("response has no header/body separator"))?;
+    let mut lines = head.lines();
+    let status_line = lines.next().ok_or_else(|| bad("empty response"))?;
+    let status = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| bad("malformed status line"))?;
+    let headers = lines
+        .filter_map(|l| l.split_once(':'))
+        .map(|(n, v)| (n.trim().to_ascii_lowercase(), v.trim().to_owned()))
+        .collect();
+    Ok(HttpResponse {
+        status,
+        headers,
+        body: body.to_owned(),
+    })
+}
+
+/// Reads the daemon's bound address from the `addr` file it writes into
+/// its data directory — how clients find a daemon started with an
+/// ephemeral port (`--addr 127.0.0.1:0`).
+///
+/// # Errors
+///
+/// `NotFound` when no daemon has written the file yet; other I/O errors
+/// as-is.
+pub fn read_addr_file(data_dir: &Path) -> io::Result<String> {
+    Ok(std::fs::read_to_string(data_dir.join("addr"))?
+        .trim()
+        .to_owned())
+}

@@ -1,0 +1,227 @@
+//! Minimal HTTP/1.1 request/response plumbing over [`std::net`].
+//!
+//! Hand-rolled on purpose: the service speaks a handful of small JSON
+//! requests on a trusted network, and an async stack would dominate the
+//! dependency tree (and the cargo-deny surface) for no robustness gain.
+//! Every connection is `Connection: close` — one request, one response —
+//! which keeps parsing trivial and makes load shedding visible per
+//! request. Inputs are capped ([`MAX_HEADER_BYTES`], [`MAX_BODY_BYTES`])
+//! so a misbehaving client cannot balloon the daemon's memory.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// Cap on the request line plus all headers.
+pub const MAX_HEADER_BYTES: usize = 16 * 1024;
+
+/// Cap on a request body (job specs are well under a kilobyte).
+pub const MAX_BODY_BYTES: usize = 1024 * 1024;
+
+/// One parsed HTTP request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Upper-case method (`GET`, `POST`, ...).
+    pub method: String,
+    /// Request path, e.g. `/jobs/3/log` (query strings are not split off;
+    /// the service's endpoints take none).
+    pub path: String,
+    /// Headers in arrival order, names lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// Decoded body (empty when there was none).
+    pub body: String,
+}
+
+impl Request {
+    /// First header with the given (case-insensitive) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+fn bad(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.to_owned())
+}
+
+/// Reads one request from `stream`. Honors any read timeout already set
+/// on the stream; a slow or malformed client surfaces as an error, never
+/// a hang or unbounded buffer.
+///
+/// # Errors
+///
+/// I/O errors from the socket, or `InvalidData` for malformed requests,
+/// oversized headers/bodies, and non-UTF-8 payloads.
+pub fn read_request(stream: &mut TcpStream) -> io::Result<Request> {
+    let mut reader = BufReader::new(stream);
+    let mut head_bytes = 0usize;
+    let mut read_line = |reader: &mut BufReader<&mut TcpStream>| -> io::Result<String> {
+        let mut line = String::new();
+        let n = reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(bad("connection closed mid-request"));
+        }
+        head_bytes += n;
+        if head_bytes > MAX_HEADER_BYTES {
+            return Err(bad("request head too large"));
+        }
+        Ok(line.trim_end_matches(['\r', '\n']).to_owned())
+    };
+
+    let request_line = read_line(&mut reader)?;
+    let mut parts = request_line.split_whitespace();
+    let (Some(method), Some(path), Some(version)) = (parts.next(), parts.next(), parts.next())
+    else {
+        return Err(bad("malformed request line"));
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(bad("unsupported HTTP version"));
+    }
+
+    let mut headers = Vec::new();
+    loop {
+        let line = read_line(&mut reader)?;
+        if line.is_empty() {
+            break;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(bad("malformed header line"));
+        };
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_owned()));
+    }
+
+    let content_length = headers
+        .iter()
+        .find(|(n, _)| n == "content-length")
+        .map(|(_, v)| v.parse::<usize>())
+        .transpose()
+        .map_err(|_| bad("malformed content-length"))?
+        .unwrap_or(0);
+    if content_length > MAX_BODY_BYTES {
+        return Err(bad("request body too large"));
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    let body = String::from_utf8(body).map_err(|_| bad("request body is not UTF-8"))?;
+
+    Ok(Request {
+        method: method.to_owned(),
+        path: path.to_owned(),
+        headers,
+        body,
+    })
+}
+
+/// Writes one `Connection: close` response with the given status,
+/// content type, extra headers, and body.
+///
+/// # Errors
+///
+/// Propagates socket write errors.
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    reason: &str,
+    extra_headers: &[(&str, String)],
+    content_type: &str,
+    body: &str,
+) -> io::Result<()> {
+    let mut out = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n",
+        body.len()
+    );
+    for (name, value) in extra_headers {
+        out.push_str(&format!("{name}: {value}\r\n"));
+    }
+    out.push_str("\r\n");
+    out.push_str(body);
+    stream.write_all(out.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    fn round_trip(raw: &str) -> io::Result<Request> {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let raw = raw.to_owned();
+        let writer = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).expect("connect");
+            s.write_all(raw.as_bytes()).expect("write");
+        });
+        let (mut stream, _) = listener.accept().expect("accept");
+        let req = read_request(&mut stream);
+        writer.join().expect("writer");
+        req
+    }
+
+    #[test]
+    fn parses_a_post_with_body_and_headers() {
+        let req = round_trip(
+            "POST /jobs HTTP/1.1\r\nHost: x\r\nContent-Length: 15\r\n\r\n{\"kind\":\"noop\"}",
+        )
+        .expect("parse");
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/jobs");
+        assert_eq!(req.header("host"), Some("x"));
+        assert_eq!(req.header("Content-Length"), Some("15"));
+        assert_eq!(req.body, "{\"kind\":\"noop\"}");
+    }
+
+    #[test]
+    fn parses_a_bodyless_get() {
+        let req = round_trip("GET /healthz HTTP/1.1\r\n\r\n").expect("parse");
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/healthz");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn rejects_malformed_and_oversized_requests() {
+        assert!(round_trip("nonsense\r\n\r\n").is_err());
+        assert!(round_trip("GET /x SPDY/9\r\n\r\n").is_err());
+        let huge = format!(
+            "GET / HTTP/1.1\r\nX: {}\r\n\r\n",
+            "a".repeat(MAX_HEADER_BYTES)
+        );
+        assert!(round_trip(&huge).is_err());
+        assert!(round_trip("POST / HTTP/1.1\r\nContent-Length: 999999999\r\n\r\n").is_err());
+    }
+
+    #[test]
+    fn response_writer_emits_well_formed_http() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let reader = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).expect("connect");
+            let mut text = String::new();
+            s.read_to_string(&mut text).expect("read");
+            text
+        });
+        let (mut stream, _) = listener.accept().expect("accept");
+        write_response(
+            &mut stream,
+            429,
+            "Too Many Requests",
+            &[("Retry-After", "2".to_owned())],
+            "application/json",
+            "{\"error\":\"queue full\"}",
+        )
+        .expect("write");
+        drop(stream);
+        let text = reader.join().expect("reader");
+        assert!(
+            text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"),
+            "{text}"
+        );
+        assert!(text.contains("Retry-After: 2\r\n"), "{text}");
+        assert!(text.contains("Connection: close\r\n"), "{text}");
+        assert!(text.ends_with("{\"error\":\"queue full\"}"), "{text}");
+    }
+}

@@ -1,0 +1,79 @@
+//! SIGTERM/SIGINT handling without a signal-handling dependency.
+//!
+//! The daemon's whole shutdown protocol is "set one flag": the accept
+//! loop polls [`shutdown_requested`] and, once it flips, stops admitting
+//! work, checkpoints in-flight sweeps at the next cell boundary, and
+//! exits 0. A signal handler that only stores to an atomic is
+//! async-signal-safe, so the raw `signal(2)` registration below (via the
+//! libc that `std` already links) is all the machinery needed — no
+//! `libc` crate, no signal-hook, no runtime.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Process-wide shutdown flag, set by SIGTERM/SIGINT (and by
+/// `POST /shutdown`, which routes through [`request_shutdown`]).
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+/// True once a shutdown has been requested by signal or API.
+pub fn shutdown_requested() -> bool {
+    SHUTDOWN.load(Ordering::SeqCst)
+}
+
+/// Requests a graceful shutdown, exactly as a SIGTERM would.
+pub fn request_shutdown() {
+    SHUTDOWN.store(true, Ordering::SeqCst);
+}
+
+/// Resets the flag — for tests that start several servers in one
+/// process.
+pub fn reset_for_tests() {
+    SHUTDOWN.store(false, Ordering::SeqCst);
+}
+
+/// The shape of a `signal(2)` handler.
+#[cfg(unix)]
+type Handler = extern "C" fn(i32);
+
+#[cfg(unix)]
+extern "C" {
+    /// The classic `signal(2)` registration; `std` links libc, so no
+    /// crate dependency is needed for this one symbol. The return value
+    /// (the previous handler) is declared as `usize` — one register on
+    /// every Unix ABI — and ignored.
+    fn signal(signum: i32, handler: Handler) -> usize;
+}
+
+/// Installs the SIGTERM/SIGINT handlers that flip the shutdown flag.
+/// Call once at daemon startup; on non-Unix targets this is a no-op and
+/// only `POST /shutdown` triggers graceful shutdown.
+pub fn install() {
+    #[cfg(unix)]
+    {
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+        extern "C" fn on_signal(_signum: i32) {
+            SHUTDOWN.store(true, Ordering::SeqCst);
+        }
+        // SAFETY: registering an async-signal-safe handler (a single
+        // atomic store) for signals whose default would kill us anyway.
+        unsafe {
+            signal(SIGINT, on_signal);
+            signal(SIGTERM, on_signal);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flag_round_trip() {
+        reset_for_tests();
+        assert!(!shutdown_requested());
+        request_shutdown();
+        assert!(shutdown_requested());
+        reset_for_tests();
+        assert!(!shutdown_requested());
+    }
+}

@@ -26,6 +26,10 @@
 //! * `DASHLAT_CRASH_AFTER_JOURNAL_APPEND=n` — the process aborts once
 //!   `n` journal lines have been appended (and fsync'd) process-wide:
 //!   the journal must contain exactly those `n` committed lines.
+//! * `DASHLAT_CRASH_AFTER_RENAME=1` — [`atomic_write`] aborts right
+//!   after the rename *and* the directory fsync: the destination must
+//!   hold the complete new contents under its final name — the rename
+//!   itself is durable, not just the file data.
 //!
 //! Both hooks call [`std::process::abort`], the closest in-process
 //! stand-in for SIGKILL (no unwinding, no destructors, no atexit).
@@ -42,6 +46,26 @@ pub const CRASH_AFTER_TEMP_WRITE_ENV: &str = "DASHLAT_CRASH_AFTER_TEMP_WRITE";
 /// Environment variable enabling the abort-after-n-appends crash point
 /// in [`Journal::append`].
 pub const CRASH_AFTER_JOURNAL_APPEND_ENV: &str = "DASHLAT_CRASH_AFTER_JOURNAL_APPEND";
+
+/// Environment variable enabling the abort-after-rename crash point in
+/// [`atomic_write`]: the process dies after rename + directory fsync, so
+/// the published file must be findable under its final name on restart.
+pub const CRASH_AFTER_RENAME_ENV: &str = "DASHLAT_CRASH_AFTER_RENAME";
+
+/// Fsyncs the directory `dir` (or the current directory when `None`) so
+/// a rename or file creation inside it survives power loss. Directory
+/// fsync is a Unix-ism: opening a directory read-only for fsync works on
+/// Linux; on platforms where directories cannot be opened the open error
+/// is tolerated (there is nothing portable left to do), but a *failed
+/// fsync* of an opened directory is a real durability error and
+/// propagates.
+fn sync_dir(dir: Option<&Path>) -> io::Result<()> {
+    let dir = dir.unwrap_or_else(|| Path::new("."));
+    if let Ok(dirf) = File::open(dir) {
+        dirf.sync_all()?;
+    }
+    Ok(())
+}
 
 /// Writes `contents` to `path` atomically: the data goes to a temp file
 /// in the same directory, is fsync'd, and is renamed over `path`; the
@@ -76,12 +100,15 @@ pub fn atomic_write(path: &Path, contents: &str) -> io::Result<()> {
             std::process::abort();
         }
         std::fs::rename(&tmp, path)?;
-        if let Some(d) = dir {
-            // Durability of the rename needs the directory entry synced;
-            // opening a directory read-only for fsync works on Linux.
-            if let Ok(dirf) = File::open(d) {
-                dirf.sync_all()?;
-            }
+        // Durability of the rename needs the directory entry synced —
+        // without this the file data is safe but the *name* can vanish
+        // in a power loss, which is indistinguishable from never having
+        // published at all.
+        sync_dir(dir)?;
+        if std::env::var(CRASH_AFTER_RENAME_ENV).as_deref() == Ok("1") {
+            // Deterministic crash point: the rename is durable; a
+            // restart must find the complete new contents at `path`.
+            std::process::abort();
         }
         Ok(())
     })();
@@ -113,6 +140,10 @@ impl Journal {
     /// is present.
     pub fn create(path: &Path) -> io::Result<Journal> {
         let file = OpenOptions::new().write(true).create_new(true).open(path)?;
+        // The new directory entry must be durable too: appends fsync the
+        // file data, but a power loss could still forget the file ever
+        // existed unless its parent directory is synced once here.
+        sync_dir(path.parent().filter(|d| !d.as_os_str().is_empty()))?;
         Ok(Journal {
             path: path.to_path_buf(),
             file,
