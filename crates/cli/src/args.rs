@@ -125,8 +125,20 @@ pub enum Command {
         models: Vec<Consistency>,
         /// Corpus tests to run (empty = whole corpus).
         tests: Vec<String>,
+        /// Name glob (`*`/`?`) selecting corpus tests when `tests` is
+        /// empty.
+        filter: Option<String>,
         /// Per-cell run budget (0 = the crate default).
         max_runs: u64,
+        /// List the corpus (names + descriptions) and exit.
+        list: bool,
+        /// Collect and print per-cell exploration statistics (DPOR vs
+        /// the sleep-set baseline).
+        stats: bool,
+        /// Fail the suite on any truncation.
+        strict: bool,
+        /// Also run the deep 4-processor/4-line protocol closure.
+        deep_closure: bool,
     },
     /// Run the long-lived job service: HTTP API, bounded worker pool,
     /// admission control, result cache, crash recovery.
@@ -202,7 +214,8 @@ USAGE:
   dashlat chaos [--app <app>] [machine flags] [--trials <n>] [--seed <n>]
                 [--no-determinism] [--bundle-dir <dir>]
   dashlat verify-model [--all] [--models <sc,pc,wc,rc>] [--tests <names>]
-                       [--max-runs <n>]
+                       [--filter <glob>] [--max-runs <n>] [--list] [--stats]
+                       [--strict] [--deep-closure]
   dashlat serve [--addr <ip:port>] [--data-dir <dir>] [--workers <n>]
                 [--queue-depth <n>] [--job-timeout-secs <n>]
   dashlat submit [--addr <ip:port> | --data-dir <dir>] [--wait]
@@ -270,14 +283,20 @@ SWEEP / CHAOS / REPRO:
   minimal, and writes it as a repro bundle (exit 8).
 
 VERIFY-MODEL:
-  `dashlat verify-model` runs the litmus corpus through a sleep-set
-  stateless model checker and compares the machine's outcome sets
-  against the axiomatic consistency models, then exhaustively checks
-  the directory protocol's SWMR and data-value invariants on small
-  configurations. Defaults: SC and RC, whole corpus. --all checks all
-  four models; --models / --tests narrow the sweep (comma lists);
-  --max-runs caps runs per (test, model) cell — hitting the cap marks
-  the cell truncated, which fails it (truncation is never silent).
+  `dashlat verify-model` runs the litmus corpus through a stateless
+  model checker with dynamic partial-order reduction and compares the
+  machine's outcome sets against the axiomatic consistency models, then
+  exhaustively checks the directory protocol's SWMR and data-value
+  invariants on small configurations (including the lazy write-back
+  variant). Defaults: SC and RC, whole corpus. --all checks all four
+  models; --models / --tests narrow the sweep (comma lists); --filter
+  selects corpus tests by name glob (* and ?); --list prints the corpus
+  and exits; --max-runs caps runs per (test, model) cell — hitting the
+  cap marks the cell truncated, which fails it (truncation is never
+  silent). --stats re-explores each cell with the sleep-set baseline
+  and prints a reduction report; --strict fails the suite on any
+  truncation; --deep-closure adds the 4-processor/4-line protocol
+  closure (release builds recommended).
 
 SERVE / SUBMIT / STATUS:
   `dashlat serve` runs a long-lived daemon over a plain-thread HTTP/1.1
@@ -698,11 +717,32 @@ pub fn parse(mut args: Vec<String>) -> Result<Command, ArgError> {
                 Some(_) => return Err(ArgError("--max-runs needs a value".into())),
                 None => 0,
             };
+            let filter = take_opt_flag_value(&mut args, "--filter")?;
+            if filter.is_some() && !tests.is_empty() {
+                return Err(ArgError(
+                    "--filter and --tests are mutually exclusive".into(),
+                ));
+            }
+            let mut take_bool = |flag: &str| {
+                args.iter().position(|a| a == flag).is_some_and(|i| {
+                    args.remove(i);
+                    true
+                })
+            };
+            let list = take_bool("--list");
+            let stats = take_bool("--stats");
+            let strict = take_bool("--strict");
+            let deep_closure = take_bool("--deep-closure");
             ensure_consumed(&args)?;
             Ok(Command::VerifyModel {
                 models,
                 tests,
+                filter,
                 max_runs,
+                list,
+                stats,
+                strict,
+                deep_closure,
             })
         }
         "serve" => {
@@ -1102,7 +1142,12 @@ mod tests {
             Command::VerifyModel {
                 models: vec![Consistency::Sc, Consistency::Rc],
                 tests: vec![],
+                filter: None,
                 max_runs: 0,
+                list: false,
+                stats: false,
+                strict: false,
+                deep_closure: false,
             }
         );
         let cmd = parse(v(&["verify-model", "--all"])).expect("parses");
@@ -1127,7 +1172,12 @@ mod tests {
             Command::VerifyModel {
                 models: vec![Consistency::Sc, Consistency::Wc],
                 tests: vec!["sb".into(), "mp".into()],
+                filter: None,
                 max_runs: 500,
+                list: false,
+                stats: false,
+                strict: false,
+                deep_closure: false,
             }
         );
         assert!(parse(v(&["verify-model", "--all", "--models", "sc"])).is_err());
@@ -1135,6 +1185,42 @@ mod tests {
         assert!(parse(v(&["verify-model", "--models", "tso"])).is_err());
         assert!(parse(v(&["verify-model", "--max-runs", "many"])).is_err());
         assert!(parse(v(&["verify-model", "--bogus"])).is_err());
+    }
+
+    #[test]
+    fn verify_model_dpor_flags() {
+        let cmd = parse(v(&[
+            "verify-model",
+            "--filter",
+            "rmw_*",
+            "--stats",
+            "--strict",
+            "--deep-closure",
+        ]))
+        .expect("parses");
+        match cmd {
+            Command::VerifyModel {
+                filter,
+                stats,
+                strict,
+                deep_closure,
+                list,
+                ..
+            } => {
+                assert_eq!(filter.as_deref(), Some("rmw_*"));
+                assert!(stats && strict && deep_closure && !list);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let cmd = parse(v(&["verify-model", "--list"])).expect("parses");
+        match cmd {
+            Command::VerifyModel { list, .. } => assert!(list),
+            other => panic!("unexpected {other:?}"),
+        }
+        // --filter and --tests conflict; unknown globs are fine (they
+        // simply select nothing — the suite reports zero cells).
+        assert!(parse(v(&["verify-model", "--tests", "sb", "--filter", "s*"])).is_err());
+        assert!(parse(v(&["verify-model", "--filter"])).is_err());
     }
 
     #[test]

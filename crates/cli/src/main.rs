@@ -362,9 +362,9 @@ fn execute(cmd: Command) -> Result<(), Box<dyn std::error::Error>> {
                         .iter()
                         .flatten()
                         .filter_map(|op| match op {
-                            dashlat_cpu::ops::Op::Read(a) | dashlat_cpu::ops::Op::Write(a) => {
-                                Some(a.0)
-                            }
+                            dashlat_cpu::ops::Op::Read(a)
+                            | dashlat_cpu::ops::Op::Write(a)
+                            | dashlat_cpu::ops::Op::Rmw(a) => Some(a.0),
                             dashlat_cpu::ops::Op::Prefetch { addr, .. } => Some(addr.0),
                             _ => None,
                         })
@@ -591,9 +591,26 @@ fn execute(cmd: Command) -> Result<(), Box<dyn std::error::Error>> {
         Command::VerifyModel {
             models,
             tests,
+            filter,
             max_runs,
+            list,
+            stats,
+            strict,
+            deep_closure,
         } => {
-            let suite = dashlat_verify::verify_suite(&models, &tests, max_runs);
+            if list {
+                print!("{}", dashlat_verify::list_corpus());
+                return Ok(());
+            }
+            let suite = dashlat_verify::verify_suite_opts(&dashlat_verify::SuiteOptions {
+                models,
+                tests,
+                filter,
+                max_runs,
+                stats,
+                strict,
+                deep_closure,
+            });
             print!("{}", suite.render());
             if suite.passed() {
                 Ok(())

@@ -250,6 +250,9 @@ pub fn events_from_trace(trace: &Trace) -> EventLog {
                 Op::Compute(_) => {}
                 Op::Read(a) => emit(&mut log, &mut seq, EventKind::Read(a)),
                 Op::Write(a) => emit(&mut log, &mut seq, EventKind::Write(a)),
+                // An RMW reads and writes the location atomically; for
+                // happens-before purposes the write side dominates.
+                Op::Rmw(a) => emit(&mut log, &mut seq, EventKind::Write(a)),
                 Op::Prefetch { addr, exclusive } => {
                     emit(&mut log, &mut seq, EventKind::Prefetch { addr, exclusive });
                 }

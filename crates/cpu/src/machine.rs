@@ -732,9 +732,9 @@ impl<W: Workload> Machine<W> {
                 };
                 let footprint = match op {
                     Some(Op::Compute(_) | Op::Done) => Footprint::None,
-                    Some(Op::Read(a) | Op::Write(a) | Op::Prefetch { addr: a, .. }) => {
-                        Footprint::Line(a.line().index())
-                    }
+                    Some(
+                        Op::Read(a) | Op::Write(a) | Op::Rmw(a) | Op::Prefetch { addr: a, .. },
+                    ) => Footprint::Line(a.line().index()),
                     Some(Op::Acquire(_) | Op::Release(_) | Op::Barrier(_)) => Footprint::Sync,
                     None => Footprint::Unknown,
                 };
@@ -1045,6 +1045,7 @@ impl<W: Workload> Machine<W> {
             Op::Compute(n) => self.do_compute(t, pid, n),
             Op::Read(a) => self.do_read(t, pid, a),
             Op::Write(a) => self.do_write(t, pid, a),
+            Op::Rmw(a) => self.do_rmw(t, pid, a),
             Op::Prefetch { addr, exclusive } => self.do_prefetch(t, pid, addr, exclusive),
             Op::Acquire(l) => self.do_acquire(t, pid, l),
             Op::Release(l) => self.do_release(t, pid, l),
@@ -1160,6 +1161,73 @@ impl<W: Workload> Machine<W> {
             self.rc_write(t, pid, a, WriteKind::Data, None);
         } else {
             self.sc_write(t, pid, a, None);
+        }
+    }
+
+    /// Atomic read-modify-write: a full fence (drain the write buffer,
+    /// wait for acknowledgements) followed by a blocking exclusive access,
+    /// under *every* consistency model — atomicity needs the read and
+    /// write halves to be one indivisible coherence action, so the RMW
+    /// cannot retire through the write buffer the way an RC data write
+    /// does. The fence reuses the acquire path's machinery: a non-empty
+    /// buffer parks the op and joins `fence_waiters` (woken by
+    /// `wb_service` when the buffer empties); a pending ack horizon
+    /// re-issues the op at the horizon.
+    fn do_rmw(&mut self, t: Cycle, pid: usize, a: Addr) {
+        let p = self.proc_of(pid);
+        if !self.procs[p].wbuf.is_empty() {
+            self.ctxs[pid].pending_op = Some(Op::Rmw(a));
+            self.procs[p].fence_waiters.push_back(pid);
+            self.block(
+                t,
+                pid,
+                Reason::Write,
+                None,
+                BlockedOn::on(BlockedOp::Write, a),
+            );
+            return;
+        }
+        let horizon = self.procs[p].acks_horizon;
+        if horizon > t {
+            self.ctxs[pid].pending_op = Some(Op::Rmw(a));
+            self.block(
+                t,
+                pid,
+                Reason::Write,
+                Some(horizon),
+                BlockedOn::on(BlockedOp::Write, a),
+            );
+            return;
+        }
+        // Wait out any in-flight fetch of the line (mirrors `sc_write`).
+        if let Some(done) = self.in_flight(p, a.line(), t) {
+            self.ctxs[pid].pending_op = Some(Op::Rmw(a));
+            self.block(
+                t,
+                pid,
+                Reason::Write,
+                Some(done),
+                BlockedOn::on(BlockedOp::Write, a),
+            );
+            return;
+        }
+        // Fence satisfied: the RMW commits here as one exclusive access.
+        self.shared_writes += 1;
+        self.emit(t, pid, EventKind::Write(a));
+        let node = self.node_of(pid);
+        let r = self.access_mem(t, node, a, AccessKind::Write);
+        let stall = r.done_at.saturating_sub(t);
+        if stall <= self.cfg.no_switch_threshold {
+            self.charge_short_stall(p, stall, Reason::Write);
+            self.queue.schedule(r.done_at, Event::Step(pid));
+        } else {
+            self.block(
+                t,
+                pid,
+                Reason::Write,
+                Some(r.done_at),
+                BlockedOn::on(BlockedOp::Write, a),
+            );
         }
     }
 

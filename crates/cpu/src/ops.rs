@@ -47,6 +47,13 @@ pub enum Op {
         /// Acquire ownership too (read-exclusive).
         exclusive: bool,
     },
+    /// Atomic read-modify-write (test&set, fetch&op) to shared memory.
+    /// Orders like a fence followed by an SC write under every consistency
+    /// model: the processor first drains its write buffer (waiting for
+    /// invalidation acknowledgements), then stalls while it acquires
+    /// exclusive ownership of the line — the read and write halves are a
+    /// single indivisible coherence action at the directory.
+    Rmw(Addr),
     /// Acquire a lock (an acquire access in the RC classification).
     Acquire(LockId),
     /// Release a lock (a release access: under RC it retires through the

@@ -88,6 +88,7 @@ impl Trace {
                     Op::Compute(n) => writeln!(out, "{pid} C {n}"),
                     Op::Read(a) => writeln!(out, "{pid} R {:#x}", a.0),
                     Op::Write(a) => writeln!(out, "{pid} W {:#x}", a.0),
+                    Op::Rmw(a) => writeln!(out, "{pid} M {:#x}", a.0),
                     Op::Prefetch { addr, exclusive } => {
                         writeln!(out, "{pid} P {:#x} {}", addr.0, u8::from(*exclusive))
                     }
@@ -202,6 +203,12 @@ impl Trace {
                         .next()
                         .and_then(parse_hex)
                         .ok_or_else(|| err(lineno, "bad write address"))?,
+                )),
+                "M" => Op::Rmw(Addr(
+                    parts
+                        .next()
+                        .and_then(parse_hex)
+                        .ok_or_else(|| err(lineno, "bad rmw address"))?,
                 )),
                 "P" => {
                     let addr = parts

@@ -162,6 +162,26 @@ impl Directory {
         }
     }
 
+    /// Handles a read request from `node` under the *lazy sharing
+    /// write-back* protocol variant: a remotely dirty line stays dirty at
+    /// its owner (no sharing write-back, no downgrade) — the owner just
+    /// forwards the data and the reader caches nothing. All other states
+    /// behave exactly like [`Directory::read`].
+    pub fn read_lazy(&mut self, line: LineAddr, node: NodeId) -> DirOutcome {
+        let prev = self.state(line);
+        if let DirState::Dirty(owner) = prev {
+            if owner != node {
+                // Entry unchanged: the owner keeps exclusive ownership.
+                return DirOutcome {
+                    prev,
+                    invalidate: NodeSet::EMPTY,
+                    dirty_owner: Some(owner),
+                };
+            }
+        }
+        self.read(line, node)
+    }
+
     /// Applies the pointer limit: a sharer set that no longer fits the
     /// entry degrades to the overflow state.
     fn clamp_shared(&self, set: NodeSet) -> DirState {

@@ -144,6 +144,26 @@ pub struct MemConfig {
     pub directory: DirectoryKind,
     /// Fault-injection plan (None, or an inactive plan, runs clean).
     pub faults: Option<FaultPlan>,
+    /// Lazy sharing write-back protocol variant: a read of a remotely
+    /// dirty line is serviced by the owner's cache *without* the DASH
+    /// sharing write-back — the owner keeps exclusive ownership, memory
+    /// stays stale, and the reader's caches are not filled (every later
+    /// read re-fetches from the owner). Value-equivalent to the eager
+    /// protocol (the reader still receives the latest data); only the
+    /// timing and the coherence-state trajectory differ. Off in every
+    /// baseline configuration; the model verifier checks both variants.
+    pub lazy_sharing_writeback: bool,
+    /// **Deliberately seeded coherence mutation** (compiled only with the
+    /// `verify-mutations` feature; defaults to `false` so a
+    /// feature-unified workspace build behaves identically). When set,
+    /// the home drops the invalidation message to the *last* sharer on an
+    /// exclusive request, leaving that sharer with a stale copy while the
+    /// directory believes the line is dirty at the writer — a
+    /// single-writer/multiple-reader violation. Exists purely so the
+    /// verifier's regression tests can prove the protocol closure and the
+    /// litmus harness catch a real dropped-invalidation bug.
+    #[cfg(feature = "verify-mutations")]
+    pub drop_last_invalidation: bool,
 }
 
 impl MemConfig {
@@ -161,6 +181,9 @@ impl MemConfig {
             network: NetworkModel::Ports,
             directory: DirectoryKind::FullMap,
             faults: None,
+            lazy_sharing_writeback: false,
+            #[cfg(feature = "verify-mutations")]
+            drop_last_invalidation: false,
         }
     }
 
@@ -485,7 +508,16 @@ impl MemorySystem {
         fill_primary: bool,
     ) -> AccessResult {
         let home = self.page_map.home_of(line.base());
-        let outcome = self.directory.read(line, node);
+        let lazy = self.cfg.lazy_sharing_writeback;
+        let outcome = if lazy {
+            self.directory.read_lazy(line, node)
+        } else {
+            self.directory.read(line, node)
+        };
+        // Under the lazy variant a remotely dirty line is forwarded by
+        // its owner without a sharing write-back: the owner keeps the
+        // dirty copy, memory stays stale, and the reader caches nothing.
+        let lazy_forward = lazy && outcome.dirty_owner.is_some();
         let lat = self.cfg.latencies;
 
         let mut t = now;
@@ -511,7 +543,9 @@ impl MemorySystem {
             delay += self.contention.bus(t, owner);
             t = now + delay;
             delay += self.network_hop(t, owner, node);
-            self.secondary[owner.0].downgrade(line);
+            if !lazy_forward {
+                self.secondary[owner.0].downgrade(line);
+            }
             if home == node {
                 (ServiceClass::RemoteDirty, lat.read_fill_remote_home_local)
             } else {
@@ -529,9 +563,11 @@ impl MemorySystem {
             (ServiceClass::HomeMem, lat.read_fill_home)
         };
 
-        self.install_secondary(node, line, LineState::Shared);
-        if fill_primary {
-            self.primary[node.0].fill(line, LineState::Shared);
+        if !lazy_forward {
+            self.install_secondary(node, line, LineState::Shared);
+            if fill_primary {
+                self.primary[node.0].fill(line, LineState::Shared);
+            }
         }
         self.stats.queue_delay += delay;
         let done = now + delay + service;
@@ -621,7 +657,20 @@ impl MemorySystem {
         // the grant does not wait for acks, §2.1).
         let mut invalidations = 0u32;
         let grant = now + delay + service;
+        #[cfg(feature = "verify-mutations")]
+        let dropped = if self.cfg.drop_last_invalidation {
+            // Seeded bug: the home "loses" the invalidation message to the
+            // last sharer, leaving it with a stale copy.
+            outcome.invalidate.iter().last()
+        } else {
+            None
+        };
+        #[cfg(not(feature = "verify-mutations"))]
+        let dropped: Option<NodeId> = None;
         for sharer in outcome.invalidate.iter() {
+            if Some(sharer) == dropped {
+                continue;
+            }
             self.invalidate_at(sharer, line);
             self.contention.network(grant, home, sharer);
             invalidations += 1;

@@ -99,6 +99,18 @@ impl VectorClock {
             .unwrap_or_else(|| panic!("vector clock overflow: P{pid} exceeded u64::MAX epochs"));
     }
 
+    /// Sets process `pid`'s component to `value`, growing the clock if
+    /// `pid` is out of range. Used by checkers that stamp components with
+    /// externally assigned event indices (e.g. the DPOR happens-before
+    /// clocks, which store `index + 1` rather than a local step count).
+    #[inline]
+    pub fn set(&mut self, pid: usize, value: u64) {
+        if pid >= self.clocks.len() {
+            self.clocks.resize(pid + 1, 0);
+        }
+        self.clocks[pid] = value;
+    }
+
     /// The epoch `(pid, self[pid])` — process `pid`'s current local time.
     #[inline]
     pub fn epoch(&self, pid: usize) -> Epoch {
@@ -208,6 +220,17 @@ mod tests {
         c.inc(0);
         assert_eq!(c.to_string(), "[1,0]");
         assert_eq!(c.epoch(0).to_string(), "1@P0");
+    }
+
+    #[test]
+    fn set_overwrites_and_grows() {
+        let mut c = VectorClock::new(2);
+        c.set(1, 7);
+        assert_eq!(c.get(1), 7);
+        c.set(3, 2);
+        assert_eq!(c.len(), 4);
+        assert_eq!(c.get(3), 2);
+        assert_eq!(c.get(2), 0);
     }
 
     #[test]

@@ -111,6 +111,20 @@ fn successors(test: &LitmusTest, model: Consistency, s: &State) -> Vec<State> {
                     n.pc[p] += 1;
                     out.push(n);
                 }
+                LOp::Rmw(v, val) => {
+                    // An RMW fences (the machine drains its write buffer
+                    // before acquiring ownership), then reads and writes
+                    // memory as one indivisible action: it is only
+                    // enabled on an empty buffer and never buffers its
+                    // own store.
+                    if s.buf[p].is_empty() {
+                        let mut n = s.clone();
+                        n.regs[p].push(s.mem[v]);
+                        n.mem[v] = val;
+                        n.pc[p] += 1;
+                        out.push(n);
+                    }
+                }
                 LOp::Acq(l) => {
                     let fence_ok = !model.acquire_waits() || s.buf[p].is_empty();
                     if s.locks[l].is_none() && fence_ok {
@@ -269,6 +283,48 @@ mod tests {
                     t.name,
                     ann.outcome,
                     ann.model
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rmw_is_atomic_and_fences() {
+        let atom = by_name("rmw_atom").unwrap();
+        for m in [Sc, Pc, Wc, Rc] {
+            assert_eq!(
+                allowed(&atom, m),
+                set(&[&[0, 1], &[2, 0]]),
+                "{m}: rmw atomicity"
+            );
+        }
+        // Plain sb relaxes under RC; replacing the stores with RMWs
+        // removes the relaxation entirely.
+        let sb_rmw = by_name("sb_rmw").unwrap();
+        for m in [Sc, Pc, Wc, Rc] {
+            let a = allowed(&sb_rmw, m);
+            assert!(!a.contains(&vec![0, 0, 0, 0]), "{m}: {a:?}");
+        }
+        let fence = by_name("rmw_fence").unwrap();
+        for m in [Sc, Pc, Wc, Rc] {
+            let a = allowed(&fence, m);
+            assert!(!a.contains(&vec![0, 0, 0, 0]), "{m}: {a:?}");
+        }
+    }
+
+    #[test]
+    fn lazy_variants_share_the_eager_reference() {
+        // The lazy protocol variant is value-invisible, so the lazy
+        // corpus entries use the same reference model; their allowed
+        // sets must match their eager twins exactly.
+        for (lazy, eager) in [("sb_lazy", "sb"), ("mp_lazy", "mp"), ("coww_lazy", "coww")] {
+            let l = by_name(lazy).unwrap();
+            let e = by_name(eager).unwrap();
+            for m in [Sc, Pc, Wc, Rc] {
+                assert_eq!(
+                    allowed(&l, m),
+                    allowed(&e, m),
+                    "{lazy} vs {eager} under {m}"
                 );
             }
         }

@@ -31,10 +31,10 @@ use dashlat_cpu::ops::Topology;
 use dashlat_cpu::{EventLog, ProcConfig};
 use dashlat_mem::system::{MemConfig, MemorySystem};
 use dashlat_mem::LatencyTable;
-use dashlat_sim::{Cycle, ReplayScheduler, SchedAlt};
+use dashlat_sim::{Cycle, ReplayScheduler};
 
 use crate::axiomatic;
-use crate::explore::{explore, Exploration};
+use crate::explore::{explore, Engine, Exploration};
 use crate::litmus::LitmusTest;
 use crate::outcome::{self, format_set, Outcome, OutcomeSet};
 use crate::workload::{layout, LitmusLayout, LitmusWorkload};
@@ -49,12 +49,38 @@ pub const DEFAULT_MAX_RUNS: u64 = 2_000_000;
 /// never context-switches during verification runs.
 const NEVER_SWITCH: Cycle = Cycle(1 << 40);
 
-/// The processor configuration of a verification run. `seeded_bug` arms
-/// the deliberately planted write-buffer reordering mutation — it only
-/// exists under the `verify-mutations` feature and is rejected here
-/// otherwise, so a mis-built regression test fails loudly instead of
-/// silently testing the healthy machine.
-fn proc_config(model: Consistency, seeded_bug: bool) -> ProcConfig {
+/// Which deliberately seeded bug (if any) a verification run arms. The
+/// mutations only exist under the `verify-mutations` feature and are
+/// rejected here otherwise, so a mis-built regression test fails loudly
+/// instead of silently testing the healthy machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Mutation {
+    /// The healthy machine.
+    #[default]
+    None,
+    /// `ProcConfig::relaxation_bug`: the processor's write buffer retires
+    /// a later write before an earlier one — a W→W consistency violation
+    /// the litmus harness must observe as a forbidden outcome.
+    WriteReorder,
+    /// `MemConfig::drop_last_invalidation`: the home drops the
+    /// invalidation to the last sharer on an exclusive request — a
+    /// coherence (SWMR) violation the machine's invariant checker must
+    /// trip on, surfaced by the explorer as a machine error.
+    DropInval,
+}
+
+impl std::fmt::Display for Mutation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Mutation::None => "none",
+            Mutation::WriteReorder => "write-reorder",
+            Mutation::DropInval => "drop-inval",
+        })
+    }
+}
+
+/// The processor configuration of a verification run.
+fn proc_config(model: Consistency, mutation: Mutation) -> ProcConfig {
     let mut cfg = match model {
         Consistency::Sc => ProcConfig::sc_baseline(),
         Consistency::Pc => ProcConfig::pc_baseline(),
@@ -66,22 +92,30 @@ fn proc_config(model: Consistency, seeded_bug: bool) -> ProcConfig {
     cfg.check_invariants = true;
     #[cfg(feature = "verify-mutations")]
     {
-        cfg.relaxation_bug = seeded_bug;
+        cfg.relaxation_bug = mutation == Mutation::WriteReorder;
     }
     #[cfg(not(feature = "verify-mutations"))]
     assert!(
-        !seeded_bug,
+        mutation == Mutation::None,
         "seeded-bug verification requires the `verify-mutations` feature"
     );
     cfg
 }
 
 /// The memory configuration of a verification run: uniform single-cycle
-/// latencies, no contention.
-fn mem_config(nprocs: usize) -> MemConfig {
+/// latencies, no contention, and the test's protocol variant.
+fn mem_config(nprocs: usize, lazy: bool, mutation: Mutation) -> MemConfig {
+    #[cfg(not(feature = "verify-mutations"))]
+    assert!(
+        mutation == Mutation::None,
+        "seeded-bug verification requires the `verify-mutations` feature"
+    );
     MemConfig {
         latencies: LatencyTable::uniform(Cycle(1)),
         contention: false,
+        lazy_sharing_writeback: lazy,
+        #[cfg(feature = "verify-mutations")]
+        drop_last_invalidation: mutation == Mutation::DropInval,
         ..MemConfig::dash_scaled(nprocs)
     }
 }
@@ -94,13 +128,16 @@ fn build(
     offsets: &[u64],
     prefix: Vec<usize>,
     with_log: bool,
-    seeded_bug: bool,
+    mutation: Mutation,
 ) -> Machine<LitmusWorkload> {
     let nprocs = test.nprocs();
-    let mem = MemorySystem::new(mem_config(nprocs), lay.page_map.clone());
+    let mem = MemorySystem::new(
+        mem_config(nprocs, test.lazy_writeback, mutation),
+        lay.page_map.clone(),
+    );
     let workload = LitmusWorkload::new(test, lay, offsets);
     let mut m = Machine::new(
-        proc_config(model, seeded_bug),
+        proc_config(model, mutation),
         Topology::new(nprocs, 1),
         mem,
         workload,
@@ -113,37 +150,40 @@ fn build(
     m
 }
 
-/// Runs one interleaving to completion and extracts its outcome.
+/// Runs one interleaving to completion and extracts its outcome. A
+/// machine error (invariant violation, deadlock) becomes an `Err` run —
+/// the explorer stops and surfaces it with its replay prefix, which is
+/// how the seeded coherence mutation is caught.
 fn run_once(
     test: &LitmusTest,
     lay: &LitmusLayout,
     model: Consistency,
     offsets: &[u64],
     prefix: &[usize],
-    seeded_bug: bool,
-) -> (Vec<(usize, Vec<SchedAlt>)>, Outcome) {
-    let result = build(
-        test,
-        lay,
-        model,
-        offsets,
-        prefix.to_vec(),
-        false,
-        seeded_bug,
-    )
-    .run()
-    .unwrap_or_else(|e| {
-        panic!(
-            "litmus {} under {model} with offsets {offsets:?} failed: {e}",
-            test.name
-        )
-    });
-    let decisions = result
-        .decisions
-        .expect("scheduler attached, decisions recorded");
-    let trace = result.accesses.expect("access trace attached");
-    let outcome = outcome::extract(test, &lay.var_addrs, &trace);
-    (decisions, outcome)
+    mutation: Mutation,
+) -> crate::explore::RunRecord {
+    match build(test, lay, model, offsets, prefix.to_vec(), false, mutation).run() {
+        Ok(result) => {
+            let decisions = result
+                .decisions
+                .expect("scheduler attached, decisions recorded");
+            let trace = result.accesses.expect("access trace attached");
+            let outcome = outcome::extract(test, &lay.var_addrs, &trace);
+            (decisions, Ok(outcome))
+        }
+        Err(e) => {
+            // The partial decision trace is lost with the machine; the
+            // explorer only needs the prefix it chose, which it already
+            // holds. Report the error with an empty tail.
+            (
+                prefix.iter().map(|&c| (c, Vec::new())).collect(),
+                Err(format!(
+                    "litmus {} under {model} with offsets {offsets:?}: {e}",
+                    test.name
+                )),
+            )
+        }
+    }
 }
 
 /// Re-runs one witnessed interleaving with event logging on, for
@@ -153,38 +193,30 @@ pub(crate) fn replay_with_log(
     model: Consistency,
     offsets: &[u64],
     prefix: &[usize],
-    seeded_bug: bool,
+    mutation: Mutation,
 ) -> EventLog {
     let lay = layout(test, test.nprocs());
-    let result = build(
-        test,
-        &lay,
-        model,
-        offsets,
-        prefix.to_vec(),
-        true,
-        seeded_bug,
-    )
-    .run()
-    .expect("witnessed interleaving replays");
+    let result = build(test, &lay, model, offsets, prefix.to_vec(), true, mutation)
+        .run()
+        .expect("witnessed interleaving replays");
     result.events.expect("event log attached")
 }
 
 /// Explores every interleaving of one offset cell — exposed so the
-/// corpus tests can assert that sleep-set reduction loses no outcomes
-/// relative to the unreduced search.
+/// corpus tests (and the stats report) can compare engines on identical
+/// cells and assert that reduction loses no outcomes.
 pub fn explore_cell(
     test: &LitmusTest,
     model: Consistency,
     offsets: &[u64],
     max_runs: u64,
-    sleep: bool,
+    engine: Engine,
 ) -> Exploration {
     let lay = layout(test, test.nprocs());
     explore(
-        |prefix| run_once(test, &lay, model, offsets, prefix, false),
+        |prefix| run_once(test, &lay, model, offsets, prefix, Mutation::None),
         max_runs,
-        sleep,
+        engine,
     )
 }
 
@@ -243,18 +275,25 @@ pub struct LitmusVerdict {
     /// For each machine outcome, the `(offsets, prefix)` that first
     /// produced it — the replayable witness.
     pub witnesses: BTreeMap<Outcome, (Vec<u64>, Vec<usize>)>,
-    /// True when the run had the deliberately seeded write-buffer
-    /// reordering bug armed (regression tests only; requires the
-    /// `verify-mutations` feature). Witness replays honour it so a
-    /// counterexample reproduces the buggy interleaving.
-    pub seeded_bug: bool,
+    /// The first machine error (invariant violation, deadlock) the sweep
+    /// hit, with the `(offsets, prefix)` that reproduces it. Always fails
+    /// the verdict; this is how the seeded coherence mutation shows up.
+    pub machine_error: Option<(String, Vec<u64>, Vec<usize>)>,
+    /// Runs whose canonical trace had already been explored, summed over
+    /// all cells (the reduction-waste metric of the stats report).
+    pub redundant: u64,
+    /// Which seeded mutation (if any) the runs armed (regression tests
+    /// only; requires the `verify-mutations` feature). Witness replays
+    /// honour it so a counterexample reproduces the buggy interleaving.
+    pub mutation: Mutation,
 }
 
 impl LitmusVerdict {
     /// True when the machine's outcome set exactly matches the axiomatic
-    /// model and every corpus annotation held.
+    /// model, no run erred, and every corpus annotation held.
     pub fn passed(&self) -> bool {
         !self.truncated
+            && self.machine_error.is_none()
             && self.unsound.is_empty()
             && self.missing.is_empty()
             && self.annotation_failures.is_empty()
@@ -281,28 +320,42 @@ impl LitmusVerdict {
 }
 
 /// Verifies one `(test, model)` cell: explores every interleaving in
-/// every offset cell and compares the union against the axiomatic model.
+/// every offset cell (with the default DPOR engine) and compares the
+/// union against the axiomatic model.
 pub fn verify_litmus(test: &LitmusTest, model: Consistency, max_runs: u64) -> LitmusVerdict {
-    verify_litmus_opts(test, model, max_runs, false)
+    verify_litmus_opts(test, model, max_runs, Mutation::None, Engine::Dpor)
 }
 
-/// [`verify_litmus`] with the seeded write-buffer reordering bug armed —
-/// the regression path proving the checker catches a real W→W violation
-/// with a rendered counterexample.
-#[cfg(feature = "verify-mutations")]
-pub fn verify_litmus_seeded_bug(
+/// [`verify_litmus`] under an explicit exploration engine — how the stats
+/// report measures DPOR against the sleep-set baseline on equal terms.
+pub fn verify_litmus_engine(
     test: &LitmusTest,
     model: Consistency,
     max_runs: u64,
+    engine: Engine,
 ) -> LitmusVerdict {
-    verify_litmus_opts(test, model, max_runs, true)
+    verify_litmus_opts(test, model, max_runs, Mutation::None, engine)
+}
+
+/// [`verify_litmus`] with a seeded mutation armed — the regression path
+/// proving the checker catches real consistency and coherence bugs with
+/// replayable counterexamples.
+#[cfg(feature = "verify-mutations")]
+pub fn verify_litmus_mutated(
+    test: &LitmusTest,
+    model: Consistency,
+    max_runs: u64,
+    mutation: Mutation,
+) -> LitmusVerdict {
+    verify_litmus_opts(test, model, max_runs, mutation, Engine::Dpor)
 }
 
 fn verify_litmus_opts(
     test: &LitmusTest,
     model: Consistency,
     max_runs: u64,
-    seeded_bug: bool,
+    mutation: Mutation,
+    engine: Engine,
 ) -> LitmusVerdict {
     let lay = layout(test, test.nprocs());
     let reference = axiomatic::allowed(test, model);
@@ -316,7 +369,9 @@ fn verify_litmus_opts(
     let mut machine = OutcomeSet::new();
     let mut witnesses: BTreeMap<Outcome, (Vec<u64>, Vec<usize>)> = BTreeMap::new();
     let mut runs = 0;
+    let mut redundant = 0;
     let mut truncated = false;
+    let mut machine_error = None;
     for offsets in &grid {
         let budget = max_runs.saturating_sub(runs);
         if budget == 0 {
@@ -327,19 +382,28 @@ fn verify_litmus_opts(
             outcomes,
             witnesses: cell_witnesses,
             runs: cell_runs,
+            redundant: cell_redundant,
             truncated: cell_truncated,
+            error,
         } = explore(
-            |prefix| run_once(test, &lay, model, offsets, prefix, seeded_bug),
+            |prefix| run_once(test, &lay, model, offsets, prefix, mutation),
             budget,
-            true,
+            engine,
         );
         runs += cell_runs;
+        redundant += cell_redundant;
         truncated |= cell_truncated;
         machine.extend(outcomes);
         for (o, prefix) in cell_witnesses {
             witnesses
                 .entry(o)
                 .or_insert_with(|| (offsets.clone(), prefix));
+        }
+        if let Some((message, prefix)) = error {
+            // The machine's state is wrong from here on; stop the sweep
+            // and surface the replayable witness.
+            machine_error = Some((message, offsets.clone(), prefix));
+            break;
         }
     }
 
@@ -400,7 +464,9 @@ fn verify_litmus_opts(
         waived,
         annotation_failures,
         witnesses,
-        seeded_bug,
+        machine_error,
+        redundant,
+        mutation,
     }
 }
 
@@ -452,7 +518,23 @@ mod tests {
         // The witness replays deterministically.
         let (offsets, prefix) = &v.witnesses[&vec![0, 0]];
         let lay = layout(&t, 2);
-        let (_, outcome) = run_once(&t, &lay, Consistency::Rc, offsets, prefix, false);
-        assert_eq!(outcome, vec![0, 0]);
+        let (_, outcome) = run_once(&t, &lay, Consistency::Rc, offsets, prefix, Mutation::None);
+        assert_eq!(outcome, Ok(vec![0, 0]));
+    }
+
+    #[test]
+    fn engines_agree_on_sb_under_rc() {
+        let t = by_name("sb").unwrap();
+        let dpor = verify_litmus_engine(&t, Consistency::Rc, DEFAULT_MAX_RUNS, Engine::Dpor);
+        let sleep = verify_litmus_engine(&t, Consistency::Rc, DEFAULT_MAX_RUNS, Engine::Sleep);
+        assert!(dpor.passed(), "{dpor:?}");
+        assert!(sleep.passed(), "{sleep:?}");
+        assert_eq!(dpor.machine, sleep.machine);
+        assert!(
+            dpor.runs <= sleep.runs,
+            "dpor must not regress the sleep-set baseline ({} vs {})",
+            dpor.runs,
+            sleep.runs
+        );
     }
 }

@@ -33,6 +33,13 @@ pub enum LOp {
     W(usize, u64),
     /// Load variable `var` into the processor's next result register.
     R(usize),
+    /// Atomic read-modify-write: load variable `var` into the processor's
+    /// next result register and store `value`, as one indivisible action.
+    /// Orders like a fence followed by an SC write under every model (the
+    /// machine drains its write buffer before acquiring exclusive
+    /// ownership; the axiomatic reference only enables it on an empty
+    /// buffer).
+    Rmw(usize, u64),
     /// Acquire lock `lock`.
     Acq(usize),
     /// Release lock `lock` (must follow the same processor's acquire).
@@ -95,6 +102,12 @@ pub struct LitmusTest {
     /// [`crate::harness`]; offsets realise cross-cycle orderings that
     /// same-cycle tie-breaking alone cannot).
     pub max_offset: u64,
+    /// Run this test on the *lazy sharing write-back* protocol variant
+    /// (`MemConfig::lazy_sharing_writeback`): reads of a remotely dirty
+    /// line are served by the owner without a sharing write-back. The
+    /// variant is value-equivalent to the eager protocol, so the same
+    /// axiomatic reference applies — only the timing trajectories differ.
+    pub lazy_writeback: bool,
     /// Extra offset cells swept in addition to the uniform
     /// `{0..=max_offset}^nprocs` grid. Used where completeness needs a
     /// few far-apart start times (IRIW's mixed outcomes need the two
@@ -111,11 +124,12 @@ impl LitmusTest {
         self.programs.len()
     }
 
-    /// Read count of processor `p` (its share of the outcome tuple).
+    /// Result-register count of processor `p` (its share of the outcome
+    /// tuple): one register per `R`, plus one per `Rmw` (the old value).
     pub fn reads_of(&self, p: usize) -> usize {
         self.programs[p]
             .iter()
-            .filter(|o| matches!(o, LOp::R(_)))
+            .filter(|o| matches!(o, LOp::R(_) | LOp::Rmw(..)))
             .count()
     }
 
@@ -148,11 +162,14 @@ impl LitmusTest {
 }
 
 use Consistency::{Pc, Rc, Sc, Wc};
-use LOp::{Acq, Rel, R, W};
+use LOp::{Acq, Rel, Rmw, R, W};
 
 /// The standard corpus: classic relaxation shapes (SB, MP, LB, IRIW),
-/// coherence shapes (`CoRR`, `CoWW`), properly-labeled lock variants, and
-/// two tests separating the intermediate PC/WC models from SC and RC.
+/// coherence shapes (`CoRR`, `CoWW`), properly-labeled lock variants, two
+/// tests separating the intermediate PC/WC models from SC and RC,
+/// write-buffer forwarding and RMW/atomic-ordering shapes, lazy
+/// write-back protocol variants, and a four-processor double
+/// store-buffering shape exercising the DPOR engine.
 pub fn corpus() -> Vec<LitmusTest> {
     vec![
         LitmusTest {
@@ -171,6 +188,7 @@ pub fn corpus() -> Vec<LitmusTest> {
                 Annotation::new(Rc, &[0, 0]),
             ],
             unreachable: vec![],
+            lazy_writeback: false,
             extra_cells: vec![],
             max_offset: 4,
         },
@@ -191,6 +209,7 @@ pub fn corpus() -> Vec<LitmusTest> {
             ],
             witnesses: vec![],
             unreachable: vec![],
+            lazy_writeback: false,
             extra_cells: vec![],
             max_offset: 4,
         },
@@ -211,6 +230,7 @@ pub fn corpus() -> Vec<LitmusTest> {
             ],
             witnesses: vec![],
             unreachable: vec![],
+            lazy_writeback: false,
             extra_cells: vec![],
             max_offset: 4,
         },
@@ -243,6 +263,7 @@ pub fn corpus() -> Vec<LitmusTest> {
             // SC, the last two reach (1,0,1,1) and (1,1,1,0) under the
             // buffered models. Completeness stays checked, so a machine
             // change that invalidates them fails loudly.
+            lazy_writeback: false,
             extra_cells: vec![
                 vec![2, 1, 0, 1],
                 vec![1, 2, 1, 0],
@@ -268,6 +289,7 @@ pub fn corpus() -> Vec<LitmusTest> {
             ],
             witnesses: vec![],
             unreachable: vec![],
+            lazy_writeback: false,
             extra_cells: vec![],
             max_offset: 4,
         },
@@ -284,6 +306,7 @@ pub fn corpus() -> Vec<LitmusTest> {
             forbidden: vec![Annotation::new(Sc, &[2, 1]), Annotation::new(Rc, &[2, 1])],
             witnesses: vec![],
             unreachable: vec![],
+            lazy_writeback: false,
             extra_cells: vec![],
             max_offset: 4,
         },
@@ -307,6 +330,7 @@ pub fn corpus() -> Vec<LitmusTest> {
             ],
             witnesses: vec![],
             unreachable: vec![],
+            lazy_writeback: false,
             extra_cells: vec![],
             max_offset: 2,
         },
@@ -325,6 +349,7 @@ pub fn corpus() -> Vec<LitmusTest> {
             forbidden: vec![Annotation::new(Sc, &[0, 0]), Annotation::new(Rc, &[0, 0])],
             witnesses: vec![],
             unreachable: vec![],
+            lazy_writeback: false,
             extra_cells: vec![],
             max_offset: 2,
         },
@@ -351,6 +376,7 @@ pub fn corpus() -> Vec<LitmusTest> {
                 Annotation::new(Wc, &[0, 0]),
                 Annotation::new(Rc, &[0, 0]),
             ],
+            lazy_writeback: false,
             extra_cells: vec![],
             max_offset: 2,
         },
@@ -372,8 +398,243 @@ pub fn corpus() -> Vec<LitmusTest> {
             forbidden: vec![Annotation::new(Sc, &[0, 0]), Annotation::new(Wc, &[0, 0])],
             witnesses: vec![],
             unreachable: vec![Annotation::new(Pc, &[0, 0]), Annotation::new(Rc, &[0, 0])],
+            lazy_writeback: false,
             extra_cells: vec![],
             max_offset: 2,
+        },
+        LitmusTest {
+            name: "sb_fwd",
+            description: "store buffering with forwarding: W x; R x; R y || \
+                          W y; R y; R x — each processor's own read must \
+                          forward the buffered value (never 0) while the \
+                          cross reads may still both be stale under the \
+                          write-buffering models",
+            programs: vec![vec![W(0, 1), R(0), R(1)], vec![W(1, 1), R(1), R(0)]],
+            nvars: 2,
+            nlocks: 0,
+            properly_labeled: false,
+            forbidden: vec![
+                // The SB cycle: both cross reads stale.
+                Annotation::new(Sc, &[1, 0, 1, 0]),
+                // A non-forwarded own read would be a coherence bug under
+                // every model.
+                Annotation::new(Sc, &[0, 1, 1, 1]),
+                Annotation::new(Rc, &[0, 1, 1, 1]),
+            ],
+            witnesses: vec![],
+            // The both-cross-reads-stale forwarding outcome is model-
+            // allowed but machine-unreachable: each cross read sits two
+            // cycles behind its own store, and the eager single-cycle
+            // write-buffer drain retires the other processor's store
+            // first in every offset cell (the same strictness sb_rel
+            // documents). The waiver self-invalidates if the machine
+            // ever produces it.
+            unreachable: vec![
+                Annotation::new(Pc, &[1, 0, 1, 0]),
+                Annotation::new(Wc, &[1, 0, 1, 0]),
+                Annotation::new(Rc, &[1, 0, 1, 0]),
+            ],
+            lazy_writeback: false,
+            extra_cells: vec![],
+            max_offset: 4,
+        },
+        LitmusTest {
+            name: "sb_rmw",
+            description: "store buffering with RMWs as the stores: \
+                          Rmw x; R y || Rmw y; R x — the RMW commits at \
+                          memory before the following read can issue, so \
+                          both-stale is forbidden under every model (the \
+                          SC fix for Dekker's algorithm)",
+            programs: vec![vec![Rmw(0, 1), R(1)], vec![Rmw(1, 1), R(0)]],
+            nvars: 2,
+            nlocks: 0,
+            properly_labeled: false,
+            forbidden: vec![
+                Annotation::new(Sc, &[0, 0, 0, 0]),
+                Annotation::new(Pc, &[0, 0, 0, 0]),
+                Annotation::new(Wc, &[0, 0, 0, 0]),
+                Annotation::new(Rc, &[0, 0, 0, 0]),
+            ],
+            witnesses: vec![Annotation::new(Sc, &[0, 1, 0, 1])],
+            unreachable: vec![],
+            lazy_writeback: false,
+            extra_cells: vec![],
+            max_offset: 4,
+        },
+        LitmusTest {
+            name: "rmw_atom",
+            description: "RMW atomicity: two processors RMW the same \
+                          variable — both observing the initial value would \
+                          split an indivisible read-write pair, forbidden \
+                          under every model",
+            programs: vec![vec![Rmw(0, 1)], vec![Rmw(0, 2)]],
+            nvars: 1,
+            nlocks: 0,
+            properly_labeled: false,
+            forbidden: vec![
+                Annotation::new(Sc, &[0, 0]),
+                Annotation::new(Pc, &[0, 0]),
+                Annotation::new(Wc, &[0, 0]),
+                Annotation::new(Rc, &[0, 0]),
+            ],
+            witnesses: vec![Annotation::new(Sc, &[0, 1])],
+            unreachable: vec![],
+            lazy_writeback: false,
+            extra_cells: vec![],
+            max_offset: 2,
+        },
+        LitmusTest {
+            name: "rmw_fence",
+            description: "RMW as a fence: W x; Rmw z; R y || W y; Rmw w; \
+                          R x — the RMW drains the write buffer before \
+                          committing, so the preceding write is globally \
+                          visible before the following read; both-stale is \
+                          forbidden even under RC (unlike plain sb)",
+            programs: vec![
+                vec![W(0, 1), Rmw(2, 1), R(1)],
+                vec![W(1, 1), Rmw(3, 1), R(0)],
+            ],
+            nvars: 4,
+            nlocks: 0,
+            properly_labeled: false,
+            forbidden: vec![
+                Annotation::new(Sc, &[0, 0, 0, 0]),
+                Annotation::new(Pc, &[0, 0, 0, 0]),
+                Annotation::new(Wc, &[0, 0, 0, 0]),
+                Annotation::new(Rc, &[0, 0, 0, 0]),
+            ],
+            witnesses: vec![],
+            unreachable: vec![],
+            lazy_writeback: false,
+            extra_cells: vec![],
+            max_offset: 2,
+        },
+        LitmusTest {
+            name: "mp_rmw",
+            description: "message passing with an RMW flag: W x; Rmw y || \
+                          R y; R x — the RMW's buffer drain orders the \
+                          payload before the flag under every model",
+            programs: vec![vec![W(0, 1), Rmw(1, 1)], vec![R(1), R(0)]],
+            nvars: 2,
+            nlocks: 0,
+            properly_labeled: false,
+            forbidden: vec![
+                Annotation::new(Sc, &[0, 1, 0]),
+                Annotation::new(Pc, &[0, 1, 0]),
+                Annotation::new(Wc, &[0, 1, 0]),
+                Annotation::new(Rc, &[0, 1, 0]),
+            ],
+            witnesses: vec![],
+            unreachable: vec![],
+            lazy_writeback: false,
+            extra_cells: vec![],
+            max_offset: 4,
+        },
+        LitmusTest {
+            name: "mp_lazy",
+            description: "message passing on the lazy sharing write-back \
+                          protocol variant: the reader's misses are served \
+                          by the owner without a sharing write-back — the \
+                          value semantics (and the mp guarantee) must be \
+                          unchanged, only the timing differs",
+            programs: vec![vec![W(0, 1), W(1, 1)], vec![R(1), R(0)]],
+            nvars: 2,
+            nlocks: 0,
+            properly_labeled: false,
+            forbidden: vec![
+                Annotation::new(Sc, &[1, 0]),
+                Annotation::new(Pc, &[1, 0]),
+                Annotation::new(Wc, &[1, 0]),
+                Annotation::new(Rc, &[1, 0]),
+            ],
+            witnesses: vec![],
+            unreachable: vec![],
+            lazy_writeback: true,
+            extra_cells: vec![],
+            max_offset: 4,
+        },
+        LitmusTest {
+            name: "sb_lazy",
+            description: "store buffering on the lazy sharing write-back \
+                          protocol variant: same allowed set as sb — the \
+                          protocol variant must not change value semantics",
+            programs: vec![vec![W(0, 1), R(1)], vec![W(1, 1), R(0)]],
+            nvars: 2,
+            nlocks: 0,
+            properly_labeled: false,
+            forbidden: vec![Annotation::new(Sc, &[0, 0])],
+            witnesses: vec![
+                Annotation::new(Pc, &[0, 0]),
+                Annotation::new(Wc, &[0, 0]),
+                Annotation::new(Rc, &[0, 0]),
+            ],
+            unreachable: vec![],
+            lazy_writeback: true,
+            extra_cells: vec![],
+            max_offset: 4,
+        },
+        LitmusTest {
+            name: "coww_lazy",
+            description: "coherent write-write on the lazy sharing \
+                          write-back variant: the reader re-fetches from \
+                          the owner on every read (it caches nothing), and \
+                          per-location write order must still hold",
+            programs: vec![vec![W(0, 1), W(0, 2)], vec![R(0), R(0)]],
+            nvars: 1,
+            nlocks: 0,
+            properly_labeled: false,
+            forbidden: vec![Annotation::new(Sc, &[2, 1]), Annotation::new(Rc, &[2, 1])],
+            witnesses: vec![],
+            unreachable: vec![],
+            lazy_writeback: true,
+            extra_cells: vec![],
+            max_offset: 4,
+        },
+        LitmusTest {
+            name: "sb4",
+            description: "double store buffering at four processors: two \
+                          independent sb instances over disjoint variables \
+                          — the schedule space is the product of the pairs' \
+                          spaces, which sleep sets alone cannot prune (the \
+                          DPOR showcase)",
+            programs: vec![
+                vec![W(0, 1), R(1)],
+                vec![W(1, 1), R(0)],
+                vec![W(2, 1), R(3)],
+                vec![W(3, 1), R(2)],
+            ],
+            nvars: 4,
+            nlocks: 0,
+            properly_labeled: false,
+            forbidden: vec![
+                Annotation::new(Sc, &[0, 0, 0, 0]),
+                Annotation::new(Sc, &[0, 0, 1, 1]),
+                Annotation::new(Sc, &[1, 1, 0, 0]),
+            ],
+            witnesses: vec![Annotation::new(Rc, &[0, 0, 0, 0])],
+            unreachable: vec![],
+            lazy_writeback: false,
+            // The sweep mirrors one sb pair's offsets onto the other
+            // (plus the swapped pairing) instead of the full 5^4 grid:
+            // the pairs touch disjoint lines and contention is off, so a
+            // pair's reachable outcomes depend only on its own two
+            // offsets. Completeness against the axiomatic product set is
+            // still checked exactly, so a missing cell fails loudly.
+            extra_cells: {
+                let mut cells = Vec::new();
+                for a in 0..=4u64 {
+                    for b in 0..=4u64 {
+                        if (a, b) != (0, 0) {
+                            cells.push(vec![a, b, a, b]);
+                        }
+                        if a != b {
+                            cells.push(vec![a, b, b, a]);
+                        }
+                    }
+                }
+                cells
+            },
+            max_offset: 0,
         },
     ]
 }
@@ -390,7 +651,7 @@ mod tests {
     #[test]
     fn corpus_is_well_formed() {
         let tests = corpus();
-        assert!(tests.len() >= 10);
+        assert!(tests.len() >= 19);
         for t in &tests {
             assert_eq!(t.nprocs(), t.programs.len());
             let mut held: Vec<Vec<usize>> = vec![Vec::new(); t.nprocs()];
@@ -402,6 +663,10 @@ mod tests {
                             assert_ne!(val, 0, "{}: write of the init value", t.name);
                         }
                         R(v) => assert!(v < t.nvars, "{}: var out of range", t.name),
+                        Rmw(v, val) => {
+                            assert!(v < t.nvars, "{}: var out of range", t.name);
+                            assert_ne!(val, 0, "{}: rmw write of the init value", t.name);
+                        }
                         Acq(l) => {
                             assert!(l < t.nlocks, "{}: lock out of range", t.name);
                             held[p].push(l);

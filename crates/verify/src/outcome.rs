@@ -74,16 +74,28 @@ pub fn extract(test: &LitmusTest, var_addrs: &[Addr], trace: &[AccessRecord]) ->
     let var_of: HashMap<Addr, usize> = var_addrs.iter().enumerate().map(|(v, &a)| (a, v)).collect();
 
     // Program-order write plans: for each processor, its writes as
-    // (variable, value, program position); per-(proc, var) FIFO cursors
-    // assign trace records to plan entries.
-    let mut wplan: Vec<Vec<(usize, u64, usize)>> = vec![Vec::new(); nprocs];
+    // (variable, value, program position, is_rmw); per-(proc, var) FIFO
+    // cursors assign trace records to plan entries. An RMW appears in the
+    // trace as exactly one write record (the machine's indivisible
+    // exclusive access); its *read half* is resolved against the memory
+    // value at that record's coherence position.
+    let mut wplan: Vec<Vec<(usize, u64, usize, bool)>> = vec![Vec::new(); nprocs];
     // Program-order read plans: (variable, program position).
     let mut rplan: Vec<Vec<(usize, usize)>> = vec![Vec::new(); nprocs];
+    // Result registers a processor expects (reads + rmws).
+    let mut nregs: Vec<usize> = vec![0; nprocs];
     for (p, prog) in test.programs.iter().enumerate() {
         for (pos, op) in prog.iter().enumerate() {
             match *op {
-                LOp::W(v, val) => wplan[p].push((v, val, pos)),
-                LOp::R(v) => rplan[p].push((v, pos)),
+                LOp::W(v, val) => wplan[p].push((v, val, pos, false)),
+                LOp::Rmw(v, val) => {
+                    wplan[p].push((v, val, pos, true));
+                    nregs[p] += 1;
+                }
+                LOp::R(v) => {
+                    rplan[p].push((v, pos));
+                    nregs[p] += 1;
+                }
                 LOp::Acq(_) | LOp::Rel(_) => {}
             }
         }
@@ -107,7 +119,7 @@ pub fn extract(test: &LitmusTest, var_addrs: &[Addr], trace: &[AccessRecord]) ->
         let idx = wplan[p]
             .iter()
             .enumerate()
-            .filter(|(_, &(wv, _, _))| wv == v)
+            .filter(|(_, &(wv, _, _, _))| wv == v)
             .nth(*cursor)
             .map_or_else(
                 || {
@@ -130,13 +142,16 @@ pub fn extract(test: &LitmusTest, var_addrs: &[Addr], trace: &[AccessRecord]) ->
     }
 
     // Pass 2: walk the trace in coherence order, maintaining memory values
-    // and resolving each read (forwarding from the reader's still-buffered
-    // writes when one covers the address).
+    // and resolving each result register — a read forwards from the
+    // reader's still-buffered writes when one covers the address; an RMW's
+    // read half returns the memory value at its own write's coherence
+    // position (the machine drains its buffer before an RMW, so no
+    // forwarding source can exist).
     let mut mem: Vec<u64> = vec![0; test.nvars];
     let mut rcursor: Vec<usize> = vec![0; nprocs];
-    let mut rvals: Vec<Vec<u64>> = (0..nprocs)
-        .map(|p| Vec::with_capacity(rplan[p].len()))
-        .collect();
+    // (program position, value) per register, in trace order.
+    let mut regs: Vec<Vec<(usize, u64)>> =
+        (0..nprocs).map(|p| Vec::with_capacity(nregs[p])).collect();
     for (i, rec) in trace.iter().enumerate() {
         let Some(&v) = var_of.get(&rec.addr) else {
             continue;
@@ -146,10 +161,13 @@ pub fn extract(test: &LitmusTest, var_addrs: &[Addr], trace: &[AccessRecord]) ->
             AccessKind::Write => {
                 // Value assigned in pass 1: the plan entry whose trace slot
                 // is exactly i.
-                let (_, val, _) = wplan[p][wtrace[p]
+                let (_, val, wpos, is_rmw) = wplan[p][wtrace[p]
                     .iter()
                     .position(|&t| t == Some(i))
                     .expect("pass-1 assignment covers every data write")];
+                if is_rmw {
+                    regs[p].push((wpos, mem[v]));
+                }
                 mem[v] = val;
             }
             AccessKind::Read => {
@@ -164,23 +182,31 @@ pub fn extract(test: &LitmusTest, var_addrs: &[Addr], trace: &[AccessRecord]) ->
                 let fwd = wplan[p]
                     .iter()
                     .enumerate()
-                    .rfind(|&(j, &(wv, _, wpos))| {
+                    .rfind(|&(j, &(wv, _, wpos, _))| {
                         wv == v && wpos < rpos && wtrace[p][j].expect("assigned") > i
                     })
-                    .map(|(_, &(_, val, _))| val);
-                rvals[p].push(fwd.unwrap_or(mem[v]));
+                    .map(|(_, &(_, val, _, _))| val);
+                regs[p].push((rpos, fwd.unwrap_or(mem[v])));
             }
             AccessKind::ReadPrefetch | AccessKind::ReadExPrefetch => {}
         }
     }
-    for (p, plan) in rplan.iter().enumerate() {
+    for (p, regs) in regs.iter().enumerate() {
         assert_eq!(
-            rvals[p].len(),
-            plan.len(),
+            regs.len(),
+            nregs[p],
             "P{p} finished with unserviced program reads"
         );
+        // Reads block and an RMW stalls its processor until it commits,
+        // so register-producing records must appear in program order.
+        assert!(
+            regs.windows(2).all(|w| w[0].0 < w[1].0),
+            "P{p} register records out of program order"
+        );
     }
-    rvals.into_iter().flatten().collect()
+    regs.into_iter()
+        .flat_map(|r| r.into_iter().map(|(_, val)| val))
+        .collect()
 }
 
 #[cfg(test)]
@@ -252,6 +278,7 @@ mod tests {
             forbidden: vec![],
             witnesses: vec![],
             unreachable: vec![],
+            lazy_writeback: false,
             extra_cells: vec![],
             max_offset: 0,
         };
@@ -263,6 +290,38 @@ mod tests {
             rec(1, 0, a[0], AccessKind::Write),
         ];
         assert_eq!(extract(&t, &a, &trace), vec![7]);
+    }
+
+    #[test]
+    fn rmw_reads_the_coherence_predecessor() {
+        let t = crate::litmus::by_name("rmw_atom").unwrap();
+        let a = addrs(1);
+        // P0's rmw first: it reads 0; P1's reads 1.
+        let trace = vec![
+            rec(0, 0, a[0], AccessKind::Write),
+            rec(1, 1, a[0], AccessKind::Write),
+        ];
+        assert_eq!(extract(&t, &a, &trace), vec![0, 1]);
+        // The other coherence order.
+        let trace = vec![
+            rec(0, 1, a[0], AccessKind::Write),
+            rec(1, 0, a[0], AccessKind::Write),
+        ];
+        assert_eq!(extract(&t, &a, &trace), vec![2, 0]);
+    }
+
+    #[test]
+    fn rmw_and_read_registers_interleave_in_program_order() {
+        let t = crate::litmus::by_name("sb_rmw").unwrap();
+        let a = addrs(2);
+        // P0: rmw x, read y; P1: rmw y, read x — fully serialized.
+        let trace = vec![
+            rec(0, 0, a[0], AccessKind::Write),
+            rec(1, 0, a[1], AccessKind::Read),
+            rec(2, 1, a[1], AccessKind::Write),
+            rec(3, 1, a[0], AccessKind::Read),
+        ];
+        assert_eq!(extract(&t, &a, &trace), vec![0, 0, 0, 1]);
     }
 
     #[test]

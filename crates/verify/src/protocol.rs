@@ -1,7 +1,7 @@
 //! Exhaustive directory-protocol checking.
 //!
 //! Breadth-first closure of the coherence-protocol state space on tiny
-//! configurations (2–4 processors, 1–3 cache lines, single-line caches so
+//! configurations (2–4 processors, 1–4 cache lines, single-line caches so
 //! conflict evictions and their write-backs are reachable). Each frontier
 //! state is expanded by forking the memory system
 //! ([`MemorySystem::fork_protocol`]) and applying one more demand access;
@@ -14,18 +14,24 @@
 //!   line has a set of cache copies holding the *latest* value plus a
 //!   memory-freshness bit, updated from first principles (a write makes
 //!   its writer the only fresh holder and memory stale; servicing a read
-//!   from a dirty remote cache writes the line back; evicting a dirty
-//!   copy writes it back). A read is a violation if it is serviced from a
+//!   from a dirty remote cache writes the line back — unless the lazy
+//!   sharing-writeback variant is enabled, in which case the owner keeps
+//!   its dirty copy and the reader caches nothing; evicting a dirty copy
+//!   writes it back). A read is a violation if it is serviced from a
 //!   stale source — a cache hit on a non-fresh copy, or memory service
 //!   while memory is stale.
 //!
-//! The closure is exact when it completes; a state cap marks the report
-//! `truncated` and records how far it got, so a bounded run can never
-//! masquerade as a full proof.
+//! Visited states are deduplicated by a 128-bit FNV-1a fingerprint of a
+//! compact byte encoding (directory entry, both cache levels per node,
+//! shadow freshness bits); the report counts dedup hits so the closure's
+//! sharing factor is visible. The closure is exact when it completes; a
+//! state cap marks the report `truncated` and records how far it got, so
+//! a bounded run can never masquerade as a full proof.
 
 use std::collections::{HashSet, VecDeque};
 
 use dashlat_mem::addr::{Addr, LineAddr, NodeId};
+use dashlat_mem::directory::DirState;
 use dashlat_mem::layout::{AddressSpaceBuilder, Placement};
 use dashlat_mem::system::{AccessKind, MemConfig, MemorySystem, ServiceClass};
 use dashlat_mem::{LatencyTable, LineState, LINE_BYTES};
@@ -40,6 +46,10 @@ pub struct ProtocolConfig {
     /// primary / two-line direct-mapped secondary used here, three lines
     /// force conflict evictions (lines 0 and 2 collide).
     pub lines: usize,
+    /// Check the lazy sharing-writeback protocol variant: a read hitting
+    /// a remote dirty line is forwarded the value without downgrading the
+    /// owner or updating memory.
+    pub lazy: bool,
     /// Explored-state cap; exceeding it truncates (loudly).
     pub max_states: usize,
 }
@@ -50,7 +60,16 @@ impl ProtocolConfig {
         ProtocolConfig {
             nodes: 2,
             lines: 3,
+            lazy: false,
             max_states: 200_000,
+        }
+    }
+
+    /// The small machine running the lazy sharing-writeback variant.
+    pub fn small_lazy() -> Self {
+        ProtocolConfig {
+            lazy: true,
+            ..ProtocolConfig::small()
         }
     }
 
@@ -59,7 +78,21 @@ impl ProtocolConfig {
         ProtocolConfig {
             nodes: 4,
             lines: 2,
+            lazy: false,
             max_states: 150_000,
+        }
+    }
+
+    /// The deep configuration: 4 processors over 4 lines, with both
+    /// secondary-cache conflict pairs (0/2 and 1/3) live at once. This is
+    /// the largest closure the suite proves exhaustively; the cap is
+    /// head-room, not an expected bound.
+    pub fn deep() -> Self {
+        ProtocolConfig {
+            nodes: 4,
+            lines: 4,
+            lazy: false,
+            max_states: 4_000_000,
         }
     }
 }
@@ -71,10 +104,15 @@ pub struct ProtocolReport {
     pub nodes: usize,
     /// Lines in the access alphabet.
     pub lines: usize,
+    /// Whether the lazy sharing-writeback variant was checked.
+    pub lazy: bool,
     /// Distinct protocol states reached.
     pub states: u64,
     /// Transitions applied (and checked).
     pub transitions: u64,
+    /// Transitions that landed on an already-visited state (fingerprint
+    /// dedup hits): the closure's sharing factor.
+    pub dedup_hits: u64,
     /// True when the state cap stopped the closure: the result is a
     /// bounded-depth check, not a full proof, and reports must say so.
     pub truncated: bool,
@@ -93,11 +131,13 @@ impl ProtocolReport {
     /// One-line summary for suite output.
     pub fn summary(&self) -> String {
         format!(
-            "directory protocol {}p/{}l: {} states, {} transitions{}{}",
+            "directory protocol {}p/{}l{}: {} states, {} transitions, {} dedup hits{}{}",
             self.nodes,
             self.lines,
+            if self.lazy { " (lazy write-back)" } else { "" },
             self.states,
             self.transitions,
+            self.dedup_hits,
             if self.truncated {
                 " [TRUNCATED — bounded-depth check, not a full closure]"
             } else {
@@ -154,28 +194,58 @@ fn format_path(path: &[(usize, usize, AccessKind)]) -> String {
         .join(" -> ")
 }
 
-/// Canonical signature of a protocol state: directory entry plus both
+/// 128-bit FNV-1a over a byte stream.
+fn fnv1a_128(bytes: impl IntoIterator<Item = u8>) -> u128 {
+    let mut h: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
+    for b in bytes {
+        h ^= u128::from(b);
+        h = h.wrapping_mul(0x0000_0000_0100_0000_0000_0000_0000_013b);
+    }
+    h
+}
+
+fn line_state_byte(s: Option<LineState>) -> u8 {
+    match s {
+        None => 0,
+        Some(LineState::Shared) => 1,
+        Some(LineState::Dirty) => 2,
+    }
+}
+
+/// Canonical fingerprint of a protocol state: directory entry plus both
 /// cache levels' line states per node, plus the shadow freshness bits
 /// (two states with equal caches but different value locations have
-/// different futures for the data-value invariant).
-fn signature(sys: &MemorySystem, shadow: &Shadow, lines: &[LineAddr]) -> String {
-    use std::fmt::Write as _;
+/// different futures for the data-value invariant). Encoded compactly
+/// and hashed; a 128-bit digest makes accidental collisions across a
+/// few-million-state closure vanishingly unlikely.
+fn fingerprint(sys: &MemorySystem, shadow: &Shadow, lines: &[LineAddr]) -> u128 {
     let nodes = sys.config().nodes;
-    let mut s = String::new();
+    let mut enc: Vec<u8> = Vec::with_capacity(lines.len() * (4 + 3 * nodes));
     for (li, &line) in lines.iter().enumerate() {
-        let _ = write!(s, "L{li}:{:?}|", sys.directory_state(line));
-        for n in 0..nodes {
-            let _ = write!(
-                s,
-                "{:?}/{:?}/{}",
-                sys.probe_primary(NodeId(n), line),
-                sys.probe_secondary(NodeId(n), line),
-                u8::from(shadow.fresh[li][n]),
-            );
+        match sys.directory_state(line) {
+            DirState::Uncached => enc.push(0),
+            DirState::Shared(set) => {
+                enc.push(1);
+                let mut bits: u8 = 0;
+                for n in set.iter() {
+                    bits |= 1 << n.0;
+                }
+                enc.push(bits);
+            }
+            DirState::SharedOverflow => enc.push(2),
+            DirState::Dirty(owner) => {
+                enc.push(3);
+                enc.push(owner.0 as u8);
+            }
         }
-        let _ = write!(s, "|m{};", u8::from(shadow.mem_fresh[li]));
+        for n in 0..nodes {
+            enc.push(line_state_byte(sys.probe_primary(NodeId(n), line)));
+            enc.push(line_state_byte(sys.probe_secondary(NodeId(n), line)));
+            enc.push(u8::from(shadow.fresh[li][n]));
+        }
+        enc.push(0x80 | u8::from(shadow.mem_fresh[li]));
     }
-    s
+    fnv1a_128(enc)
 }
 
 /// Applies one access to a forked state, checking every invariant.
@@ -185,6 +255,7 @@ fn step(
     li: usize,
     actor: usize,
     kind: AccessKind,
+    lazy: bool,
 ) -> Result<(), String> {
     let addr = lines[li].base();
     node.path.push((actor, li, kind));
@@ -260,10 +331,27 @@ fn step(
                 node.shadow.fresh[li][actor] = true;
             }
             ServiceClass::RemoteDirty => {
-                // Serviced from the (unique, freshest) dirty owner; DASH
-                // sharing-writeback updates memory too.
-                node.shadow.mem_fresh[li] = true;
-                node.shadow.fresh[li][actor] = true;
+                if lazy {
+                    // Lazy sharing write-back: the owner keeps its dirty
+                    // copy, memory stays stale, and the reader caches
+                    // nothing — the value was forwarded, not installed.
+                    // The forwarding source must still be fresh.
+                    if !node.shadow.fresh[li].iter().any(|&f| f) {
+                        return fail(
+                            format!(
+                                "data-value invariant: P{actor} read line {li} \
+                                 lazily forwarded from a remote cache, but no \
+                                 cached copy is fresh"
+                            ),
+                            &node.path,
+                        );
+                    }
+                } else {
+                    // Serviced from the (unique, freshest) dirty owner;
+                    // DASH sharing-writeback updates memory too.
+                    node.shadow.mem_fresh[li] = true;
+                    node.shadow.fresh[li][actor] = true;
+                }
             }
             ServiceClass::Uncached | ServiceClass::PrefetchDiscard => {
                 return fail(
@@ -291,8 +379,20 @@ fn step(
     Ok(())
 }
 
-/// Runs the reachable-state closure for one configuration.
-pub fn check_directory(cfg: ProtocolConfig) -> ProtocolReport {
+fn base_mem_config(cfg: ProtocolConfig) -> MemConfig {
+    MemConfig {
+        // Single-line primary, two-line secondary: conflict evictions
+        // (and dirty write-backs) are reachable with three lines.
+        primary_bytes: LINE_BYTES,
+        secondary_bytes: 2 * LINE_BYTES,
+        latencies: LatencyTable::uniform(Cycle(1)),
+        contention: false,
+        lazy_sharing_writeback: cfg.lazy,
+        ..MemConfig::dash_scaled(cfg.nodes)
+    }
+}
+
+fn run_closure(cfg: ProtocolConfig, mem_cfg: MemConfig) -> ProtocolReport {
     let mut b = AddressSpaceBuilder::new(cfg.nodes);
     let seg = b.alloc(
         "protocol-lines",
@@ -302,15 +402,6 @@ pub fn check_directory(cfg: ProtocolConfig) -> ProtocolReport {
     let lines: Vec<LineAddr> = (0..cfg.lines)
         .map(|l| Addr(seg.at(l as u64 * LINE_BYTES).0).line())
         .collect();
-    let mem_cfg = MemConfig {
-        // Single-line primary, two-line secondary: conflict evictions
-        // (and dirty write-backs) are reachable with three lines.
-        primary_bytes: LINE_BYTES,
-        secondary_bytes: 2 * LINE_BYTES,
-        latencies: LatencyTable::uniform(Cycle(1)),
-        contention: false,
-        ..MemConfig::dash_scaled(cfg.nodes)
-    };
     let root = Node {
         sys: MemorySystem::new(mem_cfg, b.build()),
         shadow: Shadow::new(cfg.lines, cfg.nodes),
@@ -320,13 +411,15 @@ pub fn check_directory(cfg: ProtocolConfig) -> ProtocolReport {
     let mut report = ProtocolReport {
         nodes: cfg.nodes,
         lines: cfg.lines,
+        lazy: cfg.lazy,
         states: 0,
         transitions: 0,
+        dedup_hits: 0,
         truncated: false,
         violation: None,
     };
-    let mut seen: HashSet<String> = HashSet::new();
-    seen.insert(signature(&root.sys, &root.shadow, &lines));
+    let mut seen: HashSet<u128> = HashSet::new();
+    seen.insert(fingerprint(&root.sys, &root.shadow, &lines));
     let mut frontier = VecDeque::from([root]);
     report.states = 1;
 
@@ -340,24 +433,43 @@ pub fn check_directory(cfg: ProtocolConfig) -> ProtocolReport {
                         path: node.path.clone(),
                     };
                     report.transitions += 1;
-                    if let Err(v) = step(&mut next, &lines, li, actor, kind) {
+                    if let Err(v) = step(&mut next, &lines, li, actor, kind, cfg.lazy) {
                         report.violation = Some(v);
                         return report;
                     }
-                    let sig = signature(&next.sys, &next.shadow, &lines);
-                    if seen.insert(sig) {
+                    let fp = fingerprint(&next.sys, &next.shadow, &lines);
+                    if seen.insert(fp) {
                         report.states += 1;
                         if report.states as usize >= cfg.max_states {
                             report.truncated = true;
                             return report;
                         }
                         frontier.push_back(next);
+                    } else {
+                        report.dedup_hits += 1;
                     }
                 }
             }
         }
     }
     report
+}
+
+/// Runs the reachable-state closure for one configuration.
+pub fn check_directory(cfg: ProtocolConfig) -> ProtocolReport {
+    run_closure(cfg, base_mem_config(cfg))
+}
+
+/// Runs the closure with the dropped-invalidation mutation armed: the
+/// memory system skips the last invalidation of every exclusive fetch,
+/// leaving a stale sharer behind. The closure must find the resulting
+/// single-writer/multiple-reader or data-value violation — this is the
+/// regression proof that the checker has teeth.
+#[cfg(feature = "verify-mutations")]
+pub fn check_directory_mutated(cfg: ProtocolConfig) -> ProtocolReport {
+    let mut mem_cfg = base_mem_config(cfg);
+    mem_cfg.drop_last_invalidation = true;
+    run_closure(cfg, mem_cfg)
 }
 
 #[cfg(test)]
@@ -370,6 +482,19 @@ mod tests {
         assert!(r.passed(), "{}", r.summary());
         assert!(!r.truncated, "small config must close: {}", r.summary());
         assert!(r.states > 50, "closure too small to be real: {}", r.states);
+        assert!(r.dedup_hits > 0, "a real closure revisits states");
+    }
+
+    #[test]
+    fn small_lazy_closure_is_clean_and_complete() {
+        let r = check_directory(ProtocolConfig::small_lazy());
+        assert!(r.passed(), "{}", r.summary());
+        assert!(
+            !r.truncated,
+            "lazy small config must close: {}",
+            r.summary()
+        );
+        assert!(r.lazy);
     }
 
     #[test]
@@ -377,6 +502,7 @@ mod tests {
         let r = check_directory(ProtocolConfig {
             nodes: 4,
             lines: 1,
+            lazy: false,
             max_states: 100_000,
         });
         assert!(r.passed(), "{}", r.summary());
@@ -388,9 +514,37 @@ mod tests {
         let r = check_directory(ProtocolConfig {
             nodes: 2,
             lines: 3,
+            lazy: false,
             max_states: 10,
         });
         assert!(r.truncated);
         assert!(r.summary().contains("TRUNCATED"));
+    }
+
+    #[test]
+    fn deep_closure_prefix_is_clean() {
+        // Bounded-depth smoke of the 4p/4l configuration; the full deep
+        // closure runs in release mode via the suite's --deep-closure.
+        let r = check_directory(ProtocolConfig {
+            max_states: 20_000,
+            ..ProtocolConfig::deep()
+        });
+        assert!(r.passed(), "{}", r.summary());
+    }
+
+    #[cfg(feature = "verify-mutations")]
+    #[test]
+    fn dropped_invalidation_is_caught_by_the_closure() {
+        let r = check_directory_mutated(ProtocolConfig::small());
+        assert!(
+            !r.passed(),
+            "dropped invalidation must violate an invariant: {}",
+            r.summary()
+        );
+        let v = r.violation.unwrap();
+        assert!(
+            v.contains("path:"),
+            "violation must carry a repro path: {v}"
+        );
     }
 }

@@ -38,7 +38,7 @@ pub fn counterexample(test: &LitmusTest, verdict: &LitmusVerdict) -> Option<Coun
         .get(&outcome)
         .cloned()
         .expect("every machine outcome has a witness");
-    let log = replay_with_log(test, verdict.model, &offsets, &prefix, verdict.seeded_bug);
+    let log = replay_with_log(test, verdict.model, &offsets, &prefix, verdict.mutation);
     let timeline = OpTimeline::from_log(&log);
     let mut s = String::new();
     s.push_str(&format!(
@@ -81,6 +81,12 @@ pub fn render_verdict(test: &LitmusTest, verdict: &LitmusVerdict) -> String {
             "  TRUNCATED after {} runs — outcome set is a lower bound, \
              exhaustiveness NOT established\n",
             verdict.runs
+        ));
+    }
+    if let Some((message, offsets, prefix)) = &verdict.machine_error {
+        s.push_str(&format!(
+            "  MACHINE ERROR: {message}\n  witness:  start offsets \
+             {offsets:?}, scheduler choices {prefix:?}\n"
         ));
     }
     for o in &verdict.missing {

@@ -82,6 +82,7 @@ impl LitmusWorkload {
                     ops.push(match *op {
                         LOp::W(v, _) => Op::Write(lay.var_addrs[v]),
                         LOp::R(v) => Op::Read(lay.var_addrs[v]),
+                        LOp::Rmw(v, _) => Op::Rmw(lay.var_addrs[v]),
                         LOp::Acq(l) => Op::Acquire(LockId(l)),
                         LOp::Rel(l) => Op::Release(LockId(l)),
                     });

@@ -7,7 +7,9 @@ use dashlat_cpu::config::Consistency;
 use dashlat_verify::harness::explore_cell;
 use dashlat_verify::litmus::{by_name, corpus, LOp, LitmusTest};
 use dashlat_verify::outcome::format_set;
-use dashlat_verify::{axiomatic, verify_litmus, verify_suite, ALL_MODELS, DEFAULT_MAX_RUNS};
+use dashlat_verify::{
+    axiomatic, verify_litmus, verify_suite, Engine, ALL_MODELS, DEFAULT_MAX_RUNS,
+};
 use proptest::prelude::*;
 
 use Consistency::{Rc, Sc};
@@ -94,6 +96,117 @@ const SNAPSHOTS: &[(&str, Consistency, &str, &str)] = &[
         "{(0,1), (1,0), (1,1)}",
         "{(0,0), (0,1), (1,0), (1,1)}",
     ),
+    (
+        "sb_fwd",
+        Sc,
+        "{(1,0,1,1), (1,1,1,0), (1,1,1,1)}",
+        "{(1,0,1,1), (1,1,1,0), (1,1,1,1)}",
+    ),
+    // (1,0,1,0) — both cross reads stale with own reads forwarded — is
+    // RC-allowed but machine-unreachable (eager write-buffer drain); the
+    // corpus waives it.
+    (
+        "sb_fwd",
+        Rc,
+        "{(1,0,1,1), (1,1,1,0), (1,1,1,1)}",
+        "{(1,0,1,0), (1,0,1,1), (1,1,1,0), (1,1,1,1)}",
+    ),
+    (
+        "sb_rmw",
+        Sc,
+        "{(0,0,0,1), (0,1,0,0), (0,1,0,1)}",
+        "{(0,0,0,1), (0,1,0,0), (0,1,0,1)}",
+    ),
+    // The RMW fence makes SB sequentially consistent even under RC:
+    // (0,0,0,0) never appears in either set.
+    (
+        "sb_rmw",
+        Rc,
+        "{(0,0,0,1), (0,1,0,0), (0,1,0,1)}",
+        "{(0,0,0,1), (0,1,0,0), (0,1,0,1)}",
+    ),
+    ("rmw_atom", Sc, "{(0,1), (2,0)}", "{(0,1), (2,0)}"),
+    ("rmw_atom", Rc, "{(0,1), (2,0)}", "{(0,1), (2,0)}"),
+    (
+        "rmw_fence",
+        Sc,
+        "{(0,0,0,1), (0,1,0,0), (0,1,0,1)}",
+        "{(0,0,0,1), (0,1,0,0), (0,1,0,1)}",
+    ),
+    (
+        "rmw_fence",
+        Rc,
+        "{(0,0,0,1), (0,1,0,0), (0,1,0,1)}",
+        "{(0,0,0,1), (0,1,0,0), (0,1,0,1)}",
+    ),
+    (
+        "mp_rmw",
+        Sc,
+        "{(0,0,0), (0,0,1), (0,1,1)}",
+        "{(0,0,0), (0,0,1), (0,1,1)}",
+    ),
+    (
+        "mp_rmw",
+        Rc,
+        "{(0,0,0), (0,0,1), (0,1,1)}",
+        "{(0,0,0), (0,0,1), (0,1,1)}",
+    ),
+    // The lazy-write-back variants must be value-invisible: identical
+    // sets to their eager counterparts (mp, sb, coww above).
+    (
+        "mp_lazy",
+        Sc,
+        "{(0,0), (0,1), (1,1)}",
+        "{(0,0), (0,1), (1,1)}",
+    ),
+    (
+        "mp_lazy",
+        Rc,
+        "{(0,0), (0,1), (1,1)}",
+        "{(0,0), (0,1), (1,1)}",
+    ),
+    (
+        "sb_lazy",
+        Sc,
+        "{(0,1), (1,0), (1,1)}",
+        "{(0,1), (1,0), (1,1)}",
+    ),
+    (
+        "sb_lazy",
+        Rc,
+        "{(0,0), (0,1), (1,0), (1,1)}",
+        "{(0,0), (0,1), (1,0), (1,1)}",
+    ),
+    (
+        "coww_lazy",
+        Sc,
+        "{(0,0), (0,1), (0,2), (1,1), (1,2), (2,2)}",
+        "{(0,0), (0,1), (0,2), (1,1), (1,2), (2,2)}",
+    ),
+    (
+        "coww_lazy",
+        Rc,
+        "{(0,0), (0,1), (0,2), (1,1), (1,2), (2,2)}",
+        "{(0,0), (0,1), (0,2), (1,1), (1,2), (2,2)}",
+    ),
+    (
+        "sb4",
+        Sc,
+        "{(0,1,0,1), (0,1,1,0), (0,1,1,1), (1,0,0,1), (1,0,1,0), (1,0,1,1), \
+         (1,1,0,1), (1,1,1,0), (1,1,1,1)}",
+        "{(0,1,0,1), (0,1,1,0), (0,1,1,1), (1,0,0,1), (1,0,1,0), (1,0,1,1), \
+         (1,1,0,1), (1,1,1,0), (1,1,1,1)}",
+    ),
+    (
+        "sb4",
+        Rc,
+        "{(0,0,0,0), (0,0,0,1), (0,0,1,0), (0,0,1,1), (0,1,0,0), (0,1,0,1), \
+         (0,1,1,0), (0,1,1,1), (1,0,0,0), (1,0,0,1), (1,0,1,0), (1,0,1,1), \
+         (1,1,0,0), (1,1,0,1), (1,1,1,0), (1,1,1,1)}",
+        "{(0,0,0,0), (0,0,0,1), (0,0,1,0), (0,0,1,1), (0,1,0,0), (0,1,0,1), \
+         (0,1,1,0), (0,1,1,1), (1,0,0,0), (1,0,0,1), (1,0,1,0), (1,0,1,1), \
+         (1,1,0,0), (1,1,0,1), (1,1,1,0), (1,1,1,1)}",
+    ),
 ];
 
 #[test]
@@ -139,9 +252,26 @@ fn check_snapshots(pick: impl Fn(&str) -> bool) {
     }
 }
 
+const NEW_CORPUS: &[&str] = &[
+    "sb_fwd",
+    "sb_rmw",
+    "rmw_atom",
+    "rmw_fence",
+    "mp_rmw",
+    "mp_lazy",
+    "sb_lazy",
+    "coww_lazy",
+    "sb4",
+];
+
 #[test]
 fn machine_outcome_sets_match_snapshots_two_proc() {
-    check_snapshots(|n| !matches!(n, "iriw" | "sb_rel" | "wc_acq"));
+    check_snapshots(|n| !matches!(n, "iriw" | "sb_rel" | "wc_acq") && !NEW_CORPUS.contains(&n));
+}
+
+#[test]
+fn machine_outcome_sets_match_snapshots_new_corpus() {
+    check_snapshots(|n| NEW_CORPUS.contains(&n));
 }
 
 #[test]
@@ -167,37 +297,41 @@ fn suite_passes_under_all_models_on_subset() {
     let suite = verify_suite(&ALL_MODELS, &tests, 0);
     assert!(suite.passed(), "{}", suite.render());
     assert_eq!(suite.verdicts.len(), tests.len() * ALL_MODELS.len());
-    // The suite includes the protocol closures and reports them.
-    assert_eq!(suite.protocol.len(), 2);
+    // The suite includes the protocol closures (eager small + wide plus
+    // the lazy small variant) and reports them.
+    assert_eq!(suite.protocol.len(), 3);
     let rendered = suite.render();
     assert!(rendered.contains("full closure"), "{rendered}");
 }
 
 #[test]
-fn sleep_set_reduction_loses_no_outcomes() {
-    // The unreduced search is the ground truth; sleep sets may only
-    // prune runs, never outcomes. Checked at the most adversarial cell
-    // (all processors in lockstep, offset 0) plus one shifted cell.
+fn reduction_engines_lose_no_outcomes() {
+    // The unreduced search is the ground truth; sleep sets and DPOR may
+    // only prune runs, never outcomes. Checked at the most adversarial
+    // cell (all processors in lockstep, offset 0) plus one shifted cell.
     // sb_rel is excluded: its unreduced search at the shifted cell blows
     // the budget without adding coverage beyond what sb/mp exercise.
     for name in ["sb", "mp", "lb", "corr", "coww"] {
         let t = by_name(name).unwrap();
         for model in [Sc, Rc] {
             for offsets in [vec![0; t.nprocs()], vec![1; t.nprocs()]] {
-                let reduced = explore_cell(&t, model, &offsets, DEFAULT_MAX_RUNS, true);
-                let full = explore_cell(&t, model, &offsets, DEFAULT_MAX_RUNS, false);
-                assert!(!reduced.truncated && !full.truncated, "{name} {model}");
-                assert_eq!(
-                    reduced.outcomes, full.outcomes,
-                    "{name} under {model} offsets {offsets:?}: sleep sets \
-                     changed the outcome set"
-                );
-                assert!(
-                    reduced.runs <= full.runs,
-                    "{name} under {model}: reduction ran more ({} > {})",
-                    reduced.runs,
-                    full.runs
-                );
+                let full = explore_cell(&t, model, &offsets, DEFAULT_MAX_RUNS, Engine::Full);
+                assert!(!full.truncated, "{name} {model}");
+                for engine in [Engine::Sleep, Engine::Dpor] {
+                    let reduced = explore_cell(&t, model, &offsets, DEFAULT_MAX_RUNS, engine);
+                    assert!(!reduced.truncated, "{name} {model} {engine}");
+                    assert_eq!(
+                        reduced.outcomes, full.outcomes,
+                        "{name} under {model} offsets {offsets:?}: {engine} \
+                         changed the outcome set"
+                    );
+                    assert!(
+                        reduced.runs <= full.runs,
+                        "{name} under {model}: {engine} ran more ({} > {})",
+                        reduced.runs,
+                        full.runs
+                    );
+                }
             }
         }
     }
@@ -259,6 +393,7 @@ fn random_test(programs: Vec<Vec<LOp>>) -> LitmusTest {
         forbidden: vec![],
         witnesses: vec![],
         unreachable: vec![],
+        lazy_writeback: false,
         extra_cells: vec![],
         max_offset: 2,
     }
