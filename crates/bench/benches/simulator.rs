@@ -12,10 +12,12 @@ use dashlat::runner::run;
 use dashlat_cpu::config::ProcConfig;
 use dashlat_cpu::machine::Machine;
 use dashlat_cpu::ops::Topology;
-use dashlat_mem::addr::NodeId;
+use dashlat_mem::addr::{LineAddr, NodeId};
+use dashlat_mem::contention::{Contention, NetworkModel, OccupancyTable};
+use dashlat_mem::directory::{Directory, DirectoryKind};
 use dashlat_mem::layout::{AddressSpaceBuilder, Placement};
 use dashlat_mem::system::{AccessKind, MemConfig, MemorySystem};
-use dashlat_sim::{Cycle, EventQueue, Xorshift};
+use dashlat_sim::{Cycle, EventQueue, QueueHints, Xorshift};
 use dashlat_workloads::synthetic::UniformRandom;
 
 fn bench_event_queue(c: &mut Criterion) {
@@ -33,6 +35,97 @@ fn bench_event_queue(c: &mut Criterion) {
             }
         });
     });
+    c.bench_function("event_queue/batched_drain_10k", |b| {
+        // The machine's hot path: pre-sized wheel, whole-bucket drains.
+        b.iter(|| {
+            let mut q = EventQueue::with_hints(QueueHints {
+                bucket_capacity: 64,
+                overflow_capacity: 16 * 1024,
+            });
+            let mut rng = Xorshift::new(1);
+            let mut batch: Vec<u64> = Vec::with_capacity(64);
+            for i in 0..10_000u64 {
+                q.schedule(Cycle(rng.below(1_000_000)), i);
+            }
+            let mut drained = 0usize;
+            while q.drain_next_into(&mut batch).is_some() {
+                drained += batch.len();
+                batch.clear();
+            }
+            assert_eq!(drained, 10_000);
+            drained
+        });
+    });
+}
+
+fn bench_directory(c: &mut Criterion) {
+    // Raw directory state-machine cost, isolated from caches and latency
+    // accounting: steady-state lookups against a pre-populated line set.
+    let mut g = c.benchmark_group("directory");
+    const LINES: u64 = 4096;
+    g.bench_function("read_shared_4k_lines", |b| {
+        let mut dir = Directory::with_kind_sized(DirectoryKind::FullMap, 16, LINES as usize);
+        for l in 0..LINES {
+            dir.read(LineAddr(l), NodeId((l % 16) as usize));
+        }
+        let mut l = 0u64;
+        b.iter(|| {
+            l = (l + 1) % LINES;
+            dir.read(LineAddr(l), NodeId(((l + 7) % 16) as usize))
+        });
+    });
+    g.bench_function("write_invalidate_4k_lines", |b| {
+        // Every write finds sharers from the previous round and issues
+        // invalidations: the protocol's widest directory transition.
+        let mut dir = Directory::with_kind_sized(DirectoryKind::FullMap, 16, LINES as usize);
+        let mut l = 0u64;
+        b.iter(|| {
+            l = (l + 1) % LINES;
+            dir.read(LineAddr(l), NodeId((l % 16) as usize));
+            dir.read(LineAddr(l), NodeId(((l + 5) % 16) as usize));
+            dir.write(LineAddr(l), NodeId(((l + 11) % 16) as usize))
+        });
+    });
+    g.finish();
+}
+
+fn bench_contention(c: &mut Criterion) {
+    // Cost of one contention charge (resource acquire + queueing-delay
+    // bookkeeping) for each pool, under both network models.
+    let mut g = c.benchmark_group("contention");
+    g.bench_function("bus_and_memory_charge", |b| {
+        let mut con = Contention::new(16, OccupancyTable::dash(), true);
+        let mut now = Cycle::ZERO;
+        let mut n = 0usize;
+        b.iter(|| {
+            n = (n + 1) % 16;
+            now += Cycle(3);
+            con.bus(now, NodeId(n)) + con.memory(now, NodeId(n))
+        });
+    });
+    g.bench_function("network_charge_ports", |b| {
+        let mut con =
+            Contention::with_network(16, OccupancyTable::dash(), true, NetworkModel::Ports);
+        let mut now = Cycle::ZERO;
+        let mut n = 0usize;
+        b.iter(|| {
+            n = (n + 1) % 16;
+            now += Cycle(3);
+            con.network(now, NodeId(n), NodeId((n + 5) % 16))
+        });
+    });
+    g.bench_function("network_charge_mesh2d", |b| {
+        let mut con =
+            Contention::with_network(16, OccupancyTable::dash(), true, NetworkModel::Mesh2D);
+        let mut now = Cycle::ZERO;
+        let mut n = 0usize;
+        b.iter(|| {
+            n = (n + 1) % 16;
+            now += Cycle(3);
+            con.network(now, NodeId(n), NodeId((n + 5) % 16))
+        });
+    });
+    g.finish();
 }
 
 fn bench_memory_system(c: &mut Criterion) {
@@ -145,6 +238,8 @@ fn bench_protocol_paths(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_event_queue,
+    bench_directory,
+    bench_contention,
     bench_memory_system,
     bench_machine,
     bench_apps_test_scale,

@@ -4,29 +4,49 @@
 //! machine, this one measures the *simulator*: wall-clock per figure
 //! matrix, simulation events per second, and the serial-vs-parallel
 //! speedup of the sweep engine. It writes the machine-readable record
-//! (`BENCH_3.json` at the repo root by convention) that CI and the
-//! results log track across commits.
+//! (`BENCH_8.json` at the repo root by convention) that CI's bench-gate
+//! and the results log track across commits.
 //!
-//! Usage: `perf [--test-scale] [--jobs N] [--out PATH] [--figures 2,3]`
+//! Usage: `perf [--test-scale] [--jobs N] [--out PATH] [--figures 2,3]
+//! [--no-memo]`
 //!
 //! * `--test-scale` — reduced data sets (CI smoke); default is paper scale.
-//! * `--jobs N` — worker count for the parallel pass (default all cores).
+//! * `--jobs N` — worker count for the parallel pass (default all cores;
+//!   clamped by [`dashlat::matrix_jobs`] to what the hardware offers).
 //! * `--out PATH` — where to write the JSON record (default stdout only).
 //! * `--figures LIST` — comma-separated subset of 2..=6 (default all).
+//! * `--no-memo` — disable the cross-figure result memo (see below).
 //!
-//! Each figure is swept twice through [`dashlat::run_matrix_jobs`]: once
-//! with `jobs = 1` (the serial baseline) and once with the requested
+//! Each figure is swept twice through [`dashlat::run_matrix_jobs_memo`]:
+//! once with `jobs = 1` (the serial baseline) and once with the requested
 //! worker count. The two reports must fingerprint identically — the
 //! harness asserts it, so a determinism regression fails the benchmark
 //! run rather than silently producing numbers for diverging sweeps.
+//!
+//! ## The result memo
+//!
+//! The figure presets share machine configurations (the base machine
+//! appears in all five figures; RC in three), so the harness keeps one
+//! [`CellMemo`] per *pass kind* — one shared by every serial pass, one by
+//! every parallel pass, never mixed — and repeated configurations are
+//! served from it instead of re-simulated. Per-pass memos keep the
+//! serial/parallel comparison symmetric: both sides do exactly the same
+//! simulation work, so the speedup column stays honest. Hits are
+//! reported per figure in the JSON (`memo_hits`) so a reader can see how
+//! much of a figure's throughput came from sharing rather than raw
+//! kernel speed; `--no-memo` measures the kernel alone.
 
 use std::process::ExitCode;
 use std::time::Instant;
 
 use dashlat::apps::App;
+use dashlat::cellcache::CellMemo;
 use dashlat::experiments::figure_configs;
-use dashlat::{effective_jobs, run_matrix_jobs, ExperimentConfig, MatrixReport};
-use dashlat_bench::base_config_from_args;
+use dashlat::{
+    effective_jobs, hardware_cores, matrix_jobs, run_matrix_jobs_memo, ExperimentConfig,
+    MatrixReport,
+};
+use dashlat_bench::{base_config_from_args, calibrate};
 
 struct FigureTiming {
     figure: u8,
@@ -36,14 +56,21 @@ struct FigureTiming {
     sim_events: u64,
     sim_cycles: u64,
     failures: usize,
+    /// Cells served from the parallel pass's memo for this figure.
+    memo_hits: u64,
 }
 
-fn sweep(figure: u8, base: &ExperimentConfig, jobs: usize) -> (Vec<MatrixReport>, f64) {
+fn sweep(
+    figure: u8,
+    base: &ExperimentConfig,
+    jobs: usize,
+    memo: Option<&CellMemo>,
+) -> (Vec<MatrixReport>, f64) {
     let configs = figure_configs(figure, base);
     let start = Instant::now();
     let reports: Vec<MatrixReport> = App::ALL
         .iter()
-        .map(|&app| run_matrix_jobs(app, &configs, Some(jobs)))
+        .map(|&app| run_matrix_jobs_memo(app, &configs, Some(jobs), memo))
         .collect();
     (reports, start.elapsed().as_secs_f64() * 1e3)
 }
@@ -56,6 +83,7 @@ fn main() -> ExitCode {
     let base = base_config_from_args();
     let args: Vec<String> = std::env::args().collect();
     let jobs = effective_jobs(None);
+    let use_memo = !args.iter().any(|a| a == "--no-memo");
     let figures: Vec<u8> = args
         .iter()
         .position(|a| a == "--figures")
@@ -79,21 +107,37 @@ fn main() -> ExitCode {
         .cloned();
 
     println!(
-        "# Simulator performance — {} processors, {:?} scale, {jobs} job(s), {} core(s)\n",
+        "# Simulator performance — {} processors, {:?} scale, {jobs} job(s), {} core(s), memo {}\n",
         base.processors,
         base.scale,
-        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+        hardware_cores(),
+        if use_memo { "on" } else { "off" },
     );
 
+    // Host-speed calibration, recorded in the JSON so the CI bench-gate
+    // can rescale this record to a differently-sized runner.
+    let (calibration, calibration_spread) = calibrate(3);
+    println!(
+        "calibration: {:.2} Mevents/s (spread {:.1}%)\n",
+        calibration / 1e6,
+        calibration_spread * 1e2,
+    );
+
+    // One memo per pass kind, shared across figures (see module docs).
+    let serial_memo = CellMemo::new();
+    let parallel_memo = CellMemo::new();
     let mut timings = Vec::new();
     for &figure in &figures {
-        let (serial, serial_ms) = sweep(figure, &base, 1);
-        let (parallel, parallel_ms) = sweep(figure, &base, jobs);
+        let hits_before = parallel_memo.hits();
+        let (serial, serial_ms) = sweep(figure, &base, 1, use_memo.then_some(&serial_memo));
+        let (parallel, parallel_ms) =
+            sweep(figure, &base, jobs, use_memo.then_some(&parallel_memo));
         assert_eq!(
             fingerprint(&serial),
             fingerprint(&parallel),
             "figure {figure}: parallel sweep diverged from serial — determinism regression"
         );
+        let memo_hits = parallel_memo.hits() - hits_before;
         let mut sim_events = 0u64;
         let mut sim_cycles = 0u64;
         let mut cells = 0usize;
@@ -107,7 +151,7 @@ fn main() -> ExitCode {
             }
         }
         println!(
-            "figure {figure}: {cells:>2} cells | serial {serial_ms:>9.1} ms | parallel {parallel_ms:>9.1} ms | speedup {:>4.2}x | {:>5.2} Mevents/s",
+            "figure {figure}: {cells:>2} cells | serial {serial_ms:>9.1} ms | parallel {parallel_ms:>9.1} ms | speedup {:>4.2}x | {:>5.2} Mevents/s | {memo_hits} memo hit(s)",
             serial_ms / parallel_ms,
             sim_events as f64 / parallel_ms / 1e3,
         );
@@ -119,6 +163,7 @@ fn main() -> ExitCode {
             sim_events,
             sim_cycles,
             failures,
+            memo_hits,
         });
     }
 
@@ -129,7 +174,15 @@ fn main() -> ExitCode {
         total_serial / total_parallel
     );
 
-    let json = render_json(&base, jobs, &timings, total_serial, total_parallel);
+    let json = render_json(
+        &base,
+        jobs,
+        use_memo,
+        calibration,
+        &timings,
+        total_serial,
+        total_parallel,
+    );
     if let Some(path) = out_path {
         std::fs::write(&path, &json).expect("write --out file");
         println!("\nwrote {path}");
@@ -143,23 +196,32 @@ fn main() -> ExitCode {
     ExitCode::SUCCESS
 }
 
+#[allow(clippy::too_many_arguments)]
 fn render_json(
     base: &ExperimentConfig,
     jobs: usize,
+    use_memo: bool,
+    calibration: f64,
     timings: &[FigureTiming],
     total_serial: f64,
     total_parallel: f64,
 ) -> String {
-    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    // `jobs` is what was requested; `jobs_effective` is what the matrix
+    // policy actually grants on this host for a figure-sized matrix —
+    // recorded so a throughput claim can be read against the parallelism
+    // that produced it (a 1-core runner legitimately reports speedup 1.0).
+    let jobs_effective = matrix_jobs(&figure_configs(3, base), Some(jobs));
     let mut out = String::from("{\n");
     out.push_str(&format!(
-        "  \"scale\": \"{:?}\",\n  \"processors\": {},\n  \"cores\": {cores},\n  \"jobs\": {jobs},\n",
-        base.scale, base.processors
+        "  \"scale\": \"{:?}\",\n  \"processors\": {},\n  \"cores\": {},\n  \"jobs\": {jobs},\n  \"jobs_effective\": {jobs_effective},\n  \"memo\": {use_memo},\n  \"calibration_events_per_sec\": {calibration:.0},\n",
+        base.scale,
+        base.processors,
+        hardware_cores(),
     ));
     out.push_str("  \"figures\": [\n");
     for (i, t) in timings.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"figure\": {}, \"cells\": {}, \"serial_ms\": {:.1}, \"parallel_ms\": {:.1}, \"speedup\": {:.3}, \"sim_events\": {}, \"sim_cycles\": {}, \"events_per_sec\": {:.0}, \"failures\": {}}}{}\n",
+            "    {{\"figure\": {}, \"cells\": {}, \"serial_ms\": {:.1}, \"parallel_ms\": {:.1}, \"speedup\": {:.3}, \"sim_events\": {}, \"sim_cycles\": {}, \"events_per_sec\": {:.0}, \"memo_hits\": {}, \"failures\": {}}}{}\n",
             t.figure,
             t.cells,
             t.serial_ms,
@@ -168,6 +230,7 @@ fn render_json(
             t.sim_events,
             t.sim_cycles,
             t.sim_events as f64 / (t.parallel_ms / 1e3),
+            t.memo_hits,
             t.failures,
             if i + 1 < timings.len() { "," } else { "" },
         ));

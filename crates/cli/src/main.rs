@@ -16,12 +16,14 @@ use std::time::Duration;
 
 use args::{parse, ArgError, Command, USAGE};
 use dashlat::apps::App;
+use dashlat::cellcache::CellMemo;
 use dashlat::chaos::{active_classes, run_chaos, ChaosOptions};
 use dashlat::config::ExperimentConfig;
 use dashlat::report::{describe_run, AppFigure, Figure};
 use dashlat::runner::{run, RunFailure};
 use dashlat::sweep::{
-    run_cell_in_process, run_supervised, ReproBundle, SweepCell, SweepOptions, SweepPlan,
+    run_cell_in_process, run_cell_in_process_memo, run_supervised, ReproBundle, SweepCell,
+    SweepOptions, SweepPlan,
 };
 use dashlat_cpu::machine::{Machine, RunError};
 use dashlat_cpu::trace::{Trace, TraceRecorder};
@@ -428,14 +430,22 @@ fn execute(cmd: Command) -> Result<(), Box<dyn std::error::Error>> {
                     |_, cell, _| isolate::run_cell_subprocess(cell, timeout),
                 )?
             } else {
-                run_supervised(
+                let memo = CellMemo::new();
+                let report = run_supervised(
                     &plan,
                     journal_path,
                     out_path,
                     resume,
                     &opts,
-                    |_, cell, _| run_cell_in_process(cell),
-                )?
+                    |_, cell, _| run_cell_in_process_memo(cell, &memo),
+                )?;
+                if memo.hits() > 0 {
+                    println!(
+                        "result memo: {} cell(s) served without re-simulating",
+                        memo.hits()
+                    );
+                }
+                report
             };
             println!("{}", report.summary());
             for line in report.diagnostics() {

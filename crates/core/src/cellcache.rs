@@ -1,0 +1,141 @@
+//! In-process memo of finished cells, keyed by work fingerprint.
+//!
+//! The paper's figures reuse machine configurations heavily: across the
+//! figure 2–6 presets each application names 22 cells of which only 13
+//! are unique (the base machine alone appears in five figures). Cells are
+//! deterministic functions of their *work identity* — the application
+//! plus the full machine configuration, exactly what
+//! [`crate::sweep::work_fingerprint`] hashes — so the second and later
+//! occurrences of a configuration can be served from a memo instead of
+//! re-simulated, and the served clone is byte-identical to what the
+//! re-run would have produced.
+//!
+//! This is the in-process complement of the `dashlat-serve` disk cache:
+//! the disk cache persists across processes but stores only summary
+//! fields, while this memo holds complete [`Experiment`]s for the
+//! lifetime of one sweep. The bench harness keeps one memo per
+//! measurement pass (never shared between a serial and a parallel pass)
+//! so both sides of a speedup comparison do the same work.
+//!
+//! Failures are never memoized, mirroring the serve cache policy: a
+//! transient fault must stay visible in every cell it strikes, and a
+//! panic must re-fire rather than be replayed from a stale clone.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::apps::App;
+use crate::config::ExperimentConfig;
+use crate::runner::{run_isolated, Experiment, RunFailure};
+use crate::sweep::work_fingerprint;
+
+/// Thread-safe memo of successful cell results for one sweep's lifetime.
+///
+/// Concurrent misses on the same fingerprint may both simulate (the memo
+/// does not hold its lock across a simulation); both produce identical
+/// results and the second insert is a harmless overwrite, so correctness
+/// never depends on the race.
+#[derive(Debug, Default)]
+pub struct CellMemo {
+    done: Mutex<HashMap<u64, Experiment>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl CellMemo {
+    /// An empty memo.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Runs one cell through the memo: a fingerprint hit returns a clone
+    /// of the stored experiment without simulating; a miss simulates via
+    /// [`run_isolated`] and stores the result if it succeeded.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the [`RunFailure`] of the underlying run; failures are
+    /// not memoized.
+    pub fn run(&self, app: App, config: &ExperimentConfig) -> Result<Experiment, RunFailure> {
+        let fp = work_fingerprint(app, config);
+        if let Some(done) = self.done.lock().expect("memo poisoned").get(&fp) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(done.clone());
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let outcome = run_isolated(app, config);
+        if let Ok(e) = &outcome {
+            self.done
+                .lock()
+                .expect("memo poisoned")
+                .insert(fp, e.clone());
+        }
+        outcome
+    }
+
+    /// Cells served from the memo without simulating.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cells that had to simulate.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Distinct successful work identities currently stored.
+    pub fn len(&self) -> usize {
+        self.done.lock().expect("memo poisoned").len()
+    }
+
+    /// True when nothing has been stored yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ExperimentConfig;
+
+    #[test]
+    fn repeated_cells_hit_and_match_the_first_run() {
+        let memo = CellMemo::new();
+        let cfg = ExperimentConfig::base_test();
+        let first = memo.run(App::Mp3d, &cfg).expect("first run");
+        let second = memo.run(App::Mp3d, &cfg).expect("memo hit");
+        assert_eq!(memo.hits(), 1);
+        assert_eq!(memo.misses(), 1);
+        assert_eq!(memo.len(), 1);
+        assert_eq!(format!("{first:?}"), format!("{second:?}"));
+    }
+
+    #[test]
+    fn distinct_configs_do_not_collide() {
+        let memo = CellMemo::new();
+        let cfg = ExperimentConfig::base_test();
+        let rc = cfg.clone().with_rc();
+        memo.run(App::Mp3d, &cfg).expect("base");
+        memo.run(App::Mp3d, &rc).expect("rc");
+        assert_eq!(memo.misses(), 2);
+        assert_eq!(memo.len(), 2);
+        // Same config, different app: also a distinct identity.
+        memo.run(App::Lu, &cfg).expect("lu");
+        assert_eq!(memo.misses(), 3);
+        assert_eq!(memo.hits(), 0);
+    }
+
+    #[test]
+    fn failures_are_not_memoized() {
+        let memo = CellMemo::new();
+        let mut poisoned = ExperimentConfig::base_test();
+        poisoned.contexts = 0;
+        assert!(memo.run(App::Mp3d, &poisoned).is_err());
+        assert!(memo.run(App::Mp3d, &poisoned).is_err());
+        assert_eq!(memo.hits(), 0);
+        assert_eq!(memo.misses(), 2);
+        assert!(memo.is_empty());
+    }
+}

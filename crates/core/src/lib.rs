@@ -41,6 +41,7 @@
 //! ```
 
 pub mod apps;
+pub mod cellcache;
 pub mod chaos;
 pub mod config;
 pub mod experiments;
@@ -51,14 +52,18 @@ pub mod sweep;
 pub mod sweeplog;
 
 pub use apps::App;
+pub use cellcache::CellMemo;
 pub use config::{parse_machine_args, AppScale, ExperimentConfig};
-pub use pool::{effective_jobs, par_indexed_map, par_indexed_map_while, set_default_jobs};
+pub use pool::{
+    effective_jobs, hardware_cores, par_indexed_map, par_indexed_map_while, set_default_jobs,
+};
 pub use report::{AppFigure, Figure, FigureBar, Table2, Table2Row};
 pub use runner::{
-    run, run_isolated, run_matrix, run_matrix_jobs, Experiment, MatrixCell, MatrixReport,
-    RunFailure,
+    matrix_jobs, run, run_isolated, run_matrix, run_matrix_jobs, run_matrix_jobs_memo, Experiment,
+    MatrixCell, MatrixReport, RunFailure,
 };
 pub use sweep::{
-    cell_fingerprint, retry_backoff_ms, run_supervised, run_supervised_controlled, SweepControl,
+    cell_fingerprint, retry_backoff_ms, run_supervised, run_supervised_controlled,
+    work_fingerprint, SweepControl,
 };
 pub use sweeplog::{SweepBatch, SweepLog, SweepPoint};

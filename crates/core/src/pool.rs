@@ -27,6 +27,16 @@ pub fn set_default_jobs(jobs: Option<usize>) {
     DEFAULT_JOBS.store(jobs.unwrap_or(0), Ordering::Relaxed);
 }
 
+/// The parallelism the hardware actually offers
+/// ([`std::thread::available_parallelism`], 1 when unknown). Sweeps clamp
+/// their worker count to this: workers beyond the core count only add
+/// scheduler thrash (the source of the sub-1.0 "speedups" in early BENCH
+/// files), and bench reports record it so throughput numbers can be read
+/// against the machine that produced them.
+pub fn hardware_cores() -> usize {
+    thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
 /// The effective worker count: the explicit `requested` value if given,
 /// else the process-wide default from [`set_default_jobs`], else
 /// [`std::thread::available_parallelism`]. Never less than 1.

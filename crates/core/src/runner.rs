@@ -226,18 +226,98 @@ pub fn run_matrix(app: App, configs: &[ExperimentConfig]) -> MatrixReport {
 
 /// [`run_matrix`] with an explicit worker count (`None` = the process-wide
 /// default). `jobs = Some(1)` forces the serial path on the caller's
-/// thread.
+/// thread; larger values are subject to the [`matrix_jobs`] policy.
 pub fn run_matrix_jobs(
     app: App,
     configs: &[ExperimentConfig],
     jobs: Option<usize>,
 ) -> MatrixReport {
-    let jobs = crate::pool::effective_jobs(jobs);
-    let cells = crate::pool::par_indexed_map(jobs, configs, |_, c| MatrixCell {
-        label: c.label(),
-        outcome: run_isolated(app, c),
+    run_matrix_jobs_memo(app, configs, jobs, None)
+}
+
+/// [`run_matrix_jobs`] with an optional result memo: cells whose work
+/// fingerprint is already in `memo` are served from it instead of
+/// re-simulated (see [`crate::cellcache::CellMemo`]). The report is
+/// bit-identical with or without the memo — a hit is a clone of what the
+/// re-run would have produced.
+pub fn run_matrix_jobs_memo(
+    app: App,
+    configs: &[ExperimentConfig],
+    jobs: Option<usize>,
+    memo: Option<&crate::cellcache::CellMemo>,
+) -> MatrixReport {
+    let jobs = matrix_jobs(configs, jobs);
+    // Longest-expected-first dispatch: the pool's cursor hands out items
+    // in slice order, so sorting indices by descending estimated cost
+    // approximates LPT scheduling — the slowest cells start first and the
+    // cheap ones backfill, instead of a slow cell landing last and
+    // stretching the sweep by its whole length. The sort is stable and
+    // cost estimation is deterministic, so the dispatch order (and with
+    // it the report) is reproducible; results are written back into input
+    // order regardless.
+    let mut order: Vec<usize> = (0..configs.len()).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(estimated_cost(&configs[i])));
+    let by_order = crate::pool::par_indexed_map(jobs, &order, |_, &i| {
+        let c = &configs[i];
+        let outcome = match memo {
+            Some(m) => m.run(app, c),
+            None => run_isolated(app, c),
+        };
+        (
+            i,
+            MatrixCell {
+                label: c.label(),
+                outcome,
+            },
+        )
     });
+    let mut slots: Vec<Option<MatrixCell>> = configs.iter().map(|_| None).collect();
+    for (i, cell) in by_order {
+        slots[i] = Some(cell);
+    }
+    let cells = slots
+        .into_iter()
+        .map(|s| s.expect("every dispatched cell produced a result"))
+        .collect();
     MatrixReport { app, cells }
+}
+
+/// Matrices whose summed [`estimated_cost`] is below this run serially:
+/// spawning workers, fanning a handful of millisecond-scale cells across
+/// them and joining costs more than it saves. Test-scale cells weigh
+/// `processors × contexts` (16–64 units), so this admits parallelism only
+/// once a matrix carries at least a few non-trivial cells.
+const PARALLEL_COST_FLOOR: u64 = 64;
+
+/// Worker-count policy for one cell matrix: the requested (or default)
+/// count, clamped to the cells available and to what the hardware
+/// actually offers — workers beyond `available_parallelism` only context-
+/// switch against each other, which is how BENCH_3.json recorded parallel
+/// sweeps *slower* than serial (speedup 0.85–0.88 on figures 3 and 5).
+/// Falls back to serial on single-core hosts and for matrices too small
+/// to amortize pool overhead.
+pub fn matrix_jobs(configs: &[ExperimentConfig], requested: Option<usize>) -> usize {
+    let jobs = crate::pool::effective_jobs(requested)
+        .min(crate::pool::hardware_cores())
+        .min(configs.len().max(1));
+    if jobs > 1 && configs.iter().map(estimated_cost).sum::<u64>() < PARALLEL_COST_FLOOR {
+        return 1;
+    }
+    jobs
+}
+
+/// Rough relative cost of simulating one cell, for dispatch ordering and
+/// the serial-fallback decision. Simulated events scale with the process
+/// count (every context issues its own operation stream), and paper-scale
+/// data sets run ~three orders of magnitude longer than test-scale ones.
+/// Only the *ordering* of estimates matters, not their absolute values.
+fn estimated_cost(config: &ExperimentConfig) -> u64 {
+    let processes = (config.processors.max(1) * config.contexts.max(1)) as u64;
+    let scale = match config.scale {
+        crate::config::AppScale::Paper => 1_000,
+        crate::config::AppScale::Test => 1,
+    };
+    processes * scale
 }
 
 #[cfg(test)]

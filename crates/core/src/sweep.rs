@@ -133,6 +133,13 @@ impl SweepPlan {
 /// re-simulating them. Cells are deterministic functions of this
 /// identity, so equal fingerprints imply equal results.
 pub fn cell_fingerprint(cell: &SweepCell) -> u64 {
+    work_fingerprint(cell.app, &cell.config)
+}
+
+/// [`cell_fingerprint`] for callers that hold an `(app, config)` pair
+/// rather than a [`SweepCell`] — the in-process result memo
+/// ([`crate::cellcache::CellMemo`]) keys on this before a cell exists.
+pub fn work_fingerprint(app: App, config: &ExperimentConfig) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     let mut eat = |bytes: &[u8]| {
         for &b in bytes {
@@ -142,8 +149,8 @@ pub fn cell_fingerprint(cell: &SweepCell) -> u64 {
         h ^= 0xff;
         h = h.wrapping_mul(0x100_0000_01b3);
     };
-    eat(cell.app.name().as_bytes());
-    eat(format!("{:?}", cell.config).as_bytes());
+    eat(app.name().as_bytes());
+    eat(format!("{config:?}").as_bytes());
     h
 }
 
@@ -321,6 +328,23 @@ impl CellFailure {
 pub fn run_cell_in_process(cell: &SweepCell) -> Result<u64, CellFailure> {
     let faults_active = cell.config.faults.is_some_and(|p| p.is_active());
     run_isolated(cell.app, &cell.config)
+        .map(|e| e.result.elapsed.as_u64())
+        .map_err(|f| CellFailure::classify(&f, faults_active))
+}
+
+/// [`run_cell_in_process`] with a warm-result memo in front: a cell whose
+/// work fingerprint is already in `memo` is served from it without
+/// re-simulating (bit-identical by the fingerprint invariant — see
+/// [`cell_fingerprint`]). One plan has no duplicate fingerprints, so the
+/// memo pays off when shared across plans — the `dashlat sweep` CLI
+/// shares one per invocation and the serve daemon one per process, in
+/// front of its (elapsed-only, cross-process) disk cache.
+pub fn run_cell_in_process_memo(
+    cell: &SweepCell,
+    memo: &crate::cellcache::CellMemo,
+) -> Result<u64, CellFailure> {
+    let faults_active = cell.config.faults.is_some_and(|p| p.is_active());
+    memo.run(cell.app, &cell.config)
         .map(|e| e.result.elapsed.as_u64())
         .map_err(|f| CellFailure::classify(&f, faults_active))
 }
@@ -778,7 +802,9 @@ where
         .collect();
 
     let journal = Mutex::new(journal);
-    let jobs = crate::pool::effective_jobs(opts.jobs);
+    // Workers beyond the hardware's parallelism only thrash the
+    // scheduler (cells are CPU-bound); clamp like the matrix runner.
+    let jobs = crate::pool::effective_jobs(opts.jobs).min(crate::pool::hardware_cores());
     let salt_base = plan.fingerprint();
     let fresh: Vec<Option<Option<CellRecord>>> = crate::pool::par_indexed_map_while(
         jobs,

@@ -1,0 +1,125 @@
+//! Warm-state snapshot determinism: pausing a machine, forking its state
+//! and resuming must be invisible in the results.
+//!
+//! Three executions of the same cell are compared field-for-field (via the
+//! exhaustive `Debug` rendering, the same fingerprint the bench harness
+//! uses for its serial/parallel identity check):
+//!
+//! 1. one straight `run()` to completion;
+//! 2. a chain of bounded `run_segment` calls (pause at every batch
+//!    boundary the budget lands on), resuming until done;
+//! 3. a `snapshot()` fork taken at the first pause, run to completion.
+//!
+//! Bit-identical results across all three is what makes warm-state
+//! checkpoints safe to substitute for re-simulating a shared sweep prefix.
+
+use dashlat::apps::App;
+use dashlat::config::ExperimentConfig;
+use dashlat_cpu::machine::{Machine, RunPhase, RunResult};
+use dashlat_cpu::ops::Workload;
+use dashlat_mem::layout::AddressSpaceBuilder;
+use dashlat_mem::system::MemorySystem;
+
+/// Builds the machine for one cell exactly the way the runner wires it.
+fn build_machine(app: App, config: &ExperimentConfig) -> Machine<Box<dyn Workload>> {
+    let topo = config.topology();
+    let mut space = AddressSpaceBuilder::new(config.processors);
+    let workload = app.build(config.scale, topo, &mut space, config.prefetching);
+    let mem = MemorySystem::new(config.mem_config(), space.build());
+    Machine::new(config.proc_config(), topo, mem, workload)
+}
+
+/// The exhaustive result fingerprint (every public field participates).
+fn fingerprint(r: &RunResult) -> String {
+    format!("{r:?}")
+}
+
+fn straight_run(app: App, config: &ExperimentConfig) -> RunResult {
+    build_machine(app, config).run().expect("straight run")
+}
+
+#[test]
+fn segmented_run_matches_straight_run() {
+    let config = ExperimentConfig::base_test();
+    for app in [App::Mp3d, App::Lu] {
+        let straight = fingerprint(&straight_run(app, &config));
+
+        // Resume in small segments so many pause points are exercised.
+        let mut machine = build_machine(app, &config);
+        let mut segments = 0u32;
+        let segmented = loop {
+            match machine.run_segment(50_000).expect("segment") {
+                RunPhase::Done(result) => break *result,
+                RunPhase::Paused(parked) => {
+                    machine = *parked;
+                    segments += 1;
+                }
+            }
+        };
+        assert!(segments > 1, "{app}: budget too large to exercise pauses");
+        assert_eq!(
+            fingerprint(&segmented),
+            straight,
+            "{app}: segmented run diverged from straight run"
+        );
+    }
+}
+
+#[test]
+fn snapshot_fork_matches_straight_run() {
+    let config = ExperimentConfig::base_test();
+    let app = App::Mp3d;
+    let straight = fingerprint(&straight_run(app, &config));
+
+    // Pause once mid-run, fork the warm state, and finish both machines.
+    let paused = match build_machine(app, &config)
+        .run_segment(200_000)
+        .expect("first segment")
+    {
+        RunPhase::Paused(parked) => *parked,
+        RunPhase::Done(_) => panic!("budget too large: run finished before the pause"),
+    };
+    let fork = paused.snapshot().expect("workload supports forking");
+
+    let original = run_to_completion(paused);
+    let forked = run_to_completion(fork);
+
+    assert_eq!(
+        fingerprint(&original),
+        straight,
+        "resumed original diverged from straight run"
+    );
+    assert_eq!(
+        fingerprint(&forked),
+        straight,
+        "snapshot fork diverged from straight run"
+    );
+}
+
+fn run_to_completion(machine: Machine<Box<dyn Workload>>) -> RunResult {
+    match machine.run_segment(u64::MAX).expect("completion segment") {
+        RunPhase::Done(result) => *result,
+        RunPhase::Paused(_) => unreachable!("unbounded budget cannot pause"),
+    }
+}
+
+#[test]
+fn snapshot_is_independent_of_the_original() {
+    // Running the fork first must not perturb the original (deep clone).
+    let config = ExperimentConfig::base_test();
+    let app = App::Lu;
+    let straight = fingerprint(&straight_run(app, &config));
+
+    let paused = match build_machine(app, &config)
+        .run_segment(100_000)
+        .expect("first segment")
+    {
+        RunPhase::Paused(parked) => *parked,
+        RunPhase::Done(_) => panic!("budget too large: run finished before the pause"),
+    };
+    let fork = paused.snapshot().expect("workload supports forking");
+    let forked = fingerprint(&run_to_completion(fork));
+    let original = fingerprint(&run_to_completion(paused));
+    assert_eq!(forked, straight);
+    assert_eq!(original, straight);
+}

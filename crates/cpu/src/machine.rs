@@ -50,11 +50,87 @@ use dashlat_mem::system::{
 use dashlat_sim::fault::FaultInjector;
 use dashlat_sim::sched::{Footprint, SchedAlt, Scheduler};
 use dashlat_sim::stats::{Distribution, RunLengthTracker, TimeSeries};
-use dashlat_sim::{Cycle, EventQueue, FxHashMap};
+use dashlat_sim::{Cycle, EventQueue, QueueHints};
 
-/// MSHR-map length beyond which completed entries are pruned (and the
-/// pre-sized capacity of the map, so steady state never rehashes).
+/// MSHR-table length beyond which completed entries are pruned (and the
+/// pre-sized capacity of the table, so steady state never reallocates).
 const OUTSTANDING_PRUNE_LEN: usize = 128;
+
+/// One processor's in-flight (missed) lines, struct-of-arrays.
+///
+/// Real MSHR occupancy is a handful of entries (one demand miss per
+/// context plus the prefetch pipeline), so two parallel dense arrays with
+/// linear scans beat a hash map on the dispatch path: no hashing, no
+/// probing, and both arrays share a cache line at typical depths. Entry
+/// order is irrelevant to semantics (lookups are by line), so removal can
+/// `swap_remove`.
+#[derive(Debug, Clone, Default)]
+struct MshrTable {
+    lines: Vec<LineAddr>,
+    done: Vec<Cycle>,
+}
+
+impl MshrTable {
+    fn with_capacity(cap: usize) -> Self {
+        MshrTable {
+            lines: Vec::with_capacity(cap),
+            done: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Completion time of the in-flight request for `line`, if any.
+    #[inline]
+    fn get(&self, line: LineAddr) -> Option<Cycle> {
+        self.lines
+            .iter()
+            .position(|&l| l == line)
+            .map(|i| self.done[i])
+    }
+
+    /// Inserts or updates the entry for `line`.
+    #[inline]
+    fn insert(&mut self, line: LineAddr, done: Cycle) {
+        match self.lines.iter().position(|&l| l == line) {
+            Some(i) => self.done[i] = done,
+            None => {
+                self.lines.push(line);
+                self.done.push(done);
+            }
+        }
+    }
+
+    /// Removes the entry for `line` iff its completion time is exactly
+    /// `done` (a stale entry for a reissued line must survive).
+    #[inline]
+    fn remove_exact(&mut self, line: LineAddr, done: Cycle) {
+        if let Some(i) = self
+            .lines
+            .iter()
+            .position(|&l| l == line)
+            .filter(|&i| self.done[i] == done)
+        {
+            self.lines.swap_remove(i);
+            self.done.swap_remove(i);
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// Drops entries long since completed (keeps the linear scans short).
+    fn prune(&mut self, now: Cycle) {
+        let mut i = 0;
+        while i < self.lines.len() {
+            if self.done[i] + Cycle(1024) > now {
+                i += 1;
+            } else {
+                self.lines.swap_remove(i);
+                self.done.swap_remove(i);
+            }
+        }
+    }
+}
 
 use crate::breakdown::TimeBreakdown;
 use crate::config::ProcConfig;
@@ -80,7 +156,7 @@ enum CtxState {
     Finished,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Context {
     state: CtxState,
     reason: Reason,
@@ -92,6 +168,7 @@ struct Context {
     blocked_on: Option<BlockedOn>,
 }
 
+#[derive(Clone)]
 struct Proc {
     /// Process ids of this processor's contexts.
     ctxs: Vec<usize>,
@@ -117,7 +194,7 @@ struct Proc {
     pb_next_issue: Cycle,
     pf_full_waiters: VecDeque<usize>,
     /// In-flight lines → completion time (MSHR-style combining).
-    outstanding: FxHashMap<LineAddr, Cycle>,
+    outstanding: MshrTable,
     /// Primary-cache lockout cycles to charge at the next busy period.
     pending_lockout_pf: u64,
     pending_lockout_fill: u64,
@@ -426,6 +503,26 @@ pub struct Machine<W: Workload> {
     /// Whether the memory system records its access trace (see
     /// [`Machine::with_access_trace`]).
     record_accesses: bool,
+    /// Whether the kick-off events have been scheduled (set by the first
+    /// [`Machine::run_segment`], so a resumed machine does not restart).
+    started: bool,
+    /// Watchdog state carried across paused segments: the timestamp of the
+    /// last dispatched batch and the events dispatched at it. Persisting
+    /// these keeps budget/monotonicity/livelock detection bit-identical
+    /// between a straight run and a paused-and-resumed one.
+    watch_last_t: Cycle,
+    watch_events_at_t: u64,
+}
+
+/// Outcome of one bounded run segment (see [`Machine::run_segment`]).
+pub enum RunPhase<W: Workload> {
+    /// The workload ran to completion.
+    Done(Box<RunResult>),
+    /// The event budget elapsed. The machine is parked at a batch boundary
+    /// (every event of the in-flight simulated cycle dispatched); call
+    /// [`Machine::run_segment`] again to continue, or
+    /// [`Machine::snapshot`] to fork its warm state.
+    Paused(Box<Machine<W>>),
 }
 
 impl<W: Workload> Machine<W> {
@@ -477,11 +574,10 @@ impl<W: Workload> Machine<W> {
                 pb_next_issue: Cycle::ZERO,
                 pf_full_waiters: VecDeque::new(),
                 // Pre-sized to the MSHR prune threshold or the layout's
-                // shared-line count, whichever is smaller: the map never
-                // rehashes in steady state.
-                outstanding: FxHashMap::with_capacity_and_hasher(
+                // shared-line count, whichever is smaller: the table never
+                // reallocates in steady state.
+                outstanding: MshrTable::with_capacity(
                     mem.shared_lines().min(OUTSTANDING_PRUNE_LEN),
-                    dashlat_sim::FxBuildHasher::default(),
                 ),
                 pending_lockout_pf: 0,
                 pending_lockout_fill: 0,
@@ -513,7 +609,14 @@ impl<W: Workload> Machine<W> {
             mem,
             sync,
             workload,
-            queue: EventQueue::new(),
+            // Same-cycle fan-in is bounded by one event per process plus
+            // the per-processor buffer-service pipelines; far-future
+            // events (beyond the 1024-cycle wheel window) are rare. Sizing
+            // from the topology keeps steady-state dispatch allocation-free.
+            queue: EventQueue::with_hints(QueueHints {
+                bucket_capacity: (topo.processes() + 2 * topo.processors).next_power_of_two(),
+                overflow_capacity: 64,
+            }),
             procs,
             ctxs,
             max_cycles: Self::DEFAULT_MAX_CYCLES,
@@ -530,6 +633,9 @@ impl<W: Workload> Machine<W> {
             sched: None,
             decisions: Vec::new(),
             record_accesses: false,
+            started: false,
+            watch_last_t: Cycle::ZERO,
+            watch_events_at_t: 0,
         }
     }
 
@@ -616,72 +722,84 @@ impl<W: Workload> Machine<W> {
     /// [`RunError::InvariantViolation`] if online checking (see
     /// [`ProcConfig::check_invariants`]) finds the coherence protocol in an
     /// inconsistent state.
-    pub fn run(mut self) -> Result<RunResult, RunError> {
-        // Kick off: each processor starts its first context; the rest are
-        // ready.
-        for p in 0..self.topo.processors {
-            let pid = self.procs[p].ctxs[0];
-            self.ctxs[pid].state = CtxState::Running;
-            self.queue.schedule(Cycle::ZERO, Event::Step(pid));
+    pub fn run(self) -> Result<RunResult, RunError> {
+        match self.run_segment(u64::MAX)? {
+            RunPhase::Done(result) => Ok(*result),
+            RunPhase::Paused(_) => unreachable!("a u64::MAX event budget cannot pause"),
+        }
+    }
+
+    /// Runs until the workload completes or at least `max_events` more
+    /// events have been dispatched, whichever comes first.
+    ///
+    /// A paused machine stops at a *batch boundary*: the in-flight
+    /// simulated cycle has been fully dispatched and nothing is half-done,
+    /// so its state is exactly the state of an uninterrupted run at that
+    /// point. That makes pause points safe places to [`Machine::snapshot`]
+    /// warm state, and guarantees `run_segment(k)` chained any number of
+    /// times produces the same [`RunResult`] as one `run()` call.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`Machine::run`]. The watchdog bookkeeping
+    /// (cycle budget, time monotonicity, livelock counting) is carried
+    /// across segments, so detection is unaffected by where pauses land.
+    pub fn run_segment(mut self, max_events: u64) -> Result<RunPhase<W>, RunError> {
+        if !self.started {
+            // Kick off: each processor starts its first context; the rest
+            // are ready.
+            self.started = true;
+            for p in 0..self.topo.processors {
+                let pid = self.procs[p].ctxs[0];
+                self.ctxs[pid].state = CtxState::Running;
+                self.queue.schedule(Cycle::ZERO, Event::Step(pid));
+            }
         }
 
-        let mut last_t = Cycle::ZERO;
-        let mut events_at_t = 0u64;
-        loop {
+        let mut dispatched = 0u64;
+        if self.sched.is_some() {
             // The scheduler-attached path collects the whole same-cycle
-            // slate and asks the policy; the default path is the plain
-            // deterministic pop (no overhead beyond this branch).
-            let next = if self.sched.is_some() {
-                self.pop_scheduled()
-            } else {
-                self.queue.pop()
-            };
-            let Some((t, ev)) = next else { break };
-            if t > self.max_cycles {
-                return Err(RunError::CycleBudgetExceeded {
-                    limit: self.max_cycles,
-                });
-            }
-            // Simulated time must be monotone: the event queue pops in
-            // nondecreasing order by construction, so a regression means
-            // the machine scheduled an event in the past.
-            if t < last_t {
-                return Err(RunError::InvariantViolation {
-                    at: last_t,
-                    detail: format!(
-                        "simulated time ran backwards: event at cycle {} after cycle {}",
-                        t.as_u64(),
-                        last_t.as_u64()
-                    ),
-                });
-            }
-            // Livelock watchdog: a zero-time event loop never trips the
-            // cycle budget; count events processed at a stuck timestamp.
-            if t == last_t {
-                events_at_t += 1;
-                if events_at_t > Self::LIVELOCK_EVENT_THRESHOLD {
-                    return Err(RunError::Livelock {
-                        events: events_at_t,
-                        at: t,
-                        stuck: self.stuck_processes(),
-                    });
+            // slate and asks the policy one event at a time.
+            while dispatched < max_events {
+                let Some((t, ev)) = self.pop_scheduled() else {
+                    break;
+                };
+                self.check_progress(t, 1)?;
+                self.dispatch(t, ev);
+                dispatched += 1;
+                if let Some((at, detail)) = self.invariant_failure.take() {
+                    return Err(RunError::InvariantViolation { at, detail });
                 }
-            } else {
-                last_t = t;
-                events_at_t = 0;
             }
-            match ev {
-                Event::Step(pid) => self.step(t, pid),
-                Event::Wake(pid) => self.wake(t, pid),
-                Event::WbService(p) => self.wb_service(t, p),
-                Event::PbService(p) => self.pb_service(t, p),
-                Event::Fill(p, line, from_prefetch) => self.fill_arrived(t, p, line, from_prefetch),
-                Event::Unlock(lid, pid) => self.unlock(t, lid, pid),
-                Event::BarrierWake(pid, b) => self.barrier_wake(t, pid, b),
+        } else {
+            // Batched deterministic dispatch: drain one whole wheel bucket
+            // (one simulated cycle) at a time and consume it in an inner
+            // loop, so the budget / monotonicity / livelock bookkeeping is
+            // paid once per cycle instead of once per event. Events a
+            // handler schedules back into the in-flight cycle land in the
+            // (now empty, still allocated) bucket and are picked up by the
+            // next drain, which is exactly per-event pop order — see the
+            // `batch_drain_matches_per_event_pops` proof in `dashlat-sim`.
+            let mut batch: Vec<Event> = Vec::new();
+            while dispatched < max_events {
+                let Some(t) = self.queue.drain_next_into(&mut batch) else {
+                    break;
+                };
+                self.check_progress(t, batch.len() as u64)?;
+                dispatched += batch.len() as u64;
+                for ev in batch.drain(..) {
+                    self.dispatch(t, ev);
+                    if let Some((at, detail)) = self.invariant_failure.take() {
+                        return Err(RunError::InvariantViolation { at, detail });
+                    }
+                }
             }
-            if let Some((at, detail)) = self.invariant_failure.take() {
-                return Err(RunError::InvariantViolation { at, detail });
-            }
+        }
+
+        if self.queue.peek_time().is_some() {
+            // Event budget elapsed with work left: park at this batch
+            // boundary.
+            return Ok(RunPhase::Paused(Box::new(self)));
         }
 
         let stuck = self.stuck_processes();
@@ -689,7 +807,112 @@ impl<W: Workload> Machine<W> {
             return Err(RunError::Deadlock { stuck });
         }
 
-        Ok(self.finish())
+        Ok(RunPhase::Done(Box::new(self.finish())))
+    }
+
+    /// Forks the machine's complete warm state into an independent machine
+    /// that will produce bit-identical results from this point on.
+    ///
+    /// This is the warm-state checkpoint primitive: run the shared prefix
+    /// of a sweep once with [`Machine::run_segment`], snapshot at the
+    /// pause, and hand each divergent cell its own fork instead of
+    /// re-simulating the prefix. Everything observable is cloned — memory
+    /// system, sync state, event queue (with in-flight events), per-
+    /// processor buffers and MSHRs, counters, watchdog state — and the
+    /// workload is forked through [`Workload::fork`].
+    ///
+    /// Returns `None` when the workload does not support forking or when a
+    /// tie-break scheduler is attached (scheduler policies are stateful
+    /// boxed trait objects and are not clonable; the model checker replays
+    /// from the start instead).
+    pub fn snapshot(&self) -> Option<Machine<Box<dyn Workload>>> {
+        if self.sched.is_some() {
+            return None;
+        }
+        let workload = self.workload.fork()?;
+        Some(Machine {
+            cfg: self.cfg.clone(),
+            topo: self.topo,
+            mem: self.mem.clone(),
+            sync: self.sync.clone(),
+            workload,
+            queue: self.queue.clone(),
+            procs: self.procs.clone(),
+            ctxs: self.ctxs.clone(),
+            max_cycles: self.max_cycles,
+            shared_reads: self.shared_reads,
+            shared_writes: self.shared_writes,
+            lock_acquires: self.lock_acquires,
+            barrier_arrivals: self.barrier_arrivals,
+            prefetches_issued: self.prefetches_issued,
+            context_switches: self.context_switches,
+            timeline: self.timeline.clone(),
+            invariant_failure: self.invariant_failure.clone(),
+            events: self.events.clone(),
+            event_seq: self.event_seq.clone(),
+            sched: None,
+            decisions: self.decisions.clone(),
+            record_accesses: self.record_accesses,
+            started: self.started,
+            watch_last_t: self.watch_last_t,
+            watch_events_at_t: self.watch_events_at_t,
+        })
+    }
+
+    /// Routes one event to its handler.
+    #[inline]
+    fn dispatch(&mut self, t: Cycle, ev: Event) {
+        match ev {
+            Event::Step(pid) => self.step(t, pid),
+            Event::Wake(pid) => self.wake(t, pid),
+            Event::WbService(p) => self.wb_service(t, p),
+            Event::PbService(p) => self.pb_service(t, p),
+            Event::Fill(p, line, from_prefetch) => self.fill_arrived(t, p, line, from_prefetch),
+            Event::Unlock(lid, pid) => self.unlock(t, lid, pid),
+            Event::BarrierWake(pid, b) => self.barrier_wake(t, pid, b),
+        }
+    }
+
+    /// Cycle-budget, time-monotonicity and livelock bookkeeping, charged
+    /// once per dispatched batch of `count` same-cycle events. The state
+    /// lives on the machine (not the run loop) so paused segments and
+    /// snapshots resume detection exactly where it left off.
+    #[inline]
+    fn check_progress(&mut self, t: Cycle, count: u64) -> Result<(), RunError> {
+        if t > self.max_cycles {
+            return Err(RunError::CycleBudgetExceeded {
+                limit: self.max_cycles,
+            });
+        }
+        // Simulated time must be monotone: the event queue pops in
+        // nondecreasing order by construction, so a regression means
+        // the machine scheduled an event in the past.
+        if t < self.watch_last_t {
+            return Err(RunError::InvariantViolation {
+                at: self.watch_last_t,
+                detail: format!(
+                    "simulated time ran backwards: event at cycle {} after cycle {}",
+                    t.as_u64(),
+                    self.watch_last_t.as_u64()
+                ),
+            });
+        }
+        // Livelock watchdog: a zero-time event loop never trips the
+        // cycle budget; count events processed at a stuck timestamp.
+        if t == self.watch_last_t {
+            self.watch_events_at_t += count;
+            if self.watch_events_at_t > Self::LIVELOCK_EVENT_THRESHOLD {
+                return Err(RunError::Livelock {
+                    events: self.watch_events_at_t,
+                    at: t,
+                    stuck: self.stuck_processes(),
+                });
+            }
+        } else {
+            self.watch_last_t = t;
+            self.watch_events_at_t = count;
+        }
+        Ok(())
     }
 
     /// Scheduler-attached event selection: drains every event at the
@@ -1073,19 +1296,14 @@ impl<W: Workload> Machine<W> {
     /// Looks up an in-flight line; stale entries (already completed) count
     /// as absent.
     fn in_flight(&self, p: usize, line: LineAddr, t: Cycle) -> Option<Cycle> {
-        self.procs[p]
-            .outstanding
-            .get(&line)
-            .copied()
-            .filter(|&d| d > t)
+        self.procs[p].outstanding.get(line).filter(|&d| d > t)
     }
 
     fn note_in_flight(&mut self, p: usize, line: LineAddr, done: Cycle, from_prefetch: bool) {
         let proc = &mut self.procs[p];
         proc.outstanding.insert(line, done);
         if proc.outstanding.len() > OUTSTANDING_PRUNE_LEN {
-            let now = done; // prune anything long complete
-            proc.outstanding.retain(|_, d| *d + Cycle(1024) > now);
+            proc.outstanding.prune(done); // prune anything long complete
         }
         self.queue
             .schedule(done, Event::Fill(p, line, from_prefetch));
@@ -1502,9 +1720,7 @@ impl<W: Workload> Machine<W> {
         let lockout = self.mem.config().latencies.primary_fill_lockout.as_u64();
         let multi = self.cfg.contexts > 1;
         let proc = &mut self.procs[p];
-        if proc.outstanding.get(&line) == Some(&t) {
-            proc.outstanding.remove(&line);
-        }
+        proc.outstanding.remove_exact(line, t);
         // If a context is executing while the line is written into the
         // primary cache, it is locked out for the fill duration.
         let executing = proc.idle_since.is_none() && proc.finished_at.is_none();

@@ -210,6 +210,17 @@ pub trait Workload {
     fn name(&self) -> &str {
         "workload"
     }
+
+    /// An independent copy of this workload's complete logical state, or
+    /// `None` when the workload cannot be duplicated. This is the
+    /// workload's half of a machine warm-state snapshot
+    /// ([`crate::machine::Machine::snapshot`]): a forked workload must
+    /// behave bit-identically to the original under the same operation
+    /// sequence. Trait objects cannot require `Clone`, hence the explicit
+    /// hook; plain-data workloads implement it as `Some(Box::new(self.clone()))`.
+    fn fork(&self) -> Option<Box<dyn Workload>> {
+        None
+    }
 }
 
 impl<W: Workload + ?Sized> Workload for &mut W {
@@ -231,6 +242,9 @@ impl<W: Workload + ?Sized> Workload for &mut W {
     fn name(&self) -> &str {
         (**self).name()
     }
+    fn fork(&self) -> Option<Box<dyn Workload>> {
+        (**self).fork()
+    }
 }
 
 impl<W: Workload + ?Sized> Workload for Box<W> {
@@ -251,6 +265,9 @@ impl<W: Workload + ?Sized> Workload for Box<W> {
     }
     fn name(&self) -> &str {
         (**self).name()
+    }
+    fn fork(&self) -> Option<Box<dyn Workload>> {
+        (**self).fork()
     }
 }
 

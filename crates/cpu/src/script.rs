@@ -80,6 +80,10 @@ impl ScriptWorkload {
 }
 
 impl Workload for ScriptWorkload {
+    fn fork(&self) -> Option<Box<dyn Workload>> {
+        Some(Box::new(self.clone()))
+    }
+
     fn processes(&self) -> usize {
         self.scripts.len()
     }

@@ -20,14 +20,14 @@ use dashlat_mem::addr::Addr;
 
 use crate::ops::{BarrierId, LockId, ProcId, SyncConfig};
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Lock {
     addr: Addr,
     holder: Option<ProcId>,
     waiters: VecDeque<ProcId>,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Barrier {
     addr: Addr,
     arrived: usize,
@@ -55,7 +55,7 @@ pub enum BarrierOutcome {
 }
 
 /// Machine-wide synchronization state.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct SyncState {
     locks: Vec<Lock>,
     barriers: Vec<Barrier>,

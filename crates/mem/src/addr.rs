@@ -203,11 +203,21 @@ impl NodeSet {
     }
 
     /// Iterates members in increasing node order.
+    ///
+    /// Pops one set bit per step (`trailing_zeros` + clear-lowest-bit), so
+    /// iterating a sparse sharer set costs O(members), not O(64) — this
+    /// runs on every invalidation fan-out in the directory protocol.
     #[inline]
     pub fn iter(self) -> impl Iterator<Item = NodeId> {
-        (0..NodeId::MAX_NODES)
-            .filter(move |&i| self.0 & (1 << i) != 0)
-            .map(NodeId)
+        let mut bits = self.0;
+        std::iter::from_fn(move || {
+            if bits == 0 {
+                return None;
+            }
+            let i = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            Some(NodeId(i))
+        })
     }
 
     /// Set difference: members of `self` not in `other`.

@@ -56,6 +56,10 @@ pub enum Eviction {
 #[derive(Debug, Clone)]
 pub struct Cache {
     sets: Vec<Option<Slot>>,
+    /// `sets.len() - 1` when the set count is a power of two (the common
+    /// geometry), letting `set_of` mask instead of divide on the hot path;
+    /// `usize::MAX` otherwise.
+    mask: usize,
 }
 
 impl Cache {
@@ -71,8 +75,14 @@ impl Cache {
             "capacity must be a positive multiple of {LINE_BYTES} bytes"
         );
         let lines = (capacity_bytes / LINE_BYTES) as usize;
+        let mask = if lines.is_power_of_two() {
+            lines - 1
+        } else {
+            usize::MAX
+        };
         Cache {
             sets: vec![None; lines],
+            mask,
         }
     }
 
@@ -88,10 +98,15 @@ impl Cache {
 
     #[inline]
     fn set_of(&self, line: LineAddr) -> usize {
-        (line.0 as usize) % self.sets.len()
+        if self.mask != usize::MAX {
+            (line.0 as usize) & self.mask
+        } else {
+            (line.0 as usize) % self.sets.len()
+        }
     }
 
     /// Returns the state of `line` if present.
+    #[inline]
     pub fn probe(&self, line: LineAddr) -> Option<LineState> {
         let slot = self.sets[self.set_of(line)]?;
         (slot.tag == line).then_some(slot.state)
@@ -102,6 +117,7 @@ impl Cache {
     /// Filling a line that is already present just updates its state (e.g.
     /// Shared → Dirty on an ownership upgrade) and reports
     /// [`Eviction::None`].
+    #[inline]
     pub fn fill(&mut self, line: LineAddr, state: LineState) -> Eviction {
         let idx = self.set_of(line);
         let evicted = match self.sets[idx] {
@@ -117,6 +133,7 @@ impl Cache {
     }
 
     /// Invalidates `line`; returns its prior state if it was present.
+    #[inline]
     pub fn invalidate(&mut self, line: LineAddr) -> Option<LineState> {
         let idx = self.set_of(line);
         match self.sets[idx] {
@@ -130,6 +147,7 @@ impl Cache {
 
     /// Downgrades a dirty line to shared (another node read it); no-op when
     /// the line is absent or already shared.
+    #[inline]
     pub fn downgrade(&mut self, line: LineAddr) {
         let idx = self.set_of(line);
         if let Some(slot) = &mut self.sets[idx] {
@@ -145,6 +163,7 @@ impl Cache {
     ///
     /// Panics in debug builds if the line is absent — ownership upgrades are
     /// only meaningful for resident lines.
+    #[inline]
     pub fn upgrade(&mut self, line: LineAddr) {
         let idx = self.set_of(line);
         match &mut self.sets[idx] {

@@ -27,6 +27,11 @@ pub struct Resource {
 impl Resource {
     /// Acquires the resource at or after `now` for `occupancy` cycles;
     /// returns the queueing delay suffered (start − now).
+    ///
+    /// This is the whole bookkeeping cost of the contention model: an idle
+    /// resource stores only the time it last went free, so idle cycles
+    /// cost nothing and each acquisition is one compare and one add.
+    #[inline]
     pub fn acquire(&mut self, now: Cycle, occupancy: Cycle) -> Cycle {
         let start = self.free_at.max(now);
         self.free_at = start + occupancy;
@@ -34,6 +39,7 @@ impl Resource {
     }
 
     /// When the resource next becomes free.
+    #[inline]
     pub fn free_at(&self) -> Cycle {
         self.free_at
     }
@@ -79,7 +85,10 @@ pub enum NetworkModel {
 }
 
 /// All contended resources of the machine.
-#[derive(Debug)]
+///
+/// `Clone` supports warm-state snapshots: the whole model is a handful of
+/// `busy-until` vectors, so a snapshot is a flat memcpy.
+#[derive(Debug, Clone)]
 pub struct Contention {
     enabled: bool,
     occ: OccupancyTable,
@@ -121,6 +130,7 @@ impl Contention {
     }
 
     /// Queueing delay for a transaction on `node`'s bus.
+    #[inline]
     pub fn bus(&mut self, now: Cycle, node: NodeId) -> Cycle {
         if !self.enabled {
             return Cycle::ZERO;
@@ -129,6 +139,7 @@ impl Contention {
     }
 
     /// Queueing delay for `node`'s memory/directory controller.
+    #[inline]
     pub fn memory(&mut self, now: Cycle, node: NodeId) -> Cycle {
         if !self.enabled {
             return Cycle::ZERO;
@@ -140,6 +151,7 @@ impl Contention {
     /// model this occupies the sender's out port and the receiver's in
     /// port; under the mesh model every directed link along the
     /// dimension-ordered route.
+    #[inline]
     pub fn network(&mut self, now: Cycle, from: NodeId, to: NodeId) -> Cycle {
         self.network_perturbed(now, from, to, Cycle::ZERO)
     }
@@ -173,6 +185,7 @@ impl Contention {
     }
 
     /// Whether queueing is being modelled.
+    #[inline]
     pub fn is_enabled(&self) -> bool {
         self.enabled
     }

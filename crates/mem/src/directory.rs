@@ -63,14 +63,28 @@ pub struct DirOutcome {
 }
 
 /// The machine-wide directory (one logical map; entries are homed by page).
+///
+/// Storage is a struct-of-arrays arena: the layout allocates shared pages
+/// contiguously from address zero, so line numbers are dense and the
+/// pre-sized `dense` vector resolves a lookup with one indexed load — no
+/// hashing, no probing — on the dispatch hot path. Lines beyond the
+/// pre-sized range (possible only for addresses outside the declared
+/// layout, e.g. hand-written litmus programs) spill to a hash map with
+/// identical semantics.
 #[derive(Debug, Clone, Default)]
 pub struct Directory {
-    entries: FxHashMap<LineAddr, DirState>,
+    /// State of line `i` at index `i`, for lines below the pre-sized bound.
+    dense: Vec<DirState>,
+    /// Sparse fallback for lines past the dense range.
+    spill: FxHashMap<LineAddr, DirState>,
     kind: DirectoryKind,
     /// Total nodes (needed to build broadcast invalidation sets).
     nodes: usize,
     /// Writes that had to broadcast because of pointer overflow.
     broadcasts: u64,
+    /// Count of non-[`DirState::Uncached`] entries, maintained on every
+    /// transition so telemetry never walks the arena.
+    tracked: usize,
 }
 
 impl Directory {
@@ -89,9 +103,10 @@ impl Directory {
         Self::with_kind_sized(kind, nodes, 0)
     }
 
-    /// Like [`Directory::with_kind`], but pre-sizes the entry table for
-    /// `lines` tracked lines (typically the machine layout's shared-segment
-    /// line count) so the sweep's steady state never rehashes.
+    /// Like [`Directory::with_kind`], but pre-sizes the dense line arena
+    /// for `lines` tracked lines (typically the machine layout's
+    /// shared-segment line count) so every lookup in the sweep's steady
+    /// state is a single indexed load.
     ///
     /// # Panics
     ///
@@ -101,13 +116,12 @@ impl Directory {
             assert!(pointers > 0, "Dir_i-B needs at least one pointer");
         }
         Directory {
-            entries: FxHashMap::with_capacity_and_hasher(
-                lines,
-                dashlat_sim::FxBuildHasher::default(),
-            ),
+            dense: vec![DirState::Uncached; lines],
+            spill: FxHashMap::default(),
             kind,
             nodes,
             broadcasts: 0,
+            tracked: 0,
         }
     }
 
@@ -128,8 +142,33 @@ impl Directory {
     }
 
     /// Current state of a line.
+    #[inline]
     pub fn state(&self, line: LineAddr) -> DirState {
-        self.entries.get(&line).copied().unwrap_or_default()
+        match self.dense.get(line.0 as usize) {
+            Some(&s) => s,
+            None => self.spill.get(&line).copied().unwrap_or_default(),
+        }
+    }
+
+    /// Stores `next` for a line whose previous state was `prev`, keeping
+    /// the tracked-entry count in lockstep.
+    #[inline]
+    fn put(&mut self, line: LineAddr, prev: DirState, next: DirState) {
+        if prev == next {
+            return;
+        }
+        self.tracked = self.tracked + usize::from(next != DirState::Uncached)
+            - usize::from(prev != DirState::Uncached);
+        match self.dense.get_mut(line.0 as usize) {
+            Some(slot) => *slot = next,
+            None => {
+                if next == DirState::Uncached {
+                    self.spill.remove(&line);
+                } else {
+                    self.spill.insert(line, next);
+                }
+            }
+        }
     }
 
     /// Handles a read request from `node`: the line becomes shared by
@@ -154,7 +193,7 @@ impl Directory {
                 (self.clamp_shared(set), Some(owner))
             }
         };
-        self.entries.insert(line, next);
+        self.put(line, prev, next);
         DirOutcome {
             prev,
             invalidate: NodeSet::EMPTY,
@@ -212,7 +251,7 @@ impl Directory {
             DirState::Dirty(owner) if owner == node => (NodeSet::EMPTY, None),
             DirState::Dirty(owner) => (NodeSet::EMPTY, Some(owner)),
         };
-        self.entries.insert(line, DirState::Dirty(node));
+        self.put(line, prev, DirState::Dirty(node));
         DirOutcome {
             prev,
             invalidate,
@@ -222,14 +261,15 @@ impl Directory {
 
     /// A cache evicted a clean copy of `line`; remove it from the sharer set.
     pub fn evict_clean(&mut self, line: LineAddr, node: NodeId) {
-        if let DirState::Shared(mut set) = self.state(line) {
+        let prev = self.state(line);
+        if let DirState::Shared(mut set) = prev {
             set.remove(node);
             let next = if set.is_empty() {
                 DirState::Uncached
             } else {
                 DirState::Shared(set)
             };
-            self.entries.insert(line, next);
+            self.put(line, prev, next);
         }
         // Overflow entries have no pointers to prune: the eviction is
         // silent, exactly the information loss Dir_i-B pays for.
@@ -241,17 +281,15 @@ impl Directory {
     /// (a race-free model keeps these in lockstep, but eviction and
     /// invalidation can cross in simplified orderings).
     pub fn writeback(&mut self, line: LineAddr, node: NodeId) {
-        if self.state(line) == DirState::Dirty(node) {
-            self.entries.insert(line, DirState::Uncached);
+        let prev = self.state(line);
+        if prev == DirState::Dirty(node) {
+            self.put(line, prev, DirState::Uncached);
         }
     }
 
     /// Number of lines with a non-`Uncached` entry (for tests/telemetry).
     pub fn tracked_lines(&self) -> usize {
-        self.entries
-            .values()
-            .filter(|s| !matches!(s, DirState::Uncached))
-            .count()
+        self.tracked
     }
 }
 
@@ -391,6 +429,39 @@ mod proptests {
     }
 
     proptest! {
+        /// The dense pre-sized arena and the spill hash map are
+        /// observationally equivalent: the same operation sequence applied
+        /// to a directory whose line fits the arena and to one where it
+        /// spills produces identical outcomes, states, and telemetry.
+        #[test]
+        fn dense_arena_matches_spill_map(
+            ops in proptest::collection::vec(op_strategy(4), 1..200),
+            line in 0u64..64,
+        ) {
+            let mut dense = Directory::with_kind_sized(DirectoryKind::FullMap, 4, 64);
+            let mut spill = Directory::with_kind_sized(DirectoryKind::FullMap, 4, 0);
+            let l = LineAddr(line);
+            for op in ops {
+                let (a, b) = match op {
+                    Op::Read(n) => (dense.read(l, NodeId(n)), spill.read(l, NodeId(n))),
+                    Op::Write(n) => (dense.write(l, NodeId(n)), spill.write(l, NodeId(n))),
+                    Op::EvictClean(n) => {
+                        dense.evict_clean(l, NodeId(n));
+                        spill.evict_clean(l, NodeId(n));
+                        continue;
+                    }
+                    Op::Writeback(n) => {
+                        dense.writeback(l, NodeId(n));
+                        spill.writeback(l, NodeId(n));
+                        continue;
+                    }
+                };
+                prop_assert_eq!(a, b);
+                prop_assert_eq!(dense.state(l), spill.state(l));
+                prop_assert_eq!(dense.tracked_lines(), spill.tracked_lines());
+            }
+        }
+
         /// Directory invariants under arbitrary operation sequences:
         /// a Dirty line never coexists with sharers, writes always end with
         /// the writer as owner, and invalidation sets never include the

@@ -41,7 +41,7 @@ impl Dir {
 ///
 /// Nodes are numbered row-major: node `i` sits at
 /// `(i % width, i / width)`.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Mesh {
     width: usize,
     height: usize,
@@ -49,6 +49,9 @@ pub struct Mesh {
     links: Vec<Resource>,
     /// Cycles a line-sized message occupies each link.
     occupancy: Cycle,
+    /// `coords[node]` = grid `(x, y)`, precomputed so routing never
+    /// divides by the mesh width on the per-message path.
+    coords: Vec<(u32, u32)>,
 }
 
 impl Mesh {
@@ -61,17 +64,23 @@ impl Mesh {
         assert!(nodes > 0, "mesh needs at least one node");
         let width = (nodes as f64).sqrt().ceil() as usize;
         let height = nodes.div_ceil(width);
+        let coords = (0..width * height)
+            .map(|n| ((n % width) as u32, (n / width) as u32))
+            .collect();
         Mesh {
             width,
             height,
             links: vec![Resource::default(); width * height * 4],
             occupancy,
+            coords,
         }
     }
 
     /// Grid position of a node.
+    #[inline]
     fn pos(&self, n: NodeId) -> (usize, usize) {
-        (n.0 % self.width, n.0 / self.width)
+        let (x, y) = self.coords[n.0];
+        (x as usize, y as usize)
     }
 
     /// Mesh dimensions `(width, height)`.
@@ -81,6 +90,7 @@ impl Mesh {
 
     /// Number of hops of the dimension-ordered route between two nodes
     /// (the Manhattan distance).
+    #[inline]
     pub fn hops(&self, from: NodeId, to: NodeId) -> usize {
         let (fx, fy) = self.pos(from);
         let (tx, ty) = self.pos(to);

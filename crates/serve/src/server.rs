@@ -38,10 +38,11 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
+use dashlat::cellcache::CellMemo;
 use dashlat::chaos::{run_chaos, ChaosOptions};
 use dashlat::sweep::{
-    cell_fingerprint, run_cell_in_process, run_supervised_controlled, SweepControl, SweepOptions,
-    SweepPlan,
+    cell_fingerprint, run_cell_in_process_memo, run_supervised_controlled, SweepControl,
+    SweepOptions, SweepPlan,
 };
 use dashlat_sim::journal::{atomic_write, Journal};
 use dashlat_sim::json::quote;
@@ -161,6 +162,11 @@ pub struct Server {
     state: Mutex<State>,
     wake: Condvar,
     cache: ResultCache,
+    /// In-process memo of complete cell results, shared by every job this
+    /// process runs (the warm-state layer in front of the elapsed-only
+    /// disk cache: a hit skips the simulation entirely, not just the
+    /// report lookup).
+    memo: CellMemo,
     stop: AtomicBool,
 }
 
@@ -184,6 +190,7 @@ impl Server {
             state: Mutex::new(state),
             wake: Condvar::new(),
             cache,
+            memo: CellMemo::new(),
             stop: AtomicBool::new(false),
         })
     }
@@ -423,6 +430,7 @@ impl Server {
                 let journal = dir.join("sweep.journal");
                 let resume = journal.exists();
                 let cache = &self.cache;
+                let memo = &self.memo;
                 let report = run_supervised_controlled(
                     &plan,
                     &journal,
@@ -436,7 +444,7 @@ impl Server {
                             hits.fetch_add(1, Ordering::Relaxed);
                             return Ok(elapsed);
                         }
-                        let outcome = run_cell_in_process(cell);
+                        let outcome = run_cell_in_process_memo(cell, memo);
                         if let Ok(elapsed) = outcome {
                             // Best-effort: a cache-write failure only
                             // costs a future re-simulation.
@@ -648,11 +656,12 @@ impl Server {
                 let body = format!(
                     "{{\"status\":\"ok\",\"workers\":{},\"queued\":{queued},\"running\":{running},\
                      \"queue_depth\":{},\"jobs\":{total},\"cache_entries\":{},\"cache_hits\":{},\
-                     \"shutting_down\":{shutting_down}}}",
+                     \"memo_hits\":{},\"shutting_down\":{shutting_down}}}",
                     self.cfg.workers,
                     self.cfg.queue_depth,
                     self.cache.entries(),
-                    self.cache.hits()
+                    self.cache.hits(),
+                    self.memo.hits()
                 );
                 json(stream, 200, "OK", &body)
             }

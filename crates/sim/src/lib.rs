@@ -62,7 +62,7 @@ pub mod vclock;
 
 pub use fault::{FaultInjector, FaultPlan, FaultStats};
 pub use hasher::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
-pub use queue::EventQueue;
+pub use queue::{EventQueue, QueueHints};
 pub use rng::Xorshift;
 pub use sched::{FifoScheduler, Footprint, ReplayScheduler, SchedAlt, Scheduler};
 pub use time::Cycle;

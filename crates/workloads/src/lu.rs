@@ -100,7 +100,7 @@ enum Phase {
 }
 
 /// The LU workload. See the module docs for the model.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Lu {
     params: LuParams,
     topo: Topology,
@@ -192,11 +192,13 @@ impl Lu {
         col % self.topo.processes()
     }
 
-    /// Address of element `i` of column `j` within its owner's packed
-    /// column store.
-    fn elem(&self, j: usize, i: usize) -> Addr {
+    /// Address of element 0 of column `j`. Strip emitters hoist this out
+    /// of their per-row loops: resolving a column costs a modulo (owner)
+    /// plus two indexed loads, while advancing a row from the base is one
+    /// add.
+    fn col_base(&self, j: usize) -> Addr {
         let col_bytes = self.params.n as u64 * ELEM_BYTES;
-        self.col_store[self.owner(j)].at(self.col_slot[j] * col_bytes + i as u64 * ELEM_BYTES)
+        self.col_store[self.owner(j)].at(self.col_slot[j] * col_bytes)
     }
 
     /// First owned column at or after `from` for process `pid`, restricted
@@ -219,7 +221,14 @@ impl Lu {
         let n = self.params.n;
         let line_rows = ELEMS_PER_LINE as usize;
         let strip_end = (i + line_rows).min(n);
-        let mut ops: Vec<Op> = Vec::with_capacity(16);
+        // Push straight into the per-process op queue (taken out to split
+        // the borrow from `self.elem`) — this runs once per cache line of
+        // the update sweep, so a temporary Vec here would be one
+        // alloc/copy/free per strip on the simulator's hottest feed path.
+        let pivot_base = self.col_base(k);
+        let col_base = self.col_base(j);
+        let at = |base: Addr, row: usize| base.offset(row as u64 * ELEM_BYTES);
+        let mut ops = std::mem::take(&mut self.queue[pid]);
         if self.prefetch {
             if self.params.burst_prefetch {
                 // Whole-column burst at the start of the update (the
@@ -228,12 +237,12 @@ impl Lu {
                 if i == k + 1 {
                     let mut row = i;
                     while row < n {
-                        ops.push(Op::Prefetch {
-                            addr: self.elem(k, row),
+                        ops.push_back(Op::Prefetch {
+                            addr: at(pivot_base, row),
                             exclusive: false,
                         });
-                        ops.push(Op::Prefetch {
-                            addr: self.elem(j, row),
+                        ops.push_back(Op::Prefetch {
+                            addr: at(col_base, row),
                             exclusive: true,
                         });
                         row += line_rows;
@@ -242,24 +251,24 @@ impl Lu {
             } else {
                 let pf_row = i + (self.params.prefetch_distance as usize) * line_rows;
                 if pf_row < n {
-                    ops.push(Op::Prefetch {
-                        addr: self.elem(k, pf_row),
+                    ops.push_back(Op::Prefetch {
+                        addr: at(pivot_base, pf_row),
                         exclusive: false, // pivot is read-shared
                     });
-                    ops.push(Op::Prefetch {
-                        addr: self.elem(j, pf_row),
+                    ops.push_back(Op::Prefetch {
+                        addr: at(col_base, pf_row),
                         exclusive: true, // owned column is modified
                     });
                 }
             }
         }
         for row in i..strip_end {
-            ops.push(Op::Read(self.elem(k, row)));
-            ops.push(Op::Read(self.elem(j, row)));
-            ops.push(Op::Compute(self.params.compute_per_elem));
-            ops.push(Op::Write(self.elem(j, row)));
+            ops.push_back(Op::Read(at(pivot_base, row)));
+            ops.push_back(Op::Read(at(col_base, row)));
+            ops.push_back(Op::Compute(self.params.compute_per_elem));
+            ops.push_back(Op::Write(at(col_base, row)));
         }
-        self.queue[pid].extend(ops);
+        self.queue[pid] = ops;
         self.phase[pid] = if strip_end < n {
             Phase::Update { k, j, i: strip_end }
         } else {
@@ -277,22 +286,24 @@ impl Lu {
         let n = self.params.n;
         let line_rows = ELEMS_PER_LINE as usize;
         let strip_end = (i + line_rows).min(n);
-        let mut ops: Vec<Op> = Vec::with_capacity(16);
+        let pivot_base = self.col_base(k);
+        let at = |base: Addr, row: usize| base.offset(row as u64 * ELEM_BYTES);
+        let mut ops = std::mem::take(&mut self.queue[pid]);
         if self.prefetch {
             let pf_row = i + (self.params.prefetch_distance as usize) * line_rows;
             if pf_row < n {
-                ops.push(Op::Prefetch {
-                    addr: self.elem(k, pf_row),
+                ops.push_back(Op::Prefetch {
+                    addr: at(pivot_base, pf_row),
                     exclusive: true,
                 });
             }
         }
         for row in i..strip_end {
-            ops.push(Op::Read(self.elem(k, row)));
-            ops.push(Op::Compute(self.params.compute_per_elem));
-            ops.push(Op::Write(self.elem(k, row)));
+            ops.push_back(Op::Read(at(pivot_base, row)));
+            ops.push_back(Op::Compute(self.params.compute_per_elem));
+            ops.push_back(Op::Write(at(pivot_base, row)));
         }
-        self.queue[pid].extend(ops);
+        self.queue[pid] = ops;
         if strip_end < n {
             self.phase[pid] = Phase::Normalize { k, i: strip_end };
         } else {
@@ -338,6 +349,10 @@ impl Lu {
 }
 
 impl Workload for Lu {
+    fn fork(&self) -> Option<Box<dyn Workload>> {
+        Some(Box::new(self.clone()))
+    }
+
     fn processes(&self) -> usize {
         self.topo.processes()
     }

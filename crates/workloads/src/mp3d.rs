@@ -112,7 +112,7 @@ enum Phase {
 const AUX_PHASES: usize = 3;
 
 /// The MP3D workload. See the module docs for the model.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Mp3d {
     params: Mp3dParams,
     topo: Topology,
@@ -328,73 +328,76 @@ impl Mp3d {
         // written. Most fields share a line with their neighbours, so the
         // per-move stream is a handful of misses amortized over ~20 reads
         // and ~10 writes — the paper's 80% / 75% hit-rate regime.
-        let q_ops: Vec<Op> = {
+        // Pushed straight into the per-process op queue (taken out to
+        // split the borrow from the address helpers) — one particle move
+        // emits ~45 ops, so a temporary Vec here would be an
+        // alloc/copy/free per move on the op-feed hot path.
+        let mut v = std::mem::take(&mut self.queue[pid]);
+        {
             let pl = |l| self.particle_line(pid, idx, l);
             let cl = |l| self.cell_line(cell, l);
-            let mut v = Vec::with_capacity(40);
             // Load position x, y, z and the cached cell id (line 0).
-            v.push(Op::Read(pl(0)));
-            v.push(Op::Read(pl(0).offset(4)));
-            v.push(Op::Read(pl(0).offset(8)));
-            v.push(Op::Read(pl(0).offset(12)));
+            v.push_back(Op::Read(pl(0)));
+            v.push_back(Op::Read(pl(0).offset(4)));
+            v.push_back(Op::Read(pl(0).offset(8)));
+            v.push_back(Op::Read(pl(0).offset(12)));
             // Load velocity u, v, w and the weight (line 1).
-            v.push(Op::Read(pl(1)));
-            v.push(Op::Read(pl(1).offset(4)));
-            v.push(Op::Read(pl(1).offset(8)));
-            v.push(Op::Read(pl(1).offset(12)));
-            v.push(Op::Compute(30)); // advance + wall handling
-                                     // Store the new position and the cached cell id.
-            v.push(Op::Write(pl(0)));
-            v.push(Op::Write(pl(0).offset(4)));
-            v.push(Op::Write(pl(0).offset(8)));
-            v.push(Op::Write(pl(0).offset(12)));
+            v.push_back(Op::Read(pl(1)));
+            v.push_back(Op::Read(pl(1).offset(4)));
+            v.push_back(Op::Read(pl(1).offset(8)));
+            v.push_back(Op::Read(pl(1).offset(12)));
+            v.push_back(Op::Compute(30)); // advance + wall handling
+                                          // Store the new position and the cached cell id.
+            v.push_back(Op::Write(pl(0)));
+            v.push_back(Op::Write(pl(0).offset(4)));
+            v.push_back(Op::Write(pl(0).offset(8)));
+            v.push_back(Op::Write(pl(0).offset(12)));
             // Particle bookkeeping flags (line 2).
-            v.push(Op::Read(pl(2)));
-            v.push(Op::Read(pl(2).offset(8)));
-            v.push(Op::Compute(10));
+            v.push_back(Op::Read(pl(2)));
+            v.push_back(Op::Read(pl(2).offset(8)));
+            v.push_back(Op::Compute(10));
             // Cell accumulators: occupancy count and momentum sums.
-            v.push(Op::Read(cl(0)));
-            v.push(Op::Read(cl(0).offset(4)));
-            v.push(Op::Read(cl(0).offset(8)));
-            v.push(Op::Compute(14));
-            v.push(Op::Write(cl(0)));
-            v.push(Op::Write(cl(0).offset(4)));
-            v.push(Op::Write(cl(0).offset(8)));
-            v.push(Op::Write(cl(0).offset(12)));
-            v.push(Op::Read(cl(1)));
-            v.push(Op::Read(cl(1).offset(8)));
-            v.push(Op::Compute(14));
-            v.push(Op::Write(cl(1)));
-            v.push(Op::Write(cl(1).offset(4)));
-            v.push(Op::Write(cl(1).offset(8)));
+            v.push_back(Op::Read(cl(0)));
+            v.push_back(Op::Read(cl(0).offset(4)));
+            v.push_back(Op::Read(cl(0).offset(8)));
+            v.push_back(Op::Compute(14));
+            v.push_back(Op::Write(cl(0)));
+            v.push_back(Op::Write(cl(0).offset(4)));
+            v.push_back(Op::Write(cl(0).offset(8)));
+            v.push_back(Op::Write(cl(0).offset(12)));
+            v.push_back(Op::Read(cl(1)));
+            v.push_back(Op::Read(cl(1).offset(8)));
+            v.push_back(Op::Compute(14));
+            v.push_back(Op::Write(cl(1)));
+            v.push_back(Op::Write(cl(1).offset(4)));
+            v.push_back(Op::Write(cl(1).offset(8)));
             // Boundary/object check: re-read the cell's flag words and the
             // particle state (warm lines — field-level reads dominate the
             // real kernel's 23-reads-per-move profile).
-            v.push(Op::Read(cl(0).offset(12)));
-            v.push(Op::Read(cl(1).offset(4)));
-            v.push(Op::Read(cl(1).offset(12)));
-            v.push(Op::Read(pl(0)));
-            v.push(Op::Read(pl(0).offset(8)));
-            v.push(Op::Read(pl(1)));
-            v.push(Op::Read(pl(1).offset(8)));
-            v.push(Op::Read(pl(2)));
-            v.push(Op::Compute(10));
+            v.push_back(Op::Read(cl(0).offset(12)));
+            v.push_back(Op::Read(cl(1).offset(4)));
+            v.push_back(Op::Read(cl(1).offset(12)));
+            v.push_back(Op::Read(pl(0)));
+            v.push_back(Op::Read(pl(0).offset(8)));
+            v.push_back(Op::Read(pl(1)));
+            v.push_back(Op::Read(pl(1).offset(8)));
+            v.push_back(Op::Read(pl(2)));
+            v.push_back(Op::Compute(10));
             if collide {
                 // Collision: re-read cell state, update the velocity.
-                v.push(Op::Read(cl(2)));
-                v.push(Op::Read(cl(2).offset(8)));
-                v.push(Op::Compute(30));
-                v.push(Op::Write(cl(2)));
-                v.push(Op::Write(pl(1)));
-                v.push(Op::Write(pl(1).offset(4)));
-                v.push(Op::Write(pl(1).offset(8)));
+                v.push_back(Op::Read(cl(2)));
+                v.push_back(Op::Read(cl(2).offset(8)));
+                v.push_back(Op::Compute(30));
+                v.push_back(Op::Write(cl(2)));
+                v.push_back(Op::Write(pl(1)));
+                v.push_back(Op::Write(pl(1).offset(4)));
+                v.push_back(Op::Write(pl(1).offset(8)));
             }
             // Update bookkeeping line (current cell id, flags).
-            v.push(Op::Compute(18));
-            v.push(Op::Write(pl(2)));
-            v
-        };
-        self.queue[pid].extend(q_ops);
+            v.push_back(Op::Compute(18));
+            v.push_back(Op::Write(pl(2)));
+        }
+        self.queue[pid] = v;
         self.phase[pid] = if idx + 1 < count {
             Phase::Move { step, idx: idx + 1 }
         } else {
@@ -428,6 +431,10 @@ impl Mp3d {
 }
 
 impl Workload for Mp3d {
+    fn fork(&self) -> Option<Box<dyn Workload>> {
+        Some(Box::new(self.clone()))
+    }
+
     fn processes(&self) -> usize {
         self.topo.processes()
     }

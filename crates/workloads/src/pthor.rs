@@ -104,7 +104,7 @@ enum Phase {
 }
 
 /// The PTHOR workload. See the module docs for the model.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Pthor {
     params: PthorParams,
     topo: Topology,
@@ -296,9 +296,11 @@ impl Pthor {
     /// process `p`'s *own* task queue (newly activated elements are
     /// scheduled locally; idle processes find them by looking at other
     /// queues) and emits the push traffic into `ops`.
-    fn push_fanout(&mut self, p: usize, from: u32, ops: &mut Vec<Op>) {
-        let fanout: Vec<u32> = self.circuit.elements[from as usize].fanout.clone();
-        for f in fanout {
+    fn push_fanout(&mut self, p: usize, from: u32, ops: &mut VecDeque<Op>) {
+        // Indexed loop instead of cloning the fanout list: this runs on
+        // every value change, and the clone was an allocation per call.
+        for fi in 0..self.circuit.elements[from as usize].fanout.len() {
+            let f = self.circuit.elements[from as usize].fanout[fi];
             if self.queued[f as usize] {
                 continue;
             }
@@ -306,11 +308,11 @@ impl Pthor {
             let tail = self.queues[p].len() as u64;
             self.queues[p].push_back(f);
             self.in_queues += 1;
-            ops.push(Op::Acquire(LockId(p)));
-            ops.push(Op::Read(self.queue_ctl(p)));
-            ops.push(Op::Write(self.queue_slot(p, tail)));
-            ops.push(Op::Write(self.queue_ctl(p)));
-            ops.push(Op::Release(LockId(p)));
+            ops.push_back(Op::Acquire(LockId(p)));
+            ops.push_back(Op::Read(self.queue_ctl(p)));
+            ops.push_back(Op::Write(self.queue_slot(p, tail)));
+            ops.push_back(Op::Write(self.queue_ctl(p)));
+            ops.push_back(Op::Release(LockId(p)));
         }
     }
 
@@ -330,49 +332,49 @@ impl Pthor {
         let elem = sources[pos];
         self.phase[p] = Phase::Seed { edge, pos: pos + 1 };
         let rising = edge.is_multiple_of(2);
-        let mut ops: Vec<Op> = Vec::with_capacity(12);
+        let mut ops = std::mem::take(&mut self.opq[p]);
         match self.circuit.elements[elem as usize].kind {
             ElementKind::Input => {
-                ops.push(Op::Compute(3));
+                ops.push_back(Op::Compute(3));
                 if self.input_toggles(edge, elem) {
                     let v = !self.values[elem as usize];
                     self.values[elem as usize] = v;
-                    ops.push(Op::Write(self.record(elem, 0)));
+                    ops.push_back(Op::Write(self.record(elem, 0)));
                     self.push_fanout(p, elem, &mut ops);
                 }
             }
             ElementKind::FlipFlop => {
                 let d = self.circuit.elements[elem as usize].inputs[0];
-                ops.push(Op::Read(self.record(elem, 3))); // D pointer
-                ops.push(Op::Read(self.record(d, 0))); // D value
-                ops.push(Op::Compute(3));
+                ops.push_back(Op::Read(self.record(elem, 3))); // D pointer
+                ops.push_back(Op::Read(self.record(d, 0))); // D value
+                ops.push_back(Op::Compute(3));
                 if rising {
                     let v = self.snapshot[d as usize];
                     if v != self.values[elem as usize] {
                         self.values[elem as usize] = v;
-                        ops.push(Op::Write(self.record(elem, 0)));
+                        ops.push_back(Op::Write(self.record(elem, 0)));
                         self.push_fanout(p, elem, &mut ops);
                     }
                 }
             }
             ElementKind::Gate(_) => unreachable!("sources are inputs and FFs"),
         }
-        self.opq[p].extend(ops);
+        self.opq[p] = ops;
     }
 
     /// One propagation step: pop a task from the local queue, steal one
     /// from a well-stocked remote queue, spin, or finish the phase.
     fn emit_run(&mut self, p: usize, edge: usize) {
         let n = self.nproc();
-        let mut ops: Vec<Op> = Vec::with_capacity(40);
+        let mut ops = std::mem::take(&mut self.opq[p]);
         let task = if let Some(e) = self.queues[p].pop_front() {
             // Local dequeue: lock own queue, read control + slot, update.
             let head = self.queues[p].len() as u64; // ring position proxy
-            ops.push(Op::Acquire(LockId(p)));
-            ops.push(Op::Read(self.queue_ctl(p)));
-            ops.push(Op::Read(self.queue_slot(p, head)));
-            ops.push(Op::Write(self.queue_ctl(p)));
-            ops.push(Op::Release(LockId(p)));
+            ops.push_back(Op::Acquire(LockId(p)));
+            ops.push_back(Op::Read(self.queue_ctl(p)));
+            ops.push_back(Op::Read(self.queue_slot(p, head)));
+            ops.push_back(Op::Write(self.queue_ctl(p)));
+            ops.push_back(Op::Release(LockId(p)));
             Some(e)
         } else if let Some(victim) = (1..n)
             .map(|d| (p + d) % n)
@@ -382,12 +384,12 @@ impl Pthor {
             // last task — it is likely being raced for by its owner).
             let e = self.queues[victim].pop_front().expect("len >= 2");
             let head = self.queues[victim].len() as u64;
-            ops.push(Op::Read(self.queue_ctl(victim)));
-            ops.push(Op::Acquire(LockId(victim)));
-            ops.push(Op::Read(self.queue_ctl(victim)));
-            ops.push(Op::Read(self.queue_slot(victim, head)));
-            ops.push(Op::Write(self.queue_ctl(victim)));
-            ops.push(Op::Release(LockId(victim)));
+            ops.push_back(Op::Read(self.queue_ctl(victim)));
+            ops.push_back(Op::Acquire(LockId(victim)));
+            ops.push_back(Op::Read(self.queue_ctl(victim)));
+            ops.push_back(Op::Read(self.queue_slot(victim, head)));
+            ops.push_back(Op::Write(self.queue_ctl(victim)));
+            ops.push_back(Op::Release(LockId(victim)));
             Some(e)
         } else {
             None
@@ -405,13 +407,14 @@ impl Pthor {
                 // as in the paper.
                 let ctl = self.queue_ctl(p);
                 self.spin_rotor[p] = self.spin_rotor[p].wrapping_add(1);
-                self.opq[p].push_back(Op::Read(ctl));
+                ops.push_back(Op::Read(ctl));
                 if n > 1 && self.spin_rotor[p].is_multiple_of(8) {
                     let probe = self.queue_ctl((p + 1 + self.spin_rotor[p] % (n - 1)) % n);
-                    self.opq[p].push_back(Op::Read(probe));
+                    ops.push_back(Op::Read(probe));
                 }
-                self.opq[p].push_back(Op::Compute(12));
+                ops.push_back(Op::Compute(12));
             }
+            self.opq[p] = ops;
             return;
         };
         {
@@ -422,23 +425,23 @@ impl Pthor {
             // Prefetch the record groups and the first level of the input
             // lists (the paper's 56%-coverage scheme).
             if self.prefetch {
-                ops.push(Op::Prefetch {
+                ops.push_back(Op::Prefetch {
                     addr: self.record(e, 0),
                     exclusive: true,
                 });
-                ops.push(Op::Prefetch {
+                ops.push_back(Op::Prefetch {
                     addr: self.record(e, 1),
                     exclusive: true,
                 });
-                ops.push(Op::Prefetch {
+                ops.push_back(Op::Prefetch {
                     addr: self.record(e, 3),
                     exclusive: false,
                 });
-                ops.push(Op::Prefetch {
+                ops.push_back(Op::Prefetch {
                     addr: self.record(a, 0),
                     exclusive: false,
                 });
-                ops.push(Op::Prefetch {
+                ops.push_back(Op::Prefetch {
                     addr: self.record(b, 0),
                     exclusive: false,
                 });
@@ -448,16 +451,16 @@ impl Pthor {
             // then the input values through their element records. The
             // record fields after the first touch of each line hit in the
             // cache, as in the real simulator.
-            ops.push(Op::Read(self.record(e, 3)));
-            ops.push(Op::Read(self.record(e, 3).offset(8)));
-            ops.push(Op::Read(self.record(e, 4)));
-            ops.push(Op::Read(self.record(e, 4).offset(8)));
-            ops.push(Op::Read(self.record(e, 0)));
-            ops.push(Op::Read(self.record(e, 1)));
-            ops.push(Op::Compute(14));
-            ops.push(Op::Read(self.record(a, 0)));
-            ops.push(Op::Read(self.record(b, 0)));
-            ops.push(Op::Compute(26)); // evaluate + schedule bookkeeping
+            ops.push_back(Op::Read(self.record(e, 3)));
+            ops.push_back(Op::Read(self.record(e, 3).offset(8)));
+            ops.push_back(Op::Read(self.record(e, 4)));
+            ops.push_back(Op::Read(self.record(e, 4).offset(8)));
+            ops.push_back(Op::Read(self.record(e, 0)));
+            ops.push_back(Op::Read(self.record(e, 1)));
+            ops.push_back(Op::Compute(14));
+            ops.push_back(Op::Read(self.record(a, 0)));
+            ops.push_back(Op::Read(self.record(b, 0)));
+            ops.push_back(Op::Compute(26)); // evaluate + schedule bookkeeping
             let kind = self.circuit.elements[e as usize].kind;
             let new = match kind {
                 ElementKind::Gate(g) => g.eval(self.values[a as usize], self.values[b as usize]),
@@ -466,47 +469,51 @@ impl Pthor {
             // Pointer-chase flavour for multi-fanout elements (the "first
             // several levels of the more important linked lists").
             if self.circuit.elements[e as usize].fanout.len() > 1 {
-                ops.push(Op::Read(self.record(e, 5)));
-                ops.push(Op::Read(self.record(e, 6)));
-                ops.push(Op::Compute(8));
+                ops.push_back(Op::Read(self.record(e, 5)));
+                ops.push_back(Op::Read(self.record(e, 6)));
+                ops.push_back(Op::Compute(8));
             }
             // The simulator stamps the element's local time on every
             // evaluation, changed or not — these writes go to the (often
             // remote) element record and are what drives PTHOR's low
             // write hit rate (Table 2 footnote: 47%).
-            ops.push(Op::Write(self.record(e, 1)));
-            ops.push(Op::Write(self.record(e, 2)));
+            ops.push_back(Op::Write(self.record(e, 1)));
+            ops.push_back(Op::Write(self.record(e, 2)));
             if new != self.values[e as usize] {
                 self.values[e as usize] = new;
-                ops.push(Op::Write(self.record(e, 0)));
-                ops.push(Op::Compute(10));
+                ops.push_back(Op::Write(self.record(e, 0)));
+                ops.push_back(Op::Compute(10));
                 self.push_fanout(p, e, &mut ops);
             }
             // Event-list bookkeeping on the local timing wheel: walks
             // node-local, cache-warm structures (the bulk of the real
             // simulator's per-event reads).
             for slot in 0..4u64 {
-                ops.push(Op::Read(
+                ops.push_back(Op::Read(
                     self.queue_slot(p, (e as u64 + slot) % QUEUE_SLOTS),
                 ));
             }
-            ops.push(Op::Read(self.record(e, 7)));
-            ops.push(Op::Read(self.record(e, 2)));
-            ops.push(Op::Compute(18));
+            ops.push_back(Op::Read(self.record(e, 7)));
+            ops.push_back(Op::Read(self.record(e, 2)));
+            ops.push_back(Op::Compute(18));
             // Re-walk the now-warm record fields (flag words, delay table,
             // output list header — each line was fetched above, so these
             // are hits, as most of the real simulator's field reads are).
             for line in [0u64, 1, 3, 4, 5] {
-                ops.push(Op::Read(self.record(e, line).offset(4)));
-                ops.push(Op::Read(self.record(e, line).offset(12)));
+                ops.push_back(Op::Read(self.record(e, line).offset(4)));
+                ops.push_back(Op::Read(self.record(e, line).offset(12)));
             }
-            ops.push(Op::Compute(12));
-            self.opq[p].extend(ops);
+            ops.push_back(Op::Compute(12));
+            self.opq[p] = ops;
         }
     }
 }
 
 impl Workload for Pthor {
+    fn fork(&self) -> Option<Box<dyn Workload>> {
+        Some(Box::new(self.clone()))
+    }
+
     fn processes(&self) -> usize {
         self.topo.processes()
     }

@@ -17,7 +17,7 @@ use dashlat_sim::Xorshift;
 /// Each process performs `accesses` operations; a fraction `write_ratio`
 /// are writes. With a region much larger than the caches this produces the
 /// miss-dominated behaviour that motivates every latency technique.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct UniformRandom {
     topo: Topology,
     region: Segment,
@@ -76,6 +76,10 @@ impl UniformRandom {
 }
 
 impl Workload for UniformRandom {
+    fn fork(&self) -> Option<Box<dyn Workload>> {
+        Some(Box::new(self.clone()))
+    }
+
     fn processes(&self) -> usize {
         self.topo.processes()
     }
@@ -102,7 +106,7 @@ impl Workload for UniformRandom {
 
 /// A strided sweep over a large array, optionally emitting prefetches a
 /// fixed distance ahead — the canonical prefetch-friendly pattern.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct StrideSweep {
     topo: Topology,
     region: Segment,
@@ -164,6 +168,10 @@ impl StrideSweep {
 }
 
 impl Workload for StrideSweep {
+    fn fork(&self) -> Option<Box<dyn Workload>> {
+        Some(Box::new(self.clone()))
+    }
+
     fn processes(&self) -> usize {
         self.topo.processes()
     }
@@ -193,7 +201,7 @@ impl Workload for StrideSweep {
 ///
 /// Exercises lock handoff and release-consistency visibility ordering: the
 /// consumer must observe every item exactly once.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct ProducerConsumer {
     topo: Topology,
     items: u64,
@@ -287,6 +295,10 @@ impl ProducerConsumer {
 }
 
 impl Workload for ProducerConsumer {
+    fn fork(&self) -> Option<Box<dyn Workload>> {
+        Some(Box::new(self.clone()))
+    }
+
     fn processes(&self) -> usize {
         self.topo.processes()
     }
