@@ -24,9 +24,15 @@
 //!
 //! Entry points: [`analyze`] over an [`EventLog`], [`analyze_trace`] over
 //! a parsed [`Trace`], and [`parse_passes`] for CLI `--analyze` strings.
+//!
+//! The [`lint`] module is the *static* counterpart: it analyzes extracted
+//! programs (not executions) — lock-order deadlock detection, barrier
+//! divergence, properly-labeled inference and prefetch placement — with
+//! zero simulation cycles. See [`lint::lint_workload`].
 
 pub mod barrier;
 pub mod hb;
+pub mod lint;
 pub mod lockset;
 pub mod prefetch;
 pub mod report;

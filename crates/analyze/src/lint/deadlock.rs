@@ -1,0 +1,282 @@
+//! Lock-order deadlock detection over the sync skeleton.
+//!
+//! Three finding families:
+//!
+//! * **Lock-order cycles** — a cycle `l₁ → l₂ → … → l₁` in the nested-
+//!   acquire graph, where each edge `lᵢ → lᵢ₊₁` witnesses some process
+//!   acquiring `lᵢ₊₁` while holding `lᵢ`. A process blocks on at most
+//!   one acquire at a time, so a realizable deadlock needs **pairwise
+//!   distinct processes** around the cycle (the Goodlock condition);
+//!   cycles that reuse a process are structural artifacts — LU's
+//!   ready-lock pipeline produces exactly such artifact cycles (priming
+//!   acquires run low→high, pivot waits run high→low) and must not be
+//!   flagged.
+//! * **Unreleased locks** — a lock still held when its holder's stream
+//!   ends. If any other process has an acquire of that lock not forced
+//!   (by must-happens-before) to precede the holder's, that process can
+//!   block forever: a definite static deadlock. This is the pass that
+//!   re-catches the original seed LU bug, where the final column's
+//!   owner kept its ready-lock into the end barrier.
+//! * **Bad releases** — releasing a lock the process does not hold.
+
+use std::collections::HashMap;
+
+use dashlat_cpu::ops::{LockId, ProcId};
+
+use super::report::{DeadlockFindings, LockCycle, UnreleasedLock};
+use super::skeleton::{HeldEdge, Skeleton};
+
+/// Most cycles reported per program (each is already fatal).
+const CYCLE_CAP: usize = 8;
+/// Longest cycle searched for (deadlocks in practice involve few locks).
+const MAX_CYCLE_LEN: usize = 6;
+
+/// Runs the deadlock pass.
+pub fn run(sk: &Skeleton) -> DeadlockFindings {
+    let mut out = DeadlockFindings {
+        cycles: find_cycles(&sk.held_edges),
+        unreleased: Vec::new(),
+        bad_releases: sk.bad_releases.clone(),
+    };
+    for &(pid, lock, acquired_at) in &sk.unreleased {
+        // The unmatched acquire's node index, for must-hb queries.
+        let acq_node = sk.syncs[pid.0]
+            .iter()
+            .position(|n| n.op_index == acquired_at)
+            .expect("acquire op is a sync node");
+        let waiters: Vec<ProcId> = sk
+            .lock_uses
+            .get(&lock)
+            .map(|uses| {
+                uses.iter()
+                    .filter(|u| u.pid != pid.0)
+                    .filter(|u| !sk.node_must_hb(u.pid, u.acq_node, pid.0, acq_node))
+                    .map(|u| ProcId(u.pid))
+                    .collect()
+            })
+            .unwrap_or_default();
+        let mut waiters = waiters;
+        waiters.sort_unstable();
+        waiters.dedup();
+        out.unreleased.push(UnreleasedLock {
+            pid,
+            lock,
+            acquired_at,
+            waiters,
+        });
+    }
+    out
+}
+
+/// Enumerates simple cycles in the nested-acquire graph whose edges can
+/// be witnessed by pairwise distinct processes.
+fn find_cycles(edges: &[HeldEdge]) -> Vec<LockCycle> {
+    // adjacency: held lock -> edges out of it, one witness per
+    // (acquired, pid) to keep the search small.
+    let mut adj: HashMap<LockId, Vec<HeldEdge>> = HashMap::new();
+    for &e in edges {
+        let outs = adj.entry(e.held).or_default();
+        if !outs
+            .iter()
+            .any(|o| o.acquired == e.acquired && o.pid == e.pid)
+        {
+            outs.push(e);
+        }
+    }
+    let mut starts: Vec<LockId> = adj.keys().copied().collect();
+    starts.sort_unstable_by_key(|l| l.0);
+
+    let mut cycles = Vec::new();
+    let mut seen_lock_sets: Vec<Vec<usize>> = Vec::new();
+    for &start in &starts {
+        if cycles.len() >= CYCLE_CAP {
+            break;
+        }
+        // DFS from `start`, only visiting locks with id >= start so each
+        // cycle is found once (from its minimum lock).
+        let mut path: Vec<HeldEdge> = Vec::new();
+        dfs(
+            start,
+            start,
+            &adj,
+            &mut path,
+            &mut cycles,
+            &mut seen_lock_sets,
+        );
+    }
+    cycles
+}
+
+fn dfs(
+    start: LockId,
+    at: LockId,
+    adj: &HashMap<LockId, Vec<HeldEdge>>,
+    path: &mut Vec<HeldEdge>,
+    cycles: &mut Vec<LockCycle>,
+    seen: &mut Vec<Vec<usize>>,
+) {
+    if cycles.len() >= CYCLE_CAP || path.len() >= MAX_CYCLE_LEN {
+        return;
+    }
+    let Some(outs) = adj.get(&at) else { return };
+    for &e in outs {
+        if e.acquired.0 < start.0 {
+            continue;
+        }
+        // Goodlock: every edge in the cycle must come from a distinct
+        // process.
+        if path.iter().any(|p| p.pid == e.pid) {
+            continue;
+        }
+        if e.acquired == start {
+            // A self-edge (path empty, held == acquired) is a process
+            // re-acquiring a lock it holds: deadlock on its own.
+            let mut full = path.clone();
+            full.push(e);
+            let mut lockset: Vec<usize> = full.iter().map(|w| w.held.0).collect();
+            lockset.sort_unstable();
+            if !seen.contains(&lockset) {
+                seen.push(lockset);
+                cycles.push(LockCycle {
+                    locks: full.iter().map(|w| w.held).collect(),
+                    witnesses: full
+                        .iter()
+                        .map(|w| {
+                            (
+                                ProcId(w.pid),
+                                w.held,
+                                w.held_since,
+                                w.acquired,
+                                w.acquired_at,
+                            )
+                        })
+                        .collect(),
+                });
+            }
+            continue;
+        }
+        if path.iter().any(|p| p.held == e.acquired) {
+            continue; // not a simple cycle
+        }
+        path.push(e);
+        dfs(start, e.acquired, adj, path, cycles, seen);
+        path.pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dashlat_cpu::ops::{Op, SyncConfig};
+    use dashlat_cpu::trace::Trace;
+    use dashlat_mem::addr::Addr;
+
+    fn lint_deadlock(streams: Vec<Vec<Op>>, locks: usize) -> DeadlockFindings {
+        let trace = Trace {
+            streams,
+            sync: SyncConfig {
+                lock_addrs: (0..locks).map(|i| Addr(0x1000 + 0x40 * i as u64)).collect(),
+                barrier_addrs: Vec::new(),
+                labeled_ranges: Vec::new(),
+            },
+            page_homes: None,
+        };
+        run(&Skeleton::build(&trace))
+    }
+
+    #[test]
+    fn ab_ba_cycle_detected() {
+        use dashlat_cpu::ops::LockId as L;
+        let f = lint_deadlock(
+            vec![
+                vec![
+                    Op::Acquire(L(0)),
+                    Op::Acquire(L(1)),
+                    Op::Release(L(1)),
+                    Op::Release(L(0)),
+                    Op::Done,
+                ],
+                vec![
+                    Op::Acquire(L(1)),
+                    Op::Acquire(L(0)),
+                    Op::Release(L(0)),
+                    Op::Release(L(1)),
+                    Op::Done,
+                ],
+            ],
+            2,
+        );
+        assert_eq!(f.cycles.len(), 1, "{f:?}");
+        assert_eq!(f.cycles[0].witnesses.len(), 2);
+        assert!(f.is_critical());
+    }
+
+    #[test]
+    fn single_process_reuse_is_not_a_cycle() {
+        use dashlat_cpu::ops::LockId as L;
+        // One process nests 0->1 in one section and 1->0 in another:
+        // a graph cycle, but one process cannot deadlock with itself
+        // here (it never holds one while blocked on the other in two
+        // places at once).
+        let f = lint_deadlock(
+            vec![vec![
+                Op::Acquire(L(0)),
+                Op::Acquire(L(1)),
+                Op::Release(L(1)),
+                Op::Release(L(0)),
+                Op::Acquire(L(1)),
+                Op::Acquire(L(0)),
+                Op::Release(L(0)),
+                Op::Release(L(1)),
+                Op::Done,
+            ]],
+            2,
+        );
+        assert!(f.cycles.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn consistent_nesting_is_clean() {
+        use dashlat_cpu::ops::LockId as L;
+        let section = vec![
+            Op::Acquire(L(0)),
+            Op::Acquire(L(1)),
+            Op::Release(L(1)),
+            Op::Release(L(0)),
+            Op::Done,
+        ];
+        let f = lint_deadlock(vec![section.clone(), section], 2);
+        assert!(!f.is_critical(), "{f:?}");
+    }
+
+    #[test]
+    fn unreleased_lock_with_waiter_is_definite_deadlock() {
+        use dashlat_cpu::ops::LockId as L;
+        let f = lint_deadlock(
+            vec![
+                vec![Op::Acquire(L(0)), Op::Done],
+                vec![Op::Acquire(L(0)), Op::Release(L(0)), Op::Done],
+            ],
+            1,
+        );
+        assert_eq!(f.unreleased.len(), 1);
+        assert_eq!(f.unreleased[0].waiters, vec![ProcId(1)]);
+        assert!(f.is_critical());
+    }
+
+    #[test]
+    fn unreleased_lock_without_waiters_still_flagged() {
+        use dashlat_cpu::ops::LockId as L;
+        let f = lint_deadlock(vec![vec![Op::Acquire(L(0)), Op::Done]], 1);
+        assert_eq!(f.unreleased.len(), 1);
+        assert!(f.unreleased[0].waiters.is_empty());
+        assert!(f.is_critical());
+    }
+
+    #[test]
+    fn bad_release_flagged() {
+        use dashlat_cpu::ops::LockId as L;
+        let f = lint_deadlock(vec![vec![Op::Release(L(0)), Op::Done]], 1);
+        assert_eq!(f.bad_releases.len(), 1);
+    }
+}

@@ -1,0 +1,247 @@
+//! Static properly-labeled (PL) inference.
+//!
+//! For every cross-process conflicting pair of shared accesses (same
+//! byte address, at least one write; `Rmw` counts as a write) the pass
+//! decides, from the sync skeleton alone:
+//!
+//! * **labeled** — the address lies in a declared labeled-competing
+//!   range: the race is by design, exempt (PL's "competing and labeled
+//!   as such").
+//! * **protected** — both sides hold a common lock: mutual exclusion
+//!   orders them in every execution even though no *fixed* order is
+//!   forced.
+//! * **ordered** — one side must-happens-before the other (barrier
+//!   phases or forced lock edges).
+//! * **competing** — none of the above: a statically possible unlabeled
+//!   race. Running this program under RC is unsound (SC-under-RC no
+//!   longer follows from the PL theorem), so the pair is a critical
+//!   finding.
+//!
+//! Because the static must-happens-before relation is a subset of the
+//! happens-before of any real schedule, every race the dynamic
+//! FastTrack pass can ever report is classified *competing* here:
+//! static findings ⊇ dynamic findings (the soundness property the
+//! property tests pin).
+//!
+//! The pass also grades the opposite direction: a declared label whose
+//! conflicting pairs are all ordered or protected anyway is
+//! **over-labeling**. It costs real performance under RC — a labeled
+//! (competing) write cannot retire through the write buffer and pays
+//! its ownership-miss latency in the open — so each such range is
+//! reported with an estimated forfeited stall-cycle count
+//! (`writes × write_owned_remote`).
+
+use dashlat_mem::addr::Addr;
+
+use super::report::{CompetingPair, LabelingFindings, OverLabel};
+use super::skeleton::{AccessRep, Skeleton};
+use super::LintOptions;
+use dashlat_cpu::ops::{ProcId, SyncConfig};
+
+/// Witness pairs kept in the report (one per address; the full address
+/// list is always kept).
+const WITNESS_CAP: usize = 16;
+
+/// Runs the PL-labeling pass.
+pub fn run(sk: &Skeleton, sync: &SyncConfig, opts: &LintOptions) -> LabelingFindings {
+    let mut out = LabelingFindings {
+        addrs_checked: sk.accesses.len(),
+        ..Default::default()
+    };
+    // Per labeled range (by index): (conflicting pairs seen, all of them
+    // ordered/protected so far, total writes inside the range).
+    let mut label_stats: Vec<(usize, bool, usize)> = vec![(0, true, 0); sync.labeled_ranges.len()];
+
+    let mut addrs: Vec<&Addr> = sk.accesses.keys().collect();
+    addrs.sort_unstable();
+    for &addr in addrs {
+        let reps = &sk.accesses[&addr];
+        let label = sync.labeled_ranges.iter().position(|r| r.contains(addr));
+        if let Some(li) = label {
+            label_stats[li].2 += reps
+                .iter()
+                .filter(|r| r.is_write)
+                .map(|r| r.count)
+                .sum::<usize>();
+        }
+        let mut competing_witness: Option<CompetingPair> = None;
+        for (i, a) in reps.iter().enumerate() {
+            for b in reps.iter().skip(i + 1) {
+                if a.pid == b.pid || (!a.is_write && !b.is_write) {
+                    continue;
+                }
+                out.pairs_checked += 1;
+                let ordered = ordered_or_protected(sk, a, b);
+                match label {
+                    Some(li) => {
+                        label_stats[li].0 += 1;
+                        if !ordered {
+                            label_stats[li].1 = false;
+                        }
+                    }
+                    None => {
+                        if !ordered && competing_witness.is_none() {
+                            competing_witness = Some(CompetingPair {
+                                addr,
+                                line: addr.line(),
+                                first: (ProcId(a.pid), a.op_index, a.is_write),
+                                second: (ProcId(b.pid), b.op_index, b.is_write),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        if let Some(w) = competing_witness {
+            out.under_labeled_addrs.push(addr);
+            if out.under_labeled.len() < WITNESS_CAP {
+                out.under_labeled.push(w);
+            }
+        }
+    }
+
+    let write_miss = opts.write_miss_cycles;
+    for (li, range) in sync.labeled_ranges.iter().enumerate() {
+        let (pairs, all_ordered, writes) = label_stats[li];
+        if pairs == 0 || all_ordered {
+            out.over_labeled.push(OverLabel {
+                name: range.name.clone(),
+                base: range.base,
+                len: range.len,
+                conflicting_pairs: pairs,
+                writes,
+                est_stall_cycles: writes as u64 * write_miss,
+            });
+        }
+    }
+    out
+}
+
+/// True when the pair cannot race in any execution: a forced order in
+/// either direction, or a common lock held on both sides.
+fn ordered_or_protected(sk: &Skeleton, a: &AccessRep, b: &AccessRep) -> bool {
+    if a.held.iter().any(|l| b.held.contains(l)) {
+        return true;
+    }
+    sk.run_must_hb(a.pid, a.op_index, b.pid, b.run)
+        || sk.run_must_hb(b.pid, b.op_index, a.pid, a.run)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dashlat_cpu::ops::{BarrierId, LabeledRange, LockId, Op};
+    use dashlat_cpu::trace::Trace;
+
+    fn lint(streams: Vec<Vec<Op>>, sync: SyncConfig) -> LabelingFindings {
+        let trace = Trace {
+            streams,
+            sync: sync.clone(),
+            page_homes: None,
+        };
+        run(&Skeleton::build(&trace), &sync, &LintOptions::default())
+    }
+
+    fn sync(locks: usize, barriers: usize, ranges: Vec<LabeledRange>) -> SyncConfig {
+        SyncConfig {
+            lock_addrs: (0..locks).map(|i| Addr(0x1000 + 0x40 * i as u64)).collect(),
+            barrier_addrs: (0..barriers)
+                .map(|i| Addr(0x8000 + 0x40 * i as u64))
+                .collect(),
+            labeled_ranges: ranges,
+        }
+    }
+
+    #[test]
+    fn unordered_conflict_is_under_labeled() {
+        let f = lint(
+            vec![
+                vec![Op::Write(Addr(0x40)), Op::Done],
+                vec![Op::Read(Addr(0x40)), Op::Done],
+            ],
+            sync(0, 0, vec![]),
+        );
+        assert!(!f.properly_labeled());
+        assert_eq!(f.under_labeled_addrs, vec![Addr(0x40)]);
+    }
+
+    #[test]
+    fn barrier_ordered_conflict_certifies() {
+        let f = lint(
+            vec![
+                vec![Op::Write(Addr(0x40)), Op::Barrier(BarrierId(0)), Op::Done],
+                vec![Op::Barrier(BarrierId(0)), Op::Read(Addr(0x40)), Op::Done],
+            ],
+            sync(0, 1, vec![]),
+        );
+        assert!(f.properly_labeled(), "{f:?}");
+        assert_eq!(f.pairs_checked, 1);
+    }
+
+    #[test]
+    fn common_lock_certifies_without_fixed_order() {
+        let cs = |v| {
+            vec![
+                Op::Acquire(LockId(0)),
+                Op::Write(Addr(v)),
+                Op::Release(LockId(0)),
+                Op::Done,
+            ]
+        };
+        let f = lint(vec![cs(0x40), cs(0x40)], sync(1, 0, vec![]));
+        assert!(f.properly_labeled(), "{f:?}");
+    }
+
+    #[test]
+    fn label_exempts_competing_pair() {
+        let f = lint(
+            vec![
+                vec![Op::Write(Addr(0x40)), Op::Done],
+                vec![Op::Rmw(Addr(0x40)), Op::Done],
+            ],
+            sync(0, 0, vec![LabeledRange::new(Addr(0x40), 16, "chaotic")]),
+        );
+        assert!(f.properly_labeled(), "{f:?}");
+        assert!(f.over_labeled.is_empty(), "label is genuinely needed");
+    }
+
+    #[test]
+    fn needless_label_is_over_labeled_with_cost() {
+        let f = lint(
+            vec![
+                vec![Op::Write(Addr(0x40)), Op::Barrier(BarrierId(0)), Op::Done],
+                vec![Op::Barrier(BarrierId(0)), Op::Read(Addr(0x40)), Op::Done],
+            ],
+            sync(0, 1, vec![LabeledRange::new(Addr(0x40), 16, "needless")]),
+        );
+        assert!(f.properly_labeled());
+        assert_eq!(f.over_labeled.len(), 1);
+        let o = &f.over_labeled[0];
+        assert_eq!(o.conflicting_pairs, 1);
+        assert_eq!(o.writes, 1);
+        assert!(o.est_stall_cycles > 0);
+    }
+
+    #[test]
+    fn unused_label_reported() {
+        let f = lint(
+            vec![vec![Op::Write(Addr(0x40)), Op::Done]],
+            sync(0, 0, vec![LabeledRange::new(Addr(0x800), 64, "unused")]),
+        );
+        assert_eq!(f.over_labeled.len(), 1);
+        assert_eq!(f.over_labeled[0].conflicting_pairs, 0);
+    }
+
+    #[test]
+    fn reads_only_never_conflict() {
+        let f = lint(
+            vec![
+                vec![Op::Read(Addr(0x40)), Op::Done],
+                vec![Op::Read(Addr(0x40)), Op::Done],
+            ],
+            sync(0, 0, vec![]),
+        );
+        assert!(f.properly_labeled());
+        assert_eq!(f.pairs_checked, 0);
+    }
+}

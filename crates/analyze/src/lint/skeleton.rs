@@ -1,0 +1,628 @@
+//! The sync-skeleton control-flow view of an extracted program, and the
+//! static *must-happens-before* relation computed over it.
+//!
+//! Each process's op stream is cut at its synchronization operations
+//! (acquire, release, barrier, done). The sync ops become **nodes**; the
+//! maximal op runs between them become **runs**. Every node carries a
+//! vector timestamp `vt[p]` = "the number of operations of process `p`
+//! guaranteed complete before this node completes, in *every* execution".
+//!
+//! Edges:
+//!
+//! * program order within a process;
+//! * barrier episodes — once the barrier-divergence check proves all
+//!   processes traverse the same barrier sequence, the i-th arrivals
+//!   form an all-to-all join;
+//! * forced lock edges, discovered to a fixpoint: if acquire `a` (proc
+//!   A) must-happen-before acquire `b` (proc B) of the same lock, then
+//!   mutual exclusion puts A's whole critical section before B's entry
+//!   in every execution, so `release(a) → b` is a must edge.
+//!
+//! This relation is a **subset** of the happens-before any real schedule
+//! exhibits (forced edges only), which is exactly the direction the
+//! properly-labeled pass needs: a pair unordered dynamically is also
+//! unordered statically, so static findings ⊇ dynamic FastTrack races.
+//!
+//! A key economy: the ordering verdict between two accesses depends only
+//! on their enclosing runs, never on their exact indices — vector
+//! timestamps are joins of sync-node positions, so a timestamp can never
+//! split a run. Accesses are therefore deduplicated to one
+//! representative per `(address, process, run, read/write)` before any
+//! pairwise classification.
+
+use std::collections::HashMap;
+
+use dashlat_cpu::ops::{BarrierId, LockId, Op, ProcId};
+use dashlat_cpu::trace::Trace;
+use dashlat_mem::addr::Addr;
+
+/// Fixpoint sweep cap. Forced-lock-edge discovery converges in a couple
+/// of sweeps for pipeline programs (one sweep finds the barrier-implied
+/// orders, the next propagates the release knowledge); the cap is a
+/// safety net, and hitting it is reported (fewer edges = conservative).
+const MAX_SWEEPS: usize = 16;
+
+/// Kind of a sync-skeleton node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeKind {
+    /// Lock acquire.
+    Acquire(LockId),
+    /// Lock release.
+    Release(LockId),
+    /// Barrier arrival.
+    Barrier(BarrierId),
+    /// End of stream.
+    Done,
+}
+
+/// One sync operation of one process.
+#[derive(Debug, Clone)]
+pub struct SyncNode {
+    /// Index of the op in its process's stream.
+    pub op_index: usize,
+    /// What the op is.
+    pub kind: NodeKind,
+    /// Must-happens-before vector timestamp (ops of each proc guaranteed
+    /// complete before this node completes).
+    pub vt: Vec<usize>,
+}
+
+/// One representative shared access: all accesses by `pid` to one
+/// address within one run with the same read/write kind share its
+/// ordering verdicts.
+#[derive(Debug, Clone)]
+pub struct AccessRep {
+    /// Accessing process.
+    pub pid: usize,
+    /// Enclosing run (number of sync nodes preceding it).
+    pub run: usize,
+    /// True for writes (`Rmw` counts as a write).
+    pub is_write: bool,
+    /// Stream index of the first access this entry represents.
+    pub op_index: usize,
+    /// How many accesses it represents.
+    pub count: usize,
+    /// Locks held throughout the run.
+    pub held: Vec<LockId>,
+}
+
+/// One use of a lock by a process: the acquire node and, if the process
+/// ever released it, the matching release node.
+#[derive(Debug, Clone, Copy)]
+pub struct LockUse {
+    /// Acquiring process.
+    pub pid: usize,
+    /// Index of the acquire in `syncs[pid]`.
+    pub acq_node: usize,
+    /// Index of the matching release in `syncs[pid]`, if any.
+    pub rel_node: Option<usize>,
+}
+
+/// A lock-order graph edge: `pid` acquired `acquired` while holding
+/// `held`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HeldEdge {
+    /// The process.
+    pub pid: usize,
+    /// The lock already held.
+    pub held: LockId,
+    /// Stream index of the acquire that took `held`.
+    pub held_since: usize,
+    /// The lock being acquired.
+    pub acquired: LockId,
+    /// Stream index of the nested acquire.
+    pub acquired_at: usize,
+}
+
+/// Where two processes' barrier sequences first disagree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BarrierDivergence {
+    /// Episode index (position in the per-process barrier sequence).
+    pub episode: usize,
+    /// A process at that episode, with the barrier it arrives at
+    /// (`None` when its stream has no such episode).
+    pub expected: (ProcId, Option<BarrierId>),
+    /// The first process that disagrees.
+    pub got: (ProcId, Option<BarrierId>),
+}
+
+/// The extracted sync skeleton plus everything the passes consume.
+#[derive(Debug)]
+pub struct Skeleton {
+    /// Process count.
+    pub nprocs: usize,
+    /// Sync nodes per process, in program order.
+    pub syncs: Vec<Vec<SyncNode>>,
+    /// Barrier episodes joined into must-happens-before (the agreeing
+    /// prefix of all processes' barrier sequences).
+    pub joined_episodes: usize,
+    /// First barrier-sequence disagreement, if any.
+    pub divergence: Option<BarrierDivergence>,
+    /// Deduplicated shared accesses grouped by byte address.
+    pub accesses: HashMap<Addr, Vec<AccessRep>>,
+    /// All uses of each lock.
+    pub lock_uses: HashMap<LockId, Vec<LockUse>>,
+    /// Lock-order graph edges (nested acquires).
+    pub held_edges: Vec<HeldEdge>,
+    /// Releases of locks the process did not hold: `(pid, lock,
+    /// op_index)`.
+    pub bad_releases: Vec<(ProcId, LockId, usize)>,
+    /// Locks still held when the process finished: `(pid, lock, index of
+    /// the unmatched acquire)`.
+    pub unreleased: Vec<(ProcId, LockId, usize)>,
+    /// Total operations across all streams.
+    pub total_ops: usize,
+    /// False when the fixpoint hit [`MAX_SWEEPS`] (timestamps then
+    /// under-approximate must-happens-before, which is conservative).
+    pub converged: bool,
+}
+
+impl Skeleton {
+    /// Builds the skeleton from extracted per-process op streams and
+    /// computes the must-happens-before timestamps.
+    pub fn build(trace: &Trace) -> Skeleton {
+        let nprocs = trace.streams.len();
+        let mut syncs: Vec<Vec<SyncNode>> = vec![Vec::new(); nprocs];
+        let mut barrier_seq: Vec<Vec<BarrierId>> = vec![Vec::new(); nprocs];
+        let mut accesses: HashMap<Addr, Vec<AccessRep>> = HashMap::new();
+        let mut lock_uses: HashMap<LockId, Vec<LockUse>> = HashMap::new();
+        let mut held_edges = Vec::new();
+        let mut bad_releases = Vec::new();
+        let mut unreleased = Vec::new();
+        let mut total_ops = 0usize;
+
+        for (p, stream) in trace.streams.iter().enumerate() {
+            // Held stack: (lock, acquire op index, index into lock_uses[lock]).
+            let mut held: Vec<(LockId, usize, usize)> = Vec::new();
+            let held_ids = |held: &[(LockId, usize, usize)]| -> Vec<LockId> {
+                held.iter().map(|&(l, _, _)| l).collect()
+            };
+            for (i, &op) in stream.iter().enumerate() {
+                total_ops += 1;
+                let run = syncs[p].len();
+                match op {
+                    Op::Read(a) | Op::Write(a) | Op::Rmw(a) => {
+                        let is_write = !matches!(op, Op::Read(_));
+                        let reps = accesses.entry(a).or_default();
+                        // Reps for this proc arrive in run order; a match
+                        // can only sit among the trailing entries of the
+                        // current run (at most a read and a write).
+                        let found = reps
+                            .iter_mut()
+                            .rev()
+                            .take_while(|r| r.pid == p && r.run == run)
+                            .find(|r| r.is_write == is_write);
+                        match found {
+                            Some(r) => r.count += 1,
+                            None => reps.push(AccessRep {
+                                pid: p,
+                                run,
+                                is_write,
+                                op_index: i,
+                                count: 1,
+                                held: held_ids(&held),
+                            }),
+                        }
+                    }
+                    Op::Acquire(l) => {
+                        for &(h, since, _) in &held {
+                            held_edges.push(HeldEdge {
+                                pid: p,
+                                held: h,
+                                held_since: since,
+                                acquired: l,
+                                acquired_at: i,
+                            });
+                        }
+                        let uses = lock_uses.entry(l).or_default();
+                        uses.push(LockUse {
+                            pid: p,
+                            acq_node: syncs[p].len(),
+                            rel_node: None,
+                        });
+                        held.push((l, i, uses.len() - 1));
+                        syncs[p].push(SyncNode {
+                            op_index: i,
+                            kind: NodeKind::Acquire(l),
+                            vt: Vec::new(),
+                        });
+                    }
+                    Op::Release(l) => {
+                        match held.iter().rposition(|&(h, _, _)| h == l) {
+                            Some(at) => {
+                                let (_, _, use_idx) = held.remove(at);
+                                lock_uses.get_mut(&l).expect("use recorded")[use_idx].rel_node =
+                                    Some(syncs[p].len());
+                            }
+                            None => bad_releases.push((ProcId(p), l, i)),
+                        }
+                        syncs[p].push(SyncNode {
+                            op_index: i,
+                            kind: NodeKind::Release(l),
+                            vt: Vec::new(),
+                        });
+                    }
+                    Op::Barrier(b) => {
+                        barrier_seq[p].push(b);
+                        syncs[p].push(SyncNode {
+                            op_index: i,
+                            kind: NodeKind::Barrier(b),
+                            vt: Vec::new(),
+                        });
+                    }
+                    Op::Done => {
+                        syncs[p].push(SyncNode {
+                            op_index: i,
+                            kind: NodeKind::Done,
+                            vt: Vec::new(),
+                        });
+                    }
+                    Op::Compute(_) | Op::Prefetch { .. } => {}
+                }
+            }
+            for &(l, at, _) in &held {
+                unreleased.push((ProcId(p), l, at));
+            }
+        }
+
+        let (joined_episodes, divergence) = check_barriers(&barrier_seq);
+
+        let mut sk = Skeleton {
+            nprocs,
+            syncs,
+            joined_episodes,
+            divergence,
+            accesses,
+            lock_uses,
+            held_edges,
+            bad_releases,
+            unreleased,
+            total_ops,
+            converged: true,
+        };
+        sk.compute_vts();
+        sk
+    }
+
+    /// True when the node `(p, i)` must happen before the node `(q, j)`
+    /// in every execution.
+    pub fn node_must_hb(&self, p: usize, i: usize, q: usize, j: usize) -> bool {
+        if p == q {
+            return i < j;
+        }
+        self.syncs[q][j].vt[p] > self.syncs[p][i].op_index
+    }
+
+    /// True when every access in run `run_a` of process `p` must happen
+    /// before every access in run `run_b` of process `q ≠ p`.
+    /// `first_index` is the stream index of any access inside `run_a`
+    /// (verdicts are uniform across a run).
+    pub fn run_must_hb(&self, p: usize, first_index: usize, q: usize, run_b: usize) -> bool {
+        if run_b == 0 {
+            return false; // nothing precedes q's first sync
+        }
+        self.syncs[q][run_b - 1].vt[p] > first_index
+    }
+
+    /// Vector-timestamp fixpoint: program order, barrier joins, and
+    /// forced lock edges discovered until nothing changes.
+    fn compute_vts(&mut self) {
+        let n = self.nprocs;
+        // Static incoming edges from barrier episodes: all-to-all among
+        // the i-th arrivals. Maps (proc, node) -> sources.
+        let mut incoming: HashMap<(usize, usize), Vec<(usize, usize)>> = HashMap::new();
+        let barrier_nodes: Vec<Vec<usize>> = self
+            .syncs
+            .iter()
+            .map(|nodes| {
+                nodes
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, s)| matches!(s.kind, NodeKind::Barrier(_)))
+                    .map(|(k, _)| k)
+                    .collect()
+            })
+            .collect();
+        for p in 0..n {
+            for q in 0..n {
+                if p == q {
+                    continue;
+                }
+                let episodes = barrier_nodes[p]
+                    .iter()
+                    .zip(&barrier_nodes[q])
+                    .take(self.joined_episodes);
+                for (&bp, &bq) in episodes {
+                    incoming.entry((p, bp)).or_default().push((q, bq));
+                }
+            }
+        }
+        for nodes in &mut self.syncs {
+            for node in nodes.iter_mut() {
+                node.vt = vec![0; n];
+            }
+        }
+
+        let mut known_lock_edges: Vec<((usize, usize), (usize, usize))> = Vec::new();
+        let mut converged = false;
+        for _ in 0..MAX_SWEEPS {
+            let mut changed = false;
+            // Propagate program order + recorded incoming edges. A few
+            // inner rounds let joins flow both directions between procs
+            // within one sweep.
+            loop {
+                let mut inner_changed = false;
+                for p in 0..n {
+                    let mut carry = vec![0usize; n];
+                    for k in 0..self.syncs[p].len() {
+                        carry[p] = carry[p].max(self.syncs[p][k].op_index + 1);
+                        if let Some(srcs) = incoming.get(&(p, k)) {
+                            for &(q, j) in srcs {
+                                let src_vt = self.syncs[q][j].vt.clone();
+                                for (c, s) in carry.iter_mut().zip(src_vt) {
+                                    *c = (*c).max(s);
+                                }
+                            }
+                        }
+                        let node = &mut self.syncs[p][k];
+                        for (dst, src) in node.vt.iter_mut().zip(&carry) {
+                            if *src > *dst {
+                                *dst = *src;
+                                inner_changed = true;
+                            }
+                        }
+                        carry.clone_from(&node.vt);
+                    }
+                }
+                if !inner_changed {
+                    break;
+                }
+                changed = true;
+            }
+            // Discover forced lock edges: acq_a must-hb acq_b of the
+            // same lock => rel_a -> acq_b.
+            let mut new_edges = Vec::new();
+            for uses in self.lock_uses.values() {
+                for a in uses {
+                    let Some(rel) = a.rel_node else { continue };
+                    for b in uses {
+                        if a.pid == b.pid {
+                            continue;
+                        }
+                        if self.node_must_hb(a.pid, a.acq_node, b.pid, b.acq_node) {
+                            let edge = ((a.pid, rel), (b.pid, b.acq_node));
+                            if !known_lock_edges.contains(&edge) {
+                                new_edges.push(edge);
+                            }
+                        }
+                    }
+                }
+            }
+            if new_edges.is_empty() && !changed {
+                converged = true;
+                break;
+            }
+            for edge in new_edges {
+                incoming
+                    .entry(edge.1)
+                    .or_default()
+                    .push((edge.0 .0, edge.0 .1));
+                known_lock_edges.push(edge);
+            }
+        }
+        self.converged = converged;
+    }
+}
+
+/// Compares per-process barrier sequences: returns the number of
+/// episodes on which every process agrees, and the first divergence.
+fn check_barriers(seqs: &[Vec<BarrierId>]) -> (usize, Option<BarrierDivergence>) {
+    let max_len = seqs.iter().map(Vec::len).max().unwrap_or(0);
+    let min_len = seqs.iter().map(Vec::len).min().unwrap_or(0);
+    for e in 0..max_len {
+        let expected = seqs[0].get(e).copied();
+        for (q, seq) in seqs.iter().enumerate().skip(1) {
+            let got = seq.get(e).copied();
+            if got != expected {
+                return (
+                    e.min(min_len),
+                    Some(BarrierDivergence {
+                        episode: e,
+                        expected: (ProcId(0), expected),
+                        got: (ProcId(q), got),
+                    }),
+                );
+            }
+        }
+    }
+    (min_len, None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dashlat_cpu::ops::{Op, SyncConfig};
+
+    fn trace(streams: Vec<Vec<Op>>, locks: usize, barriers: usize) -> Trace {
+        Trace {
+            streams,
+            sync: SyncConfig {
+                lock_addrs: (0..locks).map(|i| Addr(0x1000 + 0x40 * i as u64)).collect(),
+                barrier_addrs: (0..barriers)
+                    .map(|i| Addr(0x8000 + 0x40 * i as u64))
+                    .collect(),
+                labeled_ranges: Vec::new(),
+            },
+            page_homes: None,
+        }
+    }
+
+    #[test]
+    fn barrier_orders_across_processes() {
+        // P0 writes before the barrier; P1 reads after it.
+        let t = trace(
+            vec![
+                vec![Op::Write(Addr(0x40)), Op::Barrier(BarrierId(0)), Op::Done],
+                vec![Op::Barrier(BarrierId(0)), Op::Read(Addr(0x40)), Op::Done],
+            ],
+            0,
+            1,
+        );
+        let sk = Skeleton::build(&t);
+        assert_eq!(sk.joined_episodes, 1);
+        assert!(sk.divergence.is_none());
+        // P0's write (index 0) is in run 0; P1's read is in run 1.
+        assert!(sk.run_must_hb(0, 0, 1, 1));
+        assert!(!sk.run_must_hb(1, 1, 0, 0));
+    }
+
+    #[test]
+    fn forced_lock_edge_orders_pipeline() {
+        // Producer holds lock 0 from the start (before the barrier);
+        // consumer acquires it after the barrier. The fixpoint must find
+        // rel(P0) -> acq(P1), ordering the pre-release write before the
+        // post-acquire read.
+        let t = trace(
+            vec![
+                vec![
+                    Op::Acquire(LockId(0)),
+                    Op::Barrier(BarrierId(0)),
+                    Op::Write(Addr(0x40)),
+                    Op::Release(LockId(0)),
+                    Op::Done,
+                ],
+                vec![
+                    Op::Barrier(BarrierId(0)),
+                    Op::Acquire(LockId(0)),
+                    Op::Release(LockId(0)),
+                    Op::Read(Addr(0x40)),
+                    Op::Done,
+                ],
+            ],
+            1,
+            1,
+        );
+        let sk = Skeleton::build(&t);
+        assert!(sk.converged);
+        // P0's write is at stream index 2, inside run 2 (after Acquire,
+        // Barrier). P1's read is inside run 3 (after Barrier, Acquire,
+        // Release).
+        assert!(sk.run_must_hb(0, 2, 1, 3));
+    }
+
+    #[test]
+    fn concurrent_acquires_stay_unordered() {
+        let t = trace(
+            vec![
+                vec![
+                    Op::Acquire(LockId(0)),
+                    Op::Write(Addr(0x40)),
+                    Op::Release(LockId(0)),
+                    Op::Done,
+                ],
+                vec![
+                    Op::Acquire(LockId(0)),
+                    Op::Write(Addr(0x40)),
+                    Op::Release(LockId(0)),
+                    Op::Done,
+                ],
+            ],
+            1,
+            0,
+        );
+        let sk = Skeleton::build(&t);
+        // Neither critical section is forced before the other.
+        assert!(!sk.run_must_hb(0, 1, 1, 1));
+        assert!(!sk.run_must_hb(1, 1, 0, 1));
+        // But both writes are under the same lock.
+        let reps = &sk.accesses[&Addr(0x40)];
+        assert_eq!(reps.len(), 2);
+        assert!(reps.iter().all(|r| r.held == vec![LockId(0)]));
+    }
+
+    #[test]
+    fn access_dedup_within_run() {
+        let t = trace(
+            vec![vec![
+                Op::Read(Addr(0x40)),
+                Op::Read(Addr(0x40)),
+                Op::Write(Addr(0x40)),
+                Op::Rmw(Addr(0x40)),
+                Op::Done,
+            ]],
+            0,
+            0,
+        );
+        let sk = Skeleton::build(&t);
+        let reps = &sk.accesses[&Addr(0x40)];
+        // One read rep (count 2) and one write rep (count 2: Write+Rmw).
+        assert_eq!(reps.len(), 2);
+        assert_eq!(reps.iter().find(|r| !r.is_write).unwrap().count, 2);
+        assert_eq!(reps.iter().find(|r| r.is_write).unwrap().count, 2);
+    }
+
+    #[test]
+    fn divergent_barriers_reported() {
+        let t = trace(
+            vec![
+                vec![
+                    Op::Barrier(BarrierId(0)),
+                    Op::Barrier(BarrierId(1)),
+                    Op::Done,
+                ],
+                vec![
+                    Op::Barrier(BarrierId(0)),
+                    Op::Barrier(BarrierId(0)),
+                    Op::Done,
+                ],
+            ],
+            0,
+            2,
+        );
+        let sk = Skeleton::build(&t);
+        assert_eq!(sk.joined_episodes, 1);
+        let d = sk.divergence.expect("diverges");
+        assert_eq!(d.episode, 1);
+    }
+
+    #[test]
+    fn imbalance_recorded() {
+        let t = trace(
+            vec![
+                vec![Op::Acquire(LockId(0)), Op::Done],
+                vec![Op::Release(LockId(0)), Op::Done],
+            ],
+            1,
+            0,
+        );
+        let sk = Skeleton::build(&t);
+        assert_eq!(sk.unreleased, vec![(ProcId(0), LockId(0), 0)]);
+        assert_eq!(sk.bad_releases, vec![(ProcId(1), LockId(0), 0)]);
+    }
+
+    #[test]
+    fn nested_acquires_build_held_edges() {
+        let t = trace(
+            vec![vec![
+                Op::Acquire(LockId(0)),
+                Op::Acquire(LockId(1)),
+                Op::Release(LockId(1)),
+                Op::Release(LockId(0)),
+                Op::Done,
+            ]],
+            2,
+            0,
+        );
+        let sk = Skeleton::build(&t);
+        assert_eq!(
+            sk.held_edges,
+            vec![HeldEdge {
+                pid: 0,
+                held: LockId(0),
+                held_since: 0,
+                acquired: LockId(1),
+                acquired_at: 1,
+            }]
+        );
+    }
+}

@@ -1,4 +1,4 @@
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 //! Shared helpers for the figure/table binaries and criterion benches.
 //!

@@ -68,6 +68,27 @@ pub enum Command {
         /// Machine variant for live runs.
         config: Box<ExperimentConfig>,
     },
+    /// Statically lint workload programs (no simulation): lock-order
+    /// deadlock detection, barrier divergence, PL-labeling inference,
+    /// and prefetch lints.
+    Lint {
+        /// Applications to lint (all three when empty and no trace
+        /// input was given).
+        apps: Vec<App>,
+        /// Also lint the whole litmus corpus.
+        all: bool,
+        /// Recorded trace to lint instead of extracted programs.
+        input: Option<String>,
+        /// Emit machine-readable JSON instead of the text report.
+        json: bool,
+        /// Fail on incomplete analyses (truncated extraction or an
+        /// unconverged happens-before closure), not just critical
+        /// findings.
+        strict: bool,
+        /// Machine variant (scales the programs; fixes the latency
+        /// table behind the late-prefetch and over-labeling costs).
+        config: Box<ExperimentConfig>,
+    },
     /// Crash-safe supervised sweep of one paper figure's matrix.
     Sweep {
         /// Figure number (2-6).
@@ -206,6 +227,8 @@ USAGE:
   dashlat trace replay --in <file> [machine flags]
   dashlat analyze [--app <app>]... [--in <file>] [--passes <list>]
                   [--paper-scale] [machine flags]
+  dashlat lint [--app <app>]... [--all] [--in <file>] [--json]
+               [--strict] [--paper-scale] [machine flags]
   dashlat sweep <2|3|4|5|6> [machine flags] [--journal <file>] [--out <file>]
                 [--resume] [--isolate] [--timeout-secs <n>] [--retries <n>]
                 [--bundle-dir <dir>]
@@ -263,6 +286,23 @@ ANALYZE:
   all three applications, 16 processors, release consistency, reduced
   data sets (--paper-scale restores Table 2 sizes), every pass.
   --in <file> analyzes a recorded trace by logical replay instead.
+
+LINT:
+  `dashlat lint` statically analyzes workload programs without
+  simulating a cycle: it extracts each per-process op program into a
+  sync-skeleton CFG and runs four whole-program passes — lock-order
+  deadlock detection (cycles with per-process witnesses, unreleased
+  and unmatched releases), barrier-divergence (every process must
+  traverse the same barrier sequence), PL-labeling inference (a static
+  happens-before closure; under-labeling is a statically possible race
+  and fails the lint, over-labeling is reported with its estimated
+  forfeited write-latency hiding in stall cycles), and prefetch lints
+  (dead, late, duplicate — advisory). Defaults match `analyze`: all
+  three applications, release consistency, reduced data sets. --all
+  adds the litmus corpus; --in <file> lints a recorded trace instead;
+  --json prints one machine-readable report per subject; --strict also
+  fails incomplete analyses (truncated extraction or an unconverged
+  closure). Critical findings exit 11.
 
 SWEEP / CHAOS / REPRO:
   `dashlat sweep N` runs figure N's matrix under a crash-safe supervisor:
@@ -324,8 +364,9 @@ EXIT CODES:
   7 memory-model violation   8 chaos found a failing schedule
   9 repro bundle did not reproduce   10 service error (daemon
   unreachable, submission rejected, or remote job failed opaquely)
+  11 static lint found critical findings
   When several failures co-occur (e.g. in one figure matrix), the most
-  severe code wins: 7, then 4, 2, 3, 6, 8, 9, 5, 10, and 1 last.
+  severe code wins: 7, then 4, 2, 3, 6, 8, 9, 11, 5, 10, and 1 last.
 ";
 
 fn parse_consistency(v: &str) -> Result<Consistency, ArgError> {
@@ -550,6 +591,54 @@ pub fn parse(mut args: Vec<String>) -> Result<Command, ArgError> {
                 apps,
                 input,
                 passes,
+                config: Box::new(config),
+            })
+        }
+        "lint" => {
+            // Same certification defaults as `analyze`: release
+            // consistency and reduced data sets unless overridden. The
+            // consistency model only picks the latency table behind
+            // the advisory cost estimates — the verdicts are static.
+            let user_consistency = args.iter().any(|a| a == "--consistency");
+            let paper_scale = if let Some(i) = args.iter().position(|a| a == "--paper-scale") {
+                args.remove(i);
+                true
+            } else {
+                false
+            };
+            let mut config = parse_machine_flags(&mut args)?;
+            if !user_consistency {
+                config = config.with_rc();
+            }
+            if !paper_scale {
+                config.scale = AppScale::Test;
+            }
+            let mut apps = Vec::new();
+            while let Some(i) = args.iter().position(|a| a == "--app") {
+                if i + 1 >= args.len() {
+                    return Err(ArgError("--app needs a value".into()));
+                }
+                let v = args.remove(i + 1);
+                args.remove(i);
+                apps.push(v.parse().map_err(ArgError)?);
+            }
+            let all = take_bool_flag(&mut args, "--all");
+            let input = take_opt_flag_value(&mut args, "--in")?;
+            let json = take_bool_flag(&mut args, "--json");
+            let strict = take_bool_flag(&mut args, "--strict");
+            if input.is_some() && (!apps.is_empty() || all) {
+                return Err(ArgError(
+                    "--in and --app/--all are mutually exclusive (a trace fixes the subject)"
+                        .into(),
+                ));
+            }
+            ensure_consumed(&args)?;
+            Ok(Command::Lint {
+                apps,
+                all,
+                input,
+                json,
+                strict,
                 config: Box::new(config),
             })
         }
@@ -1116,6 +1205,69 @@ mod tests {
     }
 
     #[test]
+    fn lint_defaults() {
+        let cmd = parse(v(&["lint"])).expect("parses");
+        match cmd {
+            Command::Lint {
+                apps,
+                all,
+                input,
+                json,
+                strict,
+                config,
+            } => {
+                assert!(apps.is_empty());
+                assert!(!all);
+                assert!(input.is_none());
+                assert!(!json);
+                assert!(!strict);
+                assert_eq!(config.consistency, Consistency::Rc);
+                assert_eq!(config.scale, AppScale::Test);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lint_overrides_and_exclusions() {
+        let cmd = parse(v(&[
+            "lint",
+            "--app",
+            "lu",
+            "--all",
+            "--json",
+            "--strict",
+            "--consistency",
+            "sc",
+            "--prefetch",
+        ]))
+        .expect("parses");
+        match cmd {
+            Command::Lint {
+                apps,
+                all,
+                json,
+                strict,
+                config,
+                ..
+            } => {
+                assert_eq!(apps, vec![App::Lu]);
+                assert!(all && json && strict);
+                assert_eq!(config.consistency, Consistency::Sc);
+                assert!(config.prefetching);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let cmd = parse(v(&["lint", "--in", "/tmp/t.trace"])).expect("parses");
+        assert!(matches!(
+            cmd,
+            Command::Lint { ref input, .. } if input.as_deref() == Some("/tmp/t.trace")
+        ));
+        assert!(parse(v(&["lint", "--in", "/tmp/t.trace", "--app", "lu"])).is_err());
+        assert!(parse(v(&["lint", "--in", "/tmp/t.trace", "--all"])).is_err());
+    }
+
+    #[test]
     fn analyze_machine_flag() {
         let cmd = parse(v(&["run", "--app", "lu", "--analyze", "all"])).expect("parses");
         match cmd {
@@ -1481,8 +1633,10 @@ mod tests {
             "8 chaos found a failing schedule",
             "9 repro bundle did not reproduce",
             "10 service error",
-            "7, then 4, 2, 3, 6, 8, 9, 5, 10, and 1 last",
+            "11 static lint found critical findings",
+            "7, then 4, 2, 3, 6, 8, 9, 11, 5, 10, and 1 last",
             "dashlat sweep",
+            "dashlat lint",
             "dashlat repro",
             "dashlat chaos",
             "dashlat serve",

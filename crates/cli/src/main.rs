@@ -1,3 +1,4 @@
+#![deny(missing_docs)]
 //! `dashlat` — command-line front-end for the dash-latency simulator.
 //!
 //! ```sh
@@ -26,6 +27,7 @@ use dashlat::sweep::{
     SweepOptions, SweepPlan,
 };
 use dashlat_cpu::machine::{Machine, RunError};
+use dashlat_cpu::ops::Topology;
 use dashlat_cpu::trace::{Trace, TraceRecorder};
 use dashlat_mem::layout::AddressSpaceBuilder;
 use dashlat_mem::system::MemorySystem;
@@ -59,6 +61,27 @@ impl std::fmt::Display for RacesFound {
 }
 
 impl std::error::Error for RacesFound {}
+
+/// The static lint found critical findings (a statically possible
+/// deadlock, barrier divergence, or under-labeled race), or — under
+/// `--strict` — an incomplete analysis.
+#[derive(Debug)]
+struct LintFindings {
+    critical: usize,
+    incomplete: usize,
+}
+
+impl std::fmt::Display for LintFindings {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} subject(s) failed the static lint", self.critical)?;
+        if self.incomplete > 0 {
+            write!(f, " ({} incomplete under --strict)", self.incomplete)?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for LintFindings {}
 
 /// The memory-model verifier found a violation (or could not establish
 /// exhaustiveness, which is treated just as seriously).
@@ -134,11 +157,13 @@ impl std::error::Error for ServiceError {}
 /// forward-progress failures; a race (6) indicts the workload's labeling
 /// rather than the machine; a chaos finding (8) is a freshly fuzzed bug
 /// and a repro divergence (9) an unconfirmed old one — real, but already
-/// minimized or secondhand; partial results (5), service errors (10 —
-/// the daemon was unreachable or rejected the request, saying nothing
-/// about the simulator itself) and generic errors (1) rank last. When
-/// failures co-occur the most severe code wins.
-const SEVERITY: [u8; 10] = [7, 4, 2, 3, 6, 8, 9, 5, 10, 1];
+/// minimized or secondhand; a static lint finding (11) is a *possible*
+/// failure proved without running anything, so it ranks just below the
+/// witnessed ones; partial results (5), service errors (10 — the daemon
+/// was unreachable or rejected the request, saying nothing about the
+/// simulator itself) and generic errors (1) rank last. When failures
+/// co-occur the most severe code wins.
+const SEVERITY: [u8; 11] = [7, 4, 2, 3, 6, 8, 9, 11, 5, 10, 1];
 
 /// Returns the more severe of two exit codes under [`SEVERITY`].
 fn worst_code(a: u8, b: u8) -> u8 {
@@ -158,7 +183,8 @@ fn worst_code(a: u8, b: u8) -> u8 {
 /// Distinct exit codes so scripts can tell failure classes apart:
 /// 0 success, 1 generic, 2 deadlock, 3 livelock, 4 invariant violation,
 /// 5 partial matrix results, 6 race detected, 7 memory-model violation,
-/// 8 chaos found a failing schedule, 9 repro bundle did not reproduce.
+/// 8 chaos found a failing schedule, 9 repro bundle did not reproduce,
+/// 10 service error, 11 static lint found critical findings.
 /// Paths where failures co-occur pre-rank them into [`WorstFailure`].
 fn exit_code_for(e: &(dyn std::error::Error + 'static)) -> ExitCode {
     if let Some(w) = e.downcast_ref::<WorstFailure>() {
@@ -178,6 +204,9 @@ fn exit_code_for(e: &(dyn std::error::Error + 'static)) -> ExitCode {
     }
     if e.downcast_ref::<RacesFound>().is_some() {
         return ExitCode::from(6);
+    }
+    if e.downcast_ref::<LintFindings>().is_some() {
+        return ExitCode::from(11);
     }
     if e.downcast_ref::<PartialMatrix>().is_some() {
         return ExitCode::from(5);
@@ -760,6 +789,110 @@ fn execute(cmd: Command) -> Result<(), Box<dyn std::error::Error>> {
             }
             Ok(())
         }
+        Command::Lint {
+            apps,
+            all,
+            input,
+            json,
+            strict,
+            config,
+        } => {
+            use dashlat_analyze::lint::{lint_trace, lint_workload, LintOptions, LintReport};
+            let opts = LintOptions::from_latencies(&config.mem_config().latencies);
+            // (report, this subject fails the lint, one-line summary
+            // that replaces the full render for passing corpus entries)
+            let mut entries: Vec<(LintReport, bool, Option<String>)> = Vec::new();
+            if let Some(path) = input {
+                let text = std::fs::read_to_string(&path)?;
+                let trace = Trace::from_text(&text)?;
+                let r = lint_trace(&path, &trace, Vec::new(), false, &opts);
+                let failed = r.is_critical() || (strict && r.is_incomplete());
+                entries.push((r, failed, None));
+            } else {
+                let apps = if apps.is_empty() {
+                    App::ALL.to_vec()
+                } else {
+                    apps
+                };
+                for app in apps {
+                    let topo = Topology::new(config.processors, config.contexts);
+                    let mut space = AddressSpaceBuilder::new(config.processors);
+                    let w = app.build(config.scale, topo, &mut space, config.prefetching);
+                    let r = lint_workload(app.name(), w.as_ref(), &opts)?;
+                    let failed = r.is_critical() || (strict && r.is_incomplete());
+                    entries.push((r, failed, None));
+                }
+                if all {
+                    for t in dashlat_verify::litmus::corpus() {
+                        let lay = dashlat_verify::workload::layout(&t, t.nprocs());
+                        let offsets = vec![0; t.nprocs()];
+                        let w = dashlat_verify::workload::LitmusWorkload::new(&t, &lay, &offsets);
+                        let r = lint_workload(t.name, &w, &opts)?;
+                        // Competing-by-design corpus entries fail the
+                        // PL pass on purpose: the check here is that
+                        // the static verdict reproduces the corpus's
+                        // hand-written annotation, not that every
+                        // litmus program certifies.
+                        let verdict_ok = r.labeling.properly_labeled() == t.properly_labeled;
+                        let other_critical = !r.extraction_notes.is_empty()
+                            || r.deadlock.is_critical()
+                            || r.barriers.divergence.is_some();
+                        let failed = !verdict_ok || other_critical || (strict && r.is_incomplete());
+                        let note = if failed {
+                            None
+                        } else {
+                            Some(format!(
+                                "litmus {}: static PL verdict `{}` matches the corpus \
+                                 annotation — ok",
+                                t.name,
+                                if t.properly_labeled {
+                                    "properly labeled"
+                                } else {
+                                    "under-labeled"
+                                },
+                            ))
+                        };
+                        entries.push((r, failed, note));
+                    }
+                }
+            }
+            if json {
+                let docs: Vec<String> = entries
+                    .iter()
+                    .map(|(r, failed, _)| {
+                        format!("{{\"failed\":{failed},\"report\":{}}}", r.to_json())
+                    })
+                    .collect();
+                println!("[{}]", docs.join(","));
+            } else {
+                for (r, failed, note) in &entries {
+                    match note {
+                        Some(line) if !failed => println!("{line}"),
+                        _ => println!("{}", r.render()),
+                    }
+                }
+            }
+            let critical = entries.iter().filter(|(_, failed, _)| *failed).count();
+            let incomplete = if strict {
+                entries.iter().filter(|(r, _, _)| r.is_incomplete()).count()
+            } else {
+                0
+            };
+            if !json {
+                println!(
+                    "lint: {} subject(s) checked, {} failed",
+                    entries.len(),
+                    critical
+                );
+            }
+            if critical > 0 {
+                return Err(Box::new(LintFindings {
+                    critical,
+                    incomplete,
+                }));
+            }
+            Ok(())
+        }
     }
 }
 
@@ -870,7 +1003,7 @@ mod tests {
 
     #[test]
     fn severity_ranking_is_total_and_most_severe_wins() {
-        // 7 > 4 > 2 > 3 > 6 > 5 > 1, pairwise.
+        // 7 > 4 > 2 > 3 > 6 > 8 > 9 > 11 > 5 > 10 > 1, pairwise.
         for (i, &a) in SEVERITY.iter().enumerate() {
             for &b in &SEVERITY[i..] {
                 assert_eq!(worst_code(a, b), a);
@@ -914,6 +1047,13 @@ mod tests {
         let as_exit = |e: Box<dyn std::error::Error>| exit_code_for(e.as_ref());
         assert_eq!(as_exit(Box::new(ModelViolation)), ExitCode::from(7));
         assert_eq!(as_exit(Box::new(RacesFound(1))), ExitCode::from(6));
+        assert_eq!(
+            as_exit(Box::new(LintFindings {
+                critical: 1,
+                incomplete: 0
+            })),
+            ExitCode::from(11)
+        );
         assert_eq!(as_exit(Box::new(PartialMatrix(2))), ExitCode::from(5));
         assert_eq!(
             as_exit(Box::new(ChaosFound("schedule".into()))),

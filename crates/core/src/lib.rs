@@ -1,4 +1,4 @@
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 //! `dashlat` — experiment layer of the `dash-latency` reproduction.
 //!

@@ -17,6 +17,9 @@
 //! * [`events`] — the analysis-event stream the `dashlat-analyze` passes
 //!   consume, produced live by the machine (`with_event_log`) or by
 //!   fault-tolerant logical replay of a serialized trace.
+//! * [`extract`] — static program extraction: drive a forked workload
+//!   under a sync-respecting logical scheduler (no timing) to obtain its
+//!   per-process op streams for whole-program lint passes.
 //!
 //! # Example
 //!
@@ -60,6 +63,7 @@
 pub mod breakdown;
 pub mod config;
 pub mod events;
+pub mod extract;
 pub mod machine;
 pub mod ops;
 pub mod script;
@@ -69,6 +73,7 @@ pub mod trace;
 pub use breakdown::{ScaledBreakdown, TimeBreakdown};
 pub use config::{Consistency, ProcConfig};
 pub use events::{events_from_trace, AnalysisEvent, EventKind, EventLog, ReplayNote};
+pub use extract::{extract_program, ExtractError, ExtractNote, ExtractOptions, Extraction};
 pub use machine::{BlockedOn, BlockedOp, Machine, RunError, RunPhase, RunResult, StuckProcess};
 pub use ops::{BarrierId, LabeledRange, LockId, Op, ProcId, SyncConfig, Topology, Workload};
 pub use sync::SyncState;

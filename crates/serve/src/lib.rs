@@ -1,4 +1,4 @@
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 //! `dashlat-serve` — the long-running sweep service.
 //!

@@ -105,6 +105,10 @@ impl LitmusWorkload {
 }
 
 impl Workload for LitmusWorkload {
+    fn fork(&self) -> Option<Box<dyn Workload>> {
+        Some(Box::new(self.clone()))
+    }
+
     fn processes(&self) -> usize {
         self.programs.len()
     }
