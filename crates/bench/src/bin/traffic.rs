@@ -9,7 +9,8 @@
 //! histogram (202 accepted vs 429 shed).
 //!
 //! Usage: `traffic [--requests N] [--interval-ms N] [--workers N]
-//!                 [--queue-depth N] [--data-dir PATH]`
+//!                 [--queue-depth N] [--data-dir PATH] [--chaos]
+//!                 [--conn-deadline-secs N]`
 //!
 //! * `--requests N` — submissions to fire (default 24).
 //! * `--interval-ms N` — arrival interval (default 50; an interval much
@@ -19,13 +20,22 @@
 //! * `--queue-depth N` — admission queue bound (default 2).
 //! * `--data-dir PATH` — daemon state directory (default: a fresh
 //!   directory under the system temp dir).
+//! * `--chaos` — interleave one adversarial client per submission,
+//!   cycling slow writers, mid-request disconnects, and oversized
+//!   bodies ([`dashlat_serve::chaosclient`]); the histogram gains the
+//!   server's error taxonomy (408 / 413 / silent close), and any
+//!   answer other than the taxonomy's is a failure.
+//! * `--conn-deadline-secs N` — the daemon's per-connection deadline
+//!   (default 2 with `--chaos` so slow writers are cut off quickly,
+//!   10 otherwise).
 //!
 //! The driver exits 0 when every submission was either accepted or
-//! cleanly shed and the daemon drained and shut down gracefully; any
-//! transport error or malformed response exits 1. Because all jobs share
-//! one figure matrix, every job after the first is served almost
-//! entirely from the result cache — the histogram therefore also shows
-//! the cache turning an overloaded service into a keep-up one.
+//! cleanly shed, every adversarial client got its taxonomy answer, and
+//! the daemon drained and shut down gracefully; any transport error or
+//! malformed response exits 1. Because all jobs share one figure
+//! matrix, every job after the first is served almost entirely from the
+//! result cache — the histogram therefore also shows the cache turning
+//! an overloaded service into a keep-up one.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -33,11 +43,20 @@ use std::sync::mpsc;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use dashlat_serve::{client, JobSpec, ServeConfig, Server};
+use dashlat_serve::{chaosclient, client, ChaosMode, JobSpec, ServeConfig, Server};
 
 struct Sample {
     status: u16,
     micros: u128,
+}
+
+/// What the server is required to answer a given adversary with.
+fn expected_answer(mode: ChaosMode) -> &'static str {
+    match mode {
+        ChaosMode::SlowWriter => "408",
+        ChaosMode::MidRequestDisconnect => "sent",
+        ChaosMode::OversizedBody => "413",
+    }
 }
 
 fn arg_value(args: &[String], flag: &str) -> Option<String> {
@@ -64,6 +83,8 @@ fn main() -> ExitCode {
     let interval = Duration::from_millis(parse_or("--interval-ms", 50));
     let workers = parse_or("--workers", 1) as usize;
     let queue_depth = parse_or("--queue-depth", 2) as usize;
+    let chaos = args.iter().any(|a| a == "--chaos");
+    let conn_deadline_secs = parse_or("--conn-deadline-secs", if chaos { 2 } else { 10 });
     let data_dir = arg_value(&args, "--data-dir").map_or_else(
         || std::env::temp_dir().join(format!("dashlat-traffic-{}", std::process::id())),
         PathBuf::from,
@@ -75,6 +96,8 @@ fn main() -> ExitCode {
         workers,
         queue_depth,
         job_timeout_secs: 600,
+        conn_deadline_secs,
+        ..ServeConfig::default()
     }) {
         Ok(s) => Arc::new(s),
         Err(e) => {
@@ -98,12 +121,20 @@ fn main() -> ExitCode {
     };
     println!(
         "traffic: daemon at {addr} — {workers} worker(s), queue depth {queue_depth}; \
-         firing {requests} submission(s) every {}ms (open loop)",
-        interval.as_millis()
+         firing {requests} submission(s) every {}ms (open loop{})",
+        interval.as_millis(),
+        if chaos {
+            ", adversarial clients on"
+        } else {
+            ""
+        }
     );
 
     // Open loop: each submission fires on schedule from its own thread,
-    // so a slow daemon cannot push back on the arrival process.
+    // so a slow daemon cannot push back on the arrival process. With
+    // --chaos, every submission brings an adversarial sibling along —
+    // the well-behaved client measures whether the misbehaving one
+    // degraded the service.
     let spec = JobSpec {
         sweep_jobs: Some(1),
         ..JobSpec::sweep(
@@ -113,8 +144,17 @@ fn main() -> ExitCode {
     };
     let body = spec.to_json();
     let (tx, rx) = mpsc::channel::<Result<Sample, String>>();
+    let (chaos_tx, chaos_rx) = mpsc::channel::<(ChaosMode, String)>();
     let mut senders = Vec::new();
-    for _ in 0..requests {
+    for i in 0..requests {
+        if chaos {
+            let mode = ChaosMode::ALL[i % ChaosMode::ALL.len()];
+            let chaos_tx = chaos_tx.clone();
+            let chaos_addr = addr.clone();
+            senders.push(std::thread::spawn(move || {
+                let _ = chaos_tx.send((mode, chaosclient::run(&chaos_addr, mode)));
+            }));
+        }
         let tx = tx.clone();
         let addr = addr.clone();
         let body = body.clone();
@@ -131,6 +171,7 @@ fn main() -> ExitCode {
         std::thread::sleep(interval);
     }
     drop(tx);
+    drop(chaos_tx);
     for s in senders {
         let _ = s.join();
     }
@@ -157,6 +198,28 @@ fn main() -> ExitCode {
         }
     }
     latencies.sort_unstable();
+
+    // Tally the adversaries: per mode, how often the server gave the
+    // taxonomy's answer vs anything else (indexed like ChaosMode::ALL).
+    let mut taxonomy = [(0usize, 0usize); ChaosMode::ALL.len()];
+    let mut surprises = 0usize;
+    for (mode, outcome) in chaos_rx {
+        let slot = ChaosMode::ALL
+            .iter()
+            .position(|m| *m == mode)
+            .unwrap_or_default();
+        if outcome == expected_answer(mode) {
+            taxonomy[slot].0 += 1;
+        } else {
+            taxonomy[slot].1 += 1;
+            surprises += 1;
+            eprintln!(
+                "traffic: {} client expected {}, got {outcome}",
+                mode.tag(),
+                expected_answer(mode)
+            );
+        }
+    }
 
     // Let the daemon drain what it admitted, then stop it gracefully.
     let drain_deadline = Instant::now() + Duration::from_secs(600);
@@ -189,6 +252,17 @@ fn main() -> ExitCode {
     println!("  429 shed     : {shed}");
     println!("  other status : {other}");
     println!("  errors       : {errors}");
+    if chaos {
+        println!("traffic: adversarial taxonomy (answer expected by each mode)");
+        for (slot, mode) in ChaosMode::ALL.iter().enumerate() {
+            let (ok, bad) = taxonomy[slot];
+            println!(
+                "  {:<14} → {:<4} : {ok} ok, {bad} unexpected",
+                mode.tag(),
+                expected_answer(*mode),
+            );
+        }
+    }
     println!(
         "traffic: submit latency µs — p50 {} | p90 {} | p99 {} | max {}",
         percentile(&latencies, 0.50),
@@ -204,7 +278,7 @@ fn main() -> ExitCode {
         if graceful { "ok" } else { "FAILED" }
     );
 
-    if errors == 0 && other == 0 && accepted + shed == requests && graceful {
+    if errors == 0 && other == 0 && surprises == 0 && accepted + shed == requests && graceful {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE

@@ -138,6 +138,15 @@ pub enum Command {
         determinism: bool,
         /// Where to write the repro bundle for a failing schedule.
         bundle_dir: String,
+        /// Torture the serve daemon instead of a single simulation:
+        /// seeded schedules of worker kills, disk faults, client floods
+        /// and restarts, judged by service-level oracles.
+        serve: bool,
+        /// Torture data root (`--serve` only); a temp dir when absent.
+        data_dir: Option<String>,
+        /// Loud-skip threshold in ms/cell for the torture harness on
+        /// slow runners (`--serve` only; 0 = never skip).
+        calibration_budget_ms: u64,
     },
     /// Exhaustively verify the machine's memory model and directory
     /// protocol against their specifications.
@@ -174,6 +183,18 @@ pub enum Command {
         queue_depth: usize,
         /// Default per-job wall-clock deadline in seconds (0 = none).
         job_timeout_secs: u64,
+        /// Run each sweep cell in a `dashlat cell` subprocess (crash
+        /// isolation + per-cell wall-clock timeout).
+        isolate: bool,
+        /// Per-cell subprocess timeout in seconds (with `--isolate`).
+        cell_timeout_secs: u64,
+        /// Consecutive worker crashes before a job's circuit breaker
+        /// opens and its remaining cells fail fast (with `--isolate`).
+        crash_loop_threshold: u32,
+        /// Concurrent-connection cap; excess connections get 503.
+        max_connections: usize,
+        /// Per-connection request deadline in seconds (0 = none).
+        conn_deadline_secs: u64,
     },
     /// Submit a job to a running service.
     Submit {
@@ -236,11 +257,15 @@ USAGE:
   dashlat repro <bundle.json>
   dashlat chaos [--app <app>] [machine flags] [--trials <n>] [--seed <n>]
                 [--no-determinism] [--bundle-dir <dir>]
+  dashlat chaos --serve [--trials <n>] [--seed <n>] [--data-dir <dir>]
+                [--calibration-budget-ms <n>]
   dashlat verify-model [--all] [--models <sc,pc,wc,rc>] [--tests <names>]
                        [--filter <glob>] [--max-runs <n>] [--list] [--stats]
                        [--strict] [--deep-closure]
   dashlat serve [--addr <ip:port>] [--data-dir <dir>] [--workers <n>]
-                [--queue-depth <n>] [--job-timeout-secs <n>]
+                [--queue-depth <n>] [--job-timeout-secs <n>] [--isolate]
+                [--cell-timeout-secs <n>] [--crash-loop-threshold <n>]
+                [--max-connections <n>] [--conn-deadline-secs <n>]
   dashlat submit [--addr <ip:port> | --data-dir <dir>] [--wait]
                  [--sweep-jobs <n>] [--retries <n>] [--timeout-secs <n>]
                  sweep <2|3|4|5|6> [machine flags]
@@ -320,7 +345,14 @@ SWEEP / CHAOS / REPRO:
   recorded failure reproduces (9 on divergence). `dashlat chaos` fuzzes
   seeded fault schedules against the online invariant checker and a
   determinism oracle, delta-debugs the first failing schedule to
-  minimal, and writes it as a repro bundle (exit 8).
+  minimal, and writes it as a repro bundle (exit 8). `dashlat chaos
+  --serve` tortures the daemon instead: each seeded schedule mixes
+  worker SIGKILLs, injected disk faults, adversarial client floods and
+  mid-run restarts against a live in-process daemon, then checks four
+  service oracles (no acknowledged job lost, logs never torn, cache
+  exactly-once, recovery within a bound) and delta-debugs any failing
+  schedule to a minimal reproducer (exit 8). --calibration-budget-ms
+  skips loudly on runners too slow to judge fairly.
 
 VERIFY-MODEL:
   `dashlat verify-model` runs the litmus corpus through a stateless
@@ -349,9 +381,16 @@ SERVE / SUBMIT / STATUS:
   directory (terminal / resumable / corrupt) and re-enqueues resumable
   sweeps, which resume from their journals to byte-identical output;
   SIGTERM/SIGINT checkpoint in-flight sweeps at the next cell boundary
-  and exit 0. Endpoints: GET /healthz /readyz /jobs /jobs/<id>
-  /jobs/<id>/log /jobs/<id>/events; POST /jobs /jobs/<id>/cancel
-  /shutdown. `dashlat submit` POSTs a job (machine flags travel
+  and exit 0. --isolate runs each sweep cell in a `dashlat cell`
+  subprocess under --cell-timeout-secs and a per-job crash-loop circuit
+  breaker (--crash-loop-threshold consecutive crashes open it), so a
+  crashing cell costs one child, never the daemon. The
+  HTTP surface is hardened: slow or oversized requests get 408/413
+  under --conn-deadline-secs, and connections beyond --max-connections
+  are shed with 503 + Retry-After. Endpoints: GET /healthz /readyz
+  /jobs /jobs/<id> /jobs/<id>/log /jobs/<id>/events[?after=N&wait=S]
+  (long poll: blocks until new journal records or the wait expires);
+  POST /jobs /jobs/<id>/cancel /shutdown. `dashlat submit` POSTs a job (machine flags travel
   verbatim and are validated on both ends); with --wait it polls to a
   terminal state and exits with the job's own exit code. `dashlat
   status` prints one job's state or the whole list plus daemon health.
@@ -722,6 +761,7 @@ pub fn parse(mut args: Vec<String>) -> Result<Command, ArgError> {
                 Some(v) => v.parse().map_err(ArgError)?,
                 None => App::Lu,
             };
+            let serve = take_bool_flag(&mut args, "--serve");
             let trials = match take_opt_flag_value(&mut args, "--trials")? {
                 Some(v) => {
                     let n: u32 = v
@@ -732,7 +772,15 @@ pub fn parse(mut args: Vec<String>) -> Result<Command, ArgError> {
                     }
                     n
                 }
-                None => 25,
+                // Service campaigns boot a daemon per trial — default to
+                // fewer, heavier trials than the in-process fuzzer.
+                None => {
+                    if serve {
+                        8
+                    } else {
+                        25
+                    }
+                }
             };
             let seed = match take_opt_flag_value(&mut args, "--seed")? {
                 Some(v) => v.parse().map_err(|_| ArgError(format!("bad seed {v:?}")))?,
@@ -741,6 +789,19 @@ pub fn parse(mut args: Vec<String>) -> Result<Command, ArgError> {
             let determinism = !take_bool_flag(&mut args, "--no-determinism");
             let bundle_dir =
                 take_opt_flag_value(&mut args, "--bundle-dir")?.unwrap_or_else(|| ".".into());
+            let data_dir = take_opt_flag_value(&mut args, "--data-dir")?;
+            let calibration_budget_ms =
+                match take_opt_flag_value(&mut args, "--calibration-budget-ms")? {
+                    Some(v) => v
+                        .parse()
+                        .map_err(|_| ArgError(format!("bad calibration budget {v:?}")))?,
+                    None => 0,
+                };
+            if !serve && (data_dir.is_some() || calibration_budget_ms != 0) {
+                return Err(ArgError(
+                    "--data-dir and --calibration-budget-ms need --serve".into(),
+                ));
+            }
             ensure_consumed(&args)?;
             Ok(Command::Chaos {
                 app,
@@ -749,6 +810,9 @@ pub fn parse(mut args: Vec<String>) -> Result<Command, ArgError> {
                 seed,
                 determinism,
                 bundle_dir,
+                serve,
+                data_dir,
+                calibration_budget_ms,
             })
         }
         "verify-model" => {
@@ -869,6 +933,52 @@ pub fn parse(mut args: Vec<String>) -> Result<Command, ArgError> {
                     .map_err(|_| ArgError(format!("bad job timeout {v:?}")))?,
                 None => 3600,
             };
+            let isolate = take_bool_flag(&mut args, "--isolate");
+            let cell_timeout_secs = match take_opt_flag_value(&mut args, "--cell-timeout-secs")? {
+                Some(v) => {
+                    let n: u64 = v
+                        .parse()
+                        .map_err(|_| ArgError(format!("bad cell timeout {v:?}")))?;
+                    if n == 0 {
+                        return Err(ArgError("--cell-timeout-secs must be at least 1".into()));
+                    }
+                    n
+                }
+                None => 300,
+            };
+            let crash_loop_threshold =
+                match take_opt_flag_value(&mut args, "--crash-loop-threshold")? {
+                    Some(v) => {
+                        let n: u32 = v
+                            .parse()
+                            .map_err(|_| ArgError(format!("bad crash-loop threshold {v:?}")))?;
+                        if n == 0 {
+                            return Err(ArgError(
+                                "--crash-loop-threshold must be at least 1".into(),
+                            ));
+                        }
+                        n
+                    }
+                    None => 8,
+                };
+            let max_connections = match take_opt_flag_value(&mut args, "--max-connections")? {
+                Some(v) => {
+                    let n: usize = v
+                        .parse()
+                        .map_err(|_| ArgError(format!("bad connection cap {v:?}")))?;
+                    if n == 0 {
+                        return Err(ArgError("--max-connections must be at least 1".into()));
+                    }
+                    n
+                }
+                None => 64,
+            };
+            let conn_deadline_secs = match take_opt_flag_value(&mut args, "--conn-deadline-secs")? {
+                Some(v) => v
+                    .parse()
+                    .map_err(|_| ArgError(format!("bad connection deadline {v:?}")))?,
+                None => 10,
+            };
             ensure_consumed(&args)?;
             Ok(Command::Serve {
                 addr,
@@ -876,6 +986,11 @@ pub fn parse(mut args: Vec<String>) -> Result<Command, ArgError> {
                 workers,
                 queue_depth,
                 job_timeout_secs,
+                isolate,
+                cell_timeout_secs,
+                crash_loop_threshold,
+                max_connections,
+                conn_deadline_secs,
             })
         }
         "submit" => {
@@ -1547,6 +1662,9 @@ mod tests {
                 determinism,
                 bundle_dir,
                 config,
+                serve,
+                data_dir,
+                calibration_budget_ms,
             } => {
                 assert_eq!(app, App::Pthor);
                 assert_eq!(trials, 3);
@@ -1554,6 +1672,9 @@ mod tests {
                 assert!(!determinism);
                 assert_eq!(bundle_dir, "/tmp/b");
                 assert_eq!(config.scale, AppScale::Test);
+                assert!(!serve);
+                assert_eq!(data_dir, None);
+                assert_eq!(calibration_budget_ms, 0);
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -1660,6 +1781,11 @@ mod tests {
                 workers: 2,
                 queue_depth: 8,
                 job_timeout_secs: 3600,
+                isolate: false,
+                cell_timeout_secs: 300,
+                crash_loop_threshold: 8,
+                max_connections: 64,
+                conn_deadline_secs: 10,
             }
         );
         let cmd = parse(v(&[
@@ -1683,6 +1809,7 @@ mod tests {
                 workers,
                 queue_depth,
                 job_timeout_secs,
+                ..
             } => {
                 assert_eq!(addr, "127.0.0.1:8123");
                 assert_eq!(data_dir, "/tmp/d");
@@ -1695,6 +1822,97 @@ mod tests {
         assert!(parse(v(&["serve", "--workers", "0"])).is_err());
         assert!(parse(v(&["serve", "--queue-depth", "0"])).is_err());
         assert!(parse(v(&["serve", "--bogus"])).is_err());
+        assert!(parse(v(&["serve", "--cell-timeout-secs", "0"])).is_err());
+        assert!(parse(v(&["serve", "--max-connections", "0"])).is_err());
+        assert!(parse(v(&["serve", "--crash-loop-threshold", "0"])).is_err());
+    }
+
+    #[test]
+    fn serve_hardening_flags_parse() {
+        let cmd = parse(v(&[
+            "serve",
+            "--isolate",
+            "--cell-timeout-secs",
+            "30",
+            "--crash-loop-threshold",
+            "3",
+            "--max-connections",
+            "16",
+            "--conn-deadline-secs",
+            "3",
+        ]))
+        .expect("parses");
+        match cmd {
+            Command::Serve {
+                isolate,
+                cell_timeout_secs,
+                crash_loop_threshold,
+                max_connections,
+                conn_deadline_secs,
+                ..
+            } => {
+                assert!(isolate);
+                assert_eq!(cell_timeout_secs, 30);
+                assert_eq!(crash_loop_threshold, 3);
+                assert_eq!(max_connections, 16);
+                assert_eq!(conn_deadline_secs, 3);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn chaos_serve_parsing() {
+        let cmd = parse(v(&["chaos", "--serve"])).expect("parses");
+        match cmd {
+            Command::Chaos {
+                serve,
+                trials,
+                data_dir,
+                calibration_budget_ms,
+                ..
+            } => {
+                assert!(serve);
+                // Service campaigns default to fewer, heavier trials.
+                assert_eq!(trials, 8);
+                assert_eq!(data_dir, None);
+                assert_eq!(calibration_budget_ms, 0);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let cmd = parse(v(&[
+            "chaos",
+            "--serve",
+            "--trials",
+            "2",
+            "--seed",
+            "42",
+            "--data-dir",
+            "/tmp/torture",
+            "--calibration-budget-ms",
+            "1500",
+        ]))
+        .expect("parses");
+        match cmd {
+            Command::Chaos {
+                serve,
+                trials,
+                seed,
+                data_dir,
+                calibration_budget_ms,
+                ..
+            } => {
+                assert!(serve);
+                assert_eq!(trials, 2);
+                assert_eq!(seed, 42);
+                assert_eq!(data_dir, Some("/tmp/torture".into()));
+                assert_eq!(calibration_budget_ms, 1500);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // The torture-only flags demand --serve.
+        assert!(parse(v(&["chaos", "--data-dir", "/tmp/x"])).is_err());
+        assert!(parse(v(&["chaos", "--calibration-budget-ms", "5"])).is_err());
     }
 
     #[test]

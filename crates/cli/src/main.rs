@@ -9,7 +9,7 @@
 //! ```
 
 mod args;
-mod isolate;
+use dashlat::isolate;
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -562,7 +562,13 @@ fn execute(cmd: Command) -> Result<(), Box<dyn std::error::Error>> {
             seed,
             determinism,
             bundle_dir,
+            serve,
+            data_dir,
+            calibration_budget_ms,
         } => {
+            if serve {
+                return run_serve_torture(trials, seed, data_dir, calibration_budget_ms);
+            }
             let opts = ChaosOptions {
                 trials,
                 seed,
@@ -663,6 +669,11 @@ fn execute(cmd: Command) -> Result<(), Box<dyn std::error::Error>> {
             workers,
             queue_depth,
             job_timeout_secs,
+            isolate,
+            cell_timeout_secs,
+            crash_loop_threshold,
+            max_connections,
+            conn_deadline_secs,
         } => {
             dashlat_serve::signal::install();
             let server =
@@ -672,6 +683,12 @@ fn execute(cmd: Command) -> Result<(), Box<dyn std::error::Error>> {
                     workers,
                     queue_depth,
                     job_timeout_secs,
+                    isolate,
+                    cell_timeout_secs,
+                    crash_loop_threshold,
+                    max_connections,
+                    conn_deadline_secs,
+                    ..dashlat_serve::ServeConfig::default()
                 })?);
             // Graceful shutdown (SIGTERM/SIGINT/POST /shutdown) returns
             // Ok from run(), so the daemon exits 0.
@@ -898,6 +915,65 @@ fn execute(cmd: Command) -> Result<(), Box<dyn std::error::Error>> {
 
 /// Finds the daemon: an explicit `--addr` wins, otherwise the `addr`
 /// file the daemon publishes in its data directory.
+/// `dashlat chaos --serve`: the service-level torture harness. Boots a
+/// daemon per seeded schedule, misbehaves on schedule, and judges the
+/// wreckage with the four service oracles; a failing schedule is
+/// delta-debugged to minimal and reported with exit 8.
+fn run_serve_torture(
+    trials: u32,
+    seed: u64,
+    data_dir: Option<String>,
+    calibration_budget_ms: u64,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let data_root = data_dir.map_or_else(
+        || std::env::temp_dir().join(format!("dashlat-torture-{}", std::process::id())),
+        PathBuf::from,
+    );
+    println!(
+        "chaos --serve: {trials} torture schedule(s) against a live daemon (campaign seed {seed})"
+    );
+    let report = dashlat_serve::run_torture(&dashlat_serve::TortureOptions {
+        trials,
+        seed,
+        data_root: data_root.clone(),
+        calibration_budget_ms,
+        ..dashlat_serve::TortureOptions::default()
+    });
+    if let Some(why) = report.skipped {
+        println!("torture skipped: {why}");
+        return Ok(());
+    }
+    match report.failure {
+        None => {
+            println!(
+                "{} schedule(s) run — all four oracles green \
+                 (job-loss, log-integrity, cache, recovery)",
+                report.trials_run
+            );
+            std::fs::remove_dir_all(&data_root).ok();
+            Ok(())
+        }
+        Some(f) => {
+            println!(
+                "trial #{}: {} oracle tripped: {}",
+                f.trial, f.oracle, f.error
+            );
+            println!("  original schedule:  {}", f.original.to_spec());
+            println!(
+                "  minimized schedule: {} ({} active fault class(es), {} campaign re-run(s))",
+                f.minimized.to_spec(),
+                f.minimized.active_classes(),
+                f.shrink_runs
+            );
+            println!("  campaign data kept under {}", data_root.display());
+            Err(Box::new(ChaosFound(format!(
+                "serve torture found a failing schedule ({} oracle): {}",
+                f.oracle, f.error
+            ))))
+        }
+    }
+}
+
 fn resolve_addr(addr: Option<String>, data_dir: &str) -> Result<String, Box<ServiceError>> {
     match addr {
         Some(a) => Ok(a),

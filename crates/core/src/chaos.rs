@@ -143,6 +143,47 @@ pub fn random_plan(rng: &mut Xorshift) -> FaultPlan {
     plan
 }
 
+/// Generic greedy delta-debugging engine, shared by the machine-fault
+/// shrinker below and the service torture harness's schedule shrinker
+/// (`dashlat-serve`).
+///
+/// `simpler` lists candidate reductions of the current best, ordered
+/// cheapest-explanation-first; any candidate equal to the current best
+/// is skipped without spending a predicate call. Each candidate that
+/// still makes `fails` return true becomes the new best and the
+/// candidate list is regenerated from it. The loop ends at a fixpoint
+/// (no candidate fails) or after `max_runs` predicate calls. Returns the
+/// minimized value and the number of calls used.
+pub fn shrink<P: Clone + PartialEq>(
+    start: P,
+    mut simpler: impl FnMut(&P) -> Vec<P>,
+    mut fails: impl FnMut(&P) -> bool,
+    max_runs: u32,
+) -> (P, u32) {
+    let mut best = start;
+    let mut runs = 0u32;
+    loop {
+        let mut improved = false;
+        for cand in simpler(&best) {
+            if cand == best {
+                continue;
+            }
+            if runs >= max_runs {
+                return (best, runs);
+            }
+            runs += 1;
+            if fails(&cand) {
+                best = cand;
+                improved = true;
+                break;
+            }
+        }
+        if !improved {
+            return (best, runs);
+        }
+    }
+}
+
 /// Greedy delta-debugging over a fault plan: repeatedly tries simpler
 /// candidates, keeping each one that still makes `fails` return true,
 /// until no candidate reduces further or `max_runs` predicate calls are
@@ -155,69 +196,54 @@ pub fn random_plan(rng: &mut Xorshift) -> FaultPlan {
 /// 3. zero the schedule seed.
 pub fn shrink_plan(
     start: FaultPlan,
-    mut fails: impl FnMut(&FaultPlan) -> bool,
+    fails: impl FnMut(&FaultPlan) -> bool,
     max_runs: u32,
 ) -> (FaultPlan, u32) {
-    let mut best = start;
-    let mut runs = 0u32;
-    let mut try_candidate = |best: &mut FaultPlan, cand: FaultPlan, runs: &mut u32| -> bool {
-        if cand == *best || *runs >= max_runs {
-            return false;
-        }
-        *runs += 1;
-        if fails(&cand) {
-            *best = cand;
-            true
-        } else {
-            false
-        }
-    };
+    shrink(start, plan_candidates, fails, max_runs)
+}
 
-    loop {
-        let before = best;
+/// The ordered reduction candidates for one fault plan (see
+/// [`shrink_plan`] for the phase rationale).
+fn plan_candidates(best: &FaultPlan) -> Vec<FaultPlan> {
+    let mut cands = Vec::new();
 
-        // Phase 1: drop whole classes.
-        for drop in 0..3 {
-            let mut cand = best;
-            match drop {
-                0 => cand.nack_prob = 0.0,
-                1 => {
-                    cand.delay_prob = 0.0;
-                }
-                _ => cand.buffer_full_prob = 0.0,
-            }
-            try_candidate(&mut best, cand, &mut runs);
+    // Phase 1: drop whole classes.
+    for drop in 0..3 {
+        let mut cand = *best;
+        match drop {
+            0 => cand.nack_prob = 0.0,
+            1 => cand.delay_prob = 0.0,
+            _ => cand.buffer_full_prob = 0.0,
         }
-
-        // Phase 2: shrink magnitudes of whatever classes remain.
-        for step in 0..6 {
-            let mut cand = best;
-            match step {
-                0 if cand.nack_prob > 0.01 => cand.nack_prob /= 2.0,
-                1 if cand.delay_prob > 0.01 => cand.delay_prob /= 2.0,
-                2 if cand.buffer_full_prob > 0.01 => cand.buffer_full_prob /= 2.0,
-                3 if cand.max_delay > 1 => cand.max_delay = 1,
-                4 if cand.max_retries > 1 => cand.max_retries = 1,
-                5 if cand.backoff_base > 1 || cand.backoff_cap > 1 => {
-                    cand.backoff_base = 1;
-                    cand.backoff_cap = 1;
-                }
-                _ => continue,
-            }
-            try_candidate(&mut best, cand, &mut runs);
-        }
-
-        // Phase 3: canonicalize the seed.
-        if best.seed != 0 {
-            let mut cand = best;
-            cand.seed = 0;
-            try_candidate(&mut best, cand, &mut runs);
-        }
-
-        if best == before || runs >= max_runs {
-            return (best, runs);
-        }
+        cands.push(cand);
     }
+
+    // Phase 2: shrink magnitudes of whatever classes remain.
+    for step in 0..6 {
+        let mut cand = *best;
+        match step {
+            0 if cand.nack_prob > 0.01 => cand.nack_prob /= 2.0,
+            1 if cand.delay_prob > 0.01 => cand.delay_prob /= 2.0,
+            2 if cand.buffer_full_prob > 0.01 => cand.buffer_full_prob /= 2.0,
+            3 if cand.max_delay > 1 => cand.max_delay = 1,
+            4 if cand.max_retries > 1 => cand.max_retries = 1,
+            5 if cand.backoff_base > 1 || cand.backoff_cap > 1 => {
+                cand.backoff_base = 1;
+                cand.backoff_cap = 1;
+            }
+            _ => continue,
+        }
+        cands.push(cand);
+    }
+
+    // Phase 3: canonicalize the seed.
+    if best.seed != 0 {
+        let mut cand = *best;
+        cand.seed = 0;
+        cands.push(cand);
+    }
+
+    cands
 }
 
 /// What one faulted run produced, reduced to what the oracles compare.

@@ -1,0 +1,292 @@
+//! Subprocess isolation for supervised sweep cells.
+//!
+//! `dashlat sweep --isolate` — and, since the service-hardening work,
+//! `dashlat serve --isolate` — run every cell as `dashlat cell --app …
+//! <machine flags>` in a child process, so a cell that aborts, is killed,
+//! or wedges past its wall-clock deadline takes down only itself. The
+//! child prints exactly one JSON record on its last stdout line
+//! (`{"ok":N}` or `{"err":{…}}`); everything else about the outcome is
+//! derived from that line plus the exit status.
+//!
+//! # Worker-kill injection
+//!
+//! The service torture harness needs to SIGKILL workers on a seeded
+//! schedule to prove the daemon survives. [`arm_kills`] arms a
+//! process-global plan: while armed, each spawned cell draws once and,
+//! if selected, is killed after a seeded delay inside the poll loop.
+//! The parent observes an ordinary signal death — indistinguishable from
+//! the OOM killer — and applies its normal transient-retry policy.
+
+use std::io::Read;
+use std::process::{Command, Stdio};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use crate::sweep::{CellFailure, FailureClass, SweepCell};
+use dashlat_sim::json::Value;
+use dashlat_sim::Xorshift;
+
+/// How often the supervisor polls a running cell.
+const POLL: Duration = Duration::from_millis(20);
+
+/// Environment variable overriding the binary used to spawn cell
+/// subprocesses. By default the current executable is re-invoked (it is
+/// the `dashlat` binary when running `dashlat sweep`/`serve`/`chaos`);
+/// tests and drivers hosted in other binaries point this at a built
+/// `dashlat`.
+pub const CELL_BIN_ENV: &str = "DASHLAT_CELL_BIN";
+
+/// A seeded plan for killing cell subprocesses, for the torture harness.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KillPlan {
+    /// Seed for the deterministic draw stream.
+    pub seed: u64,
+    /// Probability each spawned cell is selected for a SIGKILL.
+    pub kill_prob: f64,
+    /// A selected cell is killed after a uniform delay in
+    /// `[0, max_delay_ms]`, so kills land at different points of the
+    /// cell's run.
+    pub max_delay_ms: u64,
+}
+
+struct ArmedKills {
+    plan: KillPlan,
+    rng: Xorshift,
+    kills: u64,
+}
+
+static KILLS: Mutex<Option<ArmedKills>> = Mutex::new(None);
+
+fn kills_lock() -> std::sync::MutexGuard<'static, Option<ArmedKills>> {
+    match KILLS.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Arms the process-global worker-kill plan, replacing any previous one
+/// and resetting the draw stream.
+pub fn arm_kills(plan: KillPlan) {
+    let rng = Xorshift::new(plan.seed);
+    *kills_lock() = Some(ArmedKills {
+        plan,
+        rng,
+        kills: 0,
+    });
+}
+
+/// Disarms worker-kill injection and returns how many cells were killed
+/// since [`arm_kills`]. Safe to call when nothing is armed.
+pub fn disarm_kills() -> u64 {
+    kills_lock().take().map_or(0, |a| a.kills)
+}
+
+/// Draws the kill decision for one spawned cell: `None` (spare it) or
+/// the delay to wait before killing.
+fn draw_kill() -> Option<Duration> {
+    let mut guard = kills_lock();
+    let armed = guard.as_mut()?;
+    if !armed.rng.chance(armed.plan.kill_prob) {
+        return None;
+    }
+    let delay = if armed.plan.max_delay_ms == 0 {
+        0
+    } else {
+        armed.rng.below(armed.plan.max_delay_ms + 1)
+    };
+    Some(Duration::from_millis(delay))
+}
+
+fn record_kill() {
+    if let Some(armed) = kills_lock().as_mut() {
+        armed.kills += 1;
+    }
+}
+
+/// True when `failure` describes the *worker* dying (timeout, signal,
+/// spawn failure, crash before reporting) rather than the simulation
+/// inside it failing. The serve daemon's crash-loop circuit breaker
+/// counts only these: a cell that runs to completion and reports a
+/// deadlock is a result, not a crash.
+pub fn is_worker_crash(failure: &CellFailure) -> bool {
+    let e = failure.error.as_str();
+    e.contains("wall-clock timeout")
+        || e.contains("killed by a signal")
+        || e.contains("without an ok record")
+        || e.contains("without a record")
+        || e.contains("cannot spawn cell subprocess")
+        || e.contains("cannot locate the dashlat binary")
+}
+
+/// Runs one cell in a child `dashlat cell` process with a wall-clock
+/// deadline. Timeouts and signal kills are transient (the machine may
+/// just be overloaded — and fault-heavy schedules legitimately run
+/// long); a child that exits nonzero *with* a record reports that
+/// record's classification; a child that dies without a record is a
+/// permanent failure (it crashed before the runner could even classify).
+pub fn run_cell_subprocess(cell: &SweepCell, timeout: Duration) -> Result<u64, CellFailure> {
+    let exe = match std::env::var(CELL_BIN_ENV) {
+        Ok(bin) => std::path::PathBuf::from(bin),
+        Err(_) => std::env::current_exe().map_err(|e| {
+            CellFailure::transient(format!("cannot locate the dashlat binary: {e}"))
+        })?,
+    };
+    let mut cmd = Command::new(exe);
+    cmd.arg("cell")
+        .arg("--app")
+        .arg(cell.app.name().to_ascii_lowercase())
+        .args(cell.config.to_cli_args())
+        .stdin(Stdio::null())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null());
+    let mut child = cmd
+        .spawn()
+        .map_err(|e| CellFailure::transient(format!("cannot spawn cell subprocess: {e}")))?;
+    let kill_after = draw_kill();
+
+    let start = Instant::now();
+    let status = loop {
+        match child.try_wait() {
+            Ok(Some(status)) => break status,
+            Ok(None) => {
+                if let Some(delay) = kill_after {
+                    if start.elapsed() >= delay {
+                        // Injected worker kill: a real SIGKILL, so the
+                        // child dies exactly like an OOM-killed worker
+                        // and the normal signal-death path below runs.
+                        let _ = child.kill();
+                        record_kill();
+                    }
+                }
+                if start.elapsed() >= timeout {
+                    let _ = child.kill();
+                    let _ = child.wait();
+                    return Err(CellFailure::transient(format!(
+                        "cell exceeded its {}s wall-clock timeout and was killed",
+                        timeout.as_secs()
+                    )));
+                }
+                std::thread::sleep(POLL);
+            }
+            Err(e) => {
+                return Err(CellFailure::transient(format!(
+                    "waiting for cell subprocess: {e}"
+                )))
+            }
+        }
+    };
+
+    // One short record line fits far inside the pipe buffer, so reading
+    // after exit cannot deadlock.
+    let mut stdout = String::new();
+    if let Some(mut s) = child.stdout.take() {
+        let _ = s.read_to_string(&mut stdout);
+    }
+    let record = stdout.lines().rev().find(|l| !l.trim().is_empty());
+
+    if status.success() {
+        return record
+            .and_then(parse_ok)
+            .ok_or_else(|| CellFailure::transient("cell exited 0 without an ok record"));
+    }
+    if let Some(failure) = record.and_then(parse_err) {
+        return Err(failure);
+    }
+    match status.code() {
+        // No exit code means a signal (SIGKILL from the OOM killer, a
+        // stray SIGTERM, or an injected worker kill): re-runnable, same
+        // policy as a timeout.
+        None => Err(CellFailure::transient(format!(
+            "cell was killed by a signal ({status})"
+        ))),
+        Some(code) => Err(CellFailure {
+            error: format!("cell exited {code} without a record (crashed before reporting)"),
+            code: 1,
+            class: FailureClass::Permanent,
+        }),
+    }
+}
+
+fn parse_ok(line: &str) -> Option<u64> {
+    Value::parse(line).ok()?.get("ok")?.as_u64()
+}
+
+fn parse_err(line: &str) -> Option<CellFailure> {
+    let v = Value::parse(line).ok()?;
+    let err = v.get("err")?;
+    Some(CellFailure {
+        error: err.get("error")?.as_str()?.to_owned(),
+        code: err.get("code")?.as_u64()? as u8,
+        class: err.get("class")?.as_str()?.parse().ok()?,
+    })
+}
+
+/// Renders the record line `dashlat cell` prints — kept next to the
+/// parsers above so the two sides of the pipe stay in sync.
+pub fn render_record(outcome: &Result<u64, CellFailure>) -> String {
+    match outcome {
+        Ok(elapsed) => format!("{{\"ok\":{elapsed}}}"),
+        Err(f) => format!(
+            "{{\"err\":{{\"error\":{},\"code\":{},\"class\":{}}}}}",
+            dashlat_sim::json::quote(&f.error),
+            f.code,
+            dashlat_sim::json::quote(&f.class.to_string())
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_lines_round_trip() {
+        assert_eq!(parse_ok(&render_record(&Ok(42))), Some(42));
+        let f = CellFailure {
+            error: "invariant \"x\"\nbroken".into(),
+            code: 4,
+            class: FailureClass::Permanent,
+        };
+        let rendered = render_record(&Err(f.clone()));
+        assert!(!rendered.contains('\n'), "record must be one line");
+        assert_eq!(parse_err(&rendered), Some(f));
+        assert_eq!(parse_ok("garbage"), None);
+        assert_eq!(parse_err("{\"ok\":1}"), None);
+    }
+
+    #[test]
+    fn kill_plan_draws_are_deterministic_and_disarm_is_safe() {
+        // Drawing directly (not spawning) keeps this test hermetic.
+        let draw_all = |seed: u64| -> Vec<Option<Duration>> {
+            arm_kills(KillPlan {
+                seed,
+                kill_prob: 0.5,
+                max_delay_ms: 40,
+            });
+            let draws = (0..64).map(|_| draw_kill()).collect();
+            disarm_kills();
+            draws
+        };
+        let a = draw_all(5);
+        let b = draw_all(5);
+        assert_eq!(a, b, "same seed, same kill schedule");
+        assert!(a.iter().any(Option::is_some) && a.iter().any(Option::is_none));
+        assert!(a.iter().flatten().all(|d| *d <= Duration::from_millis(40)));
+        assert_eq!(disarm_kills(), 0, "disarm when disarmed is a no-op");
+        assert_eq!(draw_kill(), None, "disarmed draws never kill");
+    }
+
+    #[test]
+    fn worker_crash_classification() {
+        let crash = |msg: &str| is_worker_crash(&CellFailure::transient(msg.to_string()));
+        assert!(crash(
+            "cell exceeded its 5s wall-clock timeout and was killed"
+        ));
+        assert!(crash("cell was killed by a signal (signal: 9 (SIGKILL))"));
+        assert!(crash(
+            "cell exited 134 without a record (crashed before reporting)"
+        ));
+        assert!(crash("cannot spawn cell subprocess: No such file"));
+        assert!(!crash("deadlock: all processors stalled at cycle 1810"));
+    }
+}

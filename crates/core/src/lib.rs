@@ -45,6 +45,7 @@ pub mod cellcache;
 pub mod chaos;
 pub mod config;
 pub mod experiments;
+pub mod isolate;
 pub mod pool;
 pub mod report;
 pub mod runner;

@@ -802,6 +802,14 @@ where
         .collect();
 
     let journal = Mutex::new(journal);
+    // A journal append that fails (disk full, injected fault) must stop
+    // the sweep loudly, not panic a worker thread: the first error is
+    // captured here, the pool drains via the keep-going predicate, and
+    // the supervisor returns it as `SweepError::Io`. Cells whose append
+    // failed stay uncommitted, so a resume after the disk recovers
+    // re-runs exactly those cells.
+    let journal_error: Mutex<Option<io::Error>> = Mutex::new(None);
+    let journal_failed = || journal_error.lock().map_or(true, |e| e.is_some());
     // Workers beyond the hardware's parallelism only thrash the
     // scheduler (cells are CPU-bound); clamp like the matrix runner.
     let jobs = crate::pool::effective_jobs(opts.jobs).min(crate::pool::hardware_cores());
@@ -809,7 +817,7 @@ where
     let fresh: Vec<Option<Option<CellRecord>>> = crate::pool::par_indexed_map_while(
         jobs,
         &pending,
-        || !control.is_interrupted(),
+        || !control.is_interrupted() && !journal_failed(),
         |_, &index| {
             let cell = &plan.cells[index];
             let mut attempts = 0u32;
@@ -846,14 +854,29 @@ where
             };
             // The commit point: once this append returns, the cell is done
             // forever — a crash immediately after re-runs nothing.
-            journal
+            let append = journal
                 .lock()
                 .expect("journal lock poisoned")
-                .append(&rec.render())
-                .expect("journal append failed");
+                .append(&rec.render());
+            if let Err(e) = append {
+                let mut slot = journal_error.lock().expect("journal error lock poisoned");
+                if slot.is_none() {
+                    *slot = Some(e);
+                }
+                // The cell ran but never committed; drop the record so
+                // resume re-runs it once the journal is writable again.
+                return None;
+            }
             Some(rec)
         },
     );
+
+    if let Some(e) = journal_error
+        .into_inner()
+        .expect("journal error lock poisoned")
+    {
+        return Err(SweepError::Io(e));
+    }
 
     // Assemble the log in plan order from replayed + fresh records. A
     // `None` slot (outer: never started; inner: retry loop interrupted)
@@ -1248,6 +1271,92 @@ mod tests {
         let full_bytes = std::fs::read(dir.join("full.json")).unwrap();
         let resumed_bytes = std::fs::read(dir.join("resumed.json")).unwrap();
         assert_eq!(full_bytes, resumed_bytes);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn journal_append_fault_propagates_and_resume_completes() {
+        use dashlat_sim::faultfs::{self, FaultFsPlan};
+        let dir = tmpdir("faultfs");
+        let plan = tiny_plan();
+        let opts = fast_opts();
+        let runner = |index: usize, _cell: &SweepCell, _attempt: u32| Ok(500 + index as u64);
+
+        // Uninterrupted reference run for the byte-identity check.
+        run_supervised(
+            &plan,
+            &dir.join("full.journal"),
+            &dir.join("full.json"),
+            false,
+            &opts,
+            runner,
+        )
+        .expect("reference run");
+
+        // Find a seed whose fault schedule lets the header commit but
+        // kills a later append: the error must surface from the worker
+        // loop (the old code panicked the pool thread here), not from
+        // journal creation.
+        let mut hit = None;
+        for seed in 0..64u64 {
+            let jdir = dir.join(format!("s{seed}"));
+            std::fs::create_dir_all(&jdir).unwrap();
+            faultfs::arm(FaultFsPlan {
+                seed,
+                eio_prob: 0.4,
+                path_filter: Some(jdir.to_string_lossy().into_owned()),
+                ..FaultFsPlan::default()
+            });
+            let result = run_supervised(
+                &plan,
+                &jdir.join("sweep.journal"),
+                &jdir.join("out.json"),
+                false,
+                &opts,
+                runner,
+            );
+            faultfs::disarm();
+            match result {
+                Ok(_) => {} // every draw passed; try the next seed
+                Err(SweepError::Io(e)) => {
+                    assert!(
+                        e.to_string().contains("injected fault"),
+                        "unexpected io error: {e}"
+                    );
+                    assert!(
+                        !jdir.join("out.json").exists(),
+                        "no log may be published by a failed sweep"
+                    );
+                    let committed = Journal::read_committed_lines(&jdir.join("sweep.journal"))
+                        .map_or(0, |l| l.len());
+                    if committed >= 2 {
+                        hit = Some(jdir);
+                        break;
+                    }
+                }
+                Err(other) => panic!("expected an Io error, got {other:?}"),
+            }
+        }
+        let jdir = hit.expect("no seed in 0..64 faulted a worker append");
+
+        // Disk recovered: resume re-runs exactly the uncommitted cells
+        // and publishes a log byte-identical to the clean run.
+        let resumed = run_supervised(
+            &plan,
+            &jdir.join("sweep.journal"),
+            &jdir.join("out.json"),
+            true,
+            &opts,
+            runner,
+        )
+        .expect("resume after the fault cleared");
+        assert_eq!(resumed.skipped, 0);
+        assert!(resumed.replayed >= 1, "committed prefix must be replayed");
+        assert_eq!(
+            std::fs::read(jdir.join("out.json")).unwrap(),
+            std::fs::read(dir.join("full.json")).unwrap(),
+            "recovered log must be byte-identical"
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -1,0 +1,147 @@
+//! Adversarial HTTP clients for torturing the daemon.
+//!
+//! Each [`ChaosMode`] is one way a real client misbehaves: dribbling a
+//! request slower than the server's per-connection deadline (slowloris),
+//! hanging up mid-request, or declaring a body larger than the server
+//! accepts. The daemon must answer each with its error taxonomy —
+//! 408, nothing (the client is gone), 413 — and, critically, stay
+//! healthy for the well-behaved client right behind it.
+//!
+//! Shared by `dashlat-traffic --chaos` (which histograms the outcomes)
+//! and the `dashlat chaos --serve` torture harness (which uses them as
+//! background noise while killing workers and failing disks).
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// One adversarial client behavior.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosMode {
+    /// Dribbles header bytes slower than the server's connection
+    /// deadline; the expected answer is `408 Request Timeout`.
+    SlowWriter,
+    /// Sends part of a request, then hangs up; the expected answer is
+    /// no response at all (the server must not waste one on a ghost).
+    MidRequestDisconnect,
+    /// Declares a `Content-Length` beyond the server's body cap; the
+    /// expected answer is `413 Payload Too Large`.
+    OversizedBody,
+}
+
+impl ChaosMode {
+    /// All modes, in the order the drivers cycle through them.
+    pub const ALL: [ChaosMode; 3] = [
+        ChaosMode::SlowWriter,
+        ChaosMode::MidRequestDisconnect,
+        ChaosMode::OversizedBody,
+    ];
+
+    /// Short label used in histograms and logs.
+    pub fn tag(self) -> &'static str {
+        match self {
+            ChaosMode::SlowWriter => "slow-writer",
+            ChaosMode::MidRequestDisconnect => "mid-disconnect",
+            ChaosMode::OversizedBody => "oversized-body",
+        }
+    }
+}
+
+/// Runs one adversarial request against `addr` and reports how the
+/// server answered: an HTTP status (`"408"`, `"413"`, ...), `"closed"`
+/// (connection ended with no response), `"sent"` (the client hung up on
+/// purpose and expects nothing), or `"connect-error"`.
+pub fn run(addr: &str, mode: ChaosMode) -> String {
+    let Ok(mut stream) = TcpStream::connect(addr) else {
+        return "connect-error".to_owned();
+    };
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
+    match mode {
+        ChaosMode::SlowWriter => {
+            // One byte every 100ms: never finishes a request before any
+            // reasonable deadline, but never looks idle either.
+            let bytes = b"GET /healthz HTTP/1.1\r\nHost: x\r\nX-Drip: aaaaaaaaaaaaaaaaaaaaaaaa";
+            for b in bytes {
+                if stream.write_all(std::slice::from_ref(b)).is_err() {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(100));
+            }
+            read_status(&mut stream)
+        }
+        ChaosMode::MidRequestDisconnect => {
+            let _ = stream.write_all(b"POST /jobs HTTP/1.1\r\nContent-Length: 64\r\n\r\n{\"ki");
+            // Drop without reading: the server sees a mid-request EOF.
+            "sent".to_owned()
+        }
+        ChaosMode::OversizedBody => {
+            let _ = stream
+                .write_all(b"POST /jobs HTTP/1.1\r\nHost: x\r\nContent-Length: 999999999\r\n\r\n");
+            read_status(&mut stream)
+        }
+    }
+}
+
+/// Reads whatever response the server sent and extracts the status
+/// code, or `"closed"` when the connection ended without one.
+fn read_status(stream: &mut TcpStream) -> String {
+    let mut raw = Vec::new();
+    let _ = stream.read_to_end(&mut raw);
+    let text = String::from_utf8_lossy(&raw);
+    text.strip_prefix("HTTP/1.1 ")
+        .and_then(|rest| rest.split_whitespace().next())
+        .map_or_else(|| "closed".to_owned(), ToOwned::to_owned)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn modes_have_distinct_tags() {
+        let tags: Vec<_> = ChaosMode::ALL.iter().map(|m| m.tag()).collect();
+        assert_eq!(
+            tags,
+            vec!["slow-writer", "mid-disconnect", "oversized-body"]
+        );
+    }
+
+    #[test]
+    fn chaos_clients_get_taxonomy_answers_from_a_live_daemon() {
+        use crate::server::{ServeConfig, Server};
+        use std::sync::Arc;
+        let dir = std::env::temp_dir().join(format!("dashlat-chaoscli-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let server = Arc::new(
+            Server::new(ServeConfig {
+                data_dir: dir.clone(),
+                workers: 1,
+                conn_deadline_secs: 1,
+                ..ServeConfig::default()
+            })
+            .expect("server"),
+        );
+        let runner = Arc::clone(&server);
+        let handle = std::thread::spawn(move || runner.run());
+        let deadline = std::time::Instant::now() + Duration::from_secs(30);
+        let addr = loop {
+            if let Ok(a) = crate::client::read_addr_file(&dir) {
+                break a;
+            }
+            assert!(std::time::Instant::now() < deadline, "no addr file");
+            std::thread::sleep(Duration::from_millis(10));
+        };
+
+        assert_eq!(run(&addr, ChaosMode::SlowWriter), "408");
+        assert_eq!(run(&addr, ChaosMode::OversizedBody), "413");
+        assert_eq!(run(&addr, ChaosMode::MidRequestDisconnect), "sent");
+        // The daemon is still healthy for a well-behaved client.
+        let health = crate::client::request(&addr, "GET", "/healthz", None).expect("healthz");
+        assert_eq!(health.status, 200);
+
+        server.stop();
+        handle.join().expect("join").expect("run ok");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -6,10 +6,15 @@
 //! Every connection is `Connection: close` — one request, one response —
 //! which keeps parsing trivial and makes load shedding visible per
 //! request. Inputs are capped ([`MAX_HEADER_BYTES`], [`MAX_BODY_BYTES`])
-//! so a misbehaving client cannot balloon the daemon's memory.
+//! so a misbehaving client cannot balloon the daemon's memory, and
+//! [`read_request`] takes a per-connection deadline so a slowloris
+//! client dribbling one header byte at a time is cut off with `408`
+//! instead of pinning a handler thread.
 
+use std::fmt;
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
+use std::time::{Duration, Instant};
 
 /// Cap on the request line plus all headers.
 pub const MAX_HEADER_BYTES: usize = 16 * 1024;
@@ -17,14 +22,73 @@ pub const MAX_HEADER_BYTES: usize = 16 * 1024;
 /// Cap on a request body (job specs are well under a kilobyte).
 pub const MAX_BODY_BYTES: usize = 1024 * 1024;
 
+/// Why reading a request failed, typed so the server can map each class
+/// to the right status code (or to no response at all).
+#[derive(Debug)]
+pub enum RequestError {
+    /// The per-connection deadline expired before a full request arrived
+    /// (slowloris, stalled client). Maps to `408 Request Timeout`.
+    Timeout,
+    /// The client closed the connection before completing the request;
+    /// there is nobody left to answer, so no response is written.
+    Disconnected,
+    /// Headers or declared body exceed the hard caps. Maps to
+    /// `413 Payload Too Large`.
+    TooLarge(&'static str),
+    /// Syntactically invalid request. Maps to `400 Bad Request`.
+    Malformed(String),
+    /// The socket itself failed mid-read. Maps to `400 Bad Request`
+    /// (best effort — the write will usually fail too).
+    Io(io::Error),
+}
+
+impl RequestError {
+    /// The status line for this error, or `None` when no response should
+    /// be written (the client is gone).
+    pub fn status(&self) -> Option<(u16, &'static str)> {
+        match self {
+            RequestError::Timeout => Some((408, "Request Timeout")),
+            RequestError::Disconnected => None,
+            RequestError::TooLarge(_) => Some((413, "Payload Too Large")),
+            RequestError::Malformed(_) | RequestError::Io(_) => Some((400, "Bad Request")),
+        }
+    }
+
+    /// Short taxonomy tag (`timeout`, `disconnect`, `too-large`,
+    /// `malformed`, `io`) for logs and histograms.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            RequestError::Timeout => "timeout",
+            RequestError::Disconnected => "disconnect",
+            RequestError::TooLarge(_) => "too-large",
+            RequestError::Malformed(_) => "malformed",
+            RequestError::Io(_) => "io",
+        }
+    }
+}
+
+impl fmt::Display for RequestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RequestError::Timeout => write!(f, "request deadline exceeded"),
+            RequestError::Disconnected => write!(f, "client disconnected mid-request"),
+            RequestError::TooLarge(what) => write!(f, "{what}"),
+            RequestError::Malformed(msg) => write!(f, "{msg}"),
+            RequestError::Io(e) => write!(f, "socket error: {e}"),
+        }
+    }
+}
+
 /// One parsed HTTP request.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Request {
     /// Upper-case method (`GET`, `POST`, ...).
     pub method: String,
-    /// Request path, e.g. `/jobs/3/log` (query strings are not split off;
-    /// the service's endpoints take none).
+    /// Request path with the query string split off, e.g. `/jobs/3/log`.
     pub path: String,
+    /// Parsed query parameters in arrival order (`?wait=5&after=2`);
+    /// a key without `=` maps to the empty string.
+    pub query: Vec<(String, String)>,
     /// Headers in arrival order, names lower-cased.
     pub headers: Vec<(String, String)>,
     /// Decoded body (empty when there was none).
@@ -40,49 +104,110 @@ impl Request {
             .find(|(n, _)| *n == name)
             .map(|(_, v)| v.as_str())
     }
+
+    /// First query parameter with the given name.
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
 }
 
-fn bad(msg: &str) -> io::Error {
-    io::Error::new(io::ErrorKind::InvalidData, msg.to_owned())
+fn bad(msg: &str) -> RequestError {
+    RequestError::Malformed(msg.to_owned())
 }
 
-/// Reads one request from `stream`. Honors any read timeout already set
-/// on the stream; a slow or malformed client surfaces as an error, never
-/// a hang or unbounded buffer.
+/// Classifies a raw socket error: timeouts (from `SO_RCVTIMEO`) become
+/// [`RequestError::Timeout`], everything else is passed through.
+fn classify_io(e: io::Error) -> RequestError {
+    match e.kind() {
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut => RequestError::Timeout,
+        _ => RequestError::Io(e),
+    }
+}
+
+/// Re-arms the stream's read timeout to the time remaining until
+/// `deadline`, failing with [`RequestError::Timeout`] when none is left.
+/// Called before every read so a client cannot stretch the deadline by
+/// trickling bytes just often enough to keep each individual read alive.
+fn arm_deadline(stream: &TcpStream, deadline: Option<Instant>) -> Result<(), RequestError> {
+    let Some(deadline) = deadline else {
+        return Ok(());
+    };
+    let remaining = deadline
+        .checked_duration_since(Instant::now())
+        .filter(|r| *r > Duration::ZERO)
+        .ok_or(RequestError::Timeout)?;
+    stream
+        .set_read_timeout(Some(remaining))
+        .map_err(RequestError::Io)
+}
+
+/// Reads one request from `stream`, finishing before `deadline` (when
+/// given) or honoring any read timeout already set on the stream. A
+/// slow, silent, or malformed client surfaces as a typed error, never a
+/// hang or unbounded buffer.
 ///
 /// # Errors
 ///
-/// I/O errors from the socket, or `InvalidData` for malformed requests,
-/// oversized headers/bodies, and non-UTF-8 payloads.
-pub fn read_request(stream: &mut TcpStream) -> io::Result<Request> {
+/// See [`RequestError`] for the taxonomy and status mapping.
+pub fn read_request(
+    stream: &mut TcpStream,
+    deadline: Option<Instant>,
+) -> Result<Request, RequestError> {
     let mut reader = BufReader::new(stream);
     let mut head_bytes = 0usize;
-    let mut read_line = |reader: &mut BufReader<&mut TcpStream>| -> io::Result<String> {
+    let mut started = false;
+    let mut read_line = |reader: &mut BufReader<&mut TcpStream>,
+                         started: &mut bool|
+     -> Result<String, RequestError> {
+        arm_deadline(reader.get_ref(), deadline)?;
         let mut line = String::new();
-        let n = reader.read_line(&mut line)?;
+        let n = reader.read_line(&mut line).map_err(classify_io)?;
         if n == 0 {
-            return Err(bad("connection closed mid-request"));
+            return Err(if *started {
+                bad("connection closed mid-request")
+            } else {
+                // Not one byte arrived: the client dialed and hung up.
+                RequestError::Disconnected
+            });
         }
+        *started = true;
         head_bytes += n;
         if head_bytes > MAX_HEADER_BYTES {
-            return Err(bad("request head too large"));
+            return Err(RequestError::TooLarge("request head too large"));
         }
         Ok(line.trim_end_matches(['\r', '\n']).to_owned())
     };
 
-    let request_line = read_line(&mut reader)?;
+    let request_line = read_line(&mut reader, &mut started)?;
     let mut parts = request_line.split_whitespace();
-    let (Some(method), Some(path), Some(version)) = (parts.next(), parts.next(), parts.next())
+    let (Some(method), Some(target), Some(version)) = (parts.next(), parts.next(), parts.next())
     else {
         return Err(bad("malformed request line"));
     };
     if !version.starts_with("HTTP/1.") {
         return Err(bad("unsupported HTTP version"));
     }
+    let (path, query) = match target.split_once('?') {
+        Some((path, raw)) => {
+            let query = raw
+                .split('&')
+                .filter(|p| !p.is_empty())
+                .map(|pair| match pair.split_once('=') {
+                    Some((k, v)) => (k.to_owned(), v.to_owned()),
+                    None => (pair.to_owned(), String::new()),
+                })
+                .collect();
+            (path, query)
+        }
+        None => (target, Vec::new()),
+    };
 
     let mut headers = Vec::new();
     loop {
-        let line = read_line(&mut reader)?;
+        let line = read_line(&mut reader, &mut started)?;
         if line.is_empty() {
             break;
         }
@@ -100,15 +225,23 @@ pub fn read_request(stream: &mut TcpStream) -> io::Result<Request> {
         .map_err(|_| bad("malformed content-length"))?
         .unwrap_or(0);
     if content_length > MAX_BODY_BYTES {
-        return Err(bad("request body too large"));
+        return Err(RequestError::TooLarge("request body too large"));
     }
+    arm_deadline(reader.get_ref(), deadline)?;
     let mut body = vec![0u8; content_length];
-    reader.read_exact(&mut body)?;
+    reader.read_exact(&mut body).map_err(|e| {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            bad("connection closed mid-request")
+        } else {
+            classify_io(e)
+        }
+    })?;
     let body = String::from_utf8(body).map_err(|_| bad("request body is not UTF-8"))?;
 
     Ok(Request {
         method: method.to_owned(),
         path: path.to_owned(),
+        query,
         headers,
         body,
     })
@@ -147,7 +280,7 @@ mod tests {
     use super::*;
     use std::net::TcpListener;
 
-    fn round_trip(raw: &str) -> io::Result<Request> {
+    fn round_trip(raw: &str) -> Result<Request, RequestError> {
         let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
         let addr = listener.local_addr().expect("addr");
         let raw = raw.to_owned();
@@ -156,7 +289,7 @@ mod tests {
             s.write_all(raw.as_bytes()).expect("write");
         });
         let (mut stream, _) = listener.accept().expect("accept");
-        let req = read_request(&mut stream);
+        let req = read_request(&mut stream, None);
         writer.join().expect("writer");
         req
     }
@@ -179,19 +312,87 @@ mod tests {
         let req = round_trip("GET /healthz HTTP/1.1\r\n\r\n").expect("parse");
         assert_eq!(req.method, "GET");
         assert_eq!(req.path, "/healthz");
+        assert!(req.query.is_empty());
         assert!(req.body.is_empty());
     }
 
     #[test]
+    fn splits_and_parses_query_strings() {
+        let req =
+            round_trip("GET /jobs/3/events?wait=5&after=12&flag HTTP/1.1\r\n\r\n").expect("parse");
+        assert_eq!(req.path, "/jobs/3/events");
+        assert_eq!(req.query_param("wait"), Some("5"));
+        assert_eq!(req.query_param("after"), Some("12"));
+        assert_eq!(req.query_param("flag"), Some(""));
+        assert_eq!(req.query_param("missing"), None);
+    }
+
+    #[test]
     fn rejects_malformed_and_oversized_requests() {
-        assert!(round_trip("nonsense\r\n\r\n").is_err());
-        assert!(round_trip("GET /x SPDY/9\r\n\r\n").is_err());
+        assert!(matches!(
+            round_trip("nonsense\r\n\r\n"),
+            Err(RequestError::Malformed(_))
+        ));
+        assert!(matches!(
+            round_trip("GET /x SPDY/9\r\n\r\n"),
+            Err(RequestError::Malformed(_))
+        ));
         let huge = format!(
             "GET / HTTP/1.1\r\nX: {}\r\n\r\n",
             "a".repeat(MAX_HEADER_BYTES)
         );
-        assert!(round_trip(&huge).is_err());
-        assert!(round_trip("POST / HTTP/1.1\r\nContent-Length: 999999999\r\n\r\n").is_err());
+        let err = round_trip(&huge).expect_err("oversized head");
+        assert!(matches!(err, RequestError::TooLarge(_)), "{err}");
+        assert_eq!(err.status(), Some((413, "Payload Too Large")));
+        let err = round_trip("POST / HTTP/1.1\r\nContent-Length: 999999999\r\n\r\n")
+            .expect_err("oversized body");
+        assert!(matches!(err, RequestError::TooLarge(_)), "{err}");
+    }
+
+    #[test]
+    fn deadline_cuts_off_a_slow_client_with_timeout() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let writer = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).expect("connect");
+            // A slowloris: the request line arrives, then silence.
+            s.write_all(b"GET /healthz HTTP/1.1\r\n").expect("write");
+            std::thread::sleep(Duration::from_millis(600));
+            drop(s);
+        });
+        let (mut stream, _) = listener.accept().expect("accept");
+        let started = Instant::now();
+        let err = read_request(&mut stream, Some(started + Duration::from_millis(150)))
+            .expect_err("must time out");
+        assert!(matches!(err, RequestError::Timeout), "{err}");
+        assert_eq!(err.status(), Some((408, "Request Timeout")));
+        assert!(
+            started.elapsed() < Duration::from_millis(500),
+            "deadline must fire before the client gives up"
+        );
+        writer.join().expect("writer");
+    }
+
+    #[test]
+    fn instant_hangup_is_a_disconnect_not_a_malformed_request() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let writer = std::thread::spawn(move || {
+            let s = TcpStream::connect(addr).expect("connect");
+            drop(s);
+        });
+        let (mut stream, _) = listener.accept().expect("accept");
+        let err = read_request(&mut stream, None).expect_err("no request");
+        assert!(matches!(err, RequestError::Disconnected), "{err}");
+        assert_eq!(err.status(), None, "nobody to answer");
+        writer.join().expect("writer");
+    }
+
+    #[test]
+    fn mid_request_hangup_is_malformed() {
+        let err = round_trip("POST /jobs HTTP/1.1\r\nContent-Length: 50\r\n\r\n{\"tru")
+            .expect_err("truncated body");
+        assert!(matches!(err, RequestError::Malformed(_)), "{err}");
     }
 
     #[test]

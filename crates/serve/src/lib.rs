@@ -28,21 +28,38 @@
 //! * **Graceful shutdown** — SIGTERM/SIGINT ([`signal`]) stops
 //!   admission, checkpoints in-flight sweeps at the next cell boundary,
 //!   and exits 0; nothing finished is ever lost.
+//! * **Fault isolation** — with `--isolate`, each sweep cell runs in a
+//!   `dashlat cell` subprocess under a wall-clock timeout, behind a
+//!   per-job crash-loop circuit breaker; a crashing or wedged cell
+//!   costs one child, never the daemon.
+//! * **Client hardening** — a per-connection deadline (slowloris),
+//!   header/body size caps, and a connection cap that sheds overload
+//!   with `503` + `Retry-After` ([`http`]).
+//! * **Torture-tested** — [`torture`] drives a live daemon under seeded
+//!   schedules of worker SIGKILLs, injected disk faults, adversarial
+//!   client floods ([`chaosclient`]), and mid-run restarts, judging the
+//!   wreckage with four service-level oracles and delta-debugging any
+//!   failing schedule to a minimal reproducer.
 //!
 //! The HTTP surface ([`server`]): `GET /healthz`, `GET /readyz`,
 //! `POST /jobs`, `GET /jobs`, `GET /jobs/<id>`, `GET /jobs/<id>/log`,
-//! `GET /jobs/<id>/events`, `POST /jobs/<id>/cancel`, `POST /shutdown`.
+//! `GET /jobs/<id>/events[?after=N&wait=S]` (long poll),
+//! `POST /jobs/<id>/cancel`, `POST /shutdown`.
 //! Job specs ([`jobs::JobSpec`]) cover the three long-running workloads:
 //! figure sweeps, chaos campaigns, and memory-model verification.
 
 pub mod cache;
+pub mod chaosclient;
 pub mod client;
 pub mod http;
 pub mod jobs;
 pub mod server;
 pub mod signal;
+pub mod torture;
 
 pub use cache::ResultCache;
+pub use chaosclient::ChaosMode;
 pub use client::{read_addr_file, request, HttpResponse};
 pub use jobs::{JobKind, JobSpec, JobStatus};
 pub use server::{ServeConfig, Server};
+pub use torture::{run_torture, ServeSchedule, TortureOptions, TortureReport};

@@ -34,15 +34,15 @@ use std::collections::VecDeque;
 use std::io;
 use std::net::{TcpListener, TcpStream};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use dashlat::cellcache::CellMemo;
 use dashlat::chaos::{run_chaos, ChaosOptions};
 use dashlat::sweep::{
-    cell_fingerprint, run_cell_in_process_memo, run_supervised_controlled, SweepControl,
-    SweepOptions, SweepPlan,
+    cell_fingerprint, run_cell_in_process_memo, run_supervised_controlled, CellFailure,
+    FailureClass, SweepControl, SweepOptions, SweepPlan,
 };
 use dashlat_sim::journal::{atomic_write, Journal};
 use dashlat_sim::json::quote;
@@ -51,6 +51,13 @@ use crate::cache::ResultCache;
 use crate::http::{read_request, write_response, Request};
 use crate::jobs::{JobKind, JobSpec, JobStatus};
 use crate::signal;
+
+/// Ceiling on `GET /jobs/<id>/events?wait=<secs>`: long polls re-issue
+/// rather than pin a handler thread indefinitely.
+const MAX_EVENT_WAIT_SECS: u64 = 30;
+
+/// How often a long poll re-checks the journal and the client's pulse.
+const EVENT_POLL: Duration = Duration::from_millis(25);
 
 /// Daemon configuration.
 #[derive(Debug, Clone)]
@@ -68,6 +75,26 @@ pub struct ServeConfig {
     /// Default per-job wall-clock deadline in seconds (0 = none);
     /// overridable per job via the spec's `timeout_secs`.
     pub job_timeout_secs: u64,
+    /// Run each sweep cell in a subprocess (`dashlat cell`) instead of
+    /// in-process. A crashing or hanging cell then costs one worker
+    /// child, not the daemon.
+    pub isolate: bool,
+    /// Wall-clock budget per isolated cell subprocess, in seconds.
+    /// Ignored unless `isolate` is set.
+    pub cell_timeout_secs: u64,
+    /// Consecutive worker-crash streak (per job) that opens the
+    /// crash-loop circuit breaker: remaining cells fail fast instead of
+    /// forking doomed children. Ignored unless `isolate` is set.
+    pub crash_loop_threshold: u32,
+    /// Maximum concurrently open client connections; excess connections
+    /// are shed with `503` + `Retry-After` without reading the request.
+    pub max_connections: usize,
+    /// Per-connection wall-clock budget, in seconds, for reading one
+    /// complete request (slowloris guard). 0 disables the deadline.
+    pub conn_deadline_secs: u64,
+    /// `Retry-After` seconds suggested when shedding load (queue-full
+    /// 429s and connection-cap 503s).
+    pub shed_retry_after_secs: u64,
 }
 
 impl Default for ServeConfig {
@@ -78,6 +105,12 @@ impl Default for ServeConfig {
             workers: 2,
             queue_depth: 8,
             job_timeout_secs: 3600,
+            isolate: false,
+            cell_timeout_secs: 300,
+            crash_loop_threshold: 8,
+            max_connections: 64,
+            conn_deadline_secs: 10,
+            shed_retry_after_secs: 2,
         }
     }
 }
@@ -168,6 +201,19 @@ pub struct Server {
     /// report lookup).
     memo: CellMemo,
     stop: AtomicBool,
+    /// Currently open client connections (the `max_connections` gauge).
+    conns: AtomicUsize,
+    /// Lifetime count of connections shed at the cap with 503.
+    conns_shed: AtomicU64,
+    /// Lifetime count of `state.json` writes that failed (each is also
+    /// logged; the job stays resumable, so nothing is lost — but a
+    /// nonzero value means the data dir is unhealthy).
+    persist_failures: AtomicU64,
+    /// Lifetime count of result-cache inserts that failed (best-effort:
+    /// each costs a future re-simulation, never correctness).
+    cache_write_failures: AtomicU64,
+    /// Lifetime count of crash-loop circuit breakers opened.
+    breaker_trips: AtomicU64,
 }
 
 impl Server {
@@ -192,6 +238,11 @@ impl Server {
             cache,
             memo: CellMemo::new(),
             stop: AtomicBool::new(false),
+            conns: AtomicUsize::new(0),
+            conns_shed: AtomicU64::new(0),
+            persist_failures: AtomicU64::new(0),
+            cache_write_failures: AtomicU64::new(0),
+            breaker_trips: AtomicU64::new(0),
         })
     }
 
@@ -242,7 +293,19 @@ impl Server {
             match listener.accept() {
                 Ok((stream, _peer)) => {
                     let server = Arc::clone(self);
-                    std::thread::spawn(move || server.handle_connection(stream));
+                    let active = self.conns.fetch_add(1, Ordering::SeqCst) + 1;
+                    if active > self.cfg.max_connections {
+                        self.conns_shed.fetch_add(1, Ordering::Relaxed);
+                        std::thread::spawn(move || {
+                            server.reject_connection(stream);
+                            server.conns.fetch_sub(1, Ordering::SeqCst);
+                        });
+                    } else {
+                        std::thread::spawn(move || {
+                            server.handle_connection(stream);
+                            server.conns.fetch_sub(1, Ordering::SeqCst);
+                        });
+                    }
                 }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                     std::thread::sleep(Duration::from_millis(25));
@@ -292,7 +355,7 @@ impl Server {
         }
         if st.queue.len() >= self.cfg.queue_depth {
             return Err(AdmitError::QueueFull {
-                retry_after_secs: 2,
+                retry_after_secs: self.cfg.shed_retry_after_secs,
             });
         }
         let id = st.next_id;
@@ -431,6 +494,16 @@ impl Server {
                 let resume = journal.exists();
                 let cache = &self.cache;
                 let memo = &self.memo;
+                let isolate_cells = self.cfg.isolate;
+                let cell_timeout = Duration::from_secs(self.cfg.cell_timeout_secs.max(1));
+                let breaker_limit = self.cfg.crash_loop_threshold.max(1);
+                // Per-job crash-loop circuit breaker: a streak of
+                // *worker* crashes (signal death, timeout, no record —
+                // not ordinary simulation failures) opens it, and the
+                // job's remaining cells fail fast instead of forking
+                // doomed children.
+                let crash_streak = AtomicU32::new(0);
+                let breaker_open = AtomicBool::new(false);
                 let report = run_supervised_controlled(
                     &plan,
                     &journal,
@@ -444,11 +517,44 @@ impl Server {
                             hits.fetch_add(1, Ordering::Relaxed);
                             return Ok(elapsed);
                         }
-                        let outcome = run_cell_in_process_memo(cell, memo);
+                        let outcome = if isolate_cells {
+                            if breaker_open.load(Ordering::SeqCst) {
+                                return Err(CellFailure {
+                                    error: format!(
+                                        "crash-loop circuit breaker open after \
+                                         {breaker_limit} consecutive worker crashes"
+                                    ),
+                                    code: 1,
+                                    class: FailureClass::Permanent,
+                                });
+                            }
+                            let outcome = dashlat::isolate::run_cell_subprocess(cell, cell_timeout);
+                            match &outcome {
+                                Err(f) if dashlat::isolate::is_worker_crash(f) => {
+                                    let streak = crash_streak.fetch_add(1, Ordering::SeqCst) + 1;
+                                    if streak >= breaker_limit
+                                        && !breaker_open.swap(true, Ordering::SeqCst)
+                                    {
+                                        self.breaker_trips.fetch_add(1, Ordering::Relaxed);
+                                        eprintln!(
+                                            "crash-loop circuit breaker opened after \
+                                             {streak} consecutive worker crashes"
+                                        );
+                                    }
+                                }
+                                _ => crash_streak.store(0, Ordering::SeqCst),
+                            }
+                            outcome
+                        } else {
+                            run_cell_in_process_memo(cell, memo)
+                        };
                         if let Ok(elapsed) = outcome {
                             // Best-effort: a cache-write failure only
                             // costs a future re-simulation.
-                            let _ = cache.insert(fp, elapsed);
+                            if let Err(e) = cache.insert(fp, elapsed) {
+                                self.cache_write_failures.fetch_add(1, Ordering::Relaxed);
+                                eprintln!("cache insert failed (continuing): {e}");
+                            }
                         }
                         outcome
                     },
@@ -599,6 +705,9 @@ impl Server {
         let dir = self.job_dir(id);
         drop(st);
         if let Err(err) = atomic_write(&dir.join("state.json"), &state_json) {
+            // The job stays resumable (journal intact), but surface the
+            // sick disk in healthz rather than only on stderr.
+            self.persist_failures.fetch_add(1, Ordering::Relaxed);
             eprintln!("job #{id}: failed to persist terminal state: {err}");
         }
     }
@@ -607,24 +716,43 @@ impl Server {
     // HTTP surface
     // ------------------------------------------------------------------
 
+    /// Sheds one over-cap connection: a 503 with `Retry-After`, written
+    /// without waiting for the request to arrive.
+    fn reject_connection(&self, mut stream: TcpStream) {
+        let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
+        let retry = self.cfg.shed_retry_after_secs;
+        let _ = write_response(
+            &mut stream,
+            503,
+            "Service Unavailable",
+            &[("Retry-After", retry.to_string())],
+            "application/json",
+            &format!("{{\"error\":\"connection limit reached\",\"retry_after_secs\":{retry}}}"),
+        );
+        drain_briefly(&stream);
+    }
+
     fn handle_connection(&self, mut stream: TcpStream) {
-        let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
         let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
-        let req = match read_request(&mut stream) {
+        let deadline = (self.cfg.conn_deadline_secs > 0)
+            .then(|| Instant::now() + Duration::from_secs(self.cfg.conn_deadline_secs));
+        let req = match read_request(&mut stream, deadline) {
             Ok(r) => r,
             Err(e) => {
-                let body = format!("{{\"error\":{}}}", quote(&e.to_string()));
-                let _ = write_response(
-                    &mut stream,
-                    400,
-                    "Bad Request",
-                    &[],
-                    "application/json",
-                    &body,
-                );
+                // A vanished client gets no response; everything else
+                // gets the taxonomy's status (408/413/400).
+                if let Some((status, reason)) = e.status() {
+                    let body = format!("{{\"error\":{}}}", quote(&e.to_string()));
+                    let _ =
+                        write_response(&mut stream, status, reason, &[], "application/json", &body);
+                    drain_briefly(&stream);
+                }
                 return;
             }
         };
+        // The request is fully read; the remaining reads are only the
+        // long-poll disconnect probe, which manages its own timeout.
+        let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
         let _ = self.route(&req, &mut stream);
     }
 
@@ -656,12 +784,19 @@ impl Server {
                 let body = format!(
                     "{{\"status\":\"ok\",\"workers\":{},\"queued\":{queued},\"running\":{running},\
                      \"queue_depth\":{},\"jobs\":{total},\"cache_entries\":{},\"cache_hits\":{},\
-                     \"memo_hits\":{},\"shutting_down\":{shutting_down}}}",
+                     \"memo_hits\":{},\"shutting_down\":{shutting_down},\
+                     \"connections\":{},\"connections_shed\":{},\"persist_failures\":{},\
+                     \"cache_write_failures\":{},\"breaker_trips\":{}}}",
                     self.cfg.workers,
                     self.cfg.queue_depth,
                     self.cache.entries(),
                     self.cache.hits(),
-                    self.memo.hits()
+                    self.memo.hits(),
+                    self.conns.load(Ordering::SeqCst),
+                    self.conns_shed.load(Ordering::Relaxed),
+                    self.persist_failures.load(Ordering::Relaxed),
+                    self.cache_write_failures.load(Ordering::Relaxed),
+                    self.breaker_trips.load(Ordering::Relaxed)
                 );
                 json(stream, 200, "OK", &body)
             }
@@ -750,16 +885,10 @@ impl Server {
                 let Ok(id) = id.parse::<u64>() else {
                     return error(stream, 404, "Not Found", "no such job");
                 };
-                // Per-cell progress: the committed journal records so
-                // far, as JSONL — poll to stream.
-                match Journal::read_committed_lines(&self.job_dir(id).join("sweep.journal")) {
-                    Ok(lines) => {
-                        let mut body = lines.join("\n");
-                        body.push('\n');
-                        write_response(stream, 200, "OK", &[], "application/x-ndjson", &body)
-                    }
-                    Err(_) => error(stream, 404, "Not Found", "no journal for this job"),
+                if self.state.lock().expect("state lock").job(id).is_none() {
+                    return error(stream, 404, "Not Found", "no such job");
                 }
+                self.serve_events(stream, id, req)
             }
             ("POST", ["jobs", id, "cancel"]) => {
                 let Ok(id) = id.parse::<u64>() else {
@@ -794,6 +923,68 @@ impl Server {
         }
     }
 
+    /// `GET /jobs/<id>/events[?after=N&wait=S]`: the committed journal
+    /// records so far as JSONL. With `wait`, this is a long poll — the
+    /// response blocks until a record past `after` is committed, the job
+    /// goes terminal, the wait expires, or the client hangs up (in which
+    /// case nothing is written). `X-Events-Next` carries the offset to
+    /// pass as the next `after`.
+    fn serve_events(&self, stream: &mut TcpStream, id: u64, req: &Request) -> io::Result<()> {
+        let error = |stream: &mut TcpStream, msg: &str| {
+            let body = format!("{{\"error\":{}}}", quote(msg));
+            write_response(stream, 404, "Not Found", &[], "application/json", &body)
+        };
+        let after = req
+            .query_param("after")
+            .and_then(|v| v.parse::<usize>().ok())
+            .unwrap_or(0);
+        let wait_secs = req
+            .query_param("wait")
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(0)
+            .min(MAX_EVENT_WAIT_SECS);
+        let journal = self.job_dir(id).join("sweep.journal");
+        let deadline = Instant::now() + Duration::from_secs(wait_secs);
+        loop {
+            let lines = Journal::read_committed_lines(&journal);
+            let terminal = {
+                let st = self.state.lock().expect("state lock");
+                st.job(id).is_none_or(|e| e.status.is_terminal())
+            };
+            let expired =
+                wait_secs == 0 || Instant::now() >= deadline || self.stop_requested() || terminal;
+            match &lines {
+                Ok(lines) if lines.len() > after || expired => {
+                    let start = after.min(lines.len());
+                    let fresh = &lines[start..];
+                    let body = if fresh.is_empty() {
+                        String::new()
+                    } else {
+                        format!("{}\n", fresh.join("\n"))
+                    };
+                    return write_response(
+                        stream,
+                        200,
+                        "OK",
+                        &[("X-Events-Next", lines.len().to_string())],
+                        "application/x-ndjson",
+                        &body,
+                    );
+                }
+                Err(_) if expired => {
+                    // No journal (job never started a sweep, or the kind
+                    // has none): same 404 as before long polling existed.
+                    return error(stream, "no journal for this job");
+                }
+                _ => {}
+            }
+            if client_gone(stream) {
+                return Ok(());
+            }
+            std::thread::sleep(EVENT_POLL);
+        }
+    }
+
     /// Renders one job's status JSON. `cells_done` counts committed
     /// journal records, so a poller watches per-cell progress live.
     fn render_job(&self, e: &JobEntry) -> String {
@@ -819,6 +1010,43 @@ impl Server {
                 .map_or_else(|| "null".to_owned(), |c| c.to_string())
         )
     }
+}
+
+/// After answering a request that was never fully read (shed, timed
+/// out, or oversized), half-close and briefly drain what the client
+/// already sent: closing with unread bytes queued makes the kernel send
+/// RST, which can destroy the response before the client reads it.
+fn drain_briefly(stream: &TcpStream) {
+    use std::io::Read;
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let drain_until = Instant::now() + Duration::from_secs(2);
+    let mut sink = [0u8; 1024];
+    let mut stream = stream;
+    while Instant::now() < drain_until {
+        match stream.read(&mut sink) {
+            Ok(n) if n > 0 => {}
+            _ => break,
+        }
+    }
+}
+
+/// Has the long-poll client hung up? A non-blocking `peek` returning
+/// `Ok(0)` means orderly close; a hard error means the peer is gone.
+/// `WouldBlock` (nothing buffered, connection alive) is the healthy case.
+fn client_gone(stream: &TcpStream) -> bool {
+    if stream.set_nonblocking(true).is_err() {
+        return true;
+    }
+    let gone = match stream.peek(&mut [0u8; 1]) {
+        Ok(0) => true,
+        Ok(_) => false,
+        Err(e) => e.kind() != io::ErrorKind::WouldBlock,
+    };
+    if stream.set_nonblocking(false).is_err() {
+        return true;
+    }
+    gone
 }
 
 /// Scans `data_dir/jobs/*` and classifies every job directory; fills
@@ -1071,6 +1299,153 @@ mod tests {
         assert_eq!(missing.status, 404);
 
         // Graceful stop: run() returns Ok.
+        server.stop();
+        handle.join().expect("join").expect("run ok");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn queue_full_retry_after_is_configurable() {
+        let dir = tmp_data_dir("retry-after");
+        let server = Server::new(ServeConfig {
+            data_dir: dir.clone(),
+            workers: 1,
+            queue_depth: 1,
+            shed_retry_after_secs: 7,
+            ..ServeConfig::default()
+        })
+        .expect("server");
+        let spec = tiny_sweep_spec();
+        assert_eq!(server.admit(&spec), Ok(1));
+        assert_eq!(
+            server.admit(&spec),
+            Err(AdmitError::QueueFull {
+                retry_after_secs: 7
+            })
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn connection_cap_sheds_with_503_and_retry_after() {
+        let dir = tmp_data_dir("conn-cap");
+        let server = Arc::new(
+            Server::new(ServeConfig {
+                data_dir: dir.clone(),
+                workers: 1,
+                max_connections: 1,
+                conn_deadline_secs: 30,
+                shed_retry_after_secs: 3,
+                ..ServeConfig::default()
+            })
+            .expect("server"),
+        );
+        let runner = Arc::clone(&server);
+        let handle = std::thread::spawn(move || runner.run());
+        let deadline = Instant::now() + Duration::from_secs(30);
+        let addr = loop {
+            if let Ok(a) = client::read_addr_file(&dir) {
+                break a;
+            }
+            assert!(Instant::now() < deadline, "daemon never published addr");
+            std::thread::sleep(Duration::from_millis(10));
+        };
+
+        // Occupy the only slot with an idle connection (it sends no
+        // bytes; the 30s conn deadline keeps it open for the test).
+        let idle = TcpStream::connect(&addr).expect("idle connect");
+        std::thread::sleep(Duration::from_millis(300));
+        let shed = client::request(&addr, "GET", "/healthz", None).expect("shed request");
+        assert_eq!(shed.status, 503, "{shed:?}");
+        assert_eq!(shed.header("Retry-After"), Some("3"), "{shed:?}");
+        assert!(shed.body.contains("connection limit"), "{}", shed.body);
+
+        // Releasing the slot restores service.
+        drop(idle);
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            if let Ok(r) = client::request(&addr, "GET", "/healthz", None) {
+                if r.status == 200 {
+                    assert!(r.body.contains("\"connections_shed\":"), "{}", r.body);
+                    break;
+                }
+            }
+            assert!(Instant::now() < deadline, "cap never released");
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        server.stop();
+        handle.join().expect("join").expect("run ok");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn events_long_poll_blocks_then_drains_and_unknown_job_is_404() {
+        let dir = tmp_data_dir("events");
+        let server = Arc::new(
+            Server::new(ServeConfig {
+                data_dir: dir.clone(),
+                workers: 1,
+                conn_deadline_secs: 10,
+                ..ServeConfig::default()
+            })
+            .expect("server"),
+        );
+        let runner = Arc::clone(&server);
+        let handle = std::thread::spawn(move || runner.run());
+        let deadline = Instant::now() + Duration::from_secs(30);
+        let addr = loop {
+            if let Ok(a) = client::read_addr_file(&dir) {
+                break a;
+            }
+            assert!(Instant::now() < deadline, "daemon never published addr");
+            std::thread::sleep(Duration::from_millis(10));
+        };
+
+        // Unknown jobs 404 even with a wait (no thread pinned).
+        let missing =
+            client::request(&addr, "GET", "/jobs/99/events?wait=5", None).expect("missing");
+        assert_eq!(missing.status, 404, "{missing:?}");
+
+        // A long poll issued right after submission blocks until the
+        // first committed record, then returns it.
+        let spec = tiny_sweep_spec();
+        let sub = client::request(&addr, "POST", "/jobs", Some(&spec.to_json())).expect("submit");
+        assert_eq!(sub.status, 202, "{sub:?}");
+        let first =
+            client::request(&addr, "GET", "/jobs/1/events?wait=20", None).expect("long poll");
+        assert_eq!(first.status, 200, "{first:?}");
+        let next: usize = first
+            .header("X-Events-Next")
+            .and_then(|v| v.parse().ok())
+            .expect("X-Events-Next header");
+        assert!(next >= 1, "{first:?}");
+
+        // Drain to completion, then page past the end: terminal job, so
+        // the poll returns immediately and empty.
+        let deadline = Instant::now() + Duration::from_secs(300);
+        loop {
+            let status = client::request(&addr, "GET", "/jobs/1", None).expect("status");
+            if status.body.contains("\"status\":\"complete\"") {
+                break;
+            }
+            assert!(Instant::now() < deadline, "job never completed");
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        let all = client::request(&addr, "GET", "/jobs/1/events?after=0", None).expect("all");
+        assert_eq!(all.status, 200);
+        // Header record + 6 cells.
+        assert_eq!(all.header("X-Events-Next"), Some("7"), "{all:?}");
+        assert!(all.body.contains("\"kind\":\"cell\""), "{}", all.body);
+        let start = Instant::now();
+        let tail =
+            client::request(&addr, "GET", "/jobs/1/events?after=7&wait=20", None).expect("tail");
+        assert_eq!(tail.status, 200, "{tail:?}");
+        assert_eq!(tail.body, "", "{tail:?}");
+        assert_eq!(tail.header("X-Events-Next"), Some("7"), "{tail:?}");
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "terminal job long poll must return immediately"
+        );
         server.stop();
         handle.join().expect("join").expect("run ok");
         std::fs::remove_dir_all(&dir).ok();

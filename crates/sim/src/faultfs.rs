@@ -1,0 +1,456 @@
+//! Seeded I/O fault injection under the crash-safe file primitives.
+//!
+//! The journal layer ([`crate::journal`]) promises atomic publication:
+//! readers never observe a torn file, errors propagate loudly, and a
+//! crashed writer leaves either the old contents or the new ones. Those
+//! promises are only worth something if they hold when the disk
+//! misbehaves — `EIO` mid-write, `ENOSPC`, short writes, failed fsyncs,
+//! failed renames. This module is the injection seam that lets tests and
+//! the service torture harness (`dashlat chaos --serve`) exercise exactly
+//! those paths, deterministically.
+//!
+//! A process-global *fault plan* is armed with [`arm`] (or via the
+//! `DASHLAT_FAULTFS` environment variable for subprocess tests). While
+//! armed, every faultable operation routed through this module — the
+//! journal's writes, fsyncs and renames — consults a seeded PRNG and may
+//! return an injected error instead of touching the disk. The draw
+//! sequence is a pure function of the plan seed and the operation
+//! sequence, so a failing schedule replays.
+//!
+//! An optional path-substring filter scopes faults to one directory so a
+//! torture campaign can fault the daemon's data dir without perturbing
+//! unrelated I/O in the same process (reference runs, other tests).
+//!
+//! Faults are *injected before the real operation*: a faulted write
+//! writes nothing (or, for a short write, a prefix), a faulted fsync
+//! skips the sync, a faulted rename leaves both files in place. That
+//! models the kernel failing the call, and lets the atomic-publication
+//! tests assert the destination is untouched afterwards.
+
+use std::fs::File;
+use std::io::{self, Write};
+use std::path::Path;
+use std::sync::Mutex;
+
+use crate::rng::Xorshift;
+
+/// Environment variable that arms the fault plan at first use, for
+/// subprocess tests: a comma-separated spec like
+/// `seed=7,eio=0.1,enospc=0.05,short=0.2,fsync=0.1,rename=0.1,filter=/tmp/x`.
+pub const FAULTFS_ENV: &str = "DASHLAT_FAULTFS";
+
+/// Per-operation fault probabilities and the seed that drives the draws.
+///
+/// All probabilities default to zero; a default plan injects nothing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultFsPlan {
+    /// Seed for the deterministic draw stream.
+    pub seed: u64,
+    /// Probability a write fails with an injected `EIO` before writing.
+    pub eio_prob: f64,
+    /// Probability a write fails with an injected `ENOSPC` before writing.
+    pub enospc_prob: f64,
+    /// Probability a write persists only a prefix, then fails with `EIO`.
+    pub short_write_prob: f64,
+    /// Probability an fsync (`sync_all`/`sync_data`, file or directory)
+    /// fails with an injected `EIO` without syncing.
+    pub fsync_prob: f64,
+    /// Probability a rename fails with an injected `EIO`, leaving both
+    /// the source and the destination untouched.
+    pub rename_prob: f64,
+    /// Only operations whose target path contains this substring are
+    /// eligible for faults; `None` faults everything.
+    pub path_filter: Option<String>,
+}
+
+impl Default for FaultFsPlan {
+    fn default() -> Self {
+        FaultFsPlan {
+            seed: 0,
+            eio_prob: 0.0,
+            enospc_prob: 0.0,
+            short_write_prob: 0.0,
+            fsync_prob: 0.0,
+            rename_prob: 0.0,
+            path_filter: None,
+        }
+    }
+}
+
+impl FaultFsPlan {
+    /// Parses the `DASHLAT_FAULTFS` spec format (`key=value` pairs
+    /// separated by commas; unknown keys are an error so typos fail loud).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending token when a pair is
+    /// malformed, a number fails to parse, or a key is unknown.
+    pub fn from_spec(spec: &str) -> Result<FaultFsPlan, String> {
+        let mut plan = FaultFsPlan::default();
+        for pair in spec.split(',').filter(|p| !p.trim().is_empty()) {
+            let (key, value) = pair
+                .split_once('=')
+                .ok_or_else(|| format!("faultfs spec `{pair}` is not key=value"))?;
+            let prob = |v: &str| {
+                v.parse::<f64>()
+                    .map_err(|e| format!("faultfs spec `{pair}`: {e}"))
+            };
+            match key.trim() {
+                "seed" => {
+                    plan.seed = value
+                        .parse::<u64>()
+                        .map_err(|e| format!("faultfs spec `{pair}`: {e}"))?;
+                }
+                "eio" => plan.eio_prob = prob(value)?,
+                "enospc" => plan.enospc_prob = prob(value)?,
+                "short" => plan.short_write_prob = prob(value)?,
+                "fsync" => plan.fsync_prob = prob(value)?,
+                "rename" => plan.rename_prob = prob(value)?,
+                "filter" => plan.path_filter = Some(value.to_string()),
+                other => return Err(format!("faultfs spec: unknown key `{other}`")),
+            }
+        }
+        Ok(plan)
+    }
+}
+
+/// Counters describing what an armed plan actually did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultFsStats {
+    /// Faultable operations that matched the path filter and drew.
+    pub ops: u64,
+    /// Operations that received an injected fault.
+    pub injected: u64,
+}
+
+struct Armed {
+    plan: FaultFsPlan,
+    rng: Xorshift,
+    stats: FaultFsStats,
+}
+
+static STATE: Mutex<Option<Armed>> = Mutex::new(None);
+
+fn lock() -> std::sync::MutexGuard<'static, Option<Armed>> {
+    let mut guard = match STATE.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    if guard.is_none() {
+        if let Ok(spec) = std::env::var(FAULTFS_ENV) {
+            match FaultFsPlan::from_spec(&spec) {
+                Ok(plan) => {
+                    let rng = Xorshift::new(plan.seed);
+                    *guard = Some(Armed {
+                        plan,
+                        rng,
+                        stats: FaultFsStats::default(),
+                    });
+                }
+                Err(err) => panic!("invalid {FAULTFS_ENV}: {err}"),
+            }
+            // Consume the variable so disarm() stays disarmed.
+            std::env::remove_var(FAULTFS_ENV);
+        }
+    }
+    guard
+}
+
+/// Arms the process-global fault plan, replacing any previous plan and
+/// resetting the draw stream and counters.
+pub fn arm(plan: FaultFsPlan) {
+    let rng = Xorshift::new(plan.seed);
+    *lock() = Some(Armed {
+        plan,
+        rng,
+        stats: FaultFsStats::default(),
+    });
+}
+
+/// Disarms fault injection and returns the counters accumulated since
+/// [`arm`]. Safe to call when nothing is armed.
+pub fn disarm() -> FaultFsStats {
+    lock().take().map(|a| a.stats).unwrap_or_default()
+}
+
+/// True when a fault plan is currently armed.
+pub fn is_armed() -> bool {
+    lock().is_some()
+}
+
+/// Counters for the currently armed plan (zeroes when disarmed).
+pub fn stats() -> FaultFsStats {
+    lock().as_ref().map(|a| a.stats).unwrap_or_default()
+}
+
+enum WriteFault {
+    Eio,
+    Enospc,
+    /// Persist this many bytes, then fail.
+    Short(usize),
+}
+
+fn injected(kind: &str, path: &Path) -> io::Error {
+    io::Error::other(format!("injected fault: {kind} on {}", path.display()))
+}
+
+fn draw<R>(path: &Path, pick: impl FnOnce(&FaultFsPlan, &mut Xorshift) -> Option<R>) -> Option<R> {
+    let mut guard = lock();
+    let armed = guard.as_mut()?;
+    if let Some(filter) = &armed.plan.path_filter {
+        if !path.to_string_lossy().contains(filter.as_str()) {
+            return None;
+        }
+    }
+    armed.stats.ops += 1;
+    let fault = pick(&armed.plan, &mut armed.rng);
+    if fault.is_some() {
+        armed.stats.injected += 1;
+    }
+    fault
+}
+
+/// Writes `bytes` to `file`, subject to injected write faults.
+///
+/// # Errors
+///
+/// Propagates real write errors, or an injected `EIO`/`ENOSPC`/short
+/// write when the armed plan fires. A short write persists a prefix of
+/// `bytes` before failing, modelling a partially applied `write(2)`.
+pub fn write_all(file: &mut File, path: &Path, bytes: &[u8]) -> io::Result<()> {
+    match draw(path, |plan, rng| {
+        if rng.chance(plan.eio_prob) {
+            Some(WriteFault::Eio)
+        } else if rng.chance(plan.enospc_prob) {
+            Some(WriteFault::Enospc)
+        } else if rng.chance(plan.short_write_prob) {
+            Some(WriteFault::Short(bytes.len() / 2))
+        } else {
+            None
+        }
+    }) {
+        Some(WriteFault::Eio) => Err(injected("EIO during write", path)),
+        Some(WriteFault::Enospc) => Err(injected("ENOSPC (no space left on device)", path)),
+        Some(WriteFault::Short(n)) => {
+            file.write_all(&bytes[..n])?;
+            Err(injected("short write (partial data persisted)", path))
+        }
+        None => file.write_all(bytes),
+    }
+}
+
+/// `File::sync_all` subject to injected fsync faults.
+///
+/// # Errors
+///
+/// Propagates real fsync errors, or an injected `EIO` (without syncing)
+/// when the armed plan fires.
+pub fn sync_all(file: &File, path: &Path) -> io::Result<()> {
+    match draw(path, |plan, rng| rng.chance(plan.fsync_prob).then_some(())) {
+        Some(()) => Err(injected("EIO during fsync", path)),
+        None => file.sync_all(),
+    }
+}
+
+/// `File::sync_data` subject to injected fsync faults.
+///
+/// # Errors
+///
+/// Propagates real fsync errors, or an injected `EIO` (without syncing)
+/// when the armed plan fires.
+pub fn sync_data(file: &File, path: &Path) -> io::Result<()> {
+    match draw(path, |plan, rng| rng.chance(plan.fsync_prob).then_some(())) {
+        Some(()) => Err(injected("EIO during fdatasync", path)),
+        None => file.sync_data(),
+    }
+}
+
+/// `std::fs::rename` subject to injected rename faults (drawn against
+/// the *destination* path, which is what the path filter should match).
+///
+/// # Errors
+///
+/// Propagates real rename errors, or an injected `EIO` (leaving both
+/// paths untouched) when the armed plan fires.
+pub fn rename(from: &Path, to: &Path) -> io::Result<()> {
+    match draw(to, |plan, rng| rng.chance(plan.rename_prob).then_some(())) {
+        Some(()) => Err(injected("EIO during rename", to)),
+        None => std::fs::rename(from, to),
+    }
+}
+
+/// Faultfs state is process-global; tests that arm it must serialize on
+/// this lock so parallel test threads don't clobber each other's plans.
+/// (Other crates' tests run in separate processes and don't contend.)
+#[cfg(test)]
+pub(crate) static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn guard() -> std::sync::MutexGuard<'static, ()> {
+        TEST_LOCK
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Every arming test scopes its plan to its own temp dir: other sim
+    /// tests (the journal suite) run in parallel threads and must not
+    /// see injected faults or perturb the `ops` counter.
+    fn scoped(dir: &Path, plan: FaultFsPlan) -> FaultFsPlan {
+        FaultFsPlan {
+            path_filter: Some(dir.to_string_lossy().into_owned()),
+            ..plan
+        }
+    }
+
+    #[test]
+    fn default_plan_injects_nothing() {
+        let _g = guard();
+        let dir = std::env::temp_dir().join(format!("faultfs-none-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        arm(scoped(&dir, FaultFsPlan::default()));
+        let path = dir.join("f.txt");
+        let mut f = File::create(&path).unwrap();
+        write_all(&mut f, &path, b"hello").unwrap();
+        sync_all(&f, &path).unwrap();
+        let stats = disarm();
+        assert_eq!(stats.injected, 0);
+        assert_eq!(stats.ops, 2);
+        assert_eq!(std::fs::read(&path).unwrap(), b"hello");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn certain_eio_faults_every_write_and_leaves_file_untouched() {
+        let _g = guard();
+        let dir = std::env::temp_dir().join(format!("faultfs-eio-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("f.txt");
+        let mut f = File::create(&path).unwrap();
+        arm(scoped(
+            &dir,
+            FaultFsPlan {
+                eio_prob: 1.0,
+                ..FaultFsPlan::default()
+            },
+        ));
+        let err = write_all(&mut f, &path, b"hello").unwrap_err();
+        assert!(err.to_string().contains("injected fault: EIO"), "{err}");
+        let stats = disarm();
+        assert_eq!(
+            stats,
+            FaultFsStats {
+                ops: 1,
+                injected: 1
+            }
+        );
+        drop(f);
+        assert_eq!(
+            std::fs::read(&path).unwrap(),
+            b"",
+            "EIO fault must not write"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn short_write_persists_a_prefix_then_fails() {
+        let _g = guard();
+        let dir = std::env::temp_dir().join(format!("faultfs-short-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("f.txt");
+        let mut f = File::create(&path).unwrap();
+        arm(scoped(
+            &dir,
+            FaultFsPlan {
+                short_write_prob: 1.0,
+                ..FaultFsPlan::default()
+            },
+        ));
+        let err = write_all(&mut f, &path, b"0123456789").unwrap_err();
+        assert!(err.to_string().contains("short write"), "{err}");
+        disarm();
+        drop(f);
+        assert_eq!(std::fs::read(&path).unwrap(), b"01234", "half persisted");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn path_filter_scopes_faults() {
+        let _g = guard();
+        let dir = std::env::temp_dir().join(format!("faultfs-filter-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let inside = dir.join("inside.txt");
+        let outside = std::env::temp_dir().join(format!("faultfs-outside-{}", std::process::id()));
+        arm(FaultFsPlan {
+            eio_prob: 1.0,
+            path_filter: Some(dir.to_string_lossy().into_owned()),
+            ..FaultFsPlan::default()
+        });
+        let mut fi = File::create(&inside).unwrap();
+        assert!(write_all(&mut fi, &inside, b"x").is_err());
+        let mut fo = File::create(&outside).unwrap();
+        assert!(write_all(&mut fo, &outside, b"x").is_ok());
+        let stats = disarm();
+        assert_eq!(
+            stats,
+            FaultFsStats {
+                ops: 1,
+                injected: 1
+            }
+        );
+        std::fs::remove_file(&outside).unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn draws_are_deterministic_for_a_seed() {
+        let _g = guard();
+        let dir = std::env::temp_dir().join(format!("faultfs-det-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("f.txt");
+        let run = |seed: u64| -> Vec<bool> {
+            arm(scoped(
+                &dir,
+                FaultFsPlan {
+                    seed,
+                    eio_prob: 0.5,
+                    ..FaultFsPlan::default()
+                },
+            ));
+            let mut f = File::create(&path).unwrap();
+            let outcomes = (0..32)
+                .map(|_| write_all(&mut f, &path, b"x").is_err())
+                .collect();
+            disarm();
+            outcomes
+        };
+        let a = run(99);
+        let b = run(99);
+        let c = run(100);
+        assert_eq!(a, b, "same seed, same fault schedule");
+        assert_ne!(a, c, "different seeds should diverge");
+        assert!(a.iter().any(|&x| x) && a.iter().any(|&x| !x));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn spec_round_trip_and_rejects_unknown_keys() {
+        let plan = FaultFsPlan::from_spec(
+            "seed=7,eio=0.25,enospc=0.1,short=0.5,fsync=0.2,rename=0.3,filter=/tmp/x",
+        )
+        .unwrap();
+        assert_eq!(plan.seed, 7);
+        assert!((plan.eio_prob - 0.25).abs() < 1e-12);
+        assert!((plan.enospc_prob - 0.1).abs() < 1e-12);
+        assert!((plan.short_write_prob - 0.5).abs() < 1e-12);
+        assert!((plan.fsync_prob - 0.2).abs() < 1e-12);
+        assert!((plan.rename_prob - 0.3).abs() < 1e-12);
+        assert_eq!(plan.path_filter.as_deref(), Some("/tmp/x"));
+        assert!(FaultFsPlan::from_spec("bogus=1").is_err());
+        assert!(FaultFsPlan::from_spec("seed").is_err());
+        assert_eq!(FaultFsPlan::from_spec("").unwrap(), FaultFsPlan::default());
+    }
+}

@@ -33,9 +33,31 @@
 //!
 //! Both hooks call [`std::process::abort`], the closest in-process
 //! stand-in for SIGKILL (no unwinding, no destructors, no atexit).
+//!
+//! # Fault injection
+//!
+//! Crash points model the *process* dying; [`crate::faultfs`] models the
+//! *disk* failing. Every write, fsync and rename below is routed through
+//! that seam, so an armed fault plan can make any step return `EIO`,
+//! `ENOSPC`, a short write or a failed fsync — and the tests assert the
+//! atomic-publication contract survives all of them: errors propagate,
+//! the destination is never torn, and a retry after the fault clears
+//! publishes cleanly.
+//!
+//! # Planted bug: `DASHLAT_BUG_TORN_PUBLISH`
+//!
+//! Setting this variable to `1` replaces [`atomic_write`]'s temp-file →
+//! fsync → rename dance with a naive in-place truncate-and-write. That is
+//! the classic torn-publish bug the dance exists to prevent: combined
+//! with an injected write fault, readers can observe an empty or
+//! half-written "published" file. It exists so the service torture
+//! harness (`dashlat chaos --serve`) can prove its log-integrity oracle
+//! actually catches the corruption and shrinks the failing schedule —
+//! the same planted-regression idiom as the verifier's `verify-mutations`
+//! feature. Never set it outside those tests.
 
 use std::fs::{File, OpenOptions};
-use std::io::{self, Read, Write};
+use std::io::{self, Read};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -52,6 +74,10 @@ pub const CRASH_AFTER_JOURNAL_APPEND_ENV: &str = "DASHLAT_CRASH_AFTER_JOURNAL_AP
 /// the published file must be findable under its final name on restart.
 pub const CRASH_AFTER_RENAME_ENV: &str = "DASHLAT_CRASH_AFTER_RENAME";
 
+/// Environment variable enabling the planted torn-publish bug in
+/// [`atomic_write`] (see the module docs). Test-only.
+pub const BUG_TORN_PUBLISH_ENV: &str = "DASHLAT_BUG_TORN_PUBLISH";
+
 /// Fsyncs the directory `dir` (or the current directory when `None`) so
 /// a rename or file creation inside it survives power loss. Directory
 /// fsync is a Unix-ism: opening a directory read-only for fsync works on
@@ -62,7 +88,7 @@ pub const CRASH_AFTER_RENAME_ENV: &str = "DASHLAT_CRASH_AFTER_RENAME";
 fn sync_dir(dir: Option<&Path>) -> io::Result<()> {
     let dir = dir.unwrap_or_else(|| Path::new("."));
     if let Ok(dirf) = File::open(dir) {
-        dirf.sync_all()?;
+        crate::faultfs::sync_all(&dirf, dir)?;
     }
     Ok(())
 }
@@ -77,6 +103,16 @@ fn sync_dir(dir: Option<&Path>) -> io::Result<()> {
 /// Propagates I/O errors from any step; on failure the temp file is
 /// removed on a best-effort basis and `path` is untouched.
 pub fn atomic_write(path: &Path, contents: &str) -> io::Result<()> {
+    if std::env::var(BUG_TORN_PUBLISH_ENV).as_deref() == Ok("1") {
+        // Planted torn-publish bug (module docs): truncate the
+        // destination and write in place. An injected write fault now
+        // leaves a torn published file — exactly what the rename dance
+        // prevents — for the torture harness to catch.
+        let mut f = File::create(path)?;
+        crate::faultfs::write_all(&mut f, path, contents.as_bytes())?;
+        crate::faultfs::sync_all(&f, path)?;
+        return Ok(());
+    }
     let dir = path.parent().filter(|d| !d.as_os_str().is_empty());
     let file_name = path
         .file_name()
@@ -92,14 +128,14 @@ pub fn atomic_write(path: &Path, contents: &str) -> io::Result<()> {
     };
     let write_result = (|| {
         let mut f = File::create(&tmp)?;
-        f.write_all(contents.as_bytes())?;
-        f.sync_all()?;
+        crate::faultfs::write_all(&mut f, &tmp, contents.as_bytes())?;
+        crate::faultfs::sync_all(&f, &tmp)?;
         if std::env::var(CRASH_AFTER_TEMP_WRITE_ENV).as_deref() == Ok("1") {
             // Deterministic crash point: die with the temp file durable
             // but the destination not yet switched over.
             std::process::abort();
         }
-        std::fs::rename(&tmp, path)?;
+        crate::faultfs::rename(&tmp, path)?;
         // Durability of the rename needs the directory entry synced —
         // without this the file data is safe but the *name* can vanish
         // in a power loss, which is indistinguishable from never having
@@ -184,9 +220,9 @@ impl Journal {
             !line.contains('\n'),
             "journal lines must not contain newlines"
         );
-        self.file.write_all(line.as_bytes())?;
-        self.file.write_all(b"\n")?;
-        self.file.sync_data()?;
+        crate::faultfs::write_all(&mut self.file, &self.path, line.as_bytes())?;
+        crate::faultfs::write_all(&mut self.file, &self.path, b"\n")?;
+        crate::faultfs::sync_data(&self.file, &self.path)?;
         if let Ok(v) = std::env::var(CRASH_AFTER_JOURNAL_APPEND_ENV) {
             if let Ok(n) = v.parse::<u64>() {
                 let done = APPENDS.fetch_add(1, Ordering::SeqCst) + 1;
@@ -301,6 +337,127 @@ mod tests {
             Journal::read_committed_lines(&p).expect("read"),
             vec!["{\"a\":1}"]
         );
+        std::fs::remove_dir_all(&d).ok();
+    }
+
+    #[test]
+    fn atomic_write_under_every_fault_class_leaves_destination_untouched() {
+        use crate::faultfs::{self, FaultFsPlan};
+        let _g = crate::faultfs::TEST_LOCK
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let d = tmpdir("faulted-atomic");
+        let p = d.join("out.json");
+        atomic_write(&p, "published v1").expect("clean publish");
+        let classes: [(&str, FaultFsPlan); 4] = [
+            (
+                "eio",
+                FaultFsPlan {
+                    eio_prob: 1.0,
+                    ..FaultFsPlan::default()
+                },
+            ),
+            (
+                "short write",
+                FaultFsPlan {
+                    short_write_prob: 1.0,
+                    ..FaultFsPlan::default()
+                },
+            ),
+            (
+                "fsync",
+                FaultFsPlan {
+                    fsync_prob: 1.0,
+                    ..FaultFsPlan::default()
+                },
+            ),
+            (
+                "rename",
+                FaultFsPlan {
+                    rename_prob: 1.0,
+                    ..FaultFsPlan::default()
+                },
+            ),
+        ];
+        for (name, plan) in classes {
+            faultfs::arm(FaultFsPlan {
+                path_filter: Some(d.to_string_lossy().into_owned()),
+                ..plan
+            });
+            let err = atomic_write(&p, "torn v2").expect_err(name);
+            let stats = faultfs::disarm();
+            assert!(
+                err.to_string().contains("injected fault"),
+                "{name}: unexpected error {err}"
+            );
+            assert!(stats.injected >= 1, "{name}: no fault fired");
+            // The contract: a faulted publish propagates the error AND
+            // leaves the previously published contents intact.
+            assert_eq!(
+                std::fs::read_to_string(&p).unwrap(),
+                "published v1",
+                "{name}: destination was disturbed"
+            );
+            let litter: Vec<_> = std::fs::read_dir(&d)
+                .unwrap()
+                .filter_map(Result::ok)
+                .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+                .collect();
+            assert!(litter.is_empty(), "{name}: temp litter {litter:?}");
+        }
+        // Once the fault clears, a retry publishes cleanly.
+        atomic_write(&p, "published v2").expect("retry after fault");
+        assert_eq!(std::fs::read_to_string(&p).unwrap(), "published v2");
+        std::fs::remove_dir_all(&d).ok();
+    }
+
+    #[test]
+    fn faulted_journal_append_propagates_and_commits_nothing() {
+        use crate::faultfs::{self, FaultFsPlan};
+        let _g = crate::faultfs::TEST_LOCK
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let d = tmpdir("faulted-append");
+        let plans = [
+            FaultFsPlan {
+                eio_prob: 1.0,
+                ..FaultFsPlan::default()
+            },
+            FaultFsPlan {
+                short_write_prob: 1.0,
+                ..FaultFsPlan::default()
+            },
+            FaultFsPlan {
+                fsync_prob: 1.0,
+                ..FaultFsPlan::default()
+            },
+        ];
+        for (i, plan) in plans.into_iter().enumerate() {
+            let p = d.join(format!("sweep-{i}.journal"));
+            let mut j = Journal::create(&p).expect("create");
+            j.append("{\"a\":1}").expect("clean append");
+            faultfs::arm(FaultFsPlan {
+                path_filter: Some(d.to_string_lossy().into_owned()),
+                ..plan
+            });
+            let err = j.append("{\"b\":2}").expect_err("faulted append");
+            faultfs::disarm();
+            assert!(err.to_string().contains("injected fault"), "{err}");
+            // The acknowledged line always survives, and no reader ever
+            // sees torn garbage. (A failed *fsync* may still leave the
+            // unacknowledged line visible — its bytes were written, just
+            // not durable — which is safe: journal records are valid
+            // whether or not the writer got the acknowledgement.)
+            let lines = Journal::read_committed_lines(&p).expect("read");
+            assert_eq!(lines.first().map(String::as_str), Some("{\"a\":1}"));
+            assert!(lines.len() <= 2, "unexpected extra lines: {lines:?}");
+            for line in &lines {
+                assert!(
+                    line == "{\"a\":1}" || line == "{\"b\":2}",
+                    "torn record visible: {line:?}"
+                );
+            }
+        }
         std::fs::remove_dir_all(&d).ok();
     }
 

@@ -20,6 +20,9 @@
 //! * [`fault`] — deterministic, seeded fault injection (directory NACKs
 //!   with exponential backoff, delayed packets, transient buffer-full
 //!   events) used to harden experiments against protocol perturbation.
+//! * [`faultfs`] — the same idea for the filesystem: a seeded fault plan
+//!   over the journal's writes, fsyncs and renames (EIO, ENOSPC, short
+//!   writes) backing the service torture harness in `dashlat-serve`.
 //! * [`journal`] — crash-safe file primitives (atomic whole-file writes,
 //!   an fsync'd append-only line journal) backing the resumable sweep
 //!   supervisor in `dashlat`.
@@ -50,6 +53,7 @@
 //! ```
 
 pub mod fault;
+pub mod faultfs;
 pub mod hasher;
 pub mod journal;
 pub mod json;
@@ -61,6 +65,7 @@ pub mod time;
 pub mod vclock;
 
 pub use fault::{FaultInjector, FaultPlan, FaultStats};
+pub use faultfs::{FaultFsPlan, FaultFsStats};
 pub use hasher::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use queue::{EventQueue, QueueHints};
 pub use rng::Xorshift;
